@@ -1,0 +1,47 @@
+//! Crypto substrate micro-benchmarks: AEAD sealing (the per-link cost of
+//! every batch transfer), SipHash partition hashing, and SHA-256 digests
+//! (external-memory integrity).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use snoopy_crypto::aead::{AeadKey, Nonce};
+use snoopy_crypto::sha256::sha256;
+use snoopy_crypto::{Key256, SipHash24};
+
+fn bench_aead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("aead");
+    let key = AeadKey::new(Key256([1u8; 32]));
+    for size in [200usize, 4096] {
+        let data = vec![0xAB; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("seal_{size}B"), |b| {
+            let mut seq = 0u64;
+            b.iter(|| {
+                seq += 1;
+                key.seal(Nonce::from_parts(0, seq), b"", &data)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_siphash(c: &mut Criterion) {
+    let h = SipHash24::new(&[2u8; 16]);
+    c.bench_function("siphash_bin_u64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x += 1;
+            h.bin_u64(x, 16)
+        })
+    });
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    let data = vec![0x55u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("4096B", |b| b.iter(|| sha256(&data)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_aead, bench_siphash, bench_sha256);
+criterion_main!(benches);

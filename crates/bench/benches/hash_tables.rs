@@ -1,0 +1,61 @@
+//! Two-tier vs. single-tier oblivious hash table (the §5 design argument):
+//! construction cost and per-lookup bucket scan cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snoopy_crypto::Key256;
+use snoopy_enclave::wire::Request;
+use snoopy_ohash::single::SingleTierTable;
+use snoopy_ohash::{OHashTable, TableParams};
+
+fn batch(n: usize) -> Vec<Request> {
+    (0..n as u64).map(|i| Request::read(i * 3 + 1, 160, 0, i)).collect()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ohash_construct");
+    g.sample_size(10);
+    for n in [1024usize, 4096] {
+        let b = batch(n);
+        let key = Key256([5u8; 32]);
+        g.bench_with_input(BenchmarkId::new("two_tier", n), &n, |bch, _| {
+            bch.iter(|| OHashTable::construct(b.clone(), &key, 128).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("single_tier", n), &n, |bch, _| {
+            bch.iter(|| SingleTierTable::construct(b.clone(), &key, 128).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ohash_lookup_scan");
+    g.sample_size(20);
+    let n = 4096usize;
+    let key = Key256([5u8; 32]);
+    let mut two = OHashTable::construct(batch(n), &key, 128).unwrap();
+    let mut one = SingleTierTable::construct(batch(n), &key, 128).unwrap();
+    println!(
+        "two-tier lookup scans {} slots; single-tier scans {} slots",
+        TableParams::derive(n, 128).lookup_cost(),
+        one.bucket_size()
+    );
+    g.bench_function("two_tier_bucket_pair", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id = (id + 1) % (n as u64);
+            let (b1, b2) = two.bucket_pair_mut(id * 3 + 1);
+            std::hint::black_box(b1.len() + b2.len())
+        })
+    });
+    g.bench_function("single_tier_bucket", |b| {
+        let mut id = 0u64;
+        b.iter(|| {
+            id = (id + 1) % (n as u64);
+            std::hint::black_box(one.bucket_mut(id * 3 + 1).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_lookup);
+criterion_main!(benches);

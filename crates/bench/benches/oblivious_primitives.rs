@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the oblivious building blocks: bitonic sort,
+//! Goodrich-style order-preserving compaction (and the O(n log² n) sort-based
+//! ablation), and the compare-and-set primitive itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snoopy_obliv::compact::{ocompact, ocompact_by_sort};
+use snoopy_obliv::ct::{ocmp_set, Choice};
+use snoopy_obliv::sort::osort;
+
+fn bench_osort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("osort_u64");
+    g.sample_size(10);
+    for pow in [10u32, 12, 14] {
+        let n = 1usize << pow;
+        let data: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                osort(&mut v);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ocompact");
+    g.sample_size(10);
+    for pow in [10u32, 12, 14] {
+        let n = 1usize << pow;
+        let data: Vec<u64> = (0..n as u64).collect();
+        let keep: Vec<Choice> = (0..n).map(|i| Choice::from_bool(i % 3 != 0)).collect();
+        g.bench_with_input(BenchmarkId::new("goodrich", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                let mut k = keep.clone();
+                ocompact(&mut v, &mut k);
+                v
+            })
+        });
+        // Ablation: what Snoopy would pay with sort-based compaction.
+        g.bench_with_input(BenchmarkId::new("sort_based", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                let mut k = keep.clone();
+                ocompact_by_sort(&mut v, &mut k);
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cmpset(c: &mut Criterion) {
+    c.bench_function("ocmp_set_160B", |b| {
+        let src = vec![7u8; 160];
+        let mut dst = vec![0u8; 160];
+        b.iter(|| {
+            ocmp_set(Choice::TRUE, &mut dst, &src);
+            std::hint::black_box(&dst);
+        })
+    });
+}
+
+criterion_group!(benches, bench_osort, bench_compaction, bench_cmpset);
+criterion_main!(benches);

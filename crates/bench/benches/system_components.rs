@@ -1,0 +1,61 @@
+//! Criterion benches of the system pipelines: load-balancer batch generation
+//! and response matching, and subORAM batch access (in-enclave and external
+//! storage modes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snoopy_crypto::Key256;
+use snoopy_enclave::wire::{Request, StoredObject};
+use snoopy_lb::LoadBalancer;
+use snoopy_suboram::SubOram;
+
+const VLEN: usize = 160;
+
+fn requests(n: usize) -> Vec<Request> {
+    (0..n as u64).map(|i| Request::read(i * 13, VLEN, i, i)).collect()
+}
+
+fn bench_lb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("load_balancer");
+    g.sample_size(10);
+    let key = Key256([3u8; 32]);
+    for s in [1usize, 4] {
+        let lb = LoadBalancer::new(&key, s, VLEN, 128);
+        let reqs = requests(512);
+        g.bench_with_input(BenchmarkId::new("make_batches_r512", s), &s, |b, _| {
+            b.iter(|| lb.make_batches(&reqs).unwrap())
+        });
+        let batches = lb.make_batches(&reqs).unwrap();
+        g.bench_with_input(BenchmarkId::new("match_responses_r512", s), &s, |b, _| {
+            b.iter(|| lb.match_responses(&reqs, batches.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_suboram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suboram_batch");
+    g.sample_size(10);
+    let key = Key256([7u8; 32]);
+    let objects: Vec<StoredObject> =
+        (0..1u64 << 14).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+    let batch: Vec<Request> = (0..256u64).map(|i| Request::read(i * 11, VLEN, 0, i)).collect();
+
+    let mut inenc = SubOram::new_in_enclave(objects.clone(), VLEN, key.clone(), 128);
+    g.bench_function("in_enclave_2^14_objects_b256", |b| {
+        b.iter(|| inenc.batch_access(batch.clone()).unwrap())
+    });
+
+    let mut ext = SubOram::new_external(
+        objects.iter().take(1 << 12).cloned().collect(),
+        VLEN,
+        key.clone(),
+        128,
+    );
+    g.bench_function("external_sealed_2^12_objects_b256", |b| {
+        b.iter(|| ext.batch_access(batch.clone()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lb, bench_suboram);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Extension experiment: request-distribution independence (§8, Experiment
+//! Setup — "the oblivious security guarantees of Snoopy and other oblivious
+//! storage systems ensure that the request distribution does not impact
+//! their performance. This choice is only relevant for our Redis baseline").
+//!
+//! We *measure* that claim on the real implementation: one epoch of R
+//! requests drawn (a) uniformly, (b) Zipf(1.1)-skewed, (c) all for a single
+//! hot key, and compare both the wall-clock component times and the
+//! adversary-visible trace fingerprints. For contrast, the plaintext
+//! baseline's per-shard load is shown to collapse under the same skew.
+
+use snoopy_bench::{fmt, print_table, time_ms, write_csv};
+use snoopy_crypto::Key256;
+use snoopy_enclave::wire::{Request, StoredObject};
+use snoopy_lb::LoadBalancer;
+use snoopy_netsim::workload::ZipfKeys;
+use snoopy_obliv::trace;
+use snoopy_plaintext::PlaintextStore;
+use snoopy_suboram::SubOram;
+
+const VLEN: usize = 160;
+const N: u64 = 1 << 15;
+const R: usize = 1 << 10;
+const S: usize = 4;
+
+fn epoch_times(key: &Key256, suborams: &mut [SubOram], ids: &[u64]) -> (f64, f64, f64, u64) {
+    let balancer = LoadBalancer::new(key, S, VLEN, 128);
+    let requests: Vec<Request> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| Request::read(id, VLEN, i as u64, 0))
+        .collect();
+    let (batches, make_ms) = time_ms(|| balancer.make_batches(&requests).unwrap());
+    let (_, fp) = trace::capture(|| {
+        balancer.make_batches(&requests).unwrap();
+    });
+    let mut sub_ms = 0.0;
+    let mut responses = Vec::new();
+    for (s, batch) in batches.into_iter().enumerate() {
+        let (resp, ms) = time_ms(|| suborams[s].batch_access(batch).unwrap());
+        sub_ms += ms;
+        responses.push(resp);
+    }
+    let (_, match_ms) = time_ms(|| balancer.match_responses(&requests, responses));
+    (make_ms, sub_ms, match_ms, fp.fingerprint())
+}
+
+fn main() {
+    let key = Key256([61u8; 32]);
+    let fresh_suborams = || -> Vec<SubOram> {
+        let objects: Vec<StoredObject> =
+            (0..N).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+        snoopy_lb::partition_objects(objects, &key, S)
+            .into_iter()
+            .map(|p| SubOram::new_in_enclave(p, VLEN, key.derive(b"sub"), 128))
+            .collect()
+    };
+
+    let uniform: Vec<u64> = (0..R as u64).map(|i| (i * 2654435761) % N).collect();
+    let mut z = ZipfKeys::new(N as usize, 1.1, 5);
+    let zipf: Vec<u64> = (0..R).map(|_| z.sample()).collect();
+    let hot: Vec<u64> = vec![42; R];
+
+    let mut rows = Vec::new();
+    let mut fingerprints = Vec::new();
+    for (name, ids) in [("uniform", &uniform), ("zipf(1.1)", &zipf), ("single hot key", &hot)] {
+        let mut subs = fresh_suborams();
+        let (make, sub, mtch, fp) = epoch_times(&key, &mut subs, ids);
+        fingerprints.push(fp);
+        rows.push(vec![
+            name.to_string(),
+            fmt(make),
+            fmt(sub),
+            fmt(mtch),
+            format!("{fp:#018x}"),
+        ]);
+    }
+    print_table(
+        "Skew independence: one epoch of R=1024 requests, 2^15 objects, 4 subORAMs (REAL measurement)",
+        &["distribution", "LB make (ms)", "subORAMs total (ms)", "LB match (ms)", "LB trace fingerprint"],
+        &rows,
+    );
+    write_csv(
+        "exp_skew_independence",
+        &["distribution", "lb_make_ms", "suborams_ms", "lb_match_ms", "trace_fp"],
+        &rows,
+    );
+    assert!(fingerprints.windows(2).all(|w| w[0] == w[1]), "traces must be identical");
+    println!("\nall three LB traces identical ✓ — batch sizes and access patterns depend only on R and S.");
+
+    // Contrast: the plaintext baseline's shard balance collapses under skew.
+    let mut store = PlaintextStore::new(S);
+    for i in 0..N {
+        store.set(i, vec![0u8; 8]);
+    }
+    let shard_hits = |ids: &[u64]| -> Vec<usize> {
+        let mut hits = vec![0usize; S];
+        for &id in ids {
+            hits[store.shard_of(id)] += 1;
+        }
+        hits
+    };
+    println!("\nplaintext shard hit counts (R=1024):");
+    println!("  uniform:        {:?}", shard_hits(&uniform));
+    println!("  zipf(1.1):      {:?}", shard_hits(&zipf));
+    println!("  single hot key: {:?}  <- one shard absorbs everything (and leaks it)", shard_hits(&hot));
+}

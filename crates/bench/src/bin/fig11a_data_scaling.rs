@@ -1,0 +1,75 @@
+//! Figure 11a: maximum data size vs. subORAM count while keeping mean
+//! response time under 160 ms (a US↔Europe RTT), fixed load, one balancer.
+//!
+//! Paper shape: the storable data size grows linearly with subORAMs (each
+//! subORAM adds ~191K objects on average; 2.8M objects at 15 subORAMs),
+//! because the per-epoch linear scan bounds each partition.
+
+use snoopy_bench::{fmt, print_table, quick_mode, write_csv};
+use snoopy_netsim::cluster::{ClusterParams, ClusterSim, SubKind};
+use snoopy_netsim::costmodel::CostModel;
+
+const SLO_MS: f64 = 160.0;
+const LOAD_RPS: f64 = 500.0;
+
+fn mean_latency(model: &CostModel, s: usize, objects: u64) -> f64 {
+    let epoch_ns = (SLO_MS * 1e6 * 2.0 / 5.0) as u64;
+    let sim = ClusterSim::new(
+        ClusterParams {
+            num_lbs: 1,
+            num_suborams: s,
+            num_objects: objects,
+            epoch_ns,
+            duration_ns: 40 * epoch_ns,
+            warmup_ns: 10 * epoch_ns,
+            sub_kind: SubKind::SnoopyScan,
+        },
+        model.clone(),
+    );
+    let rep = sim.run_poisson(LOAD_RPS, 21);
+    if rep.completed == 0 {
+        f64::INFINITY
+    } else {
+        rep.mean_latency_ms
+    }
+}
+
+fn main() {
+    let model = CostModel::paper_calibrated();
+    let counts: Vec<usize> = if quick_mode() { vec![1, 5, 10, 15] } else { (1..=15).collect() };
+
+    let mut rows = Vec::new();
+    let mut prev = 0u64;
+    let mut total_added = 0u64;
+    for &s in &counts {
+        // Binary search the largest object count meeting the latency budget.
+        let mut lo = 0u64;
+        let mut hi = 16_000_000u64;
+        while lo + 10_000 < hi {
+            let mid = (lo + hi) / 2;
+            if mean_latency(&model, s, mid) <= SLO_MS {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let added = lo.saturating_sub(prev);
+        if prev > 0 {
+            total_added += added;
+        }
+        rows.push(vec![s.to_string(), lo.to_string(), fmt(added as f64)]);
+        prev = lo;
+    }
+    print_table(
+        "Figure 11a: max objects under 160ms mean latency vs subORAMs (1 LB)",
+        &["subORAMs", "max objects", "added by this subORAM"],
+        &rows,
+    );
+    write_csv("fig11a_data_scaling", &["suborams", "max_objects", "delta"], &rows);
+    if counts.len() > 1 {
+        println!(
+            "\nmean objects added per subORAM: {} (paper: ~191K); at S=15 paper stores 2.8M",
+            fmt(total_added as f64 / (counts.len() - 1) as f64)
+        );
+    }
+}

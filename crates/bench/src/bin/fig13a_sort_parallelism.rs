@@ -1,0 +1,74 @@
+//! Figure 13a: real, measured bitonic-sort time with 1/2/3 threads and the
+//! adaptive policy, over 2^10..2^16 elements.
+//!
+//! Paper shape: multithreading *hurts* below a few thousand elements
+//! (coordination costs) and wins above; the adaptive line tracks the lower
+//! envelope. Elements here are (key, 160-byte payload) pairs like the load
+//! balancer's work items.
+
+use snoopy_bench::{fmt, print_table, quick_mode, time_ms, write_csv};
+use snoopy_obliv::ct::{ct_lt_u64, Choice};
+use snoopy_obliv::impl_cmov_struct;
+use snoopy_obliv::sort::{osort_adaptive, osort_by, osort_parallel};
+
+#[derive(Clone)]
+struct Item {
+    key: u64,
+    payload: Vec<u8>,
+}
+
+impl_cmov_struct!(Item { key, payload });
+
+fn items(n: usize) -> Vec<Item> {
+    (0..n as u64)
+        .map(|i| Item { key: i.wrapping_mul(0x9E3779B97F4A7C15), payload: vec![(i % 251) as u8; 160] })
+        .collect()
+}
+
+fn gt(a: &Item, b: &Item) -> Choice {
+    ct_lt_u64(b.key, a.key)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("available parallelism on this host: {cores} core(s)");
+    if cores == 1 {
+        println!("NOTE: single-core environment — thread variants are correctness-checked but cannot show wall-clock speedup here.");
+    }
+    let max_pow = if quick_mode() { 13 } else { 16 };
+    let sizes: Vec<usize> = (10..=max_pow).map(|p| 1usize << p).collect();
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let base = items(n);
+        let (_, t1) = time_ms(|| {
+            let mut v = base.clone();
+            osort_by(&mut v, &gt);
+            v
+        });
+        let (_, t2) = time_ms(|| {
+            let mut v = base.clone();
+            osort_parallel(&mut v, &gt, 2);
+            v
+        });
+        let (_, t3) = time_ms(|| {
+            let mut v = base.clone();
+            osort_parallel(&mut v, &gt, 3);
+            v
+        });
+        let (_, ta) = time_ms(|| {
+            let mut v = base.clone();
+            osort_adaptive(&mut v, &gt, 3);
+            v
+        });
+        rows.push(vec![n.to_string(), fmt(t1), fmt(t2), fmt(t3), fmt(ta)]);
+        println!("n={n}: 1thr {} ms | 2thr {} ms | 3thr {} ms | adaptive {} ms", fmt(t1), fmt(t2), fmt(t3), fmt(ta));
+    }
+    print_table(
+        "Figure 13a: measured bitonic sort time (ms), 160B payloads",
+        &["elements", "1 thread", "2 threads", "3 threads", "adaptive"],
+        &rows,
+    );
+    write_csv("fig13a_sort_parallelism", &["elements", "t1_ms", "t2_ms", "t3_ms", "adaptive_ms"], &rows);
+    println!("\npaper shape: threads win only above a few thousand elements; adaptive hugs the minimum.");
+}

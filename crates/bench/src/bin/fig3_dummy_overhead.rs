@@ -1,0 +1,42 @@
+//! Figure 3: dummy request overhead (%) vs. number of real requests, for
+//! S ∈ {2, 10, 20} subORAMs at λ = 128.
+//!
+//! Paper shape: overhead falls steeply as R grows (≈200% at tiny R down
+//! toward tens of percent by R = 10K), and more subORAMs means more overhead.
+
+use snoopy_bench::{fmt, print_table, write_csv};
+use snoopy_binning::sweep::figure3_sweep;
+
+fn main() {
+    let request_counts: Vec<u64> = (1..=20).map(|i| i * 500).collect();
+    let suborams = [2u64, 10, 20];
+    let pts = figure3_sweep(&request_counts, &suborams, 128);
+
+    let mut rows = Vec::new();
+    for r in &request_counts {
+        let mut row = vec![r.to_string()];
+        for s in suborams {
+            let p = pts
+                .iter()
+                .find(|p| p.real_requests == *r && p.suborams == s)
+                .unwrap();
+            row.push(fmt(p.overhead_pct));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 3: % dummy overhead vs real requests (λ=128)",
+        &["requests", "S=2 (%)", "S=10 (%)", "S=20 (%)"],
+        &rows,
+    );
+    write_csv("fig3_dummy_overhead", &["requests", "s2_pct", "s10_pct", "s20_pct"], &rows);
+
+    // Shape summary.
+    let first = pts.iter().find(|p| p.suborams == 20 && p.real_requests == 500).unwrap();
+    let last = pts.iter().find(|p| p.suborams == 20 && p.real_requests == 10_000).unwrap();
+    println!(
+        "\nshape: S=20 overhead falls {} % -> {} % as R grows 500 -> 10000 (paper: ~200% -> tens of %)",
+        fmt(first.overhead_pct),
+        fmt(last.overhead_pct)
+    );
+}

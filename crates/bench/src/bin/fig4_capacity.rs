@@ -1,0 +1,39 @@
+//! Figure 4: total real-request capacity of an epoch vs. subORAM count, for
+//! λ ∈ {0 (no security), 80, 128}, assuming each subORAM absorbs ≤ 1K
+//! requests per epoch.
+//!
+//! Paper shape: λ=0 is the straight plaintext line (S·1000); secure lines
+//! grow with S but sublinearly — "adding subORAMs is not free".
+
+use snoopy_bench::{print_table, write_csv};
+use snoopy_binning::sweep::figure4_sweep;
+
+fn main() {
+    let suborams: Vec<u64> = (1..=20).collect();
+    let lambdas = [0u32, 80, 128];
+    let pts = figure4_sweep(&suborams, &lambdas, 1000);
+
+    let mut rows = Vec::new();
+    for s in &suborams {
+        let mut row = vec![s.to_string()];
+        for l in lambdas {
+            let p = pts.iter().find(|p| p.suborams == *s && p.lambda == l).unwrap();
+            row.push(p.capacity.to_string());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 4: real request capacity vs subORAMs (≤1K reqs/subORAM/epoch)",
+        &["subORAMs", "λ=0", "λ=80", "λ=128"],
+        &rows,
+    );
+    write_csv("fig4_capacity", &["suborams", "lambda0", "lambda80", "lambda128"], &rows);
+
+    let at20 = |l: u32| pts.iter().find(|p| p.suborams == 20 && p.lambda == l).unwrap().capacity;
+    println!(
+        "\nshape: at S=20 capacity is {} (λ=0) vs {} (λ=128): security costs {:.0}% capacity (paper: ~20K vs ~15K)",
+        at20(0),
+        at20(128),
+        100.0 * (1.0 - at20(128) as f64 / at20(0) as f64)
+    );
+}

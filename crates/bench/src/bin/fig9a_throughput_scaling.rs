@@ -1,0 +1,78 @@
+//! Figure 9a: Snoopy throughput vs. machine count (2M × 160-byte objects)
+//! under mean-latency SLOs of 300 ms / 500 ms / 1 s, with the Obladi
+//! (2 machines) and Oblix (1 machine) reference lines — plus the paper's
+//! §1/§8.2 headline numbers.
+//!
+//! Paper shape: near-linear scaling from 4 to 18 machines (each machine adds
+//! ~8.6K reqs/s at the 1 s SLO), ending around 68K / 92K / 130K reqs/s at 18
+//! machines; Snoopy passes Oblix at ≥5 and Obladi at ≥6 machines for the
+//! 300 ms SLO. This run uses the calibrated discrete-event simulation (see
+//! `snoopy-netsim`); absolute numbers are calibrated, the scaling shape is
+//! the result.
+
+use snoopy_bench::cluster_sweep::best_throughput;
+use snoopy_bench::{fmt, print_table, quick_mode, write_csv};
+use snoopy_netsim::cluster::SubKind;
+use snoopy_netsim::costmodel::CostModel;
+
+fn main() {
+    let model = CostModel::paper_calibrated();
+    let objects = 2_000_000u64;
+    let slos = [300.0f64, 500.0, 1000.0];
+    let machine_counts: Vec<usize> = if quick_mode() {
+        vec![4, 8, 12, 18]
+    } else {
+        (4..=18).collect()
+    };
+
+    let obladi_tput = 500.0 * 1e9 / model.obladi_batch_ns;
+    let oblix_tput = 1e9 / model.oblix_access_ns;
+
+    let mut rows = Vec::new();
+    let mut headline = None;
+    for &m in &machine_counts {
+        let mut row = vec![m.to_string()];
+        for &slo in &slos {
+            let (l, s, rate, rep) =
+                best_throughput(m, objects, slo, SubKind::SnoopyScan, &model, 6);
+            row.push(format!("{} ({}L/{}S)", fmt(rate), l, s));
+            if m == 18 && slo == 500.0 {
+                headline = Some((rate, rep.mean_latency_ms));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 9a: throughput (reqs/s) vs machines, 2M x 160B objects",
+        &["machines", "SLO 300ms", "SLO 500ms", "SLO 1000ms"],
+        &rows,
+    );
+    println!("\nreference lines: Obladi (2 machines) = {} reqs/s, Oblix (1 machine) = {} reqs/s", fmt(obladi_tput), fmt(oblix_tput));
+    write_csv(
+        "fig9a_throughput_scaling",
+        &["machines", "slo300", "slo500", "slo1000"],
+        &rows,
+    );
+
+    if let Some((rate, lat)) = headline {
+        println!("\n== headline (§1/§8.2) ==");
+        println!(
+            "18 machines, 500ms SLO: {} reqs/s at mean latency {} ms  (paper: 92K reqs/s < 500ms)",
+            fmt(rate),
+            fmt(lat)
+        );
+        println!(
+            "improvement over Obladi: {:.1}x  (paper: 13.7x)",
+            rate / obladi_tput
+        );
+    }
+
+    // Per-machine scaling slope at the 1s SLO.
+    let first = &rows[0];
+    let last = &rows[rows.len() - 1];
+    let parse = |cell: &str| cell.split(' ').next().unwrap().parse::<f64>().unwrap_or(0.0);
+    let m0: f64 = first[0].parse().unwrap();
+    let m1: f64 = last[0].parse().unwrap();
+    let slope = (parse(&last[3]) - parse(&first[3])) / (m1 - m0);
+    println!("scaling slope @1s SLO: {} reqs/s per added machine (paper: ~8.6K)", fmt(slope));
+}

@@ -1,0 +1,138 @@
+//! Branch 0 of the Lambert W function, `W₀(x)` for `x ≥ −1/e`.
+//!
+//! `W(x)` is the inverse of `w ↦ w·e^w` (Corless et al. 1996, the paper's
+//! [23]). Theorem 3 uses `W₀` to invert the Chernoff exponent when solving
+//! for the smallest safe batch size. We evaluate with a Halley iteration from
+//! a piecewise initial guess; convergence is quadratic-plus and reaches
+//! `1e-12` relative accuracy in < 10 iterations across the domain.
+
+/// Evaluates branch 0 of the Lambert W function.
+///
+/// Domain: `x >= -1/e` (≈ −0.36788). Values slightly below −1/e (within
+/// 1e-12) are clamped to the branch point; values further below panic, since
+/// in this codebase such an argument is always a logic error upstream.
+pub fn lambert_w0(x: f64) -> f64 {
+    let branch_point = -(-1.0f64).exp(); // -1/e
+    if x < branch_point {
+        assert!(
+            x >= branch_point - 1e-12,
+            "lambert_w0 argument {x} below -1/e"
+        );
+        return -1.0;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+
+    // Initial guess.
+    let mut w = if x < -0.25 {
+        // Near the branch point: series in sqrt(2(ex + 1)).
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).max(0.0).sqrt();
+        -1.0 + p - p * p / 3.0 + 11.0 / 72.0 * p * p * p
+    } else if x < 2.0 {
+        // Moderate region: ln(1+x) tracks W well and stays finite
+        // (x > -0.25 here, so the argument is positive).
+        (1.0 + x).ln()
+    } else {
+        // Large x: W ≈ ln x − ln ln x (safe: ln x > 0.69 here).
+        let l1 = x.ln();
+        let l2 = l1.ln();
+        l1 - l2 + l2 / l1
+    };
+
+    // Halley iteration: w -= f/(f' - f f''/(2f')) with f = w e^w - x.
+    for _ in 0..40 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        if f == 0.0 {
+            break;
+        }
+        let wp1 = w + 1.0;
+        let denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1);
+        let step = f / denom;
+        if !step.is_finite() {
+            break;
+        }
+        w -= step;
+        if step.abs() <= 1e-14 * (1.0 + w.abs()) {
+            break;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + b.abs())
+    }
+
+    #[test]
+    fn known_values() {
+        assert!(close(lambert_w0(0.0), 0.0, 1e-14));
+        assert!(close(lambert_w0(std::f64::consts::E), 1.0, 1e-12));
+        // The omega constant: W(1) = 0.5671432904097838...
+        assert!(close(lambert_w0(1.0), 0.567_143_290_409_783_8, 1e-12));
+        // W(-1/e) = -1 at the branch point.
+        assert!(close(lambert_w0(-(-1.0f64).exp()), -1.0, 1e-6));
+        // W(2 e^2) = 2, W(10 e^10) = 10.
+        assert!(close(lambert_w0(2.0 * 2.0f64.exp()), 2.0, 1e-12));
+        assert!(close(lambert_w0(10.0 * 10.0f64.exp()), 10.0, 1e-12));
+    }
+
+    #[test]
+    fn inverse_property_dense_sweep() {
+        // W(w e^w) == w for w across the branch-0 range.
+        let mut w = -0.999f64;
+        while w < 50.0 {
+            let x = w * w.exp();
+            let back = lambert_w0(x);
+            assert!(close(back, w, 1e-8), "w={w}: got {back}");
+            w += 0.0373;
+        }
+    }
+
+    #[test]
+    fn forward_property_dense_sweep() {
+        // W(x) e^{W(x)} == x.
+        let mut x = -0.367f64;
+        while x < 1.0 {
+            let w = lambert_w0(x);
+            let fwd = w * w.exp();
+            assert!(close(fwd, x, 1e-9), "x={x}: W={w}, W e^W = {fwd}");
+            x += 0.0131;
+        }
+        while x < 1e6 {
+            let w = lambert_w0(x);
+            let fwd = w * w.exp();
+            assert!(close(fwd, x, 1e-9), "x={x}: W={w}, W e^W = {fwd}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn monotone_increasing() {
+        let mut prev = lambert_w0(-0.367);
+        let mut x = -0.36f64;
+        while x < 100.0 {
+            let w = lambert_w0(x);
+            assert!(w >= prev, "not monotone at {x}");
+            prev = w;
+            x += 0.11;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below -1/e")]
+    fn below_branch_point_panics() {
+        lambert_w0(-0.5);
+    }
+
+    #[test]
+    fn clamps_fp_wobble_at_branch_point() {
+        let bp = -(-1.0f64).exp();
+        assert_eq!(lambert_w0(bp - 1e-13), -1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Parameter sweeps behind Figures 3 and 4, reusable by the bench harness and
+//! the planner.
+
+use crate::{batch_size, dummy_overhead, epoch_capacity};
+
+/// One point of the Figure 3 sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverheadPoint {
+    /// Number of real (distinct) requests.
+    pub real_requests: u64,
+    /// Number of subORAMs.
+    pub suborams: u64,
+    /// Per-subORAM batch size f(R,S).
+    pub batch_size: u64,
+    /// Dummy overhead as a percentage (Figure 3's y-axis).
+    pub overhead_pct: f64,
+}
+
+/// Sweeps dummy overhead over request counts for each subORAM count
+/// (Figure 3: λ=128, S ∈ {2,10,20}, R up to 10K).
+pub fn figure3_sweep(request_counts: &[u64], suboram_counts: &[u64], lambda: u32) -> Vec<OverheadPoint> {
+    let mut out = Vec::new();
+    for &s in suboram_counts {
+        for &r in request_counts {
+            out.push(OverheadPoint {
+                real_requests: r,
+                suborams: s,
+                batch_size: batch_size(r, s, lambda),
+                overhead_pct: dummy_overhead(r, s, lambda) * 100.0,
+            });
+        }
+    }
+    out
+}
+
+/// One point of the Figure 4 sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CapacityPoint {
+    /// Number of subORAMs.
+    pub suborams: u64,
+    /// Security parameter.
+    pub lambda: u32,
+    /// Total real-request capacity of an epoch (Figure 4's y-axis).
+    pub capacity: u64,
+}
+
+/// Sweeps epoch capacity over subORAM counts for each security parameter
+/// (Figure 4: λ ∈ {0, 80, 128}, ≤1K requests per subORAM per epoch).
+pub fn figure4_sweep(suboram_counts: &[u64], lambdas: &[u32], per_suboram: u64) -> Vec<CapacityPoint> {
+    let mut out = Vec::new();
+    for &lambda in lambdas {
+        for &s in suboram_counts {
+            out.push(CapacityPoint {
+                suborams: s,
+                lambda,
+                capacity: epoch_capacity(s, lambda, per_suboram),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_shape() {
+        let pts = figure3_sweep(&[1_000, 5_000, 10_000], &[2, 10, 20], 128);
+        assert_eq!(pts.len(), 9);
+        // Within one S, overhead decreases with R.
+        for s in [2u64, 10, 20] {
+            let series: Vec<f64> = pts
+                .iter()
+                .filter(|p| p.suborams == s)
+                .map(|p| p.overhead_pct)
+                .collect();
+            assert!(series.windows(2).all(|w| w[1] <= w[0] + 1e-9), "S={s}: {series:?}");
+        }
+        // At fixed R, overhead grows with S.
+        let at_10k: Vec<f64> = pts
+            .iter()
+            .filter(|p| p.real_requests == 10_000)
+            .map(|p| p.overhead_pct)
+            .collect();
+        assert!(at_10k[0] <= at_10k[1] && at_10k[1] <= at_10k[2]);
+    }
+
+    #[test]
+    fn figure4_shape() {
+        let pts = figure4_sweep(&[1, 5, 10, 15, 20], &[0, 80, 128], 1000);
+        assert_eq!(pts.len(), 15);
+        // λ=0 line is exactly linear (plaintext capacity).
+        for p in pts.iter().filter(|p| p.lambda == 0) {
+            assert_eq!(p.capacity, p.suborams * 1000);
+        }
+        // Secure lines sit below plaintext and are ordered λ=80 ≥ λ=128.
+        for &s in &[5u64, 10, 20] {
+            let get = |l: u32| {
+                pts.iter()
+                    .find(|p| p.suborams == s && p.lambda == l)
+                    .unwrap()
+                    .capacity
+            };
+            assert!(get(128) <= get(80));
+            assert!(get(80) <= get(0));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Deployment configuration.
+
+/// Parameters of a Snoopy deployment. All fields are public information in
+//  the paper's security model (§2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnoopyConfig {
+    /// Number of load balancers (`L`). Each scales independently (§4.3).
+    pub num_load_balancers: usize,
+    /// Number of subORAMs (`S`), i.e. data partitions.
+    pub num_suborams: usize,
+    /// Object size in bytes (the paper's evaluation default is 160).
+    pub value_len: usize,
+    /// Security parameter λ for every balls-into-bins bound (default 128).
+    pub lambda: u32,
+    /// Keep subORAM partitions AEAD-sealed in untrusted memory (the paper's
+    /// deployment, §7) instead of in modeled enclave memory. Slower but
+    /// exercises the integrity path.
+    pub external_storage: bool,
+}
+
+impl Default for SnoopyConfig {
+    fn default() -> Self {
+        SnoopyConfig {
+            num_load_balancers: 1,
+            num_suborams: 1,
+            value_len: 160,
+            lambda: 128,
+            external_storage: false,
+        }
+    }
+}
+
+impl SnoopyConfig {
+    /// Convenience constructor for the common (L, S) sweep.
+    pub fn with_machines(num_load_balancers: usize, num_suborams: usize) -> SnoopyConfig {
+        SnoopyConfig { num_load_balancers, num_suborams, ..Default::default() }
+    }
+
+    /// Sets the object size.
+    pub fn value_len(mut self, value_len: usize) -> SnoopyConfig {
+        self.value_len = value_len;
+        self
+    }
+
+    /// Sets the security parameter.
+    pub fn lambda(mut self, lambda: u32) -> SnoopyConfig {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Enables external (sealed, integrity-checked) partition storage.
+    pub fn external_storage(mut self, on: bool) -> SnoopyConfig {
+        self.external_storage = on;
+        self
+    }
+
+    /// Total machine count as the paper counts it (L + S).
+    pub fn machines(&self) -> usize {
+        self.num_load_balancers + self.num_suborams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_evaluation() {
+        let c = SnoopyConfig::default();
+        assert_eq!(c.value_len, 160);
+        assert_eq!(c.lambda, 128);
+        assert_eq!(c.machines(), 2);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SnoopyConfig::with_machines(3, 5).value_len(32).lambda(80).external_storage(true);
+        assert_eq!(c.num_load_balancers, 3);
+        assert_eq!(c.num_suborams, 5);
+        assert_eq!(c.value_len, 32);
+        assert_eq!(c.lambda, 80);
+        assert!(c.external_storage);
+        assert_eq!(c.machines(), 8);
+    }
+}

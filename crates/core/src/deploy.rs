@@ -1,0 +1,459 @@
+//! The in-process cluster: Snoopy's deployment topology on OS threads.
+//!
+//! Every load balancer and every subORAM runs on its own thread ("machine"),
+//! connected by channels standing in for the datacenter network. Batches and
+//! responses crossing a link are serialized and AEAD-sealed with a per-link
+//! key (established at deployment time via the attestation stub — §3.1's
+//! encrypted, replay-protected channels) with per-link sequence numbers as
+//! nonces. An epoch ticker drives the system; clients get blocking handles.
+//!
+//! The concurrent execution must be *observably identical* to the synchronous
+//! reference engine ([`crate::system::Snoopy`]): subORAMs process each
+//! epoch's batches in load-balancer order, and responses only depend on epoch
+//! boundaries — integration tests check exactly this.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use snoopy_crypto::aead::{AeadKey, Nonce};
+use snoopy_crypto::{Key256, Prg};
+use snoopy_enclave::wire::{decode_request, encode_request, Request, Response, StoredObject};
+use snoopy_lb::{partition_objects, LoadBalancer};
+use snoopy_suboram::SubOram;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::config::SnoopyConfig;
+
+/// Messages into a load-balancer thread.
+enum LbMsg {
+    /// A client request plus the channel to answer on.
+    Client(Request, Sender<Response>),
+    /// Epoch boundary.
+    Tick(u64),
+    /// Terminate.
+    Shutdown,
+}
+
+/// Messages into a subORAM thread.
+enum SubMsg {
+    /// A sealed batch from balancer `lb` for epoch `epoch`.
+    Batch { lb: usize, epoch: u64, sealed: snoopy_crypto::aead::SealedBox },
+    Shutdown,
+}
+
+/// A sealed response batch back to a balancer.
+struct RespMsg {
+    suboram: usize,
+    sealed: snoopy_crypto::aead::SealedBox,
+}
+
+/// Per-link AEAD channel with sequence-number nonces (replay protection).
+struct Link {
+    key: AeadKey,
+    channel_id: u32,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+impl Link {
+    fn pair(key: Key256, channel_id: u32) -> (Link, Link) {
+        let k = AeadKey::new(key);
+        (
+            Link { key: k.clone(), channel_id, send_seq: 0, recv_seq: 0 },
+            Link { key: k, channel_id, send_seq: 0, recv_seq: 0 },
+        )
+    }
+
+    fn seal(&mut self, batch: &[Request]) -> snoopy_crypto::aead::SealedBox {
+        let mut plain = Vec::new();
+        for r in batch {
+            plain.extend_from_slice(&encode_request(r));
+        }
+        let nonce = Nonce::from_parts(self.channel_id, self.send_seq);
+        self.send_seq += 1;
+        self.key.seal(nonce, &(batch.len() as u64).to_le_bytes(), &plain)
+    }
+
+    fn open(&mut self, sealed: &snoopy_crypto::aead::SealedBox, value_len: usize) -> Vec<Request> {
+        let nonce = Nonce::from_parts(self.channel_id, self.recv_seq);
+        self.recv_seq += 1;
+        let frame = 40 + value_len;
+        // The AAD binds the batch length; it is recomputed from the (public)
+        // ciphertext length. A failure here means the untrusted network
+        // tampered with, reordered, or replayed a message; the enclave cannot
+        // proceed safely.
+        let n = (sealed.bytes.len().saturating_sub(16)) / frame;
+        let plain = self
+            .key
+            .open(nonce, &(n as u64).to_le_bytes(), sealed)
+            .expect("link integrity failure: tampered or replayed batch");
+        plain
+            .chunks(frame)
+            .map(|c| decode_request(c, value_len).expect("malformed request frame"))
+            .collect()
+    }
+}
+
+/// Handle for submitting requests to the cluster.
+#[derive(Clone)]
+pub struct ClientHandle {
+    lb_senders: Vec<Sender<LbMsg>>,
+    value_len: usize,
+    next: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl ClientHandle {
+    fn pick_lb(&self) -> &Sender<LbMsg> {
+        // Clients choose a balancer uniformly (here: round-robin over the
+        // shared counter, which load-balances identically).
+        let i = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed) as usize;
+        &self.lb_senders[i % self.lb_senders.len()]
+    }
+
+    /// Submits a read and blocks until the epoch containing it commits.
+    pub fn read(&self, id: u64) -> Vec<u8> {
+        self.read_async(id).recv().expect("cluster shut down").value
+    }
+
+    /// Submits a write and blocks for its commit; returns the pre-write value.
+    pub fn write(&self, id: u64, payload: &[u8]) -> Vec<u8> {
+        self.write_async(id, payload).recv().expect("cluster shut down").value
+    }
+
+    /// Non-blocking read: returns the response channel.
+    pub fn read_async(&self, id: u64) -> Receiver<Response> {
+        let (tx, rx) = unbounded();
+        let req = Request::read(id, self.value_len, 0, 0);
+        self.pick_lb().send(LbMsg::Client(req, tx)).expect("cluster shut down");
+        rx
+    }
+
+    /// Non-blocking write.
+    pub fn write_async(&self, id: u64, payload: &[u8]) -> Receiver<Response> {
+        let (tx, rx) = unbounded();
+        let req = Request::write(id, payload, self.value_len, 0, 0);
+        self.pick_lb().send(LbMsg::Client(req, tx)).expect("cluster shut down");
+        rx
+    }
+}
+
+/// The running cluster.
+pub struct InProcessCluster {
+    lb_senders: Vec<Sender<LbMsg>>,
+    sub_senders: Vec<Sender<SubMsg>>,
+    threads: Vec<JoinHandle<()>>,
+    ticker_stop: Option<Sender<()>>,
+    ticker: Option<JoinHandle<()>>,
+    epoch: u64,
+    value_len: usize,
+}
+
+impl InProcessCluster {
+    /// Boots the cluster: `L` balancer threads, `S` subORAM threads, sealed
+    /// links between every pair.
+    pub fn start(config: SnoopyConfig, objects: Vec<StoredObject>, seed: u64) -> InProcessCluster {
+        let l = config.num_load_balancers;
+        let s = config.num_suborams;
+        let mut prg = Prg::from_seed(seed);
+        let shared_key = Key256::random(&mut prg);
+        let parts = partition_objects(objects, &shared_key, s);
+
+        // Channels.
+        let (lb_txs, lb_rxs): (Vec<_>, Vec<_>) = (0..l).map(|_| unbounded::<LbMsg>()).unzip();
+        let (sub_txs, sub_rxs): (Vec<_>, Vec<_>) = (0..s).map(|_| unbounded::<SubMsg>()).unzip();
+        let (resp_txs, resp_rxs): (Vec<_>, Vec<_>) = (0..l).map(|_| unbounded::<RespMsg>()).unzip();
+
+        // Per-(lb, suboram) link keys, one for each direction.
+        let mut lb_links: Vec<Vec<Link>> = Vec::with_capacity(l);
+        let mut sub_links: Vec<Vec<Link>> = (0..s).map(|_| Vec::new()).collect();
+        let mut resp_links_lb: Vec<Vec<Link>> = Vec::with_capacity(l);
+        let mut resp_links_sub: Vec<Vec<Link>> = (0..s).map(|_| Vec::new()).collect();
+        for lb in 0..l {
+            let mut row = Vec::with_capacity(s);
+            let mut resp_row = Vec::with_capacity(s);
+            for sub in 0..s {
+                let chan = (lb * s + sub) as u32;
+                let (a, b) = Link::pair(Key256::random(&mut prg), chan);
+                row.push(a);
+                sub_links[sub].push(b);
+                let (c, d) = Link::pair(Key256::random(&mut prg), chan | 0x8000_0000);
+                resp_row.push(c);
+                resp_links_sub[sub].push(d);
+            }
+            lb_links.push(row);
+            resp_links_lb.push(resp_row);
+        }
+
+        let mut threads = Vec::new();
+
+        // SubORAM threads.
+        for (sub_idx, ((rx, part), mut links)) in sub_rxs
+            .into_iter()
+            .zip(parts.into_iter())
+            .zip(sub_links.into_iter())
+            .enumerate()
+        {
+            let mut resp_links = std::mem::take(&mut resp_links_sub[sub_idx]);
+            let resp_txs = resp_txs.clone();
+            let key = Key256::random(&mut prg);
+            let value_len = config.value_len;
+            let lambda = config.lambda;
+            let external = config.external_storage;
+            threads.push(std::thread::spawn(move || {
+                let mut oram = if external {
+                    SubOram::new_external(part, value_len, key, lambda)
+                } else {
+                    SubOram::new_in_enclave(part, value_len, key, lambda)
+                };
+                // Per-epoch buffer: batches indexed by balancer.
+                let mut pending: std::collections::HashMap<u64, Vec<Option<Vec<Request>>>> =
+                    std::collections::HashMap::new();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        SubMsg::Shutdown => break,
+                        SubMsg::Batch { lb, epoch, sealed } => {
+                            let batch = links[lb].open(&sealed, value_len);
+                            let slot = pending.entry(epoch).or_insert_with(|| vec![None; l]);
+                            slot[lb] = Some(batch);
+                            if slot.iter().all(|b| b.is_some()) {
+                                let batches = pending.remove(&epoch).unwrap();
+                                // Fixed balancer order (§4.3).
+                                for (lb_idx, batch) in batches.into_iter().enumerate() {
+                                    let batch = batch.unwrap();
+                                    let out = if batch.is_empty() {
+                                        Vec::new()
+                                    } else {
+                                        oram.batch_access(batch).expect("subORAM batch failed")
+                                    };
+                                    let sealed = resp_links[lb_idx].seal(&out);
+                                    resp_txs[lb_idx]
+                                        .send(RespMsg { suboram: sub_idx, sealed })
+                                        .expect("balancer gone");
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+
+        // Load-balancer threads.
+        for (lb_idx, ((rx, resp_rx), mut links)) in lb_rxs
+            .into_iter()
+            .zip(resp_rxs.into_iter())
+            .zip(lb_links.into_iter())
+            .enumerate()
+        {
+            let mut resp_links = std::mem::take(&mut resp_links_lb[lb_idx]);
+            let sub_txs = sub_txs.clone();
+            let shared_key = shared_key.clone();
+            let value_len = config.value_len;
+            let lambda = config.lambda;
+            threads.push(std::thread::spawn(move || {
+                let balancer = LoadBalancer::new(&shared_key, s, value_len, lambda);
+                let mut pending: Vec<(Request, Sender<Response>)> = Vec::new();
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        LbMsg::Shutdown => break,
+                        LbMsg::Client(mut req, reply) => {
+                            // The client handle is the pending index so the
+                            // matched response routes back.
+                            req.client = pending.len() as u64;
+                            pending.push((req, reply));
+                        }
+                        LbMsg::Tick(epoch) => {
+                            let requests: Vec<Request> =
+                                pending.iter().map(|(r, _)| r.clone()).collect();
+                            let batches =
+                                balancer.make_batches(&requests).expect("batch overflow");
+                            let empty_epoch = requests.is_empty();
+                            for (sub, batch) in batches.into_iter().enumerate() {
+                                let sealed = links[sub].seal(&batch);
+                                sub_txs[sub]
+                                    .send(SubMsg::Batch { lb: lb_idx, epoch, sealed })
+                                    .expect("subORAM gone");
+                            }
+                            // Collect all S response batches for this epoch.
+                            let mut responses: Vec<Vec<Request>> = vec![Vec::new(); s];
+                            for _ in 0..s {
+                                let RespMsg { suboram, sealed } =
+                                    resp_rx.recv().expect("subORAM gone");
+                                responses[suboram] = resp_links[suboram].open(&sealed, value_len);
+                            }
+                            if !empty_epoch {
+                                let matched = balancer.match_responses(&requests, responses);
+                                let waiting = std::mem::take(&mut pending);
+                                for resp in matched {
+                                    let (_, reply) = &waiting[resp.client as usize];
+                                    // Clients may have given up; ignore.
+                                    let _ = reply.send(resp);
+                                }
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+
+        InProcessCluster {
+            lb_senders: lb_txs,
+            sub_senders: sub_txs,
+            threads,
+            ticker_stop: None,
+            ticker: None,
+            epoch: 0,
+            value_len: config.value_len,
+        }
+    }
+
+    /// A client handle (cheaply cloneable).
+    pub fn client(&self) -> ClientHandle {
+        ClientHandle {
+            lb_senders: self.lb_senders.clone(),
+            value_len: self.value_len,
+            next: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Manually closes the current epoch: all balancers batch what they have.
+    pub fn tick(&mut self) {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        for tx in &self.lb_senders {
+            let _ = tx.send(LbMsg::Tick(epoch));
+        }
+    }
+
+    /// Starts a background ticker closing epochs every `interval`.
+    pub fn start_ticker(&mut self, interval: Duration) {
+        let (stop_tx, stop_rx) = unbounded::<()>();
+        let lb_senders = self.lb_senders.clone();
+        let mut epoch = self.epoch;
+        // Reserve a large epoch range for the ticker so manual ticks (not
+        // recommended while a ticker runs) don't collide.
+        self.epoch += 1 << 32;
+        self.ticker_stop = Some(stop_tx);
+        self.ticker = Some(std::thread::spawn(move || loop {
+            match stop_rx.recv_timeout(interval) {
+                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    for tx in &lb_senders {
+                        let _ = tx.send(LbMsg::Tick(epoch));
+                    }
+                    epoch += 1;
+                }
+            }
+        }));
+    }
+
+    /// Shuts the cluster down, joining all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(stop) = self.ticker_stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        for tx in &self.lb_senders {
+            let _ = tx.send(LbMsg::Shutdown);
+        }
+        for tx in &self.sub_senders {
+            let _ = tx.send(SubMsg::Shutdown);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for InProcessCluster {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VLEN: usize = 32;
+
+    fn objects(n: u64) -> Vec<StoredObject> {
+        (0..n).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect()
+    }
+
+    fn payload(bytes: &[u8]) -> Vec<u8> {
+        let mut v = bytes.to_vec();
+        v.resize(VLEN, 0);
+        v
+    }
+
+    #[test]
+    fn read_after_manual_tick() {
+        let cfg = SnoopyConfig::with_machines(1, 2).value_len(VLEN);
+        let mut cluster = InProcessCluster::start(cfg, objects(100), 1);
+        let client = cluster.client();
+        let rx = client.read_async(42);
+        cluster.tick();
+        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(resp.value, payload(&42u64.to_le_bytes()));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn write_then_read_across_epochs() {
+        let cfg = SnoopyConfig::with_machines(2, 2).value_len(VLEN);
+        let mut cluster = InProcessCluster::start(cfg, objects(50), 2);
+        let client = cluster.client();
+        let w = client.write_async(7, &[0xAB; 4]);
+        cluster.tick();
+        w.recv_timeout(Duration::from_secs(30)).unwrap();
+        let r = client.read_async(7);
+        cluster.tick();
+        let resp = r.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(resp.value, payload(&[0xAB; 4]));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ticker_drives_blocking_clients() {
+        let cfg = SnoopyConfig::with_machines(2, 3).value_len(VLEN);
+        let mut cluster = InProcessCluster::start(cfg, objects(200), 3);
+        cluster.start_ticker(Duration::from_millis(5));
+        let client = cluster.client();
+        let pre = client.write(9, &[1, 2, 3]);
+        assert_eq!(pre, payload(&9u64.to_le_bytes()));
+        assert_eq!(client.read(9), payload(&[1, 2, 3]));
+        // Concurrent clients.
+        let mut rxs = Vec::new();
+        for i in 0..20u64 {
+            rxs.push((i, client.read_async(i)));
+        }
+        for (i, rx) in rxs {
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let want = if i == 9 { payload(&[1, 2, 3]) } else { payload(&i.to_le_bytes()) };
+            assert_eq!(resp.value, want, "id {i}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn empty_epochs_do_not_wedge() {
+        let cfg = SnoopyConfig::with_machines(2, 2).value_len(VLEN);
+        let mut cluster = InProcessCluster::start(cfg, objects(10), 4);
+        for _ in 0..5 {
+            cluster.tick();
+        }
+        let client = cluster.client();
+        let rx = client.read_async(3);
+        cluster.tick();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).unwrap().value,
+            payload(&3u64.to_le_bytes())
+        );
+        cluster.shutdown();
+    }
+}

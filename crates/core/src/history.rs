@@ -1,0 +1,165 @@
+//! Linearizability checking (paper Appendix C).
+//!
+//! The paper proves Snoopy linearizable by exhibiting a total order over
+//! operations: sort by **(epoch, load balancer id, reads-before-writes,
+//! arrival index)** and show the order respects both real time and hashmap
+//! semantics. This module implements that order as an executable checker:
+//! given the operations of a run (with the epoch/balancer/arrival coordinates
+//! the deployment assigns) it replays them against a sequential hashmap and
+//! verifies every read returned the latest written value.
+
+use std::collections::HashMap;
+
+/// Operation kind in a history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// A read that returned `returned`.
+    Read {
+        /// The value the system returned.
+        returned: Vec<u8>,
+    },
+    /// A write of `value`.
+    Write {
+        /// The value written.
+        value: Vec<u8>,
+    },
+}
+
+/// One completed operation with its linearization coordinates.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Epoch in which the operation committed.
+    pub epoch: u64,
+    /// Load balancer that served it.
+    pub lb: u64,
+    /// Arrival index within (epoch, lb).
+    pub arrival: u64,
+    /// Object id.
+    pub id: u64,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+/// Violation report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Human-readable description of the first violated read.
+    pub message: String,
+}
+
+/// Checks a history against the Appendix C linearization order, starting
+/// from `initial` state (absent ids read as `zeros`). Returns the first
+/// violation found, if any.
+pub fn check_linearizable(
+    ops: &[OpRecord],
+    initial: &HashMap<u64, Vec<u8>>,
+    value_len: usize,
+) -> Result<(), Violation> {
+    let mut sorted: Vec<&OpRecord> = ops.iter().collect();
+    // (epoch, lb, reads-before-writes, arrival)
+    sorted.sort_by_key(|o| {
+        let write_bit = match o.kind {
+            OpKind::Read { .. } => 0u8,
+            OpKind::Write { .. } => 1u8,
+        };
+        (o.epoch, o.lb, write_bit, o.arrival)
+    });
+    let zeros = vec![0u8; value_len];
+    let mut state = initial.clone();
+    for op in sorted {
+        match &op.kind {
+            OpKind::Read { returned } => {
+                let want = state.get(&op.id).unwrap_or(&zeros);
+                if returned != want {
+                    return Err(Violation {
+                        message: format!(
+                            "read of {} at (epoch {}, lb {}, arrival {}) returned {:02x?}… expected {:02x?}…",
+                            op.id,
+                            op.epoch,
+                            op.lb,
+                            op.arrival,
+                            &returned[..returned.len().min(8)],
+                            &want[..want.len().min(8)]
+                        ),
+                    });
+                }
+            }
+            OpKind::Write { value } => {
+                state.insert(op.id, value.clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(epoch: u64, lb: u64, arrival: u64, id: u64, kind: OpKind) -> OpRecord {
+        OpRecord { epoch, lb, arrival, id, kind }
+    }
+
+    #[test]
+    fn accepts_valid_history() {
+        let ops = vec![
+            rec(0, 0, 0, 1, OpKind::Read { returned: vec![0; 4] }),
+            rec(0, 0, 1, 1, OpKind::Write { value: vec![7; 4] }),
+            rec(1, 0, 0, 1, OpKind::Read { returned: vec![7; 4] }),
+        ];
+        assert!(check_linearizable(&ops, &HashMap::new(), 4).is_ok());
+    }
+
+    #[test]
+    fn reads_before_writes_within_epoch() {
+        // A read in the same (epoch, lb) as a write sees the PRE-write value.
+        let ops = vec![
+            rec(0, 0, 0, 5, OpKind::Write { value: vec![9; 4] }),
+            rec(0, 0, 1, 5, OpKind::Read { returned: vec![0; 4] }),
+        ];
+        assert!(check_linearizable(&ops, &HashMap::new(), 4).is_ok());
+        // ...and seeing the post-write value would violate the order.
+        let bad = vec![
+            rec(0, 0, 0, 5, OpKind::Write { value: vec![9; 4] }),
+            rec(0, 0, 1, 5, OpKind::Read { returned: vec![9; 4] }),
+        ];
+        assert!(check_linearizable(&bad, &HashMap::new(), 4).is_err());
+    }
+
+    #[test]
+    fn balancer_order_respected() {
+        // lb0's write precedes lb1's read in the same epoch.
+        let ops = vec![
+            rec(0, 0, 0, 5, OpKind::Write { value: vec![9; 4] }),
+            rec(0, 1, 0, 5, OpKind::Read { returned: vec![9; 4] }),
+        ];
+        assert!(check_linearizable(&ops, &HashMap::new(), 4).is_ok());
+    }
+
+    #[test]
+    fn last_write_wins_by_arrival() {
+        let ops = vec![
+            rec(0, 0, 0, 5, OpKind::Write { value: vec![1; 4] }),
+            rec(0, 0, 1, 5, OpKind::Write { value: vec![2; 4] }),
+            rec(1, 0, 0, 5, OpKind::Read { returned: vec![2; 4] }),
+        ];
+        assert!(check_linearizable(&ops, &HashMap::new(), 4).is_ok());
+    }
+
+    #[test]
+    fn detects_stale_read() {
+        let ops = vec![
+            rec(0, 0, 0, 5, OpKind::Write { value: vec![1; 4] }),
+            rec(1, 0, 0, 5, OpKind::Read { returned: vec![0; 4] }),
+        ];
+        let err = check_linearizable(&ops, &HashMap::new(), 4).unwrap_err();
+        assert!(err.message.contains("read of 5"));
+    }
+
+    #[test]
+    fn initial_state_respected() {
+        let initial: HashMap<u64, Vec<u8>> = [(3u64, vec![5u8; 4])].into_iter().collect();
+        let ops = vec![rec(0, 0, 0, 3, OpKind::Read { returned: vec![5; 4] })];
+        assert!(check_linearizable(&ops, &initial, 4).is_ok());
+    }
+}

@@ -1,0 +1,35 @@
+//! Snoopy, end to end.
+//!
+//! This crate assembles the oblivious load balancer (`snoopy-lb`) and the
+//! throughput-optimized subORAM (`snoopy-suboram`) into the full system of
+//! the paper:
+//!
+//! * [`config`] — deployment parameters (machine counts, object size, λ);
+//! * [`system`] — the reference engine: a deterministic, synchronous
+//!   implementation of Snoopy's epoch protocol (Fig. 21), used by the
+//!   correctness/linearizability tests and as the ground truth the threaded
+//!   deployment must match;
+//! * [`deploy`] — the in-process cluster: every load balancer and subORAM on
+//!   its own OS thread, AEAD-sealed links between them, an epoch ticker, and
+//!   blocking client handles;
+//! * [`access`] — the Appendix D access-control extension (recursive lookup
+//!   of an oblivious permission matrix, permission bits conditioning the
+//!   subORAM's compare-and-sets);
+//! * [`history`] — a linearizability checker implementing the Appendix C
+//!   linearization order (epoch, load balancer, reads-before-writes, arrival).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod config;
+pub mod deploy;
+pub mod history;
+pub mod planned;
+pub mod stats;
+pub mod system;
+
+pub use config::SnoopyConfig;
+pub use deploy::{ClientHandle, InProcessCluster};
+pub use planned::PlannedDeployment;
+pub use system::{Snoopy, SnoopyError};

@@ -1,0 +1,155 @@
+//! Planner-driven deployment: "an application developer needs to know how to
+//! configure the system to meet certain performance targets while minimizing
+//! cost" (§6). This module closes the loop: give performance requirements,
+//! get a running [`Snoopy`] (or threaded cluster) on the cheapest feasible
+//! configuration, with the chosen epoch length attached.
+
+use crate::config::SnoopyConfig;
+use crate::deploy::InProcessCluster;
+use crate::system::Snoopy;
+use snoopy_enclave::wire::StoredObject;
+use snoopy_netsim::costmodel::CostModel;
+use snoopy_planner::{plan, Plan, Prices, Requirements};
+
+/// A deployment plus the plan that sized it.
+#[derive(Debug)]
+pub struct PlannedDeployment {
+    /// The chosen configuration.
+    pub config: SnoopyConfig,
+    /// The plan (machine counts, epoch length, monthly cost).
+    pub plan: Plan,
+}
+
+/// Errors from planned deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlanningError {
+    /// No configuration within the machine budget meets the requirements.
+    Infeasible {
+        /// The machine budget that was searched.
+        max_machines: usize,
+    },
+}
+
+impl std::fmt::Display for PlanningError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanningError::Infeasible { max_machines } => {
+                write!(f, "no feasible configuration within {max_machines} machines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanningError {}
+
+impl PlannedDeployment {
+    /// Plans the cheapest configuration for `requirements` (searching up to
+    /// `max_machines` machines with the calibrated cost model and default
+    /// prices).
+    pub fn plan(requirements: &Requirements, value_len: usize, max_machines: usize) -> Result<Self, PlanningError> {
+        let model = {
+            let mut m = CostModel::paper_calibrated();
+            m.object_bytes = value_len as u64;
+            m
+        };
+        let plan = plan(requirements, &model, &Prices::default(), max_machines)
+            .ok_or(PlanningError::Infeasible { max_machines })?;
+        let config = SnoopyConfig {
+            num_load_balancers: plan.num_lbs,
+            num_suborams: plan.num_suborams,
+            value_len,
+            ..SnoopyConfig::default()
+        };
+        Ok(PlannedDeployment { config, plan })
+    }
+
+    /// The planned epoch length.
+    pub fn epoch(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.plan.epoch_ns)
+    }
+
+    /// Instantiates the synchronous engine on the planned configuration.
+    pub fn build(&self, objects: Vec<StoredObject>, seed: u64) -> Snoopy {
+        Snoopy::init(self.config, objects, seed)
+    }
+
+    /// Boots the threaded cluster on the planned configuration with the
+    /// planned epoch ticker already running.
+    pub fn start_cluster(&self, objects: Vec<StoredObject>, seed: u64) -> InProcessCluster {
+        let mut cluster = InProcessCluster::start(self.config, objects, seed);
+        cluster.start_ticker(self.epoch());
+        cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn objects(n: u64) -> Vec<StoredObject> {
+        (0..n).map(|i| StoredObject::new(i, &i.to_le_bytes(), 160)).collect()
+    }
+
+    #[test]
+    fn plans_and_builds() {
+        let req = Requirements {
+            min_throughput_rps: 10_000.0,
+            max_latency_ms: 1000.0,
+            num_objects: 100_000,
+        };
+        let planned = PlannedDeployment::plan(&req, 160, 30).unwrap();
+        assert!(planned.config.num_suborams >= 1);
+        assert!(planned.epoch().as_millis() > 0);
+        let mut sys = planned.build(objects(1000), 3);
+        let out = sys
+            .execute_epoch_single(vec![snoopy_enclave::wire::Request::read(5, 160, 0, 0)])
+            .unwrap();
+        assert_eq!(&out[0].value[..8], &5u64.to_le_bytes());
+    }
+
+    #[test]
+    fn infeasible_requirements_are_reported() {
+        let req = Requirements {
+            min_throughput_rps: 1e9,
+            max_latency_ms: 0.001,
+            num_objects: 1 << 30,
+        };
+        assert_eq!(
+            PlannedDeployment::plan(&req, 160, 8).unwrap_err(),
+            PlanningError::Infeasible { max_machines: 8 }
+        );
+    }
+
+    #[test]
+    fn higher_demand_plans_more_machines() {
+        let small = PlannedDeployment::plan(
+            &Requirements { min_throughput_rps: 2_000.0, max_latency_ms: 1000.0, num_objects: 100_000 },
+            160,
+            40,
+        )
+        .unwrap();
+        let big = PlannedDeployment::plan(
+            &Requirements { min_throughput_rps: 100_000.0, max_latency_ms: 1000.0, num_objects: 2_000_000 },
+            160,
+            40,
+        )
+        .unwrap();
+        assert!(big.config.machines() > small.config.machines());
+        assert!(big.plan.cost_per_month > small.plan.cost_per_month);
+    }
+
+    #[test]
+    fn planned_cluster_serves_requests() {
+        let req = Requirements {
+            min_throughput_rps: 1_000.0,
+            max_latency_ms: 500.0,
+            num_objects: 10_000,
+        };
+        let planned = PlannedDeployment::plan(&req, 160, 20).unwrap();
+        let cluster = planned.start_cluster(objects(1000), 5);
+        let client = cluster.client();
+        let v = client.read(7);
+        assert_eq!(&v[..8], &7u64.to_le_bytes());
+        cluster.shutdown();
+    }
+}

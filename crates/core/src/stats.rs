@@ -1,0 +1,132 @@
+//! Per-epoch telemetry.
+//!
+//! Operators of the real system watch exactly these quantities: how much of
+//! each batch is dummy padding (the security tax of Theorem 3), where epoch
+//! time goes (balancer pipelines vs. subORAM scans), and how request volume
+//! moves batch size. All values here are *public* under the paper's leakage
+//! definition (§2.1) — they are functions of request counts and
+//! configuration — so exporting them to monitoring leaks nothing new.
+
+use std::time::Duration;
+
+/// Statistics for one executed epoch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EpochStats {
+    /// Raw client requests received across all balancers.
+    pub requests: usize,
+    /// Per-subORAM batch size `f(R, S)` per balancer (0 for empty epochs).
+    pub batch_size: usize,
+    /// Total batch entries sent (`L_active · S · B`).
+    pub batch_entries_sent: usize,
+    /// Padding entries among them, computed as the PUBLIC quantity
+    /// `batch_entries_sent − min(R, batch_entries_sent)`. The *actual*
+    /// post-deduplication dummy count is secret (it would reveal how many
+    /// requests were duplicates) and is deliberately never collected.
+    pub dummy_entries: usize,
+    /// Wall-clock spent in balancer batch generation.
+    pub lb_make_time: Duration,
+    /// Wall-clock spent in subORAM batch processing.
+    pub suboram_time: Duration,
+    /// Wall-clock spent in balancer response matching.
+    pub lb_match_time: Duration,
+}
+
+impl EpochStats {
+    /// Dummy overhead as a fraction of real requests (Figure 3's quantity,
+    /// observed live).
+    pub fn dummy_overhead(&self) -> f64 {
+        let real = self.batch_entries_sent - self.dummy_entries;
+        if real == 0 {
+            0.0
+        } else {
+            self.dummy_entries as f64 / real as f64
+        }
+    }
+
+    /// Total epoch processing time.
+    pub fn total_time(&self) -> Duration {
+        self.lb_make_time + self.suboram_time + self.lb_match_time
+    }
+}
+
+/// Rolling aggregate over many epochs.
+#[derive(Clone, Debug, Default)]
+pub struct SystemStats {
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Total requests served.
+    pub requests: u64,
+    /// Total dummy entries sent.
+    pub dummies: u64,
+    /// Total batch entries sent.
+    pub batch_entries: u64,
+    /// Accumulated component times.
+    pub lb_make_time: Duration,
+    /// Accumulated subORAM time.
+    pub suboram_time: Duration,
+    /// Accumulated match time.
+    pub lb_match_time: Duration,
+}
+
+impl SystemStats {
+    /// Folds one epoch in.
+    pub fn absorb(&mut self, e: &EpochStats) {
+        self.epochs += 1;
+        self.requests += e.requests as u64;
+        self.dummies += e.dummy_entries as u64;
+        self.batch_entries += e.batch_entries_sent as u64;
+        self.lb_make_time += e.lb_make_time;
+        self.suboram_time += e.suboram_time;
+        self.lb_match_time += e.lb_match_time;
+    }
+
+    /// Lifetime dummy overhead.
+    pub fn dummy_overhead(&self) -> f64 {
+        let real = self.batch_entries - self.dummies;
+        if real == 0 {
+            0.0
+        } else {
+            self.dummies as f64 / real as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        let e = EpochStats {
+            requests: 10,
+            batch_size: 5,
+            batch_entries_sent: 15,
+            dummy_entries: 5,
+            ..Default::default()
+        };
+        assert!((e.dummy_overhead() - 0.5).abs() < 1e-12);
+        let mut s = SystemStats::default();
+        s.absorb(&e);
+        s.absorb(&e);
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.requests, 20);
+        assert!((s.dummy_overhead() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_epoch_overhead_zero() {
+        assert_eq!(EpochStats::default().dummy_overhead(), 0.0);
+        assert_eq!(SystemStats::default().dummy_overhead(), 0.0);
+    }
+
+    #[test]
+    fn total_time_sums() {
+        let e = EpochStats {
+            lb_make_time: Duration::from_millis(2),
+            suboram_time: Duration::from_millis(5),
+            lb_match_time: Duration::from_millis(3),
+            ..Default::default()
+        };
+        assert_eq!(e.total_time(), Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,139 @@
+//! The ChaCha20 stream cipher (RFC 8439 §2).
+//!
+//! ChaCha20 underlies both the AEAD channel encryption ([`crate::aead`]) and
+//! the deterministic PRG ([`crate::prg`]) used to simulate enclave-internal
+//! randomness reproducibly.
+
+/// The ChaCha20 block function operates on sixteen 32-bit words.
+const STATE_WORDS: usize = 16;
+/// "expand 32-byte k" — the RFC 8439 constants.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Size in bytes of one ChaCha20 keystream block.
+pub const BLOCK_BYTES: usize = 64;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; STATE_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block for `(key, counter, nonce)`.
+pub fn block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; BLOCK_BYTES] {
+    let mut state = [0u32; STATE_WORDS];
+    state[..4].copy_from_slice(&CONSTANTS);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[4 * i..4 * i + 4].try_into().unwrap());
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // column rounds
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // diagonal rounds
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_BYTES];
+    for i in 0..STATE_WORDS {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (ChaCha20 is its own inverse) with the
+/// keystream starting at block `initial_counter`.
+pub fn xor_stream(key: &[u8; 32], initial_counter: u32, nonce: &[u8; 12], data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(BLOCK_BYTES).enumerate() {
+        let counter = initial_counter.wrapping_add(block_idx as u32);
+        let ks = block(key, counter, nonce);
+        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+            *byte ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.split_whitespace().collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = hex("000000090000004a00000000");
+        let out = block(&key, 1, nonce.as_slice().try_into().unwrap());
+        let expected = hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4 c7d1f4c733c068030422aa9ac3d46c4e \
+             d2826446079faa0914c2d705d98b02a2 b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(out.to_vec(), expected);
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = hex("000000000000004a00000000");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        xor_stream(&key, 1, nonce.as_slice().try_into().unwrap(), &mut data);
+        let expected = hex(
+            "6e2e359a2568f98041ba0728dd0d6981 e97e7aec1d4360c20a27afccfd9fae0b \
+             f91b65c5524733ab8f593dabcd62b357 1639d624e65152ab8f530c359f0861d8 \
+             07ca0dbf500d6a6156a38e088a22b65e 52bc514d16ccf806818ce91ab7793736 \
+             5af90bbf74a35be6b40b8eedf2785e42 874d",
+        );
+        assert_eq!(data, expected);
+        // round-trip
+        xor_stream(&key, 1, nonce.as_slice().try_into().unwrap(), &mut data);
+        assert_eq!(&data, plaintext);
+    }
+
+    #[test]
+    fn distinct_counters_give_distinct_blocks() {
+        let key = [3u8; 32];
+        let nonce = [9u8; 12];
+        assert_ne!(block(&key, 0, &nonce), block(&key, 1, &nonce));
+    }
+
+    #[test]
+    fn xor_stream_empty_is_noop() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut data: Vec<u8> = vec![];
+        xor_stream(&key, 0, &nonce, &mut data);
+        assert!(data.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! HKDF (RFC 5869) over HMAC-SHA-256.
+//!
+//! Snoopy derives many keys from one attested root — per-link channel keys,
+//! the partition hash key, per-batch bucket keys, the external-store sealing
+//! keys. The ad-hoc `Key256::derive` covers single-step derivation; HKDF
+//! provides the standard extract-then-expand construction for deployments
+//! that need salted extraction or multi-block output.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derives `len` output bytes (≤ 255·32) from a PRK and info.
+pub fn expand(prk: &[u8; 32], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * 32, "HKDF output limited to 255 blocks");
+    let mut out = Vec::with_capacity(len);
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while out.len() < len {
+        let mut input = t.clone();
+        input.extend_from_slice(info);
+        input.push(counter);
+        t = hmac_sha256(prk, &input).to_vec();
+        out.extend_from_slice(&t);
+        counter = counter.checked_add(1).expect("HKDF block counter overflow");
+    }
+    out.truncate(len);
+    out
+}
+
+/// One-shot HKDF: extract then expand.
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.split_whitespace().collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = vec![0x0b; 22];
+        let salt = hex("000102030405060708090a0b0c");
+        let info = hex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            prk.to_vec(),
+            hex("077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5")
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            okm,
+            hex("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+        );
+    }
+
+    /// RFC 5869 test case 2 (long inputs, 82-byte output).
+    #[test]
+    fn rfc5869_case2() {
+        let ikm: Vec<u8> = (0x00..=0x4f).collect();
+        let salt: Vec<u8> = (0x60..=0xaf).collect();
+        let info: Vec<u8> = (0xb0..=0xff).collect();
+        let okm = hkdf(&salt, &ikm, &info, 82);
+        assert_eq!(
+            okm,
+            hex(
+                "b11e398dc80327a1c8e7f78c596a4934 4f012eda2d4efad8a050cc4c19afa97c \
+                 59045a99cac7827271cb41c65e590e09 da3275600c2f09b8367793a9aca3db71 \
+                 cc30c58179ec3e87c14c01d5c1f3434f 1d87"
+            )
+        );
+    }
+
+    /// RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = vec![0x0b; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            okm,
+            hex("8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8")
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let prk = extract(b"salt", b"key material");
+        assert_ne!(expand(&prk, b"a", 32), expand(&prk, b"b", 32));
+        assert_eq!(expand(&prk, b"a", 32), expand(&prk, b"a", 32));
+    }
+
+    #[test]
+    fn truncation_is_a_prefix() {
+        let prk = extract(b"s", b"k");
+        let long = expand(&prk, b"i", 64);
+        let short = expand(&prk, b"i", 20);
+        assert_eq!(&long[..20], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "255 blocks")]
+    fn oversized_output_rejected() {
+        expand(&[0u8; 32], b"", 255 * 32 + 1);
+    }
+}

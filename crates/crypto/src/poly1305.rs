@@ -1,0 +1,241 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Used by [`crate::aead`] to authenticate ciphertexts. The implementation
+//! follows the standard 26-bit limb decomposition so all arithmetic stays in
+//! `u64`/`u128` without overflow.
+
+/// Computes the 16-byte Poly1305 tag of `msg` under the 32-byte one-time key.
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
+    // r is clamped per the RFC.
+    let mut r = [0u8; 16];
+    r.copy_from_slice(&key[..16]);
+    r[3] &= 15;
+    r[7] &= 15;
+    r[11] &= 15;
+    r[15] &= 15;
+    r[4] &= 252;
+    r[8] &= 252;
+    r[12] &= 252;
+
+    // Decompose r into five 26-bit limbs.
+    let t0 = u32::from_le_bytes(r[0..4].try_into().unwrap()) as u64;
+    let t1 = u32::from_le_bytes(r[4..8].try_into().unwrap()) as u64;
+    let t2 = u32::from_le_bytes(r[8..12].try_into().unwrap()) as u64;
+    let t3 = u32::from_le_bytes(r[12..16].try_into().unwrap()) as u64;
+    let r0 = t0 & 0x3ff_ffff;
+    let r1 = ((t0 >> 26) | (t1 << 6)) & 0x3ff_ffff;
+    let r2 = ((t1 >> 20) | (t2 << 12)) & 0x3ff_ffff;
+    let r3 = ((t2 >> 14) | (t3 << 18)) & 0x3ff_ffff;
+    let r4 = (t3 >> 8) & 0x3ff_ffff;
+
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let (mut h0, mut h1, mut h2, mut h3, mut h4) = (0u64, 0u64, 0u64, 0u64, 0u64);
+
+    for chunk in msg.chunks(16) {
+        // Load the (possibly short) chunk with the high "1" bit appended.
+        let mut block = [0u8; 17];
+        block[..chunk.len()].copy_from_slice(chunk);
+        block[chunk.len()] = 1;
+
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap()) as u64;
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap()) as u64;
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap()) as u64;
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap()) as u64;
+        let hi = block[16] as u64;
+
+        h0 += t0 & 0x3ff_ffff;
+        h1 += ((t0 >> 26) | (t1 << 6)) & 0x3ff_ffff;
+        h2 += ((t1 >> 20) | (t2 << 12)) & 0x3ff_ffff;
+        h3 += ((t2 >> 14) | (t3 << 18)) & 0x3ff_ffff;
+        h4 += (t3 >> 8) | (hi << 24);
+
+        // h *= r (mod 2^130 - 5), schoolbook with the 5*r folding trick.
+        let d0 = (h0 as u128) * (r0 as u128)
+            + (h1 as u128) * (s4 as u128)
+            + (h2 as u128) * (s3 as u128)
+            + (h3 as u128) * (s2 as u128)
+            + (h4 as u128) * (s1 as u128);
+        let d1 = (h0 as u128) * (r1 as u128)
+            + (h1 as u128) * (r0 as u128)
+            + (h2 as u128) * (s4 as u128)
+            + (h3 as u128) * (s3 as u128)
+            + (h4 as u128) * (s2 as u128);
+        let d2 = (h0 as u128) * (r2 as u128)
+            + (h1 as u128) * (r1 as u128)
+            + (h2 as u128) * (r0 as u128)
+            + (h3 as u128) * (s4 as u128)
+            + (h4 as u128) * (s3 as u128);
+        let d3 = (h0 as u128) * (r3 as u128)
+            + (h1 as u128) * (r2 as u128)
+            + (h2 as u128) * (r1 as u128)
+            + (h3 as u128) * (r0 as u128)
+            + (h4 as u128) * (s4 as u128);
+        let d4 = (h0 as u128) * (r4 as u128)
+            + (h1 as u128) * (r3 as u128)
+            + (h2 as u128) * (r2 as u128)
+            + (h3 as u128) * (r1 as u128)
+            + (h4 as u128) * (r0 as u128);
+
+        // Carry propagation.
+        let mut c: u128;
+        c = d0 >> 26;
+        h0 = (d0 as u64) & 0x3ff_ffff;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        h1 = (d1 as u64) & 0x3ff_ffff;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        h2 = (d2 as u64) & 0x3ff_ffff;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        h3 = (d3 as u64) & 0x3ff_ffff;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        h4 = (d4 as u64) & 0x3ff_ffff;
+        h0 += (c as u64) * 5;
+        h1 += h0 >> 26;
+        h0 &= 0x3ff_ffff;
+    }
+
+    // Full carry.
+    let mut c;
+    c = h1 >> 26;
+    h1 &= 0x3ff_ffff;
+    h2 += c;
+    c = h2 >> 26;
+    h2 &= 0x3ff_ffff;
+    h3 += c;
+    c = h3 >> 26;
+    h3 &= 0x3ff_ffff;
+    h4 += c;
+    c = h4 >> 26;
+    h4 &= 0x3ff_ffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ff_ffff;
+    h1 += c;
+
+    // Compute h + -p = h - (2^130 - 5) and select it if non-negative.
+    let mut g0 = h0.wrapping_add(5);
+    c = g0 >> 26;
+    g0 &= 0x3ff_ffff;
+    let mut g1 = h1.wrapping_add(c);
+    c = g1 >> 26;
+    g1 &= 0x3ff_ffff;
+    let mut g2 = h2.wrapping_add(c);
+    c = g2 >> 26;
+    g2 &= 0x3ff_ffff;
+    let mut g3 = h3.wrapping_add(c);
+    c = g3 >> 26;
+    g3 &= 0x3ff_ffff;
+    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+    // Branch-free select: mask = all-ones if g4 did not underflow.
+    let mask = (g4 >> 63).wrapping_sub(1);
+    h0 = (h0 & !mask) | (g0 & mask);
+    h1 = (h1 & !mask) | (g1 & mask);
+    h2 = (h2 & !mask) | (g2 & mask);
+    h3 = (h3 & !mask) | (g3 & mask);
+    h4 = (h4 & !mask) | (g4 & mask);
+
+    // Serialize h back to four little-endian u32 words.
+    let f0 = (h0 | (h1 << 26)) as u32;
+    let f1 = ((h1 >> 6) | (h2 << 20)) as u32;
+    let f2 = ((h2 >> 12) | (h3 << 14)) as u32;
+    let f3 = ((h3 >> 18) | (h4 << 8)) as u32;
+
+    // tag = (h + s) mod 2^128
+    let s0 = u32::from_le_bytes(key[16..20].try_into().unwrap());
+    let s1 = u32::from_le_bytes(key[20..24].try_into().unwrap());
+    let s2 = u32::from_le_bytes(key[24..28].try_into().unwrap());
+    let s3 = u32::from_le_bytes(key[28..32].try_into().unwrap());
+
+    let mut acc = (f0 as u64) + (s0 as u64);
+    let o0 = acc as u32;
+    acc = (acc >> 32) + (f1 as u64) + (s1 as u64);
+    let o1 = acc as u32;
+    acc = (acc >> 32) + (f2 as u64) + (s2 as u64);
+    let o2 = acc as u32;
+    acc = (acc >> 32) + (f3 as u64) + (s3 as u64);
+    let o3 = acc as u32;
+
+    let mut tag = [0u8; 16];
+    tag[0..4].copy_from_slice(&o0.to_le_bytes());
+    tag[4..8].copy_from_slice(&o1.to_le_bytes());
+    tag[8..12].copy_from_slice(&o2.to_le_bytes());
+    tag[12..16].copy_from_slice(&o3.to_le_bytes());
+    tag
+}
+
+/// Constant-time 16-byte tag comparison.
+pub fn tags_equal(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    let mut diff = 0u8;
+    for i in 0..16 {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        let s: String = s.split_whitespace().collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    /// RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_tag_vector() {
+        let key = hex("85d6be7857556d337f4452fe42d506a8 0103808afb0db2fd4abff6af4149f51b");
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = poly1305(key.as_slice().try_into().unwrap(), msg);
+        assert_eq!(tag.to_vec(), hex("a8061dc1305136c6c22b8baf0c0127a9"));
+    }
+
+    /// RFC 8439 Appendix A.3 vector #1: all-zero key and message.
+    #[test]
+    fn rfc8439_a3_zero_vector() {
+        let key = [0u8; 32];
+        let msg = vec![0u8; 64];
+        let tag = poly1305(&key, &msg);
+        assert_eq!(tag, [0u8; 16]);
+    }
+
+    /// RFC 8439 Appendix A.3 vector #2.
+    #[test]
+    fn rfc8439_a3_vector2() {
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&hex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = poly1305(&key, msg);
+        assert_eq!(tag.to_vec(), hex("36e5f6b5c5e06070f0efca96227a863e"));
+    }
+
+    #[test]
+    fn tags_equal_is_correct() {
+        let a = [1u8; 16];
+        let mut b = a;
+        assert!(tags_equal(&a, &b));
+        b[15] ^= 1;
+        assert!(!tags_equal(&a, &b));
+    }
+
+    #[test]
+    fn empty_message_tag_is_s() {
+        // For an empty message h stays 0, so the tag equals s.
+        let mut key = [0u8; 32];
+        key[0] = 0xFF; // r != 0 but no blocks are processed
+        key[16..].copy_from_slice(&[0xAAu8; 16]);
+        let tag = poly1305(&key, b"");
+        assert_eq!(tag, [0xAAu8; 16]);
+    }
+}

@@ -1,0 +1,34 @@
+//! The abstract enclave model Snoopy is proven secure against (paper §B).
+//!
+//! The paper deliberately does *not* prove security against Intel SGX; it
+//! formalizes an enclave ideal functionality `F_Enc` with two operations —
+//! `Load(P)` and `Execute(E_P, in) → (out, γ)` where `γ` is the trace of
+//! memory accesses and network messages the adversary observes — and proves
+//! Snoopy secure against any enclave realizing that interface. This crate
+//! implements the same interface in software:
+//!
+//! * [`program`] — the `Load`/`Execute` model with captured [`snoopy_obliv::Trace`]s,
+//!   plus a remote-attestation stub establishing AEAD channel keys;
+//! * [`wire`] — the request/object/response types exchanged between enclaves,
+//!   with branch-free [`snoopy_obliv::Cmov`] implementations so they can flow
+//!   through oblivious sorts and compactions;
+//! * [`epc`] — a cost model of SGX's limited Enclave Page Cache, reproducing
+//!   the paging cliffs visible in the paper's Figure 12;
+//! * [`external`] — integrity-protected external memory (§2, §7): AEAD-sealed
+//!   blocks outside the "enclave" with digests held inside, and the host
+//!   loader-thread streaming optimization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epc;
+pub mod external;
+pub mod merkle;
+pub mod program;
+pub mod wire;
+
+pub use epc::{CostMeter, EpcModel};
+pub use external::ExternalStore;
+pub use merkle::{EpochStamp, InMemoryCounter, MerkleTree, TrustedCounter};
+pub use program::{AttestationReport, Enclave, EnclaveProgram};
+pub use wire::{Request, RequestKind, Response, StoredObject, DUMMY_ID};

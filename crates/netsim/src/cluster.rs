@@ -1,0 +1,509 @@
+//! Discrete-event simulation of the Snoopy cluster's epoch pipeline.
+//!
+//! Resources: each load balancer and each subORAM is a FIFO server. Per epoch
+//! and balancer: close the epoch → balancer compute (Fig. 5) → per-subORAM
+//! network transfer → subORAM batch service → network back → balancer match
+//! compute (Fig. 6) → requests complete. Pipelining across epochs falls out of
+//! the FIFO resource model, exactly as in the paper's Equation (1) analysis —
+//! but the simulation also captures queueing delay and burstiness that the
+//! closed-form planner ignores.
+
+use crate::costmodel::CostModel;
+use crate::workload::{bucket_arrivals, PoissonArrivals};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which subORAM implementation the simulated cluster runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubKind {
+    /// Snoopy's linear-scan batch subORAM (§5).
+    SnoopyScan,
+    /// An Oblix-style sequential ORAM serving the batch request-by-request
+    /// (Fig. 10's "Snoopy-Oblix").
+    OblixSequential,
+}
+
+/// Cluster topology and run parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterParams {
+    /// Load balancer count.
+    pub num_lbs: usize,
+    /// SubORAM count.
+    pub num_suborams: usize,
+    /// Total stored objects (split evenly across subORAMs).
+    pub num_objects: u64,
+    /// Epoch duration in ns.
+    pub epoch_ns: u64,
+    /// Simulated duration in ns.
+    pub duration_ns: u64,
+    /// Requests completing before this time are excluded from stats.
+    pub warmup_ns: u64,
+    /// SubORAM flavour.
+    pub sub_kind: SubKind,
+}
+
+/// Simulation output.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// Requests completed after warmup.
+    pub completed: u64,
+    /// Completed / measured seconds.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency (ms).
+    pub mean_latency_ms: f64,
+    /// Median latency (ms).
+    pub p50_latency_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_latency_ms: f64,
+    /// Maximum latency (ms).
+    pub max_latency_ms: f64,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Ev {
+    /// Epoch `epoch` closes at balancer `lb`.
+    Close { lb: usize, epoch: usize },
+    /// A batch of size `b` from (lb, epoch) reaches subORAM `sub`.
+    SubArrive { sub: usize, lb: usize, epoch: usize, b: u64 },
+    /// SubORAM finished the (lb, epoch) batch.
+    SubDone { sub: usize, lb: usize, epoch: usize, b: u64 },
+    /// The response batch reaches the balancer.
+    RespArrive { lb: usize, epoch: usize },
+}
+
+/// The simulator.
+pub struct ClusterSim {
+    params: ClusterParams,
+    model: CostModel,
+}
+
+impl ClusterSim {
+    /// Creates a simulator.
+    pub fn new(params: ClusterParams, model: CostModel) -> ClusterSim {
+        assert!(params.num_lbs > 0 && params.num_suborams > 0);
+        ClusterSim { params, model }
+    }
+
+    /// Runs an open-loop Poisson workload at `rate_per_sec` and reports
+    /// throughput/latency.
+    ///
+    /// Uses the count-based fast path: Poisson arrivals within an epoch are
+    /// uniform, so per-(epoch, balancer) *counts* plus uniform quantile
+    /// offsets reproduce the latency statistics without materializing
+    /// millions of timestamps. [`ClusterSim::run_with_buckets`] remains the
+    /// exact path for explicit workloads.
+    pub fn run_poisson(&self, rate_per_sec: f64, seed: u64) -> SimReport {
+        let p = &self.params;
+        let num_epochs = (p.duration_ns / p.epoch_ns) as usize;
+        let per_bucket_mean = rate_per_sec * p.epoch_ns as f64 / 1e9 / p.num_lbs as f64;
+        let mut prg = snoopy_crypto::Prg::from_seed(seed ^ 0xF16_9A);
+        let counts: Vec<Vec<u64>> = (0..num_epochs)
+            .map(|_| (0..p.num_lbs).map(|_| sample_poisson(per_bucket_mean, &mut prg)).collect())
+            .collect();
+        self.run_counts(counts)
+    }
+
+    /// Exact-arrival run (tests, precise workloads).
+    pub fn run_poisson_exact(&self, rate_per_sec: f64, seed: u64) -> SimReport {
+        let p = &self.params;
+        let num_epochs = (p.duration_ns / p.epoch_ns) as usize;
+        let mut arrivals = PoissonArrivals::new(rate_per_sec, seed);
+        let all = arrivals.take_until(num_epochs as u64 * p.epoch_ns);
+        let buckets = bucket_arrivals(&all, p.epoch_ns, num_epochs, p.num_lbs, seed);
+        self.run_with_buckets(buckets)
+    }
+
+    /// Count-based run: `counts[epoch][lb]` requests arrive uniformly within
+    /// each epoch window. Latency statistics are computed analytically from
+    /// the epoch completion times (8 uniform quantile points per epoch).
+    pub fn run_counts(&self, counts: Vec<Vec<u64>>) -> SimReport {
+        let p = &self.params;
+        let s = p.num_suborams;
+        let partition = p.num_objects / s as u64;
+        let num_epochs = counts.len();
+
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut events: Vec<Ev> = Vec::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Ev>, seq: &mut u64, t: u64, ev: Ev| {
+            events.push(ev);
+            heap.push(Reverse((t, *seq, events.len() - 1)));
+            *seq += 1;
+        };
+        for epoch in 0..num_epochs {
+            let t = (epoch as u64 + 1) * p.epoch_ns;
+            for lb in 0..p.num_lbs {
+                push(&mut heap, &mut events, &mut seq, t, Ev::Close { lb, epoch });
+            }
+        }
+
+        let mut lb_free = vec![0u64; p.num_lbs];
+        let mut sub_free = vec![0u64; s];
+        let mut resp_count = vec![vec![0usize; num_epochs]; p.num_lbs];
+        // Weighted latency points: (latency ms, weight).
+        let mut points: Vec<(f64, u64)> = Vec::new();
+        let mut completed_total = 0u64;
+        let mut latency_sum_ms = 0.0f64;
+
+        const QUANTILES: u64 = 8;
+        while let Some(Reverse((now, _, idx))) = heap.pop() {
+            match events[idx].clone() {
+                Ev::Close { lb, epoch } => {
+                    let r = counts[epoch][lb];
+                    if r == 0 {
+                        continue;
+                    }
+                    let b = self.model.batch_size(r, s as u64);
+                    let start = now.max(lb_free[lb]);
+                    let end = start + self.model.lb_make_batch_ns(r, s as u64) as u64;
+                    lb_free[lb] = end;
+                    let xfer = self.model.batch_transfer_ns(b) as u64;
+                    for sub in 0..s {
+                        push(&mut heap, &mut events, &mut seq, end + xfer, Ev::SubArrive { sub, lb, epoch, b });
+                    }
+                }
+                Ev::SubArrive { sub, lb, epoch, b } => {
+                    let svc = match p.sub_kind {
+                        SubKind::SnoopyScan => self.model.suboram_batch_ns(b, partition),
+                        SubKind::OblixSequential => self.model.oblix_suboram_batch_ns(b, partition),
+                    } as u64;
+                    let start = now.max(sub_free[sub]);
+                    let done = start + svc;
+                    sub_free[sub] = done;
+                    push(&mut heap, &mut events, &mut seq, done, Ev::SubDone { sub, lb, epoch, b });
+                }
+                Ev::SubDone { lb, epoch, b, .. } => {
+                    let xfer = self.model.batch_transfer_ns(b) as u64;
+                    push(&mut heap, &mut events, &mut seq, now + xfer, Ev::RespArrive { lb, epoch });
+                }
+                Ev::RespArrive { lb, epoch } => {
+                    resp_count[lb][epoch] += 1;
+                    if resp_count[lb][epoch] == s {
+                        let r = counts[epoch][lb];
+                        let start = now.max(lb_free[lb]);
+                        let end = start + self.model.lb_match_ns(r, s as u64) as u64;
+                        lb_free[lb] = end;
+                        if end >= p.warmup_ns {
+                            let window_start = epoch as u64 * p.epoch_ns;
+                            completed_total += r;
+                            let mean_ms = (end.saturating_sub(window_start)) as f64 / 1e6
+                                - p.epoch_ns as f64 / 2e6;
+                            latency_sum_ms += mean_ms * r as f64;
+                            let q = QUANTILES.min(r);
+                            for k in 0..q {
+                                // arrival offset quantile within the window
+                                let off = (k as f64 + 0.5) / q as f64 * p.epoch_ns as f64;
+                                let lat = (end.saturating_sub(window_start)) as f64 - off;
+                                points.push((lat / 1e6, r / q + u64::from(k < r % q)));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let measured_s = (p.duration_ns.saturating_sub(p.warmup_ns)) as f64 / 1e9;
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total_w: u64 = points.iter().map(|(_, w)| *w).sum();
+        let pct = |q: f64| -> f64 {
+            if total_w == 0 {
+                return 0.0;
+            }
+            let target = (q * total_w as f64) as u64;
+            let mut acc = 0u64;
+            for (lat, w) in &points {
+                acc += w;
+                if acc >= target.max(1) {
+                    return *lat;
+                }
+            }
+            points.last().map(|(l, _)| *l).unwrap_or(0.0)
+        };
+        SimReport {
+            completed: completed_total,
+            throughput_rps: completed_total as f64 / measured_s.max(1e-9),
+            mean_latency_ms: if completed_total == 0 {
+                0.0
+            } else {
+                latency_sum_ms / completed_total as f64
+            },
+            p50_latency_ms: pct(0.5),
+            p99_latency_ms: pct(0.99),
+            max_latency_ms: points.last().map(|(l, _)| *l).unwrap_or(0.0),
+        }
+    }
+
+    /// Runs with explicit per-epoch, per-balancer arrival times.
+    pub fn run_with_buckets(&self, buckets: Vec<Vec<Vec<u64>>>) -> SimReport {
+        let p = &self.params;
+        let s = p.num_suborams;
+        let partition = p.num_objects / s as u64;
+        let num_epochs = buckets.len();
+
+        let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut events: Vec<Ev> = Vec::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Ev>, seq: &mut u64, t: u64, ev: Ev| {
+            events.push(ev);
+            heap.push(Reverse((t, *seq, events.len() - 1)));
+            *seq += 1;
+        };
+
+        for epoch in 0..num_epochs {
+            let t = (epoch as u64 + 1) * p.epoch_ns;
+            for lb in 0..p.num_lbs {
+                push(&mut heap, &mut events, &mut seq, t, Ev::Close { lb, epoch });
+            }
+        }
+
+        let mut lb_free = vec![0u64; p.num_lbs];
+        let mut sub_free = vec![0u64; s];
+        // Per (lb, epoch): responses received so far and the time the last
+        // response arrived.
+        let mut resp_count = vec![vec![0usize; num_epochs]; p.num_lbs];
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        let mut completed_total = 0u64;
+
+        while let Some(Reverse((now, _, idx))) = heap.pop() {
+            match events[idx].clone() {
+                Ev::Close { lb, epoch } => {
+                    let r = buckets[epoch][lb].len() as u64;
+                    if r == 0 {
+                        continue;
+                    }
+                    let b = self.model.batch_size(r, s as u64);
+                    let start = now.max(lb_free[lb]);
+                    let end = start + self.model.lb_make_batch_ns(r, s as u64) as u64;
+                    lb_free[lb] = end;
+                    let xfer = self.model.batch_transfer_ns(b) as u64;
+                    for sub in 0..s {
+                        push(&mut heap, &mut events, &mut seq, end + xfer, Ev::SubArrive { sub, lb, epoch, b });
+                    }
+                }
+                Ev::SubArrive { sub, lb, epoch, b } => {
+                    let svc = match p.sub_kind {
+                        SubKind::SnoopyScan => self.model.suboram_batch_ns(b, partition),
+                        SubKind::OblixSequential => self.model.oblix_suboram_batch_ns(b, partition),
+                    } as u64;
+                    let start = now.max(sub_free[sub]);
+                    let done = start + svc;
+                    sub_free[sub] = done;
+                    push(&mut heap, &mut events, &mut seq, done, Ev::SubDone { sub, lb, epoch, b });
+                }
+                Ev::SubDone { lb, epoch, b, .. } => {
+                    let xfer = self.model.batch_transfer_ns(b) as u64;
+                    push(&mut heap, &mut events, &mut seq, now + xfer, Ev::RespArrive { lb, epoch });
+                }
+                Ev::RespArrive { lb, epoch } => {
+                    resp_count[lb][epoch] += 1;
+                    if resp_count[lb][epoch] == s {
+                        let r = buckets[epoch][lb].len() as u64;
+                        let start = now.max(lb_free[lb]);
+                        let end = start + self.model.lb_match_ns(r, s as u64) as u64;
+                        lb_free[lb] = end;
+                        for &arr in &buckets[epoch][lb] {
+                            if end >= p.warmup_ns {
+                                latencies_ms.push((end - arr) as f64 / 1e6);
+                                completed_total += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let measured_s = (p.duration_ns.saturating_sub(p.warmup_ns)) as f64 / 1e9;
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |q: f64| -> f64 {
+            if latencies_ms.is_empty() {
+                0.0
+            } else {
+                latencies_ms[((latencies_ms.len() - 1) as f64 * q) as usize]
+            }
+        };
+        SimReport {
+            completed: completed_total,
+            throughput_rps: completed_total as f64 / measured_s.max(1e-9),
+            mean_latency_ms: if latencies_ms.is_empty() {
+                0.0
+            } else {
+                latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+            },
+            p50_latency_ms: pct(0.5),
+            p99_latency_ms: pct(0.99),
+            max_latency_ms: latencies_ms.last().copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Largest Poisson rate whose mean latency stays under `slo_ms`, found by
+    /// bisection. Returns (rate, report at that rate).
+    pub fn max_throughput_under_slo(&self, slo_ms: f64, seed: u64) -> (f64, SimReport) {
+        // Find an upper bound by doubling.
+        let mut lo = 0.0f64;
+        let mut lo_report = SimReport::default();
+        let mut hi = 1000.0f64;
+        loop {
+            let rep = self.run_poisson(hi, seed);
+            // A saturated config also stops completing requests in time.
+            let ok = rep.mean_latency_ms <= slo_ms && rep.completed > 0;
+            if ok {
+                lo = hi;
+                lo_report = rep;
+                hi *= 2.0;
+                if hi > 1e8 {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if lo == 0.0 {
+            // Even 1000 reqs/s violates the SLO: search below.
+            hi = 1000.0;
+        }
+        for _ in 0..12 {
+            let mid = (lo + hi) / 2.0;
+            let rep = self.run_poisson(mid, seed);
+            if rep.mean_latency_ms <= slo_ms && rep.completed > 0 {
+                lo = mid;
+                lo_report = rep;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo, lo_report)
+    }
+}
+
+/// Samples a Poisson variate with the given mean: Knuth's product method for
+/// small means, a clamped Gaussian approximation for large ones.
+fn sample_poisson(mean: f64, prg: &mut snoopy_crypto::Prg) -> u64 {
+    use rand::Rng;
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 64.0 {
+        let limit = (-mean).exp();
+        let mut product = 1.0f64;
+        let mut k = 0u64;
+        loop {
+            product *= prg.gen_range(f64::MIN_POSITIVE..1.0);
+            if product <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    // Box-Muller normal approximation N(mean, mean).
+    let u1: f64 = prg.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = prg.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + z * mean.sqrt()).round().max(0.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(l: usize, s: usize, n: u64, epoch_ms: u64) -> ClusterParams {
+        ClusterParams {
+            num_lbs: l,
+            num_suborams: s,
+            num_objects: n,
+            epoch_ns: epoch_ms * 1_000_000,
+            duration_ns: 10_000_000_000,
+            warmup_ns: 2_000_000_000,
+            sub_kind: SubKind::SnoopyScan,
+        }
+    }
+
+    #[test]
+    fn light_load_latency_near_half_epoch_plus_service() {
+        let sim = ClusterSim::new(params(1, 4, 1 << 16, 100), CostModel::paper_calibrated());
+        let rep = sim.run_poisson(500.0, 1);
+        assert!(rep.completed > 1000, "{rep:?}");
+        // Mean wait ≈ T/2 = 50 ms plus service; must be well under 5T/2.
+        assert!(rep.mean_latency_ms > 50.0, "{rep:?}");
+        assert!(rep.mean_latency_ms < 250.0, "{rep:?}");
+    }
+
+    #[test]
+    fn overload_blows_latency() {
+        let sim = ClusterSim::new(params(1, 2, 1 << 20, 100), CostModel::paper_calibrated());
+        let light = sim.run_poisson(200.0, 2);
+        let heavy = sim.run_poisson(100_000.0, 2);
+        assert!(heavy.mean_latency_ms > 4.0 * light.mean_latency_ms, "{light:?} vs {heavy:?}");
+    }
+
+    #[test]
+    fn more_suborams_more_throughput_when_scan_bound() {
+        // With a partition that overflows the per-machine EPC, the subORAM
+        // scan is the bottleneck and halving partitions helps.
+        let m = CostModel::paper_calibrated();
+        let (t4, _) = ClusterSim::new(params(1, 4, 1 << 22, 200), m.clone()).max_throughput_under_slo(500.0, 3);
+        let (t8, _) = ClusterSim::new(params(1, 8, 1 << 22, 200), m).max_throughput_under_slo(500.0, 3);
+        assert!(t8 > t4 * 1.2, "4 subORAMs: {t4}, 8 subORAMs: {t8}");
+    }
+
+    #[test]
+    fn more_lbs_more_throughput_when_lb_bound() {
+        // Small data, high request volume: the balancer pipelines are the
+        // bottleneck and a second balancer helps (the paper's boxed points
+        // in Fig. 9a).
+        let m = CostModel::paper_calibrated();
+        let (t1, _) = ClusterSim::new(params(1, 4, 1 << 18, 200), m.clone()).max_throughput_under_slo(1000.0, 3);
+        let (t2, _) = ClusterSim::new(params(2, 4, 1 << 18, 200), m).max_throughput_under_slo(1000.0, 3);
+        assert!(t2 > t1 * 1.2, "1 LB: {t1}, 2 LBs: {t2}");
+    }
+
+    #[test]
+    fn snoopy_scan_beats_oblix_sequential_at_high_throughput() {
+        let m = CostModel::paper_calibrated();
+        let mut p = params(1, 4, 1 << 21, 200);
+        let (snoopy, _) = ClusterSim::new(p.clone(), m.clone()).max_throughput_under_slo(500.0, 4);
+        p.sub_kind = SubKind::OblixSequential;
+        let (oblix, _) = ClusterSim::new(p, m).max_throughput_under_slo(500.0, 4);
+        assert!(snoopy > oblix, "snoopy {snoopy} vs oblix-as-suboram {oblix}");
+    }
+
+    #[test]
+    fn count_path_close_to_exact_path() {
+        let sim = ClusterSim::new(params(2, 3, 1 << 18, 100), CostModel::paper_calibrated());
+        let fast = sim.run_poisson(2_000.0, 5);
+        let exact = sim.run_poisson_exact(2_000.0, 5);
+        assert!(fast.completed > 0 && exact.completed > 0);
+        let rel = (fast.mean_latency_ms - exact.mean_latency_ms).abs() / exact.mean_latency_ms;
+        assert!(rel < 0.15, "fast {} vs exact {}", fast.mean_latency_ms, exact.mean_latency_ms);
+        let tput_rel = (fast.throughput_rps - exact.throughput_rps).abs() / exact.throughput_rps;
+        assert!(tput_rel < 0.15, "fast {} vs exact {}", fast.throughput_rps, exact.throughput_rps);
+    }
+
+    #[test]
+    fn poisson_sampler_hits_the_mean() {
+        let mut prg = snoopy_crypto::Prg::from_seed(3);
+        for mean in [0.5f64, 5.0, 40.0, 500.0, 50_000.0] {
+            let n = 2000;
+            let total: u64 = (0..n).map(|_| sample_poisson(mean, &mut prg)).sum();
+            let got = total as f64 / n as f64;
+            assert!((got - mean).abs() < mean.sqrt() * 0.2 + 0.1, "mean {mean}: got {got}");
+        }
+        assert_eq!(sample_poisson(0.0, &mut prg), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = ClusterSim::new(params(2, 3, 1 << 18, 100), CostModel::paper_calibrated());
+        let a = sim.run_poisson(2000.0, 11);
+        let b = sim.run_poisson(2000.0, 11);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+    }
+
+    #[test]
+    fn zero_load_reports_zero() {
+        let sim = ClusterSim::new(params(1, 1, 1 << 10, 100), CostModel::paper_calibrated());
+        let rep = sim.run_with_buckets(vec![vec![vec![]; 1]; 10]);
+        assert_eq!(rep.completed, 0);
+        assert_eq!(rep.throughput_rps, 0.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Open-loop workload generators.
+
+use rand::Rng;
+use snoopy_crypto::Prg;
+
+/// Poisson arrival process: exponential inter-arrival times at `rate_per_sec`,
+/// deterministic given the seed.
+pub struct PoissonArrivals {
+    prg: Prg,
+    rate_per_ns: f64,
+    next_ns: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with the given rate (requests/second).
+    pub fn new(rate_per_sec: f64, seed: u64) -> PoissonArrivals {
+        assert!(rate_per_sec > 0.0);
+        PoissonArrivals { prg: Prg::from_seed(seed), rate_per_ns: rate_per_sec / 1e9, next_ns: 0.0 }
+    }
+
+    /// All arrival timestamps (ns) strictly before `horizon_ns`.
+    pub fn take_until(&mut self, horizon_ns: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        loop {
+            let u: f64 = self.prg.gen_range(f64::MIN_POSITIVE..1.0);
+            self.next_ns += -u.ln() / self.rate_per_ns;
+            if self.next_ns >= horizon_ns as f64 {
+                // Keep the overshoot for the next call by backing up one step:
+                // simpler to just stop; the final partial epoch is discarded
+                // by warmup/cooldown anyway.
+                break;
+            }
+            out.push(self.next_ns as u64);
+        }
+        out
+    }
+}
+
+/// Splits arrivals into per-epoch, per-balancer buckets: `out[epoch][lb]` is
+/// the list of arrival times. Clients pick balancers uniformly at random.
+pub fn bucket_arrivals(
+    arrivals: &[u64],
+    epoch_ns: u64,
+    num_epochs: usize,
+    num_lbs: usize,
+    seed: u64,
+) -> Vec<Vec<Vec<u64>>> {
+    let mut prg = Prg::from_seed(seed ^ 0xD15EA5E);
+    let mut out = vec![vec![Vec::new(); num_lbs]; num_epochs];
+    for &t in arrivals {
+        let e = (t / epoch_ns) as usize;
+        if e < num_epochs {
+            let lb = prg.gen_range(0..num_lbs);
+            out[e][lb].push(t);
+        }
+    }
+    out
+}
+
+/// Zipf(s) key-popularity sampler over `[0, n)` — used to *demonstrate* that
+/// Snoopy's performance is independent of the request distribution (§8:
+/// "the oblivious security guarantees of Snoopy ... ensure that the request
+/// distribution does not impact their performance"), and to drive the
+/// plaintext baseline where skew does matter.
+pub struct ZipfKeys {
+    prg: Prg,
+    /// Cumulative probability table (O(n) build, O(log n) sample).
+    cdf: Vec<f64>,
+}
+
+impl ZipfKeys {
+    /// Creates a sampler over `n` keys with exponent `s` (s = 0 is uniform;
+    /// s ≈ 1 is classic web skew).
+    pub fn new(n: usize, s: f64, seed: u64) -> ZipfKeys {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        ZipfKeys { prg: Prg::from_seed(seed), cdf }
+    }
+
+    /// Draws one key (rank-ordered: key 0 is the most popular).
+    pub fn sample(&mut self) -> u64 {
+        let u: f64 = self.prg.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let mut z = ZipfKeys::new(1000, 1.1, 7);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample() < 10 {
+                head += 1;
+            }
+        }
+        // Top-10 of 1000 keys should absorb far more than the uniform 1%.
+        assert!(head as f64 / n as f64 > 0.25, "head share {}", head as f64 / n as f64);
+    }
+
+    #[test]
+    fn zipf_zero_is_uniformish() {
+        let mut z = ZipfKeys::new(100, 0.0, 9);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 500).abs() < 200, "{c}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let mut z = ZipfKeys::new(17, 1.5, 3);
+        for _ in 0..1000 {
+            assert!(z.sample() < 17);
+        }
+    }
+
+    #[test]
+    fn rate_is_respected() {
+        let mut p = PoissonArrivals::new(10_000.0, 1);
+        let arrivals = p.take_until(1_000_000_000); // 1 s
+        let n = arrivals.len() as f64;
+        assert!((n - 10_000.0).abs() < 500.0, "{n}");
+        // Sorted and within horizon.
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*arrivals.last().unwrap() < 1_000_000_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = PoissonArrivals::new(5000.0, 7).take_until(100_000_000);
+        let b = PoissonArrivals::new(5000.0, 7).take_until(100_000_000);
+        assert_eq!(a, b);
+        let c = PoissonArrivals::new(5000.0, 8).take_until(100_000_000);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn bucketing_partitions_all_arrivals() {
+        let mut p = PoissonArrivals::new(50_000.0, 3);
+        let arrivals = p.take_until(500_000_000);
+        let buckets = bucket_arrivals(&arrivals, 100_000_000, 5, 3, 9);
+        let total: usize = buckets.iter().flatten().map(|v| v.len()).sum();
+        assert_eq!(total, arrivals.len());
+        // Roughly balanced across balancers.
+        let per_lb: Vec<usize> = (0..3)
+            .map(|lb| buckets.iter().map(|e| e[lb].len()).sum())
+            .collect();
+        let mean = total / 3;
+        for c in per_lb {
+            assert!((c as i64 - mean as i64).unsigned_abs() < (mean / 5) as u64, "{c} vs {mean}");
+        }
+    }
+}

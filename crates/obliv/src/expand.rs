@@ -1,0 +1,168 @@
+//! Oblivious expansion (distribution) — the dual of compaction.
+//!
+//! Given `k` items with *secret* distinct target positions in `[0, n)`,
+//! produce an `n`-array with each item at its target and fillers elsewhere,
+//! without revealing the targets. Compaction routes marked items to a
+//! prefix; expansion routes a prefix out to marked positions. Oblivious
+//! hash-table construction, ORAM initialization, and OPRAM-style routing all
+//! reduce to it.
+//!
+//! Construction (sort-based, `O(n log² n)`, fixed pattern): emit one filler
+//! per slot keyed by its position and the real items keyed by their targets,
+//! sort by (position, reals-first), then a scan marks fillers displaced by a
+//! real at the same position and a compaction removes them — leaving exactly
+//! `n` entries, reals at their targets.
+
+use crate::compact::ocompact;
+use crate::ct::{ct_eq_u64, ct_lt_u64, Choice, Cmov};
+use crate::sort::osort_by;
+use crate::trace::{self, TraceEvent};
+
+/// Internal routing wrapper.
+#[derive(Clone, Debug)]
+struct ExpSlot<T> {
+    /// Target position (secret value).
+    pos: u64,
+    /// 0 = real item (sorts before the filler at the same position).
+    filler: u64,
+    item: T,
+}
+
+impl<T: Cmov> Cmov for ExpSlot<T> {
+    fn cmov(&mut self, src: &Self, cond: Choice) {
+        self.pos.cmov(&src.pos, cond);
+        self.filler.cmov(&src.filler, cond);
+        self.item.cmov(&src.item, cond);
+    }
+    fn cswap(&mut self, other: &mut Self, cond: Choice) {
+        self.pos.cswap(&mut other.pos, cond);
+        self.filler.cswap(&mut other.filler, cond);
+        self.item.cswap(&mut other.item, cond);
+    }
+}
+
+/// Obliviously distributes `items[i]` to position `targets[i]` of a fresh
+/// length-`n` array, filling the rest with clones of `filler`.
+///
+/// Requirements (public contract, violations panic or corrupt):
+/// `items.len() == targets.len() <= n`; targets distinct and `< n`.
+/// The *values* of the targets stay secret; only `k` and `n` are revealed.
+pub fn oexpand<T: Cmov + Clone>(items: Vec<T>, targets: &[u64], n: usize, filler: &T) -> Vec<T> {
+    assert_eq!(items.len(), targets.len(), "one target per item");
+    assert!(items.len() <= n, "cannot place {} items in {n} slots", items.len());
+    trace::record(TraceEvent::Phase(0x4558)); // "EX" marker
+    trace::record(TraceEvent::Alloc { len: n });
+
+    let mut slots: Vec<ExpSlot<T>> = Vec::with_capacity(n + items.len());
+    for (item, &pos) in items.into_iter().zip(targets.iter()) {
+        debug_assert!(pos < n as u64);
+        slots.push(ExpSlot { pos, filler: 0, item });
+    }
+    for p in 0..n as u64 {
+        slots.push(ExpSlot { pos: p, filler: 1, item: filler.clone() });
+    }
+
+    // Sort by (pos, reals-first).
+    osort_by(&mut slots, &|a: &ExpSlot<T>, b: &ExpSlot<T>| {
+        let pos_gt = ct_lt_u64(b.pos, a.pos);
+        let pos_eq = ct_eq_u64(a.pos, b.pos);
+        let fill_gt = ct_lt_u64(b.filler, a.filler);
+        pos_gt.or(pos_eq.and(fill_gt))
+    });
+
+    // Keep every entry except a filler directly preceded by an entry with
+    // the same position (that position's real item displaced it).
+    let mut keep: Vec<Choice> = Vec::with_capacity(slots.len());
+    let mut prev_pos = u64::MAX;
+    for (i, s) in slots.iter().enumerate() {
+        trace::record(TraceEvent::Touch { region: 0x45, index: i });
+        let dup = ct_eq_u64(s.pos, prev_pos).and(ct_eq_u64(s.filler, 1));
+        keep.push(dup.not());
+        prev_pos = s.pos;
+    }
+    ocompact(&mut slots, &mut keep);
+    slots.truncate(n);
+    slots.into_iter().map(|s| s.item).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn places_items_at_targets() {
+        let out = oexpand(vec![10u64, 20, 30], &[5, 0, 2], 8, &0);
+        assert_eq!(out, vec![20, 0, 30, 0, 0, 10, 0, 0]);
+    }
+
+    #[test]
+    fn empty_items_gives_all_fillers() {
+        let out = oexpand(Vec::<u64>::new(), &[], 4, &7);
+        assert_eq!(out, vec![7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn full_placement_is_a_permutation() {
+        let out = oexpand(vec![1u64, 2, 3, 4], &[3, 1, 0, 2], 4, &0);
+        assert_eq!(out, vec![3, 2, 4, 1]);
+    }
+
+    #[test]
+    fn trace_independent_of_targets() {
+        use crate::trace;
+        let run = |targets: Vec<u64>| {
+            let items = vec![1u64, 2, 3];
+            let ((), t) = trace::capture(|| {
+                oexpand(items.clone(), &targets, 16, &0);
+            });
+            t.fingerprint()
+        };
+        assert_eq!(run(vec![0, 1, 2]), run(vec![15, 7, 3]));
+        assert_ne!(run(vec![0, 1, 2]), {
+            let ((), t) = trace::capture(|| {
+                oexpand(vec![1u64, 2, 3], &[0, 1, 2], 17, &0);
+            });
+            t.fingerprint()
+        });
+    }
+
+    #[test]
+    fn expand_then_compact_roundtrips() {
+        use crate::compact::ocompact;
+        let items = vec![11u64, 22, 33, 44];
+        let targets = [9u64, 2, 13, 0];
+        let mut expanded = oexpand(items.clone(), &targets, 16, &u64::MAX);
+        let mut keep: Vec<Choice> = expanded
+            .iter()
+            .map(|&x| ct_eq_u64(x, u64::MAX).not())
+            .collect();
+        ocompact(&mut expanded, &mut keep);
+        expanded.truncate(4);
+        // Compaction is order-preserving over positions: sorted targets order.
+        assert_eq!(expanded, vec![44, 22, 11, 33]);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_direct_placement(
+            n in 1usize..64,
+            seed in any::<u64>(),
+        ) {
+            // Pick a random subset of positions and items.
+            let k = (seed as usize % n).min(n - 1);
+            let mut positions: Vec<u64> = (0..n as u64).collect();
+            // Deterministic shuffle-by-hash.
+            positions.sort_by_key(|&p| p.wrapping_mul(seed | 1).rotate_left(17));
+            let targets: Vec<u64> = positions.into_iter().take(k).collect();
+            let items: Vec<u64> = (0..k as u64).map(|i| 1000 + i).collect();
+
+            let got = oexpand(items.clone(), &targets, n, &0);
+            let mut want = vec![0u64; n];
+            for (item, &pos) in items.iter().zip(targets.iter()) {
+                want[pos as usize] = *item;
+            }
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Oblivious shuffle and Batcher's odd-even merge sort.
+//!
+//! The shuffle is the classic sort-by-random-keys construction: assign each
+//! element a fresh pseudorandom key and obliviously sort by it. The access
+//! pattern is the fixed sorting network; the resulting permutation is
+//! uniform (up to key collisions, which a 64-bit key space makes negligible
+//! for any realistic `n`). Tree-ORAM initialization and several OPRAM
+//! constructions need exactly this primitive; it also gives the workspace a
+//! second, independently-tested route to oblivious permutation.
+//!
+//! Odd-even merge sort is Batcher's *other* `O(n log² n)` network. Its
+//! comparator count differs from bitonic's by a constant factor, which makes
+//! it a meaningful ablation point (`cargo bench -p snoopy-bench` compares
+//! them); like bitonic, its structure depends only on `n`.
+
+use crate::ct::{ct_lt_u64, Choice, Cmov};
+use crate::sort::osort_by;
+use crate::trace::{self, TraceEvent};
+use rand_core_shim::RngLike;
+
+/// A minimal RNG facade so the crate keeps zero hard dependencies; anything
+/// producing `u64`s works (e.g. `snoopy_crypto::Prg` via a one-line adapter,
+/// or the closure over `rand::RngCore` below).
+pub mod rand_core_shim {
+    /// Anything that can produce pseudorandom `u64`s.
+    pub trait RngLike {
+        /// Next pseudorandom word.
+        fn next_u64(&mut self) -> u64;
+    }
+
+    impl<F: FnMut() -> u64> RngLike for F {
+        fn next_u64(&mut self) -> u64 {
+            self()
+        }
+    }
+}
+
+/// Obliviously shuffles `items` into a pseudorandom permutation drawn from
+/// `rng`. Access pattern depends only on `items.len()`.
+pub fn oshuffle<T: Cmov>(items: &mut [T], rng: &mut impl RngLike) {
+    trace::record(TraceEvent::Phase(0x5348)); // "SH" marker
+    let n = items.len();
+    trace::record(TraceEvent::Alloc { len: n }); // n is public
+    if n <= 1 {
+        return;
+    }
+    // Pair each element with a random key and sort by it. Keys ride along in
+    // a parallel array swapped by the same network.
+    let mut keys: Vec<u64> = (0..n).map(|_| rng.next_u64()).collect();
+    sort_pairs(&mut keys, items);
+}
+
+/// Sorts `(keys, items)` pairs ascending by key with a bitonic network.
+fn sort_pairs<T: Cmov>(keys: &mut [u64], items: &mut [T]) {
+    struct Pairs<'a, T> {
+        keys: &'a mut [u64],
+        items: &'a mut [T],
+    }
+    fn rec<T: Cmov>(p: &mut Pairs<T>, lo: usize, n: usize, asc: bool) {
+        if n > 1 {
+            let m = n / 2;
+            rec(p, lo, m, !asc);
+            rec(p, lo + m, n - m, asc);
+            merge(p, lo, n, asc);
+        }
+    }
+    fn merge<T: Cmov>(p: &mut Pairs<T>, lo: usize, n: usize, asc: bool) {
+        if n > 1 {
+            let m = 1usize << (usize::BITS - 1 - (n - 1).leading_zeros());
+            for i in lo..lo + n - m {
+                let gt = ct_lt_u64(p.keys[i + m], p.keys[i]);
+                let cond = if asc { gt } else { gt.not() };
+                let (ka, kb) = p.keys.split_at_mut(i + m);
+                ka[i].cswap(&mut kb[0], cond);
+                let (ia, ib) = p.items.split_at_mut(i + m);
+                ia[i].cswap(&mut ib[0], cond);
+            }
+            merge(p, lo, m, asc);
+            merge(p, lo + m, n - m, asc);
+        }
+    }
+    let n = keys.len();
+    let mut p = Pairs { keys, items };
+    rec(&mut p, 0, n, true);
+}
+
+/// Batcher's odd-even merge sort (power-of-two network generalized to any
+/// `n` by clamped comparator indices — standard technique: comparators whose
+/// upper index falls outside the array are skipped, which is a function of
+/// `n` only, so the pattern stays public).
+pub fn osort_odd_even<T: Cmov>(items: &mut [T], gt: &impl Fn(&T, &T) -> Choice) {
+    trace::record(TraceEvent::Phase(0x4f45)); // "OE" marker
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    let padded = n.next_power_of_two();
+    // Iterative odd-even merge network over virtual size `padded`; any
+    // comparator touching an index >= n is skipped (out-of-range elements
+    // behave as +infinity, which never need to move).
+    let mut p = 1usize;
+    while p < padded {
+        let mut k = p;
+        while k >= 1 {
+            let mut j = k % p;
+            while j + k < padded {
+                for i in 0..k.min(padded - j - k) {
+                    let a = i + j;
+                    let b = i + j + k;
+                    if (a / (2 * p)) == (b / (2 * p)) && b < n {
+                        trace::record(TraceEvent::Touch { region: 0x4f, index: a });
+                        trace::record(TraceEvent::Touch { region: 0x4f, index: b });
+                        let (head, tail) = items.split_at_mut(b);
+                        let cond = gt(&head[a], &tail[0]);
+                        head[a].cswap(&mut tail[0], cond);
+                    }
+                }
+                j += 2 * k;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+}
+
+/// Convenience: odd-even sort of `u64`s.
+pub fn osort_odd_even_u64(items: &mut [u64]) {
+    osort_odd_even(items, &|a, b| ct_lt_u64(*b, *a));
+}
+
+/// Oblivious top-`k` selection: returns the `k` smallest elements in sorted
+/// order, via a full oblivious sort and (public-length) truncation. `O(n
+/// log² n)`; used by callers that must hide *which* elements were selected.
+pub fn oselect_smallest<T: Cmov + Clone>(items: &[T], k: usize, gt: &impl Fn(&T, &T) -> Choice) -> Vec<T> {
+    let mut v = items.to_vec();
+    osort_by(&mut v, gt);
+    v.truncate(k.min(items.len()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn test_rng(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        move || {
+            // splitmix64 — deterministic, good enough for tests.
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u64> = (0..100).collect();
+        let mut rng = test_rng(1);
+        oshuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+    }
+
+    #[test]
+    fn shuffle_positions_are_roughly_uniform() {
+        // Element 0's final position over many shuffles covers the range.
+        let mut counts = vec![0usize; 16];
+        for seed in 0..2000u64 {
+            let mut v: Vec<u64> = (0..16).collect();
+            let mut rng = test_rng(seed);
+            oshuffle(&mut v, &mut rng);
+            let pos = v.iter().position(|&x| x == 0).unwrap();
+            counts[pos] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 125).abs() < 70, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_trace_independent_of_contents_and_randomness() {
+        use crate::trace;
+        let run = |vals: Vec<u64>, seed: u64| {
+            let mut v = vals;
+            let mut rng = test_rng(seed);
+            let ((), t) = trace::capture(|| oshuffle(&mut v, &mut rng));
+            t.fingerprint()
+        };
+        assert_eq!(run((0..33).collect(), 1), run(vec![7; 33], 999));
+        assert_ne!(run((0..33).collect(), 1), run((0..34).collect(), 1));
+    }
+
+    #[test]
+    fn odd_even_sorts_small_cases() {
+        for n in 0..=33usize {
+            let mut v: Vec<u64> = (0..n as u64).rev().collect();
+            osort_odd_even_u64(&mut v);
+            assert_eq!(v, (0..n as u64).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn odd_even_trace_fixed_for_n() {
+        use crate::trace;
+        let run = |v: Vec<u64>| {
+            let mut v = v;
+            let ((), t) = trace::capture(|| osort_odd_even_u64(&mut v));
+            t.fingerprint()
+        };
+        assert_eq!(run(vec![3, 1, 2, 9, 5]), run(vec![0, 0, 0, 0, 0]));
+    }
+
+    #[test]
+    fn select_smallest_works() {
+        let v: Vec<u64> = vec![9, 1, 8, 2, 7, 3];
+        let out = oselect_smallest(&v, 3, &|a, b| ct_lt_u64(*b, *a));
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(oselect_smallest(&v, 99, &|a, b| ct_lt_u64(*b, *a)).len(), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn odd_even_matches_std_sort(mut v in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            osort_odd_even_u64(&mut v);
+            prop_assert_eq!(v, expected);
+        }
+
+        #[test]
+        fn shuffle_preserves_multiset(v in proptest::collection::vec(any::<u64>(), 0..200), seed in any::<u64>()) {
+            let mut shuffled = v.clone();
+            let mut rng = test_rng(seed);
+            oshuffle(&mut shuffled, &mut rng);
+            let mut a = v;
+            let mut b = shuffled;
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

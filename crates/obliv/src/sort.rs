@@ -1,0 +1,262 @@
+//! Bitonic sort (Batcher 1968) — Snoopy's oblivious sort (§4.2.1).
+//!
+//! The compare-swap network depends only on the input length `n`, never on the
+//! data, so the access pattern is trivially oblivious. Runs in
+//! `Θ(n log² n)` compare-swaps. The arbitrary-`n` variant below (no padding
+//! required) is the classical recursive formulation; the parallel variant
+//! splits the recursion and the merge loops across scoped threads, reproducing
+//! the paper's Fig. 13a experiment.
+
+use crate::ct::{Choice, Cmov};
+use crate::trace::{self, TraceEvent};
+
+/// A branch-free "less-than" over sort items. Must not branch on secret data;
+/// it receives both elements and returns a secret [`Choice`].
+pub trait ObliviousOrd {
+    /// Returns the secret predicate `a > b` ("should swap when ascending").
+    fn ogt(a: &Self, b: &Self) -> Choice;
+}
+
+/// Sorts `items` ascending with the fixed bitonic network.
+pub fn osort<T: Cmov + ObliviousOrd>(items: &mut [T]) {
+    osort_by(items, &T::ogt)
+}
+
+/// Sorts ascending by an explicit branch-free `gt` predicate.
+pub fn osort_by<T: Cmov>(items: &mut [T], gt: &impl Fn(&T, &T) -> Choice) {
+    let n = items.len();
+    trace::record(TraceEvent::Phase(0x5047)); // "SORT" phase marker
+    sort_rec(items, 0, n, true, gt);
+}
+
+fn sort_rec<T: Cmov>(items: &mut [T], lo: usize, n: usize, ascending: bool, gt: &impl Fn(&T, &T) -> Choice) {
+    if n > 1 {
+        let m = n / 2;
+        sort_rec(items, lo, m, !ascending, gt);
+        sort_rec(items, lo + m, n - m, ascending, gt);
+        merge_rec(items, lo, n, ascending, gt);
+    }
+}
+
+fn merge_rec<T: Cmov>(items: &mut [T], lo: usize, n: usize, ascending: bool, gt: &impl Fn(&T, &T) -> Choice) {
+    if n > 1 {
+        let m = greatest_pow2_below(n);
+        for i in lo..lo + n - m {
+            compare_swap(items, i, i + m, ascending, gt);
+        }
+        merge_rec(items, lo, m, ascending, gt);
+        merge_rec(items, lo + m, n - m, ascending, gt);
+    }
+}
+
+#[inline]
+fn compare_swap<T: Cmov>(items: &mut [T], i: usize, j: usize, ascending: bool, gt: &impl Fn(&T, &T) -> Choice) {
+    trace::record(TraceEvent::Touch { region: 0x50, index: i });
+    trace::record(TraceEvent::Touch { region: 0x50, index: j });
+    let (head, tail) = items.split_at_mut(j);
+    let a = &mut head[i];
+    let b = &mut tail[0];
+    // Swap so that, for an ascending run, the larger element ends up at j.
+    let out_of_order = gt(a, b);
+    let cond = if ascending { out_of_order } else { out_of_order.not() };
+    a.cswap(b, cond);
+}
+
+/// Largest power of two strictly less than `n` (requires `n >= 2`).
+fn greatest_pow2_below(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    1usize << (usize::BITS - 1 - (n - 1).leading_zeros())
+}
+
+/// Parallel bitonic sort across up to `threads` OS threads.
+///
+/// The recursion's two halves are independent, and a merge's compare-swap loop
+/// pairs element `i` of the left part with element `i` of the right part, so
+/// both parallelize with disjoint mutable splits — no locks, no unsafe.
+/// Matches the paper's observation (Fig. 13a) that parallel sort only pays off
+/// above a few thousand elements; callers wanting the adaptive behaviour use
+/// [`osort_adaptive`].
+pub fn osort_parallel<T: Cmov + Send>(
+    items: &mut [T],
+    gt: &(impl Fn(&T, &T) -> Choice + Sync),
+    threads: usize,
+) {
+    let n = items.len();
+    par_sort_rec(items, n, true, gt, threads.max(1));
+}
+
+/// Minimum slice length that justifies spawning a thread for a half. Below
+/// this, thread spawn/join overhead (tens of µs) outweighs the split.
+const PAR_GRAIN: usize = 1 << 13;
+
+fn par_sort_rec<T: Cmov + Send>(
+    items: &mut [T],
+    n: usize,
+    ascending: bool,
+    gt: &(impl Fn(&T, &T) -> Choice + Sync),
+    threads: usize,
+) {
+    if n <= 1 {
+        return;
+    }
+    let m = n / 2;
+    if threads > 1 && n >= PAR_GRAIN {
+        let (left, right) = items.split_at_mut(m);
+        std::thread::scope(|s| {
+            let lt = threads / 2;
+            s.spawn(move || par_sort_rec(left, m, !ascending, gt, threads - lt));
+            par_sort_rec(right, n - m, ascending, gt, lt.max(1));
+        });
+    } else {
+        sort_rec(items, 0, m, !ascending, gt);
+        sort_rec(items, m, n - m, ascending, gt);
+    }
+    par_merge_rec(items, n, ascending, gt, threads);
+}
+
+fn par_merge_rec<T: Cmov + Send>(
+    items: &mut [T],
+    n: usize,
+    ascending: bool,
+    gt: &(impl Fn(&T, &T) -> Choice + Sync),
+    threads: usize,
+) {
+    if n <= 1 {
+        return;
+    }
+    let m = greatest_pow2_below(n);
+    let overlap = n - m;
+    if threads > 1 && n >= PAR_GRAIN {
+        // Pairs (i, i+m) for i in 0..overlap: left part [0, overlap),
+        // right part [m, n). Chunk both identically across threads.
+        let (head, tail) = items.split_at_mut(m);
+        let left = &mut head[..overlap];
+        let chunk = overlap.div_ceil(threads).max(1);
+        std::thread::scope(|s| {
+            for (lc, rc) in left.chunks_mut(chunk).zip(tail.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for (a, b) in lc.iter_mut().zip(rc.iter_mut()) {
+                        let out_of_order = gt(a, b);
+                        let cond = if ascending { out_of_order } else { out_of_order.not() };
+                        a.cswap(b, cond);
+                    }
+                });
+            }
+        });
+        let (left_half, right_half) = items.split_at_mut(m);
+        std::thread::scope(|s| {
+            let lt = threads / 2;
+            s.spawn(move || par_merge_rec(left_half, m, ascending, gt, threads - lt));
+            par_merge_rec(right_half, n - m, ascending, gt, lt.max(1));
+        });
+    } else {
+        merge_rec(items, 0, n, ascending, gt);
+    }
+}
+
+/// Sorts with a thread count chosen by input size, reproducing the "Adaptive"
+/// line of Fig. 13a: small inputs sort single-threaded (coordination costs
+/// dominate), large inputs use all `max_threads`.
+pub fn osort_adaptive<T: Cmov + Send>(
+    items: &mut [T],
+    gt: &(impl Fn(&T, &T) -> Choice + Sync),
+    max_threads: usize,
+) {
+    if items.len() < (1 << 13) || max_threads <= 1 {
+        osort_by(items, gt);
+    } else {
+        osort_parallel(items, gt, max_threads);
+    }
+}
+
+impl ObliviousOrd for u64 {
+    fn ogt(a: &Self, b: &Self) -> Choice {
+        crate::ct::ct_lt_u64(*b, *a)
+    }
+}
+
+impl ObliviousOrd for u32 {
+    fn ogt(a: &Self, b: &Self) -> Choice {
+        crate::ct::ct_lt_u64(*b as u64, *a as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_small_cases() {
+        for n in 0..=17usize {
+            let mut v: Vec<u64> = (0..n as u64).rev().collect();
+            osort(&mut v);
+            let expected: Vec<u64> = (0..n as u64).collect();
+            assert_eq!(v, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let mut v = vec![3u64, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        osort(&mut v);
+        assert_eq!(v, vec![1, 1, 2, 3, 3, 4, 5, 5, 5, 6, 9]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        for n in [0usize, 1, 2, 100, 1023, 1024, 1025, 5000] {
+            let mut v: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+            let mut w = v.clone();
+            osort(&mut v);
+            osort_parallel(&mut w, &u64::ogt, 3);
+            assert_eq!(v, w, "n={n}");
+        }
+    }
+
+    #[test]
+    fn adaptive_sorts_correctly() {
+        let mut v: Vec<u64> = (0..20_000u64).map(|i| i.wrapping_mul(0x2545F4914F6CDD1D)).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
+        osort_adaptive(&mut v, &u64::ogt, 4);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn trace_depends_only_on_length() {
+        use crate::trace;
+        let (_, t1) = trace::capture(|| {
+            let mut v = vec![5u64, 3, 8, 1, 9, 2, 7];
+            osort(&mut v);
+        });
+        let (_, t2) = trace::capture(|| {
+            let mut v = vec![0u64, 0, 0, 0, 0, 0, 0];
+            osort(&mut v);
+        });
+        assert_eq!(t1, t2);
+        let (_, t3) = trace::capture(|| {
+            let mut v = vec![0u64; 8];
+            osort(&mut v);
+        });
+        assert_ne!(t1, t3, "different n must change the (public) trace");
+    }
+
+    proptest! {
+        #[test]
+        fn matches_std_sort(mut v in proptest::collection::vec(any::<u64>(), 0..300)) {
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            osort(&mut v);
+            prop_assert_eq!(v, expected);
+        }
+
+        #[test]
+        fn parallel_matches_std_sort(mut v in proptest::collection::vec(any::<u64>(), 0..2500), threads in 1usize..5) {
+            let mut expected = v.clone();
+            expected.sort_unstable();
+            osort_parallel(&mut v, &u64::ogt, threads);
+            prop_assert_eq!(v, expected);
+        }
+    }
+}

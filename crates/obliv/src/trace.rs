@@ -1,0 +1,191 @@
+//! Access-trace recording for obliviousness testing.
+//!
+//! The paper's security definition (§B) says the adversary observes a *trace*
+//! of memory access patterns and network messages, and proves that this trace
+//! is simulatable from public information alone. Running on an abstract
+//! enclave lets us check this property *experimentally*: oblivious primitives
+//! and algorithms record structural events (never data, never condition bits)
+//! into a thread-local recorder, and tests assert that two executions with
+//! identical public parameters but different secret inputs produce identical
+//! traces.
+//!
+//! Events deliberately capture *addresses and shapes* only:
+//! [`TraceEvent::CmpSwap`]/[`TraceEvent::CmpSet`] carry no operands,
+//! [`TraceEvent::Touch`] carries an index whose sequence must be
+//! data-independent, and [`TraceEvent::Message`] carries destination + length.
+//! If an algorithm's control flow ever depends on secrets, the event streams
+//! diverge and the equivalence test fails.
+//!
+//! Recording is off by default and costs one thread-local flag check per
+//! event.
+
+use std::cell::RefCell;
+
+/// One observable event in the adversary's view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// An oblivious compare-and-swap executed (operands and outcome hidden).
+    CmpSwap,
+    /// An oblivious compare-and-set executed (operands and outcome hidden).
+    CmpSet,
+    /// A memory location at `index` within region `region` was touched.
+    Touch {
+        /// Caller-chosen region label (deterministic per algorithm).
+        region: u32,
+        /// Element index accessed.
+        index: usize,
+    },
+    /// An allocation of `len` elements became visible.
+    Alloc {
+        /// Number of elements allocated.
+        len: usize,
+    },
+    /// A network message of `len` bytes was sent to `dst`.
+    Message {
+        /// Destination id.
+        dst: u32,
+        /// Message length in bytes.
+        len: usize,
+    },
+    /// A phase marker (public algorithm structure), useful when diffing traces.
+    Phase(u32),
+}
+
+/// A recorded event sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The events, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A compact 64-bit fingerprint (FNV-1a over the event encoding), handy
+    /// for comparing many traces without storing them all.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        };
+        for e in &self.events {
+            match *e {
+                TraceEvent::CmpSwap => mix(1),
+                TraceEvent::CmpSet => mix(2),
+                TraceEvent::Touch { region, index } => {
+                    mix(3);
+                    mix(region as u64);
+                    mix(index as u64);
+                }
+                TraceEvent::Alloc { len } => {
+                    mix(4);
+                    mix(len as u64);
+                }
+                TraceEvent::Message { dst, len } => {
+                    mix(5);
+                    mix(dst as u64);
+                    mix(len as u64);
+                }
+                TraceEvent::Phase(p) => {
+                    mix(6);
+                    mix(p as u64);
+                }
+            }
+        }
+        h
+    }
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Trace>> = const { RefCell::new(None) };
+}
+
+/// Starts recording on this thread, discarding any previous recording.
+pub fn start() {
+    RECORDER.with(|r| *r.borrow_mut() = Some(Trace::default()));
+}
+
+/// Stops recording and returns the captured trace (empty if never started).
+pub fn stop() -> Trace {
+    RECORDER.with(|r| r.borrow_mut().take().unwrap_or_default())
+}
+
+/// True if this thread is currently recording.
+pub fn is_recording() -> bool {
+    RECORDER.with(|r| r.borrow().is_some())
+}
+
+/// Records one event if recording is enabled.
+#[inline]
+pub fn record(event: TraceEvent) {
+    RECORDER.with(|r| {
+        if let Some(t) = r.borrow_mut().as_mut() {
+            t.events.push(event);
+        }
+    });
+}
+
+/// Runs `f` with recording enabled and returns `(result, trace)`.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Trace) {
+    start();
+    let out = f();
+    (out, stop())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_returns_events_in_order() {
+        let ((), trace) = capture(|| {
+            record(TraceEvent::Phase(1));
+            record(TraceEvent::Touch { region: 0, index: 3 });
+            record(TraceEvent::CmpSwap);
+        });
+        assert_eq!(
+            trace.events,
+            vec![
+                TraceEvent::Phase(1),
+                TraceEvent::Touch { region: 0, index: 3 },
+                TraceEvent::CmpSwap
+            ]
+        );
+    }
+
+    #[test]
+    fn recording_disabled_by_default() {
+        record(TraceEvent::CmpSwap);
+        assert!(!is_recording());
+        let ((), t) = capture(|| {});
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_traces() {
+        let (_, t1) = capture(|| record(TraceEvent::Touch { region: 0, index: 1 }));
+        let (_, t2) = capture(|| record(TraceEvent::Touch { region: 0, index: 2 }));
+        let (_, t3) = capture(|| record(TraceEvent::Touch { region: 0, index: 1 }));
+        assert_ne!(t1.fingerprint(), t2.fingerprint());
+        assert_eq!(t1.fingerprint(), t3.fingerprint());
+    }
+
+    #[test]
+    fn nested_capture_overwrites() {
+        start();
+        record(TraceEvent::CmpSet);
+        let ((), inner) = capture(|| record(TraceEvent::CmpSwap));
+        assert_eq!(inner.events, vec![TraceEvent::CmpSwap]);
+        // The outer recording was discarded by the inner start().
+        assert!(!is_recording());
+    }
+}

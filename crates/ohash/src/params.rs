@@ -1,0 +1,199 @@
+//! Bucket-size derivation for the two-tier table.
+//!
+//! Given `n` batch entries and security parameter `λ`, choose:
+//!
+//! * `m1` tier-1 buckets of size `z1` — small buckets, *non*-negligible
+//!   per-bucket overflow (overflow spills to tier 2);
+//! * `n2_cap` — a cap on total tier-1 overflow such that
+//!   `P[overflow > n2_cap] ≤ 2^-λ`. Overflow indicators for balls-into-bins
+//!   are negatively associated, so the Chernoff bound applies with mean
+//!   `n · q` where `q = P[Binomial(n−1, 1/m1) ≥ z1]` (the probability a given
+//!   item lands in a bucket already holding `z1` others);
+//! * `m2` tier-2 buckets of size `z2`, sized with the paper's Theorem 3 bound
+//!   so that tier-2 overflow is itself negligible.
+//!
+//! `z1` and `m2` are chosen by numeric search minimizing the per-lookup scan
+//! cost `z1 + z2`, with a memory cap on the tier-2 table.
+
+use snoopy_binning::{batch_size, binomial_tail, chernoff_ln_tail};
+
+/// Derived two-tier table parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableParams {
+    /// Batch size the table is built for.
+    pub n: usize,
+    /// Tier-1 bucket count.
+    pub m1: usize,
+    /// Tier-1 bucket size.
+    pub z1: usize,
+    /// Public cap on tier-1 overflow (tier-2 input size).
+    pub n2_cap: usize,
+    /// Tier-2 bucket count.
+    pub m2: usize,
+    /// Tier-2 bucket size.
+    pub z2: usize,
+    /// Security parameter.
+    pub lambda: u32,
+}
+
+impl TableParams {
+    /// Total entries in the table (tier 1 + tier 2).
+    pub fn total_slots(&self) -> usize {
+        self.m1 * self.z1 + self.m2 * self.z2
+    }
+
+    /// Entries scanned per lookup.
+    pub fn lookup_cost(&self) -> usize {
+        self.z1 + self.z2
+    }
+
+    /// Derives parameters for a batch of `n` distinct entries at security
+    /// level `lambda`. Panics if `n == 0`.
+    pub fn derive(n: usize, lambda: u32) -> TableParams {
+        assert!(n > 0, "cannot build a table for an empty batch");
+        // Tiny batches: a single tier-2-style table (one bucket holding
+        // everything) is both cheapest and trivially safe.
+        if n <= 32 {
+            return TableParams { n, m1: 1, z1: n, n2_cap: 1, m2: 1, z2: 1, lambda };
+        }
+
+        let mut best: Option<TableParams> = None;
+        for z1 in [4usize, 6, 8, 12, 16, 24, 32] {
+            if z1 >= n {
+                continue;
+            }
+            // Load factor 1/2: expected bucket load = z1/2.
+            let m1 = (2 * n).div_ceil(z1).next_power_of_two();
+            let n2_cap = overflow_cap(n, m1, z1, lambda);
+            if n2_cap == 0 || n2_cap >= n {
+                continue;
+            }
+            // Search tier-2 bucket counts; cap tier-2 memory at 8n slots.
+            let mut m2 = 1usize;
+            while m2 <= (8 * n).next_power_of_two() {
+                let z2 = batch_size(n2_cap as u64, m2 as u64, lambda) as usize;
+                if m2 * z2 <= 8 * n {
+                    let cand = TableParams { n, m1, z1, n2_cap, m2, z2, lambda };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            let (c, bc) = (cand.lookup_cost(), b.lookup_cost());
+                            c < bc || (c == bc && cand.total_slots() < b.total_slots())
+                        }
+                    };
+                    if better {
+                        best = Some(cand);
+                    }
+                }
+                m2 *= 2;
+            }
+        }
+        best.expect("parameter search must succeed for n > 32")
+    }
+}
+
+/// Smallest cap `k` with `P[total tier-1 overflow > k] ≤ 2^-λ`, via the
+/// Chernoff certificate over mean `n·q`. Returns 0 if no cap below `n` works.
+fn overflow_cap(n: usize, m1: usize, z1: usize, lambda: u32) -> usize {
+    let q = binomial_tail(n as u64 - 1, 1.0 / m1 as f64, z1 as u64);
+    let mu = n as f64 * q;
+    let threshold = -(lambda as f64) * std::f64::consts::LN_2;
+    // Exponential-then-binary search for the smallest adequate k.
+    let ok = |k: usize| chernoff_ln_tail(mu, k as f64) <= threshold;
+    let mut hi = 1usize;
+    while hi < n && !ok(hi) {
+        hi *= 2;
+    }
+    if !ok(hi) {
+        return 0;
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if ok(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_for_paper_batch_size() {
+        let p = TableParams::derive(4096, 128);
+        assert_eq!(p.n, 4096);
+        assert!(p.m1.is_power_of_two());
+        assert!(p.z1 * p.m1 >= p.n, "tier 1 must be able to hold the bulk");
+        assert!(p.n2_cap < p.n, "overflow cap must be a small fraction of n");
+        assert!(p.z2 > 0 && p.m2 > 0);
+        // The whole point: lookups scan far fewer entries than the batch.
+        assert!(p.lookup_cost() < p.n / 10, "lookup cost {}", p.lookup_cost());
+    }
+
+    #[test]
+    fn two_tier_beats_single_tier_lookup_cost() {
+        // Single-tier comparison: buckets sized for negligible overflow
+        // directly. Minimize over bucket counts as a fair baseline.
+        for n in [1 << 12, 1 << 14, 1 << 16] {
+            let p = TableParams::derive(n, 128);
+            let mut single_best = usize::MAX;
+            let mut m = 1usize;
+            while m <= 4 * n {
+                let z = batch_size(n as u64, m as u64, 128) as usize;
+                if m * z <= 8 * n {
+                    single_best = single_best.min(z);
+                }
+                m *= 2;
+            }
+            assert!(
+                p.lookup_cost() <= single_best,
+                "n={n}: two-tier {} vs single-tier {}",
+                p.lookup_cost(),
+                single_best
+            );
+        }
+    }
+
+    #[test]
+    fn small_batches_degenerate_to_one_bucket() {
+        for n in [1usize, 2, 16, 32] {
+            let p = TableParams::derive(n, 128);
+            assert_eq!(p.m1, 1);
+            assert_eq!(p.z1, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn zero_panics() {
+        TableParams::derive(0, 128);
+    }
+
+    #[test]
+    fn overflow_cap_monotone_in_lambda() {
+        let c80 = overflow_cap(4096, 1024, 8, 80);
+        let c128 = overflow_cap(4096, 1024, 8, 128);
+        assert!(c128 >= c80);
+        assert!(c80 > 0);
+    }
+
+    #[test]
+    fn certificate_holds_at_derived_params() {
+        let p = TableParams::derive(4096, 128);
+        let q = binomial_tail(p.n as u64 - 1, 1.0 / p.m1 as f64, p.z1 as u64);
+        let lnp = chernoff_ln_tail(p.n as f64 * q, p.n2_cap as f64);
+        assert!(lnp <= -(128.0 * std::f64::consts::LN_2) + 1e-6, "ln p = {lnp}");
+    }
+
+    #[test]
+    fn total_slots_and_lookup_cost_consistent() {
+        let p = TableParams::derive(1000, 128);
+        assert_eq!(p.total_slots(), p.m1 * p.z1 + p.m2 * p.z2);
+        assert_eq!(p.lookup_cost(), p.z1 + p.z2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Sharded plaintext key-value store — the Redis-role baseline (§8.1).
+//!
+//! Snoopy's evaluation uses an unencrypted Redis cluster to quantify the cost
+//! of obliviousness: the plaintext store routes each request straight to its
+//! shard, does O(1) work, and leaks everything. This crate is that baseline:
+//! hash-sharded in-memory maps plus a pipelined batch API mirroring how
+//! memtier drives Redis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// An operation against the store.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlainOp {
+    /// `GET key`.
+    Get(u64),
+    /// `SET key value`.
+    Set(u64, Vec<u8>),
+}
+
+/// A sharded plaintext store.
+pub struct PlaintextStore {
+    shards: Vec<HashMap<u64, Vec<u8>>>,
+}
+
+impl PlaintextStore {
+    /// Creates a store with `shards` shards.
+    pub fn new(shards: usize) -> PlaintextStore {
+        assert!(shards >= 1);
+        PlaintextStore { shards: vec![HashMap::new(); shards] }
+    }
+
+    /// The shard a key routes to. Unlike Snoopy's keyed hash, this is public
+    /// — which is exactly the leak that makes plaintext sharding fast.
+    pub fn shard_of(&self, key: u64) -> usize {
+        // Fibonacci hashing: cheap and well-spread, like Redis' slot mapping.
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % self.shards.len()
+    }
+
+    /// Point read.
+    pub fn get(&self, key: u64) -> Option<&Vec<u8>> {
+        self.shards[self.shard_of(key)].get(&key)
+    }
+
+    /// Point write. Returns the previous value.
+    pub fn set(&mut self, key: u64, value: Vec<u8>) -> Option<Vec<u8>> {
+        let s = self.shard_of(key);
+        self.shards[s].insert(key, value)
+    }
+
+    /// Pipelined batch execution (memtier-style): runs every op, returning
+    /// per-op results (`None` for misses and for `SET`s with no prior value).
+    pub fn pipeline(&mut self, ops: &[PlainOp]) -> Vec<Option<Vec<u8>>> {
+        ops.iter()
+            .map(|op| match op {
+                PlainOp::Get(k) => self.get(*k).cloned(),
+                PlainOp::Set(k, v) => self.set(*k, v.clone()),
+            })
+            .collect()
+    }
+
+    /// Total stored keys.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard key counts (for balance checks).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut s = PlaintextStore::new(4);
+        assert!(s.get(1).is_none());
+        assert!(s.set(1, vec![1, 2, 3]).is_none());
+        assert_eq!(s.get(1), Some(&vec![1, 2, 3]));
+        assert_eq!(s.set(1, vec![4]), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn pipeline_matches_pointwise() {
+        let mut s = PlaintextStore::new(2);
+        let out = s.pipeline(&[
+            PlainOp::Set(5, vec![9]),
+            PlainOp::Get(5),
+            PlainOp::Get(6),
+            PlainOp::Set(5, vec![8]),
+        ]);
+        assert_eq!(out, vec![None, Some(vec![9]), None, Some(vec![9])]);
+    }
+
+    #[test]
+    fn shards_are_roughly_balanced() {
+        let mut s = PlaintextStore::new(8);
+        for k in 0..8000u64 {
+            s.set(k, vec![0]);
+        }
+        let sizes = s.shard_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 8000);
+        for &sz in &sizes {
+            assert!((sz as i64 - 1000).abs() < 300, "{sizes:?}");
+        }
+    }
+
+    #[test]
+    fn routing_is_stable() {
+        let s = PlaintextStore::new(5);
+        for k in [0u64, 1, 99, u64::MAX] {
+            assert_eq!(s.shard_of(k), s.shard_of(k));
+            assert!(s.shard_of(k) < 5);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The Snoopy planner (paper §6).
+//!
+//! Given a data size `N`, a minimum throughput `X_sys`, and a maximum average
+//! latency `L_sys`, output the configuration (number of load balancers `B`,
+//! number of subORAMs `S`) minimizing monthly cost, using the paper's three
+//! relations:
+//!
+//! * **Equation (1)** — sustainability: with pipelined processing, the epoch
+//!   length must cover the slower stage,
+//!   `T ≥ max( L_LB(X·T/B, S),  B · L_S(f(X·T/B, S), N/S) )`;
+//! * **Equation (2)** — latency: a request waits on average `T/2` and each
+//!   pipeline stage is bounded by `T`, so `L_sys ≤ 5T/2`;
+//! * **Equation (3)** — cost: `C_sys = B·C_LB + S·C_S`.
+//!
+//! Service times come from the same calibrated [`CostModel`] the cluster
+//! simulator uses, so a plan can be validated by simulation
+//! ([`Plan::validate`]). Like the paper's planner, this is a heuristic
+//! starting point, not a guarantee (§6: "our model makes simplifying
+//! assumptions").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use snoopy_netsim::cluster::{ClusterParams, ClusterSim, SubKind};
+use snoopy_netsim::costmodel::CostModel;
+
+/// Monthly machine prices (Azure DCsv2-series, as in the paper's Fig. 14).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prices {
+    /// $/month for a load-balancer machine.
+    pub lb_per_month: f64,
+    /// $/month for a subORAM machine.
+    pub suboram_per_month: f64,
+}
+
+impl Default for Prices {
+    fn default() -> Self {
+        // DC4s_v2 ≈ $0.478/hour ≈ $349/month for either role.
+        Prices { lb_per_month: 349.0, suboram_per_month: 349.0 }
+    }
+}
+
+/// Performance requirements.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Requirements {
+    /// Minimum sustained throughput (requests/second).
+    pub min_throughput_rps: f64,
+    /// Maximum average latency (milliseconds).
+    pub max_latency_ms: f64,
+    /// Stored objects.
+    pub num_objects: u64,
+}
+
+/// A planned configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Plan {
+    /// Load balancer count (`B` in the paper's §6 notation).
+    pub num_lbs: usize,
+    /// SubORAM count (`S`).
+    pub num_suborams: usize,
+    /// Chosen epoch length (ns).
+    pub epoch_ns: u64,
+    /// Monthly cost under the given prices.
+    pub cost_per_month: f64,
+    /// Modeled per-epoch request volume at the required throughput.
+    pub requests_per_epoch: u64,
+}
+
+impl Plan {
+    /// Total machines (the paper's x-axis).
+    pub fn machines(&self) -> usize {
+        self.num_lbs + self.num_suborams
+    }
+
+    /// Cross-checks the plan against the discrete-event simulator: runs the
+    /// required load and reports `(throughput, mean latency ms)`.
+    pub fn validate(&self, req: &Requirements, model: &CostModel, seed: u64) -> (f64, f64) {
+        let sim = ClusterSim::new(
+            ClusterParams {
+                num_lbs: self.num_lbs,
+                num_suborams: self.num_suborams,
+                num_objects: req.num_objects,
+                epoch_ns: self.epoch_ns,
+                duration_ns: 60 * self.epoch_ns.max(100_000_000),
+                warmup_ns: 10 * self.epoch_ns.max(100_000_000),
+                sub_kind: SubKind::SnoopyScan,
+            },
+            model.clone(),
+        );
+        let rep = sim.run_poisson(req.min_throughput_rps, seed);
+        (rep.throughput_rps, rep.mean_latency_ms)
+    }
+}
+
+/// Checks Equations (1) and (2) for a candidate `(B, S, T)` at the required
+/// throughput. Returns true if the configuration sustains the load.
+pub fn feasible(req: &Requirements, model: &CostModel, num_lbs: usize, num_suborams: usize, epoch_ns: u64) -> bool {
+    let t = epoch_ns as f64;
+    // Equation (2): L_sys <= 5T/2  ⇔  T <= 2·L_sys/5.
+    if t > req.max_latency_ms * 1e6 * 2.0 / 5.0 {
+        return false;
+    }
+    // Requests per epoch per balancer at the target throughput.
+    let r_per_lb = (req.min_throughput_rps * t / 1e9 / num_lbs as f64).ceil() as u64;
+    if r_per_lb == 0 {
+        return true;
+    }
+    let s = num_suborams as u64;
+    let b = model.batch_size(r_per_lb, s);
+    let partition = req.num_objects / s;
+    // Equation (1): the balancer pipelines (make + match both run on it);
+    // each subORAM serves one batch per balancer per epoch.
+    let lb_time = model.lb_make_batch_ns(r_per_lb, s) + model.lb_match_ns(r_per_lb, s);
+    let sub_time = num_lbs as f64 * model.suboram_batch_ns(b, partition);
+    t >= lb_time.max(sub_time)
+}
+
+/// Searches for the cheapest feasible configuration (Equation (3) objective).
+/// Returns `None` if nothing within `max_machines` works.
+pub fn plan(req: &Requirements, model: &CostModel, prices: &Prices, max_machines: usize) -> Option<Plan> {
+    let t_max = (req.max_latency_ms * 1e6 * 2.0 / 5.0) as u64;
+    if t_max == 0 {
+        return None;
+    }
+    // Epoch grid: the largest allowed epoch is most efficient (bigger batches
+    // amortize better), but a saturated balancer may prefer shorter epochs;
+    // try a small grid.
+    let t_grid = [t_max, t_max * 3 / 4, t_max / 2, t_max / 4, t_max / 8];
+    let mut best: Option<Plan> = None;
+    for s in 1..max_machines {
+        for l in 1..=(max_machines - s) {
+            let cost = l as f64 * prices.lb_per_month + s as f64 * prices.suboram_per_month;
+            if let Some(b) = &best {
+                if cost >= b.cost_per_month {
+                    continue;
+                }
+            }
+            for &t in &t_grid {
+                if t == 0 {
+                    continue;
+                }
+                if feasible(req, model, l, s, t) {
+                    let r_per_epoch = (req.min_throughput_rps * t as f64 / 1e9).ceil() as u64;
+                    best = Some(Plan {
+                        num_lbs: l,
+                        num_suborams: s,
+                        epoch_ns: t,
+                        cost_per_month: cost,
+                        requests_per_epoch: r_per_epoch,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tput: f64, lat_ms: f64, n: u64) -> Requirements {
+        Requirements { min_throughput_rps: tput, max_latency_ms: lat_ms, num_objects: n }
+    }
+
+    #[test]
+    fn finds_a_small_config_for_light_load() {
+        let m = CostModel::paper_calibrated();
+        let p = plan(&req(1000.0, 1000.0, 10_000), &m, &Prices::default(), 20).unwrap();
+        assert!(p.machines() <= 4, "light load should not need many machines: {p:?}");
+    }
+
+    #[test]
+    fn higher_throughput_costs_more() {
+        let m = CostModel::paper_calibrated();
+        let prices = Prices::default();
+        let lo = plan(&req(5_000.0, 1000.0, 1_000_000), &m, &prices, 40).unwrap();
+        let hi = plan(&req(60_000.0, 1000.0, 1_000_000), &m, &prices, 40).unwrap();
+        assert!(hi.cost_per_month > lo.cost_per_month, "{lo:?} vs {hi:?}");
+    }
+
+    #[test]
+    fn larger_data_needs_more_suborams() {
+        // Fig. 14a: bigger data sizes favor a higher subORAM:balancer ratio.
+        let m = CostModel::paper_calibrated();
+        let prices = Prices::default();
+        let small = plan(&req(40_000.0, 1000.0, 10_000), &m, &prices, 40).unwrap();
+        let large = plan(&req(40_000.0, 1000.0, 1_000_000), &m, &prices, 40).unwrap();
+        assert!(
+            large.num_suborams > small.num_suborams,
+            "small: {small:?}, large: {large:?}"
+        );
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let m = CostModel::paper_calibrated();
+        // 1 µs latency is impossible.
+        assert!(plan(&req(1000.0, 0.001, 1_000_000), &m, &Prices::default(), 10).is_none());
+    }
+
+    #[test]
+    fn tighter_latency_not_cheaper() {
+        let m = CostModel::paper_calibrated();
+        let prices = Prices::default();
+        let loose = plan(&req(30_000.0, 1000.0, 2_000_000), &m, &prices, 40).unwrap();
+        let tight = plan(&req(30_000.0, 300.0, 2_000_000), &m, &prices, 40).unwrap();
+        assert!(tight.cost_per_month >= loose.cost_per_month, "{loose:?} vs {tight:?}");
+    }
+
+    #[test]
+    fn plan_validates_against_simulator() {
+        let m = CostModel::paper_calibrated();
+        let r = req(20_000.0, 1000.0, 2_000_000);
+        let p = plan(&r, &m, &Prices::default(), 40).unwrap();
+        let (tput, lat) = p.validate(&r, &m, 7);
+        // The simulator should confirm the offered load completes with
+        // latency within the SLO (with modest slack for queueing the
+        // closed-form model ignores).
+        assert!(tput >= r.min_throughput_rps * 0.85, "sim tput {tput}");
+        assert!(lat <= r.max_latency_ms * 1.5, "sim latency {lat} ms, plan {p:?}");
+    }
+
+    #[test]
+    fn feasibility_monotone_in_machines() {
+        let m = CostModel::paper_calibrated();
+        let r = req(50_000.0, 500.0, 2_000_000);
+        let t = (r.max_latency_ms * 1e6 * 2.0 / 5.0) as u64;
+        // If (l, s) works then (l+1, s+1) should too (more capacity).
+        for (l, s) in [(2usize, 8usize), (3, 10), (4, 12)] {
+            if feasible(&r, &m, l, s, t) {
+                assert!(feasible(&r, &m, l + 1, s + 1, t), "({l},{s}) ok but +1 not");
+            }
+        }
+    }
+}

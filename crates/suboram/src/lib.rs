@@ -1,0 +1,589 @@
+//! Snoopy's throughput-optimized subORAM (paper §5).
+//!
+//! A subORAM owns one static partition of the object space and supports a
+//! single operation: **batch access**. Instead of polylogarithmic per-request
+//! structures, it amortizes *one* linear scan of the partition over the whole
+//! batch:
+//!
+//! 1. Build a two-tier oblivious hash table over the batch under a fresh key
+//!    (so bucket occupancy is unlinkable across batches).
+//! 2. Scan every stored object; for each, scan its tier-1 and tier-2 buckets
+//!    fully, performing a *pair* of oblivious compare-and-sets per slot — one
+//!    that may update the stored object (writes) and one that may fill the
+//!    request's response value (reads and pre-write values) — so that neither
+//!    the match nor the request type is observable.
+//! 3. Obliviously extract exactly the batch entries from the table and return
+//!    them as responses.
+//!
+//! The batch must contain **distinct** object ids (paper Definition 2); the
+//! hash table verifies this obliviously and returns an error otherwise.
+//!
+//! Two storage backends are provided: [`Storage::InEnclave`] keeps the
+//! partition in (modeled) enclave memory; [`Storage::External`] keeps it
+//! AEAD-sealed outside the enclave with per-block digests inside, mirroring
+//! the paper's deployment where partitions exceed the EPC (§7) — every object
+//! is re-sealed on every scan regardless of whether it changed, so writes are
+//! invisible to the host.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use snoopy_crypto::Key256;
+use snoopy_enclave::epc::{CostMeter, EpcModel};
+use snoopy_enclave::external::{ExternalStore, IntegrityError};
+use snoopy_enclave::wire::{Request, StoredObject, REAL_ID_LIMIT};
+use snoopy_obliv::ct::{ct_eq_u64, Cmov};
+use snoopy_obliv::trace::{self, TraceEvent};
+use snoopy_ohash::{OHashError, OHashTable};
+
+/// Errors from batch processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubOramError {
+    /// The batch violated the distinct-ids requirement or hit the
+    /// negligible-probability table overflow.
+    Hash(OHashError),
+    /// External storage failed an integrity check (host tampering).
+    Integrity(IntegrityError),
+    /// The batch was empty (the load balancer always sends `B ≥ 1`).
+    EmptyBatch,
+}
+
+impl std::fmt::Display for SubOramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubOramError::Hash(e) => write!(f, "hash table: {e}"),
+            SubOramError::Integrity(e) => write!(f, "integrity: {e}"),
+            SubOramError::EmptyBatch => write!(f, "empty batch"),
+        }
+    }
+}
+
+impl std::error::Error for SubOramError {}
+
+impl From<OHashError> for SubOramError {
+    fn from(e: OHashError) -> Self {
+        SubOramError::Hash(e)
+    }
+}
+
+impl From<IntegrityError> for SubOramError {
+    fn from(e: IntegrityError) -> Self {
+        SubOramError::Integrity(e)
+    }
+}
+
+/// Where the partition lives.
+pub enum Storage {
+    /// Objects in (modeled) enclave memory — fastest, used when the partition
+    /// fits in the EPC.
+    InEnclave(Vec<StoredObject>),
+    /// Objects AEAD-sealed in untrusted memory with in-enclave digests.
+    External {
+        /// The sealed store.
+        store: ExternalStore,
+        /// Object count (one object per block).
+        count: usize,
+    },
+}
+
+/// A subORAM instance.
+///
+/// ```
+/// use snoopy_suboram::SubOram;
+/// use snoopy_crypto::Key256;
+/// use snoopy_enclave::wire::{Request, StoredObject};
+///
+/// let objects: Vec<StoredObject> =
+///     (0..64).map(|id| StoredObject::new(id, &[id as u8], 16)).collect();
+/// let mut sub = SubOram::new_in_enclave(objects, 16, Key256([1u8; 32]), 128);
+/// // One linear scan serves the whole (distinct-id) batch:
+/// let out = sub
+///     .batch_access(vec![Request::read(5, 16, 0, 0), Request::write(9, &[0xFF], 16, 0, 1)])
+///     .unwrap();
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(sub.peek(9).unwrap()[0], 0xFF);
+/// ```
+pub struct SubOram {
+    storage: Storage,
+    value_len: usize,
+    root_key: Key256,
+    batch_counter: u64,
+    lambda: u32,
+    /// EPC model used for cost accounting.
+    pub epc: EpcModel,
+    /// Accumulated modeled costs.
+    pub meter: CostMeter,
+}
+
+impl SubOram {
+    /// Creates a subORAM holding `objects` in enclave memory. All object ids
+    /// must be below [`REAL_ID_LIMIT`] and all values share `value_len`.
+    pub fn new_in_enclave(objects: Vec<StoredObject>, value_len: usize, root_key: Key256, lambda: u32) -> SubOram {
+        for o in &objects {
+            assert!(o.id < REAL_ID_LIMIT, "object id {} in reserved namespace", o.id);
+            assert_eq!(o.value.len(), value_len, "object sizes are public and fixed");
+        }
+        SubOram {
+            storage: Storage::InEnclave(objects),
+            value_len,
+            root_key,
+            batch_counter: 0,
+            lambda,
+            epc: EpcModel::default(),
+            meter: CostMeter::default(),
+        }
+    }
+
+    /// Creates a subORAM whose partition lives sealed in untrusted memory.
+    pub fn new_external(objects: Vec<StoredObject>, value_len: usize, root_key: Key256, lambda: u32) -> SubOram {
+        let count = objects.len();
+        let block_len = 8 + value_len;
+        let mut store = ExternalStore::new(&root_key.derive(b"suboram-external"), count, block_len);
+        for (i, o) in objects.iter().enumerate() {
+            assert!(o.id < REAL_ID_LIMIT);
+            assert_eq!(o.value.len(), value_len);
+            store.put(i, &encode_object(o)).expect("in-range");
+        }
+        SubOram {
+            storage: Storage::External { store, count },
+            value_len,
+            root_key,
+            batch_counter: 0,
+            lambda,
+            epc: EpcModel::default(),
+            meter: CostMeter::default(),
+        }
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        match &self.storage {
+            Storage::InEnclave(v) => v.len(),
+            Storage::External { count, .. } => *count,
+        }
+    }
+
+    /// Whether the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The public object size.
+    pub fn value_len(&self) -> usize {
+        self.value_len
+    }
+
+    /// Processes one batch of distinct requests, returning one response per
+    /// batch entry (order unspecified; the load balancer re-sorts by id).
+    ///
+    /// Reads receive the object's current value; writes apply their payload
+    /// and receive the *pre-write* value; requests for absent ids (including
+    /// dummies) receive zeros.
+    pub fn batch_access(&mut self, batch: Vec<Request>) -> Result<Vec<Request>, SubOramError> {
+        if batch.is_empty() {
+            return Err(SubOramError::EmptyBatch);
+        }
+        trace::record(TraceEvent::Phase(0x534f)); // "SO" batch marker
+        // Fresh key per batch (§5): unlinks bucket occupancy across batches.
+        let batch_key = self.root_key.derive(&self.batch_counter.to_le_bytes());
+        self.batch_counter += 1;
+
+        let mut table = OHashTable::construct(batch, &batch_key, self.lambda)?;
+
+        // Linear scan of the partition.
+        match &mut self.storage {
+            Storage::InEnclave(objects) => {
+                for obj in objects.iter_mut() {
+                    scan_step(obj, &mut table, &mut self.meter);
+                }
+                self.meter
+                    .record_scan(&self.epc, (objects.len() * (8 + self.value_len)) as u64, 0);
+            }
+            Storage::External { store, count } => {
+                let value_len = self.value_len;
+                let meter = &mut self.meter;
+                // Stream blocks through the enclave: decrypt, process,
+                // re-seal unconditionally (a skipped write-back would reveal
+                // which objects were written).
+                for i in 0..*count {
+                    let plain = store.get(i)?;
+                    let mut obj = decode_object(&plain, value_len);
+                    scan_step(&mut obj, &mut table, meter);
+                    store.put(i, &encode_object(&obj))?;
+                }
+                meter.record_scan(&self.epc, (*count * (8 + value_len)) as u64, 0);
+            }
+        }
+
+        Ok(table.into_batch_requests())
+    }
+
+    /// Multithreaded batch access (paper §8.4, Fig. 13b: "we can use the
+    /// remaining cores to parallelize both the hash table construction and
+    /// linear scan").
+    ///
+    /// The partition is split into `threads` chunks; each worker scans its
+    /// chunk against a private copy of the hash table (objects are distinct,
+    /// so each request matches in at most one chunk), and the copies are
+    /// merged with oblivious compare-and-sets afterwards. Only supported for
+    /// in-enclave storage (the external store streams serially by design).
+    pub fn batch_access_parallel(
+        &mut self,
+        batch: Vec<Request>,
+        threads: usize,
+    ) -> Result<Vec<Request>, SubOramError> {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return self.batch_access(batch);
+        }
+        if batch.is_empty() {
+            return Err(SubOramError::EmptyBatch);
+        }
+        let objects = match &mut self.storage {
+            Storage::InEnclave(objects) => objects,
+            Storage::External { .. } => return self.batch_access(batch),
+        };
+        let batch_key = self.root_key.derive(&self.batch_counter.to_le_bytes());
+        self.batch_counter += 1;
+        let lambda = self.lambda;
+
+        let table = OHashTable::construct(batch, &batch_key, lambda)?;
+        let chunk = objects.len().div_ceil(threads).max(1);
+        let mut tables: Vec<OHashTable> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for part in objects.chunks_mut(chunk) {
+                let mut local = table.clone();
+                handles.push(scope.spawn(move || {
+                    let mut meter = CostMeter::default();
+                    for obj in part.iter_mut() {
+                        scan_step(obj, &mut local, &mut meter);
+                    }
+                    (local, meter)
+                }));
+            }
+            for h in handles {
+                let (local, meter) = h.join().expect("scan worker panicked");
+                self.meter.absorb(&meter);
+                tables.push(local);
+            }
+        });
+        self.meter
+            .record_scan(&self.epc, (objects.len() * (8 + self.value_len)) as u64, 0);
+
+        // Merge: each request slot was mutated in at most one copy; fold the
+        // changed versions (relative to the pristine table) back obliviously.
+        let mut merged = table.clone();
+        for local in tables {
+            merged.merge_changed_from(&table, &local);
+        }
+        Ok(merged.into_batch_requests())
+    }
+
+    /// Test/bench helper: reads an object's current value non-obliviously.
+    /// Not part of the oblivious interface.
+    pub fn peek(&self, id: u64) -> Option<Vec<u8>> {
+        match &self.storage {
+            Storage::InEnclave(objects) => objects.iter().find(|o| o.id == id).map(|o| o.value.clone()),
+            Storage::External { store, count } => {
+                for i in 0..*count {
+                    let plain = store.get(i).ok()?;
+                    let obj = decode_object(&plain, self.value_len);
+                    if obj.id == id {
+                        return Some(obj.value);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Adversary hook for integrity tests (external mode only).
+    pub fn untrusted_store_mut(&mut self) -> Option<&mut ExternalStore> {
+        match &mut self.storage {
+            Storage::External { store, .. } => Some(store),
+            Storage::InEnclave(_) => None,
+        }
+    }
+}
+
+/// One object's interaction with the batch table: scan both candidate
+/// buckets, compare-and-set in both directions (Fig. 7 step ➋).
+fn scan_step(obj: &mut StoredObject, table: &mut OHashTable, meter: &mut CostMeter) {
+    let (b1, b2) = table.bucket_pair_mut(obj.id);
+    for slot in b1.iter_mut().chain(b2.iter_mut()) {
+        let hit = ct_eq_u64(slot.req.id, obj.id);
+        let is_write = slot.req.is_write();
+        let permitted = slot.req.is_permitted();
+        // Pre-write value: captured before the write lands so reads *and*
+        // writes return the value as of the start of the batch. Both
+        // compare-and-sets also require the request's access-control bit
+        // (Appendix D): denied writes do not apply, denied reads get zeros.
+        let old = obj.value.clone();
+        obj.value.cmov(&slot.req.value, hit.and(is_write).and(permitted));
+        slot.req.value.cmov(&old, hit.and(permitted));
+        meter.oblivious_ops += 2;
+    }
+}
+
+fn encode_object(o: &StoredObject) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + o.value.len());
+    out.extend_from_slice(&o.id.to_le_bytes());
+    out.extend_from_slice(&o.value);
+    out
+}
+
+fn decode_object(bytes: &[u8], value_len: usize) -> StoredObject {
+    assert_eq!(bytes.len(), 8 + value_len);
+    StoredObject {
+        id: u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+        value: bytes[8..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_enclave::wire::LB_DUMMY_BASE;
+
+    const VLEN: usize = 16;
+
+    fn objects(n: u64) -> Vec<StoredObject> {
+        (0..n).map(|i| StoredObject::new(i, &[(i % 251) as u8; 4], VLEN)).collect()
+    }
+
+    fn suboram(n: u64) -> SubOram {
+        SubOram::new_in_enclave(objects(n), VLEN, Key256([3u8; 32]), 128)
+    }
+
+    fn val(byte: u8) -> Vec<u8> {
+        let mut v = vec![byte; 4];
+        v.resize(VLEN, 0);
+        v
+    }
+
+    #[test]
+    fn reads_return_current_values() {
+        let mut s = suboram(100);
+        let batch = vec![
+            Request::read(5, VLEN, 1, 0),
+            Request::read(50, VLEN, 1, 1),
+            Request::read(99, VLEN, 1, 2),
+        ];
+        let out = s.batch_access(batch).unwrap();
+        assert_eq!(out.len(), 3);
+        for r in out {
+            assert_eq!(r.value, val((r.id % 251) as u8), "id {}", r.id);
+        }
+    }
+
+    #[test]
+    fn writes_apply_and_return_prewrite_value() {
+        let mut s = suboram(50);
+        let out = s
+            .batch_access(vec![Request::write(7, &[0xAB; 4], VLEN, 1, 0)])
+            .unwrap();
+        assert_eq!(out[0].value, val(7), "write response carries the pre-write value");
+        assert_eq!(s.peek(7).unwrap(), val(0xAB));
+        // A later read sees the write.
+        let out2 = s.batch_access(vec![Request::read(7, VLEN, 1, 1)]).unwrap();
+        assert_eq!(out2[0].value, val(0xAB));
+    }
+
+    #[test]
+    fn absent_ids_and_dummies_get_zeros() {
+        let mut s = suboram(10);
+        let out = s
+            .batch_access(vec![
+                Request::read(12345, VLEN, 1, 0), // absent id
+                Request::read(LB_DUMMY_BASE + 7, VLEN, 0, 0),
+            ])
+            .unwrap();
+        for r in out {
+            assert_eq!(r.value, vec![0u8; VLEN]);
+        }
+    }
+
+    #[test]
+    fn duplicate_batch_rejected() {
+        let mut s = suboram(10);
+        let err = s
+            .batch_access(vec![Request::read(1, VLEN, 0, 0), Request::read(1, VLEN, 0, 1)])
+            .unwrap_err();
+        assert_eq!(err, SubOramError::Hash(OHashError::DuplicateIds));
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let mut s = suboram(10);
+        assert_eq!(s.batch_access(vec![]).unwrap_err(), SubOramError::EmptyBatch);
+    }
+
+    #[test]
+    fn mixed_large_batch_correct() {
+        let mut s = suboram(2000);
+        let mut batch = Vec::new();
+        // Writes to even ids, reads of odd ids, plus dummies.
+        for i in 0..200u64 {
+            if i % 2 == 0 {
+                batch.push(Request::write(i, &[0xC0 | (i % 16) as u8; 4], VLEN, 1, i));
+            } else {
+                batch.push(Request::read(i, VLEN, 1, i));
+            }
+        }
+        for k in 0..56u64 {
+            let mut d = Request::dummy(VLEN);
+            d.id = LB_DUMMY_BASE + k;
+            batch.push(d);
+        }
+        let out = s.batch_access(batch).unwrap();
+        assert_eq!(out.len(), 256);
+        for r in &out {
+            if r.id < 200 {
+                assert_eq!(r.value, val((r.id % 251) as u8), "pre-batch value for id {}", r.id);
+            }
+        }
+        // Writes landed.
+        for i in (0..200u64).step_by(2) {
+            assert_eq!(s.peek(i).unwrap(), val(0xC0 | (i % 16) as u8));
+        }
+        // Reads did not clobber.
+        for i in (1..200u64).step_by(2) {
+            assert_eq!(s.peek(i).unwrap(), val((i % 251) as u8));
+        }
+    }
+
+    #[test]
+    fn external_mode_matches_in_enclave_semantics() {
+        let mut a = SubOram::new_in_enclave(objects(300), VLEN, Key256([5u8; 32]), 128);
+        let mut b = SubOram::new_external(objects(300), VLEN, Key256([5u8; 32]), 128);
+        let batch = || {
+            vec![
+                Request::write(10, &[1; 4], VLEN, 1, 0),
+                Request::read(20, VLEN, 1, 1),
+                Request::write(299, &[2; 4], VLEN, 1, 2),
+            ]
+        };
+        let sort_out = |mut v: Vec<Request>| {
+            v.sort_by_key(|r| r.id);
+            v
+        };
+        assert_eq!(sort_out(a.batch_access(batch()).unwrap()), sort_out(b.batch_access(batch()).unwrap()));
+        assert_eq!(a.peek(10), b.peek(10));
+        assert_eq!(a.peek(299), b.peek(299));
+    }
+
+    #[test]
+    fn external_mode_detects_tampering() {
+        let mut s = SubOram::new_external(objects(50), VLEN, Key256([5u8; 32]), 128);
+        s.untrusted_store_mut().unwrap().untrusted_blocks_mut()[10].bytes[3] ^= 1;
+        let err = s.batch_access(vec![Request::read(1, VLEN, 0, 0)]).unwrap_err();
+        assert!(matches!(err, SubOramError::Integrity(_)));
+    }
+
+    #[test]
+    fn batch_trace_independent_of_request_contents() {
+        // Same partition, same keys, same batch size — different ids, kinds,
+        // and payloads. The adversary's view must be identical.
+        let run = |batch: Vec<Request>| {
+            let mut s = suboram(128);
+            let (res, tr) = snoopy_obliv::trace::capture(|| s.batch_access(batch));
+            res.unwrap();
+            tr
+        };
+        let t1 = run(vec![
+            Request::read(1, VLEN, 1, 0),
+            Request::read(2, VLEN, 1, 1),
+            Request::read(3, VLEN, 1, 2),
+        ]);
+        let t2 = run(vec![
+            Request::write(100, &[9; 4], VLEN, 1, 0),
+            Request::write(101, &[8; 4], VLEN, 1, 1),
+            Request::read(102, VLEN, 1, 2),
+        ]);
+        assert_eq!(t1.fingerprint(), t2.fingerprint());
+        // Different batch *size* is public and changes the trace.
+        let t3 = run(vec![Request::read(1, VLEN, 1, 0), Request::read(2, VLEN, 1, 1)]);
+        assert_ne!(t1.fingerprint(), t3.fingerprint());
+    }
+
+    #[test]
+    fn meter_accumulates_costs() {
+        let mut s = suboram(100);
+        s.batch_access(vec![Request::read(1, VLEN, 0, 0)]).unwrap();
+        assert!(s.meter.oblivious_ops > 0);
+        assert!(s.meter.bytes_scanned >= 100 * (8 + VLEN as u64));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved namespace")]
+    fn reserved_object_ids_rejected() {
+        SubOram::new_in_enclave(
+            vec![StoredObject::new(REAL_ID_LIMIT + 1, &[0], VLEN)],
+            VLEN,
+            Key256([0u8; 32]),
+            128,
+        );
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+    use snoopy_crypto::Key256;
+    use snoopy_enclave::wire::{Request, StoredObject};
+
+    const VLEN: usize = 16;
+
+    fn objects(n: u64) -> Vec<StoredObject> {
+        (0..n).map(|i| StoredObject::new(i, &[(i % 251) as u8; 4], VLEN)).collect()
+    }
+
+    fn mixed_batch() -> Vec<Request> {
+        let mut batch = Vec::new();
+        for i in 0..100u64 {
+            if i % 3 == 0 {
+                batch.push(Request::write(i * 5, &[0xD0 | (i % 16) as u8; 4], VLEN, 1, i));
+            } else {
+                batch.push(Request::read(i * 5, VLEN, 1, i));
+            }
+        }
+        batch
+    }
+
+    #[test]
+    fn parallel_matches_serial_semantics() {
+        for threads in [1usize, 2, 3, 4, 7] {
+            let mut serial = SubOram::new_in_enclave(objects(1000), VLEN, Key256([4u8; 32]), 128);
+            let mut parallel = SubOram::new_in_enclave(objects(1000), VLEN, Key256([4u8; 32]), 128);
+            let sort = |mut v: Vec<Request>| {
+                v.sort_by_key(|r| r.id);
+                v
+            };
+            let a = sort(serial.batch_access(mixed_batch()).unwrap());
+            let b = sort(parallel.batch_access_parallel(mixed_batch(), threads).unwrap());
+            assert_eq!(a, b, "threads={threads}");
+            // Stored state matches too.
+            for i in 0..1000u64 {
+                assert_eq!(serial.peek(i), parallel.peek(i), "object {i}, threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rejects_duplicates_too() {
+        let mut s = SubOram::new_in_enclave(objects(100), VLEN, Key256([4u8; 32]), 128);
+        let batch = vec![Request::read(1, VLEN, 0, 0), Request::read(1, VLEN, 0, 1)];
+        assert!(matches!(
+            s.batch_access_parallel(batch, 4),
+            Err(SubOramError::Hash(OHashError::DuplicateIds))
+        ));
+    }
+
+    #[test]
+    fn parallel_on_external_falls_back_to_serial() {
+        let mut s = SubOram::new_external(objects(100), VLEN, Key256([4u8; 32]), 128);
+        let out = s.batch_access_parallel(vec![Request::read(5, VLEN, 0, 0)], 4).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Access control via recursive oblivious lookup (paper Appendix D).
+//!
+//! A shared medical-records store: doctors may read their patients' records
+//! and write their own notes; other users are denied — and the storage
+//! system never learns *which* requests were permitted.
+//!
+//! Run with: `cargo run --release --example access_control`
+
+use snoopy_repro::core::access::{AccessControlledSnoopy, Grant};
+use snoopy_repro::core::SnoopyConfig;
+use snoopy_repro::enclave::wire::{Request, StoredObject};
+
+const VALUE_LEN: usize = 64;
+const DR_ALICE: u64 = 1;
+const DR_BOB: u64 = 2;
+const MALLORY: u64 = 666;
+
+fn main() {
+    // Records 0..100; Alice treats even-numbered patients, Bob the odd ones.
+    let objects: Vec<StoredObject> = (0..100u64)
+        .map(|id| StoredObject::new(id, format!("record-{id}: baseline").as_bytes(), VALUE_LEN))
+        .collect();
+    let mut grants = Vec::new();
+    for id in 0..100u64 {
+        let doctor = if id % 2 == 0 { DR_ALICE } else { DR_BOB };
+        grants.push(Grant { user: doctor, object: id, write: false });
+        grants.push(Grant { user: doctor, object: id, write: true });
+    }
+    let config = SnoopyConfig::with_machines(1, 2).value_len(VALUE_LEN);
+    let mut store = AccessControlledSnoopy::init(config, objects, &grants, 11);
+    println!("medical-records store with {} permission rows", grants.len());
+
+    // One epoch with a mix of permitted and denied operations.
+    let responses = store
+        .execute_epoch(vec![
+            (DR_ALICE, Request::read(4, VALUE_LEN, 0, 0)),                     // permitted
+            (DR_BOB, Request::read(4, VALUE_LEN, 1, 0)),                       // denied (even record)
+            (MALLORY, Request::read(7, VALUE_LEN, 2, 0)),                      // denied
+            (DR_BOB, Request::write(7, b"record-7: bob's note", VALUE_LEN, 3, 0)), // permitted
+            (MALLORY, Request::write(8, b"tampered!!", VALUE_LEN, 4, 0)),      // denied
+        ])
+        .unwrap();
+
+    for r in &responses {
+        let text = String::from_utf8_lossy(&r.value);
+        let text = text.trim_end_matches('\0');
+        let verdict = if text.is_empty() { "DENIED (null value)" } else { text };
+        println!("client {} -> {}", r.client, verdict);
+    }
+
+    // Denied write did not apply; permitted one did.
+    let rec8 = String::from_utf8_lossy(&store.peek(8).unwrap()).trim_end_matches('\0').to_string();
+    assert_eq!(rec8, "record-8: baseline", "Mallory's write must not land");
+    let rec7 = String::from_utf8_lossy(&store.peek(7).unwrap()).trim_end_matches('\0').to_string();
+    assert_eq!(rec7, "record-7: bob's note");
+    println!("\nrecord 8 untouched by Mallory; record 7 updated by Dr. Bob. ✓");
+}

@@ -1,0 +1,67 @@
+//! Threaded-cluster demo: every load balancer and subORAM on its own OS
+//! thread with AEAD-sealed links, an epoch ticker, and many concurrent
+//! blocking clients — the shape of the paper's real deployment, in-process.
+//!
+//! Run with: `cargo run --release --example cluster_demo`
+
+use snoopy_repro::core::deploy::InProcessCluster;
+use snoopy_repro::core::SnoopyConfig;
+use snoopy_repro::enclave::wire::StoredObject;
+use std::time::{Duration, Instant};
+
+const VALUE_LEN: usize = 160;
+const OBJECTS: u64 = 20_000;
+const CLIENT_THREADS: usize = 8;
+const OPS_PER_CLIENT: usize = 50;
+
+fn main() {
+    let objects: Vec<StoredObject> = (0..OBJECTS)
+        .map(|id| StoredObject::new(id, &id.to_le_bytes(), VALUE_LEN))
+        .collect();
+    let config = SnoopyConfig::with_machines(2, 3).value_len(VALUE_LEN);
+    let mut cluster = InProcessCluster::start(config, objects, 7);
+    cluster.start_ticker(Duration::from_millis(20));
+    println!(
+        "cluster up: {} balancer threads + {} subORAM threads, 20ms epochs",
+        config.num_load_balancers, config.num_suborams
+    );
+
+    let t0 = Instant::now();
+    let total_ops = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for c in 0..CLIENT_THREADS {
+            let client = cluster.client();
+            handles.push(s.spawn(move || {
+                let mut ok = 0usize;
+                for i in 0..OPS_PER_CLIENT {
+                    let id = ((c * 7919 + i * 104729) as u64) % OBJECTS;
+                    if i % 4 == 0 {
+                        let marker = [(c as u8) | 0x40; 8];
+                        client.write(id, &marker);
+                        ok += 1;
+                    } else {
+                        let v = client.read(id);
+                        assert_eq!(v.len(), VALUE_LEN);
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+    });
+    let elapsed = t0.elapsed();
+    println!(
+        "completed {total_ops} blocking ops from {CLIENT_THREADS} client threads in {:.2}s ({:.0} ops/s incl. epoch waits)",
+        elapsed.as_secs_f64(),
+        total_ops as f64 / elapsed.as_secs_f64()
+    );
+
+    // Verify a write-read round trip through the whole stack.
+    let client = cluster.client();
+    client.write(5, b"roundtrip");
+    let v = client.read(5);
+    assert_eq!(&v[..9], b"roundtrip");
+    println!("roundtrip verified; shutting down");
+    cluster.shutdown();
+}

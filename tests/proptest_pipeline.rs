@@ -1,0 +1,153 @@
+//! Model-based property tests over the full oblivious pipeline: arbitrary
+//! request mixes through the load balancer and subORAM must always match a
+//! trivial sequential key-value model, and the adversary's view must stay a
+//! function of public parameters only.
+
+use proptest::prelude::*;
+use snoopy_repro::crypto::Key256;
+use snoopy_repro::enclave::wire::{Request, StoredObject};
+use snoopy_repro::obliv::trace;
+use snoopy_repro::snoopy_lb::LoadBalancer;
+use snoopy_repro::snoopy_suboram::SubOram;
+use std::collections::HashMap;
+
+const VLEN: usize = 24;
+const N: u64 = 64;
+
+#[derive(Clone, Debug)]
+struct PropOp {
+    id: u64,
+    write: bool,
+    payload: u8,
+}
+
+fn op_strategy() -> impl Strategy<Value = PropOp> {
+    (0..N, any::<bool>(), any::<u8>()).prop_map(|(id, write, payload)| PropOp { id, write, payload })
+}
+
+fn to_requests(ops: &[PropOp]) -> Vec<Request> {
+    ops.iter()
+        .enumerate()
+        .map(|(i, op)| {
+            if op.write {
+                Request::write(op.id, &[op.payload; 4], VLEN, i as u64, i as u64)
+            } else {
+                Request::read(op.id, VLEN, i as u64, i as u64)
+            }
+        })
+        .collect()
+}
+
+fn pad(bytes: &[u8]) -> Vec<u8> {
+    let mut v = bytes.to_vec();
+    v.resize(VLEN, 0);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One full epoch (LB → subORAMs → LB) equals the sequential model:
+    /// every requester receives the pre-epoch value; last write per id wins.
+    #[test]
+    fn epoch_matches_sequential_model(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let key = Key256([7u8; 32]);
+        let s = 3usize;
+        let balancer = LoadBalancer::new(&key, s, VLEN, 128);
+        let objects: Vec<StoredObject> =
+            (0..N).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+        let mut suborams: Vec<SubOram> = snoopy_repro::snoopy_lb::partition_objects(objects, &key, s)
+            .into_iter()
+            .map(|p| SubOram::new_in_enclave(p, VLEN, key.derive(b"so"), 128))
+            .collect();
+
+        let requests = to_requests(&ops);
+        let batches = balancer.make_batches(&requests).unwrap();
+        let mut responses = Vec::new();
+        for (i, batch) in batches.into_iter().enumerate() {
+            if batch.is_empty() {
+                responses.push(Vec::new());
+            } else {
+                responses.push(suborams[i].batch_access(batch).unwrap());
+            }
+        }
+        let out = balancer.match_responses(&requests, responses);
+        prop_assert_eq!(out.len(), ops.len());
+
+        // Model: all responses = pre-epoch state.
+        let pre: HashMap<u64, Vec<u8>> = (0..N).map(|i| (i, pad(&i.to_le_bytes()))).collect();
+        for resp in &out {
+            let want = &pre[&resp.id];
+            prop_assert_eq!(&resp.value, want, "id {}", resp.id);
+        }
+        // Post-state: last write per id (by arrival) applied.
+        let mut post = pre.clone();
+        for op in &ops {
+            if op.write {
+                post.insert(op.id, pad(&[op.payload; 4]));
+            }
+        }
+        for i in 0..N {
+            let sub = balancer.suboram_of(i);
+            let got = suborams[sub].peek(i);
+            prop_assert_eq!(got.as_ref(), Some(&post[&i]), "post state {}", i);
+        }
+    }
+
+    /// Two epochs with the same request COUNT but arbitrary contents give
+    /// identical adversary traces.
+    #[test]
+    fn epoch_traces_equal_for_equal_counts(
+        a in proptest::collection::vec(op_strategy(), 12),
+        b in proptest::collection::vec(op_strategy(), 12),
+    ) {
+        let key = Key256([9u8; 32]);
+        let s = 2usize;
+        let run = |ops: &[PropOp]| {
+            let balancer = LoadBalancer::new(&key, s, VLEN, 128);
+            let objects: Vec<StoredObject> =
+                (0..N).map(|i| StoredObject::new(i, &[1], VLEN)).collect();
+            let mut suborams: Vec<SubOram> = snoopy_repro::snoopy_lb::partition_objects(objects, &key, s)
+                .into_iter()
+                .map(|p| SubOram::new_in_enclave(p, VLEN, key.derive(b"so"), 128))
+                .collect();
+            let requests = to_requests(ops);
+            let ((), t) = trace::capture(|| {
+                let batches = balancer.make_batches(&requests).unwrap();
+                let mut responses = Vec::new();
+                for (i, batch) in batches.into_iter().enumerate() {
+                    responses.push(suborams[i].batch_access(batch).unwrap());
+                }
+                balancer.match_responses(&requests, responses);
+            });
+            t.fingerprint()
+        };
+        prop_assert_eq!(run(&a), run(&b));
+    }
+
+    /// Batch shape invariants hold for every workload: exactly S batches of
+    /// exactly f(R,S), all ids distinct per batch, all real ids routed to
+    /// their hash shard.
+    #[test]
+    fn batch_shape_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let key = Key256([5u8; 32]);
+        let s = 4usize;
+        let balancer = LoadBalancer::new(&key, s, VLEN, 128);
+        let requests = to_requests(&ops);
+        let batches = balancer.make_batches(&requests).unwrap();
+        let b = balancer.epoch_batch_size(requests.len());
+        prop_assert_eq!(batches.len(), s);
+        for (shard, batch) in batches.iter().enumerate() {
+            prop_assert_eq!(batch.len(), b);
+            let mut ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), batch.len(), "duplicate id in a batch");
+            for req in batch {
+                if !req.is_dummy().declassify() {
+                    prop_assert_eq!(balancer.suboram_of(req.id), shard);
+                }
+            }
+        }
+    }
+}
