@@ -337,14 +337,14 @@ mod tests {
     fn empirical_overflow_within_bound() {
         // Simulate hashing with a real keyed hash at a *small* λ and check the
         // observed overflow rate does not exceed the analytic bound grossly.
-        use rand::RngCore;
+        use snoopy_crypto::rng::RngCore;
         use snoopy_crypto::SipHash24;
         let (r, s, lambda) = (2_000u64, 8u64, 10u32);
         let b = batch_size(r, s, lambda);
         let bound = overflow_probability(r, s, b).max(2f64.powi(-(lambda as i32)));
         let trials = 2_000;
         let mut overflows = 0;
-        let mut rng = rand::thread_rng();
+        let mut rng = snoopy_crypto::Prg::from_entropy();
         for _ in 0..trials {
             let mut key = [0u8; 16];
             rng.fill_bytes(&mut key);

@@ -7,28 +7,37 @@
 //! encrypted, replay-protected channels) with per-link sequence numbers as
 //! nonces. An epoch ticker drives the system; clients get blocking handles.
 //!
-//! The concurrent execution must be *observably identical* to the synchronous
-//! reference engine ([`crate::system::Snoopy`]): subORAMs process each
-//! epoch's batches in load-balancer order, and responses only depend on epoch
-//! boundaries — integration tests check exactly this.
+//! The epoch protocol itself lives in [`crate::transport`]: this module only
+//! supplies the channel-backed [`LbTransport`]/[`SubTransport`]
+//! implementations, so the exact same loops drive the TCP deployment plane
+//! (`snoopy-net`). The concurrent execution must be *observably identical* to
+//! the synchronous reference engine ([`crate::system::Snoopy`]): subORAMs
+//! process each epoch's batches in load-balancer order, and responses only
+//! depend on epoch boundaries — integration tests check exactly this.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use snoopy_crypto::aead::{AeadKey, Nonce};
+use snoopy_crypto::aead::SealedBox;
 use snoopy_crypto::{Key256, Prg};
-use snoopy_enclave::wire::{decode_request, encode_request, Request, Response, StoredObject};
+use snoopy_enclave::wire::{Request, Response, StoredObject};
 use snoopy_lb::{partition_objects, LoadBalancer};
 use snoopy_suboram::SubOram;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::config::SnoopyConfig;
+use crate::link::Link;
+use crate::transport::{
+    run_load_balancer, run_suboram, LbEvent, LbTransport, SubEvent, SubOramNode, SubTransport,
+};
 
-/// Messages into a load-balancer thread.
+/// Messages into a load-balancer thread (its single mailbox).
 enum LbMsg {
     /// A client request plus the channel to answer on.
     Client(Request, Sender<Response>),
     /// Epoch boundary.
     Tick(u64),
+    /// A sealed response batch from a subORAM.
+    Resp { suboram: usize, epoch: u64, sealed: SealedBox },
     /// Terminate.
     Shutdown,
 }
@@ -36,60 +45,70 @@ enum LbMsg {
 /// Messages into a subORAM thread.
 enum SubMsg {
     /// A sealed batch from balancer `lb` for epoch `epoch`.
-    Batch { lb: usize, epoch: u64, sealed: snoopy_crypto::aead::SealedBox },
+    Batch { lb: usize, epoch: u64, sealed: SealedBox },
     Shutdown,
 }
 
-/// A sealed response batch back to a balancer.
-struct RespMsg {
-    suboram: usize,
-    sealed: snoopy_crypto::aead::SealedBox,
+/// Channel-backed transport for one load-balancer thread.
+struct ChannelLbTransport {
+    rx: Receiver<LbMsg>,
+    sub_txs: Vec<Sender<SubMsg>>,
+    links: Vec<Link>,
+    resp_links: Vec<Link>,
+    lb_idx: usize,
+    value_len: usize,
 }
 
-/// Per-link AEAD channel with sequence-number nonces (replay protection).
-struct Link {
-    key: AeadKey,
-    channel_id: u32,
-    send_seq: u64,
-    recv_seq: u64,
+impl LbTransport for ChannelLbTransport {
+    fn recv(&mut self) -> Option<LbEvent> {
+        Some(match self.rx.recv().ok()? {
+            LbMsg::Shutdown => LbEvent::Shutdown,
+            LbMsg::Client(req, reply) => LbEvent::Client(req, Box::new(reply)),
+            LbMsg::Tick(epoch) => LbEvent::Tick(epoch),
+            LbMsg::Resp { suboram, epoch, sealed } => {
+                let batch = self.resp_links[suboram]
+                    .open(&sealed, self.value_len)
+                    .expect("response link failure");
+                LbEvent::SubResponse { suboram, epoch, batch }
+            }
+        })
+    }
+
+    fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
+        let sealed = self.links[suboram].seal(batch).expect("batch link failure");
+        self.sub_txs[suboram]
+            .send(SubMsg::Batch { lb: self.lb_idx, epoch, sealed })
+            .expect("subORAM gone");
+    }
 }
 
-impl Link {
-    fn pair(key: Key256, channel_id: u32) -> (Link, Link) {
-        let k = AeadKey::new(key);
-        (
-            Link { key: k.clone(), channel_id, send_seq: 0, recv_seq: 0 },
-            Link { key: k, channel_id, send_seq: 0, recv_seq: 0 },
-        )
+/// Channel-backed transport for one subORAM thread.
+struct ChannelSubTransport {
+    rx: Receiver<SubMsg>,
+    lb_txs: Vec<Sender<LbMsg>>,
+    links: Vec<Link>,
+    resp_links: Vec<Link>,
+    sub_idx: usize,
+    value_len: usize,
+}
+
+impl SubTransport for ChannelSubTransport {
+    fn recv(&mut self) -> Option<SubEvent> {
+        Some(match self.rx.recv().ok()? {
+            SubMsg::Shutdown => SubEvent::Shutdown,
+            SubMsg::Batch { lb, epoch, sealed } => {
+                let batch =
+                    self.links[lb].open(&sealed, self.value_len).expect("batch link failure");
+                SubEvent::Batch { lb, epoch, batch }
+            }
+        })
     }
 
-    fn seal(&mut self, batch: &[Request]) -> snoopy_crypto::aead::SealedBox {
-        let mut plain = Vec::new();
-        for r in batch {
-            plain.extend_from_slice(&encode_request(r));
-        }
-        let nonce = Nonce::from_parts(self.channel_id, self.send_seq);
-        self.send_seq += 1;
-        self.key.seal(nonce, &(batch.len() as u64).to_le_bytes(), &plain)
-    }
-
-    fn open(&mut self, sealed: &snoopy_crypto::aead::SealedBox, value_len: usize) -> Vec<Request> {
-        let nonce = Nonce::from_parts(self.channel_id, self.recv_seq);
-        self.recv_seq += 1;
-        let frame = 40 + value_len;
-        // The AAD binds the batch length; it is recomputed from the (public)
-        // ciphertext length. A failure here means the untrusted network
-        // tampered with, reordered, or replayed a message; the enclave cannot
-        // proceed safely.
-        let n = (sealed.bytes.len().saturating_sub(16)) / frame;
-        let plain = self
-            .key
-            .open(nonce, &(n as u64).to_le_bytes(), sealed)
-            .expect("link integrity failure: tampered or replayed batch");
-        plain
-            .chunks(frame)
-            .map(|c| decode_request(c, value_len).expect("malformed request frame"))
-            .collect()
+    fn send_response(&mut self, lb: usize, epoch: u64, batch: &[Request]) {
+        let sealed = self.resp_links[lb].seal(batch).expect("response link failure");
+        self.lb_txs[lb]
+            .send(LbMsg::Resp { suboram: self.sub_idx, epoch, sealed })
+            .expect("balancer gone");
     }
 }
 
@@ -121,7 +140,7 @@ impl ClientHandle {
 
     /// Non-blocking read: returns the response channel.
     pub fn read_async(&self, id: u64) -> Receiver<Response> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let req = Request::read(id, self.value_len, 0, 0);
         self.pick_lb().send(LbMsg::Client(req, tx)).expect("cluster shut down");
         rx
@@ -129,7 +148,7 @@ impl ClientHandle {
 
     /// Non-blocking write.
     pub fn write_async(&self, id: u64, payload: &[u8]) -> Receiver<Response> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let req = Request::write(id, payload, self.value_len, 0, 0);
         self.pick_lb().send(LbMsg::Client(req, tx)).expect("cluster shut down");
         rx
@@ -157,10 +176,9 @@ impl InProcessCluster {
         let shared_key = Key256::random(&mut prg);
         let parts = partition_objects(objects, &shared_key, s);
 
-        // Channels.
-        let (lb_txs, lb_rxs): (Vec<_>, Vec<_>) = (0..l).map(|_| unbounded::<LbMsg>()).unzip();
-        let (sub_txs, sub_rxs): (Vec<_>, Vec<_>) = (0..s).map(|_| unbounded::<SubMsg>()).unzip();
-        let (resp_txs, resp_rxs): (Vec<_>, Vec<_>) = (0..l).map(|_| unbounded::<RespMsg>()).unzip();
+        // Channels: one mailbox per machine.
+        let (lb_txs, lb_rxs): (Vec<_>, Vec<_>) = (0..l).map(|_| channel::<LbMsg>()).unzip();
+        let (sub_txs, sub_rxs): (Vec<_>, Vec<_>) = (0..s).map(|_| channel::<SubMsg>()).unzip();
 
         // Per-(lb, suboram) link keys, one for each direction.
         let mut lb_links: Vec<Vec<Link>> = Vec::with_capacity(l);
@@ -186,111 +204,43 @@ impl InProcessCluster {
         let mut threads = Vec::new();
 
         // SubORAM threads.
-        for (sub_idx, ((rx, part), mut links)) in sub_rxs
+        for (sub_idx, ((rx, part), links)) in sub_rxs
             .into_iter()
             .zip(parts.into_iter())
             .zip(sub_links.into_iter())
             .enumerate()
         {
-            let mut resp_links = std::mem::take(&mut resp_links_sub[sub_idx]);
-            let resp_txs = resp_txs.clone();
+            let resp_links = std::mem::take(&mut resp_links_sub[sub_idx]);
+            let lb_txs = lb_txs.clone();
             let key = Key256::random(&mut prg);
             let value_len = config.value_len;
             let lambda = config.lambda;
             let external = config.external_storage;
             threads.push(std::thread::spawn(move || {
-                let mut oram = if external {
+                let oram = if external {
                     SubOram::new_external(part, value_len, key, lambda)
                 } else {
                     SubOram::new_in_enclave(part, value_len, key, lambda)
                 };
-                // Per-epoch buffer: batches indexed by balancer.
-                let mut pending: std::collections::HashMap<u64, Vec<Option<Vec<Request>>>> =
-                    std::collections::HashMap::new();
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        SubMsg::Shutdown => break,
-                        SubMsg::Batch { lb, epoch, sealed } => {
-                            let batch = links[lb].open(&sealed, value_len);
-                            let slot = pending.entry(epoch).or_insert_with(|| vec![None; l]);
-                            slot[lb] = Some(batch);
-                            if slot.iter().all(|b| b.is_some()) {
-                                let batches = pending.remove(&epoch).unwrap();
-                                // Fixed balancer order (§4.3).
-                                for (lb_idx, batch) in batches.into_iter().enumerate() {
-                                    let batch = batch.unwrap();
-                                    let out = if batch.is_empty() {
-                                        Vec::new()
-                                    } else {
-                                        oram.batch_access(batch).expect("subORAM batch failed")
-                                    };
-                                    let sealed = resp_links[lb_idx].seal(&out);
-                                    resp_txs[lb_idx]
-                                        .send(RespMsg { suboram: sub_idx, sealed })
-                                        .expect("balancer gone");
-                                }
-                            }
-                        }
-                    }
-                }
+                let mut node = SubOramNode::new(oram, l);
+                let mut transport =
+                    ChannelSubTransport { rx, lb_txs, links, resp_links, sub_idx, value_len };
+                run_suboram(&mut transport, &mut node, |_, _| {});
             }));
         }
 
         // Load-balancer threads.
-        for (lb_idx, ((rx, resp_rx), mut links)) in lb_rxs
-            .into_iter()
-            .zip(resp_rxs.into_iter())
-            .zip(lb_links.into_iter())
-            .enumerate()
-        {
-            let mut resp_links = std::mem::take(&mut resp_links_lb[lb_idx]);
+        for (lb_idx, (rx, links)) in lb_rxs.into_iter().zip(lb_links.into_iter()).enumerate() {
+            let resp_links = std::mem::take(&mut resp_links_lb[lb_idx]);
             let sub_txs = sub_txs.clone();
             let shared_key = shared_key.clone();
             let value_len = config.value_len;
             let lambda = config.lambda;
             threads.push(std::thread::spawn(move || {
                 let balancer = LoadBalancer::new(&shared_key, s, value_len, lambda);
-                let mut pending: Vec<(Request, Sender<Response>)> = Vec::new();
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        LbMsg::Shutdown => break,
-                        LbMsg::Client(mut req, reply) => {
-                            // The client handle is the pending index so the
-                            // matched response routes back.
-                            req.client = pending.len() as u64;
-                            pending.push((req, reply));
-                        }
-                        LbMsg::Tick(epoch) => {
-                            let requests: Vec<Request> =
-                                pending.iter().map(|(r, _)| r.clone()).collect();
-                            let batches =
-                                balancer.make_batches(&requests).expect("batch overflow");
-                            let empty_epoch = requests.is_empty();
-                            for (sub, batch) in batches.into_iter().enumerate() {
-                                let sealed = links[sub].seal(&batch);
-                                sub_txs[sub]
-                                    .send(SubMsg::Batch { lb: lb_idx, epoch, sealed })
-                                    .expect("subORAM gone");
-                            }
-                            // Collect all S response batches for this epoch.
-                            let mut responses: Vec<Vec<Request>> = vec![Vec::new(); s];
-                            for _ in 0..s {
-                                let RespMsg { suboram, sealed } =
-                                    resp_rx.recv().expect("subORAM gone");
-                                responses[suboram] = resp_links[suboram].open(&sealed, value_len);
-                            }
-                            if !empty_epoch {
-                                let matched = balancer.match_responses(&requests, responses);
-                                let waiting = std::mem::take(&mut pending);
-                                for resp in matched {
-                                    let (_, reply) = &waiting[resp.client as usize];
-                                    // Clients may have given up; ignore.
-                                    let _ = reply.send(resp);
-                                }
-                            }
-                        }
-                    }
-                }
+                let mut transport =
+                    ChannelLbTransport { rx, sub_txs, links, resp_links, lb_idx, value_len };
+                run_load_balancer(&mut transport, balancer, s);
             }));
         }
 
@@ -325,7 +275,7 @@ impl InProcessCluster {
 
     /// Starts a background ticker closing epochs every `interval`.
     pub fn start_ticker(&mut self, interval: Duration) {
-        let (stop_tx, stop_rx) = unbounded::<()>();
+        let (stop_tx, stop_rx) = channel::<()>();
         let lb_senders = self.lb_senders.clone();
         let mut epoch = self.epoch;
         // Reserve a large epoch range for the ticker so manual ticks (not
@@ -334,8 +284,8 @@ impl InProcessCluster {
         self.ticker_stop = Some(stop_tx);
         self.ticker = Some(std::thread::spawn(move || loop {
             match stop_rx.recv_timeout(interval) {
-                Ok(()) | Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
-                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => {
                     for tx in &lb_senders {
                         let _ = tx.send(LbMsg::Tick(epoch));
                     }

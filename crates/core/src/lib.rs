@@ -9,9 +9,14 @@
 //!   implementation of Snoopy's epoch protocol (Fig. 21), used by the
 //!   correctness/linearizability tests and as the ground truth the threaded
 //!   deployment must match;
+//! * [`link`] — the per-link AEAD channels (sequence-number nonces, replay
+//!   protection) every deployment plane seals its batches with;
+//! * [`transport`] — the deployment-plane abstraction: the load-balancer and
+//!   subORAM epoch loops, generic over a [`transport::LbTransport`] /
+//!   [`transport::SubTransport`] pair;
 //! * [`deploy`] — the in-process cluster: every load balancer and subORAM on
 //!   its own OS thread, AEAD-sealed links between them, an epoch ticker, and
-//!   blocking client handles;
+//!   blocking client handles (channel-backed transports);
 //! * [`access`] — the Appendix D access-control extension (recursive lookup
 //!   of an oblivious permission matrix, permission bits conditioning the
 //!   subORAM's compare-and-sets);
@@ -25,11 +30,14 @@ pub mod access;
 pub mod config;
 pub mod deploy;
 pub mod history;
+pub mod link;
 pub mod planned;
 pub mod stats;
 pub mod system;
+pub mod transport;
 
 pub use config::SnoopyConfig;
 pub use deploy::{ClientHandle, InProcessCluster};
+pub use link::{Link, LinkError};
 pub use planned::PlannedDeployment;
 pub use system::{Snoopy, SnoopyError};

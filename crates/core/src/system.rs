@@ -342,8 +342,8 @@ mod tests {
 
     #[test]
     fn random_workload_matches_model() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use snoopy_crypto::rng::Rng;
+        let mut rng = snoopy_crypto::Prg::from_seed(99);
         let n = 300u64;
         let mut sys = system(2, 3, n);
         let mut model: HashMap<u64, Vec<u8>> = (0..n).map(|i| (i, payload(&i.to_le_bytes()))).collect();

@@ -1,0 +1,302 @@
+//! Deployment-plane abstraction: the epoch loops, generic over a transport.
+//!
+//! Snoopy's load-balancer and subORAM *logic* is identical whether the
+//! machines are OS threads joined by channels ([`crate::deploy`]) or OS
+//! processes joined by TCP (`snoopy-net`). This module factors that logic
+//! out: [`run_load_balancer`] and [`run_suboram`] drive the epoch protocol
+//! against the [`LbTransport`]/[`SubTransport`] traits, and each deployment
+//! plane supplies an implementation. Transports move *plaintext* request
+//! batches at this interface; sealing them into per-link AEAD channels
+//! ([`crate::link::Link`]) is the transport's job, so every plane gets §3.1's
+//! encrypted, replay-protected links.
+//!
+//! The loops preserve the observable behavior of the synchronous reference
+//! engine ([`crate::system::Snoopy`]): subORAMs execute each epoch's batches
+//! in load-balancer order (§4.3), and a balancer's epoch commits only after
+//! all `S` response batches for that epoch arrived.
+
+use snoopy_enclave::wire::{Request, Response};
+use snoopy_lb::LoadBalancer;
+use snoopy_suboram::SubOram;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Where a client's matched response gets delivered.
+pub trait ReplySink: Send {
+    /// Consumes the sink, delivering the response. Delivery failures (client
+    /// gave up, connection gone) are swallowed: the epoch still commits.
+    fn deliver(self: Box<Self>, resp: Response);
+}
+
+impl ReplySink for std::sync::mpsc::Sender<Response> {
+    fn deliver(self: Box<Self>, resp: Response) {
+        let _ = self.send(resp);
+    }
+}
+
+/// Events a load balancer's transport feeds into its epoch loop.
+pub enum LbEvent {
+    /// A client request plus where to answer it.
+    Client(Request, Box<dyn ReplySink>),
+    /// Epoch boundary: batch everything pending.
+    Tick(u64),
+    /// A subORAM's (opened) response batch for an epoch.
+    SubResponse {
+        /// Responding subORAM index.
+        suboram: usize,
+        /// Epoch the responses belong to.
+        epoch: u64,
+        /// The opened response batch.
+        batch: Vec<Request>,
+    },
+    /// The link to a subORAM died and was re-established. The loop resends
+    /// the current epoch's batch if that subORAM still owes a response.
+    /// (Channel transports never emit this; the TCP plane does after a
+    /// reconnect.)
+    SubLinkRestored {
+        /// The reconnected subORAM index.
+        suboram: usize,
+    },
+    /// Terminate gracefully.
+    Shutdown,
+}
+
+/// Transport endpoint for a load balancer.
+pub trait LbTransport {
+    /// Blocks for the next event; `None` means the transport is gone and the
+    /// loop should exit.
+    fn recv(&mut self) -> Option<LbEvent>;
+
+    /// Seals and sends this balancer's `epoch` batch to subORAM `suboram`.
+    /// Delivery failures surface later as [`LbEvent::SubLinkRestored`] (TCP)
+    /// or termination (channels); the loop itself never retries eagerly.
+    fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]);
+}
+
+/// Events a subORAM's transport feeds into its loop.
+pub enum SubEvent {
+    /// An (opened) request batch from load balancer `lb` for `epoch`.
+    Batch {
+        /// Sending load balancer index.
+        lb: usize,
+        /// Epoch the batch belongs to.
+        epoch: u64,
+        /// The opened request batch.
+        batch: Vec<Request>,
+    },
+    /// Terminate gracefully.
+    Shutdown,
+}
+
+/// Transport endpoint for a subORAM.
+pub trait SubTransport {
+    /// Blocks for the next event; `None` means the transport is gone.
+    fn recv(&mut self) -> Option<SubEvent>;
+
+    /// Seals and sends a response batch for `(lb, epoch)` back to that
+    /// balancer.
+    fn send_response(&mut self, lb: usize, epoch: u64, batch: &[Request]);
+}
+
+/// Drives one load balancer until shutdown.
+///
+/// Requests arriving while an epoch is in flight join the *next* epoch —
+/// exactly the behavior of the threaded seed implementation, where they
+/// queued behind the `Tick` message.
+pub fn run_load_balancer<T: LbTransport>(transport: &mut T, balancer: LoadBalancer, num_suborams: usize) {
+    let mut pending: Vec<(Request, Box<dyn ReplySink>)> = Vec::new();
+    let mut deferred_ticks: VecDeque<u64> = VecDeque::new();
+    'outer: loop {
+        let ev = match deferred_ticks.pop_front() {
+            Some(epoch) => LbEvent::Tick(epoch),
+            None => match transport.recv() {
+                Some(ev) => ev,
+                None => break,
+            },
+        };
+        match ev {
+            LbEvent::Shutdown => break,
+            LbEvent::Client(mut req, sink) => {
+                // The client handle is the pending index so the matched
+                // response routes back.
+                req.client = pending.len() as u64;
+                pending.push((req, sink));
+            }
+            // Stale between epochs: a resent response for an epoch that
+            // already committed, or a reconnect while idle.
+            LbEvent::SubResponse { .. } | LbEvent::SubLinkRestored { .. } => {}
+            LbEvent::Tick(epoch) => {
+                let epoch_reqs = std::mem::take(&mut pending);
+                let requests: Vec<Request> = epoch_reqs.iter().map(|(r, _)| r.clone()).collect();
+                let batches = balancer.make_batches(&requests).expect("batch overflow");
+                for (sub, batch) in batches.iter().enumerate() {
+                    transport.send_batch(sub, epoch, batch);
+                }
+                // Collect all S response batches for this epoch before
+                // committing it.
+                let mut responses: Vec<Option<Vec<Request>>> = vec![None; num_suborams];
+                let mut outstanding = num_suborams;
+                while outstanding > 0 {
+                    match transport.recv() {
+                        None | Some(LbEvent::Shutdown) => break 'outer,
+                        Some(LbEvent::Client(mut req, sink)) => {
+                            req.client = pending.len() as u64;
+                            pending.push((req, sink));
+                        }
+                        Some(LbEvent::Tick(e)) => deferred_ticks.push_back(e),
+                        Some(LbEvent::SubResponse { suboram, epoch: e, batch }) if e == epoch => {
+                            if responses[suboram].is_none() {
+                                responses[suboram] = Some(batch);
+                                outstanding -= 1;
+                            }
+                        }
+                        // Duplicate delivery of an older epoch's responses.
+                        Some(LbEvent::SubResponse { .. }) => {}
+                        Some(LbEvent::SubLinkRestored { suboram }) => {
+                            if responses[suboram].is_none() {
+                                // The subORAM (re)connected while still owing
+                                // this epoch: resend our batch for it.
+                                transport.send_batch(suboram, epoch, &batches[suboram]);
+                            }
+                        }
+                    }
+                }
+                if !requests.is_empty() {
+                    let responses: Vec<Vec<Request>> =
+                        responses.into_iter().map(|r| r.expect("missing response")).collect();
+                    let matched = balancer.match_responses(&requests, responses);
+                    let mut sinks: Vec<Option<Box<dyn ReplySink>>> =
+                        epoch_reqs.into_iter().map(|(_, s)| Some(s)).collect();
+                    for resp in matched {
+                        if let Some(sink) = sinks[resp.client as usize].take() {
+                            sink.deliver(resp);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What [`SubOramNode::handle_batch`] decided about an incoming batch.
+pub enum BatchOutcome {
+    /// Still waiting for other balancers' batches for this epoch.
+    Waiting,
+    /// The epoch just executed; one response batch per balancer, in balancer
+    /// order. The node's state (and any checkpoint) already reflects it.
+    Completed(Vec<Vec<Request>>),
+    /// The batch was a re-delivery of an already-executed epoch (a resend
+    /// after a reconnect or restart); the cached response for the sending
+    /// balancer is replayed without touching the ORAM.
+    Replayed {
+        /// Balancer to re-answer.
+        lb: usize,
+        /// The cached response batch.
+        batch: Vec<Request>,
+    },
+}
+
+/// A subORAM's deployment-plane state machine: epoch assembly, in-order
+/// execution, and an at-most-once reply cache.
+///
+/// The reply cache makes batch delivery idempotent: a balancer that lost the
+/// connection mid-epoch can blindly resend its batch after reconnecting, and
+/// a restarted subORAM process (recovered from a checkpoint) can re-answer
+/// epochs it already executed without re-running them — which would corrupt
+/// write semantics, since writes return the pre-write value.
+pub struct SubOramNode {
+    oram: SubOram,
+    num_lbs: usize,
+    /// Batches per epoch, indexed by balancer, until all `L` arrive.
+    pending: HashMap<u64, Vec<Option<Vec<Request>>>>,
+    /// Executed epochs kept for replay, newest `retain` only.
+    completed: BTreeMap<u64, Vec<Vec<Request>>>,
+    retain: usize,
+}
+
+impl SubOramNode {
+    /// Wraps a freshly initialized subORAM.
+    pub fn new(oram: SubOram, num_lbs: usize) -> SubOramNode {
+        SubOramNode { oram, num_lbs, pending: HashMap::new(), completed: BTreeMap::new(), retain: 8 }
+    }
+
+    /// Rebuilds a node from checkpointed state: the recovered ORAM plus the
+    /// reply cache of already-executed epochs.
+    pub fn restore(oram: SubOram, num_lbs: usize, completed: BTreeMap<u64, Vec<Vec<Request>>>) -> SubOramNode {
+        SubOramNode { oram, num_lbs, pending: HashMap::new(), completed, retain: 8 }
+    }
+
+    /// The wrapped subORAM.
+    pub fn oram(&self) -> &SubOram {
+        &self.oram
+    }
+
+    /// The reply cache (for checkpointing).
+    pub fn completed(&self) -> &BTreeMap<u64, Vec<Vec<Request>>> {
+        &self.completed
+    }
+
+    /// Number of load balancers feeding this node.
+    pub fn num_lbs(&self) -> usize {
+        self.num_lbs
+    }
+
+    /// Feeds one batch in; executes the epoch once all `L` batches arrived.
+    pub fn handle_batch(&mut self, lb: usize, epoch: u64, batch: Vec<Request>) -> BatchOutcome {
+        assert!(lb < self.num_lbs, "balancer index {lb} out of range");
+        if let Some(cached) = self.completed.get(&epoch) {
+            return BatchOutcome::Replayed { lb, batch: cached[lb].clone() };
+        }
+        let slot = self.pending.entry(epoch).or_insert_with(|| vec![None; self.num_lbs]);
+        slot[lb] = Some(batch);
+        if !slot.iter().all(|b| b.is_some()) {
+            return BatchOutcome::Waiting;
+        }
+        let batches = self.pending.remove(&epoch).unwrap();
+        // Fixed balancer order (§4.3).
+        let mut out = Vec::with_capacity(self.num_lbs);
+        for batch in batches {
+            let batch = batch.unwrap();
+            let resp = if batch.is_empty() {
+                Vec::new()
+            } else {
+                self.oram.batch_access(batch).expect("subORAM batch failed")
+            };
+            out.push(resp);
+        }
+        self.completed.insert(epoch, out.clone());
+        while self.completed.len() > self.retain {
+            let oldest = *self.completed.keys().next().unwrap();
+            self.completed.remove(&oldest);
+        }
+        BatchOutcome::Completed(out)
+    }
+}
+
+/// Drives one subORAM until shutdown.
+///
+/// `after_epoch` runs after an epoch executes but *before* its responses are
+/// sent — the durability point: a TCP node checkpoints there, so a crash at
+/// any instant either re-executes the epoch (no responses escaped) or
+/// replays cached responses (state already persisted). Channel deployments
+/// pass a no-op.
+pub fn run_suboram<T: SubTransport>(
+    transport: &mut T,
+    node: &mut SubOramNode,
+    mut after_epoch: impl FnMut(&SubOramNode, u64),
+) {
+    while let Some(ev) = transport.recv() {
+        match ev {
+            SubEvent::Shutdown => break,
+            SubEvent::Batch { lb, epoch, batch } => match node.handle_batch(lb, epoch, batch) {
+                BatchOutcome::Waiting => {}
+                BatchOutcome::Replayed { lb, batch } => transport.send_response(lb, epoch, &batch),
+                BatchOutcome::Completed(responses) => {
+                    after_epoch(node, epoch);
+                    for (lb_idx, resp) in responses.iter().enumerate() {
+                        transport.send_response(lb_idx, epoch, resp);
+                    }
+                }
+            },
+        }
+    }
+}

@@ -26,6 +26,7 @@ pub mod hkdf;
 pub mod hmac;
 pub mod poly1305;
 pub mod prg;
+pub mod rng;
 pub mod sha256;
 pub mod siphash;
 
@@ -49,7 +50,7 @@ impl Key256 {
     }
 
     /// Generates a random key from the provided RNG.
-    pub fn random<R: rand::RngCore>(rng: &mut R) -> Key256 {
+    pub fn random<R: rng::RngCore>(rng: &mut R) -> Key256 {
         let mut k = [0u8; 32];
         rng.fill_bytes(&mut k);
         Key256(k)
@@ -88,7 +89,7 @@ mod tests {
 
     #[test]
     fn random_keys_differ() {
-        let mut rng = rand::thread_rng();
+        let mut rng = Prg::from_entropy();
         let a = Key256::random(&mut rng);
         let b = Key256::random(&mut rng);
         assert_ne!(a.0, b.0);

@@ -3,12 +3,12 @@
 //! Enclave code in the reproduction needs randomness (batch keys, Path ORAM
 //! leaf assignment, ...) that is (a) cryptographically strong in spirit and
 //! (b) *reproducible* so that experiments and trace-equivalence tests are
-//! deterministic given a seed. [`Prg`] implements [`rand::RngCore`] so it plugs
-//! into everything in the workspace.
+//! deterministic given a seed. [`Prg`] implements [`crate::rng::RngCore`] so
+//! it plugs into everything in the workspace.
 
 use crate::chacha20;
+use crate::rng::{CryptoRng, RngCore};
 use crate::Key256;
-use rand::{CryptoRng, RngCore};
 
 /// A ChaCha20-based deterministic PRG.
 pub struct Prg {
@@ -36,6 +36,23 @@ impl Prg {
         let mut key = [0u8; 32];
         key[..8].copy_from_slice(&seed.to_le_bytes());
         Prg::new(&Key256(key))
+    }
+
+    /// Seeds a PRG from ambient process entropy (wall clock, pid, a process
+    /// counter). Not reproducible; use where tests or daemons only need
+    /// *some* fresh randomness rather than a reproducible stream.
+    pub fn from_entropy() -> Prg {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&nanos.to_le_bytes());
+        seed[8..16].copy_from_slice(&u64::from(std::process::id()).to_le_bytes());
+        seed[16..24].copy_from_slice(&COUNTER.fetch_add(1, Ordering::Relaxed).to_le_bytes());
+        Prg::new(&Key256(crate::sha256::sha256(&seed)))
     }
 
     fn refill(&mut self) {
@@ -69,11 +86,6 @@ impl RngCore for Prg {
             self.used += take;
             filled += take;
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

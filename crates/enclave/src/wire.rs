@@ -174,6 +174,31 @@ pub fn decode_request(bytes: &[u8], value_len: usize) -> Option<Request> {
     })
 }
 
+/// Serializes a response for transport (AEAD-sealed by the channel layer).
+/// Fixed-size framing, like [`encode_request`]: 24-byte header + the public
+/// object size.
+pub fn encode_response(r: &Response) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + r.value.len());
+    out.extend_from_slice(&r.id.to_le_bytes());
+    out.extend_from_slice(&r.client.to_le_bytes());
+    out.extend_from_slice(&r.seq.to_le_bytes());
+    out.extend_from_slice(&r.value);
+    out
+}
+
+/// Inverse of [`encode_response`]. Returns `None` on malformed length.
+pub fn decode_response(bytes: &[u8], value_len: usize) -> Option<Response> {
+    if bytes.len() != 24 + value_len {
+        return None;
+    }
+    Some(Response {
+        id: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+        client: u64::from_le_bytes(bytes[8..16].try_into().ok()?),
+        seq: u64::from_le_bytes(bytes[16..24].try_into().ok()?),
+        value: bytes[24..].to_vec(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +251,15 @@ mod tests {
         assert_eq!(back, r);
         assert!(decode_request(&bytes, 16).is_none());
         assert!(decode_request(&bytes[..10], 32).is_none());
+    }
+
+    #[test]
+    fn response_encode_decode_roundtrip() {
+        let r = Response { id: 11, value: vec![7u8; 32], client: 4, seq: 99 };
+        let bytes = encode_response(&r);
+        assert_eq!(bytes.len(), 24 + 32);
+        assert_eq!(decode_response(&bytes, 32).unwrap(), r);
+        assert!(decode_response(&bytes, 16).is_none());
     }
 
     #[test]

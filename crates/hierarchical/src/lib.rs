@@ -26,7 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::RngCore;
+use snoopy_crypto::rng::RngCore;
 use snoopy_crypto::Prg;
 use snoopy_obliv::ct::{ct_eq_u64, ct_lt_u64, Choice, Cmov};
 use snoopy_obliv::impl_cmov_struct;
@@ -292,7 +292,6 @@ impl SqrtOram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     #[test]
@@ -316,8 +315,8 @@ mod tests {
 
     #[test]
     fn random_workload_matches_model() {
-        use rand::Rng as _;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use snoopy_crypto::rng::Rng as _;
+        let mut rng = snoopy_crypto::Prg::from_seed(3);
         let n = 49u64;
         let mut oram = SqrtOram::new(n, 8, 4);
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();

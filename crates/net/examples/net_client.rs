@@ -1,0 +1,62 @@
+//! A tiny command-line client for a running `snoopyd` cluster.
+//!
+//! ```text
+//! cargo run -p snoopy-net --example net_client -- cluster.manifest read 7
+//! cargo run -p snoopy-net --example net_client -- cluster.manifest write 7 hello
+//! ```
+//!
+//! Reads the manifest for the deployment parameters, connects to load
+//! balancer 0, performs the one operation, and prints the returned value
+//! (reads return the stored value; writes return the pre-write value).
+
+use snoopy_net::manifest::Manifest;
+use snoopy_net::{proto, NetClient};
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (manifest_path, op, id) = match (args.first(), args.get(1), args.get(2)) {
+        (Some(m), Some(op), Some(id)) => (m, op.as_str(), id),
+        _ => {
+            eprintln!("usage: net_client MANIFEST read ID | write ID VALUE");
+            std::process::exit(2);
+        }
+    };
+    let manifest = match Manifest::load(Path::new(manifest_path)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("net_client: {e}");
+            std::process::exit(1);
+        }
+    };
+    let id: u64 = id.parse().expect("ID must be a number");
+    let deploy = proto::deployment_key(manifest.seed);
+    let mut client =
+        NetClient::connect(&manifest.load_balancers[0], 0, &deploy, manifest.value_len)
+            .expect("connect to load balancer 0");
+    let value = match op {
+        "read" => client.read(id).expect("read"),
+        "write" => {
+            let payload = args.get(3).map(String::as_bytes).unwrap_or(b"");
+            client.write(id, payload).expect("write")
+        }
+        _ => {
+            eprintln!("net_client: unknown op `{op}`");
+            std::process::exit(2);
+        }
+    };
+    println!("{}", format_value(&value));
+}
+
+fn format_value(v: &[u8]) -> String {
+    // Print printable payloads as text, everything else as hex.
+    let trimmed: &[u8] = {
+        let end = v.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+        &v[..end]
+    };
+    if !trimmed.is_empty() && trimmed.iter().all(|&b| (0x20..0x7f).contains(&b)) {
+        String::from_utf8_lossy(trimmed).into_owned()
+    } else {
+        v.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}

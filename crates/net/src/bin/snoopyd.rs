@@ -1,0 +1,94 @@
+//! `snoopyd` — one machine of a Snoopy TCP cluster.
+//!
+//! ```text
+//! snoopyd --role loadbalancer --index 0 --manifest cluster.toml
+//! snoopyd --role suboram      --index 1 --manifest cluster.toml \
+//!         --checkpoint /var/lib/snoopy/sub1.ckpt
+//! snoopyd stats    --addr 127.0.0.1:7000
+//! snoopyd shutdown --addr 127.0.0.1:7000
+//! ```
+//!
+//! Every daemon in a cluster reads the same manifest; `--role`/`--index`
+//! pick its line. The daemon runs until `snoopyd shutdown` (or a signal).
+
+use snoopy_net::manifest::Manifest;
+use snoopy_net::stats::StatsRegistry;
+use snoopy_net::{fetch_stats, shutdown_daemon};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         snoopyd --role loadbalancer|suboram --index N --manifest PATH [--checkpoint PATH]\n  \
+         snoopyd stats --addr HOST:PORT\n  \
+         snoopyd shutdown --addr HOST:PORT"
+    );
+    exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let addr = flag_value(&args, "--addr").unwrap_or_else(|| usage());
+            match fetch_stats(&addr) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("snoopyd stats: {e}");
+                    exit(1);
+                }
+            }
+        }
+        Some("shutdown") => {
+            let addr = flag_value(&args, "--addr").unwrap_or_else(|| usage());
+            if let Err(e) = shutdown_daemon(&addr) {
+                eprintln!("snoopyd shutdown: {e}");
+                exit(1);
+            }
+        }
+        Some(_) => run_daemon(&args),
+        None => usage(),
+    }
+}
+
+fn run_daemon(args: &[String]) {
+    let role = flag_value(args, "--role").unwrap_or_else(|| usage());
+    let index: usize = flag_value(args, "--index")
+        .unwrap_or_else(|| usage())
+        .parse()
+        .unwrap_or_else(|_| usage());
+    let manifest_path = PathBuf::from(flag_value(args, "--manifest").unwrap_or_else(|| usage()));
+    let checkpoint = flag_value(args, "--checkpoint").map(PathBuf::from);
+
+    let manifest = match Manifest::load(&manifest_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("snoopyd: {e}");
+            exit(1);
+        }
+    };
+    let registry = StatsRegistry::new();
+    let result = match role.as_str() {
+        "loadbalancer" => {
+            if checkpoint.is_some() {
+                eprintln!("snoopyd: --checkpoint only applies to --role suboram");
+                exit(2);
+            }
+            snoopy_net::lb_daemon::run(&manifest, index, &registry)
+        }
+        "suboram" => snoopy_net::suboram_daemon::run(&manifest, index, checkpoint, &registry),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("snoopyd ({role} {index}): {e}");
+        exit(1);
+    }
+    // The epoch loop returned: graceful shutdown. Remaining service threads
+    // (listeners, dialers) are blocked in I/O; the process exit reaps them.
+    exit(0);
+}

@@ -1,0 +1,225 @@
+//! Sealed subORAM checkpoints: crash/restart survival for the TCP plane.
+//!
+//! A `snoopyd --role suboram` process checkpoints after executing an epoch
+//! but *before* sending that epoch's responses (the `after_epoch` hook of
+//! [`snoopy_core::transport::run_suboram`]). The checkpoint holds the
+//! partition's objects plus the reply cache of recently executed epochs, so
+//! a killed-and-restarted daemon resumes exactly where it stopped:
+//!
+//! * crash before the checkpoint lands → no response escaped, the balancer
+//!   resends on reconnect, and the epoch re-executes from the previous state;
+//! * crash after → the state is durable and redelivered batches are answered
+//!   from the reply cache without re-executing (re-execution would corrupt
+//!   write semantics, since writes return the pre-write value).
+//!
+//! The file is AEAD-sealed under a key derived from the deployment key (the
+//! disk is untrusted, like the network) with a random 64-bit nonce stored in
+//! the plaintext header, and replaced atomically via write-to-temp + rename.
+
+use snoopy_core::transport::SubOramNode;
+use snoopy_crypto::aead::{AeadKey, Nonce};
+use snoopy_crypto::rng::Rng;
+use snoopy_crypto::{Key256, Prg};
+use snoopy_enclave::wire::{decode_request, encode_request, Request, StoredObject};
+use snoopy_suboram::SubOram;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SNPCKPT1";
+
+/// Derives the checkpoint sealing key for subORAM `index`.
+pub fn checkpoint_key(deploy: &Key256, index: usize) -> Key256 {
+    let mut label = b"checkpoint/".to_vec();
+    label.extend_from_slice(&(index as u64).to_le_bytes());
+    deploy.derive(&label)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("checkpoint: {msg}"))
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> io::Result<u64> {
+        if self.0.len() < 8 {
+            return Err(bad("truncated"));
+        }
+        let (head, rest) = self.0.split_at(8);
+        self.0 = rest;
+        Ok(u64::from_le_bytes(head.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.0.len() < n {
+            return Err(bad("truncated"));
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+}
+
+fn encode_state(node: &SubOramNode) -> Vec<u8> {
+    let value_len = node.oram().value_len();
+    let objects = node.oram().export_objects();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(value_len as u64).to_le_bytes());
+    out.extend_from_slice(&(node.num_lbs() as u64).to_le_bytes());
+    out.extend_from_slice(&(objects.len() as u64).to_le_bytes());
+    for o in &objects {
+        out.extend_from_slice(&o.id.to_le_bytes());
+        out.extend_from_slice(&o.value);
+    }
+    let completed = node.completed();
+    out.extend_from_slice(&(completed.len() as u64).to_le_bytes());
+    for (epoch, per_lb) in completed {
+        out.extend_from_slice(&epoch.to_le_bytes());
+        for batch in per_lb {
+            out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+            for r in batch {
+                out.extend_from_slice(&encode_request(r));
+            }
+        }
+    }
+    out
+}
+
+fn decode_state(
+    plain: &[u8],
+) -> io::Result<(usize, usize, Vec<StoredObject>, BTreeMap<u64, Vec<Vec<Request>>>)> {
+    let mut r = Reader(plain);
+    if r.bytes(8)? != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let value_len = r.u64()? as usize;
+    let num_lbs = r.u64()? as usize;
+    let num_objects = r.u64()? as usize;
+    let mut objects = Vec::with_capacity(num_objects);
+    for _ in 0..num_objects {
+        let id = r.u64()?;
+        let value = r.bytes(value_len)?.to_vec();
+        objects.push(StoredObject { id, value });
+    }
+    let num_epochs = r.u64()? as usize;
+    let mut completed = BTreeMap::new();
+    for _ in 0..num_epochs {
+        let epoch = r.u64()?;
+        let mut per_lb = Vec::with_capacity(num_lbs);
+        for _ in 0..num_lbs {
+            let count = r.u64()? as usize;
+            let mut batch = Vec::with_capacity(count);
+            for _ in 0..count {
+                let frame = r.bytes(40 + value_len)?;
+                batch.push(decode_request(frame, value_len).ok_or_else(|| bad("bad request"))?);
+            }
+            per_lb.push(batch);
+        }
+        completed.insert(epoch, per_lb);
+    }
+    if !r.0.is_empty() {
+        return Err(bad("trailing bytes"));
+    }
+    Ok((value_len, num_lbs, objects, completed))
+}
+
+/// Seals the node's state and atomically replaces `path`.
+pub fn save(node: &SubOramNode, key: &Key256, path: &Path) -> io::Result<()> {
+    let plain = encode_state(node);
+    let seq: u64 = Prg::from_entropy().gen();
+    let sealed = AeadKey::new(key.clone()).seal(Nonce::from_parts(0x7F00_0000, seq), b"ckpt", &plain);
+    let mut file = Vec::with_capacity(8 + sealed.bytes.len());
+    file.extend_from_slice(&seq.to_le_bytes());
+    file.extend_from_slice(&sealed.bytes);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &file)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Loads and unseals a checkpoint, rebuilding the node. Returns `Ok(None)`
+/// if no checkpoint exists (fresh start); tampering or truncation is an
+/// error — the daemon must not silently fall back to stale state.
+pub fn load(
+    key: &Key256,
+    path: &Path,
+    root_key: Key256,
+    lambda: u32,
+) -> io::Result<Option<SubOramNode>> {
+    let file = match std::fs::read(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if file.len() < 8 {
+        return Err(bad("truncated header"));
+    }
+    let seq = u64::from_le_bytes(file[..8].try_into().unwrap());
+    let sealed = snoopy_crypto::aead::SealedBox { bytes: file[8..].to_vec() };
+    let plain = AeadKey::new(key.clone())
+        .open(Nonce::from_parts(0x7F00_0000, seq), b"ckpt", &sealed)
+        .map_err(|_| bad("seal verification failed"))?;
+    let (value_len, num_lbs, objects, completed) = decode_state(&plain)?;
+    let oram = SubOram::new_in_enclave(objects, value_len, root_key, lambda);
+    Ok(Some(SubOramNode::restore(oram, num_lbs, completed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snoopy_core::transport::BatchOutcome;
+
+    const VLEN: usize = 16;
+
+    fn node() -> SubOramNode {
+        let objects: Vec<StoredObject> =
+            (0..32).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+        SubOramNode::new(SubOram::new_in_enclave(objects, VLEN, Key256([9u8; 32]), 80), 1)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_state_and_reply_cache() {
+        let dir = std::env::temp_dir().join(format!("snoopy-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sub0.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let key = checkpoint_key(&Key256([1u8; 32]), 0);
+
+        let mut n = node();
+        let batch = vec![Request::write(3, &[0xEE; 4], VLEN, 0, 0), Request::read(5, VLEN, 0, 1)];
+        let out = match n.handle_batch(0, 0, batch.clone()) {
+            BatchOutcome::Completed(out) => out,
+            _ => panic!("epoch should complete"),
+        };
+        save(&n, &key, &path).unwrap();
+
+        let mut restored = load(&key, &path, Key256([9u8; 32]), 80).unwrap().unwrap();
+        // The write landed.
+        assert_eq!(restored.oram().peek(3).unwrap()[..4], [0xEE; 4]);
+        // A redelivered epoch replays the cached response, not a re-execution.
+        match restored.handle_batch(0, 0, batch) {
+            BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out[0]),
+            _ => panic!("expected replay from cache"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_fresh_start_and_tampering_is_detected() {
+        let dir = std::env::temp_dir().join(format!("snoopy-ckpt2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sub1.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let key = checkpoint_key(&Key256([1u8; 32]), 1);
+        assert!(load(&key, &path, Key256([9u8; 32]), 80).unwrap().is_none());
+
+        save(&node(), &key, &path).unwrap();
+        let mut file = std::fs::read(&path).unwrap();
+        let mid = file.len() / 2;
+        file[mid] ^= 0x80;
+        std::fs::write(&path, &file).unwrap();
+        assert!(load(&key, &path, Key256([9u8; 32]), 80).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,122 @@
+//! Client and admin connections to a running cluster.
+//!
+//! [`NetClient`] is the blocking client API: it dials a load balancer, runs
+//! the session hello, and then issues reads/writes over the sealed
+//! client ↔ balancer link. The admin helpers ([`fetch_stats`],
+//! [`shutdown_daemon`]) speak the plaintext control frames.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{self, tag, Hello, Role};
+use snoopy_core::link::Link;
+use snoopy_crypto::Key256;
+use snoopy_enclave::wire::{Request, Response};
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// A blocking client session with one load balancer.
+pub struct NetClient {
+    stream: TcpStream,
+    req_link: Link,
+    resp_link: Link,
+    value_len: usize,
+    seq: u64,
+}
+
+impl NetClient {
+    /// Dials the balancer at `addr` (index `lb_index` in the manifest) and
+    /// establishes a fresh session. `deploy` is the deployment key
+    /// ([`proto::deployment_key`] of the manifest seed).
+    pub fn connect(
+        addr: &str,
+        lb_index: usize,
+        deploy: &Key256,
+        value_len: usize,
+    ) -> io::Result<NetClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        let hello = Hello::new(Role::Client, 0);
+        write_frame(&mut stream, tag::HELLO, &hello.encode())?;
+        let (req_link, resp_link) = proto::client_session_links(deploy, lb_index, hello.session);
+        Ok(NetClient { stream, req_link, resp_link, value_len, seq: 0 })
+    }
+
+    /// Reads object `id`, blocking until the epoch containing the request
+    /// commits.
+    pub fn read(&mut self, id: u64) -> io::Result<Vec<u8>> {
+        let seq = self.next_seq();
+        let req = Request::read(id, self.value_len, 0, seq);
+        Ok(self.roundtrip(req, seq)?.value)
+    }
+
+    /// Writes object `id`; returns the pre-write value (Snoopy's write
+    /// semantics).
+    pub fn write(&mut self, id: u64, payload: &[u8]) -> io::Result<Vec<u8>> {
+        let seq = self.next_seq();
+        let req = Request::write(id, payload, self.value_len, 0, seq);
+        Ok(self.roundtrip(req, seq)?.value)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn roundtrip(&mut self, req: Request, seq: u64) -> io::Result<Response> {
+        let sealed = self.req_link.seal(&[req]).map_err(|_| bad("request link failure"))?;
+        write_frame(&mut self.stream, tag::CLIENT_REQ, &sealed.bytes)?;
+        loop {
+            let (t, body) = read_frame(&mut self.stream)?;
+            if t != tag::CLIENT_RESP {
+                return Err(bad("unexpected frame from balancer"));
+            }
+            let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
+            let batch = self
+                .resp_link
+                .open_responses(&sealed, self.value_len)
+                .map_err(|_| bad("response link failure"))?;
+            for resp in batch {
+                if resp.seq == seq {
+                    return Ok(resp);
+                }
+                // A stale response for an abandoned earlier request; skip.
+            }
+        }
+    }
+}
+
+fn admin_dial(addr: &str) -> io::Result<TcpStream> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    write_frame(&mut stream, tag::HELLO, &Hello::new(Role::Admin, 0).encode())?;
+    Ok(stream)
+}
+
+/// Fetches a daemon's per-link counters (the `stats` RPC) as its textual
+/// form; parse with [`crate::stats::parse_stats`].
+pub fn fetch_stats(addr: &str) -> io::Result<String> {
+    let mut stream = admin_dial(addr)?;
+    write_frame(&mut stream, tag::STATS_REQ, b"")?;
+    let (t, body) = read_frame(&mut stream)?;
+    if t != tag::STATS_RESP {
+        return Err(bad("unexpected frame from daemon"));
+    }
+    String::from_utf8(body).map_err(|_| bad("stats not utf-8"))
+}
+
+/// Asks a daemon to shut down gracefully; returns once it acknowledges.
+pub fn shutdown_daemon(addr: &str) -> io::Result<()> {
+    let mut stream = admin_dial(addr)?;
+    write_frame(&mut stream, tag::SHUTDOWN, b"")?;
+    let (t, _) = read_frame(&mut stream)?;
+    if t != tag::SHUTDOWN_ACK {
+        return Err(bad("unexpected frame from daemon"));
+    }
+    Ok(())
+}

@@ -1,0 +1,300 @@
+//! The load-balancer daemon: a `snoopyd --role loadbalancer` process.
+//!
+//! The balancer *dials* every subORAM (the dialer owns reconnection): each
+//! subORAM gets a dedicated dialer thread that connects with capped
+//! exponential backoff, performs the session hello, then reads sealed
+//! response batches until the connection dies — at which point it loops back
+//! to redialing. Establishing a session emits
+//! [`LbEvent::SubLinkRestored`], which makes the epoch loop resend the
+//! in-flight epoch's batch, so a subORAM killed and restarted mid-epoch is
+//! healed end to end (its reply cache absorbs duplicate deliveries).
+//!
+//! Clients and admins dial the balancer's own listen address. An epoch
+//! ticker closes an epoch every `epoch_ms` from the manifest.
+
+use crate::frame::{read_frame, write_frame};
+use crate::manifest::Manifest;
+use crate::proto::{self, tag, Hello, Role};
+use crate::stats::{LinkStats, StatsRegistry};
+use crate::suboram_daemon::admin_session;
+use snoopy_core::link::Link;
+use snoopy_core::transport::{run_load_balancer, LbEvent, LbTransport, ReplySink};
+use snoopy_crypto::{Key256, Prg};
+use snoopy_enclave::wire::{Request, Response};
+use snoopy_lb::LoadBalancer;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The write half of one subORAM session.
+struct SubConn {
+    stream: TcpStream,
+    batch_link: Link,
+}
+
+type SubSlots = Arc<Vec<Mutex<Option<SubConn>>>>;
+
+struct TcpLbTransport {
+    events: Receiver<LbEvent>,
+    subs: SubSlots,
+    sub_stats: Vec<Arc<LinkStats>>,
+}
+
+impl LbTransport for TcpLbTransport {
+    fn recv(&mut self) -> Option<LbEvent> {
+        self.events.recv().ok()
+    }
+
+    fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
+        let mut slot = self.subs[suboram].lock().unwrap();
+        let Some(conn) = slot.as_mut() else {
+            // Disconnected: drop the batch. SubLinkRestored will trigger a
+            // resend once the dialer re-establishes the session.
+            return;
+        };
+        let sealed = match conn.batch_link.seal(batch) {
+            Ok(s) => s,
+            Err(_) => {
+                *slot = None;
+                return;
+            }
+        };
+        let body = proto::encode_epoch_sealed(epoch, &sealed);
+        match write_frame(&mut conn.stream, tag::BATCH, &body) {
+            Ok(()) => self.sub_stats[suboram].sent(body.len()),
+            Err(_) => {
+                // Kill the socket so the dialer's read side fails fast and
+                // starts reconnecting.
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                *slot = None;
+            }
+        }
+    }
+}
+
+/// A client connection's write half, shared by that connection's sinks.
+struct ClientWriter {
+    stream: TcpStream,
+    resp_link: Link,
+}
+
+struct TcpReplySink {
+    writer: Arc<Mutex<ClientWriter>>,
+    stats: Arc<LinkStats>,
+}
+
+impl ReplySink for TcpReplySink {
+    fn deliver(self: Box<Self>, resp: Response) {
+        let mut w = self.writer.lock().unwrap();
+        let Ok(sealed) = w.resp_link.seal_responses(&[resp]) else { return };
+        match write_frame(&mut w.stream, tag::CLIENT_RESP, &sealed.bytes) {
+            Ok(()) => self.stats.sent(sealed.bytes.len()),
+            Err(_) => {
+                let _ = w.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Runs the load-balancer daemon until an admin shutdown.
+pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::Result<()> {
+    if index >= manifest.load_balancers.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "loadbalancer index {index} out of range (manifest has {})",
+                manifest.load_balancers.len()
+            ),
+        ));
+    }
+    let num_suborams = manifest.suborams.len();
+    let mut prg = Prg::from_seed(manifest.seed);
+    let shared_key = Key256::random(&mut prg);
+    let deploy = proto::deployment_key(manifest.seed);
+    let balancer =
+        LoadBalancer::new(&shared_key, num_suborams, manifest.value_len, manifest.lambda);
+
+    let listener = TcpListener::bind(&manifest.load_balancers[index])?;
+    let (events_tx, events_rx) = channel();
+    let subs: SubSlots = Arc::new((0..num_suborams).map(|_| Mutex::new(None)).collect());
+    let mut sub_stats = Vec::with_capacity(num_suborams);
+
+    // Dialer threads: one per subORAM, owning connect/backoff/read.
+    for sub in 0..num_suborams {
+        let stats = registry.link(&format!("suboram/{sub}"));
+        sub_stats.push(stats.clone());
+        let addr = manifest.suborams[sub].clone();
+        let subs = subs.clone();
+        let events_tx = events_tx.clone();
+        let deploy = deploy.clone();
+        let value_len = manifest.value_len;
+        std::thread::spawn(move || {
+            dialer(addr, index, sub, num_suborams, deploy, value_len, subs, events_tx, stats)
+        });
+    }
+
+    // Client/admin listener.
+    {
+        let events_tx = events_tx.clone();
+        let registry = registry.clone();
+        let deploy = deploy.clone();
+        let value_len = manifest.value_len;
+        std::thread::spawn(move || {
+            client_accept_loop(listener, index, deploy, value_len, events_tx, registry)
+        });
+    }
+
+    // Epoch ticker.
+    {
+        let events_tx = events_tx.clone();
+        let interval = Duration::from_millis(manifest.epoch_ms.max(1));
+        std::thread::spawn(move || {
+            let mut epoch = 0u64;
+            loop {
+                std::thread::sleep(interval);
+                if events_tx.send(LbEvent::Tick(epoch)).is_err() {
+                    break;
+                }
+                epoch += 1;
+            }
+        });
+    }
+
+    let mut transport = TcpLbTransport { events: events_rx, subs, sub_stats };
+    run_load_balancer(&mut transport, balancer, num_suborams);
+    Ok(())
+}
+
+/// Connects to one subORAM forever: dial with capped exponential backoff,
+/// hello, install the session, then read responses until the link dies.
+fn dialer(
+    addr: String,
+    lb_index: usize,
+    sub: usize,
+    num_suborams: usize,
+    deploy: Key256,
+    value_len: usize,
+    subs: SubSlots,
+    events_tx: Sender<LbEvent>,
+    stats: Arc<LinkStats>,
+) {
+    let mut established_before = false;
+    loop {
+        // Capped exponential backoff: 10ms doubling to 1s.
+        let mut backoff = Duration::from_millis(10);
+        let mut stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(s) => break s,
+                Err(_) => {
+                    stats.retried();
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(1));
+                }
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let hello = Hello::new(Role::LoadBalancer, lb_index as u64);
+        if write_frame(&mut stream, tag::HELLO, &hello.encode()).is_err() {
+            continue;
+        }
+        let (batch_link, mut resp_link) =
+            proto::suboram_session_links(&deploy, lb_index, sub, num_suborams, hello.session);
+        let Ok(write_half) = stream.try_clone() else { continue };
+        *subs[sub].lock().unwrap() = Some(SubConn { stream: write_half, batch_link });
+        if established_before {
+            stats.reconnected();
+        }
+        established_before = true;
+        if events_tx.send(LbEvent::SubLinkRestored { suboram: sub }).is_err() {
+            return; // balancer loop gone: daemon is shutting down
+        }
+
+        loop {
+            let Ok((t, body)) = read_frame(&mut stream) else { break };
+            stats.received(body.len());
+            if t != tag::RESP_BATCH {
+                break;
+            }
+            let Some((epoch, sealed)) = proto::decode_epoch_sealed(&body) else { break };
+            let Ok(batch) = resp_link.open(&sealed, value_len) else { break };
+            if events_tx.send(LbEvent::SubResponse { suboram: sub, epoch, batch }).is_err() {
+                return;
+            }
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        *subs[sub].lock().unwrap() = None;
+    }
+}
+
+fn client_accept_loop(
+    listener: TcpListener,
+    lb_index: usize,
+    deploy: Key256,
+    value_len: usize,
+    events_tx: Sender<LbEvent>,
+    registry: StatsRegistry,
+) {
+    let mut client_counter = 0u64;
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let Ok((tag::HELLO, body)) = read_frame(&mut stream) else { continue };
+        let Some(hello) = Hello::decode(&body) else { continue };
+        let _ = stream.set_read_timeout(None);
+        match hello.role {
+            Role::Client => {
+                client_counter += 1;
+                let stats = registry.link(&format!("client/{client_counter}"));
+                let (req_link, resp_link) =
+                    proto::client_session_links(&deploy, lb_index, hello.session);
+                let Ok(write_half) = stream.try_clone() else { continue };
+                let writer =
+                    Arc::new(Mutex::new(ClientWriter { stream: write_half, resp_link }));
+                let events_tx = events_tx.clone();
+                std::thread::spawn(move || {
+                    client_session_reader(stream, req_link, value_len, writer, events_tx, stats)
+                });
+            }
+            Role::Admin => {
+                let events_tx = events_tx.clone();
+                let registry = registry.clone();
+                std::thread::spawn(move || {
+                    admin_session(stream, registry, move || {
+                        let _ = events_tx.send(LbEvent::Shutdown);
+                    })
+                });
+            }
+            // Balancers do not dial balancers.
+            Role::LoadBalancer => {}
+        }
+    }
+}
+
+fn client_session_reader(
+    mut stream: TcpStream,
+    mut req_link: Link,
+    value_len: usize,
+    writer: Arc<Mutex<ClientWriter>>,
+    events_tx: Sender<LbEvent>,
+    stats: Arc<LinkStats>,
+) {
+    loop {
+        let Ok((t, body)) = read_frame(&mut stream) else { break };
+        stats.received(body.len());
+        if t != tag::CLIENT_REQ {
+            break;
+        }
+        let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
+        let Ok(batch) = req_link.open(&sealed, value_len) else { break };
+        for req in batch {
+            let sink = TcpReplySink { writer: writer.clone(), stats: stats.clone() };
+            if events_tx.send(LbEvent::Client(req, Box::new(sink))).is_err() {
+                return;
+            }
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}

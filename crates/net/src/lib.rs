@@ -1,0 +1,40 @@
+//! snoopy-net: the TCP deployment plane.
+//!
+//! Everything the in-process cluster ([`snoopy_core::deploy`]) does with
+//! threads and channels, this crate does with OS processes and TCP sockets —
+//! same epoch protocol (the shared loops in [`snoopy_core::transport`]),
+//! same AEAD-sealed links ([`snoopy_core::link`]), observably identical
+//! responses. Built entirely on `std::net` and threads; the workspace
+//! compiles with zero network access, so there is no async runtime.
+//!
+//! The pieces:
+//!
+//! * [`frame`] — length-prefixed framing (`u32` length, tag byte, body);
+//! * [`proto`] — frame tags, session hellos, per-session link key derivation;
+//! * [`manifest`] — the hand-rolled cluster-manifest parser;
+//! * [`stats`] — per-link frame/byte/reconnect counters behind the `stats`
+//!   RPC;
+//! * [`lb_daemon`] / [`suboram_daemon`] — the two `snoopyd` roles;
+//! * [`checkpoint`] — sealed subORAM state for kill/restart survival;
+//! * [`client`] — the blocking [`client::NetClient`] plus admin RPCs.
+//!
+//! A cluster is described by one manifest file; each `snoopyd --role
+//! <role> --index <i> --manifest <path>` process binds its line of it. Load
+//! balancers dial subORAMs (the dialer owns reconnect/backoff); clients and
+//! admins dial balancers; admins may also dial subORAMs for `stats`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod client;
+pub mod frame;
+pub mod lb_daemon;
+pub mod manifest;
+pub mod proto;
+pub mod stats;
+pub mod suboram_daemon;
+
+pub use client::{fetch_stats, shutdown_daemon, NetClient};
+pub use manifest::Manifest;
+pub use stats::{parse_stats, StatsRegistry};

@@ -1,0 +1,235 @@
+//! Hand-rolled cluster-manifest parser.
+//!
+//! A manifest describes one Snoopy deployment: the public parameters every
+//! machine must agree on, and the listen address of each daemon. The format
+//! is deliberately trivial — `#` comments, blank lines, and `key = value`
+//! pairs, with `loadbalancer`/`suboram` keys repeating in index order:
+//!
+//! ```text
+//! # cluster of one balancer and two subORAMs
+//! value_len   = 32
+//! lambda      = 128
+//! seed        = 1
+//! num_objects = 256
+//! epoch_ms    = 10
+//! loadbalancer = 127.0.0.1:7000
+//! suboram      = 127.0.0.1:7100
+//! suboram      = 127.0.0.1:7101
+//! ```
+//!
+//! Every `snoopyd` in a cluster reads the same manifest; a daemon's
+//! `--role`/`--index` flags select which line it binds. There is no serde in
+//! the build (the workspace compiles with zero network access), hence the
+//! by-hand parser.
+
+use std::fmt;
+
+/// A parsed cluster manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Public object size (bytes).
+    pub value_len: usize,
+    /// Security parameter λ.
+    pub lambda: u32,
+    /// Deployment seed: derives the shared key (partitioning) and, through
+    /// it, the deployment key for link/checkpoint keys. Stands in for the
+    /// attestation-time key exchange.
+    pub seed: u64,
+    /// Object count; each daemon regenerates the initial store
+    /// deterministically from the seed (ids `0..num_objects`).
+    pub num_objects: u64,
+    /// Epoch length driven by each load balancer's ticker.
+    pub epoch_ms: u64,
+    /// Load-balancer listen addresses, in index order.
+    pub load_balancers: Vec<String>,
+    /// SubORAM listen addresses, in index order.
+    pub suborams: Vec<String>,
+}
+
+/// A manifest syntax or consistency error, with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError {
+    /// 1-based line the error was found on (0 for whole-file errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "manifest: {}", self.message)
+        } else {
+            write!(f, "manifest line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn err(line: usize, message: impl Into<String>) -> ManifestError {
+    ManifestError { line, message: message.into() }
+}
+
+impl Manifest {
+    /// Parses a manifest from its textual form.
+    pub fn parse(text: &str) -> Result<Manifest, ManifestError> {
+        let mut value_len = None;
+        let mut lambda = None;
+        let mut seed = None;
+        let mut num_objects = None;
+        let mut epoch_ms = None;
+        let mut load_balancers = Vec::new();
+        let mut suborams = Vec::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("expected `key = value`, got `{line}`")))?;
+            let (key, value) = (key.trim(), value.trim());
+            if value.is_empty() {
+                return Err(err(lineno, format!("`{key}` has no value")));
+            }
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>().map_err(|_| err(lineno, format!("`{key}`: not a number: `{v}`")))
+            };
+            let set_once = |slot: &mut Option<u64>, v: &str| {
+                if slot.is_some() {
+                    return Err(err(lineno, format!("duplicate `{key}`")));
+                }
+                *slot = Some(parse_u64(v)?);
+                Ok(())
+            };
+            match key {
+                "value_len" => set_once(&mut value_len, value)?,
+                "lambda" => set_once(&mut lambda, value)?,
+                "seed" => set_once(&mut seed, value)?,
+                "num_objects" => set_once(&mut num_objects, value)?,
+                "epoch_ms" => set_once(&mut epoch_ms, value)?,
+                "loadbalancer" => load_balancers.push(check_addr(value, lineno)?),
+                "suboram" => suborams.push(check_addr(value, lineno)?),
+                other => return Err(err(lineno, format!("unknown key `{other}`"))),
+            }
+        }
+
+        let value_len = value_len.ok_or_else(|| err(0, "missing `value_len`"))? as usize;
+        let manifest = Manifest {
+            value_len,
+            lambda: lambda.ok_or_else(|| err(0, "missing `lambda`"))? as u32,
+            seed: seed.ok_or_else(|| err(0, "missing `seed`"))?,
+            num_objects: num_objects.ok_or_else(|| err(0, "missing `num_objects`"))?,
+            epoch_ms: epoch_ms.unwrap_or(10),
+            load_balancers,
+            suborams,
+        };
+        if manifest.load_balancers.is_empty() {
+            return Err(err(0, "no `loadbalancer` entries"));
+        }
+        if manifest.suborams.is_empty() {
+            return Err(err(0, "no `suboram` entries"));
+        }
+        if manifest.value_len == 0 {
+            return Err(err(0, "`value_len` must be positive"));
+        }
+        Ok(manifest)
+    }
+
+    /// Reads and parses a manifest file.
+    pub fn load(path: &std::path::Path) -> Result<Manifest, ManifestError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        Manifest::parse(&text)
+    }
+
+    /// Renders the manifest back to its textual form (used by tests and
+    /// cluster-launch tooling).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("value_len = {}\n", self.value_len));
+        out.push_str(&format!("lambda = {}\n", self.lambda));
+        out.push_str(&format!("seed = {}\n", self.seed));
+        out.push_str(&format!("num_objects = {}\n", self.num_objects));
+        out.push_str(&format!("epoch_ms = {}\n", self.epoch_ms));
+        for lb in &self.load_balancers {
+            out.push_str(&format!("loadbalancer = {lb}\n"));
+        }
+        for sub in &self.suborams {
+            out.push_str(&format!("suboram = {sub}\n"));
+        }
+        out
+    }
+
+    /// The deterministic initial object store every daemon regenerates:
+    /// object `i` holds `i`'s little-endian bytes, zero-padded.
+    pub fn initial_objects(&self) -> Vec<snoopy_enclave::wire::StoredObject> {
+        (0..self.num_objects)
+            .map(|i| snoopy_enclave::wire::StoredObject::new(i, &i.to_le_bytes(), self.value_len))
+            .collect()
+    }
+}
+
+fn check_addr(value: &str, lineno: usize) -> Result<String, ManifestError> {
+    // `host:port` shape only; resolution happens at connect/bind time.
+    let (_, port) = value
+        .rsplit_once(':')
+        .ok_or_else(|| err(lineno, format!("address `{value}` is missing `:port`")))?;
+    port.parse::<u16>().map_err(|_| err(lineno, format!("bad port in `{value}`")))?;
+    Ok(value.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# comment\n\
+value_len = 32   # trailing comment\n\
+lambda = 128\n\
+seed = 1\n\
+num_objects = 256\n\
+epoch_ms = 5\n\
+loadbalancer = 127.0.0.1:7000\n\
+suboram = 127.0.0.1:7100\n\
+suboram = 127.0.0.1:7101\n";
+
+    #[test]
+    fn parses_a_full_manifest() {
+        let m = Manifest::parse(GOOD).unwrap();
+        assert_eq!(m.value_len, 32);
+        assert_eq!(m.lambda, 128);
+        assert_eq!(m.epoch_ms, 5);
+        assert_eq!(m.load_balancers, vec!["127.0.0.1:7000"]);
+        assert_eq!(m.suborams.len(), 2);
+        assert_eq!(m.initial_objects().len(), 256);
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let m = Manifest::parse(GOOD).unwrap();
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Manifest::parse("nonsense\n").is_err());
+        assert!(Manifest::parse("value_len = x\n").is_err());
+        let dup = format!("{GOOD}seed = 2\n");
+        let e = Manifest::parse(&dup).unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+        // Missing subORAMs.
+        let e = Manifest::parse("value_len=8\nlambda=80\nseed=0\nnum_objects=4\nloadbalancer=a:1\n")
+            .unwrap_err();
+        assert!(e.message.contains("suboram"), "{e}");
+        // Bad address.
+        assert!(Manifest::parse(&GOOD.replace("127.0.0.1:7100", "127.0.0.1")).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! The snoopy-net wire protocol: frame tags, hellos, and session key
+//! derivation.
+//!
+//! A connection starts with a plaintext [`Hello`] naming the dialer's role,
+//! index, and a fresh random session id. Both ends then derive this
+//! session's pair of link keys from the deployment key and the session id,
+//! so a reconnect gets fresh keys — sequence numbers restart at zero on a
+//! new session without ever reusing a `(key, nonce)` pair, and a sealed
+//! message recorded from an old session can never be replayed into a new
+//! one.
+
+use snoopy_core::link::Link;
+use snoopy_crypto::{Key256, Prg};
+
+/// Frame tags.
+pub mod tag {
+    /// Session hello (plaintext): role, index, session id.
+    pub const HELLO: u8 = 1;
+    /// Load balancer → subORAM: sealed epoch batch.
+    pub const BATCH: u8 = 2;
+    /// SubORAM → load balancer: sealed epoch response batch.
+    pub const RESP_BATCH: u8 = 3;
+    /// Client → load balancer: sealed request batch.
+    pub const CLIENT_REQ: u8 = 4;
+    /// Load balancer → client: sealed response batch.
+    pub const CLIENT_RESP: u8 = 5;
+    /// Admin → daemon: per-link counters request (plaintext).
+    pub const STATS_REQ: u8 = 6;
+    /// Daemon → admin: counters snapshot (plaintext UTF-8 lines).
+    pub const STATS_RESP: u8 = 7;
+    /// Admin → daemon: graceful shutdown request.
+    pub const SHUTDOWN: u8 = 8;
+    /// Daemon → admin: shutdown acknowledged (sent before exiting).
+    pub const SHUTDOWN_ACK: u8 = 9;
+}
+
+/// Who is dialing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// A load balancer dialing a subORAM.
+    LoadBalancer,
+    /// A client dialing a load balancer.
+    Client,
+    /// An operator tool (stats/shutdown) dialing any daemon.
+    Admin,
+}
+
+impl Role {
+    fn encode(self) -> u8 {
+        match self {
+            Role::LoadBalancer => 0,
+            Role::Client => 1,
+            Role::Admin => 2,
+        }
+    }
+
+    fn decode(b: u8) -> Option<Role> {
+        match b {
+            0 => Some(Role::LoadBalancer),
+            1 => Some(Role::Client),
+            2 => Some(Role::Admin),
+            _ => None,
+        }
+    }
+}
+
+/// The first frame on every connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// The dialer's role.
+    pub role: Role,
+    /// The dialer's index within its role (load-balancer index; 0 for
+    /// clients and admins).
+    pub index: u64,
+    /// Fresh random session id; scopes this connection's link keys.
+    pub session: u64,
+}
+
+impl Hello {
+    /// Builds a hello with a fresh random session id.
+    pub fn new(role: Role, index: u64) -> Hello {
+        let mut prg = Prg::from_entropy();
+        Hello { role, index, session: snoopy_crypto::rng::Rng::gen(&mut prg) }
+    }
+
+    /// Serializes the hello body (goes under [`tag::HELLO`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17);
+        out.push(self.role.encode());
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out.extend_from_slice(&self.session.to_le_bytes());
+        out
+    }
+
+    /// Parses a hello body.
+    pub fn decode(body: &[u8]) -> Option<Hello> {
+        if body.len() != 17 {
+            return None;
+        }
+        Some(Hello {
+            role: Role::decode(body[0])?,
+            index: u64::from_le_bytes(body[1..9].try_into().ok()?),
+            session: u64::from_le_bytes(body[9..17].try_into().ok()?),
+        })
+    }
+}
+
+/// An epoch-tagged sealed payload: the body of [`tag::BATCH`] and
+/// [`tag::RESP_BATCH`] frames (`epoch u64 LE` + sealed bytes).
+pub fn encode_epoch_sealed(epoch: u64, sealed: &snoopy_crypto::aead::SealedBox) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + sealed.bytes.len());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&sealed.bytes);
+    out
+}
+
+/// Inverse of [`encode_epoch_sealed`].
+pub fn decode_epoch_sealed(body: &[u8]) -> Option<(u64, snoopy_crypto::aead::SealedBox)> {
+    if body.len() < 8 {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(body[..8].try_into().ok()?);
+    Some((epoch, snoopy_crypto::aead::SealedBox { bytes: body[8..].to_vec() }))
+}
+
+/// Derives the deployment key every daemon shares. It seeds all per-session
+/// link keys and the checkpoint keys; in a real deployment it would be
+/// established by remote attestation, here it is derived from the manifest
+/// seed exactly like the in-process planes derive theirs.
+pub fn deployment_key(seed: u64) -> Key256 {
+    let mut prg = Prg::from_seed(seed);
+    Key256::random(&mut prg).derive(b"snoopy-net/deployment")
+}
+
+/// Derives the batch-direction and response-direction links for a
+/// LB ↔ subORAM session. Channel ids reuse the in-process scheme
+/// (`lb * s + sub`, response direction with the top bit set); the session id
+/// is folded into the *key*, so ids only need to be unique per key.
+pub fn suboram_session_links(
+    deploy: &Key256,
+    lb: usize,
+    sub: usize,
+    num_suborams: usize,
+    session: u64,
+) -> (Link, Link) {
+    let chan = (lb * num_suborams + sub) as u32;
+    let mut label = b"link/lb-sub/".to_vec();
+    label.extend_from_slice(&(lb as u64).to_le_bytes());
+    label.extend_from_slice(&(sub as u64).to_le_bytes());
+    label.extend_from_slice(&session.to_le_bytes());
+    let batch_key = deploy.derive(&label);
+    label.push(b'r');
+    let resp_key = deploy.derive(&label);
+    (Link::new(batch_key, chan), Link::new(resp_key, chan | 0x8000_0000))
+}
+
+/// Derives the request-direction and response-direction links for a
+/// client ↔ LB session.
+pub fn client_session_links(deploy: &Key256, lb: usize, session: u64) -> (Link, Link) {
+    let mut label = b"link/client-lb/".to_vec();
+    label.extend_from_slice(&(lb as u64).to_le_bytes());
+    label.extend_from_slice(&session.to_le_bytes());
+    let req_key = deploy.derive(&label);
+    label.push(b'r');
+    let resp_key = deploy.derive(&label);
+    (Link::new(req_key, 0x4000_0000), Link::new(resp_key, 0x4000_0001))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let h = Hello { role: Role::LoadBalancer, index: 3, session: 0xDEAD_BEEF };
+        assert_eq!(Hello::decode(&h.encode()), Some(h));
+        assert_eq!(Hello::decode(&[]), None);
+        assert_eq!(Hello::decode(&[9; 17]), None); // bad role
+    }
+
+    #[test]
+    fn session_links_interoperate() {
+        let deploy = deployment_key(7);
+        let (mut a, _) = suboram_session_links(&deploy, 0, 1, 2, 42);
+        let (mut b, _) = suboram_session_links(&deploy, 0, 1, 2, 42);
+        let batch = vec![snoopy_enclave::wire::Request::read(5, 8, 0, 0)];
+        let sealed = a.seal(&batch).unwrap();
+        assert_eq!(b.open(&sealed, 8).unwrap(), batch);
+    }
+
+    #[test]
+    fn different_sessions_use_different_keys() {
+        let deploy = deployment_key(7);
+        let (mut a, _) = suboram_session_links(&deploy, 0, 1, 2, 42);
+        let (mut b, _) = suboram_session_links(&deploy, 0, 1, 2, 43);
+        let sealed = a.seal(&[snoopy_enclave::wire::Request::read(5, 8, 0, 0)]).unwrap();
+        assert!(b.open(&sealed, 8).is_err());
+    }
+
+    #[test]
+    fn epoch_sealed_roundtrip() {
+        let sealed = snoopy_crypto::aead::SealedBox { bytes: vec![1, 2, 3] };
+        let body = encode_epoch_sealed(9, &sealed);
+        let (epoch, back) = decode_epoch_sealed(&body).unwrap();
+        assert_eq!(epoch, 9);
+        assert_eq!(back.bytes, sealed.bytes);
+        assert!(decode_epoch_sealed(&[1, 2]).is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-link counters, exposed through the `stats` RPC.
+//!
+//! Every connection-owning component (a balancer's dialer to a subORAM, a
+//! subORAM's accepted balancer session, a client session) updates one
+//! [`LinkStats`] as it moves frames. A daemon's [`StatsRegistry`] snapshots
+//! all of them into the plaintext text form the `snoopyd stats` subcommand
+//! prints.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Counters for one link (shared across that link's reader/writer threads).
+#[derive(Default, Debug)]
+pub struct LinkStats {
+    /// Frames written to the peer.
+    pub frames_sent: AtomicU64,
+    /// Frames read from the peer.
+    pub frames_received: AtomicU64,
+    /// Payload bytes written (frame bodies, excluding the 5-byte header).
+    pub bytes_sent: AtomicU64,
+    /// Payload bytes read.
+    pub bytes_received: AtomicU64,
+    /// Times the link was re-established after a failure (dialer side) or a
+    /// replacement session was accepted (listener side).
+    pub reconnects: AtomicU64,
+    /// Failed dial attempts (each backoff retry that did not connect).
+    pub retries: AtomicU64,
+}
+
+impl LinkStats {
+    /// Records an outbound frame of `body_len` payload bytes.
+    pub fn sent(&self, body_len: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(body_len as u64, Ordering::Relaxed);
+    }
+
+    /// Records an inbound frame of `body_len` payload bytes.
+    pub fn received(&self, body_len: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received.fetch_add(body_len as u64, Ordering::Relaxed);
+    }
+
+    /// Records a successful re-establishment.
+    pub fn reconnected(&self) {
+        self.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed dial attempt.
+    pub fn retried(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn render(&self, name: &str) -> String {
+        format!(
+            "link={} frames_sent={} frames_received={} bytes_sent={} bytes_received={} reconnects={} retries={}",
+            name,
+            self.frames_sent.load(Ordering::Relaxed),
+            self.frames_received.load(Ordering::Relaxed),
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.bytes_received.load(Ordering::Relaxed),
+            self.reconnects.load(Ordering::Relaxed),
+            self.retries.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// All of one daemon's links, named.
+#[derive(Clone, Default)]
+pub struct StatsRegistry {
+    links: Arc<Mutex<Vec<(String, Arc<LinkStats>)>>>,
+}
+
+impl StatsRegistry {
+    /// An empty registry.
+    pub fn new() -> StatsRegistry {
+        StatsRegistry::default()
+    }
+
+    /// Registers (or fetches) the named link's counters. Re-registering a
+    /// name returns the existing counters, so a link survives reconnects
+    /// with its history intact.
+    pub fn link(&self, name: &str) -> Arc<LinkStats> {
+        let mut links = self.links.lock().unwrap();
+        if let Some((_, stats)) = links.iter().find(|(n, _)| n == name) {
+            return stats.clone();
+        }
+        let stats = Arc::new(LinkStats::default());
+        links.push((name.to_string(), stats.clone()));
+        stats
+    }
+
+    /// Renders every link, one `key=value` line each — the `stats` RPC body.
+    pub fn render(&self) -> String {
+        let links = self.links.lock().unwrap();
+        let mut out = String::new();
+        for (name, stats) in links.iter() {
+            out.push_str(&stats.render(name));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A parsed `stats` line (used by tests and the CLI printer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsLine {
+    /// Link name.
+    pub link: String,
+    /// `frames_sent`.
+    pub frames_sent: u64,
+    /// `frames_received`.
+    pub frames_received: u64,
+    /// `bytes_sent`.
+    pub bytes_sent: u64,
+    /// `bytes_received`.
+    pub bytes_received: u64,
+    /// `reconnects`.
+    pub reconnects: u64,
+    /// `retries`.
+    pub retries: u64,
+}
+
+/// Parses [`StatsRegistry::render`] output.
+pub fn parse_stats(text: &str) -> Vec<StatsLine> {
+    text.lines()
+        .filter_map(|line| {
+            let mut fields = std::collections::HashMap::new();
+            for part in line.split_whitespace() {
+                let (k, v) = part.split_once('=')?;
+                fields.insert(k, v);
+            }
+            Some(StatsLine {
+                link: (*fields.get("link")?).to_string(),
+                frames_sent: fields.get("frames_sent")?.parse().ok()?,
+                frames_received: fields.get("frames_received")?.parse().ok()?,
+                bytes_sent: fields.get("bytes_sent")?.parse().ok()?,
+                bytes_received: fields.get("bytes_received")?.parse().ok()?,
+                reconnects: fields.get("reconnects")?.parse().ok()?,
+                retries: fields.get("retries")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_render_and_parse() {
+        let reg = StatsRegistry::new();
+        let link = reg.link("suboram/0");
+        link.sent(100);
+        link.sent(50);
+        link.received(25);
+        link.reconnected();
+        assert!(Arc::ptr_eq(&link, &reg.link("suboram/0")));
+        let lines = parse_stats(&reg.render());
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].link, "suboram/0");
+        assert_eq!(lines[0].frames_sent, 2);
+        assert_eq!(lines[0].bytes_sent, 150);
+        assert_eq!(lines[0].frames_received, 1);
+        assert_eq!(lines[0].reconnects, 1);
+        assert_eq!(lines[0].retries, 0);
+    }
+}

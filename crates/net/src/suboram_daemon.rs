@@ -1,0 +1,278 @@
+//! The subORAM daemon: a `snoopyd --role suboram` process.
+//!
+//! Listens on its manifest address and serves three kinds of peers:
+//!
+//! * **Load balancers** dial in with a session hello; each session gets its
+//!   own pair of AEAD links. A reader thread per session opens sealed epoch
+//!   batches and feeds the shared [`run_suboram`] loop; responses go back
+//!   over the same connection. A balancer that reconnects simply replaces
+//!   its session — the reply cache makes redelivered batches idempotent.
+//! * **Admins** issue the plaintext `stats` RPC or a graceful shutdown.
+//!
+//! The daemon checkpoints after every executed epoch, before responding
+//! (see [`crate::checkpoint`]), so `kill -9` at any instant is recoverable.
+
+use crate::checkpoint;
+use crate::frame::{read_frame, write_frame};
+use crate::manifest::Manifest;
+use crate::proto::{self, tag, Hello, Role};
+use crate::stats::{LinkStats, StatsRegistry};
+use snoopy_core::link::Link;
+use snoopy_core::transport::{run_suboram, SubEvent, SubOramNode, SubTransport};
+use snoopy_crypto::{Key256, Prg};
+use snoopy_lb::partition_objects;
+use snoopy_suboram::SubOram;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One live balancer session (the write half; the read half lives on the
+/// session's reader thread).
+struct LbConn {
+    session: u64,
+    stream: TcpStream,
+    resp_link: Link,
+    stats: Arc<LinkStats>,
+}
+
+/// Shared slots, one per balancer index.
+type ConnTable = Arc<Mutex<Vec<Option<LbConn>>>>;
+
+struct TcpSubTransport {
+    events: Receiver<SubEvent>,
+    conns: ConnTable,
+}
+
+impl SubTransport for TcpSubTransport {
+    fn recv(&mut self) -> Option<SubEvent> {
+        self.events.recv().ok()
+    }
+
+    fn send_response(&mut self, lb: usize, epoch: u64, batch: &[snoopy_enclave::wire::Request]) {
+        let mut conns = self.conns.lock().unwrap();
+        let Some(conn) = conns[lb].as_mut() else {
+            // Balancer currently disconnected: drop the response. It will
+            // resend the batch on reconnect and the reply cache answers.
+            return;
+        };
+        let sealed = match conn.resp_link.seal(batch) {
+            Ok(s) => s,
+            Err(_) => {
+                conns[lb] = None;
+                return;
+            }
+        };
+        let body = proto::encode_epoch_sealed(epoch, &sealed);
+        match write_frame(&mut conn.stream, tag::RESP_BATCH, &body) {
+            Ok(()) => conn.stats.sent(body.len()),
+            Err(_) => {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conns[lb] = None;
+            }
+        }
+    }
+}
+
+/// Runs the subORAM daemon until an admin shutdown. `checkpoint_path`
+/// enables crash recovery (recommended; the integration tests rely on it).
+pub fn run(
+    manifest: &Manifest,
+    index: usize,
+    checkpoint_path: Option<PathBuf>,
+    registry: &StatsRegistry,
+) -> io::Result<()> {
+    if index >= manifest.suborams.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("suboram index {index} out of range (manifest has {})", manifest.suborams.len()),
+        ));
+    }
+    let num_lbs = manifest.load_balancers.len();
+    let mut prg = Prg::from_seed(manifest.seed);
+    let shared_key = Key256::random(&mut prg);
+    let deploy = proto::deployment_key(manifest.seed);
+    let mut oram_label = b"suboram-key/".to_vec();
+    oram_label.extend_from_slice(&(index as u64).to_le_bytes());
+    let oram_key = deploy.derive(&oram_label);
+    let ckpt_key = checkpoint::checkpoint_key(&deploy, index);
+
+    // Recover from a checkpoint if one exists, else build the partition from
+    // the deterministic initial store.
+    let recovered = match &checkpoint_path {
+        Some(path) => checkpoint::load(&ckpt_key, path, oram_key.clone(), manifest.lambda)?,
+        None => None,
+    };
+    let mut node = match recovered {
+        Some(node) => node,
+        None => {
+            let parts =
+                partition_objects(manifest.initial_objects(), &shared_key, manifest.suborams.len());
+            let part = parts.into_iter().nth(index).unwrap();
+            SubOramNode::new(
+                SubOram::new_in_enclave(part, manifest.value_len, oram_key, manifest.lambda),
+                num_lbs,
+            )
+        }
+    };
+
+    let listener = TcpListener::bind(&manifest.suborams[index])?;
+    let (events_tx, events_rx) = channel();
+    let conns: ConnTable = Arc::new(Mutex::new((0..num_lbs).map(|_| None).collect()));
+    {
+        let conns = conns.clone();
+        let events_tx = events_tx.clone();
+        let registry = registry.clone();
+        let manifest = manifest.clone();
+        let deploy = deploy.clone();
+        std::thread::spawn(move || {
+            accept_loop(listener, manifest, index, deploy, conns, events_tx, registry)
+        });
+    }
+
+    let mut transport = TcpSubTransport { events: events_rx, conns };
+    run_suboram(&mut transport, &mut node, |node, _epoch| {
+        if let Some(path) = &checkpoint_path {
+            // Durability point: the checkpoint must land before any response
+            // for this epoch escapes.
+            checkpoint::save(node, &ckpt_key, path).expect("checkpoint write failed");
+        }
+    });
+    Ok(())
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    manifest: Manifest,
+    index: usize,
+    deploy: Key256,
+    conns: ConnTable,
+    events_tx: Sender<SubEvent>,
+    registry: StatsRegistry,
+) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let Ok((tag::HELLO, body)) = read_frame(&mut stream) else { continue };
+        let Some(hello) = Hello::decode(&body) else { continue };
+        let _ = stream.set_read_timeout(None);
+        match hello.role {
+            Role::LoadBalancer => {
+                let lb = hello.index as usize;
+                if lb >= manifest.load_balancers.len() {
+                    continue;
+                }
+                let stats = registry.link(&format!("lb/{lb}"));
+                let (batch_link, resp_link) = proto::suboram_session_links(
+                    &deploy,
+                    lb,
+                    index,
+                    manifest.suborams.len(),
+                    hello.session,
+                );
+                let Ok(write_half) = stream.try_clone() else { continue };
+                {
+                    let mut table = conns.lock().unwrap();
+                    if let Some(old) = table[lb].take() {
+                        // A replacement session: kill the stale connection.
+                        let _ = old.stream.shutdown(std::net::Shutdown::Both);
+                        stats.reconnected();
+                    }
+                    table[lb] = Some(LbConn {
+                        session: hello.session,
+                        stream: write_half,
+                        resp_link,
+                        stats: stats.clone(),
+                    });
+                }
+                let conns = conns.clone();
+                let events_tx = events_tx.clone();
+                let value_len = manifest.value_len;
+                std::thread::spawn(move || {
+                    lb_session_reader(
+                        stream,
+                        lb,
+                        hello.session,
+                        batch_link,
+                        value_len,
+                        conns,
+                        events_tx,
+                        stats,
+                    )
+                });
+            }
+            Role::Admin => {
+                let events_tx = events_tx.clone();
+                let registry = registry.clone();
+                std::thread::spawn(move || {
+                    admin_session(stream, registry, move || {
+                        let _ = events_tx.send(SubEvent::Shutdown);
+                    })
+                });
+            }
+            // Clients talk to balancers, not subORAMs.
+            Role::Client => {}
+        }
+    }
+}
+
+fn lb_session_reader(
+    mut stream: TcpStream,
+    lb: usize,
+    session: u64,
+    mut batch_link: Link,
+    value_len: usize,
+    conns: ConnTable,
+    events_tx: Sender<SubEvent>,
+    stats: Arc<LinkStats>,
+) {
+    loop {
+        let Ok((t, body)) = read_frame(&mut stream) else { break };
+        stats.received(body.len());
+        if t != tag::BATCH {
+            break;
+        }
+        let Some((epoch, sealed)) = proto::decode_epoch_sealed(&body) else { break };
+        // A link failure (tamper/replay) kills the session; the balancer
+        // redials with a fresh one.
+        let Ok(batch) = batch_link.open(&sealed, value_len) else { break };
+        if events_tx.send(SubEvent::Batch { lb, epoch, batch }).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let mut table = conns.lock().unwrap();
+    // Only clear the slot if it still belongs to this session (a newer
+    // session may already have replaced it).
+    if table[lb].as_ref().is_some_and(|c| c.session == session) {
+        table[lb] = None;
+    }
+}
+
+/// Serves `stats`/`shutdown` on an admin connection. Shared by both daemon
+/// roles.
+pub(crate) fn admin_session(
+    mut stream: TcpStream,
+    registry: StatsRegistry,
+    shutdown: impl Fn() + Send + 'static,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    while let Ok((t, _body)) = read_frame(&mut stream) {
+        match t {
+            tag::STATS_REQ => {
+                if write_frame(&mut stream, tag::STATS_RESP, registry.render().as_bytes()).is_err()
+                {
+                    break;
+                }
+            }
+            tag::SHUTDOWN => {
+                let _ = write_frame(&mut stream, tag::SHUTDOWN_ACK, b"");
+                shutdown();
+                break;
+            }
+            _ => break,
+        }
+    }
+}

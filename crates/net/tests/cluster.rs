@@ -1,0 +1,211 @@
+//! Multi-process loopback cluster test: real `snoopyd` daemons over TCP.
+//!
+//! Boots one load balancer and two subORAMs as separate OS processes on
+//! 127.0.0.1, drives >100 client requests across many epochs, and checks
+//! every response byte-for-byte against the synchronous reference engine
+//! (`snoopy_core::system::Snoopy`) running the same operation sequence.
+//! Mid-run, one subORAM is SIGKILLed and restarted from its checkpoint; the
+//! balancer's reconnect/backoff plus the subORAM's reply cache must heal the
+//! cluster with no lost or corrupted operation. Finally the `stats` RPC must
+//! account for the traffic and the reconnect.
+
+use snoopy_core::{Snoopy, SnoopyConfig};
+use snoopy_enclave::wire::Request;
+use snoopy_net::manifest::Manifest;
+use snoopy_net::{fetch_stats, parse_stats, proto, shutdown_daemon, NetClient};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const VLEN: usize = 32;
+const NUM_OBJECTS: u64 = 128;
+const SEED: u64 = 11;
+
+/// Kills the child on drop so a failed test leaves no strays.
+struct Daemon {
+    child: Child,
+    name: &'static str,
+}
+
+impl Daemon {
+    fn spawn(role: &str, index: usize, manifest: &Path, ckpt: Option<&Path>, name: &'static str) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_snoopyd"));
+        cmd.arg("--role")
+            .arg(role)
+            .arg("--index")
+            .arg(index.to_string())
+            .arg("--manifest")
+            .arg(manifest)
+            .stdin(Stdio::null());
+        if let Some(path) = ckpt {
+            cmd.arg("--checkpoint").arg(path);
+        }
+        Daemon { child: cmd.spawn().expect("spawn snoopyd"), name }
+    }
+
+    fn kill9(&mut self) {
+        self.child.kill().expect("kill");
+        self.child.wait().expect("reap");
+    }
+
+    fn wait_graceful(mut self) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            match self.child.try_wait().expect("try_wait") {
+                Some(status) => {
+                    assert!(status.success(), "{} exited with {status}", self.name);
+                    std::mem::forget(self);
+                    return;
+                }
+                None if Instant::now() > deadline => {
+                    panic!("{} did not exit after shutdown RPC", self.name)
+                }
+                None => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn free_addrs(n: usize) -> Vec<String> {
+    // Bind ephemeral ports, record them, then release all at once so no two
+    // picks collide.
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    listeners.iter().map(|l| l.local_addr().unwrap().to_string()).collect()
+}
+
+fn wait_for_stats(addr: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match fetch_stats(addr) {
+            Ok(text) => return text,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("stats RPC to {addr} never came up: {e}"),
+        }
+    }
+}
+
+/// The operation sequence both the cluster and the reference engine run:
+/// interleaved reads and writes over the whole id space, >100 ops.
+fn ops() -> Vec<(bool, u64, Vec<u8>)> {
+    let mut out = Vec::new();
+    for i in 0..120u64 {
+        let id = (i * 7 + 3) % NUM_OBJECTS;
+        if i % 3 == 0 {
+            out.push((true, id, format!("op{i}").into_bytes()));
+        } else {
+            out.push((false, id, Vec::new()));
+        }
+    }
+    out
+}
+
+#[test]
+fn multi_process_cluster_matches_reference_and_survives_kill() {
+    let dir = std::env::temp_dir().join(format!("snoopy-cluster-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let addrs = free_addrs(3);
+    let manifest = Manifest {
+        value_len: VLEN,
+        lambda: 128,
+        seed: SEED,
+        num_objects: NUM_OBJECTS,
+        epoch_ms: 5,
+        load_balancers: vec![addrs[0].clone()],
+        suborams: vec![addrs[1].clone(), addrs[2].clone()],
+    };
+    let manifest_path = dir.join("cluster.manifest");
+    std::fs::write(&manifest_path, manifest.render()).unwrap();
+    let ckpt: Vec<PathBuf> = (0..2).map(|i| dir.join(format!("sub{i}.ckpt"))).collect();
+    let _ = std::fs::remove_file(&ckpt[0]);
+    let _ = std::fs::remove_file(&ckpt[1]);
+
+    let sub0 = Daemon::spawn("suboram", 0, &manifest_path, Some(&ckpt[0]), "suboram 0");
+    let mut sub1 = Some(Daemon::spawn("suboram", 1, &manifest_path, Some(&ckpt[1]), "suboram 1"));
+    let lb = Daemon::spawn("loadbalancer", 0, &manifest_path, None, "loadbalancer 0");
+
+    // The reference engine: same objects, same seed, one epoch per op (the
+    // grouping of sequential ops into epochs cannot change their results).
+    let cfg = SnoopyConfig::with_machines(1, 2).value_len(VLEN);
+    let mut reference = Snoopy::init(cfg, manifest.initial_objects(), SEED);
+
+    // Wait for the balancer to come up, then connect a client.
+    wait_for_stats(&addrs[0]);
+    let deploy = proto::deployment_key(SEED);
+    let mut client = loop {
+        match NetClient::connect(&addrs[0], 0, &deploy, VLEN) {
+            Ok(c) => break c,
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+
+    let all_ops = ops();
+    assert!(all_ops.len() >= 100);
+    let kill_at = 40;
+    for (i, (is_write, id, payload)) in all_ops.iter().enumerate() {
+        if i == kill_at {
+            // SIGKILL one subORAM mid-run and restart it from its
+            // checkpoint. In-flight epochs stall until the balancer's
+            // backoff loop reconnects to the replacement.
+            let mut d = sub1.take().unwrap();
+            d.kill9();
+            drop(d);
+            sub1 = Some(Daemon::spawn("suboram", 1, &manifest_path, Some(&ckpt[1]), "suboram 1*"));
+        }
+        let got = if *is_write {
+            client.write(*id, payload).expect("cluster write")
+        } else {
+            client.read(*id).expect("cluster read")
+        };
+        let req = if *is_write {
+            Request::write(*id, payload, VLEN, 0, i as u64)
+        } else {
+            Request::read(*id, VLEN, 0, i as u64)
+        };
+        let want = reference.execute_epoch_single(vec![req]).unwrap();
+        assert_eq!(got, want[0].value, "op {i} diverged from the reference engine");
+    }
+
+    // Stats: the balancer must account frames/bytes on both subORAM links
+    // and at least one reconnect on the killed one.
+    let lb_stats = parse_stats(&fetch_stats(&addrs[0]).unwrap());
+    for sub in 0..2 {
+        let line = lb_stats
+            .iter()
+            .find(|l| l.link == format!("suboram/{sub}"))
+            .unwrap_or_else(|| panic!("no stats line for suboram/{sub}"));
+        assert!(line.frames_sent > 0, "suboram/{sub}: no frames sent");
+        assert!(line.frames_received > 0, "suboram/{sub}: no frames received");
+        assert!(line.bytes_sent > 0 && line.bytes_received > 0, "suboram/{sub}: no bytes");
+    }
+    let killed = lb_stats.iter().find(|l| l.link == "suboram/1").unwrap();
+    assert!(killed.reconnects >= 1, "balancer never reconnected to the killed subORAM");
+    // The subORAM side serves stats too.
+    let sub_stats = parse_stats(&fetch_stats(&addrs[1]).unwrap());
+    assert!(sub_stats.iter().any(|l| l.link == "lb/0" && l.frames_received > 0));
+
+    // The snoopyd CLI fronts the same RPC.
+    let out = Command::new(env!("CARGO_BIN_EXE_snoopyd"))
+        .args(["stats", "--addr", &addrs[0]])
+        .output()
+        .expect("snoopyd stats");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("link=suboram/0"));
+
+    // Graceful shutdown, everywhere.
+    shutdown_daemon(&addrs[0]).expect("shutdown lb");
+    shutdown_daemon(&addrs[1]).expect("shutdown sub0");
+    shutdown_daemon(&addrs[2]).expect("shutdown sub1");
+    lb.wait_graceful();
+    sub0.wait_graceful();
+    sub1.take().unwrap().wait_graceful();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -378,7 +378,7 @@ impl ClusterSim {
 /// Samples a Poisson variate with the given mean: Knuth's product method for
 /// small means, a clamped Gaussian approximation for large ones.
 fn sample_poisson(mean: f64, prg: &mut snoopy_crypto::Prg) -> u64 {
-    use rand::Rng;
+    use snoopy_crypto::rng::Rng;
     if mean <= 0.0 {
         return 0;
     }

@@ -1,6 +1,6 @@
 //! Open-loop workload generators.
 
-use rand::Rng;
+use snoopy_crypto::rng::Rng;
 use snoopy_crypto::Prg;
 
 /// Poisson arrival process: exponential inter-arrival times at `rate_per_sec`,

@@ -223,8 +223,8 @@ mod tests {
 
     #[test]
     fn correctness_across_many_batches() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        use snoopy_crypto::rng::Rng;
+        let mut rng = snoopy_crypto::Prg::from_seed(6);
         let mut p = ObladiProxy::new(128, 8, 16, 6);
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
         for _ in 0..40 {

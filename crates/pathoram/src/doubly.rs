@@ -24,7 +24,7 @@ use snoopy_crypto::Prg;
 use snoopy_obliv::ct::{ct_eq_u64, Choice, Cmov};
 use snoopy_obliv::impl_cmov_struct;
 use snoopy_obliv::trace::{self, TraceEvent};
-use rand::Rng;
+use snoopy_crypto::rng::Rng;
 
 /// Blocks per bucket.
 pub const Z: usize = 4;
@@ -233,7 +233,6 @@ impl DoublyObliviousPathOram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use std::collections::HashMap;
 
     #[test]
@@ -246,7 +245,7 @@ mod tests {
 
     #[test]
     fn random_workload_matches_model() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = snoopy_crypto::Prg::from_seed(2);
         let n = 64u64;
         let mut oram = DoublyObliviousPathOram::new(n, 8, 3);
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
@@ -266,7 +265,7 @@ mod tests {
 
     #[test]
     fn stash_occupancy_stays_within_capacity() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = snoopy_crypto::Prg::from_seed(4);
         let n = 256u64;
         let mut oram = DoublyObliviousPathOram::new(n, 8, 5);
         let mut max_occ = 0;

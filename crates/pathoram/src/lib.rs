@@ -21,7 +21,7 @@
 pub mod doubly;
 pub use doubly::DoublyObliviousPathOram;
 
-use rand::Rng;
+use snoopy_crypto::rng::Rng;
 use snoopy_crypto::Prg;
 use std::collections::HashMap;
 
@@ -257,7 +257,6 @@ impl RecursivePathOram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn read_after_write() {
@@ -287,8 +286,8 @@ mod tests {
 
     #[test]
     fn random_workload_matches_model() {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        use snoopy_crypto::rng::Rng;
+        let mut rng = snoopy_crypto::Prg::from_seed(42);
         let n = 128u64;
         let mut oram = PathOram::new(n, 8, 4);
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
@@ -308,8 +307,8 @@ mod tests {
 
     #[test]
     fn stash_stays_bounded() {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        use snoopy_crypto::rng::Rng;
+        let mut rng = snoopy_crypto::Prg::from_seed(7);
         let n = 1024u64;
         let mut oram = PathOram::new(n, 8, 5);
         for _ in 0..5000 {

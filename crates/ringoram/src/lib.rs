@@ -19,7 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::Rng;
+use snoopy_crypto::rng::Rng;
 use snoopy_crypto::Prg;
 use std::collections::HashMap;
 
@@ -278,7 +278,6 @@ fn reverse_bits(x: u64, bits: u32) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn read_after_write() {
@@ -298,8 +297,8 @@ mod tests {
 
     #[test]
     fn random_workload_matches_model() {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        use snoopy_crypto::rng::Rng;
+        let mut rng = snoopy_crypto::Prg::from_seed(11);
         let n = 256u64;
         let mut oram = RingOram::new(n, 8, 3);
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
@@ -319,8 +318,8 @@ mod tests {
 
     #[test]
     fn stash_stays_bounded() {
-        use rand::Rng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        use snoopy_crypto::rng::Rng;
+        let mut rng = snoopy_crypto::Prg::from_seed(4);
         let n = 1024u64;
         let mut oram = RingOram::new(n, 8, 5);
         for _ in 0..6000 {
@@ -372,8 +371,8 @@ mod tests {
         // The headline constant: ReadPath touches 1 slot per bucket while
         // Path ORAM moves Z+ blocks per bucket in both directions.
         let mut oram = RingOram::new(1 << 12, 8, 9);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
-        use rand::Rng;
+        let mut rng = snoopy_crypto::Prg::from_seed(10);
+        use snoopy_crypto::rng::Rng;
         let ops = 1000u64;
         for _ in 0..ops {
             let a = rng.gen_range(0..1 << 12);

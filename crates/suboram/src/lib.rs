@@ -298,6 +298,21 @@ impl SubOram {
         }
     }
 
+    /// Snapshots the partition's current objects (for checkpointing a
+    /// subORAM node; the snapshot must be sealed before leaving the enclave).
+    /// Panics if external storage fails its integrity check.
+    pub fn export_objects(&self) -> Vec<StoredObject> {
+        match &self.storage {
+            Storage::InEnclave(objects) => objects.clone(),
+            Storage::External { store, count } => (0..*count)
+                .map(|i| {
+                    let plain = store.get(i).expect("external store integrity failure");
+                    decode_object(&plain, self.value_len)
+                })
+                .collect(),
+        }
+    }
+
     /// Adversary hook for integrity tests (external mode only).
     pub fn untrusted_store_mut(&mut self) -> Option<&mut ExternalStore> {
         match &mut self.storage {

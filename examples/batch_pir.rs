@@ -19,7 +19,7 @@ use snoopy_repro::crypto::Prg;
 use snoopy_repro::enclave::wire::{Request, StoredObject};
 use snoopy_repro::snoopy_lb::{partition_objects, LoadBalancer};
 use snoopy_repro::crypto::Key256;
-use rand::RngCore;
+use snoopy_crypto::rng::RngCore;
 
 const VLEN: usize = 64;
 const SHARDS: usize = 4;

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline: build + the whole test suite, then the
+# multi-process TCP cluster test explicitly (real snoopyd processes over
+# loopback, kill/restart, byte-compare against the reference engine).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== tests (workspace, offline) =="
+cargo test -q --offline --workspace
+
+echo "== multi-process loopback cluster =="
+cargo test --offline -p snoopy-net --test cluster -- --nocapture
+
+echo "verify: OK"

@@ -2,7 +2,7 @@
 //! identical key-value outcomes on Snoopy, the Obladi proxy, Path ORAM,
 //! Ring ORAM, and the plaintext store. Only the leakage differs.
 
-use rand::{Rng, SeedableRng};
+use snoopy_crypto::rng::Rng;
 use snoopy_repro::core::{Snoopy, SnoopyConfig};
 use snoopy_repro::enclave::wire::{Request, StoredObject};
 use snoopy_repro::snoopy_obladi::{ObladiProxy, ProxyRequest};
@@ -21,7 +21,7 @@ enum WOp {
 }
 
 fn workload(seed: u64, len: usize) -> Vec<WOp> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = snoopy_crypto::Prg::from_seed(seed);
     (0..len)
         .map(|_| {
             let id = rng.gen_range(0..N);

@@ -1,0 +1,91 @@
+//! The epoch batch size must be a function of public inputs only.
+//!
+//! Theorem 3 sizes every per-subORAM batch as `B = f(R, S, λ)` — the number
+//! of requests in the epoch, the number of subORAMs, and the security
+//! parameter. Nothing about the requests' *contents* (which objects, reads
+//! vs writes, payload bytes, duplicate structure) may influence it: the
+//! batch size, and therefore every sealed message length on the wire, is
+//! exactly what the network adversary gets to see. These tests pin that
+//! property by batching maximally different request sets of equal count and
+//! demanding identical shapes, all the way down to ciphertext lengths.
+
+use snoopy_core::link::Link;
+use snoopy_crypto::Key256;
+use snoopy_enclave::wire::Request;
+use snoopy_lb::LoadBalancer;
+
+const VLEN: usize = 32;
+const LAMBDA: u32 = 128;
+
+/// A request set of `r` clustered reads: distinct neighboring ids.
+fn clustered_reads(r: usize) -> Vec<Request> {
+    (0..r).map(|i| Request::read(i as u64, VLEN, i as u64, i as u64)).collect()
+}
+
+/// A request set of `r` writes, all to the *same* hot object with varied
+/// payloads — the content-wise opposite of `clustered_reads`.
+fn hot_writes(r: usize) -> Vec<Request> {
+    (0..r)
+        .map(|i| Request::write(41, &[(i % 251) as u64 as u8; 7], VLEN, i as u64, i as u64))
+        .collect()
+}
+
+/// A request set of `r` reads spread over a huge sparse id space.
+fn sparse_reads(r: usize) -> Vec<Request> {
+    (0..r).map(|i| Request::read((i as u64) * 1_000_003 + 17, VLEN, 0, i as u64)).collect()
+}
+
+#[test]
+fn batch_size_depends_only_on_count_and_suborams() {
+    for s in [1usize, 2, 3, 8] {
+        let lb = LoadBalancer::new(&Key256([5u8; 32]), s, VLEN, LAMBDA);
+        for r in [0usize, 1, 2, 7, 33, 100] {
+            let b = lb.epoch_batch_size(r);
+            for requests in [clustered_reads(r), hot_writes(r), sparse_reads(r)] {
+                let batches = lb.make_batches(&requests).unwrap();
+                assert_eq!(batches.len(), s, "one batch per subORAM");
+                for (sub, batch) in batches.iter().enumerate() {
+                    assert_eq!(
+                        batch.len(),
+                        b,
+                        "S={s} R={r} subORAM {sub}: batch size must be f(R, S), \
+                         not a function of request contents"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_size_is_monotone_and_covers_the_epoch() {
+    let lb = LoadBalancer::new(&Key256([5u8; 32]), 4, VLEN, LAMBDA);
+    let mut prev = 0;
+    for r in 0..200 {
+        let b = lb.epoch_batch_size(r);
+        assert!(b >= prev, "B must not shrink as R grows (R={r})");
+        assert!(4 * b >= r, "S·B must cover all R requests (R={r})");
+        prev = b;
+    }
+}
+
+#[test]
+fn sealed_wire_length_is_content_independent() {
+    // What actually crosses the untrusted network is the AEAD-sealed batch;
+    // its ciphertext length must match for different contents of equal count.
+    let s = 2;
+    let lb = LoadBalancer::new(&Key256([5u8; 32]), s, VLEN, LAMBDA);
+    let r = 25;
+    let mut wire_lens: Vec<Vec<usize>> = Vec::new();
+    for requests in [clustered_reads(r), hot_writes(r), sparse_reads(r)] {
+        let batches = lb.make_batches(&requests).unwrap();
+        let mut lens = Vec::new();
+        for batch in &batches {
+            let mut link = Link::new(Key256([6u8; 32]), 1);
+            lens.push(link.seal(batch).unwrap().bytes.len());
+        }
+        wire_lens.push(lens);
+    }
+    assert_eq!(wire_lens[0], wire_lens[1]);
+    assert_eq!(wire_lens[0], wire_lens[2]);
+}

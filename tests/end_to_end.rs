@@ -2,7 +2,7 @@
 //! key-value model, across configurations, storage backends, and workload
 //! shapes.
 
-use rand::{Rng, SeedableRng};
+use snoopy_crypto::rng::Rng;
 use snoopy_repro::core::{Snoopy, SnoopyConfig};
 use snoopy_repro::enclave::wire::{Request, StoredObject};
 use std::collections::HashMap;
@@ -22,7 +22,7 @@ fn pad(bytes: &[u8]) -> Vec<u8> {
 /// Drives `epochs` random epochs against a model and checks every response
 /// and the final store state.
 fn drive(config: SnoopyConfig, n: u64, epochs: usize, seed: u64) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = snoopy_crypto::Prg::from_seed(seed);
     let mut sys = Snoopy::init(config, objects(n), seed);
     let mut model: HashMap<u64, Vec<u8>> = (0..n).map(|i| (i, pad(&i.to_le_bytes()))).collect();
     let l = config.num_load_balancers;

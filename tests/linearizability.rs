@@ -3,7 +3,7 @@
 //! order, and the threaded cluster respects real-time ordering for blocking
 //! clients.
 
-use rand::{Rng, SeedableRng};
+use snoopy_crypto::rng::Rng;
 use snoopy_repro::core::deploy::InProcessCluster;
 use snoopy_repro::core::history::{check_linearizable, OpKind, OpRecord};
 use snoopy_repro::core::{Snoopy, SnoopyConfig};
@@ -19,7 +19,7 @@ fn objects(n: u64) -> Vec<StoredObject> {
 
 #[test]
 fn random_histories_are_linearizable() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = snoopy_crypto::Prg::from_seed(5);
     let config = SnoopyConfig::with_machines(3, 4).value_len(VLEN);
     let n = 200u64;
     let mut sys = Snoopy::init(config, objects(n), 5);
