@@ -62,7 +62,8 @@ fn hash_tables() {
         let n = 1usize << pow;
         let batch: Vec<Request> = (0..n as u64).map(|i| Request::read(i * 3, 160, 0, i)).collect();
         let (_, two_ms) = time_ms(|| OHashTable::construct(batch.clone(), &key, 128).unwrap());
-        let (one, one_ms) = time_ms(|| SingleTierTable::construct(batch.clone(), &key, 128).unwrap());
+        let (one, one_ms) =
+            time_ms(|| SingleTierTable::construct(batch.clone(), &key, 128).unwrap());
         let two_cost = TableParams::derive(n, 128).lookup_cost();
         rows.push(vec![
             n.to_string(),
@@ -74,7 +75,13 @@ fn hash_tables() {
     }
     print_table(
         "Ablation 2: two-tier vs single-tier oblivious hash table (§5)",
-        &["batch", "2-tier build (ms)", "1-tier build (ms)", "2-tier lookup slots", "1-tier lookup slots"],
+        &[
+            "batch",
+            "2-tier build (ms)",
+            "1-tier build (ms)",
+            "2-tier lookup slots",
+            "1-tier lookup slots",
+        ],
         &rows,
     );
     write_csv(

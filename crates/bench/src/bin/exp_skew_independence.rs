@@ -25,11 +25,8 @@ const S: usize = 4;
 
 fn epoch_times(key: &Key256, suborams: &mut [SubOram], ids: &[u64]) -> (f64, f64, f64, u64) {
     let balancer = LoadBalancer::new(key, S, VLEN, 128);
-    let requests: Vec<Request> = ids
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| Request::read(id, VLEN, i as u64, 0))
-        .collect();
+    let requests: Vec<Request> =
+        ids.iter().enumerate().map(|(i, &id)| Request::read(id, VLEN, i as u64, 0)).collect();
     let (batches, make_ms) = time_ms(|| balancer.make_batches(&requests).unwrap());
     let (_, fp) = trace::capture(|| {
         balancer.make_batches(&requests).unwrap();
@@ -67,13 +64,7 @@ fn main() {
         let mut subs = fresh_suborams();
         let (make, sub, mtch, fp) = epoch_times(&key, &mut subs, ids);
         fingerprints.push(fp);
-        rows.push(vec![
-            name.to_string(),
-            fmt(make),
-            fmt(sub),
-            fmt(mtch),
-            format!("{fp:#018x}"),
-        ]);
+        rows.push(vec![name.to_string(), fmt(make), fmt(sub), fmt(mtch), format!("{fp:#018x}")]);
     }
     print_table(
         "Skew independence: one epoch of R=1024 requests, 2^15 objects, 4 subORAMs (REAL measurement)",
@@ -103,5 +94,8 @@ fn main() {
     println!("\nplaintext shard hit counts (R=1024):");
     println!("  uniform:        {:?}", shard_hits(&uniform));
     println!("  zipf(1.1):      {:?}", shard_hits(&zipf));
-    println!("  single hot key: {:?}  <- one shard absorbs everything (and leaks it)", shard_hits(&hot));
+    println!(
+        "  single hot key: {:?}  <- one shard absorbs everything (and leaks it)",
+        shard_hits(&hot)
+    );
 }

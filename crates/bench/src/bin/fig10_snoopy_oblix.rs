@@ -16,11 +16,8 @@ fn main() {
     let model = CostModel::paper_calibrated();
     let objects = 2_000_000u64;
     let slos = [300.0f64, 500.0, 1000.0];
-    let machine_counts: Vec<usize> = if quick_mode() {
-        vec![4, 8, 9, 13, 17]
-    } else {
-        (2..=17).collect()
-    };
+    let machine_counts: Vec<usize> =
+        if quick_mode() { vec![4, 8, 9, 13, 17] } else { (2..=17).collect() };
     let oblix_tput = 1e9 / model.oblix_access_ns;
 
     let mut rows = Vec::new();

@@ -58,5 +58,7 @@ fn main() {
         &rows,
     );
     write_csv("fig11b_latency_scaling", &["suborams", "epoch_ms", "mean_ms", "p99_ms"], &rows);
-    println!("\npaper: 847 ms @ S=1 falling to 112 ms @ S=15; references: Oblix 1.1 ms, Obladi 79 ms");
+    println!(
+        "\npaper: 847 ms @ S=1 falling to 112 ms @ S=15; references: Oblix 1.1 ms, Obladi 79 ms"
+    );
 }

@@ -20,11 +20,8 @@ use snoopy_suboram::SubOram;
 const VLEN: usize = 160;
 
 fn main() {
-    let data_sizes: Vec<u64> = if quick_mode() {
-        vec![1 << 10, 1 << 15]
-    } else {
-        vec![1 << 10, 1 << 15, 1 << 20]
-    };
+    let data_sizes: Vec<u64> =
+        if quick_mode() { vec![1 << 10, 1 << 15] } else { vec![1 << 10, 1 << 15, 1 << 20] };
     let request_counts: Vec<usize> = vec![1 << 6, 1 << 8, 1 << 10];
 
     let key = Key256([13u8; 32]);
@@ -36,9 +33,8 @@ fn main() {
         let balancer = LoadBalancer::new(&key, 1, VLEN, 128);
 
         for &r in &request_counts {
-            let requests: Vec<Request> = (0..r as u64)
-                .map(|i| Request::read((i * 37) % n, VLEN, i, i))
-                .collect();
+            let requests: Vec<Request> =
+                (0..r as u64).map(|i| Request::read((i * 37) % n, VLEN, i, i)).collect();
 
             let (batches, make_ms) = time_ms(|| balancer.make_batches(&requests).unwrap());
             let batch = batches.into_iter().next().unwrap();

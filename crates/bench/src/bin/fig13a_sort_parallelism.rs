@@ -21,7 +21,10 @@ impl_cmov_struct!(Item { key, payload });
 
 fn items(n: usize) -> Vec<Item> {
     (0..n as u64)
-        .map(|i| Item { key: i.wrapping_mul(0x9E3779B97F4A7C15), payload: vec![(i % 251) as u8; 160] })
+        .map(|i| Item {
+            key: i.wrapping_mul(0x9E3779B97F4A7C15),
+            payload: vec![(i % 251) as u8; 160],
+        })
         .collect()
 }
 
@@ -62,13 +65,25 @@ fn main() {
             v
         });
         rows.push(vec![n.to_string(), fmt(t1), fmt(t2), fmt(t3), fmt(ta)]);
-        println!("n={n}: 1thr {} ms | 2thr {} ms | 3thr {} ms | adaptive {} ms", fmt(t1), fmt(t2), fmt(t3), fmt(ta));
+        println!(
+            "n={n}: 1thr {} ms | 2thr {} ms | 3thr {} ms | adaptive {} ms",
+            fmt(t1),
+            fmt(t2),
+            fmt(t3),
+            fmt(ta)
+        );
     }
     print_table(
         "Figure 13a: measured bitonic sort time (ms), 160B payloads",
         &["elements", "1 thread", "2 threads", "3 threads", "adaptive"],
         &rows,
     );
-    write_csv("fig13a_sort_parallelism", &["elements", "t1_ms", "t2_ms", "t3_ms", "adaptive_ms"], &rows);
-    println!("\npaper shape: threads win only above a few thousand elements; adaptive hugs the minimum.");
+    write_csv(
+        "fig13a_sort_parallelism",
+        &["elements", "t1_ms", "t2_ms", "t3_ms", "adaptive_ms"],
+        &rows,
+    );
+    println!(
+        "\npaper shape: threads win only above a few thousand elements; adaptive hugs the minimum."
+    );
 }

@@ -31,9 +31,8 @@ fn main() {
             let objects: Vec<StoredObject> =
                 (0..n).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
             let mut suboram = SubOram::new_in_enclave(objects, VLEN, key.clone(), 128);
-            let batch: Vec<Request> = (0..BATCH as u64)
-                .map(|i| Request::read((i * 97) % n, VLEN, i, i))
-                .collect();
+            let batch: Vec<Request> =
+                (0..BATCH as u64).map(|i| Request::read((i * 97) % n, VLEN, i, i)).collect();
             let (_, ms) = time_ms(|| suboram.batch_access_parallel(batch, t).unwrap());
             row.push(fmt(ms));
         }
@@ -45,6 +44,10 @@ fn main() {
         &["objects", "1 thread", "2 threads", "3 threads", "4 threads"],
         &rows,
     );
-    write_csv("fig13b_suboram_parallelism", &["objects", "t1_ms", "t2_ms", "t3_ms", "t4_ms"], &rows);
+    write_csv(
+        "fig13b_suboram_parallelism",
+        &["objects", "t1_ms", "t2_ms", "t3_ms", "t4_ms"],
+        &rows,
+    );
     println!("\npaper shape: near-linear scan speedup at large data sizes; construction overhead limits small ones.");
 }

@@ -14,13 +14,15 @@ use snoopy_planner::{plan, Prices, Requirements};
 fn main() {
     let model = CostModel::paper_calibrated();
     let prices = Prices::default();
-    let throughputs: Vec<f64> = vec![10_000.0, 20_000.0, 40_000.0, 60_000.0, 80_000.0, 100_000.0, 120_000.0];
+    let throughputs: Vec<f64> =
+        vec![10_000.0, 20_000.0, 40_000.0, 60_000.0, 80_000.0, 100_000.0, 120_000.0];
     let data_sizes = [10_000u64, 1_000_000];
 
     let mut rows = Vec::new();
     for &n in &data_sizes {
         for &x in &throughputs {
-            let req = Requirements { min_throughput_rps: x, max_latency_ms: 1000.0, num_objects: n };
+            let req =
+                Requirements { min_throughput_rps: x, max_latency_ms: 1000.0, num_objects: n };
             match plan(&req, &model, &prices, 64) {
                 Some(p) => rows.push(vec![
                     n.to_string(),

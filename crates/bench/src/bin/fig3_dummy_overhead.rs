@@ -16,10 +16,7 @@ fn main() {
     for r in &request_counts {
         let mut row = vec![r.to_string()];
         for s in suborams {
-            let p = pts
-                .iter()
-                .find(|p| p.real_requests == *r && p.suborams == s)
-                .unwrap();
+            let p = pts.iter().find(|p| p.real_requests == *r && p.suborams == s).unwrap();
             row.push(fmt(p.overhead_pct));
         }
         rows.push(row);

@@ -19,11 +19,8 @@ fn main() {
     let model = CostModel::paper_calibrated();
     let objects = 2_000_000u64;
     let slos = [300.0f64, 500.0, 1000.0];
-    let machine_counts: Vec<usize> = if quick_mode() {
-        vec![4, 8, 12, 18]
-    } else {
-        (4..=18).collect()
-    };
+    let machine_counts: Vec<usize> =
+        if quick_mode() { vec![4, 8, 12, 18] } else { (4..=18).collect() };
 
     let obladi_tput = 500.0 * 1e9 / model.obladi_batch_ns;
     let oblix_tput = 1e9 / model.oblix_access_ns;
@@ -47,12 +44,12 @@ fn main() {
         &["machines", "SLO 300ms", "SLO 500ms", "SLO 1000ms"],
         &rows,
     );
-    println!("\nreference lines: Obladi (2 machines) = {} reqs/s, Oblix (1 machine) = {} reqs/s", fmt(obladi_tput), fmt(oblix_tput));
-    write_csv(
-        "fig9a_throughput_scaling",
-        &["machines", "slo300", "slo500", "slo1000"],
-        &rows,
+    println!(
+        "\nreference lines: Obladi (2 machines) = {} reqs/s, Oblix (1 machine) = {} reqs/s",
+        fmt(obladi_tput),
+        fmt(oblix_tput)
     );
+    write_csv("fig9a_throughput_scaling", &["machines", "slo300", "slo500", "slo1000"], &rows);
 
     if let Some((rate, lat)) = headline {
         println!("\n== headline (§1/§8.2) ==");
@@ -61,10 +58,7 @@ fn main() {
             fmt(rate),
             fmt(lat)
         );
-        println!(
-            "improvement over Obladi: {:.1}x  (paper: 13.7x)",
-            rate / obladi_tput
-        );
+        println!("improvement over Obladi: {:.1}x  (paper: 13.7x)", rate / obladi_tput);
     }
 
     // Per-machine scaling slope at the 1s SLO.

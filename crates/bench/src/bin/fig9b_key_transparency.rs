@@ -20,11 +20,8 @@ fn main() {
     model.object_bytes = 32;
     let objects = 10_000_000u64;
     let slos = [300.0f64, 500.0, 1000.0];
-    let machine_counts: Vec<usize> = if quick_mode() {
-        vec![6, 12, 18]
-    } else {
-        (4..=18).collect()
-    };
+    let machine_counts: Vec<usize> =
+        if quick_mode() { vec![6, 12, 18] } else { (4..=18).collect() };
 
     let mut rows = Vec::new();
     for &m in &machine_counts {

@@ -6,9 +6,27 @@ use snoopy_bench::print_table;
 fn main() {
     let rows = vec![
         vec!["Oblivious".into(), "no".into(), "yes".into(), "yes".into(), "yes".into()],
-        vec!["No trusted proxy".into(), "yes".into(), "NO (proxy)".into(), "yes".into(), "yes".into()],
-        vec!["High throughput".into(), "yes".into(), "yes".into(), "no (sequential)".into(), "yes".into()],
-        vec!["Throughput scales w/ machines".into(), "yes".into(), "no".into(), "no".into(), "yes".into()],
+        vec![
+            "No trusted proxy".into(),
+            "yes".into(),
+            "NO (proxy)".into(),
+            "yes".into(),
+            "yes".into(),
+        ],
+        vec![
+            "High throughput".into(),
+            "yes".into(),
+            "yes".into(),
+            "no (sequential)".into(),
+            "yes".into(),
+        ],
+        vec![
+            "Throughput scales w/ machines".into(),
+            "yes".into(),
+            "no".into(),
+            "no".into(),
+            "yes".into(),
+        ],
         vec![
             "Implementation here".into(),
             "snoopy-plaintext".into(),

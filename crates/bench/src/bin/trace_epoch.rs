@@ -1,0 +1,68 @@
+//! Dumps a Chrome `trace_event` JSON of benchmark epochs.
+//!
+//! Runs the reference engine (`snoopy_core::system::Snoopy`) for a few
+//! epochs with the tracer on, drains the spans, and writes
+//! `results/trace_epoch.json`. Load it in `chrome://tracing`, Perfetto, or
+//! Speedscope: each epoch shows the nested pipeline
+//! `epoch` → `epoch/lb_make` (with its oblivious sort/compact sub-spans) →
+//! one `epoch/suboram_scan/<i>` per subORAM → `epoch/lb_match`.
+//!
+//! ```text
+//! cargo run -p snoopy-bench --release --bin trace_epoch [-- --quick]
+//! ```
+
+use snoopy_bench::{quick_mode, results_dir};
+use snoopy_core::{Snoopy, SnoopyConfig};
+use snoopy_enclave::wire::{Request, StoredObject};
+use snoopy_telemetry::{chrome, metrics, trace};
+
+fn main() {
+    let (num_objects, epochs, reqs_per_epoch) =
+        if quick_mode() { (1u64 << 8, 3usize, 8usize) } else { (1u64 << 12, 8usize, 32usize) };
+    const VLEN: usize = 32;
+
+    let objects: Vec<StoredObject> =
+        (0..num_objects).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+    let cfg = SnoopyConfig::with_machines(1, 4).value_len(VLEN);
+    let mut sys = Snoopy::init(cfg, objects, 7);
+
+    // Drop spans from init so the dump starts at the first epoch.
+    let tracer = trace::tracer();
+    let _ = tracer.drain();
+
+    for e in 0..epochs {
+        let reqs: Vec<Request> = (0..reqs_per_epoch)
+            .map(|i| {
+                let id = ((e * reqs_per_epoch + i) as u64 * 13 + 5) % num_objects;
+                Request::read(id, VLEN, 0, i as u64)
+            })
+            .collect();
+        sys.execute_epoch_single(reqs).expect("epoch failed");
+        snoopy_core::system::record_epoch_metrics(sys.last_epoch_stats());
+    }
+
+    let (spans, dropped) = tracer.drain();
+    let json = trace::chrome_trace_json(&spans);
+    // Self-check before writing: the dump must be valid Chrome trace JSON.
+    let events = chrome::parse_chrome_trace(&json).expect("trace dump failed validation");
+    assert_eq!(events.len(), spans.len());
+
+    let path = results_dir().join("trace_epoch.json");
+    std::fs::write(&path, &json).expect("write trace");
+    println!(
+        "wrote {} ({} spans, {} dropped by ring buffer)",
+        path.display(),
+        spans.len(),
+        dropped
+    );
+
+    // Per-stage percentiles from the same run, through the metrics plane.
+    for p in sys.stats().stage_percentiles() {
+        println!(
+            "{:>14}: p50 {:>9}ns  p90 {:>9}ns  p99 {:>9}ns  max {:>9}ns",
+            p.stage, p.p50_ns, p.p90_ns, p.p99_ns, p.max_ns
+        );
+    }
+    let audit = metrics::global().audit();
+    println!("{} exported series, all provenance-audited", audit.len());
+}

@@ -14,10 +14,7 @@
 pub fn lambert_w0(x: f64) -> f64 {
     let branch_point = -(-1.0f64).exp(); // -1/e
     if x < branch_point {
-        assert!(
-            x >= branch_point - 1e-12,
-            "lambert_w0 argument {x} below -1/e"
-        );
+        assert!(x >= branch_point - 1e-12, "lambert_w0 argument {x} below -1/e");
         return -1.0;
     }
     if x == 0.0 {

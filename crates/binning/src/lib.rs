@@ -259,10 +259,7 @@ mod tests {
         let b = batch_size(r, s, 128);
         let lnp_minus = ln_overflow_probability(r, s, b.saturating_sub(2));
         let threshold = -(128.0 * std::f64::consts::LN_2);
-        assert!(
-            lnp_minus > threshold,
-            "bound is far from tight: B={b}, ln p(B-2) = {lnp_minus}"
-        );
+        assert!(lnp_minus > threshold, "bound is far from tight: B={b}, ln p(B-2) = {lnp_minus}");
     }
 
     #[test]
@@ -360,10 +357,7 @@ mod tests {
         let rate = overflows as f64 / trials as f64;
         // Allow generous slack: the Chernoff bound is loose but must not be
         // violated by an order of magnitude.
-        assert!(
-            rate <= (bound * 20.0).max(0.01),
-            "empirical {rate} vs bound {bound}"
-        );
+        assert!(rate <= (bound * 20.0).max(0.01), "empirical {rate} vs bound {bound}");
     }
 
     proptest! {

@@ -18,7 +18,11 @@ pub struct OverheadPoint {
 
 /// Sweeps dummy overhead over request counts for each subORAM count
 /// (Figure 3: λ=128, S ∈ {2,10,20}, R up to 10K).
-pub fn figure3_sweep(request_counts: &[u64], suboram_counts: &[u64], lambda: u32) -> Vec<OverheadPoint> {
+pub fn figure3_sweep(
+    request_counts: &[u64],
+    suboram_counts: &[u64],
+    lambda: u32,
+) -> Vec<OverheadPoint> {
     let mut out = Vec::new();
     for &s in suboram_counts {
         for &r in request_counts {
@@ -46,7 +50,11 @@ pub struct CapacityPoint {
 
 /// Sweeps epoch capacity over subORAM counts for each security parameter
 /// (Figure 4: λ ∈ {0, 80, 128}, ≤1K requests per subORAM per epoch).
-pub fn figure4_sweep(suboram_counts: &[u64], lambdas: &[u32], per_suboram: u64) -> Vec<CapacityPoint> {
+pub fn figure4_sweep(
+    suboram_counts: &[u64],
+    lambdas: &[u32],
+    per_suboram: u64,
+) -> Vec<CapacityPoint> {
     let mut out = Vec::new();
     for &lambda in lambdas {
         for &s in suboram_counts {
@@ -70,19 +78,13 @@ mod tests {
         assert_eq!(pts.len(), 9);
         // Within one S, overhead decreases with R.
         for s in [2u64, 10, 20] {
-            let series: Vec<f64> = pts
-                .iter()
-                .filter(|p| p.suborams == s)
-                .map(|p| p.overhead_pct)
-                .collect();
+            let series: Vec<f64> =
+                pts.iter().filter(|p| p.suborams == s).map(|p| p.overhead_pct).collect();
             assert!(series.windows(2).all(|w| w[1] <= w[0] + 1e-9), "S={s}: {series:?}");
         }
         // At fixed R, overhead grows with S.
-        let at_10k: Vec<f64> = pts
-            .iter()
-            .filter(|p| p.real_requests == 10_000)
-            .map(|p| p.overhead_pct)
-            .collect();
+        let at_10k: Vec<f64> =
+            pts.iter().filter(|p| p.real_requests == 10_000).map(|p| p.overhead_pct).collect();
         assert!(at_10k[0] <= at_10k[1] && at_10k[1] <= at_10k[2]);
     }
 
@@ -96,12 +98,8 @@ mod tests {
         }
         // Secure lines sit below plaintext and are ordered λ=80 ≥ λ=128.
         for &s in &[5u64, 10, 20] {
-            let get = |l: u32| {
-                pts.iter()
-                    .find(|p| p.suborams == s && p.lambda == l)
-                    .unwrap()
-                    .capacity
-            };
+            let get =
+                |l: u32| pts.iter().find(|p| p.suborams == s && p.lambda == l).unwrap().capacity;
             assert!(get(128) <= get(80));
             assert!(get(80) <= get(0));
         }

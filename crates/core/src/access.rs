@@ -54,16 +54,17 @@ const ACL_VLEN: usize = 8;
 impl AccessControlledSnoopy {
     /// Initializes the data store with `objects` and the ACL store with
     /// `grants`. Absent rows deny.
-    pub fn init(config: SnoopyConfig, objects: Vec<StoredObject>, grants: &[Grant], seed: u64) -> Self {
+    pub fn init(
+        config: SnoopyConfig,
+        objects: Vec<StoredObject>,
+        grants: &[Grant],
+        seed: u64,
+    ) -> Self {
         let acl_objects: Vec<StoredObject> = grants
             .iter()
             .map(|g| StoredObject::new(acl_row_id(g.user, g.object, g.write), &[1u8], ACL_VLEN))
             .collect();
-        let acl_config = SnoopyConfig {
-            value_len: ACL_VLEN,
-            num_load_balancers: 1,
-            ..config
-        };
+        let acl_config = SnoopyConfig { value_len: ACL_VLEN, num_load_balancers: 1, ..config };
         AccessControlledSnoopy {
             data: Snoopy::init(config, objects, seed),
             acl: Snoopy::init(acl_config, acl_objects, seed.wrapping_add(1)),
@@ -75,7 +76,10 @@ impl AccessControlledSnoopy {
     /// one suffices to demonstrate the mechanism). Runs two internal epochs:
     /// the ACL lookup epoch and the data epoch (Appendix D: "executing
     /// requests with access control now requires two epochs").
-    pub fn execute_epoch(&mut self, requests: Vec<(u64, Request)>) -> Result<Vec<Response>, SnoopyError> {
+    pub fn execute_epoch(
+        &mut self,
+        requests: Vec<(u64, Request)>,
+    ) -> Result<Vec<Response>, SnoopyError> {
         // Phase 1: one ACL read per request, tagged with the request's index
         // so responses can be re-aligned obliviously.
         let acl_reads: Vec<Request> = requests
@@ -93,7 +97,7 @@ impl AccessControlledSnoopy {
 
         // Phase 2: attach permit bits and run the data epoch.
         let mut data_requests = Vec::with_capacity(requests.len());
-        for ((_, mut req), acl) in requests.into_iter().zip(acl_responses.into_iter()) {
+        for ((_, mut req), acl) in requests.into_iter().zip(acl_responses) {
             // Branch-free: the permit bit is the low bit of the ACL value.
             req.permit = (acl.value[0] & 1) as u64;
             data_requests.push(req);
@@ -147,9 +151,7 @@ mod tests {
     #[test]
     fn permitted_read_succeeds() {
         let mut sys = setup();
-        let out = sys
-            .execute_epoch(vec![(1, Request::read(10, VLEN, 0, 0))])
-            .unwrap();
+        let out = sys.execute_epoch(vec![(1, Request::read(10, VLEN, 0, 0))]).unwrap();
         assert_eq!(out[0].value, payload(&10u64.to_le_bytes()));
     }
 

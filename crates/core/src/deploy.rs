@@ -45,7 +45,11 @@ enum LbMsg {
 /// Messages into a subORAM thread.
 enum SubMsg {
     /// A sealed batch from balancer `lb` for epoch `epoch`.
-    Batch { lb: usize, epoch: u64, sealed: SealedBox },
+    Batch {
+        lb: usize,
+        epoch: u64,
+        sealed: SealedBox,
+    },
     Shutdown,
 }
 
@@ -204,11 +208,8 @@ impl InProcessCluster {
         let mut threads = Vec::new();
 
         // SubORAM threads.
-        for (sub_idx, ((rx, part), links)) in sub_rxs
-            .into_iter()
-            .zip(parts.into_iter())
-            .zip(sub_links.into_iter())
-            .enumerate()
+        for (sub_idx, ((rx, part), links)) in
+            sub_rxs.into_iter().zip(parts).zip(sub_links).enumerate()
         {
             let resp_links = std::mem::take(&mut resp_links_sub[sub_idx]);
             let lb_txs = lb_txs.clone();
@@ -222,7 +223,7 @@ impl InProcessCluster {
                 } else {
                     SubOram::new_in_enclave(part, value_len, key, lambda)
                 };
-                let mut node = SubOramNode::new(oram, l);
+                let mut node = SubOramNode::new(oram, l).with_index(sub_idx);
                 let mut transport =
                     ChannelSubTransport { rx, lb_txs, links, resp_links, sub_idx, value_len };
                 run_suboram(&mut transport, &mut node, |_, _| {});
@@ -230,7 +231,7 @@ impl InProcessCluster {
         }
 
         // Load-balancer threads.
-        for (lb_idx, (rx, links)) in lb_rxs.into_iter().zip(lb_links.into_iter()).enumerate() {
+        for (lb_idx, (rx, links)) in lb_rxs.into_iter().zip(lb_links).enumerate() {
             let resp_links = std::mem::take(&mut resp_links_lb[lb_idx]);
             let sub_txs = sub_txs.clone();
             let shared_key = shared_key.clone();
@@ -262,6 +263,17 @@ impl InProcessCluster {
             value_len: self.value_len,
             next: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
+    }
+
+    /// The metrics registry this cluster's threads record into.
+    ///
+    /// The in-process cluster shares the process-wide
+    /// [`snoopy_telemetry::metrics::global`] registry — the same one
+    /// `snoopyd` daemons expose over their admin port — so tests and
+    /// embedders scrape identical series either way. Multiple clusters in
+    /// one process therefore aggregate; counters are monotone across them.
+    pub fn metrics(&self) -> &'static snoopy_telemetry::MetricsRegistry {
+        snoopy_telemetry::metrics::global()
     }
 
     /// Manually closes the current epoch: all balancers batch what they have.

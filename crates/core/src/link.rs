@@ -90,7 +90,11 @@ impl Link {
     /// Opens the next message on this link. Anything that is not the exact
     /// next sealed batch — a replay, a reordering, a forgery — fails with
     /// [`LinkError::Integrity`].
-    pub fn open(&mut self, sealed: &SealedBox, value_len: usize) -> Result<Vec<Request>, LinkError> {
+    pub fn open(
+        &mut self,
+        sealed: &SealedBox,
+        value_len: usize,
+    ) -> Result<Vec<Request>, LinkError> {
         let nonce = Nonce::from_parts(self.channel_id, self.recv_seq);
         self.recv_seq = self.recv_seq.checked_add(1).ok_or(LinkError::NonceExhausted)?;
         let frame = 40 + value_len;

@@ -46,7 +46,11 @@ impl PlannedDeployment {
     /// Plans the cheapest configuration for `requirements` (searching up to
     /// `max_machines` machines with the calibrated cost model and default
     /// prices).
-    pub fn plan(requirements: &Requirements, value_len: usize, max_machines: usize) -> Result<Self, PlanningError> {
+    pub fn plan(
+        requirements: &Requirements,
+        value_len: usize,
+        max_machines: usize,
+    ) -> Result<Self, PlanningError> {
         let model = {
             let mut m = CostModel::paper_calibrated();
             m.object_bytes = value_len as u64;
@@ -109,11 +113,8 @@ mod tests {
 
     #[test]
     fn infeasible_requirements_are_reported() {
-        let req = Requirements {
-            min_throughput_rps: 1e9,
-            max_latency_ms: 0.001,
-            num_objects: 1 << 30,
-        };
+        let req =
+            Requirements { min_throughput_rps: 1e9, max_latency_ms: 0.001, num_objects: 1 << 30 };
         assert_eq!(
             PlannedDeployment::plan(&req, 160, 8).unwrap_err(),
             PlanningError::Infeasible { max_machines: 8 }
@@ -123,13 +124,21 @@ mod tests {
     #[test]
     fn higher_demand_plans_more_machines() {
         let small = PlannedDeployment::plan(
-            &Requirements { min_throughput_rps: 2_000.0, max_latency_ms: 1000.0, num_objects: 100_000 },
+            &Requirements {
+                min_throughput_rps: 2_000.0,
+                max_latency_ms: 1000.0,
+                num_objects: 100_000,
+            },
             160,
             40,
         )
         .unwrap();
         let big = PlannedDeployment::plan(
-            &Requirements { min_throughput_rps: 100_000.0, max_latency_ms: 1000.0, num_objects: 2_000_000 },
+            &Requirements {
+                min_throughput_rps: 100_000.0,
+                max_latency_ms: 1000.0,
+                num_objects: 2_000_000,
+            },
             160,
             40,
         )

@@ -11,10 +11,10 @@
 use crate::config::SnoopyConfig;
 use crate::stats::{EpochStats, SystemStats};
 use snoopy_crypto::{Key256, Prg};
-use std::time::Instant;
 use snoopy_enclave::wire::{Request, Response, StoredObject};
 use snoopy_lb::{partition_objects, LbError, LoadBalancer};
 use snoopy_suboram::{SubOram, SubOramError};
+use snoopy_telemetry::{metrics, trace, Public};
 
 /// Top-level errors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +109,9 @@ impl Snoopy {
             })
             .collect();
         let balancers = (0..config.num_load_balancers)
-            .map(|_| LoadBalancer::new(&shared_key, config.num_suborams, config.value_len, config.lambda))
+            .map(|_| {
+                LoadBalancer::new(&shared_key, config.num_suborams, config.value_len, config.lambda)
+            })
             .collect();
         Snoopy {
             config,
@@ -146,16 +148,22 @@ impl Snoopy {
     /// models that choice). Returns every balancer's responses concatenated
     /// in balancer order; each [`Response`] carries the client handle and
     /// sequence number of its originating request.
-    pub fn execute_epoch(&mut self, per_balancer: Vec<Vec<Request>>) -> Result<Vec<Response>, SnoopyError> {
+    pub fn execute_epoch(
+        &mut self,
+        per_balancer: Vec<Vec<Request>>,
+    ) -> Result<Vec<Response>, SnoopyError> {
         let l = self.config.num_load_balancers;
         if per_balancer.len() != l {
             return Err(SnoopyError::WrongBalancerCount { expected: l, got: per_balancer.len() });
         }
-        let mut epoch_stats = EpochStats::default();
-        epoch_stats.requests = per_balancer.iter().map(|v| v.len()).sum();
+        let epoch_span = trace::span("epoch");
+        let mut epoch_stats = EpochStats {
+            requests: per_balancer.iter().map(|v| v.len()).sum(),
+            ..Default::default()
+        };
 
         // Phase 1: every balancer assembles its batches.
-        let t0 = Instant::now();
+        let make_span = trace::span("epoch/lb_make");
         let mut all_batches = Vec::with_capacity(l);
         for (lb, requests) in self.balancers.iter().zip(per_balancer.iter()) {
             let batches = lb.make_batches(requests)?;
@@ -167,43 +175,47 @@ impl Snoopy {
             epoch_stats.dummy_entries += sent - requests.len().min(sent);
             all_batches.push(batches);
         }
-        epoch_stats.lb_make_time = t0.elapsed();
+        epoch_stats.lb_make_time = make_span.finish();
 
         // Phase 2: subORAMs execute batches in balancer order (§4.3).
-        let t1 = Instant::now();
+        let t1 = std::time::Instant::now();
         let mut responses_for: Vec<Vec<Vec<Request>>> = (0..l).map(|_| Vec::new()).collect();
         for (lb_idx, batches) in all_batches.into_iter().enumerate() {
             for (s, batch) in batches.into_iter().enumerate() {
                 if batch.is_empty() {
                     responses_for[lb_idx].push(Vec::new());
                 } else {
+                    let scan = trace::span(format!("epoch/suboram_scan/{s}"));
                     responses_for[lb_idx].push(self.suborams[s].batch_access(batch)?);
+                    drop(scan);
                 }
             }
         }
         epoch_stats.suboram_time = t1.elapsed();
 
         // Phase 3: every balancer matches its responses.
-        let t2 = Instant::now();
+        let match_span = trace::span("epoch/lb_match");
         let mut out = Vec::new();
-        for ((lb, requests), resp) in self
-            .balancers
-            .iter()
-            .zip(per_balancer.iter())
-            .zip(responses_for.into_iter())
+        for ((lb, requests), resp) in
+            self.balancers.iter().zip(per_balancer.iter()).zip(responses_for)
         {
             out.extend(lb.match_responses(requests, resp));
         }
-        epoch_stats.lb_match_time = t2.elapsed();
+        epoch_stats.lb_match_time = match_span.finish();
 
+        record_epoch_metrics(&epoch_stats);
         self.stats.absorb(&epoch_stats);
         self.last_stats = epoch_stats;
         self.epoch += 1;
+        drop(epoch_span);
         Ok(out)
     }
 
     /// Convenience: executes one epoch with all requests at balancer 0.
-    pub fn execute_epoch_single(&mut self, requests: Vec<Request>) -> Result<Vec<Response>, SnoopyError> {
+    pub fn execute_epoch_single(
+        &mut self,
+        requests: Vec<Request>,
+    ) -> Result<Vec<Response>, SnoopyError> {
         let mut per = vec![Vec::new(); self.config.num_load_balancers];
         per[0] = requests;
         self.execute_epoch(per)
@@ -224,6 +236,27 @@ impl Snoopy {
         }
         m
     }
+}
+
+/// Publishes one epoch's public statistics into the process-wide metrics
+/// registry ([`snoopy_telemetry::metrics::global`]): epoch/request/batch
+/// counters and per-stage latency histograms. Every deployment plane (the
+/// reference engine here, and the transport loops both the in-process and
+/// TCP clusters share) calls this, so scrapes expose identical series
+/// everywhere. All inputs are public — see [`crate::stats`].
+pub fn record_epoch_metrics(e: &EpochStats) {
+    let reg = metrics::global();
+    reg.counter(metrics::names::EPOCHS_TOTAL, "epochs executed").inc(Public::wire_observable(()));
+    reg.counter(metrics::names::REQUESTS_TOTAL, "client requests admitted into epochs")
+        .add(Public::request_volume(e.requests as u64));
+    reg.counter(
+        metrics::names::BATCH_ENTRIES_TOTAL,
+        "batch entries sent to subORAMs (real + padding)",
+    )
+    .add(Public::wire_observable(e.batch_entries_sent as u64));
+    metrics::stage_histogram("lb_make").observe(Public::timing(e.lb_make_time));
+    metrics::stage_histogram("suboram_scan").observe(Public::timing(e.suboram_time));
+    metrics::stage_histogram("lb_match").observe(Public::timing(e.lb_match_time));
 }
 
 #[cfg(test)]
@@ -324,10 +357,7 @@ mod tests {
         let mut a = Snoopy::init(cfg_a, objects(200), 3);
         let mut b = Snoopy::init(cfg_b, objects(200), 3);
         let reqs = |seq: u64| {
-            vec![
-                Request::write(1, &[9; 4], VLEN, 0, seq),
-                Request::read(100, VLEN, 1, seq),
-            ]
+            vec![Request::write(1, &[9; 4], VLEN, 0, seq), Request::read(100, VLEN, 1, seq)]
         };
         let norm = |mut v: Vec<Response>| {
             v.sort_by_key(|r| (r.client, r.seq));
@@ -346,7 +376,8 @@ mod tests {
         let mut rng = snoopy_crypto::Prg::from_seed(99);
         let n = 300u64;
         let mut sys = system(2, 3, n);
-        let mut model: HashMap<u64, Vec<u8>> = (0..n).map(|i| (i, payload(&i.to_le_bytes()))).collect();
+        let mut model: HashMap<u64, Vec<u8>> =
+            (0..n).map(|i| (i, payload(&i.to_le_bytes()))).collect();
 
         for _epoch in 0..5 {
             let mut per: Vec<Vec<Request>> = vec![Vec::new(), Vec::new()];

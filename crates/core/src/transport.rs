@@ -18,6 +18,7 @@
 use snoopy_enclave::wire::{Request, Response};
 use snoopy_lb::LoadBalancer;
 use snoopy_suboram::SubOram;
+use snoopy_telemetry::{metrics, trace, Public};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Where a client's matched response gets delivered.
@@ -102,7 +103,11 @@ pub trait SubTransport {
 /// Requests arriving while an epoch is in flight join the *next* epoch —
 /// exactly the behavior of the threaded seed implementation, where they
 /// queued behind the `Tick` message.
-pub fn run_load_balancer<T: LbTransport>(transport: &mut T, balancer: LoadBalancer, num_suborams: usize) {
+pub fn run_load_balancer<T: LbTransport>(
+    transport: &mut T,
+    balancer: LoadBalancer,
+    num_suborams: usize,
+) {
     let mut pending: Vec<(Request, Box<dyn ReplySink>)> = Vec::new();
     let mut deferred_ticks: VecDeque<u64> = VecDeque::new();
     'outer: loop {
@@ -125,14 +130,19 @@ pub fn run_load_balancer<T: LbTransport>(transport: &mut T, balancer: LoadBalanc
             // already committed, or a reconnect while idle.
             LbEvent::SubResponse { .. } | LbEvent::SubLinkRestored { .. } => {}
             LbEvent::Tick(epoch) => {
+                let epoch_span = trace::span("epoch");
                 let epoch_reqs = std::mem::take(&mut pending);
                 let requests: Vec<Request> = epoch_reqs.iter().map(|(r, _)| r.clone()).collect();
+                let make_span = trace::span("epoch/lb_make");
                 let batches = balancer.make_batches(&requests).expect("batch overflow");
                 for (sub, batch) in batches.iter().enumerate() {
                     transport.send_batch(sub, epoch, batch);
                 }
+                let lb_make_time = make_span.finish();
+                let entries_sent: usize = batches.iter().map(|b| b.len()).sum();
                 // Collect all S response batches for this epoch before
                 // committing it.
+                let wait_span = trace::span("epoch/sub_wait");
                 let mut responses: Vec<Option<Vec<Request>>> = vec![None; num_suborams];
                 let mut outstanding = num_suborams;
                 while outstanding > 0 {
@@ -160,6 +170,8 @@ pub fn run_load_balancer<T: LbTransport>(transport: &mut T, balancer: LoadBalanc
                         }
                     }
                 }
+                let sub_wait_time = wait_span.finish();
+                let match_span = trace::span("epoch/lb_match");
                 if !requests.is_empty() {
                     let responses: Vec<Vec<Request>> =
                         responses.into_iter().map(|r| r.expect("missing response")).collect();
@@ -172,9 +184,45 @@ pub fn run_load_balancer<T: LbTransport>(transport: &mut T, balancer: LoadBalanc
                         }
                     }
                 }
+                let lb_match_time = match_span.finish();
+                drop(epoch_span);
+                record_lb_epoch_metrics(
+                    requests.len(),
+                    entries_sent,
+                    lb_make_time,
+                    sub_wait_time,
+                    lb_match_time,
+                );
             }
         }
     }
+}
+
+/// Publishes one committed balancer epoch's public metrics into the
+/// process-wide registry: counters for epochs/requests/entries, plus the
+/// balancer-side stage histograms (`lb_make`, `sub_wait` — which includes
+/// network and queueing, unlike the subORAM's own `suboram_scan` — and
+/// `lb_match`). All arguments are public quantities (§2.1): request volume,
+/// wire-observable entry counts, and timings of data-independent code.
+fn record_lb_epoch_metrics(
+    requests: usize,
+    entries_sent: usize,
+    lb_make: std::time::Duration,
+    sub_wait: std::time::Duration,
+    lb_match: std::time::Duration,
+) {
+    let reg = metrics::global();
+    reg.counter(metrics::names::EPOCHS_TOTAL, "epochs executed").inc(Public::wire_observable(()));
+    reg.counter(metrics::names::REQUESTS_TOTAL, "client requests admitted into epochs")
+        .add(Public::request_volume(requests as u64));
+    reg.counter(
+        metrics::names::BATCH_ENTRIES_TOTAL,
+        "batch entries sent to subORAMs (real + padding)",
+    )
+    .add(Public::wire_observable(entries_sent as u64));
+    metrics::stage_histogram("lb_make").observe(Public::timing(lb_make));
+    metrics::stage_histogram("sub_wait").observe(Public::timing(sub_wait));
+    metrics::stage_histogram("lb_match").observe(Public::timing(lb_match));
 }
 
 /// What [`SubOramNode::handle_batch`] decided about an incoming batch.
@@ -206,6 +254,8 @@ pub enum BatchOutcome {
 pub struct SubOramNode {
     oram: SubOram,
     num_lbs: usize,
+    /// This subORAM's index in the deployment (telemetry labels only).
+    index: Option<usize>,
     /// Batches per epoch, indexed by balancer, until all `L` arrive.
     pending: HashMap<u64, Vec<Option<Vec<Request>>>>,
     /// Executed epochs kept for replay, newest `retain` only.
@@ -216,13 +266,31 @@ pub struct SubOramNode {
 impl SubOramNode {
     /// Wraps a freshly initialized subORAM.
     pub fn new(oram: SubOram, num_lbs: usize) -> SubOramNode {
-        SubOramNode { oram, num_lbs, pending: HashMap::new(), completed: BTreeMap::new(), retain: 8 }
+        SubOramNode {
+            oram,
+            num_lbs,
+            index: None,
+            pending: HashMap::new(),
+            completed: BTreeMap::new(),
+            retain: 8,
+        }
     }
 
     /// Rebuilds a node from checkpointed state: the recovered ORAM plus the
     /// reply cache of already-executed epochs.
-    pub fn restore(oram: SubOram, num_lbs: usize, completed: BTreeMap<u64, Vec<Vec<Request>>>) -> SubOramNode {
-        SubOramNode { oram, num_lbs, pending: HashMap::new(), completed, retain: 8 }
+    pub fn restore(
+        oram: SubOram,
+        num_lbs: usize,
+        completed: BTreeMap<u64, Vec<Vec<Request>>>,
+    ) -> SubOramNode {
+        SubOramNode { oram, num_lbs, index: None, pending: HashMap::new(), completed, retain: 8 }
+    }
+
+    /// Labels this node with its deployment index so its scan spans read
+    /// `epoch/suboram_scan/<i>`. The index is configuration — public.
+    pub fn with_index(mut self, index: usize) -> SubOramNode {
+        self.index = Some(index);
+        self
     }
 
     /// The wrapped subORAM.
@@ -252,6 +320,13 @@ impl SubOramNode {
             return BatchOutcome::Waiting;
         }
         let batches = self.pending.remove(&epoch).unwrap();
+        // The scan span name carries only configuration (the subORAM index)
+        // and its duration is the timing of a data-oblivious linear scan —
+        // both public per §2.1.
+        let scan_span = match self.index {
+            Some(i) => trace::span(format!("epoch/suboram_scan/{i}")),
+            None => trace::span("epoch/suboram_scan"),
+        };
         // Fixed balancer order (§4.3).
         let mut out = Vec::with_capacity(self.num_lbs);
         for batch in batches {
@@ -263,6 +338,8 @@ impl SubOramNode {
             };
             out.push(resp);
         }
+        let scan_time = scan_span.finish();
+        metrics::stage_histogram("suboram_scan").observe(Public::timing(scan_time));
         self.completed.insert(epoch, out.clone());
         while self.completed.len() > self.retain {
             let oldest = *self.completed.keys().next().unwrap();

@@ -128,18 +128,13 @@ mod tests {
 
     fn hex(s: &str) -> Vec<u8> {
         let s: String = s.split_whitespace().collect();
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     /// RFC 8439 §2.8.2 AEAD test vector.
     #[test]
     fn rfc8439_aead_vector() {
-        let key_bytes = hex(
-            "808182838485868788898a8b8c8d8e8f 909192939495969798999a9b9c9d9e9f",
-        );
+        let key_bytes = hex("808182838485868788898a8b8c8d8e8f 909192939495969798999a9b9c9d9e9f");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let aead = AeadKey::new(Key256(key));
@@ -150,12 +145,10 @@ mod tests {
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
 
         let sealed = aead.seal(Nonce(nonce), &aad, plaintext);
-        let expected_ct = hex(
-            "d31a8d34648e60db7b86afbc53ef7ec2 a4aded51296e08fea9e2b5a736ee62d6 \
+        let expected_ct = hex("d31a8d34648e60db7b86afbc53ef7ec2 a4aded51296e08fea9e2b5a736ee62d6 \
              3dbea45e8ca9671282fafb69da92728b 1a71de0a9e060b2905d6a5b67ecd3b36 \
              92ddbd7f2d778b8c9803aee328091b58 fab324e4fad675945585808b4831d7bc \
-             3ff4def08e4b7a9de576d26586cec64b 6116",
-        );
+             3ff4def08e4b7a9de576d26586cec64b 6116");
         let expected_tag = hex("1ae10b594f09e26a7e902ecbd0600691");
         assert_eq!(&sealed.bytes[..sealed.bytes.len() - 16], &expected_ct[..]);
         assert_eq!(&sealed.bytes[sealed.bytes.len() - 16..], &expected_tag[..]);
@@ -192,10 +185,7 @@ mod tests {
     fn truncated_rejected() {
         let aead = AeadKey::new(Key256([5u8; 32]));
         let sealed = SealedBox { bytes: vec![0u8; 7] };
-        assert_eq!(
-            aead.open(Nonce::from_parts(0, 0), b"", &sealed),
-            Err(AeadError::Truncated)
-        );
+        assert_eq!(aead.open(Nonce::from_parts(0, 0), b"", &sealed), Err(AeadError::Truncated));
     }
 
     #[test]

@@ -76,10 +76,7 @@ mod tests {
 
     fn hex(s: &str) -> Vec<u8> {
         let s: String = s.split_whitespace().collect();
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     /// RFC 8439 §2.3.2 block function test vector.
@@ -91,10 +88,8 @@ mod tests {
         }
         let nonce = hex("000000090000004a00000000");
         let out = block(&key, 1, nonce.as_slice().try_into().unwrap());
-        let expected = hex(
-            "10f1e7e4d13b5915500fdd1fa32071c4 c7d1f4c733c068030422aa9ac3d46c4e \
-             d2826446079faa0914c2d705d98b02a2 b5129cd1de164eb9cbd083e8a2503c4e",
-        );
+        let expected = hex("10f1e7e4d13b5915500fdd1fa32071c4 c7d1f4c733c068030422aa9ac3d46c4e \
+             d2826446079faa0914c2d705d98b02a2 b5129cd1de164eb9cbd083e8a2503c4e");
         assert_eq!(out.to_vec(), expected);
     }
 
@@ -109,12 +104,10 @@ mod tests {
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let mut data = plaintext.to_vec();
         xor_stream(&key, 1, nonce.as_slice().try_into().unwrap(), &mut data);
-        let expected = hex(
-            "6e2e359a2568f98041ba0728dd0d6981 e97e7aec1d4360c20a27afccfd9fae0b \
+        let expected = hex("6e2e359a2568f98041ba0728dd0d6981 e97e7aec1d4360c20a27afccfd9fae0b \
              f91b65c5524733ab8f593dabcd62b357 1639d624e65152ab8f530c359f0861d8 \
              07ca0dbf500d6a6156a38e088a22b65e 52bc514d16ccf806818ce91ab7793736 \
-             5af90bbf74a35be6b40b8eedf2785e42 874d",
-        );
+             5af90bbf74a35be6b40b8eedf2785e42 874d");
         assert_eq!(data, expected);
         // round-trip
         xor_stream(&key, 1, nonce.as_slice().try_into().unwrap(), &mut data);

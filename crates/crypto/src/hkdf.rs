@@ -42,10 +42,7 @@ mod tests {
 
     fn hex(s: &str) -> Vec<u8> {
         let s: String = s.split_whitespace().collect();
-        (0..s.len())
-            .step_by(2)
-            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
-            .collect()
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
     }
 
     /// RFC 5869 test case 1.
@@ -75,11 +72,9 @@ mod tests {
         let okm = hkdf(&salt, &ikm, &info, 82);
         assert_eq!(
             okm,
-            hex(
-                "b11e398dc80327a1c8e7f78c596a4934 4f012eda2d4efad8a050cc4c19afa97c \
+            hex("b11e398dc80327a1c8e7f78c596a4934 4f012eda2d4efad8a050cc4c19afa97c \
                  59045a99cac7827271cb41c65e590e09 da3275600c2f09b8367793a9aca3db71 \
-                 cc30c58179ec3e87c14c01d5c1f3434f 1d87"
-            )
+                 cc30c58179ec3e87c14c01d5c1f3434f 1d87")
         );
     }
 

@@ -35,9 +35,9 @@ impl Default for EpcModel {
         EpcModel {
             usable_epc_bytes: 168 * 1024 * 1024,
             page_bytes: 4096,
-            resident_page_scan_ns: 400.0,   // ~10 GB/s effective scan bandwidth
-            page_fault_ns: 40_000.0,        // ~40 µs per EPC fault (literature range 25-50 µs)
-            host_loader_efficiency: 0.9,    // §7 buffer removes ~90% of fault cost
+            resident_page_scan_ns: 400.0, // ~10 GB/s effective scan bandwidth
+            page_fault_ns: 40_000.0,      // ~40 µs per EPC fault (literature range 25-50 µs)
+            host_loader_efficiency: 0.9,  // §7 buffer removes ~90% of fault cost
         }
     }
 }
@@ -149,10 +149,7 @@ mod tests {
         let large = m.usable_epc_bytes * 4;
         let per_byte_small = m.scan_ns(small, 0, true) / small as f64;
         let per_byte_large = m.scan_ns(large, 0, true) / large as f64;
-        assert!(
-            per_byte_large > per_byte_small * 2.0,
-            "{per_byte_small} vs {per_byte_large}"
-        );
+        assert!(per_byte_large > per_byte_small * 2.0, "{per_byte_small} vs {per_byte_large}");
     }
 
     #[test]

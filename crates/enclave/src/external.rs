@@ -34,7 +34,9 @@ pub enum IntegrityError {
 impl std::fmt::Display for IntegrityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            IntegrityError::Corrupted { index } => write!(f, "block {index} failed integrity check"),
+            IntegrityError::Corrupted { index } => {
+                write!(f, "block {index} failed integrity check")
+            }
             IntegrityError::OutOfRange { index } => write!(f, "block {index} out of range"),
         }
     }
@@ -173,13 +175,13 @@ mod tests {
     fn out_of_range() {
         let mut s = store();
         assert_eq!(s.get(8), Err(IntegrityError::OutOfRange { index: 8 }));
-        assert_eq!(s.put(9, &vec![0u8; 64]), Err(IntegrityError::OutOfRange { index: 9 }));
+        assert_eq!(s.put(9, &[0u8; 64]), Err(IntegrityError::OutOfRange { index: 9 }));
     }
 
     #[test]
     fn detects_bit_flip() {
         let mut s = store();
-        s.put(2, &vec![7u8; 64]).unwrap();
+        s.put(2, &[7u8; 64]).unwrap();
         s.untrusted_blocks_mut()[2].bytes[5] ^= 1;
         assert_eq!(s.get(2), Err(IntegrityError::Corrupted { index: 2 }));
     }
@@ -189,8 +191,8 @@ mod tests {
         // Swapping two validly-sealed blocks must still be caught (digests
         // are per-index inside the enclave).
         let mut s = store();
-        s.put(0, &vec![1u8; 64]).unwrap();
-        s.put(1, &vec![2u8; 64]).unwrap();
+        s.put(0, &[1u8; 64]).unwrap();
+        s.put(1, &[2u8; 64]).unwrap();
         s.untrusted_blocks_mut().swap(0, 1);
         assert!(s.get(0).is_err());
         assert!(s.get(1).is_err());
@@ -201,9 +203,9 @@ mod tests {
         // Replaying an old sealed block fails the digest check because the
         // enclave's digest tracks the latest version.
         let mut s = store();
-        s.put(4, &vec![1u8; 64]).unwrap();
+        s.put(4, &[1u8; 64]).unwrap();
         let old = s.untrusted_blocks_mut()[4].clone();
-        s.put(4, &vec![2u8; 64]).unwrap();
+        s.put(4, &[2u8; 64]).unwrap();
         s.untrusted_blocks_mut()[4] = old;
         assert_eq!(s.get(4), Err(IntegrityError::Corrupted { index: 4 }));
     }
@@ -212,7 +214,7 @@ mod tests {
     fn scan_visits_all_blocks_in_order() {
         let mut s = store();
         for i in 0..8 {
-            s.put(i, &vec![i as u8; 64]).unwrap();
+            s.put(i, &[i as u8; 64]).unwrap();
         }
         let mut seen = Vec::new();
         s.scan(|i, data| {
@@ -237,6 +239,6 @@ mod tests {
     #[should_panic(expected = "fixed and public")]
     fn wrong_block_length_panics() {
         let mut s = store();
-        let _ = s.put(0, &vec![0u8; 63]);
+        let _ = s.put(0, &[0u8; 63]);
     }
 }

@@ -111,10 +111,15 @@ impl MerkleTree {
     }
 
     /// Verifies an inclusion proof against a detached root.
-    pub fn verify_proof(root: &[u8; 32], mut index: usize, leaf_hash: &[u8; 32], proof: &[[u8; 32]]) -> bool {
+    pub fn verify_proof(
+        root: &[u8; 32],
+        mut index: usize,
+        leaf_hash: &[u8; 32],
+        proof: &[[u8; 32]],
+    ) -> bool {
         let mut acc = *leaf_hash;
         for sib in proof {
-            acc = if index % 2 == 0 {
+            acc = if index.is_multiple_of(2) {
                 Self::parent_hash(&acc, sib)
             } else {
                 Self::parent_hash(sib, &acc)
@@ -242,12 +247,12 @@ mod tests {
         let l = leaves(9);
         let t = MerkleTree::new(&l);
         let root = t.root();
-        for i in 0..9 {
+        for (i, leaf) in l.iter().enumerate() {
             let p = t.proof(i);
-            assert!(MerkleTree::verify_proof(&root, i, &l[i], &p), "leaf {i}");
+            assert!(MerkleTree::verify_proof(&root, i, leaf, &p), "leaf {i}");
             assert!(!MerkleTree::verify_proof(&root, i, &sha256(b"x"), &p));
             if i != 3 {
-                assert!(!MerkleTree::verify_proof(&root, 3, &l[i], &t.proof(i)));
+                assert!(!MerkleTree::verify_proof(&root, 3, leaf, &t.proof(i)));
             }
         }
     }

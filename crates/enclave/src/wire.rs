@@ -75,7 +75,14 @@ impl_cmov_struct!(Request { id, kind, value, client, seq, permit });
 impl Request {
     /// Builds a read request.
     pub fn read(id: u64, value_len: usize, client: u64, seq: u64) -> Request {
-        Request { id, kind: RequestKind::Read.encode(), value: vec![0u8; value_len], client, seq, permit: 1 }
+        Request {
+            id,
+            kind: RequestKind::Read.encode(),
+            value: vec![0u8; value_len],
+            client,
+            seq,
+            permit: 1,
+        }
     }
 
     /// Builds a write request. The payload is padded/truncated to `value_len`
@@ -88,7 +95,14 @@ impl Request {
 
     /// Builds a dummy request (read of `DUMMY_ID`).
     pub fn dummy(value_len: usize) -> Request {
-        Request { id: DUMMY_ID, kind: RequestKind::Read.encode(), value: vec![0u8; value_len], client: 0, seq: 0, permit: 1 }
+        Request {
+            id: DUMMY_ID,
+            kind: RequestKind::Read.encode(),
+            value: vec![0u8; value_len],
+            client: 0,
+            seq: 0,
+            permit: 1,
+        }
     }
 
     /// Secret predicate: is this a dummy request (any synthetic id at or

@@ -89,16 +89,17 @@ impl SqrtOram {
     pub fn new(capacity: u64, block_len: usize, seed: u64) -> SqrtOram {
         assert!(capacity >= 1);
         let sqrt_n = (capacity as f64).sqrt().ceil() as u64;
-        let mut store: Vec<Block> = (0..capacity)
-            .map(|addr| Block { addr, data: vec![0u8; block_len] })
-            .collect();
+        let mut store: Vec<Block> =
+            (0..capacity).map(|addr| Block { addr, data: vec![0u8; block_len] }).collect();
         for k in 0..sqrt_n {
             store.push(Block { addr: capacity + k, data: vec![0u8; block_len] });
         }
         let mut oram = SqrtOram {
             store,
             posmap: vec![0; (capacity + sqrt_n) as usize],
-            shelter: (0..sqrt_n).map(|_| Block { addr: EMPTY, data: vec![0u8; block_len] }).collect(),
+            shelter: (0..sqrt_n)
+                .map(|_| Block { addr: EMPTY, data: vec![0u8; block_len] })
+                .collect(),
             n: capacity,
             sqrt_n,
             accesses_this_epoch: 0,
@@ -167,9 +168,7 @@ impl SqrtOram {
         // count (data stays; addr flips to a tombstone only for real hits —
         // value-level, branch-free).
         let tomb = EMPTY;
-        self.store[fetch_idx as usize]
-            .addr
-            .cmov(&tomb, fetched_is_target.and(in_shelter.not()));
+        self.store[fetch_idx as usize].addr.cmov(&tomb, fetched_is_target.and(in_shelter.not()));
 
         let old = current.clone();
         let is_write = Choice::from_bool(matches!(op, Op::Write));
@@ -211,7 +210,10 @@ impl SqrtOram {
             merged.push(Tagged { tag: 0, block: b });
         }
         for s in self.shelter.iter_mut() {
-            let b = Block { addr: s.addr, data: std::mem::replace(&mut s.data, vec![0u8; self.block_len]) };
+            let b = Block {
+                addr: s.addr,
+                data: std::mem::replace(&mut s.data, vec![0u8; self.block_len]),
+            };
             s.addr = EMPTY;
             merged.push(Tagged { tag: 1, block: b });
         }
@@ -254,8 +256,8 @@ impl SqrtOram {
                 have[b.addr as usize] = true;
             }
         }
-        for a in 0..total {
-            if !have[a] {
+        for (a, present) in have.iter().enumerate() {
+            if !present {
                 blocks.push(Block { addr: a as u64, data: vec![0u8; self.block_len] });
             }
         }
@@ -267,11 +269,8 @@ impl SqrtOram {
         oshuffle(&mut blocks, &mut rng);
 
         // Rebuild the position map with an oblivious sort of (addr, index).
-        let mut pairs: Vec<[u64; 2]> = blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| [b.addr, i as u64])
-            .collect();
+        let mut pairs: Vec<[u64; 2]> =
+            blocks.iter().enumerate().map(|(i, b)| [b.addr, i as u64]).collect();
         osort_by(&mut pairs, &|a: &[u64; 2], b: &[u64; 2]| ct_lt_u64(b[0], a[0]));
         for (a, p) in pairs.iter().enumerate() {
             debug_assert_eq!(p[0], a as u64, "addresses must be exactly 0..n+sqrt_n");
@@ -286,6 +285,29 @@ impl SqrtOram {
     /// Shelter occupancy (test helper; deliberate declassification).
     pub fn shelter_occupancy(&self) -> usize {
         self.shelter.iter().filter(|s| s.addr != EMPTY).count()
+    }
+}
+
+impl SqrtOram {
+    /// Test-only: performs an access and returns the revealed storage index.
+    #[doc(hidden)]
+    pub fn access_traced(&mut self, op: Op, addr: u64) -> u64 {
+        let fetches_before = self.slot_fetches;
+        let idx_probe = {
+            // Recompute the same decision the access will make.
+            let mut in_shelter = Choice::FALSE;
+            for slot in self.shelter.iter() {
+                in_shelter = in_shelter.or(ct_eq_u64(slot.addr, addr));
+            }
+            let real_idx = self.oget_pos(addr);
+            let dummy_idx = self.oget_pos(self.n + self.dummies_used);
+            let mut idx = real_idx;
+            idx.cmov(&dummy_idx, in_shelter);
+            idx
+        };
+        self.access(op, addr, None);
+        debug_assert_eq!(self.slot_fetches, fetches_before + 1);
+        idx_probe
     }
 }
 
@@ -374,28 +396,5 @@ mod tests {
             oram.access(Op::Write, i % 81, Some(&[1u8; 8]));
             assert!(oram.shelter_occupancy() <= oram.epoch_len() as usize);
         }
-    }
-}
-
-impl SqrtOram {
-    /// Test-only: performs an access and returns the revealed storage index.
-    #[doc(hidden)]
-    pub fn access_traced(&mut self, op: Op, addr: u64) -> u64 {
-        let fetches_before = self.slot_fetches;
-        let idx_probe = {
-            // Recompute the same decision the access will make.
-            let mut in_shelter = Choice::FALSE;
-            for slot in self.shelter.iter() {
-                in_shelter = in_shelter.or(ct_eq_u64(slot.addr, addr));
-            }
-            let real_idx = self.oget_pos(addr);
-            let dummy_idx = self.oget_pos(self.n + self.dummies_used);
-            let mut idx = real_idx;
-            idx.cmov(&dummy_idx, in_shelter);
-            idx
-        };
-        self.access(op, addr, None);
-        debug_assert_eq!(self.slot_fetches, fetches_before + 1);
-        idx_probe
     }
 }

@@ -33,6 +33,10 @@ use snoopy_obliv::ct::{ct_eq_u64, ct_lt_u64, Choice, Cmov};
 use snoopy_obliv::impl_cmov_struct;
 use snoopy_obliv::sort::osort_by;
 use snoopy_obliv::trace::{self, TraceEvent};
+// The obliviousness trace above records *memory touches* for the access-
+// pattern tests; `telem` spans record *wall-clock* of data-independent
+// phases for operators. Different planes, both public.
+use snoopy_telemetry::trace as telem;
 
 /// Errors from batch assembly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,7 +133,12 @@ pub struct LoadBalancer {
 impl LoadBalancer {
     /// Creates a load balancer. `shared_key` is the deployment-wide partition
     /// key — every load balancer and the initializer must use the same one.
-    pub fn new(shared_key: &Key256, num_suborams: usize, value_len: usize, lambda: u32) -> LoadBalancer {
+    pub fn new(
+        shared_key: &Key256,
+        num_suborams: usize,
+        value_len: usize,
+        lambda: u32,
+    ) -> LoadBalancer {
         assert!(num_suborams > 0);
         LoadBalancer {
             hash: SipHash24::from_key256(&shared_key.derive(b"partition-hash")),
@@ -197,7 +206,10 @@ impl LoadBalancer {
         }
 
         // ➌ Oblivious sort groups batches: (subORAM, dummies-last, id, arrival).
-        osort_by(&mut work, &work_gt);
+        {
+            let _span = telem::span("epoch/lb_make/osort");
+            osort_by(&mut work, &work_gt);
+        }
 
         // ➍ One scan: last-write-wins aggregation per id group, keep the
         // last entry of each group, cap at B kept per subORAM.
@@ -265,7 +277,10 @@ impl LoadBalancer {
         }
 
         // ➎ Compact to exactly S·B entries, still grouped by subORAM.
-        ocompact(&mut work, &mut keep);
+        {
+            let _span = telem::span("epoch/lb_make/ocompact");
+            ocompact(&mut work, &mut keep);
+        }
         work.truncate(s * b);
         let mut batches: Vec<Vec<Request>> = Vec::with_capacity(s);
         for chunk in work.chunks(b) {
@@ -288,7 +303,7 @@ impl LoadBalancer {
             return Vec::new();
         }
         trace::record(TraceEvent::Phase(0x4d52)); // "MR" match marker
-        // ➊ Merge responses (is_request=0) and client requests (is_request=1).
+                                                  // ➊ Merge responses (is_request=0) and client requests (is_request=1).
         let mut slots: Vec<MatchSlot> = Vec::new();
         let mut arrival = 0u64;
         for batch in suboram_responses {
@@ -303,7 +318,10 @@ impl LoadBalancer {
         }
 
         // ➋ Sort by (id, responses-first).
-        osort_by(&mut slots, &match_gt);
+        {
+            let _span = telem::span("epoch/lb_match/osort");
+            osort_by(&mut slots, &match_gt);
+        }
 
         // ➌ Propagate response values forward onto the requests behind them.
         let zeros = vec![0u8; self.value_len];
@@ -318,7 +336,10 @@ impl LoadBalancer {
 
         // ➍ Compact out the responses; exactly R requests remain.
         let mut keep: Vec<Choice> = slots.iter().map(|s| ct_eq_u64(s.is_request, 1)).collect();
-        ocompact(&mut slots, &mut keep);
+        {
+            let _span = telem::span("epoch/lb_match/ocompact");
+            ocompact(&mut slots, &mut keep);
+        }
         slots.truncate(r);
         // Access control (Appendix D): a client without permission for its
         // operation receives a null value instead of the object value. The
@@ -337,7 +358,11 @@ impl LoadBalancer {
 /// Partitions the initial object set across `s` subORAMs with the same keyed
 /// hash the load balancers use (Snoopy.Initialize, Fig. 23). Also validates
 /// that ids stay out of the reserved namespaces.
-pub fn partition_objects(objects: Vec<StoredObject>, shared_key: &Key256, s: usize) -> Vec<Vec<StoredObject>> {
+pub fn partition_objects(
+    objects: Vec<StoredObject>,
+    shared_key: &Key256,
+    s: usize,
+) -> Vec<Vec<StoredObject>> {
     let hash = SipHash24::from_key256(&shared_key.derive(b"partition-hash"));
     let mut parts: Vec<Vec<StoredObject>> = (0..s).map(|_| Vec::new()).collect();
     for o in objects {
@@ -359,10 +384,7 @@ mod tests {
     }
 
     fn reads(ids: &[u64]) -> Vec<Request> {
-        ids.iter()
-            .enumerate()
-            .map(|(i, &id)| Request::read(id, VLEN, i as u64, i as u64))
-            .collect()
+        ids.iter().enumerate().map(|(i, &id)| Request::read(id, VLEN, i as u64, i as u64)).collect()
     }
 
     #[test]

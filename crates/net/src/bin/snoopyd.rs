@@ -5,15 +5,20 @@
 //! snoopyd --role suboram      --index 1 --manifest cluster.toml \
 //!         --checkpoint /var/lib/snoopy/sub1.ckpt
 //! snoopyd stats    --addr 127.0.0.1:7000
+//! snoopyd metrics  --addr 127.0.0.1:7000
 //! snoopyd shutdown --addr 127.0.0.1:7000
 //! ```
 //!
 //! Every daemon in a cluster reads the same manifest; `--role`/`--index`
 //! pick its line. The daemon runs until `snoopyd shutdown` (or a signal).
+//! `stats` prints the plaintext per-link counters; `metrics` prints the
+//! daemon's Prometheus text exposition (stage latency histograms, epoch
+//! counters, link counters) — pipe it into a node_exporter-style textfile
+//! collector or scrape it from a cron job.
 
 use snoopy_net::manifest::Manifest;
 use snoopy_net::stats::StatsRegistry;
-use snoopy_net::{fetch_stats, shutdown_daemon};
+use snoopy_net::{fetch_metrics, fetch_stats, shutdown_daemon};
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -22,6 +27,7 @@ fn usage() -> ! {
         "usage:\n  \
          snoopyd --role loadbalancer|suboram --index N --manifest PATH [--checkpoint PATH]\n  \
          snoopyd stats --addr HOST:PORT\n  \
+         snoopyd metrics --addr HOST:PORT\n  \
          snoopyd shutdown --addr HOST:PORT"
     );
     exit(2);
@@ -44,6 +50,16 @@ fn main() {
                 }
             }
         }
+        Some("metrics") => {
+            let addr = flag_value(&args, "--addr").unwrap_or_else(|| usage());
+            match fetch_metrics(&addr) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("snoopyd metrics: {e}");
+                    exit(1);
+                }
+            }
+        }
         Some("shutdown") => {
             let addr = flag_value(&args, "--addr").unwrap_or_else(|| usage());
             if let Err(e) = shutdown_daemon(&addr) {
@@ -58,10 +74,8 @@ fn main() {
 
 fn run_daemon(args: &[String]) {
     let role = flag_value(args, "--role").unwrap_or_else(|| usage());
-    let index: usize = flag_value(args, "--index")
-        .unwrap_or_else(|| usage())
-        .parse()
-        .unwrap_or_else(|_| usage());
+    let index: usize =
+        flag_value(args, "--index").unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
     let manifest_path = PathBuf::from(flag_value(args, "--manifest").unwrap_or_else(|| usage()));
     let checkpoint = flag_value(args, "--checkpoint").map(PathBuf::from);
 

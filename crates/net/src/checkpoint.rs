@@ -87,9 +87,11 @@ fn encode_state(node: &SubOramNode) -> Vec<u8> {
     out
 }
 
-fn decode_state(
-    plain: &[u8],
-) -> io::Result<(usize, usize, Vec<StoredObject>, BTreeMap<u64, Vec<Vec<Request>>>)> {
+/// Decoded checkpoint payload: `(value_len, num_lbs, objects, cached
+/// responses per epoch)`.
+type CheckpointState = (usize, usize, Vec<StoredObject>, BTreeMap<u64, Vec<Vec<Request>>>);
+
+fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     let mut r = Reader(plain);
     if r.bytes(8)? != MAGIC {
         return Err(bad("bad magic"));
@@ -129,7 +131,8 @@ fn decode_state(
 pub fn save(node: &SubOramNode, key: &Key256, path: &Path) -> io::Result<()> {
     let plain = encode_state(node);
     let seq: u64 = Prg::from_entropy().gen();
-    let sealed = AeadKey::new(key.clone()).seal(Nonce::from_parts(0x7F00_0000, seq), b"ckpt", &plain);
+    let sealed =
+        AeadKey::new(key.clone()).seal(Nonce::from_parts(0x7F00_0000, seq), b"ckpt", &plain);
     let mut file = Vec::with_capacity(8 + sealed.bytes.len());
     file.extend_from_slice(&seq.to_le_bytes());
     file.extend_from_slice(&sealed.bytes);

@@ -110,6 +110,20 @@ pub fn fetch_stats(addr: &str) -> io::Result<String> {
     String::from_utf8(body).map_err(|_| bad("stats not utf-8"))
 }
 
+/// Fetches a daemon's Prometheus text exposition (the `metrics` RPC):
+/// per-stage latency histograms, epoch/request counters, and every link
+/// counter as labeled series. All series pass through the
+/// [`snoopy_telemetry::Public`] leakage gate daemon-side.
+pub fn fetch_metrics(addr: &str) -> io::Result<String> {
+    let mut stream = admin_dial(addr)?;
+    write_frame(&mut stream, tag::METRICS_REQ, b"")?;
+    let (t, body) = read_frame(&mut stream)?;
+    if t != tag::METRICS_RESP {
+        return Err(bad("unexpected frame from daemon"));
+    }
+    String::from_utf8(body).map_err(|_| bad("metrics not utf-8"))
+}
+
 /// Asks a daemon to shut down gracefully; returns once it acknowledges.
 pub fn shutdown_daemon(addr: &str) -> io::Result<()> {
     let mut stream = admin_dial(addr)?;

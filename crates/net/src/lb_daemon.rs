@@ -15,13 +15,14 @@
 use crate::frame::{read_frame, write_frame};
 use crate::manifest::Manifest;
 use crate::proto::{self, tag, Hello, Role};
-use crate::stats::{LinkStats, StatsRegistry};
+use crate::stats::{DaemonInfo, LinkStats, StatsRegistry};
 use crate::suboram_daemon::admin_session;
 use snoopy_core::link::Link;
 use snoopy_core::transport::{run_load_balancer, LbEvent, LbTransport, ReplySink};
 use snoopy_crypto::{Key256, Prg};
 use snoopy_enclave::wire::{Request, Response};
 use snoopy_lb::LoadBalancer;
+use snoopy_telemetry::{metrics, trace, Public};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -125,14 +126,18 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
     for sub in 0..num_suborams {
         let stats = registry.link(&format!("suboram/{sub}"));
         sub_stats.push(stats.clone());
-        let addr = manifest.suborams[sub].clone();
-        let subs = subs.clone();
-        let events_tx = events_tx.clone();
-        let deploy = deploy.clone();
-        let value_len = manifest.value_len;
-        std::thread::spawn(move || {
-            dialer(addr, index, sub, num_suborams, deploy, value_len, subs, events_tx, stats)
-        });
+        let ctx = DialerCtx {
+            addr: manifest.suborams[sub].clone(),
+            lb_index: index,
+            sub,
+            num_suborams,
+            deploy: deploy.clone(),
+            value_len: manifest.value_len,
+            subs: subs.clone(),
+            events_tx: events_tx.clone(),
+            stats,
+        };
+        std::thread::spawn(move || dialer(ctx));
     }
 
     // Client/admin listener.
@@ -141,8 +146,9 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
         let registry = registry.clone();
         let deploy = deploy.clone();
         let value_len = manifest.value_len;
+        let info = DaemonInfo::new("loadbalancer", index as u64);
         std::thread::spawn(move || {
-            client_accept_loop(listener, index, deploy, value_len, events_tx, registry)
+            client_accept_loop(listener, index, deploy, value_len, events_tx, registry, info)
         });
     }
 
@@ -167,9 +173,8 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
     Ok(())
 }
 
-/// Connects to one subORAM forever: dial with capped exponential backoff,
-/// hello, install the session, then read responses until the link dies.
-fn dialer(
+/// Everything one dialer thread needs to own its subORAM connection.
+struct DialerCtx {
     addr: String,
     lb_index: usize,
     sub: usize,
@@ -179,10 +184,19 @@ fn dialer(
     subs: SubSlots,
     events_tx: Sender<LbEvent>,
     stats: Arc<LinkStats>,
-) {
+}
+
+/// Connects to one subORAM forever: dial with capped exponential backoff,
+/// hello, install the session, then read responses until the link dies.
+fn dialer(ctx: DialerCtx) {
+    let DialerCtx { addr, lb_index, sub, num_suborams, deploy, value_len, subs, events_tx, stats } =
+        ctx;
     let mut established_before = false;
     loop {
-        // Capped exponential backoff: 10ms doubling to 1s.
+        // Capped exponential backoff: 10ms doubling to 1s. The dial span
+        // covers connect-through-hello: connection establishment against a
+        // public address is wire-observable timing.
+        let dial_span = trace::span("dial");
         let mut backoff = Duration::from_millis(10);
         let mut stream = loop {
             match TcpStream::connect(&addr) {
@@ -200,6 +214,7 @@ fn dialer(
         if write_frame(&mut stream, tag::HELLO, &hello.encode()).is_err() {
             continue;
         }
+        metrics::stage_histogram("dial").observe(Public::timing(dial_span.finish()));
         let (batch_link, mut resp_link) =
             proto::suboram_session_links(&deploy, lb_index, sub, num_suborams, hello.session);
         let Ok(write_half) = stream.try_clone() else { continue };
@@ -212,8 +227,7 @@ fn dialer(
             return; // balancer loop gone: daemon is shutting down
         }
 
-        loop {
-            let Ok((t, body)) = read_frame(&mut stream) else { break };
+        while let Ok((t, body)) = read_frame(&mut stream) {
             stats.received(body.len());
             if t != tag::RESP_BATCH {
                 break;
@@ -236,6 +250,7 @@ fn client_accept_loop(
     value_len: usize,
     events_tx: Sender<LbEvent>,
     registry: StatsRegistry,
+    info: DaemonInfo,
 ) {
     let mut client_counter = 0u64;
     for stream in listener.incoming() {
@@ -251,8 +266,7 @@ fn client_accept_loop(
                 let (req_link, resp_link) =
                     proto::client_session_links(&deploy, lb_index, hello.session);
                 let Ok(write_half) = stream.try_clone() else { continue };
-                let writer =
-                    Arc::new(Mutex::new(ClientWriter { stream: write_half, resp_link }));
+                let writer = Arc::new(Mutex::new(ClientWriter { stream: write_half, resp_link }));
                 let events_tx = events_tx.clone();
                 std::thread::spawn(move || {
                     client_session_reader(stream, req_link, value_len, writer, events_tx, stats)
@@ -262,7 +276,7 @@ fn client_accept_loop(
                 let events_tx = events_tx.clone();
                 let registry = registry.clone();
                 std::thread::spawn(move || {
-                    admin_session(stream, registry, move || {
+                    admin_session(stream, registry, info, move || {
                         let _ = events_tx.send(LbEvent::Shutdown);
                     })
                 });
@@ -281,8 +295,7 @@ fn client_session_reader(
     events_tx: Sender<LbEvent>,
     stats: Arc<LinkStats>,
 ) {
-    loop {
-        let Ok((t, body)) = read_frame(&mut stream) else { break };
+    while let Ok((t, body)) = read_frame(&mut stream) {
         stats.received(body.len());
         if t != tag::CLIENT_REQ {
             break;

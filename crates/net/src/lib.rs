@@ -13,10 +13,16 @@
 //! * [`proto`] — frame tags, session hellos, per-session link key derivation;
 //! * [`manifest`] — the hand-rolled cluster-manifest parser;
 //! * [`stats`] — per-link frame/byte/reconnect counters behind the `stats`
-//!   RPC;
+//!   RPC, plus the bridge into the Prometheus `metrics` RPC;
 //! * [`lb_daemon`] / [`suboram_daemon`] — the two `snoopyd` roles;
 //! * [`checkpoint`] — sealed subORAM state for kill/restart survival;
 //! * [`client`] — the blocking [`client::NetClient`] plus admin RPCs.
+//!
+//! Daemons record spans (`dial`, `rpc`, `checkpoint_seal`, and the epoch
+//! stages from `snoopy_core`) and metrics into the process-wide
+//! [`snoopy_telemetry`] registry; `snoopyd metrics` scrapes it as
+//! Prometheus text. Every exported value passes the
+//! [`snoopy_telemetry::Public`] leakage gate.
 //!
 //! A cluster is described by one manifest file; each `snoopyd --role
 //! <role> --index <i> --manifest <path>` process binds its line of it. Load
@@ -35,6 +41,6 @@ pub mod proto;
 pub mod stats;
 pub mod suboram_daemon;
 
-pub use client::{fetch_stats, shutdown_daemon, NetClient};
+pub use client::{fetch_metrics, fetch_stats, shutdown_daemon, NetClient};
 pub use manifest::Manifest;
-pub use stats::{parse_stats, StatsRegistry};
+pub use stats::{parse_stats, parse_stats_header, StatsRegistry};

@@ -226,8 +226,9 @@ suboram = 127.0.0.1:7101\n";
         let e = Manifest::parse(&dup).unwrap_err();
         assert!(e.message.contains("duplicate"), "{e}");
         // Missing subORAMs.
-        let e = Manifest::parse("value_len=8\nlambda=80\nseed=0\nnum_objects=4\nloadbalancer=a:1\n")
-            .unwrap_err();
+        let e =
+            Manifest::parse("value_len=8\nlambda=80\nseed=0\nnum_objects=4\nloadbalancer=a:1\n")
+                .unwrap_err();
         assert!(e.message.contains("suboram"), "{e}");
         // Bad address.
         assert!(Manifest::parse(&GOOD.replace("127.0.0.1:7100", "127.0.0.1")).is_err());

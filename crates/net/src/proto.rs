@@ -32,6 +32,10 @@ pub mod tag {
     pub const SHUTDOWN: u8 = 8;
     /// Daemon → admin: shutdown acknowledged (sent before exiting).
     pub const SHUTDOWN_ACK: u8 = 9;
+    /// Admin → daemon: Prometheus metrics request (plaintext).
+    pub const METRICS_REQ: u8 = 10;
+    /// Daemon → admin: Prometheus text exposition (plaintext UTF-8).
+    pub const METRICS_RESP: u8 = 11;
 }
 
 /// Who is dialing.

@@ -4,8 +4,15 @@
 //! subORAM's accepted balancer session, a client session) updates one
 //! [`LinkStats`] as it moves frames. A daemon's [`StatsRegistry`] snapshots
 //! all of them into the plaintext text form the `snoopyd stats` subcommand
-//! prints.
+//! prints, and bridges them into the process's Prometheus registry for the
+//! `metrics` RPC.
+//!
+//! Everything here is wire-observable: frame and byte counts are exactly
+//! what a network attacker already sees (§2.1), so exporting them through
+//! [`snoopy_telemetry::Public::wire_observable`] leaks nothing new.
 
+use snoopy_telemetry::{metrics::MetricsRegistry, Public};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -62,12 +69,23 @@ impl LinkStats {
             self.retries.load(Ordering::Relaxed),
         )
     }
+
+    fn fields(&self) -> [(&'static str, u64); 6] {
+        [
+            ("frames_sent", self.frames_sent.load(Ordering::Relaxed)),
+            ("frames_received", self.frames_received.load(Ordering::Relaxed)),
+            ("bytes_sent", self.bytes_sent.load(Ordering::Relaxed)),
+            ("bytes_received", self.bytes_received.load(Ordering::Relaxed)),
+            ("reconnects", self.reconnects.load(Ordering::Relaxed)),
+            ("retries", self.retries.load(Ordering::Relaxed)),
+        ]
+    }
 }
 
 /// All of one daemon's links, named.
 #[derive(Clone, Default)]
 pub struct StatsRegistry {
-    links: Arc<Mutex<Vec<(String, Arc<LinkStats>)>>>,
+    links: Arc<Mutex<HashMap<String, Arc<LinkStats>>>>,
 }
 
 impl StatsRegistry {
@@ -78,26 +96,117 @@ impl StatsRegistry {
 
     /// Registers (or fetches) the named link's counters. Re-registering a
     /// name returns the existing counters, so a link survives reconnects
-    /// with its history intact.
+    /// with its history intact. O(1): daemons call this on every accepted
+    /// session, and a busy listener shouldn't scan all its peers each time.
     pub fn link(&self, name: &str) -> Arc<LinkStats> {
         let mut links = self.links.lock().unwrap();
-        if let Some((_, stats)) = links.iter().find(|(n, _)| n == name) {
+        if let Some(stats) = links.get(name) {
             return stats.clone();
         }
         let stats = Arc::new(LinkStats::default());
-        links.push((name.to_string(), stats.clone()));
+        links.insert(name.to_string(), stats.clone());
         stats
     }
 
-    /// Renders every link, one `key=value` line each — the `stats` RPC body.
+    /// Renders every link, one `key=value` line each, sorted by link name
+    /// so output is deterministic — the `stats` RPC body.
     pub fn render(&self) -> String {
         let links = self.links.lock().unwrap();
+        let mut named: Vec<_> = links.iter().collect();
+        named.sort_by(|a, b| a.0.cmp(b.0));
         let mut out = String::new();
-        for (name, stats) in links.iter() {
+        for (name, stats) in named {
             out.push_str(&stats.render(name));
             out.push('\n');
         }
         out
+    }
+
+    /// Bridges every link counter into `registry` as labeled Prometheus
+    /// series (`snoopy_link_frames_sent_total{link="..."}` etc.).
+    ///
+    /// Prometheus counters are add-only while [`LinkStats`] holds absolute
+    /// values, so each scrape adds the delta since the last publish. The
+    /// delta is wire-observable — it counts frames/bytes an on-path
+    /// attacker already sees — which is what lets it through the
+    /// [`Public`] gate.
+    pub fn publish_metrics(&self, registry: &MetricsRegistry) {
+        let links = self.links.lock().unwrap();
+        for (name, stats) in links.iter() {
+            for (field, value) in stats.fields() {
+                let counter = registry.counter_labeled(
+                    &format!("snoopy_link_{field}_total"),
+                    "per-link transport counters (wire-observable)",
+                    Some(("link", name)),
+                );
+                let delta = value.saturating_sub(counter.value());
+                if delta > 0 {
+                    counter.add(Public::wire_observable(delta));
+                }
+            }
+        }
+    }
+}
+
+/// A daemon's identity and start time — the live source for [`StatsHeader`].
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonInfo {
+    /// Role string (`loadbalancer` or `suboram`).
+    pub role: &'static str,
+    /// Index within the role.
+    pub index: u64,
+    /// When the daemon started serving.
+    pub started: std::time::Instant,
+}
+
+impl DaemonInfo {
+    /// Stamps a daemon's identity with "now" as its start time.
+    pub fn new(role: &'static str, index: u64) -> DaemonInfo {
+        DaemonInfo { role, index, started: std::time::Instant::now() }
+    }
+
+    /// Builds the header from live process state: uptime from the start
+    /// time, epochs from the process's telemetry registry (the balancer
+    /// loop counts epochs directly; a subORAM executes one oblivious scan
+    /// per epoch, so its scan histogram's count is its epoch count).
+    pub fn header(&self) -> StatsHeader {
+        use snoopy_telemetry::metrics;
+        let epochs = if self.role == "suboram" {
+            metrics::stage_histogram("suboram_scan").snapshot().count
+        } else {
+            metrics::global().counter(metrics::names::EPOCHS_TOTAL, "epochs executed").value()
+        };
+        StatsHeader {
+            role: self.role.to_string(),
+            index: self.index,
+            uptime_secs: self.started.elapsed().as_secs(),
+            epochs,
+        }
+    }
+}
+
+/// The header line of a `stats` response: who the daemon is and how long it
+/// has been running. All fields are public (configuration and coarse
+/// process age).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsHeader {
+    /// Daemon role (`loadbalancer` or `suboram`).
+    pub role: String,
+    /// Daemon index within its role.
+    pub index: u64,
+    /// Whole seconds since the daemon started serving.
+    pub uptime_secs: u64,
+    /// Epochs this daemon has executed.
+    pub epochs: u64,
+}
+
+impl StatsHeader {
+    /// Renders the header as the first line of the `stats` body.
+    pub fn render(&self) -> String {
+        format!(
+            "role={} index={} uptime_secs={} epochs={}",
+            self.role, self.index, self.uptime_secs, self.epochs
+        )
     }
 }
 
@@ -120,26 +229,56 @@ pub struct StatsLine {
     pub retries: u64,
 }
 
+fn key_values(line: &str) -> HashMap<&str, &str> {
+    let mut fields = HashMap::new();
+    for part in line.split_whitespace() {
+        if let Some((k, v)) = part.split_once('=') {
+            fields.insert(k, v);
+        }
+    }
+    fields
+}
+
+fn field_or_zero(fields: &HashMap<&str, &str>, key: &str) -> u64 {
+    fields.get(key).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
 /// Parses [`StatsRegistry::render`] output.
+///
+/// Forward compatible: a line only needs a `link=` field to count; numeric
+/// fields that are missing or malformed default to 0 instead of dropping
+/// the whole line, and unknown fields (from a newer daemon) are ignored.
+/// Lines without `link=` (e.g. the [`StatsHeader`]) are skipped.
 pub fn parse_stats(text: &str) -> Vec<StatsLine> {
     text.lines()
         .filter_map(|line| {
-            let mut fields = std::collections::HashMap::new();
-            for part in line.split_whitespace() {
-                let (k, v) = part.split_once('=')?;
-                fields.insert(k, v);
-            }
+            let fields = key_values(line);
             Some(StatsLine {
                 link: (*fields.get("link")?).to_string(),
-                frames_sent: fields.get("frames_sent")?.parse().ok()?,
-                frames_received: fields.get("frames_received")?.parse().ok()?,
-                bytes_sent: fields.get("bytes_sent")?.parse().ok()?,
-                bytes_received: fields.get("bytes_received")?.parse().ok()?,
-                reconnects: fields.get("reconnects")?.parse().ok()?,
-                retries: fields.get("retries")?.parse().ok()?,
+                frames_sent: field_or_zero(&fields, "frames_sent"),
+                frames_received: field_or_zero(&fields, "frames_received"),
+                bytes_sent: field_or_zero(&fields, "bytes_sent"),
+                bytes_received: field_or_zero(&fields, "bytes_received"),
+                reconnects: field_or_zero(&fields, "reconnects"),
+                retries: field_or_zero(&fields, "retries"),
             })
         })
         .collect()
+}
+
+/// Parses the [`StatsHeader`] out of a `stats` body, if present. Same
+/// forward-compatibility rules as [`parse_stats`]: the `role=` field marks
+/// a header line; everything else defaults.
+pub fn parse_stats_header(text: &str) -> Option<StatsHeader> {
+    text.lines().find_map(|line| {
+        let fields = key_values(line);
+        Some(StatsHeader {
+            role: (*fields.get("role")?).to_string(),
+            index: field_or_zero(&fields, "index"),
+            uptime_secs: field_or_zero(&fields, "uptime_secs"),
+            epochs: field_or_zero(&fields, "epochs"),
+        })
+    })
 }
 
 #[cfg(test)]
@@ -163,5 +302,95 @@ mod tests {
         assert_eq!(lines[0].frames_received, 1);
         assert_eq!(lines[0].reconnects, 1);
         assert_eq!(lines[0].retries, 0);
+    }
+
+    #[test]
+    fn render_is_sorted_by_link_name() {
+        let reg = StatsRegistry::new();
+        for name in ["suboram/2", "client", "suboram/0", "suboram/1"] {
+            reg.link(name);
+        }
+        let names: Vec<String> = parse_stats(&reg.render()).into_iter().map(|l| l.link).collect();
+        assert_eq!(names, ["client", "suboram/0", "suboram/1", "suboram/2"]);
+    }
+
+    #[test]
+    fn registration_is_safe_under_concurrency() {
+        // Many threads hammering the same and distinct names must agree on
+        // one LinkStats per name and lose no counts.
+        let reg = StatsRegistry::new();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        reg.link("shared").sent(1);
+                        reg.link(&format!("own/{t}")).sent(i % 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let lines = parse_stats(&reg.render());
+        assert_eq!(lines.len(), 9); // "shared" + 8 per-thread links
+        let shared = lines.iter().find(|l| l.link == "shared").unwrap();
+        assert_eq!(shared.frames_sent, 8 * 200);
+        for t in 0..8 {
+            let own = lines.iter().find(|l| l.link == format!("own/{t}")).unwrap();
+            assert_eq!(own.frames_sent, 200);
+        }
+    }
+
+    #[test]
+    fn parser_tolerates_missing_unknown_and_malformed_fields() {
+        let text = "link=a frames_sent=3 future_field=9 bytes_sent=oops\n\
+                    role=suboram index=1 uptime_secs=5 epochs=2\n\
+                    garbage line with no equals\n\
+                    link=b\n";
+        let lines = parse_stats(text);
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].link, "a");
+        assert_eq!(lines[0].frames_sent, 3);
+        assert_eq!(lines[0].bytes_sent, 0); // malformed value defaults
+        assert_eq!(lines[1].link, "b");
+        assert_eq!(lines[1].frames_received, 0); // missing fields default
+        let header = parse_stats_header(text).unwrap();
+        assert_eq!(
+            header,
+            StatsHeader { role: "suboram".into(), index: 1, uptime_secs: 5, epochs: 2 }
+        );
+        assert_eq!(parse_stats_header("link=a frames_sent=1\n"), None);
+    }
+
+    #[test]
+    fn header_roundtrips() {
+        let h = StatsHeader { role: "loadbalancer".into(), index: 3, uptime_secs: 77, epochs: 41 };
+        assert_eq!(parse_stats_header(&h.render()), Some(h));
+    }
+
+    #[test]
+    fn publish_metrics_bridges_absolute_counts_as_deltas() {
+        let reg = StatsRegistry::new();
+        let link = reg.link("suboram/0");
+        link.sent(10);
+        link.sent(10);
+        let prom = MetricsRegistry::new();
+        reg.publish_metrics(&prom);
+        let text = prom.render_prometheus();
+        assert!(text.contains("snoopy_link_frames_sent_total{link=\"suboram/0\"} 2"));
+        assert!(text.contains("snoopy_link_bytes_sent_total{link=\"suboram/0\"} 20"));
+        // Re-publishing without traffic must not double-count; with traffic
+        // it catches up.
+        reg.publish_metrics(&prom);
+        assert!(prom
+            .render_prometheus()
+            .contains("snoopy_link_frames_sent_total{link=\"suboram/0\"} 2"));
+        link.received(5);
+        reg.publish_metrics(&prom);
+        let text = prom.render_prometheus();
+        assert!(text.contains("snoopy_link_frames_received_total{link=\"suboram/0\"} 1"));
+        assert!(text.contains("snoopy_link_bytes_received_total{link=\"suboram/0\"} 5"));
     }
 }

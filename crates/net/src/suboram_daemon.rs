@@ -16,12 +16,13 @@ use crate::checkpoint;
 use crate::frame::{read_frame, write_frame};
 use crate::manifest::Manifest;
 use crate::proto::{self, tag, Hello, Role};
-use crate::stats::{LinkStats, StatsRegistry};
+use crate::stats::{DaemonInfo, LinkStats, StatsRegistry};
 use snoopy_core::link::Link;
 use snoopy_core::transport::{run_suboram, SubEvent, SubOramNode, SubTransport};
 use snoopy_crypto::{Key256, Prg};
 use snoopy_lb::partition_objects;
 use snoopy_suboram::SubOram;
+use snoopy_telemetry::{metrics, trace, Public};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -87,7 +88,10 @@ pub fn run(
     if index >= manifest.suborams.len() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            format!("suboram index {index} out of range (manifest has {})", manifest.suborams.len()),
+            format!(
+                "suboram index {index} out of range (manifest has {})",
+                manifest.suborams.len()
+            ),
         ));
     }
     let num_lbs = manifest.load_balancers.len();
@@ -105,7 +109,7 @@ pub fn run(
         Some(path) => checkpoint::load(&ckpt_key, path, oram_key.clone(), manifest.lambda)?,
         None => None,
     };
-    let mut node = match recovered {
+    let node = match recovered {
         Some(node) => node,
         None => {
             let parts =
@@ -117,19 +121,22 @@ pub fn run(
             )
         }
     };
+    let mut node = node.with_index(index);
 
     let listener = TcpListener::bind(&manifest.suborams[index])?;
     let (events_tx, events_rx) = channel();
     let conns: ConnTable = Arc::new(Mutex::new((0..num_lbs).map(|_| None).collect()));
     {
-        let conns = conns.clone();
-        let events_tx = events_tx.clone();
-        let registry = registry.clone();
-        let manifest = manifest.clone();
-        let deploy = deploy.clone();
-        std::thread::spawn(move || {
-            accept_loop(listener, manifest, index, deploy, conns, events_tx, registry)
-        });
+        let ctx = AcceptCtx {
+            manifest: manifest.clone(),
+            index,
+            deploy: deploy.clone(),
+            conns: conns.clone(),
+            events_tx: events_tx.clone(),
+            registry: registry.clone(),
+            info: DaemonInfo::new("suboram", index as u64),
+        };
+        std::thread::spawn(move || accept_loop(listener, ctx));
     }
 
     let mut transport = TcpSubTransport { events: events_rx, conns };
@@ -137,21 +144,26 @@ pub fn run(
         if let Some(path) = &checkpoint_path {
             // Durability point: the checkpoint must land before any response
             // for this epoch escapes.
+            let seal_span = trace::span("checkpoint_seal");
             checkpoint::save(node, &ckpt_key, path).expect("checkpoint write failed");
+            metrics::stage_histogram("checkpoint_seal").observe(Public::timing(seal_span.finish()));
         }
     });
     Ok(())
 }
 
-fn accept_loop(
-    listener: TcpListener,
+/// Everything the accept loop needs about the daemon it serves.
+struct AcceptCtx {
     manifest: Manifest,
     index: usize,
     deploy: Key256,
     conns: ConnTable,
     events_tx: Sender<SubEvent>,
     registry: StatsRegistry,
-) {
+    info: DaemonInfo,
+}
+
+fn accept_loop(listener: TcpListener, ctx: AcceptCtx) {
     for stream in listener.incoming() {
         let Ok(mut stream) = stream else { continue };
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
@@ -161,20 +173,20 @@ fn accept_loop(
         match hello.role {
             Role::LoadBalancer => {
                 let lb = hello.index as usize;
-                if lb >= manifest.load_balancers.len() {
+                if lb >= ctx.manifest.load_balancers.len() {
                     continue;
                 }
-                let stats = registry.link(&format!("lb/{lb}"));
+                let stats = ctx.registry.link(&format!("lb/{lb}"));
                 let (batch_link, resp_link) = proto::suboram_session_links(
-                    &deploy,
+                    &ctx.deploy,
                     lb,
-                    index,
-                    manifest.suborams.len(),
+                    ctx.index,
+                    ctx.manifest.suborams.len(),
                     hello.session,
                 );
                 let Ok(write_half) = stream.try_clone() else { continue };
                 {
-                    let mut table = conns.lock().unwrap();
+                    let mut table = ctx.conns.lock().unwrap();
                     if let Some(old) = table[lb].take() {
                         // A replacement session: kill the stale connection.
                         let _ = old.stream.shutdown(std::net::Shutdown::Both);
@@ -187,27 +199,23 @@ fn accept_loop(
                         stats: stats.clone(),
                     });
                 }
-                let conns = conns.clone();
-                let events_tx = events_tx.clone();
-                let value_len = manifest.value_len;
-                std::thread::spawn(move || {
-                    lb_session_reader(
-                        stream,
-                        lb,
-                        hello.session,
-                        batch_link,
-                        value_len,
-                        conns,
-                        events_tx,
-                        stats,
-                    )
-                });
+                let session = LbSession {
+                    lb,
+                    session: hello.session,
+                    batch_link,
+                    value_len: ctx.manifest.value_len,
+                    stats,
+                };
+                let conns = ctx.conns.clone();
+                let events_tx = ctx.events_tx.clone();
+                std::thread::spawn(move || lb_session_reader(stream, session, conns, events_tx));
             }
             Role::Admin => {
-                let events_tx = events_tx.clone();
-                let registry = registry.clone();
+                let events_tx = ctx.events_tx.clone();
+                let registry = ctx.registry.clone();
+                let info = ctx.info;
                 std::thread::spawn(move || {
-                    admin_session(stream, registry, move || {
+                    admin_session(stream, registry, info, move || {
                         let _ = events_tx.send(SubEvent::Shutdown);
                     })
                 });
@@ -218,26 +226,31 @@ fn accept_loop(
     }
 }
 
-fn lb_session_reader(
-    mut stream: TcpStream,
+/// One accepted balancer session, as its reader thread sees it.
+struct LbSession {
     lb: usize,
     session: u64,
-    mut batch_link: Link,
+    batch_link: Link,
     value_len: usize,
+    stats: Arc<LinkStats>,
+}
+
+fn lb_session_reader(
+    mut stream: TcpStream,
+    mut session: LbSession,
     conns: ConnTable,
     events_tx: Sender<SubEvent>,
-    stats: Arc<LinkStats>,
 ) {
-    loop {
-        let Ok((t, body)) = read_frame(&mut stream) else { break };
-        stats.received(body.len());
+    let lb = session.lb;
+    while let Ok((t, body)) = read_frame(&mut stream) {
+        session.stats.received(body.len());
         if t != tag::BATCH {
             break;
         }
         let Some((epoch, sealed)) = proto::decode_epoch_sealed(&body) else { break };
         // A link failure (tamper/replay) kills the session; the balancer
         // redials with a fresh one.
-        let Ok(batch) = batch_link.open(&sealed, value_len) else { break };
+        let Ok(batch) = session.batch_link.open(&sealed, session.value_len) else { break };
         if events_tx.send(SubEvent::Batch { lb, epoch, batch }).is_err() {
             break;
         }
@@ -246,33 +259,54 @@ fn lb_session_reader(
     let mut table = conns.lock().unwrap();
     // Only clear the slot if it still belongs to this session (a newer
     // session may already have replaced it).
-    if table[lb].as_ref().is_some_and(|c| c.session == session) {
+    if table[lb].as_ref().is_some_and(|c| c.session == session.session) {
         table[lb] = None;
     }
 }
 
-/// Serves `stats`/`shutdown` on an admin connection. Shared by both daemon
-/// roles.
+/// Serves `stats`/`metrics`/`shutdown` on an admin connection. Shared by
+/// both daemon roles.
 pub(crate) fn admin_session(
     mut stream: TcpStream,
     registry: StatsRegistry,
+    info: DaemonInfo,
     shutdown: impl Fn() + Send + 'static,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     while let Ok((t, _body)) = read_frame(&mut stream) {
-        match t {
+        let rpc_span = trace::span("rpc");
+        let ok = match t {
             tag::STATS_REQ => {
-                if write_frame(&mut stream, tag::STATS_RESP, registry.render().as_bytes()).is_err()
-                {
-                    break;
-                }
+                let mut body = info.header().render();
+                body.push('\n');
+                body.push_str(&registry.render());
+                write_frame(&mut stream, tag::STATS_RESP, body.as_bytes()).is_ok()
+            }
+            tag::METRICS_REQ => {
+                let reg = metrics::global();
+                // Bridge link counters in at scrape time; everything else
+                // (epoch counters, stage histograms) is already live.
+                registry.publish_metrics(reg);
+                let daemon = format!("{}/{}", info.role, info.index);
+                reg.gauge_labeled(
+                    "snoopy_uptime_seconds",
+                    "seconds since this daemon started serving",
+                    Some(("daemon", &daemon)),
+                )
+                .set(Public::timing(info.started.elapsed().as_secs_f64()));
+                write_frame(&mut stream, tag::METRICS_RESP, reg.render_prometheus().as_bytes())
+                    .is_ok()
             }
             tag::SHUTDOWN => {
                 let _ = write_frame(&mut stream, tag::SHUTDOWN_ACK, b"");
                 shutdown();
-                break;
+                false
             }
-            _ => break,
+            _ => false,
+        };
+        metrics::stage_histogram("rpc").observe(Public::timing(rpc_span.finish()));
+        if !ok {
+            break;
         }
     }
 }

@@ -12,7 +12,9 @@
 use snoopy_core::{Snoopy, SnoopyConfig};
 use snoopy_enclave::wire::Request;
 use snoopy_net::manifest::Manifest;
-use snoopy_net::{fetch_stats, parse_stats, proto, shutdown_daemon, NetClient};
+use snoopy_net::{
+    fetch_metrics, fetch_stats, parse_stats, parse_stats_header, proto, shutdown_daemon, NetClient,
+};
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -29,7 +31,13 @@ struct Daemon {
 }
 
 impl Daemon {
-    fn spawn(role: &str, index: usize, manifest: &Path, ckpt: Option<&Path>, name: &'static str) -> Daemon {
+    fn spawn(
+        role: &str,
+        index: usize,
+        manifest: &Path,
+        ckpt: Option<&Path>,
+        name: &'static str,
+    ) -> Daemon {
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_snoopyd"));
         cmd.arg("--role")
             .arg(role)
@@ -93,6 +101,15 @@ fn wait_for_stats(addr: &str) -> String {
     }
 }
 
+/// Reads an unlabeled series' value out of a Prometheus exposition.
+fn prom_value(text: &str, name: &str) -> f64 {
+    text.lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("series {name} not found in exposition"))
+}
+
 /// The operation sequence both the cluster and the reference engine run:
 /// interleaved reads and writes over the whole id space, >100 ops.
 fn ops() -> Vec<(bool, u64, Vec<u8>)> {
@@ -150,7 +167,13 @@ fn multi_process_cluster_matches_reference_and_survives_kill() {
     let all_ops = ops();
     assert!(all_ops.len() >= 100);
     let kill_at = 40;
+    let mut first_scrape = String::new();
     for (i, (is_write, id, payload)) in all_ops.iter().enumerate() {
+        if i == 30 {
+            // First metrics scrape mid-run; a second after the loop checks
+            // the counters are monotone.
+            first_scrape = fetch_metrics(&addrs[0]).expect("metrics RPC");
+        }
         if i == kill_at {
             // SIGKILL one subORAM mid-run and restart it from its
             // checkpoint. In-flight epochs stall until the balancer's
@@ -174,9 +197,54 @@ fn multi_process_cluster_matches_reference_and_survives_kill() {
         assert_eq!(got, want[0].value, "op {i} diverged from the reference engine");
     }
 
+    // Metrics: the balancer's Prometheus exposition must carry the epoch
+    // counters, per-stage latency histograms, and per-link counters — and
+    // the counters must be monotone across the two scrapes.
+    let second_scrape = fetch_metrics(&addrs[0]).expect("metrics RPC");
+    for text in [&first_scrape, &second_scrape] {
+        assert!(text.contains("# TYPE snoopy_epochs_total counter"), "missing epochs counter");
+        assert!(text.contains("# TYPE snoopy_stage_seconds histogram"), "missing stage histogram");
+        for stage in ["lb_make", "sub_wait", "lb_match", "dial"] {
+            assert!(
+                text.contains(&format!("snoopy_stage_seconds_count{{stage=\"{stage}\"}}")),
+                "missing stage series {stage}"
+            );
+        }
+        assert!(
+            text.contains("snoopy_link_frames_sent_total{link=\"suboram/0\"}"),
+            "missing link counter series"
+        );
+    }
+    for name in ["snoopy_epochs_total", "snoopy_requests_total", "snoopy_batch_entries_total"] {
+        let first = prom_value(&first_scrape, name);
+        let second = prom_value(&second_scrape, name);
+        assert!(first > 0.0, "{name} zero at first scrape");
+        assert!(second >= first, "{name} went backwards: {first} -> {second}");
+    }
+    assert!(
+        prom_value(&second_scrape, "snoopy_requests_total")
+            > prom_value(&first_scrape, "snoopy_requests_total"),
+        "request counter did not advance between scrapes"
+    );
+    // The subORAM daemon exposes its own registry: scan and checkpoint
+    // stages plus its side of the links.
+    let sub_metrics = fetch_metrics(&addrs[1]).expect("suboram metrics RPC");
+    assert!(sub_metrics.contains("snoopy_stage_seconds_count{stage=\"suboram_scan\"}"));
+    assert!(sub_metrics.contains("snoopy_stage_seconds_count{stage=\"checkpoint_seal\"}"));
+    assert!(sub_metrics.contains("snoopy_link_frames_received_total{link=\"lb/0\"}"));
+    assert!(sub_metrics.contains("snoopy_uptime_seconds{daemon=\"suboram/0\"}"));
+
     // Stats: the balancer must account frames/bytes on both subORAM links
     // and at least one reconnect on the killed one.
-    let lb_stats = parse_stats(&fetch_stats(&addrs[0]).unwrap());
+    let lb_stats_text = fetch_stats(&addrs[0]).unwrap();
+    let lb_header = parse_stats_header(&lb_stats_text).expect("no stats header from balancer");
+    assert_eq!(lb_header.role, "loadbalancer");
+    assert_eq!(lb_header.index, 0);
+    assert!(lb_header.epochs > 0, "balancer header reports no epochs");
+    let sub_header = parse_stats_header(&fetch_stats(&addrs[1]).unwrap()).unwrap();
+    assert_eq!(sub_header.role, "suboram");
+    assert!(sub_header.epochs > 0, "subORAM header reports no epochs");
+    let lb_stats = parse_stats(&lb_stats_text);
     for sub in 0..2 {
         let line = lb_stats
             .iter()

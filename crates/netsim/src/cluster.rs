@@ -10,8 +10,11 @@
 
 use crate::costmodel::CostModel;
 use crate::workload::{bucket_arrivals, PoissonArrivals};
+use snoopy_telemetry::Tracer;
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// Which subORAM implementation the simulated cluster runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,13 +78,30 @@ enum Ev {
 pub struct ClusterSim {
     params: ClusterParams,
     model: CostModel,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl ClusterSim {
     /// Creates a simulator.
     pub fn new(params: ClusterParams, model: CostModel) -> ClusterSim {
         assert!(params.num_lbs > 0 && params.num_suborams > 0);
-        ClusterSim { params, model }
+        ClusterSim { params, model, tracer: None }
+    }
+
+    /// Attaches a tracer; count-based runs then emit stage spans on the
+    /// *simulated* timeline (`start_ns`/`dur_ns` are simulation time, not
+    /// wall clock), so a predicted deployment can be eyeballed in the same
+    /// Chrome-trace viewer as a real one. Balancer stages record as
+    /// tid `1 + lb`, subORAM service as tid `1001 + sub`.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> ClusterSim {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    fn trace_span(&self, name: String, tid: u64, start_ns: u64, end_ns: u64) {
+        if let Some(t) = &self.tracer {
+            t.record(Cow::Owned(name), tid, start_ns, end_ns.saturating_sub(start_ns));
+        }
     }
 
     /// Runs an open-loop Poisson workload at `rate_per_sec` and reports
@@ -96,7 +116,7 @@ impl ClusterSim {
         let p = &self.params;
         let num_epochs = (p.duration_ns / p.epoch_ns) as usize;
         let per_bucket_mean = rate_per_sec * p.epoch_ns as f64 / 1e9 / p.num_lbs as f64;
-        let mut prg = snoopy_crypto::Prg::from_seed(seed ^ 0xF16_9A);
+        let mut prg = snoopy_crypto::Prg::from_seed(seed ^ 0x000F_169A);
         let counts: Vec<Vec<u64>> = (0..num_epochs)
             .map(|_| (0..p.num_lbs).map(|_| sample_poisson(per_bucket_mean, &mut prg)).collect())
             .collect();
@@ -125,11 +145,12 @@ impl ClusterSim {
         let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut events: Vec<Ev> = Vec::new();
         let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Ev>, seq: &mut u64, t: u64, ev: Ev| {
-            events.push(ev);
-            heap.push(Reverse((t, *seq, events.len() - 1)));
-            *seq += 1;
-        };
+        let push =
+            |heap: &mut BinaryHeap<_>, events: &mut Vec<Ev>, seq: &mut u64, t: u64, ev: Ev| {
+                events.push(ev);
+                heap.push(Reverse((t, *seq, events.len() - 1)));
+                *seq += 1;
+            };
         for epoch in 0..num_epochs {
             let t = (epoch as u64 + 1) * p.epoch_ns;
             for lb in 0..p.num_lbs {
@@ -157,9 +178,16 @@ impl ClusterSim {
                     let start = now.max(lb_free[lb]);
                     let end = start + self.model.lb_make_batch_ns(r, s as u64) as u64;
                     lb_free[lb] = end;
+                    self.trace_span("epoch/lb_make".to_string(), 1 + lb as u64, start, end);
                     let xfer = self.model.batch_transfer_ns(b) as u64;
                     for sub in 0..s {
-                        push(&mut heap, &mut events, &mut seq, end + xfer, Ev::SubArrive { sub, lb, epoch, b });
+                        push(
+                            &mut heap,
+                            &mut events,
+                            &mut seq,
+                            end + xfer,
+                            Ev::SubArrive { sub, lb, epoch, b },
+                        );
                     }
                 }
                 Ev::SubArrive { sub, lb, epoch, b } => {
@@ -170,11 +198,23 @@ impl ClusterSim {
                     let start = now.max(sub_free[sub]);
                     let done = start + svc;
                     sub_free[sub] = done;
+                    self.trace_span(
+                        format!("epoch/suboram_scan/{sub}"),
+                        1001 + sub as u64,
+                        start,
+                        done,
+                    );
                     push(&mut heap, &mut events, &mut seq, done, Ev::SubDone { sub, lb, epoch, b });
                 }
                 Ev::SubDone { lb, epoch, b, .. } => {
                     let xfer = self.model.batch_transfer_ns(b) as u64;
-                    push(&mut heap, &mut events, &mut seq, now + xfer, Ev::RespArrive { lb, epoch });
+                    push(
+                        &mut heap,
+                        &mut events,
+                        &mut seq,
+                        now + xfer,
+                        Ev::RespArrive { lb, epoch },
+                    );
                 }
                 Ev::RespArrive { lb, epoch } => {
                     resp_count[lb][epoch] += 1;
@@ -183,6 +223,7 @@ impl ClusterSim {
                         let start = now.max(lb_free[lb]);
                         let end = start + self.model.lb_match_ns(r, s as u64) as u64;
                         lb_free[lb] = end;
+                        self.trace_span("epoch/lb_match".to_string(), 1 + lb as u64, start, end);
                         if end >= p.warmup_ns {
                             let window_start = epoch as u64 * p.epoch_ns;
                             completed_total += r;
@@ -243,11 +284,12 @@ impl ClusterSim {
         let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut events: Vec<Ev> = Vec::new();
         let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<_>, events: &mut Vec<Ev>, seq: &mut u64, t: u64, ev: Ev| {
-            events.push(ev);
-            heap.push(Reverse((t, *seq, events.len() - 1)));
-            *seq += 1;
-        };
+        let push =
+            |heap: &mut BinaryHeap<_>, events: &mut Vec<Ev>, seq: &mut u64, t: u64, ev: Ev| {
+                events.push(ev);
+                heap.push(Reverse((t, *seq, events.len() - 1)));
+                *seq += 1;
+            };
 
         for epoch in 0..num_epochs {
             let t = (epoch as u64 + 1) * p.epoch_ns;
@@ -277,7 +319,13 @@ impl ClusterSim {
                     lb_free[lb] = end;
                     let xfer = self.model.batch_transfer_ns(b) as u64;
                     for sub in 0..s {
-                        push(&mut heap, &mut events, &mut seq, end + xfer, Ev::SubArrive { sub, lb, epoch, b });
+                        push(
+                            &mut heap,
+                            &mut events,
+                            &mut seq,
+                            end + xfer,
+                            Ev::SubArrive { sub, lb, epoch, b },
+                        );
                     }
                 }
                 Ev::SubArrive { sub, lb, epoch, b } => {
@@ -292,7 +340,13 @@ impl ClusterSim {
                 }
                 Ev::SubDone { lb, epoch, b, .. } => {
                     let xfer = self.model.batch_transfer_ns(b) as u64;
-                    push(&mut heap, &mut events, &mut seq, now + xfer, Ev::RespArrive { lb, epoch });
+                    push(
+                        &mut heap,
+                        &mut events,
+                        &mut seq,
+                        now + xfer,
+                        Ev::RespArrive { lb, epoch },
+                    );
                 }
                 Ev::RespArrive { lb, epoch } => {
                     resp_count[lb][epoch] += 1;
@@ -440,8 +494,10 @@ mod tests {
         // With a partition that overflows the per-machine EPC, the subORAM
         // scan is the bottleneck and halving partitions helps.
         let m = CostModel::paper_calibrated();
-        let (t4, _) = ClusterSim::new(params(1, 4, 1 << 22, 200), m.clone()).max_throughput_under_slo(500.0, 3);
-        let (t8, _) = ClusterSim::new(params(1, 8, 1 << 22, 200), m).max_throughput_under_slo(500.0, 3);
+        let (t4, _) = ClusterSim::new(params(1, 4, 1 << 22, 200), m.clone())
+            .max_throughput_under_slo(500.0, 3);
+        let (t8, _) =
+            ClusterSim::new(params(1, 8, 1 << 22, 200), m).max_throughput_under_slo(500.0, 3);
         assert!(t8 > t4 * 1.2, "4 subORAMs: {t4}, 8 subORAMs: {t8}");
     }
 
@@ -451,8 +507,10 @@ mod tests {
         // bottleneck and a second balancer helps (the paper's boxed points
         // in Fig. 9a).
         let m = CostModel::paper_calibrated();
-        let (t1, _) = ClusterSim::new(params(1, 4, 1 << 18, 200), m.clone()).max_throughput_under_slo(1000.0, 3);
-        let (t2, _) = ClusterSim::new(params(2, 4, 1 << 18, 200), m).max_throughput_under_slo(1000.0, 3);
+        let (t1, _) = ClusterSim::new(params(1, 4, 1 << 18, 200), m.clone())
+            .max_throughput_under_slo(1000.0, 3);
+        let (t2, _) =
+            ClusterSim::new(params(2, 4, 1 << 18, 200), m).max_throughput_under_slo(1000.0, 3);
         assert!(t2 > t1 * 1.2, "1 LB: {t1}, 2 LBs: {t2}");
     }
 
@@ -476,6 +534,28 @@ mod tests {
         assert!(rel < 0.15, "fast {} vs exact {}", fast.mean_latency_ms, exact.mean_latency_ms);
         let tput_rel = (fast.throughput_rps - exact.throughput_rps).abs() / exact.throughput_rps;
         assert!(tput_rel < 0.15, "fast {} vs exact {}", fast.throughput_rps, exact.throughput_rps);
+    }
+
+    #[test]
+    fn tracer_records_simulated_stage_spans() {
+        let tracer = Arc::new(Tracer::new());
+        let sim = ClusterSim::new(params(1, 2, 1 << 16, 100), CostModel::paper_calibrated())
+            .with_tracer(tracer.clone());
+        sim.run_poisson(500.0, 1);
+        let (spans, _) = tracer.drain();
+        for name in
+            ["epoch/lb_make", "epoch/suboram_scan/0", "epoch/suboram_scan/1", "epoch/lb_match"]
+        {
+            assert!(spans.iter().any(|s| s.name == name), "missing simulated span {name}");
+        }
+        // Timestamps are *simulated* time: the first balancer stage starts at
+        // the first epoch close (epoch_ns = 100 ms), far beyond any wall
+        // clock the test itself consumed.
+        let first_make = spans.iter().find(|s| s.name == "epoch/lb_make").unwrap();
+        assert_eq!(first_make.start_ns, 100_000_000);
+        // Each scan happens after some batch generation finished.
+        let scan = spans.iter().find(|s| s.name.starts_with("epoch/suboram_scan")).unwrap();
+        assert!(scan.start_ns >= first_make.start_ns + first_make.dur_ns);
     }
 
     #[test]

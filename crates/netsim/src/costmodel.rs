@@ -64,8 +64,8 @@ impl CostModel {
             sub_obj_ns: 100.0,
             epc: EpcModel::default(),
             object_bytes: 160,
-            net_latency_ns: 250_000.0,  // 0.25 ms one way, same-region Azure
-            net_gbps: 8.0,              // effective goodput of the DCsv2 NICs
+            net_latency_ns: 250_000.0, // 0.25 ms one way, same-region Azure
+            net_gbps: 8.0,             // effective goodput of the DCsv2 NICs
             lambda: 128,
             oblix_access_ns: 1.0e9 / 1153.0, // 1,153 sequential reqs/s (§8.2)
             obladi_batch_ns: 500.0 / 6716.0 * 1.0e9, // 6,716 reqs/s at batch 500
@@ -119,7 +119,8 @@ impl CostModel {
         }
         let b = self.batch_size(r, s);
         let n = (r + s * b) as f64;
-        (self.lb_sort_ns * Self::sort_ops(n) + self.lb_scan_ns * n * (n.log2() + 2.0)) * self.lb_byte_scale()
+        (self.lb_sort_ns * Self::sort_ops(n) + self.lb_scan_ns * n * (n.log2() + 2.0))
+            * self.lb_byte_scale()
     }
 
     /// Load balancer, Fig. 6 pipeline: sort of `R + S·B` merged entries +
@@ -130,7 +131,8 @@ impl CostModel {
         }
         let b = self.batch_size(r, s);
         let n = (r + s * b) as f64;
-        (self.lb_sort_ns * Self::sort_ops(n) + self.lb_scan_ns * n * (n.log2() + 1.0)) * self.lb_byte_scale()
+        (self.lb_sort_ns * Self::sort_ops(n) + self.lb_scan_ns * n * (n.log2() + 1.0))
+            * self.lb_byte_scale()
     }
 
     /// Snoopy subORAM: table construction + one linear scan of the partition
@@ -145,7 +147,8 @@ impl CostModel {
         let lookup = self.lookup_cost(b) as f64;
         let scan = n_objects as f64 * (self.sub_obj_ns + self.sub_slot_ns * lookup) * scale;
         let bytes = n_objects * (8 + self.object_bytes);
-        let paging = self.epc.scan_ns(bytes, 0, true) - self.epc.pages(bytes) as f64 * self.epc.resident_page_scan_ns;
+        let paging = self.epc.scan_ns(bytes, 0, true)
+            - self.epc.pages(bytes) as f64 * self.epc.resident_page_scan_ns;
         build + scan + paging.max(0.0)
     }
 

@@ -159,9 +159,8 @@ mod tests {
         let total: usize = buckets.iter().flatten().map(|v| v.len()).sum();
         assert_eq!(total, arrivals.len());
         // Roughly balanced across balancers.
-        let per_lb: Vec<usize> = (0..3)
-            .map(|lb| buckets.iter().map(|e| e[lb].len()).sum())
-            .collect();
+        let per_lb: Vec<usize> =
+            (0..3).map(|lb| buckets.iter().map(|e| e[lb].len()).sum()).collect();
         let mean = total / 3;
         for c in per_lb {
             assert!((c as i64 - mean as i64).unsigned_abs() < (mean / 5) as u64, "{c} vs {mean}");

@@ -189,11 +189,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn reference_compact(vals: &[u64], keep: &[bool]) -> Vec<u64> {
-        vals.iter()
-            .zip(keep)
-            .filter(|(_, &k)| k)
-            .map(|(v, _)| *v)
-            .collect()
+        vals.iter().zip(keep).filter(|(_, &k)| k).map(|(v, _)| *v).collect()
     }
 
     fn run_ocompact(vals: &[u64], keep_bools: &[bool]) -> Vec<u64> {
@@ -293,7 +289,7 @@ mod tests {
             seed in any::<u64>(),
         ) {
             let n = vals.len();
-            let keepb: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1 || (i * 7 + seed as usize) % 3 == 0).collect();
+            let keepb: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1 || (i * 7 + seed as usize).is_multiple_of(3)).collect();
             let got = run_ocompact(&vals, &keepb);
             prop_assert_eq!(got, reference_compact(&vals, &keepb));
         }

@@ -64,7 +64,10 @@ impl Choice {
         Choice(self.0 ^ other.0)
     }
 
-    /// Logical NOT, branch-free.
+    /// Logical NOT, branch-free. Kept as an inherent method so it chains
+    /// like the rest of the combinator family (`a.and(b.not())`); the
+    /// `std::ops::Not` impl below provides the `!c` spelling too.
+    #[allow(clippy::should_implement_trait)]
     #[inline(always)]
     pub fn not(self) -> Choice {
         Choice(!self.0)
@@ -76,6 +79,15 @@ impl Choice {
     #[inline(always)]
     pub fn declassify(self) -> bool {
         self.0 != 0
+    }
+}
+
+impl std::ops::Not for Choice {
+    type Output = Choice;
+
+    #[inline(always)]
+    fn not(self) -> Choice {
+        Choice::not(self)
     }
 }
 
@@ -245,11 +257,7 @@ impl Cmov for Vec<u8> {
             b.copy_from_slice(&(bw ^ diff).to_le_bytes());
         }
         let mask8 = mask as u8;
-        for (a, b) in a_words
-            .into_remainder()
-            .iter_mut()
-            .zip(b_words.into_remainder().iter_mut())
-        {
+        for (a, b) in a_words.into_remainder().iter_mut().zip(b_words.into_remainder().iter_mut()) {
             let diff = mask8 & (*a ^ *b);
             *a ^= diff;
             *b ^= diff;

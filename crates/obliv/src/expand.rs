@@ -133,10 +133,8 @@ mod tests {
         let items = vec![11u64, 22, 33, 44];
         let targets = [9u64, 2, 13, 0];
         let mut expanded = oexpand(items.clone(), &targets, 16, &u64::MAX);
-        let mut keep: Vec<Choice> = expanded
-            .iter()
-            .map(|&x| ct_eq_u64(x, u64::MAX).not())
-            .collect();
+        let mut keep: Vec<Choice> =
+            expanded.iter().map(|&x| ct_eq_u64(x, u64::MAX).not()).collect();
         ocompact(&mut expanded, &mut keep);
         expanded.truncate(4);
         // Compaction is order-preserving over positions: sorted targets order.

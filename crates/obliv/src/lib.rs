@@ -49,8 +49,8 @@ pub mod sort;
 pub mod trace;
 
 pub use compact::{ocompact, ocompact_by_sort};
-pub use expand::oexpand;
 pub use ct::{ocmp_set, ocmp_swap, Choice, Cmov};
+pub use expand::oexpand;
 pub use shuffle::{oshuffle, osort_odd_even};
 pub use sort::{osort, osort_parallel};
 pub use trace::{Trace, TraceEvent};

@@ -131,7 +131,11 @@ pub fn osort_odd_even_u64(items: &mut [u64]) {
 /// Oblivious top-`k` selection: returns the `k` smallest elements in sorted
 /// order, via a full oblivious sort and (public-length) truncation. `O(n
 /// log² n)`; used by callers that must hide *which* elements were selected.
-pub fn oselect_smallest<T: Cmov + Clone>(items: &[T], k: usize, gt: &impl Fn(&T, &T) -> Choice) -> Vec<T> {
+pub fn oselect_smallest<T: Cmov + Clone>(
+    items: &[T],
+    k: usize,
+    gt: &impl Fn(&T, &T) -> Choice,
+) -> Vec<T> {
     let mut v = items.to_vec();
     osort_by(&mut v, gt);
     v.truncate(k.min(items.len()));

@@ -29,7 +29,13 @@ pub fn osort_by<T: Cmov>(items: &mut [T], gt: &impl Fn(&T, &T) -> Choice) {
     sort_rec(items, 0, n, true, gt);
 }
 
-fn sort_rec<T: Cmov>(items: &mut [T], lo: usize, n: usize, ascending: bool, gt: &impl Fn(&T, &T) -> Choice) {
+fn sort_rec<T: Cmov>(
+    items: &mut [T],
+    lo: usize,
+    n: usize,
+    ascending: bool,
+    gt: &impl Fn(&T, &T) -> Choice,
+) {
     if n > 1 {
         let m = n / 2;
         sort_rec(items, lo, m, !ascending, gt);
@@ -38,7 +44,13 @@ fn sort_rec<T: Cmov>(items: &mut [T], lo: usize, n: usize, ascending: bool, gt: 
     }
 }
 
-fn merge_rec<T: Cmov>(items: &mut [T], lo: usize, n: usize, ascending: bool, gt: &impl Fn(&T, &T) -> Choice) {
+fn merge_rec<T: Cmov>(
+    items: &mut [T],
+    lo: usize,
+    n: usize,
+    ascending: bool,
+    gt: &impl Fn(&T, &T) -> Choice,
+) {
     if n > 1 {
         let m = greatest_pow2_below(n);
         for i in lo..lo + n - m {
@@ -50,7 +62,13 @@ fn merge_rec<T: Cmov>(items: &mut [T], lo: usize, n: usize, ascending: bool, gt:
 }
 
 #[inline]
-fn compare_swap<T: Cmov>(items: &mut [T], i: usize, j: usize, ascending: bool, gt: &impl Fn(&T, &T) -> Choice) {
+fn compare_swap<T: Cmov>(
+    items: &mut [T],
+    i: usize,
+    j: usize,
+    ascending: bool,
+    gt: &impl Fn(&T, &T) -> Choice,
+) {
     trace::record(TraceEvent::Touch { region: 0x50, index: i });
     trace::record(TraceEvent::Touch { region: 0x50, index: j });
     let (head, tail) = items.split_at_mut(j);
@@ -206,7 +224,8 @@ mod tests {
     #[test]
     fn parallel_matches_sequential() {
         for n in [0usize, 1, 2, 100, 1023, 1024, 1025, 5000] {
-            let mut v: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+            let mut v: Vec<u64> =
+                (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
             let mut w = v.clone();
             osort(&mut v);
             osort_parallel(&mut w, &u64::ogt, 3);

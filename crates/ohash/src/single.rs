@@ -51,7 +51,11 @@ impl SingleTierTable {
 
     /// Builds the table (same oblivious placement as the two-tier table's
     /// tier 1, but overflow is a hard, negligible-probability failure).
-    pub fn construct(batch: Vec<Request>, key: &Key256, lambda: u32) -> Result<SingleTierTable, OHashError> {
+    pub fn construct(
+        batch: Vec<Request>,
+        key: &Key256,
+        lambda: u32,
+    ) -> Result<SingleTierTable, OHashError> {
         assert!(!batch.is_empty());
         let n = batch.len();
         let value_len = batch[0].value.len();
@@ -138,10 +142,7 @@ mod tests {
     const VLEN: usize = 16;
 
     fn batch_of(ids: &[u64]) -> Vec<Request> {
-        ids.iter()
-            .enumerate()
-            .map(|(i, &id)| Request::read(id, VLEN, 0, i as u64))
-            .collect()
+        ids.iter().enumerate().map(|(i, &id)| Request::read(id, VLEN, 0, i as u64)).collect()
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl std::fmt::Display for OHashError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             OHashError::DuplicateIds => write!(f, "batch contains duplicate object ids"),
-            OHashError::TableOverflow => write!(f, "hash table overflow (negligible-probability event)"),
+            OHashError::TableOverflow => {
+                write!(f, "hash table overflow (negligible-probability event)")
+            }
         }
     }
 }
@@ -97,7 +99,11 @@ fn filler(id: u64, value_len: usize) -> Request {
 impl OHashTable {
     /// Builds the table from a batch of distinct requests using fresh keys
     /// derived from `key` (the subORAM samples a new key per batch, §5).
-    pub fn construct(batch: Vec<Request>, key: &Key256, lambda: u32) -> Result<OHashTable, OHashError> {
+    pub fn construct(
+        batch: Vec<Request>,
+        key: &Key256,
+        lambda: u32,
+    ) -> Result<OHashTable, OHashError> {
         assert!(!batch.is_empty(), "batch must be non-empty");
         let n = batch.len();
         let value_len = batch[0].value.len();
@@ -248,11 +254,8 @@ impl OHashTable {
     pub fn merge_changed_from(&mut self, baseline: &OHashTable, other: &OHashTable) {
         assert_eq!(self.slots.len(), other.slots.len(), "tables must be congruent");
         assert_eq!(self.slots.len(), baseline.slots.len(), "baseline must be congruent");
-        for ((mine, base), theirs) in self
-            .slots
-            .iter_mut()
-            .zip(baseline.slots.iter())
-            .zip(other.slots.iter())
+        for ((mine, base), theirs) in
+            self.slots.iter_mut().zip(baseline.slots.iter()).zip(other.slots.iter())
         {
             let changed = snoopy_obliv::ct::ct_bytes_eq(&base.req.value, &theirs.req.value).not();
             mine.req.value.cmov(&theirs.req.value, changed);

@@ -20,11 +20,11 @@
 //! full the stash is, where the block went — is scan-shaped.
 
 use crate::Op;
+use snoopy_crypto::rng::Rng;
 use snoopy_crypto::Prg;
 use snoopy_obliv::ct::{ct_eq_u64, Choice, Cmov};
 use snoopy_obliv::impl_cmov_struct;
 use snoopy_obliv::trace::{self, TraceEvent};
-use snoopy_crypto::rng::Rng;
 
 /// Blocks per bucket.
 pub const Z: usize = 4;

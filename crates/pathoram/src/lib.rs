@@ -131,11 +131,7 @@ impl PathOram {
             }
         }
 
-        let old = self
-            .stash
-            .get(&addr)
-            .cloned()
-            .unwrap_or_else(|| vec![0u8; self.block_len]);
+        let old = self.stash.get(&addr).cloned().unwrap_or_else(|| vec![0u8; self.block_len]);
         if let (Op::Write, Some(data)) = (op, new_data) {
             let mut v = data.to_vec();
             v.resize(self.block_len, 0);

@@ -94,7 +94,13 @@ impl Plan {
 
 /// Checks Equations (1) and (2) for a candidate `(B, S, T)` at the required
 /// throughput. Returns true if the configuration sustains the load.
-pub fn feasible(req: &Requirements, model: &CostModel, num_lbs: usize, num_suborams: usize, epoch_ns: u64) -> bool {
+pub fn feasible(
+    req: &Requirements,
+    model: &CostModel,
+    num_lbs: usize,
+    num_suborams: usize,
+    epoch_ns: u64,
+) -> bool {
     let t = epoch_ns as f64;
     // Equation (2): L_sys <= 5T/2  ⇔  T <= 2·L_sys/5.
     if t > req.max_latency_ms * 1e6 * 2.0 / 5.0 {
@@ -117,7 +123,12 @@ pub fn feasible(req: &Requirements, model: &CostModel, num_lbs: usize, num_subor
 
 /// Searches for the cheapest feasible configuration (Equation (3) objective).
 /// Returns `None` if nothing within `max_machines` works.
-pub fn plan(req: &Requirements, model: &CostModel, prices: &Prices, max_machines: usize) -> Option<Plan> {
+pub fn plan(
+    req: &Requirements,
+    model: &CostModel,
+    prices: &Prices,
+    max_machines: usize,
+) -> Option<Plan> {
     let t_max = (req.max_latency_ms * 1e6 * 2.0 / 5.0) as u64;
     if t_max == 0 {
         return None;
@@ -187,10 +198,7 @@ mod tests {
         let prices = Prices::default();
         let small = plan(&req(40_000.0, 1000.0, 10_000), &m, &prices, 40).unwrap();
         let large = plan(&req(40_000.0, 1000.0, 1_000_000), &m, &prices, 40).unwrap();
-        assert!(
-            large.num_suborams > small.num_suborams,
-            "small: {small:?}, large: {large:?}"
-        );
+        assert!(large.num_suborams > small.num_suborams, "small: {small:?}, large: {large:?}");
     }
 
     #[test]

@@ -59,7 +59,11 @@ struct Bucket {
 impl Bucket {
     fn fresh(reals: Vec<Block>) -> Bucket {
         debug_assert!(reals.len() <= Z);
-        Bucket { reals: reals.into_iter().map(|b| (b, true)).collect(), dummies_left: S, accesses: 0 }
+        Bucket {
+            reals: reals.into_iter().map(|b| (b, true)).collect(),
+            dummies_left: S,
+            accesses: 0,
+        }
     }
 
     fn valid_reals(&mut self) -> Vec<Block> {
@@ -192,11 +196,7 @@ impl RingOram {
             self.stash.insert(blk.addr, blk.data);
         }
 
-        let old = self
-            .stash
-            .get(&addr)
-            .cloned()
-            .unwrap_or_else(|| vec![0u8; self.block_len]);
+        let old = self.stash.get(&addr).cloned().unwrap_or_else(|| vec![0u8; self.block_len]);
         let stored = if let (Op::Write, Some(data)) = (op, new_data) {
             let mut v = data.to_vec();
             v.resize(self.block_len, 0);
@@ -215,7 +215,7 @@ impl RingOram {
 
         // EvictPath every A accesses, reverse-lexicographic leaf order.
         self.round += 1;
-        if self.round % A as u64 == 0 {
+        if self.round.is_multiple_of(A as u64) {
             let g = self.evict_counter;
             self.evict_counter += 1;
             let leaf = reverse_bits(g % self.leaves, self.levels);

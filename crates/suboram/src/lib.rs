@@ -35,6 +35,8 @@ use snoopy_enclave::wire::{Request, StoredObject, REAL_ID_LIMIT};
 use snoopy_obliv::ct::{ct_eq_u64, Cmov};
 use snoopy_obliv::trace::{self, TraceEvent};
 use snoopy_ohash::{OHashError, OHashTable};
+// Memory-touch trace vs. wall-clock spans: see the note in `snoopy-lb`.
+use snoopy_telemetry::trace as telem;
 
 /// Errors from batch processing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,7 +120,12 @@ pub struct SubOram {
 impl SubOram {
     /// Creates a subORAM holding `objects` in enclave memory. All object ids
     /// must be below [`REAL_ID_LIMIT`] and all values share `value_len`.
-    pub fn new_in_enclave(objects: Vec<StoredObject>, value_len: usize, root_key: Key256, lambda: u32) -> SubOram {
+    pub fn new_in_enclave(
+        objects: Vec<StoredObject>,
+        value_len: usize,
+        root_key: Key256,
+        lambda: u32,
+    ) -> SubOram {
         for o in &objects {
             assert!(o.id < REAL_ID_LIMIT, "object id {} in reserved namespace", o.id);
             assert_eq!(o.value.len(), value_len, "object sizes are public and fixed");
@@ -135,7 +142,12 @@ impl SubOram {
     }
 
     /// Creates a subORAM whose partition lives sealed in untrusted memory.
-    pub fn new_external(objects: Vec<StoredObject>, value_len: usize, root_key: Key256, lambda: u32) -> SubOram {
+    pub fn new_external(
+        objects: Vec<StoredObject>,
+        value_len: usize,
+        root_key: Key256,
+        lambda: u32,
+    ) -> SubOram {
         let count = objects.len();
         let block_len = 8 + value_len;
         let mut store = ExternalStore::new(&root_key.derive(b"suboram-external"), count, block_len);
@@ -184,20 +196,22 @@ impl SubOram {
             return Err(SubOramError::EmptyBatch);
         }
         trace::record(TraceEvent::Phase(0x534f)); // "SO" batch marker
-        // Fresh key per batch (§5): unlinks bucket occupancy across batches.
+                                                  // Fresh key per batch (§5): unlinks bucket occupancy across batches.
         let batch_key = self.root_key.derive(&self.batch_counter.to_le_bytes());
         self.batch_counter += 1;
 
+        let build_span = telem::span("epoch/suboram_scan/ohash_build");
         let mut table = OHashTable::construct(batch, &batch_key, self.lambda)?;
+        drop(build_span);
 
         // Linear scan of the partition.
+        let _scan_span = telem::span("epoch/suboram_scan/linear_scan");
         match &mut self.storage {
             Storage::InEnclave(objects) => {
                 for obj in objects.iter_mut() {
                     scan_step(obj, &mut table, &mut self.meter);
                 }
-                self.meter
-                    .record_scan(&self.epc, (objects.len() * (8 + self.value_len)) as u64, 0);
+                self.meter.record_scan(&self.epc, (objects.len() * (8 + self.value_len)) as u64, 0);
             }
             Storage::External { store, count } => {
                 let value_len = self.value_len;
@@ -268,8 +282,7 @@ impl SubOram {
                 tables.push(local);
             }
         });
-        self.meter
-            .record_scan(&self.epc, (objects.len() * (8 + self.value_len)) as u64, 0);
+        self.meter.record_scan(&self.epc, (objects.len() * (8 + self.value_len)) as u64, 0);
 
         // Merge: each request slot was mutated in at most one copy; fold the
         // changed versions (relative to the pristine table) back obliviously.
@@ -284,7 +297,9 @@ impl SubOram {
     /// Not part of the oblivious interface.
     pub fn peek(&self, id: u64) -> Option<Vec<u8>> {
         match &self.storage {
-            Storage::InEnclave(objects) => objects.iter().find(|o| o.id == id).map(|o| o.value.clone()),
+            Storage::InEnclave(objects) => {
+                objects.iter().find(|o| o.id == id).map(|o| o.value.clone())
+            }
             Storage::External { store, count } => {
                 for i in 0..*count {
                     let plain = store.get(i).ok()?;
@@ -395,9 +410,7 @@ mod tests {
     #[test]
     fn writes_apply_and_return_prewrite_value() {
         let mut s = suboram(50);
-        let out = s
-            .batch_access(vec![Request::write(7, &[0xAB; 4], VLEN, 1, 0)])
-            .unwrap();
+        let out = s.batch_access(vec![Request::write(7, &[0xAB; 4], VLEN, 1, 0)]).unwrap();
         assert_eq!(out[0].value, val(7), "write response carries the pre-write value");
         assert_eq!(s.peek(7).unwrap(), val(0xAB));
         // A later read sees the write.
@@ -483,7 +496,10 @@ mod tests {
             v.sort_by_key(|r| r.id);
             v
         };
-        assert_eq!(sort_out(a.batch_access(batch()).unwrap()), sort_out(b.batch_access(batch()).unwrap()));
+        assert_eq!(
+            sort_out(a.batch_access(batch()).unwrap()),
+            sort_out(b.batch_access(batch()).unwrap())
+        );
         assert_eq!(a.peek(10), b.peek(10));
         assert_eq!(a.peek(299), b.peek(299));
     }

@@ -1,0 +1,337 @@
+//! A minimal JSON parser and a Chrome `trace_event` validator.
+//!
+//! The workspace builds with zero external dependencies, so the tests that
+//! assert "a trace dump loads as valid Chrome trace_event JSON" need their
+//! own reader. [`Json::parse`] handles the full JSON grammar (objects,
+//! arrays, strings with escapes, numbers, booleans, null) — enough to load
+//! anything [`crate::trace::chrome_trace_json`] emits and plenty for config
+//! fixtures. [`parse_chrome_trace`] then checks the trace-event shape and
+//! returns the events for structural assertions (nesting, ordering).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (parsed as f64).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. BTreeMap: deterministic iteration for tests.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (rejects trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field access.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek().ok_or("unterminated string")? {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| "bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for our dumps;
+                            // map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// One validated trace event (`ph == "X"`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChromeEvent {
+    /// Span name.
+    pub name: String,
+    /// Thread id.
+    pub tid: u64,
+    /// Start, microseconds.
+    pub ts: f64,
+    /// Duration, microseconds.
+    pub dur: f64,
+}
+
+impl ChromeEvent {
+    /// Whether `other` lies strictly within this event's interval (same
+    /// thread) — Chrome's nesting criterion for complete events.
+    pub fn contains(&self, other: &ChromeEvent) -> bool {
+        self.tid == other.tid && self.ts <= other.ts && self.ts + self.dur >= other.ts + other.dur
+    }
+}
+
+/// Parses and validates a Chrome `trace_event` "JSON object format" dump:
+/// a top-level object with a `traceEvents` array whose entries are complete
+/// (`ph: "X"`) events carrying `name`/`tid`/`ts`/`dur`. Returns the events
+/// in file order.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<ChromeEvent>, String> {
+    let doc = Json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents key")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    let mut out = Vec::with_capacity(events.len());
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or(format!("event {i}: missing ph"))?;
+        if ph != "X" {
+            return Err(format!("event {i}: unsupported phase '{ph}'"));
+        }
+        let name =
+            ev.get("name").and_then(Json::as_str).ok_or(format!("event {i}: missing name"))?;
+        let tid = ev.get("tid").and_then(Json::as_f64).ok_or(format!("event {i}: missing tid"))?;
+        let ts = ev.get("ts").and_then(Json::as_f64).ok_or(format!("event {i}: missing ts"))?;
+        let dur = ev.get("dur").and_then(Json::as_f64).ok_or(format!("event {i}: missing dur"))?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i}: negative ts/dur"));
+        }
+        out.push(ChromeEvent { name: name.to_string(), tid: tid as u64, ts, dur });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{chrome_trace_json, SpanRecord};
+    use std::borrow::Cow;
+
+    #[test]
+    fn json_roundtrip_basics() {
+        let v = Json::parse(r#"{"a": [1, -2.5, "x\ny", true, null], "b": {}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 5);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_str(), Some("x\ny"));
+        assert_eq!(v.get("b"), Some(&Json::Obj(BTreeMap::new())));
+        assert!(Json::parse("{]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse(r#"{"a":}"#).is_err());
+    }
+
+    #[test]
+    fn tracer_output_validates() {
+        let spans = vec![
+            SpanRecord { name: Cow::Borrowed("epoch"), tid: 1, start_ns: 0, dur_ns: 10_000 },
+            SpanRecord {
+                name: Cow::Borrowed("epoch/lb_make"),
+                tid: 1,
+                start_ns: 1_000,
+                dur_ns: 2_000,
+            },
+        ];
+        let events = parse_chrome_trace(&chrome_trace_json(&spans)).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "epoch");
+        assert!(events[0].contains(&events[1]));
+        assert!(!events[1].contains(&events[0]));
+    }
+
+    #[test]
+    fn rejects_non_trace_documents() {
+        assert!(parse_chrome_trace("[]").is_err());
+        assert!(parse_chrome_trace(r#"{"traceEvents": [{"ph": "B"}]}"#).is_err());
+        assert!(parse_chrome_trace(r#"{"traceEvents": 3}"#).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Log-linear (HDR-style) histograms for latency distributions.
+//!
+//! Evaluation of epoch-batched oblivious stores (this paper's §7, Obladi's
+//! tuning methodology) is driven by per-phase latency *percentiles*, not
+//! means: a single slow subORAM scan stalls the whole epoch. A
+//! [`LogHistogram`] records `u64` values (nanoseconds, by convention) into
+//! buckets whose width grows geometrically — each power-of-two range is
+//! split into [`SUBBUCKETS`] linear sub-buckets — so relative error is
+//! bounded (< 1/SUBBUCKETS ≈ 6%) across the full range from nanoseconds to
+//! hours while the whole histogram stays a few KiB of atomics.
+//!
+//! Recording is a single atomic increment (plus two for sum/count and a CAS
+//! loop for max), so it is safe to share one histogram across all the
+//! threads of a deployment plane and cheap enough for per-epoch hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power of two. 16 gives < 6.25% relative error.
+pub const SUBBUCKETS: usize = 16;
+
+const SUB_BITS: u32 = SUBBUCKETS.trailing_zeros(); // 4
+/// Octave 0 holds the first SUBBUCKETS unit-width buckets (values below
+/// 2^SUB_BITS); octaves 1..=60 cover msb positions SUB_BITS..=63.
+const OCTAVES: usize = 64 - SUB_BITS as usize + 1; // 61
+const NUM_BUCKETS: usize = SUBBUCKETS * OCTAVES;
+
+/// Maps a value to its bucket index.
+fn bucket_of(v: u64) -> usize {
+    if v < SUBBUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = (v >> (msb - SUB_BITS)) as usize & (SUBBUCKETS - 1);
+    octave * SUBBUCKETS + sub
+}
+
+/// The smallest value outside bucket `i` (exclusive upper bound is
+/// `bucket_top(i) + 1`; we report the inclusive top).
+fn bucket_top(i: usize) -> u64 {
+    let octave = i / SUBBUCKETS;
+    let sub = (i % SUBBUCKETS) as u64;
+    if octave == 0 {
+        return sub;
+    }
+    let shift = octave as u32 - 1;
+    // u128 intermediate: the topmost octave's top would overflow u64.
+    let top = (((SUBBUCKETS as u128 + sub as u128 + 1) << shift) - 1).min(u64::MAX as u128);
+    top as u64
+}
+
+/// A concurrent log-linear histogram of `u64` samples.
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Clone for LogHistogram {
+    fn clone(&self) -> LogHistogram {
+        let out = LogHistogram::default();
+        for (dst, src) in out.buckets.iter().zip(self.buckets.iter()) {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        out.count.store(self.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        out.sum.store(self.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        out.max.store(self.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        out
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("LogHistogram")
+            .field("count", &s.count)
+            .field("p50", &s.p50())
+            .field("p99", &s.p99())
+            .field("max", &s.max)
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` identical samples (weighted recording, e.g. from a
+    /// simulator collapsing identical arrivals).
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// A consistent-enough point-in-time copy (individual loads are relaxed;
+    /// concurrent recording may skew totals by in-flight samples).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Folds another histogram's counts into this one.
+    pub fn absorb(&self, other: &LogHistogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = src.load(Ordering::Relaxed);
+            if v != 0 {
+                dst.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// An immutable snapshot of a [`LogHistogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Largest sample recorded (exact, not bucketed).
+    pub max: u64,
+    /// Per-bucket counts, log-linear layout.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the inclusive top of the
+    /// bucket containing the `ceil(q·count)`-th sample (0 if empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Never report beyond the true max.
+                return bucket_top(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, cumulative_count)`
+    /// pairs — exactly the shape a Prometheus histogram exposition needs.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                cum += c;
+                out.push((bucket_top(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = LogHistogram::new();
+        for v in 0..SUBBUCKETS as u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, SUBBUCKETS as u64);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.max, SUBBUCKETS as u64 - 1);
+        for v in 0..SUBBUCKETS as u64 {
+            assert_eq!(bucket_top(bucket_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_tops_bound_their_members() {
+        // Every value's bucket top is >= the value and within ~6.25% of it.
+        for shift in 0..60 {
+            for off in [0u64, 1, 7] {
+                let v = (1u64 << shift).saturating_add(off * (1 << shift) / 8);
+                let top = bucket_top(bucket_of(v));
+                assert!(top >= v, "top {top} < v {v}");
+                assert!(
+                    (top - v) as f64 <= v as f64 / SUBBUCKETS as f64 + 1.0,
+                    "top {top} too far above v {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_partition_monotonically() {
+        // Bucket index is monotone in the value and tops are strictly
+        // increasing across consecutive distinct buckets.
+        let mut prev_idx = 0;
+        let mut prev_top = 0;
+        for v in (0..1_000_000u64).step_by(997) {
+            let i = bucket_of(v);
+            assert!(i >= prev_idx);
+            if i != prev_idx {
+                let t = bucket_top(i);
+                assert!(t > prev_top);
+                prev_idx = i;
+                prev_top = t;
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_of_uniform_range() {
+        let h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10_000);
+        let p50 = s.p50();
+        assert!((4_700..=5_300).contains(&p50), "p50 {p50}");
+        let p99 = s.p99();
+        assert!((9_300..=10_000).contains(&p99), "p99 {p99}");
+        assert_eq!(s.max, 10_000);
+        assert!((s.mean() - 5_000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn weighted_and_absorbed_counts() {
+        let a = LogHistogram::new();
+        a.record_n(100, 5);
+        let b = LogHistogram::new();
+        b.record_n(200, 5);
+        a.absorb(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, 200);
+        assert!(s.p50() >= 100 && s.p50() < 110);
+        assert!(s.p99() >= 200);
+        let cum = s.cumulative_buckets();
+        assert_eq!(cum.len(), 2);
+        assert_eq!(cum[1].1, 10);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count, 8000);
+    }
+}

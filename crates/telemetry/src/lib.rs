@@ -1,0 +1,42 @@
+//! snoopy-telemetry: leakage-audited observability for the whole cluster.
+//!
+//! Snoopy's evaluation lives on knowing where epoch time goes — balancer
+//! batch assembly vs. subORAM linear scans vs. response matching — but
+//! unlike an ordinary system, Snoopy may only *export* quantities that are
+//! public under the paper's leakage definition (§2.1): configuration,
+//! request volume `R`, functions of public values like the batch size
+//! `f(R, S)`, wire-observable counts, and the timing of data-independent
+//! code. This crate provides the telemetry plane and makes that restriction
+//! structural:
+//!
+//! * [`public`] — the [`public::Public`] witness type: the only doorway
+//!   into the exported-metrics plane, constructible only for provably
+//!   public provenances. [`public::Secret`] values cannot be exported (it
+//!   doesn't even compile — see the module's `compile_fail` doctests).
+//! * [`hist`] — log-linear (HDR-style) latency histograms with
+//!   p50/p90/p99/max snapshots; a few KiB of atomics each.
+//! * [`trace`] — epoch-scoped spans in per-thread ring buffers, drainable
+//!   as Chrome `trace_event` JSON for flamegraph-style inspection.
+//! * [`metrics`] — the registry: counters/gauges/histograms keyed by
+//!   `(name, label)` with a Prometheus text exposition and a provenance
+//!   audit; [`metrics::global`] is the process-wide instance every
+//!   deployment plane records into.
+//! * [`chrome`] — a dependency-free JSON parser and Chrome-trace validator
+//!   used by the acceptance tests.
+//!
+//! Zero dependencies, `std` only: the workspace builds with no network
+//! access and the telemetry plane must not change that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod hist;
+pub mod metrics;
+pub mod public;
+pub mod trace;
+
+pub use hist::{HistogramSnapshot, LogHistogram};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use public::{Provenance, Public, Secret};
+pub use trace::{chrome_trace_json, span, tracer, SpanRecord, Tracer};

@@ -1,0 +1,235 @@
+//! The leakage boundary, as a type.
+//!
+//! Snoopy's security argument (§2.1 of the paper) permits the adversary to
+//! learn only *public* quantities: the deployment configuration, the number
+//! of requests `R` arriving each epoch (traffic volume is observable on the
+//! wire anyway), anything computable from those (`f(R, S)`, batch sizes,
+//! padding counts derived as `batch − min(R, batch)`), counts of entries
+//! actually sent over links, and the wall-clock timing of *data-independent*
+//! code (oblivious code runs in time that depends only on public shapes).
+//!
+//! Everything else — which requests were duplicates, the post-deduplication
+//! dummy count, which object a request touched, key material — is secret and
+//! must never reach an exported metric, log line, or trace span.
+//!
+//! This module makes that boundary a compile-time artifact:
+//!
+//! * [`Public<T>`] witnesses that a value is public. Its only constructors
+//!   are for the provably public provenances above; the export surface
+//!   ([`crate::metrics`]) accepts *only* `Public` values.
+//! * [`Secret<T>`] wraps a secret-derived value. It deliberately has **no
+//!   accessor** returning the inner value and no conversion to `Public`, so
+//!   a secret can be carried around and scrubbed but never exported.
+//!
+//! Trying to export a secret does not compile:
+//!
+//! ```compile_fail
+//! use snoopy_telemetry::public::{Public, Secret};
+//!
+//! // The post-dedup dummy count would reveal how many requests were
+//! // duplicates — Theorem 3's batch sizes are chosen so it never leaks.
+//! let post_dedup_dummies: Secret<u64> = Secret::new(3);
+//!
+//! // There is no way out of a Secret: no getter, no Into, no Deref.
+//! let leaked: Public<u64> = Public::config(post_dedup_dummies.into_inner());
+//! ```
+//!
+//! ```compile_fail
+//! use snoopy_telemetry::metrics::MetricsRegistry;
+//! use snoopy_telemetry::public::Secret;
+//!
+//! let registry = MetricsRegistry::new();
+//! let post_dedup_dummies: Secret<u64> = Secret::new(3);
+//! // Counter::add only accepts Public<u64>; a Secret is not one.
+//! registry.counter("snoopy_dummies_total", "post-dedup dummies").add(post_dedup_dummies);
+//! ```
+
+/// Where a public value's publicness comes from. Recorded on every exported
+/// series so `MetricsRegistry::audit` can list, per metric, the argument for
+/// why exporting it is safe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Provenance {
+    /// Deployment configuration: machine counts, object sizes, λ, epoch
+    /// length. Chosen before any secret exists.
+    Config,
+    /// Request volume `R` (or a per-balancer share of it). Arrival counts
+    /// are visible to the network adversary by assumption.
+    RequestVolume,
+    /// Quantities observable on the wire: frames, bytes, reconnects, epoch
+    /// boundaries, counts of entries actually sent.
+    WireObservable,
+    /// Wall-clock timing of data-independent (oblivious) code, whose
+    /// duration is a function of public shapes only.
+    PublicTiming,
+    /// A pure function of other public values.
+    Derived,
+}
+
+impl Provenance {
+    /// Stable label for renderings and audits.
+    pub fn label(self) -> &'static str {
+        match self {
+            Provenance::Config => "config",
+            Provenance::RequestVolume => "request_volume",
+            Provenance::WireObservable => "wire_observable",
+            Provenance::PublicTiming => "public_timing",
+            Provenance::Derived => "derived",
+        }
+    }
+
+    pub(crate) fn bit(self) -> u8 {
+        match self {
+            Provenance::Config => 1,
+            Provenance::RequestVolume => 1 << 1,
+            Provenance::WireObservable => 1 << 2,
+            Provenance::PublicTiming => 1 << 3,
+            Provenance::Derived => 1 << 4,
+        }
+    }
+
+    pub(crate) fn from_mask(mask: u8) -> Vec<Provenance> {
+        [
+            Provenance::Config,
+            Provenance::RequestVolume,
+            Provenance::WireObservable,
+            Provenance::PublicTiming,
+            Provenance::Derived,
+        ]
+        .into_iter()
+        .filter(|p| mask & p.bit() != 0)
+        .collect()
+    }
+}
+
+/// A value that is public under §2.1's leakage definition, together with the
+/// reason it is public. The only way into the exported-metrics plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Public<T> {
+    value: T,
+    provenance: Provenance,
+}
+
+impl<T> Public<T> {
+    /// Witnesses a deployment-configuration value.
+    pub fn config(value: T) -> Public<T> {
+        Public { value, provenance: Provenance::Config }
+    }
+
+    /// Witnesses a request-volume quantity (`R`, or a function of it the
+    /// caller computed before wrapping — prefer [`Public::map`] for that).
+    pub fn request_volume(value: T) -> Public<T> {
+        Public { value, provenance: Provenance::RequestVolume }
+    }
+
+    /// Witnesses a wire-observable quantity: frames, payload bytes,
+    /// reconnects, epochs, entries actually sent to a subORAM.
+    pub fn wire_observable(value: T) -> Public<T> {
+        Public { value, provenance: Provenance::WireObservable }
+    }
+
+    /// Witnesses the measured duration of data-independent code. The caller
+    /// asserts the timed region is oblivious (its running time depends only
+    /// on public shapes); every span in this workspace's instrumented
+    /// pipelines is over such a region.
+    pub fn timing(value: T) -> Public<T> {
+        Public { value, provenance: Provenance::PublicTiming }
+    }
+
+    /// Replaces the value while keeping this witness's provenance. For
+    /// constants justified by the same argument as the witness itself —
+    /// e.g. turning a `Public<()>` "one more frame happened" witness into
+    /// the unit increment `1` ([`crate::metrics::Counter::inc`]).
+    pub fn carry<U>(self, value: U) -> Public<U> {
+        Public { value, provenance: self.provenance }
+    }
+
+    /// A pure function of a public value is public.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Public<U> {
+        Public { value: f(self.value), provenance: Provenance::Derived }
+    }
+
+    /// A pure function of two public values is public.
+    pub fn zip_with<U, V>(self, other: Public<U>, f: impl FnOnce(T, U) -> V) -> Public<V> {
+        Public { value: f(self.value, other.value), provenance: Provenance::Derived }
+    }
+
+    /// The witnessed value.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Consumes the witness.
+    pub fn into_value(self) -> T {
+        self.value
+    }
+
+    /// Why this value is public.
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+}
+
+/// A secret-derived value. Exists so code can *hold* secrets near the
+/// telemetry layer (e.g. to count them into a [`Secret`] accumulator for an
+/// in-enclave debugging assertion) without any path to exporting them: there
+/// is no accessor, no `Deref`, no conversion to [`Public`], and the `Debug`
+/// impl redacts.
+pub struct Secret<T> {
+    value: T,
+}
+
+impl<T> Secret<T> {
+    /// Wraps a secret.
+    pub fn new(value: T) -> Secret<T> {
+        Secret { value }
+    }
+
+    /// Secrets may be transformed — the result is still secret.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Secret<U> {
+        Secret { value: f(self.value) }
+    }
+
+    /// Folds another secret in; the combination is still secret.
+    pub fn zip_with<U, V>(self, other: Secret<U>, f: impl FnOnce(T, U) -> V) -> Secret<V> {
+        Secret { value: f(self.value, other.value) }
+    }
+
+    /// Destroys the secret without revealing it.
+    pub fn scrub(self) {
+        drop(self.value);
+    }
+}
+
+impl<T> std::fmt::Debug for Secret<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Secret(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn provenance_tracks_through_derivation() {
+        let r = Public::request_volume(100usize);
+        let s = Public::config(4usize);
+        let per = r.zip_with(s, |r, s| r / s);
+        assert_eq!(*per.value(), 25);
+        assert_eq!(per.provenance(), Provenance::Derived);
+        assert_eq!(Public::timing(1u64).provenance(), Provenance::PublicTiming);
+    }
+
+    #[test]
+    fn provenance_mask_roundtrip() {
+        let mask = Provenance::Config.bit() | Provenance::PublicTiming.bit();
+        assert_eq!(Provenance::from_mask(mask), vec![Provenance::Config, Provenance::PublicTiming]);
+    }
+
+    #[test]
+    fn secret_debug_redacts() {
+        let s = Secret::new(1234u64).map(|v| v * 2);
+        assert_eq!(format!("{s:?}"), "Secret(<redacted>)");
+        s.scrub();
+    }
+}

@@ -1,0 +1,369 @@
+//! Epoch-scoped structured tracing with Chrome `trace_event` export.
+//!
+//! A [`span`] measures one stage of the epoch pipeline (`epoch/lb_make`,
+//! `epoch/suboram_scan/<i>`, `epoch/lb_match`, net-layer `dial`/`rpc`/
+//! `checkpoint_seal`, …). Completed spans land in a **per-thread ring
+//! buffer**: recording takes one uncontended `Mutex` lock on the current
+//! thread's own ring (contended only while a drain is snapshotting it), so
+//! the hot path costs a clock read and a few stores. Rings are bounded —
+//! old spans are overwritten, so an always-on tracer in a long-running
+//! `snoopyd` uses constant memory.
+//!
+//! [`Tracer::drain`] collects every thread's completed spans, oldest first.
+//! [`chrome_trace_json`] renders them in Chrome's `trace_event` JSON format
+//! (load in `chrome://tracing`, Perfetto, or Speedscope for a flamegraph of
+//! where the epoch went).
+//!
+//! **Leakage**: span names and durations are exported telemetry, so only
+//! data-independent regions may be traced; names must be functions of
+//! public values (stage names, machine indices — never object ids). This is
+//! the [`crate::public::Provenance::PublicTiming`] contract, and the
+//! histogram side of every instrumented span goes through the
+//! [`crate::public::Public`] gate.
+
+use std::borrow::Cow;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Spans kept per thread before the oldest is overwritten.
+const RING_CAPACITY: usize = 8192;
+
+/// One completed span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Stage name, e.g. `epoch/suboram_scan/3`. Public values only.
+    pub name: Cow<'static, str>,
+    /// Small stable id of the recording thread (Chrome `tid`).
+    pub tid: u64,
+    /// Start offset in nanoseconds since the tracer was created.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+struct Ring {
+    spans: VecDeque<SpanRecord>,
+    /// Spans overwritten since the last drain (so dumps can say "truncated").
+    dropped: u64,
+}
+
+/// The process-wide tracer. One exists per process ([`tracer`]); tests may
+/// build private ones with [`Tracer::new`].
+pub struct Tracer {
+    /// Process-unique id; keys the per-thread ring map (a raw address could
+    /// be reused by a later tracer).
+    id: u64,
+    origin: Instant,
+    rings: Mutex<Vec<Arc<Mutex<Ring>>>>,
+    next_tid: AtomicU64,
+    enabled: AtomicBool,
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+impl Tracer {
+    /// A fresh tracer with its own time origin.
+    pub fn new() -> Tracer {
+        Tracer {
+            id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            origin: Instant::now(),
+            rings: Mutex::new(Vec::new()),
+            next_tid: AtomicU64::new(1),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Nanoseconds since this tracer's origin.
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Turns recording on/off (drains still work while disabled).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn register_ring(&self) -> (Arc<Mutex<Ring>>, u64) {
+        let ring = Arc::new(Mutex::new(Ring { spans: VecDeque::new(), dropped: 0 }));
+        self.rings.lock().unwrap().push(ring.clone());
+        (ring, self.next_tid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Records a completed span directly (used by [`SpanGuard`] and by
+    /// simulators that construct spans from *simulated* time — pass any
+    /// consistent `start_ns`/`dur_ns` timeline).
+    pub fn record(&self, name: Cow<'static, str>, tid: u64, start_ns: u64, dur_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.record_in_current_thread_ring(SpanRecord { name, tid, start_ns, dur_ns });
+    }
+
+    fn record_in_current_thread_ring(&self, rec: SpanRecord) {
+        THREAD_RING.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let entry = slot.entry(self.id).or_insert_with(|| self.register_ring());
+            let mut ring = entry.0.lock().unwrap();
+            if ring.spans.len() >= RING_CAPACITY {
+                ring.spans.pop_front();
+                ring.dropped += 1;
+            }
+            ring.spans.push_back(rec);
+        });
+    }
+
+    /// The calling thread's stable tid under this tracer (registering the
+    /// thread if needed). Useful for filtering a drain to one thread.
+    pub fn current_tid(&self) -> u64 {
+        THREAD_RING.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let entry = slot.entry(self.id).or_insert_with(|| self.register_ring());
+            entry.1
+        })
+    }
+
+    /// Opens a span on this tracer; it records itself when dropped.
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> SpanGuard<'_> {
+        SpanGuard {
+            tracer: self,
+            name: name.into(),
+            start: Instant::now(),
+            start_ns: self.now_ns(),
+            armed: self.enabled(),
+        }
+    }
+
+    /// Removes and returns every thread's completed spans, ordered by start
+    /// time, plus the number of spans lost to ring overwrites since the
+    /// previous drain.
+    pub fn drain(&self) -> (Vec<SpanRecord>, u64) {
+        let rings = self.rings.lock().unwrap();
+        let mut out = Vec::new();
+        let mut dropped = 0;
+        for ring in rings.iter() {
+            let mut ring = ring.lock().unwrap();
+            out.extend(ring.spans.drain(..));
+            dropped += ring.dropped;
+            ring.dropped = 0;
+        }
+        out.sort_by_key(|s| s.start_ns);
+        (out, dropped)
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Tracer {
+        Tracer::new()
+    }
+}
+
+thread_local! {
+    #[allow(clippy::type_complexity)]
+    static THREAD_RING: std::cell::RefCell<
+        std::collections::HashMap<u64, (Arc<Mutex<Ring>>, u64)>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+static GLOBAL: OnceLock<Tracer> = OnceLock::new();
+
+/// The process-wide tracer every instrumented pipeline records into.
+pub fn tracer() -> &'static Tracer {
+    GLOBAL.get_or_init(Tracer::new)
+}
+
+/// Opens a span on the process-wide tracer.
+pub fn span(name: impl Into<Cow<'static, str>>) -> SpanGuard<'static> {
+    tracer().span(name)
+}
+
+/// An open span; records itself into the tracer when dropped.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: Cow<'static, str>,
+    start: Instant,
+    start_ns: u64,
+    armed: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Closes the span now, returning its duration (also what `drop` uses).
+    pub fn finish(mut self) -> std::time::Duration {
+        let dur = self.start.elapsed();
+        self.close(dur);
+        std::mem::forget(self);
+        dur
+    }
+
+    fn close(&mut self, dur: std::time::Duration) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        let tid = self.tracer.current_tid();
+        let rec = SpanRecord {
+            name: std::mem::replace(&mut self.name, Cow::Borrowed("")),
+            tid,
+            start_ns: self.start_ns,
+            dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+        };
+        self.tracer.record_in_current_thread_ring(rec);
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let dur = self.start.elapsed();
+        self.close(dur);
+    }
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders spans as Chrome `trace_event` JSON (the "JSON object format":
+/// `{"traceEvents": [...]}` with `ph: "X"` complete events; `ts`/`dur` are
+/// microseconds as floats).
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json(&s.name, &mut out);
+        out.push_str("\",\"cat\":\"snoopy\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+        out.push_str(&s.tid.to_string());
+        out.push_str(&format!(
+            ",\"ts\":{:.3},\"dur\":{:.3}}}",
+            s.start_ns as f64 / 1e3,
+            s.dur_ns as f64 / 1e3
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders spans as plain JSON lines (one record per line) for ad-hoc
+/// processing.
+pub fn spans_json_lines(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str("{\"name\":\"");
+        escape_json(&s.name, &mut out);
+        out.push_str(&format!(
+            "\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{}}}\n",
+            s.tid, s.start_ns, s.dur_ns
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_and_drain_in_order() {
+        let t = Tracer::new();
+        {
+            let _outer = t.span("epoch");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let inner = t.span("epoch/lb_make");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            drop(inner);
+        }
+        let (spans, dropped) = t.drain();
+        assert_eq!(dropped, 0);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_ref()).collect();
+        assert_eq!(names, vec!["epoch", "epoch/lb_make"]);
+        // The outer span contains the inner one.
+        assert!(spans[0].start_ns <= spans[1].start_ns);
+        assert!(spans[0].start_ns + spans[0].dur_ns >= spans[1].start_ns + spans[1].dur_ns);
+        // Drained: a second drain is empty.
+        assert!(t.drain().0.is_empty());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.set_enabled(false);
+        drop(t.span("ignored"));
+        assert!(t.drain().0.is_empty());
+        t.set_enabled(true);
+        drop(t.span("kept"));
+        assert_eq!(t.drain().0.len(), 1);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let t = Tracer::new();
+        for i in 0..(RING_CAPACITY + 10) {
+            t.record(Cow::Owned(format!("s{i}")), 1, i as u64, 1);
+        }
+        let (spans, dropped) = t.drain();
+        assert_eq!(spans.len(), RING_CAPACITY);
+        assert_eq!(dropped, 10);
+        assert_eq!(spans[0].name, "s10");
+    }
+
+    #[test]
+    fn multi_thread_tids_are_distinct() {
+        let t = Arc::new(Tracer::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                drop(t.span("work"));
+                t.current_tid()
+            }));
+        }
+        let mut tids: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 4);
+        assert_eq!(t.drain().0.len(), 4);
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let spans = vec![SpanRecord {
+            name: Cow::Borrowed("epoch/lb_make"),
+            tid: 3,
+            start_ns: 1500,
+            dur_ns: 2500,
+        }];
+        let json = chrome_trace_json(&spans);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"name\":\"epoch/lb_make\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd");
+    }
+}

@@ -33,11 +33,11 @@ fn main() {
     // One epoch with a mix of permitted and denied operations.
     let responses = store
         .execute_epoch(vec![
-            (DR_ALICE, Request::read(4, VALUE_LEN, 0, 0)),                     // permitted
-            (DR_BOB, Request::read(4, VALUE_LEN, 1, 0)),                       // denied (even record)
-            (MALLORY, Request::read(7, VALUE_LEN, 2, 0)),                      // denied
+            (DR_ALICE, Request::read(4, VALUE_LEN, 0, 0)), // permitted
+            (DR_BOB, Request::read(4, VALUE_LEN, 1, 0)),   // denied (even record)
+            (MALLORY, Request::read(7, VALUE_LEN, 2, 0)),  // denied
             (DR_BOB, Request::write(7, b"record-7: bob's note", VALUE_LEN, 3, 0)), // permitted
-            (MALLORY, Request::write(8, b"tampered!!", VALUE_LEN, 4, 0)),      // denied
+            (MALLORY, Request::write(8, b"tampered!!", VALUE_LEN, 4, 0)), // denied
         ])
         .unwrap();
 

@@ -15,11 +15,11 @@
 //!
 //! Run with: `cargo run --release --example batch_pir`
 
+use snoopy_crypto::rng::RngCore;
+use snoopy_repro::crypto::Key256;
 use snoopy_repro::crypto::Prg;
 use snoopy_repro::enclave::wire::{Request, StoredObject};
 use snoopy_repro::snoopy_lb::{partition_objects, LoadBalancer};
-use snoopy_repro::crypto::Key256;
-use snoopy_crypto::rng::RngCore;
 
 const VLEN: usize = 64;
 const SHARDS: usize = 4;
@@ -73,7 +73,7 @@ impl PirShard {
         let mut q1 = vec![0u8; bytes];
         prg.fill_bytes(&mut q1);
         // Mask stray bits beyond n so both queries stay well-formed.
-        if n % 8 != 0 {
+        if !n.is_multiple_of(8) {
             q1[bytes - 1] &= (1u8 << (n % 8)) - 1;
         }
         let mut q2 = q1.clone();
@@ -86,30 +86,27 @@ impl PirShard {
 
 fn main() {
     // Database: id i holds "pir-record-i".
-    let objects: Vec<StoredObject> = (0..N)
-        .map(|i| StoredObject::new(i, format!("pir-record-{i}").as_bytes(), VLEN))
-        .collect();
+    let objects: Vec<StoredObject> =
+        (0..N).map(|i| StoredObject::new(i, format!("pir-record-{i}").as_bytes(), VLEN)).collect();
     let key = Key256([88u8; 32]);
-    let shards: Vec<PirShard> = partition_objects(objects, &key, SHARDS)
-        .into_iter()
-        .map(PirShard::new)
-        .collect();
+    let shards: Vec<PirShard> =
+        partition_objects(objects, &key, SHARDS).into_iter().map(PirShard::new).collect();
     let balancer = LoadBalancer::new(&key, SHARDS, VLEN, 128);
     println!("{N} records over {SHARDS} shards × 2 PIR replicas each");
 
     // An epoch of client requests (with duplicates and skew — the balancer
     // hides all of it).
     let wanted = [17u64, 99, 3000, 17, 2048, 4095];
-    let requests: Vec<Request> = wanted
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| Request::read(id, VLEN, i as u64, 0))
-        .collect();
+    let requests: Vec<Request> =
+        wanted.iter().enumerate().map(|(i, &id)| Request::read(id, VLEN, i as u64, 0)).collect();
 
     // Oblivious batch assembly: every shard receives exactly B queries.
     let batches = balancer.make_batches(&requests).unwrap();
     let b = balancer.epoch_batch_size(requests.len());
-    println!("epoch: {} client requests -> {SHARDS} batches of exactly {b} PIR fetches", requests.len());
+    println!(
+        "epoch: {} client requests -> {SHARDS} batches of exactly {b} PIR fetches",
+        requests.len()
+    );
 
     // The balancer performs the PIR fetches (dummies query random indices,
     // so each replica sees exactly B uniformly-masked queries per epoch).

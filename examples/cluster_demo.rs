@@ -15,9 +15,8 @@ const CLIENT_THREADS: usize = 8;
 const OPS_PER_CLIENT: usize = 50;
 
 fn main() {
-    let objects: Vec<StoredObject> = (0..OBJECTS)
-        .map(|id| StoredObject::new(id, &id.to_le_bytes(), VALUE_LEN))
-        .collect();
+    let objects: Vec<StoredObject> =
+        (0..OBJECTS).map(|id| StoredObject::new(id, &id.to_le_bytes(), VALUE_LEN)).collect();
     let config = SnoopyConfig::with_machines(2, 3).value_len(VALUE_LEN);
     let mut cluster = InProcessCluster::start(config, objects, 7);
     cluster.start_ticker(Duration::from_millis(20));

@@ -45,11 +45,8 @@ fn main() {
     let signed_root = nodes[0]; // (a real log signs this)
 
     // Store every node as a Snoopy object.
-    let objects: Vec<StoredObject> = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, h)| StoredObject::new(i as u64, h, VALUE_LEN))
-        .collect();
+    let objects: Vec<StoredObject> =
+        nodes.iter().enumerate().map(|(i, h)| StoredObject::new(i as u64, h, VALUE_LEN)).collect();
     let config = SnoopyConfig::with_machines(1, 4).value_len(VALUE_LEN);
     let mut log = Snoopy::init(config, objects, 99);
     println!("key-transparency log: {USERS} users, {total_nodes} tree nodes stored obliviously");

@@ -17,8 +17,10 @@ fn main() {
         .collect();
     let config = SnoopyConfig::with_machines(2, 4).value_len(VALUE_LEN);
     let mut snoopy = Snoopy::init(config, objects, /*seed=*/ 42);
-    println!("initialized: {} load balancers, {} subORAMs, λ={}",
-        config.num_load_balancers, config.num_suborams, config.lambda);
+    println!(
+        "initialized: {} load balancers, {} subORAMs, λ={}",
+        config.num_load_balancers, config.num_suborams, config.lambda
+    );
 
     // 2. Epoch 1: a mix of reads and writes, split across the two balancers
     //    (clients pick a balancer at random).
@@ -35,9 +37,8 @@ fn main() {
     }
 
     // 3. Epoch 2: the write is now visible everywhere.
-    let responses = snoopy
-        .execute_epoch(vec![vec![Request::read(1234, VALUE_LEN, 9, 1)], vec![]])
-        .unwrap();
+    let responses =
+        snoopy.execute_epoch(vec![vec![Request::read(1234, VALUE_LEN, 9, 1)], vec![]]).unwrap();
     let text = String::from_utf8_lossy(&responses[0].value);
     println!("after commit, object 1234 = {:?}", text.trim_end_matches('\0'));
     assert!(text.starts_with("hello snoopy"));

@@ -5,6 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== format =="
+cargo fmt --check
+
+echo "== lints (clippy, deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "== build (release, offline) =="
 cargo build --release --offline --workspace
 

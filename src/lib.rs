@@ -24,3 +24,5 @@ pub use snoopy_plaintext;
 pub use snoopy_planner;
 pub use snoopy_ringoram;
 pub use snoopy_suboram;
+pub use snoopy_telemetry;
+pub use snoopy_telemetry as telemetry;

@@ -5,9 +5,9 @@
 use snoopy_crypto::rng::Rng;
 use snoopy_repro::core::{Snoopy, SnoopyConfig};
 use snoopy_repro::enclave::wire::{Request, StoredObject};
+use snoopy_repro::snoopy_hierarchical::{Op as SOp, SqrtOram};
 use snoopy_repro::snoopy_obladi::{ObladiProxy, ProxyRequest};
 use snoopy_repro::snoopy_pathoram::{Op as POp, PathOram};
-use snoopy_repro::snoopy_hierarchical::{Op as SOp, SqrtOram};
 use snoopy_repro::snoopy_plaintext::PlaintextStore;
 use snoopy_repro::snoopy_ringoram::{Op as ROp, RingOram};
 
@@ -84,10 +84,9 @@ fn run_plaintext(ops: &[WOp]) -> Vec<(u64, Vec<u8>)> {
     let mut out = Vec::new();
     for op in ops {
         match op {
-            WOp::Read(id) => out.push((
-                *id,
-                store.get(*id).cloned().unwrap_or_else(|| vec![0u8; VLEN]),
-            )),
+            WOp::Read(id) => {
+                out.push((*id, store.get(*id).cloned().unwrap_or_else(|| vec![0u8; VLEN])))
+            }
             WOp::Write(id, v) => {
                 store.set(*id, v.clone());
             }

@@ -78,12 +78,7 @@ fn multi_balancer_multi_suboram() {
 
 #[test]
 fn external_sealed_storage() {
-    drive(
-        SnoopyConfig::with_machines(2, 3).value_len(VLEN).external_storage(true),
-        150,
-        4,
-        3,
-    );
+    drive(SnoopyConfig::with_machines(2, 3).value_len(VLEN).external_storage(true), 150, 4, 3);
 }
 
 #[test]
@@ -110,9 +105,7 @@ fn writes_and_reads_interleave_across_many_epochs() {
     for round in 0..10u64 {
         sys.execute_epoch_single(vec![Request::write(3, &round.to_le_bytes(), VLEN, 0, round)])
             .unwrap();
-        let out = sys
-            .execute_epoch_single(vec![Request::read(3, VLEN, 1, round)])
-            .unwrap();
+        let out = sys.execute_epoch_single(vec![Request::read(3, VLEN, 1, round)]).unwrap();
         assert_eq!(out[0].value, pad(&round.to_le_bytes()), "round {round}");
     }
 }

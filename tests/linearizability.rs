@@ -13,6 +13,10 @@ use std::time::Duration;
 
 const VLEN: usize = 32;
 
+/// Per-operation bookkeeping: `(client, seq)` -> `(lb, arrival, id, write
+/// payload if any)`.
+type OpMeta = HashMap<(u64, u64), (u64, u64, u64, Option<Vec<u8>>)>;
+
 fn objects(n: u64) -> Vec<StoredObject> {
     (0..n).map(|i| StoredObject::new(i, &[0u8], VLEN)).collect()
 }
@@ -28,8 +32,7 @@ fn random_histories_are_linearizable() {
     let mut records: Vec<OpRecord> = Vec::new();
     for epoch in 0..8u64 {
         let mut per: Vec<Vec<Request>> = vec![Vec::new(); 3];
-        // (client, seq) -> (lb, arrival, id, write payload if any)
-        let mut meta: HashMap<(u64, u64), (u64, u64, u64, Option<Vec<u8>>)> = HashMap::new();
+        let mut meta: OpMeta = HashMap::new();
         let mut client = 0u64;
         for (lb, bucket) in per.iter_mut().enumerate() {
             for arrival in 0..rng.gen_range(0..20u64) {
@@ -64,8 +67,20 @@ fn checker_rejects_forged_history() {
     // Sanity: the checker is not vacuous — claim a read of a never-written
     // value and it must object.
     let records = vec![
-        OpRecord { epoch: 0, lb: 0, arrival: 0, id: 1, kind: OpKind::Write { value: vec![1; VLEN] } },
-        OpRecord { epoch: 1, lb: 0, arrival: 0, id: 1, kind: OpKind::Read { returned: vec![2; VLEN] } },
+        OpRecord {
+            epoch: 0,
+            lb: 0,
+            arrival: 0,
+            id: 1,
+            kind: OpKind::Write { value: vec![1; VLEN] },
+        },
+        OpRecord {
+            epoch: 1,
+            lb: 0,
+            arrival: 0,
+            id: 1,
+            kind: OpKind::Read { returned: vec![2; VLEN] },
+        },
     ];
     assert!(check_linearizable(&records, &HashMap::new(), VLEN).is_err());
 }

@@ -53,8 +53,18 @@ fn trace_depends_on_public_request_count() {
     // trace; this guards against the equivalence test passing vacuously.
     let config = SnoopyConfig::with_machines(1, 2).value_len(VLEN);
     let n = 100u64;
-    let f5 = epoch_fingerprint(config, n, 2, vec![(0..5).map(|i| Request::read(i, VLEN, i, 0)).collect()]);
-    let f6 = epoch_fingerprint(config, n, 2, vec![(0..6).map(|i| Request::read(i, VLEN, i, 0)).collect()]);
+    let f5 = epoch_fingerprint(
+        config,
+        n,
+        2,
+        vec![(0..5).map(|i| Request::read(i, VLEN, i, 0)).collect()],
+    );
+    let f6 = epoch_fingerprint(
+        config,
+        n,
+        2,
+        vec![(0..6).map(|i| Request::read(i, VLEN, i, 0)).collect()],
+    );
     assert_ne!(f5, f6);
 }
 
@@ -65,11 +75,13 @@ fn trace_stable_across_epochs_with_same_counts() {
     let config = SnoopyConfig::with_machines(1, 2).value_len(VLEN);
     let run = |ids: Vec<u64>| {
         let mut sys = Snoopy::init(config, objects(100), 3);
-        sys.execute_epoch_single((0..4).map(|i| Request::read(i, VLEN, i, 0)).collect())
-            .unwrap();
+        sys.execute_epoch_single((0..4).map(|i| Request::read(i, VLEN, i, 0)).collect()).unwrap();
         let ((), t) = trace::capture(|| {
             sys.execute_epoch_single(
-                ids.iter().enumerate().map(|(i, &id)| Request::read(id, VLEN, i as u64, 1)).collect(),
+                ids.iter()
+                    .enumerate()
+                    .map(|(i, &id)| Request::read(id, VLEN, i as u64, 1))
+                    .collect(),
             )
             .unwrap();
         });

@@ -22,7 +22,11 @@ struct PropOp {
 }
 
 fn op_strategy() -> impl Strategy<Value = PropOp> {
-    (0..N, any::<bool>(), any::<u8>()).prop_map(|(id, write, payload)| PropOp { id, write, payload })
+    (0..N, any::<bool>(), any::<u8>()).prop_map(|(id, write, payload)| PropOp {
+        id,
+        write,
+        payload,
+    })
 }
 
 fn to_requests(ops: &[PropOp]) -> Vec<Request> {

@@ -86,11 +86,7 @@ impl Default for Criterion {
         // `cargo test --benches` / `cargo bench -- --test` pass `--test`;
         // `cargo bench -- <filter>` passes a name filter.
         let test_mode = args.iter().any(|a| a == "--test");
-        let filter = args
-            .iter()
-            .skip(1)
-            .find(|a| !a.starts_with('-') && !a.is_empty())
-            .cloned();
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-') && !a.is_empty()).cloned();
         Criterion { test_mode, filter, iters: 10 }
     }
 }
