@@ -1,0 +1,406 @@
+//! Seeded fault plans.
+//!
+//! A [`FaultPlan`] decides the fate of every batch and response message in a
+//! deployment. Decisions are deterministic: a splitmix64 hash of the plan
+//! seed and the message's public coordinates — direction, balancer, subORAM,
+//! epoch, and a per-message *attempt* counter — picks the action. The
+//! attempt counter is what makes recovery testable: the balancer's replay of
+//! a dropped epoch-`e` batch is attempt 1 of `(Batch, lb, sub, e)` and rolls
+//! a fresh coin, while rerunning the whole workload from scratch (fresh
+//! plan, same seed) replays the identical sequence of coins.
+
+use snoopy_core::{FaultAction, FaultInjector};
+use snoopy_telemetry::{metrics, Public};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Message direction, the coarsest decision coordinate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Dir {
+    Batch,
+    Response,
+}
+
+/// Fault rates for one direction of traffic. Rates are per-mille (0..=1000)
+/// and checked in order drop → duplicate → delay → close; the remainder
+/// delivers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirectionFaults {
+    /// Per-mille of messages silently discarded.
+    pub drop_per_mille: u16,
+    /// Per-mille of messages sent twice.
+    pub duplicate_per_mille: u16,
+    /// Per-mille of messages held for [`DirectionFaults::delay`].
+    pub delay_per_mille: u16,
+    /// Per-mille of messages that sever the connection instead of sending.
+    pub close_per_mille: u16,
+    /// How long a delayed message is held.
+    pub delay: Duration,
+}
+
+impl DirectionFaults {
+    /// No faults in this direction.
+    pub fn none() -> DirectionFaults {
+        DirectionFaults {
+            drop_per_mille: 0,
+            duplicate_per_mille: 0,
+            delay_per_mille: 0,
+            close_per_mille: 0,
+            delay: Duration::from_millis(2),
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.drop_per_mille as u32
+            + self.duplicate_per_mille as u32
+            + self.delay_per_mille as u32
+            + self.close_per_mille as u32
+    }
+}
+
+/// A link severed for a window of epochs. `None` coordinates wildcard: a
+/// partition with `lb: None` cuts the subORAM off from *every* balancer —
+/// which is also how a crashed subORAM looks from the network, so
+/// [`FaultPlanConfig::kill`] is sugar for exactly this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Balancer side of the cut (`None` = all balancers).
+    pub lb: Option<usize>,
+    /// SubORAM side of the cut (`None` = all subORAMs).
+    pub suboram: Option<usize>,
+    /// First epoch the cut applies to.
+    pub from_epoch: u64,
+    /// First epoch *past* the cut (exclusive).
+    pub until_epoch: u64,
+}
+
+impl Partition {
+    fn covers(&self, lb: usize, sub: usize, epoch: u64) -> bool {
+        self.lb.is_none_or(|l| l == lb)
+            && self.suboram.is_none_or(|s| s == sub)
+            && epoch >= self.from_epoch
+            && epoch < self.until_epoch
+    }
+}
+
+/// Everything a [`FaultPlan`] needs: the seed plus the schedule shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlanConfig {
+    /// Seeds every decision; same seed → same faults.
+    pub seed: u64,
+    /// Randomized faults on balancer → subORAM batches.
+    pub batch: DirectionFaults,
+    /// Randomized faults on subORAM → balancer responses.
+    pub response: DirectionFaults,
+    /// Deterministic epoch-windowed link cuts (checked before the random
+    /// faults; a partitioned message always drops).
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlanConfig {
+    /// A quiet plan: no faults, just the seed.
+    pub fn new(seed: u64) -> FaultPlanConfig {
+        FaultPlanConfig {
+            seed,
+            batch: DirectionFaults::none(),
+            response: DirectionFaults::none(),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Sets the batch-direction fault rates.
+    pub fn batch(mut self, faults: DirectionFaults) -> FaultPlanConfig {
+        self.batch = faults;
+        self
+    }
+
+    /// Sets the response-direction fault rates.
+    pub fn response(mut self, faults: DirectionFaults) -> FaultPlanConfig {
+        self.response = faults;
+        self
+    }
+
+    /// Adds a partition.
+    pub fn partition(mut self, partition: Partition) -> FaultPlanConfig {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Kills subORAM `suboram` at epoch `at_epoch` for `down_epochs` epochs:
+    /// from the network's point of view a crashed process *is* a total
+    /// partition, so this cuts it off from every balancer for the window.
+    pub fn kill(self, suboram: usize, at_epoch: u64, down_epochs: u64) -> FaultPlanConfig {
+        self.partition(Partition {
+            lb: None,
+            suboram: Some(suboram),
+            from_epoch: at_epoch,
+            until_epoch: at_epoch.saturating_add(down_epochs),
+        })
+    }
+}
+
+/// Counts of what a plan actually did, for run-to-run comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanSummary {
+    /// Total decisions taken.
+    pub decisions: u64,
+    /// Messages passed through untouched.
+    pub delivered: u64,
+    /// Randomized drops.
+    pub drops: u64,
+    /// Duplicated messages.
+    pub duplicates: u64,
+    /// Delayed messages.
+    pub delays: u64,
+    /// Connections severed.
+    pub closes: u64,
+    /// Drops forced by a [`Partition`] window.
+    pub partition_drops: u64,
+}
+
+impl fmt::Display for PlanSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decisions={} delivered={} drops={} duplicates={} delays={} closes={} partition_drops={}",
+            self.decisions,
+            self.delivered,
+            self.drops,
+            self.duplicates,
+            self.delays,
+            self.closes,
+            self.partition_drops,
+        )
+    }
+}
+
+/// A live, seeded fault plan. Implements [`FaultInjector`] for the
+/// in-process plane; [`crate::FaultProxy`] applies the same plan on TCP.
+pub struct FaultPlan {
+    config: FaultPlanConfig,
+    /// Attempt counters per (direction, lb, sub, epoch): a retried message
+    /// is a fresh decision, not a replay of the old one.
+    attempts: Mutex<HashMap<(u8, usize, usize, u64), u64>>,
+    decisions: AtomicU64,
+    delivered: AtomicU64,
+    drops: AtomicU64,
+    duplicates: AtomicU64,
+    delays: AtomicU64,
+    closes: AtomicU64,
+    partition_drops: AtomicU64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// Builds the plan.
+    pub fn new(config: FaultPlanConfig) -> FaultPlan {
+        FaultPlan {
+            config,
+            attempts: Mutex::new(HashMap::new()),
+            decisions: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+            partition_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.config
+    }
+
+    /// Snapshot of everything the plan has done so far.
+    pub fn summary(&self) -> PlanSummary {
+        PlanSummary {
+            decisions: self.decisions.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            delays: self.delays.load(Ordering::Relaxed),
+            closes: self.closes.load(Ordering::Relaxed),
+            partition_drops: self.partition_drops.load(Ordering::Relaxed),
+        }
+    }
+
+    fn count(&self, kind: &'static str) {
+        metrics::global()
+            .counter_labeled(
+                metrics::names::FAULTS_INJECTED_TOTAL,
+                "faults injected by a chaos FaultPlan",
+                Some(("kind", kind)),
+            )
+            .inc(Public::wire_observable(()));
+    }
+
+    fn decide(&self, dir: Dir, lb: usize, sub: usize, epoch: u64) -> FaultAction {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        if self.config.partitions.iter().any(|p| p.covers(lb, sub, epoch)) {
+            self.partition_drops.fetch_add(1, Ordering::Relaxed);
+            self.count("drop");
+            return FaultAction::Drop;
+        }
+        let dir_code = match dir {
+            Dir::Batch => 0u8,
+            Dir::Response => 1u8,
+        };
+        let attempt = {
+            let mut attempts = self.attempts.lock().unwrap();
+            let slot = attempts.entry((dir_code, lb, sub, epoch)).or_insert(0);
+            let n = *slot;
+            *slot += 1;
+            n
+        };
+        let faults = match dir {
+            Dir::Batch => &self.config.batch,
+            Dir::Response => &self.config.response,
+        };
+        if faults.total() == 0 {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            return FaultAction::Deliver;
+        }
+        let mut h = splitmix64(self.config.seed ^ splitmix64(dir_code as u64 + 1));
+        for part in [lb as u64, sub as u64, epoch, attempt] {
+            h = splitmix64(h ^ part);
+        }
+        let roll = (h % 1000) as u32;
+        let mut edge = faults.drop_per_mille as u32;
+        if roll < edge {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            self.count("drop");
+            return FaultAction::Drop;
+        }
+        edge += faults.duplicate_per_mille as u32;
+        if roll < edge {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            self.count("duplicate");
+            return FaultAction::Duplicate;
+        }
+        edge += faults.delay_per_mille as u32;
+        if roll < edge {
+            self.delays.fetch_add(1, Ordering::Relaxed);
+            self.count("delay");
+            return FaultAction::Delay(faults.delay);
+        }
+        edge += faults.close_per_mille as u32;
+        if roll < edge {
+            self.closes.fetch_add(1, Ordering::Relaxed);
+            self.count("close");
+            return FaultAction::Close;
+        }
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        FaultAction::Deliver
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn on_batch(&self, lb: usize, suboram: usize, epoch: u64) -> FaultAction {
+        self.decide(Dir::Batch, lb, suboram, epoch)
+    }
+
+    fn on_response(&self, lb: usize, suboram: usize, epoch: u64) -> FaultAction {
+        self.decide(Dir::Response, lb, suboram, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossy() -> FaultPlanConfig {
+        FaultPlanConfig::new(0xC4A05)
+            .batch(DirectionFaults {
+                drop_per_mille: 200,
+                duplicate_per_mille: 100,
+                delay_per_mille: 100,
+                close_per_mille: 50,
+                delay: Duration::from_millis(1),
+            })
+            .response(DirectionFaults { drop_per_mille: 300, ..DirectionFaults::none() })
+    }
+
+    #[test]
+    fn same_seed_same_decisions_and_summary() {
+        let a = FaultPlan::new(lossy());
+        let b = FaultPlan::new(lossy());
+        for epoch in 0..200u64 {
+            for lb in 0..2 {
+                for sub in 0..3 {
+                    assert_eq!(a.on_batch(lb, sub, epoch), b.on_batch(lb, sub, epoch));
+                    assert_eq!(a.on_response(lb, sub, epoch), b.on_response(lb, sub, epoch));
+                }
+            }
+        }
+        assert_eq!(a.summary(), b.summary());
+        assert_eq!(a.summary().decisions, 2 * 200 * 2 * 3);
+        // With these rates the plan must actually be doing things.
+        let s = a.summary();
+        assert!(s.drops > 0 && s.duplicates > 0 && s.delays > 0 && s.closes > 0);
+        assert!(s.delivered > 0);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::new(lossy());
+        let b = FaultPlan::new(FaultPlanConfig { seed: 0xBEEF, ..lossy() });
+        let mut same = 0;
+        for epoch in 0..300u64 {
+            if a.on_batch(0, 0, epoch) == b.on_batch(0, 0, epoch) {
+                same += 1;
+            }
+        }
+        assert!(same < 300, "independent seeds should not agree on every decision");
+    }
+
+    #[test]
+    fn retries_roll_fresh_coins() {
+        // The same (direction, lb, sub, epoch) tuple must not be condemned
+        // to one fate forever: attempt N and attempt N+1 are independent
+        // rolls, so over many attempts a 50% drop rate cannot drop them all.
+        let cfg = FaultPlanConfig::new(7)
+            .batch(DirectionFaults { drop_per_mille: 500, ..DirectionFaults::none() });
+        let plan = FaultPlan::new(cfg);
+        let actions: Vec<FaultAction> = (0..64).map(|_| plan.on_batch(0, 0, 42)).collect();
+        assert!(actions.contains(&FaultAction::Deliver), "a retry must eventually land");
+        assert!(actions.contains(&FaultAction::Drop), "rate 500‰ must drop sometimes");
+    }
+
+    #[test]
+    fn partitions_drop_in_window_and_heal_after() {
+        let plan = FaultPlan::new(FaultPlanConfig::new(1).kill(1, 5, 3));
+        for epoch in 0..10u64 {
+            let want =
+                if (5..8).contains(&epoch) { FaultAction::Drop } else { FaultAction::Deliver };
+            assert_eq!(plan.on_batch(0, 1, epoch), want, "epoch {epoch}");
+            // Other subORAMs are untouched by the kill.
+            assert_eq!(plan.on_batch(0, 0, epoch), FaultAction::Deliver);
+        }
+        let s = plan.summary();
+        assert_eq!(s.partition_drops, 3);
+        assert_eq!(s.drops, 0, "partition drops are counted separately");
+    }
+
+    #[test]
+    fn quiet_plan_delivers_everything() {
+        let plan = FaultPlan::new(FaultPlanConfig::new(9));
+        for epoch in 0..50u64 {
+            assert_eq!(plan.on_batch(0, 0, epoch), FaultAction::Deliver);
+            assert_eq!(plan.on_response(0, 0, epoch), FaultAction::Deliver);
+        }
+        let s = plan.summary();
+        assert_eq!(s.delivered, 100);
+        assert_eq!(s.decisions, 100);
+        assert_eq!(s, PlanSummary { decisions: 100, delivered: 100, ..PlanSummary::default() });
+    }
+}

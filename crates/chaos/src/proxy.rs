@@ -1,0 +1,163 @@
+//! A fault-injecting TCP proxy for one subORAM.
+//!
+//! The balancer's manifest lists the proxy's address where the subORAM
+//! would be; the proxy dials the real subORAM and pumps frames both ways,
+//! consulting a [`FaultPlan`] for every sealed `BATCH` (balancer → subORAM)
+//! and `RESP_BATCH` (subORAM → balancer) frame. Hellos and admin frames
+//! always pass — the proxy attacks the data plane, not session setup.
+//!
+//! Fault semantics differ from the in-process plane on purpose. There,
+//! faults are injected before sealing and the link never notices. Here the
+//! proxy manipulates *sealed* frames on the wire, so a drop or duplicate
+//! desynchronizes the AEAD link's strict in-order nonces: the receiver's
+//! next `open` fails, the session dies, and the balancer re-dials and
+//! replays the epoch over fresh keys — the identical recovery path a real
+//! lossy network triggers. A `Close` severs both directions immediately.
+
+use crate::plan::FaultPlan;
+use snoopy_core::{FaultAction, FaultInjector};
+use snoopy_net::frame::{read_frame, write_frame};
+use snoopy_net::proto::{tag, Hello, Role};
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One running proxy in front of one subORAM.
+pub struct FaultProxy {
+    local: String,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Binds an ephemeral local port fronting `upstream` (the real subORAM
+    /// address) as subORAM `suboram` under `plan`.
+    pub fn start(upstream: &str, suboram: usize, plan: Arc<FaultPlan>) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local = listener.local_addr()?.to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let upstream = upstream.to_string();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = stream else { continue };
+                let upstream = upstream.clone();
+                let plan = plan.clone();
+                std::thread::spawn(move || {
+                    let _ = session(client, &upstream, suboram, &plan);
+                });
+            }
+        });
+        Ok(FaultProxy { local, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the balancer's manifest should list for this subORAM.
+    pub fn addr(&self) -> &str {
+        &self.local
+    }
+
+    /// Stops accepting new sessions. Live pump threads drain on their own
+    /// when either endpoint closes (daemon shutdown tears them down).
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(&self.local);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.halt();
+        }
+    }
+}
+
+/// Pulls the epoch id out of a `BATCH`/`RESP_BATCH` body (its first 8
+/// bytes — see [`snoopy_net::proto::encode_epoch_sealed`]).
+fn frame_epoch(body: &[u8]) -> u64 {
+    body.get(..8).and_then(|b| b.try_into().ok()).map(u64::from_le_bytes).unwrap_or(0)
+}
+
+fn session(
+    mut client: TcpStream,
+    upstream: &str,
+    suboram: usize,
+    plan: &Arc<FaultPlan>,
+) -> io::Result<()> {
+    client.set_nodelay(true).ok();
+    // The session hello names the dialing balancer; it always passes.
+    let (t, hello_body) = read_frame(&mut client)?;
+    if t != tag::HELLO {
+        return Ok(());
+    }
+    let lb = match Hello::decode(&hello_body) {
+        Some(h) if h.role == Role::LoadBalancer => h.index as usize,
+        // Admin (and anything else) pumps transparently under lb 0.
+        _ => 0,
+    };
+    let mut server = TcpStream::connect(upstream)?;
+    server.set_nodelay(true).ok();
+    write_frame(&mut server, tag::HELLO, &hello_body)?;
+
+    let c2s = {
+        let client = client.try_clone()?;
+        let server = server.try_clone()?;
+        let plan = plan.clone();
+        std::thread::spawn(move || {
+            pump(client, server, move |t, body| {
+                if t == tag::BATCH {
+                    plan.on_batch(lb, suboram, frame_epoch(body))
+                } else {
+                    FaultAction::Deliver
+                }
+            })
+        })
+    };
+    let plan = plan.clone();
+    pump(server, client, move |t, body| {
+        if t == tag::RESP_BATCH {
+            plan.on_response(lb, suboram, frame_epoch(body))
+        } else {
+            FaultAction::Deliver
+        }
+    });
+    let _ = c2s.join();
+    Ok(())
+}
+
+/// Copies frames `from` → `to`, applying `decide` to each; returns when
+/// either side dies or a `Close` fault fires. Always severs both ends on
+/// exit so the peer pump thread exits too.
+fn pump(mut from: TcpStream, mut to: TcpStream, decide: impl Fn(u8, &[u8]) -> FaultAction) {
+    while let Ok((t, body)) = read_frame(&mut from) {
+        let deliver = |to: &mut TcpStream| write_frame(to, t, &body);
+        let ok = match decide(t, &body) {
+            FaultAction::Deliver => deliver(&mut to).is_ok(),
+            FaultAction::Drop => true,
+            FaultAction::Duplicate => deliver(&mut to).is_ok() && deliver(&mut to).is_ok(),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                deliver(&mut to).is_ok()
+            }
+            FaultAction::Close => false,
+        };
+        if !ok {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

@@ -14,6 +14,13 @@
 //! the synchronous reference engine ([`crate::system::Snoopy`]): subORAMs
 //! process each epoch's batches in load-balancer order, and responses only
 //! depend on epoch boundaries — integration tests check exactly this.
+//!
+//! For chaos testing, [`InProcessCluster::start_with_faults`] boots the same
+//! topology with a [`FaultInjector`] wired into every link and an
+//! [`EpochFaultPolicy`] driving deadline-based recovery. Faults are injected
+//! *before* sealing: a dropped message never advances the link nonce, so the
+//! balancer's replay re-seals the identical plaintext and the AEAD channel
+//! stays healthy — deterministic chaos without fighting replay protection.
 
 use snoopy_crypto::aead::SealedBox;
 use snoopy_crypto::{Key256, Prg};
@@ -21,19 +28,22 @@ use snoopy_enclave::wire::{Request, Response, StoredObject};
 use snoopy_lb::{partition_objects, LoadBalancer};
 use snoopy_suboram::SubOram;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::config::SnoopyConfig;
 use crate::link::Link;
 use crate::transport::{
-    run_load_balancer, run_suboram, LbEvent, LbTransport, SubEvent, SubOramNode, SubTransport,
+    run_load_balancer_with_policy, run_suboram, ClientReply, EpochFaultPolicy, FaultAction,
+    FaultInjector, LbEvent, LbTransport, NoFaults, RecvOutcome, SubEvent, SubOramNode,
+    SubTransport, Unavailable,
 };
 
 /// Messages into a load-balancer thread (its single mailbox).
 enum LbMsg {
     /// A client request plus the channel to answer on.
-    Client(Request, Sender<Response>),
+    Client(Request, Sender<ClientReply>),
     /// Epoch boundary.
     Tick(u64),
     /// A sealed response batch from a subORAM.
@@ -61,11 +71,12 @@ struct ChannelLbTransport {
     resp_links: Vec<Link>,
     lb_idx: usize,
     value_len: usize,
+    injector: Arc<dyn FaultInjector>,
 }
 
-impl LbTransport for ChannelLbTransport {
-    fn recv(&mut self) -> Option<LbEvent> {
-        Some(match self.rx.recv().ok()? {
+impl ChannelLbTransport {
+    fn event(&mut self, msg: LbMsg) -> LbEvent {
+        match msg {
             LbMsg::Shutdown => LbEvent::Shutdown,
             LbMsg::Client(req, reply) => LbEvent::Client(req, Box::new(reply)),
             LbMsg::Tick(epoch) => LbEvent::Tick(epoch),
@@ -75,14 +86,49 @@ impl LbTransport for ChannelLbTransport {
                     .expect("response link failure");
                 LbEvent::SubResponse { suboram, epoch, batch }
             }
-        })
+        }
     }
 
-    fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
+    fn seal_and_send(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
         let sealed = self.links[suboram].seal(batch).expect("batch link failure");
         self.sub_txs[suboram]
             .send(SubMsg::Batch { lb: self.lb_idx, epoch, sealed })
             .expect("subORAM gone");
+    }
+}
+
+impl LbTransport for ChannelLbTransport {
+    fn recv(&mut self) -> Option<LbEvent> {
+        let msg = self.rx.recv().ok()?;
+        Some(self.event(msg))
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> RecvOutcome {
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match self.rx.recv_timeout(wait) {
+            Ok(msg) => RecvOutcome::Event(self.event(msg)),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+
+    fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
+        // Faults are decided before sealing (see module docs): a Drop leaves
+        // the link sequence untouched, so the epoch loop's replay is a
+        // byte-identical re-seal. Delay blocks inline, preserving the link's
+        // strict ordering. Channels have no connection to Close — it drops.
+        match self.injector.on_batch(self.lb_idx, suboram, epoch) {
+            FaultAction::Deliver => self.seal_and_send(suboram, epoch, batch),
+            FaultAction::Drop | FaultAction::Close => {}
+            FaultAction::Duplicate => {
+                self.seal_and_send(suboram, epoch, batch);
+                self.seal_and_send(suboram, epoch, batch);
+            }
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.seal_and_send(suboram, epoch, batch);
+            }
+        }
     }
 }
 
@@ -94,6 +140,16 @@ struct ChannelSubTransport {
     resp_links: Vec<Link>,
     sub_idx: usize,
     value_len: usize,
+    injector: Arc<dyn FaultInjector>,
+}
+
+impl ChannelSubTransport {
+    fn seal_and_send(&mut self, lb: usize, epoch: u64, batch: &[Request]) {
+        let sealed = self.resp_links[lb].seal(batch).expect("response link failure");
+        self.lb_txs[lb]
+            .send(LbMsg::Resp { suboram: self.sub_idx, epoch, sealed })
+            .expect("balancer gone");
+    }
 }
 
 impl SubTransport for ChannelSubTransport {
@@ -109,10 +165,18 @@ impl SubTransport for ChannelSubTransport {
     }
 
     fn send_response(&mut self, lb: usize, epoch: u64, batch: &[Request]) {
-        let sealed = self.resp_links[lb].seal(batch).expect("response link failure");
-        self.lb_txs[lb]
-            .send(LbMsg::Resp { suboram: self.sub_idx, epoch, sealed })
-            .expect("balancer gone");
+        match self.injector.on_response(lb, self.sub_idx, epoch) {
+            FaultAction::Deliver => self.seal_and_send(lb, epoch, batch),
+            FaultAction::Drop | FaultAction::Close => {}
+            FaultAction::Duplicate => {
+                self.seal_and_send(lb, epoch, batch);
+                self.seal_and_send(lb, epoch, batch);
+            }
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.seal_and_send(lb, epoch, batch);
+            }
+        }
     }
 }
 
@@ -133,17 +197,37 @@ impl ClientHandle {
     }
 
     /// Submits a read and blocks until the epoch containing it commits.
+    ///
+    /// Panics if the epoch degrades; use [`ClientHandle::try_read`] to
+    /// observe [`Unavailable`] as a value.
     pub fn read(&self, id: u64) -> Vec<u8> {
-        self.read_async(id).recv().expect("cluster shut down").value
+        self.try_read(id).expect("epoch degraded").value
     }
 
     /// Submits a write and blocks for its commit; returns the pre-write value.
+    ///
+    /// Panics if the epoch degrades; use [`ClientHandle::try_write`] to
+    /// observe [`Unavailable`] as a value.
     pub fn write(&self, id: u64, payload: &[u8]) -> Vec<u8> {
-        self.write_async(id, payload).recv().expect("cluster shut down").value
+        self.try_write(id, payload).expect("epoch degraded").value
     }
 
-    /// Non-blocking read: returns the response channel.
-    pub fn read_async(&self, id: u64) -> Receiver<Response> {
+    /// Blocking read returning the typed epoch-failure instead of panicking.
+    pub fn try_read(&self, id: u64) -> Result<Response, Unavailable> {
+        self.read_async(id).recv().expect("cluster shut down")
+    }
+
+    /// Blocking write returning the typed epoch-failure instead of
+    /// panicking. An `Err` is *indeterminate* for writes: the epoch may have
+    /// partially executed, so the write may or may not have been applied
+    /// (at-least-once on retry — see DESIGN.md's failure model).
+    pub fn try_write(&self, id: u64, payload: &[u8]) -> Result<Response, Unavailable> {
+        self.write_async(id, payload).recv().expect("cluster shut down")
+    }
+
+    /// Non-blocking read: returns the reply channel. The reply is the
+    /// matched response, or [`Unavailable`] if the epoch degraded.
+    pub fn read_async(&self, id: u64) -> Receiver<ClientReply> {
         let (tx, rx) = channel();
         let req = Request::read(id, self.value_len, 0, 0);
         self.pick_lb().send(LbMsg::Client(req, tx)).expect("cluster shut down");
@@ -151,7 +235,7 @@ impl ClientHandle {
     }
 
     /// Non-blocking write.
-    pub fn write_async(&self, id: u64, payload: &[u8]) -> Receiver<Response> {
+    pub fn write_async(&self, id: u64, payload: &[u8]) -> Receiver<ClientReply> {
         let (tx, rx) = channel();
         let req = Request::write(id, payload, self.value_len, 0, 0);
         self.pick_lb().send(LbMsg::Client(req, tx)).expect("cluster shut down");
@@ -174,6 +258,26 @@ impl InProcessCluster {
     /// Boots the cluster: `L` balancer threads, `S` subORAM threads, sealed
     /// links between every pair.
     pub fn start(config: SnoopyConfig, objects: Vec<StoredObject>, seed: u64) -> InProcessCluster {
+        InProcessCluster::start_with_faults(
+            config,
+            objects,
+            seed,
+            EpochFaultPolicy::wait_forever(),
+            Arc::new(NoFaults),
+        )
+    }
+
+    /// Boots the cluster with an [`EpochFaultPolicy`] on every balancer and
+    /// a [`FaultInjector`] consulted (pre-seal) on every link — the chaos
+    /// harness's entry point. `start` is this with
+    /// [`EpochFaultPolicy::wait_forever`] and no faults.
+    pub fn start_with_faults(
+        config: SnoopyConfig,
+        objects: Vec<StoredObject>,
+        seed: u64,
+        policy: EpochFaultPolicy,
+        injector: Arc<dyn FaultInjector>,
+    ) -> InProcessCluster {
         let l = config.num_load_balancers;
         let s = config.num_suborams;
         let mut prg = Prg::from_seed(seed);
@@ -217,6 +321,7 @@ impl InProcessCluster {
             let value_len = config.value_len;
             let lambda = config.lambda;
             let external = config.external_storage;
+            let injector = injector.clone();
             threads.push(std::thread::spawn(move || {
                 let oram = if external {
                     SubOram::new_external(part, value_len, key, lambda)
@@ -224,8 +329,15 @@ impl InProcessCluster {
                     SubOram::new_in_enclave(part, value_len, key, lambda)
                 };
                 let mut node = SubOramNode::new(oram, l).with_index(sub_idx);
-                let mut transport =
-                    ChannelSubTransport { rx, lb_txs, links, resp_links, sub_idx, value_len };
+                let mut transport = ChannelSubTransport {
+                    rx,
+                    lb_txs,
+                    links,
+                    resp_links,
+                    sub_idx,
+                    value_len,
+                    injector,
+                };
                 run_suboram(&mut transport, &mut node, |_, _| {});
             }));
         }
@@ -237,11 +349,20 @@ impl InProcessCluster {
             let shared_key = shared_key.clone();
             let value_len = config.value_len;
             let lambda = config.lambda;
+            let policy = policy.clone();
+            let injector = injector.clone();
             threads.push(std::thread::spawn(move || {
                 let balancer = LoadBalancer::new(&shared_key, s, value_len, lambda);
-                let mut transport =
-                    ChannelLbTransport { rx, sub_txs, links, resp_links, lb_idx, value_len };
-                run_load_balancer(&mut transport, balancer, s);
+                let mut transport = ChannelLbTransport {
+                    rx,
+                    sub_txs,
+                    links,
+                    resp_links,
+                    lb_idx,
+                    value_len,
+                    injector,
+                };
+                run_load_balancer_with_policy(&mut transport, balancer, s, policy);
             }));
         }
 
@@ -360,7 +481,7 @@ mod tests {
         let client = cluster.client();
         let rx = client.read_async(42);
         cluster.tick();
-        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
         assert_eq!(resp.value, payload(&42u64.to_le_bytes()));
         cluster.shutdown();
     }
@@ -372,10 +493,10 @@ mod tests {
         let client = cluster.client();
         let w = client.write_async(7, &[0xAB; 4]);
         cluster.tick();
-        w.recv_timeout(Duration::from_secs(30)).unwrap();
+        w.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
         let r = client.read_async(7);
         cluster.tick();
-        let resp = r.recv_timeout(Duration::from_secs(30)).unwrap();
+        let resp = r.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
         assert_eq!(resp.value, payload(&[0xAB; 4]));
         cluster.shutdown();
     }
@@ -395,7 +516,7 @@ mod tests {
             rxs.push((i, client.read_async(i)));
         }
         for (i, rx) in rxs {
-            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
             let want = if i == 9 { payload(&[1, 2, 3]) } else { payload(&i.to_le_bytes()) };
             assert_eq!(resp.value, want, "id {i}");
         }
@@ -413,9 +534,53 @@ mod tests {
         let rx = client.read_async(3);
         cluster.tick();
         assert_eq!(
-            rx.recv_timeout(Duration::from_secs(30)).unwrap().value,
+            rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap().value,
             payload(&3u64.to_le_bytes())
         );
+        cluster.shutdown();
+    }
+
+    /// Drops every batch to subORAM 1 forever: with a deadline policy the
+    /// epoch must degrade and every request in it must fail typed, not hang.
+    struct DropToSub1;
+
+    impl FaultInjector for DropToSub1 {
+        fn on_batch(&self, _lb: usize, suboram: usize, _epoch: u64) -> FaultAction {
+            if suboram == 1 {
+                FaultAction::Drop
+            } else {
+                FaultAction::Deliver
+            }
+        }
+
+        fn on_response(&self, _lb: usize, _suboram: usize, _epoch: u64) -> FaultAction {
+            FaultAction::Deliver
+        }
+    }
+
+    #[test]
+    fn partitioned_suboram_degrades_epoch_with_typed_error() {
+        let cfg = SnoopyConfig::with_machines(1, 2).value_len(VLEN);
+        let policy = EpochFaultPolicy::with_deadline(Duration::from_millis(50), 1);
+        let mut cluster =
+            InProcessCluster::start_with_faults(cfg, objects(40), 5, policy, Arc::new(DropToSub1));
+        let client = cluster.client();
+        let rxs: Vec<_> = (0..8u64).map(|i| client.read_async(i)).collect();
+        cluster.tick();
+        let epoch_failures: Vec<Unavailable> = rxs
+            .into_iter()
+            .map(|rx| {
+                rx.recv_timeout(Duration::from_secs(30))
+                    .expect("degraded epoch must answer, not hang")
+                    .expect_err("all requests in a degraded epoch fail")
+            })
+            .collect();
+        // Every request in the epoch fails identically (wholesale failure —
+        // per-request failures would leak the request→subORAM mapping).
+        for u in &epoch_failures {
+            assert_eq!(u.failed_suborams, vec![1]);
+            assert_eq!(u.epoch, epoch_failures[0].epoch);
+        }
         cluster.shutdown();
     }
 }

@@ -13,7 +13,12 @@
 //!   protection) every deployment plane seals its batches with;
 //! * [`transport`] — the deployment-plane abstraction: the load-balancer and
 //!   subORAM epoch loops, generic over a [`transport::LbTransport`] /
-//!   [`transport::SubTransport`] pair;
+//!   [`transport::SubTransport`] pair, with deadline-driven epoch recovery
+//!   ([`transport::EpochFaultPolicy`]) and fault-injection hooks
+//!   ([`transport::FaultInjector`]) for the chaos harness;
+//! * [`retry`] — deadlines, bounded attempts, and capped exponential backoff
+//!   with deterministic seeded jitter ([`retry::RetryPolicy`]), shared by the
+//!   TCP client, the balancer→subORAM dialer, and the admin RPCs;
 //! * [`deploy`] — the in-process cluster: every load balancer and subORAM on
 //!   its own OS thread, AEAD-sealed links between them, an epoch ticker, and
 //!   blocking client handles (channel-backed transports);
@@ -32,6 +37,7 @@ pub mod deploy;
 pub mod history;
 pub mod link;
 pub mod planned;
+pub mod retry;
 pub mod stats;
 pub mod system;
 pub mod transport;
@@ -40,4 +46,6 @@ pub use config::SnoopyConfig;
 pub use deploy::{ClientHandle, InProcessCluster};
 pub use link::{Link, LinkError};
 pub use planned::PlannedDeployment;
+pub use retry::RetryPolicy;
 pub use system::{Snoopy, SnoopyError};
+pub use transport::{EpochFaultPolicy, FaultAction, FaultInjector, Unavailable};

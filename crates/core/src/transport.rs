@@ -14,23 +14,75 @@
 //! engine ([`crate::system::Snoopy`]): subORAMs execute each epoch's batches
 //! in load-balancer order (§4.3), and a balancer's epoch commits only after
 //! all `S` response batches for that epoch arrived.
+//!
+//! # Failure handling
+//!
+//! Epochs are the recovery unit (the same observation Obladi makes for
+//! epoch-based designs): an epoch either commits — all `S` responses arrived
+//! and every client in it gets its matched response — or, under an
+//! [`EpochFaultPolicy`] with a subORAM deadline, it *degrades*: after
+//! `max_replays` byte-identical re-sends of the still-owed batches the
+//! balancer fails **every** request in the epoch with a typed
+//! [`Unavailable`] error instead of hanging. Failing the epoch wholesale is
+//! a leakage requirement, not laziness: failing only the requests routed to
+//! the dead subORAM would reveal the secret request→subORAM mapping, while
+//! "epoch e failed after subORAM k missed its deadline" is wire-observable
+//! to the adversary already.
 
 use snoopy_enclave::wire::{Request, Response};
 use snoopy_lb::LoadBalancer;
 use snoopy_suboram::SubOram;
 use snoopy_telemetry::{metrics, trace, Public};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Typed failure for an epoch the balancer completed in degraded mode: the
+/// named subORAMs missed their deadline through every allowed replay, so all
+/// requests in the epoch fail rather than hang. Both fields are
+/// wire-observable (epoch boundaries and which machine stopped answering are
+/// visible to a network adversary), so returning them leaks nothing new.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Unavailable {
+    /// The epoch that degraded.
+    pub epoch: u64,
+    /// SubORAM indices still owing a response when the replay budget ran out.
+    pub failed_suborams: Vec<usize>,
+}
+
+impl std::fmt::Display for Unavailable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {} unavailable: suborams {:?} missed deadline",
+            self.epoch, self.failed_suborams
+        )
+    }
+}
+
+impl std::error::Error for Unavailable {}
+
+/// What a client gets back for one request: the matched response, or a typed
+/// notice that its epoch degraded.
+pub type ClientReply = Result<Response, Unavailable>;
 
 /// Where a client's matched response gets delivered.
 pub trait ReplySink: Send {
     /// Consumes the sink, delivering the response. Delivery failures (client
     /// gave up, connection gone) are swallowed: the epoch still commits.
     fn deliver(self: Box<Self>, resp: Response);
+
+    /// Consumes the sink, delivering a typed failure instead of a response
+    /// (the request's epoch completed degraded).
+    fn fail(self: Box<Self>, err: Unavailable);
 }
 
-impl ReplySink for std::sync::mpsc::Sender<Response> {
+impl ReplySink for std::sync::mpsc::Sender<ClientReply> {
     fn deliver(self: Box<Self>, resp: Response) {
-        let _ = self.send(resp);
+        let _ = self.send(Ok(resp));
+    }
+
+    fn fail(self: Box<Self>, err: Unavailable) {
+        let _ = self.send(Err(err));
     }
 }
 
@@ -61,16 +113,46 @@ pub enum LbEvent {
     Shutdown,
 }
 
+/// Result of a deadline-bounded receive on an [`LbTransport`].
+pub enum RecvOutcome {
+    /// An event arrived before the deadline.
+    Event(LbEvent),
+    /// The deadline passed with no event.
+    TimedOut,
+    /// The transport is gone; the loop should exit.
+    Closed,
+}
+
 /// Transport endpoint for a load balancer.
 pub trait LbTransport {
     /// Blocks for the next event; `None` means the transport is gone and the
     /// loop should exit.
     fn recv(&mut self) -> Option<LbEvent>;
 
+    /// Blocks for the next event until `deadline`. The default ignores the
+    /// deadline and delegates to [`LbTransport::recv`] — transports that
+    /// support [`EpochFaultPolicy`] deadlines must override this.
+    fn recv_deadline(&mut self, deadline: Instant) -> RecvOutcome {
+        let _ = deadline;
+        match self.recv() {
+            Some(ev) => RecvOutcome::Event(ev),
+            None => RecvOutcome::Closed,
+        }
+    }
+
     /// Seals and sends this balancer's `epoch` batch to subORAM `suboram`.
     /// Delivery failures surface later as [`LbEvent::SubLinkRestored`] (TCP)
     /// or termination (channels); the loop itself never retries eagerly.
     fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]);
+
+    /// Tears down the link to `suboram` so it can heal with fresh session
+    /// state. Called when the subORAM misses an epoch deadline: the AEAD
+    /// links are strictly in-order (a re-sent sealed frame would be rejected
+    /// as a replay), so recovery is re-dial + re-seal, never re-send of old
+    /// ciphertext. Default is a no-op for transports without connections.
+    fn fail_fast(&mut self, suboram: usize) {
+        let _ = suboram;
+    }
 }
 
 /// Events a subORAM's transport feeds into its loop.
@@ -98,15 +180,107 @@ pub trait SubTransport {
     fn send_response(&mut self, lb: usize, epoch: u64, batch: &[Request]);
 }
 
+/// What a fault injector decided to do with one in-flight message. Injection
+/// happens *before* sealing, so a dropped message never advances the link's
+/// nonce sequence and the eventual re-send is a byte-identical re-seal of
+/// the same plaintext shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Pass the message through untouched.
+    Deliver,
+    /// Silently discard the message.
+    Drop,
+    /// Deliver the message twice (exercises reply-cache dedup).
+    Duplicate,
+    /// Hold the message for the given duration, then deliver it.
+    Delay(Duration),
+    /// Kill the underlying connection (transports without connections treat
+    /// this as [`FaultAction::Drop`]).
+    Close,
+}
+
+/// Decides the fate of each message crossing a transport. Implemented by
+/// `snoopy-chaos`'s seeded `FaultPlan`; the decision inputs are all public
+/// (deployment indices and the epoch number), so a plan cannot target
+/// messages by secret content even by accident.
+pub trait FaultInjector: Send + Sync {
+    /// Fate of load balancer `lb`'s epoch-`epoch` batch to `suboram`.
+    fn on_batch(&self, lb: usize, suboram: usize, epoch: u64) -> FaultAction;
+
+    /// Fate of `suboram`'s epoch-`epoch` response batch to balancer `lb`.
+    fn on_response(&self, lb: usize, suboram: usize, epoch: u64) -> FaultAction;
+}
+
+/// The injector that never injects: every message is delivered.
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn on_batch(&self, _lb: usize, _suboram: usize, _epoch: u64) -> FaultAction {
+        FaultAction::Deliver
+    }
+
+    fn on_response(&self, _lb: usize, _suboram: usize, _epoch: u64) -> FaultAction {
+        FaultAction::Deliver
+    }
+}
+
+/// How a balancer's epoch loop reacts to subORAMs that stop answering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpochFaultPolicy {
+    /// How long to wait for the outstanding response batches before tearing
+    /// the owing links down and re-sending. `None` waits forever (the seed
+    /// behavior).
+    pub sub_deadline: Option<Duration>,
+    /// Re-send waves allowed before the epoch completes degraded.
+    pub max_replays: u32,
+}
+
+impl EpochFaultPolicy {
+    /// The seed behavior: block until every subORAM answers.
+    pub fn wait_forever() -> EpochFaultPolicy {
+        EpochFaultPolicy { sub_deadline: None, max_replays: 0 }
+    }
+
+    /// Deadline-driven recovery: after `sub_deadline` with responses still
+    /// owed, fail the owing links fast and replay their batches, up to
+    /// `max_replays` waves; then degrade the epoch.
+    pub fn with_deadline(sub_deadline: Duration, max_replays: u32) -> EpochFaultPolicy {
+        EpochFaultPolicy { sub_deadline: Some(sub_deadline), max_replays }
+    }
+}
+
+/// Drives one load balancer until shutdown, waiting indefinitely for
+/// subORAM responses (the seed behavior — see
+/// [`run_load_balancer_with_policy`] for deadline-driven recovery).
+pub fn run_load_balancer<T: LbTransport>(
+    transport: &mut T,
+    balancer: LoadBalancer,
+    num_suborams: usize,
+) {
+    run_load_balancer_with_policy(
+        transport,
+        balancer,
+        num_suborams,
+        EpochFaultPolicy::wait_forever(),
+    )
+}
+
 /// Drives one load balancer until shutdown.
 ///
 /// Requests arriving while an epoch is in flight join the *next* epoch —
 /// exactly the behavior of the threaded seed implementation, where they
 /// queued behind the `Tick` message.
-pub fn run_load_balancer<T: LbTransport>(
+///
+/// With a `policy` deadline, the wait phase re-sends still-owed batches
+/// (byte-identical shapes — batch size stays `f(R, S)` of public values)
+/// after each deadline miss, and after `max_replays` misses completes the
+/// epoch in degraded mode: every request in it fails with [`Unavailable`]
+/// (see the module docs for why the failure is wholesale).
+pub fn run_load_balancer_with_policy<T: LbTransport>(
     transport: &mut T,
     balancer: LoadBalancer,
     num_suborams: usize,
+    policy: EpochFaultPolicy,
 ) {
     let mut pending: Vec<(Request, Box<dyn ReplySink>)> = Vec::new();
     let mut deferred_ticks: VecDeque<u64> = VecDeque::new();
@@ -141,36 +315,93 @@ pub fn run_load_balancer<T: LbTransport>(
                 let lb_make_time = make_span.finish();
                 let entries_sent: usize = batches.iter().map(|b| b.len()).sum();
                 // Collect all S response batches for this epoch before
-                // committing it.
+                // committing it — or degrade once the replay budget is spent.
                 let wait_span = trace::span("epoch/sub_wait");
                 let mut responses: Vec<Option<Vec<Request>>> = vec![None; num_suborams];
                 let mut outstanding = num_suborams;
+                let mut replays_used = 0u32;
+                let mut deadline = policy.sub_deadline.map(|d| Instant::now() + d);
+                let mut degraded = false;
                 while outstanding > 0 {
-                    match transport.recv() {
-                        None | Some(LbEvent::Shutdown) => break 'outer,
-                        Some(LbEvent::Client(mut req, sink)) => {
+                    let outcome = match deadline {
+                        Some(at) => transport.recv_deadline(at),
+                        None => match transport.recv() {
+                            Some(ev) => RecvOutcome::Event(ev),
+                            None => RecvOutcome::Closed,
+                        },
+                    };
+                    match outcome {
+                        RecvOutcome::Closed | RecvOutcome::Event(LbEvent::Shutdown) => break 'outer,
+                        RecvOutcome::Event(LbEvent::Client(mut req, sink)) => {
                             req.client = pending.len() as u64;
                             pending.push((req, sink));
                         }
-                        Some(LbEvent::Tick(e)) => deferred_ticks.push_back(e),
-                        Some(LbEvent::SubResponse { suboram, epoch: e, batch }) if e == epoch => {
+                        RecvOutcome::Event(LbEvent::Tick(e)) => deferred_ticks.push_back(e),
+                        RecvOutcome::Event(LbEvent::SubResponse { suboram, epoch: e, batch })
+                            if e == epoch =>
+                        {
                             if responses[suboram].is_none() {
                                 responses[suboram] = Some(batch);
                                 outstanding -= 1;
                             }
                         }
                         // Duplicate delivery of an older epoch's responses.
-                        Some(LbEvent::SubResponse { .. }) => {}
-                        Some(LbEvent::SubLinkRestored { suboram }) => {
+                        RecvOutcome::Event(LbEvent::SubResponse { .. }) => {}
+                        RecvOutcome::Event(LbEvent::SubLinkRestored { suboram }) => {
                             if responses[suboram].is_none() {
                                 // The subORAM (re)connected while still owing
-                                // this epoch: resend our batch for it.
+                                // this epoch: resend our batch for it. The
+                                // reply cache on the far side makes this
+                                // idempotent.
+                                record_replay();
                                 transport.send_batch(suboram, epoch, &batches[suboram]);
                             }
+                        }
+                        RecvOutcome::TimedOut => {
+                            if replays_used >= policy.max_replays {
+                                degraded = true;
+                                // Tear down the links of the owing subORAMs
+                                // anyway so they heal for the next epoch.
+                                for (sub, resp) in responses.iter().enumerate() {
+                                    if resp.is_none() {
+                                        transport.fail_fast(sub);
+                                    }
+                                }
+                                break;
+                            }
+                            replays_used += 1;
+                            let wait = policy.sub_deadline.expect("timeout without a deadline");
+                            for (sub, resp) in responses.iter().enumerate() {
+                                if resp.is_none() {
+                                    // The link is strictly in-order, so a
+                                    // stalled link cannot be reused: kill it
+                                    // and re-send (same plaintext, fresh
+                                    // seal) once it heals — or immediately,
+                                    // on connectionless transports.
+                                    transport.fail_fast(sub);
+                                    record_replay();
+                                    transport.send_batch(sub, epoch, &batches[sub]);
+                                }
+                            }
+                            deadline = Some(Instant::now() + wait);
                         }
                     }
                 }
                 let sub_wait_time = wait_span.finish();
+                if degraded {
+                    let failed: Vec<usize> = responses
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, r)| r.is_none().then_some(i))
+                        .collect();
+                    let affected = epoch_reqs.len();
+                    for (_, sink) in epoch_reqs {
+                        sink.fail(Unavailable { epoch, failed_suborams: failed.clone() });
+                    }
+                    drop(epoch_span);
+                    record_degraded_epoch_metrics(affected);
+                    continue;
+                }
                 let match_span = trace::span("epoch/lb_match");
                 if !requests.is_empty() {
                     let responses: Vec<Vec<Request>> =
@@ -225,6 +456,29 @@ fn record_lb_epoch_metrics(
     metrics::stage_histogram("lb_match").observe(Public::timing(lb_match));
 }
 
+/// Counts one batch re-send (deadline-miss wave or post-reconnect replay).
+/// Re-sends are wire-observable by definition — the adversary sees the frame.
+fn record_replay() {
+    metrics::global()
+        .counter(
+            metrics::names::REPLAYS_TOTAL,
+            "epoch batches re-sent after deadline misses or reconnects",
+        )
+        .inc(Public::wire_observable(()));
+}
+
+/// Publishes a degraded epoch: the epoch-failure counter plus how many client
+/// requests received `Unavailable`. Degradation is triggered purely by
+/// wire-observable deadline misses; the affected-request count is the epoch's
+/// request volume, public by assumption.
+fn record_degraded_epoch_metrics(affected_requests: usize) {
+    let reg = metrics::global();
+    reg.counter(metrics::names::DEGRADED_EPOCHS_TOTAL, "epochs completed in degraded mode")
+        .inc(Public::wire_observable(()));
+    reg.counter(metrics::names::UNAVAILABLE_TOTAL, "client requests failed with Unavailable")
+        .add(Public::request_volume(affected_requests as u64));
+}
+
 /// What [`SubOramNode::handle_batch`] decided about an incoming batch.
 pub enum BatchOutcome {
     /// Still waiting for other balancers' batches for this epoch.
@@ -241,6 +495,17 @@ pub enum BatchOutcome {
         /// The cached response batch.
         batch: Vec<Request>,
     },
+    /// The batch belongs to an epoch whose cached responses were already
+    /// evicted from the bounded reply cache. Re-executing it would corrupt
+    /// write semantics (writes return the pre-write value), so the node
+    /// refuses: no response is sent and the balancer's epoch eventually
+    /// degrades. Only a balancer replaying far into the past hits this.
+    Evicted {
+        /// The balancer whose batch was refused.
+        lb: usize,
+        /// The too-old epoch.
+        epoch: u64,
+    },
 }
 
 /// A subORAM's deployment-plane state machine: epoch assembly, in-order
@@ -251,6 +516,11 @@ pub enum BatchOutcome {
 /// a restarted subORAM process (recovered from a checkpoint) can re-answer
 /// epochs it already executed without re-running them — which would corrupt
 /// write semantics, since writes return the pre-write value.
+///
+/// The cache is bounded: only the newest [`SubOramNode::retain`] executed
+/// epochs are kept, and the eviction watermark persists across restarts (via
+/// the checkpoint) so a replay of an evicted epoch is *refused* with
+/// [`BatchOutcome::Evicted`] rather than silently re-executed.
 pub struct SubOramNode {
     oram: SubOram,
     num_lbs: usize,
@@ -261,6 +531,9 @@ pub struct SubOramNode {
     /// Executed epochs kept for replay, newest `retain` only.
     completed: BTreeMap<u64, Vec<Vec<Request>>>,
     retain: usize,
+    /// Epochs below this executed once and were evicted; replaying them is
+    /// refused. Persisted in checkpoints so restarts cannot re-execute.
+    evicted_below: u64,
 }
 
 impl SubOramNode {
@@ -273,23 +546,41 @@ impl SubOramNode {
             pending: HashMap::new(),
             completed: BTreeMap::new(),
             retain: 8,
+            evicted_below: 0,
         }
     }
 
-    /// Rebuilds a node from checkpointed state: the recovered ORAM plus the
-    /// reply cache of already-executed epochs.
+    /// Rebuilds a node from checkpointed state: the recovered ORAM, the
+    /// reply cache of already-executed epochs, and the eviction watermark.
     pub fn restore(
         oram: SubOram,
         num_lbs: usize,
         completed: BTreeMap<u64, Vec<Vec<Request>>>,
+        evicted_below: u64,
     ) -> SubOramNode {
-        SubOramNode { oram, num_lbs, index: None, pending: HashMap::new(), completed, retain: 8 }
+        SubOramNode {
+            oram,
+            num_lbs,
+            index: None,
+            pending: HashMap::new(),
+            completed,
+            retain: 8,
+            evicted_below,
+        }
     }
 
     /// Labels this node with its deployment index so its scan spans read
     /// `epoch/suboram_scan/<i>`. The index is configuration — public.
     pub fn with_index(mut self, index: usize) -> SubOramNode {
         self.index = Some(index);
+        self
+    }
+
+    /// Bounds the reply cache to the newest `retain` executed epochs
+    /// (minimum 1 — an unbounded node would never answer a replay from a
+    /// cacheless past anyway, it would corrupt it).
+    pub fn with_retain(mut self, retain: usize) -> SubOramNode {
+        self.retain = retain.max(1);
         self
     }
 
@@ -303,6 +594,12 @@ impl SubOramNode {
         &self.completed
     }
 
+    /// Epochs below this bound were executed and evicted: replaying them
+    /// returns [`BatchOutcome::Evicted`]. Persisted in checkpoints.
+    pub fn evicted_below(&self) -> u64 {
+        self.evicted_below
+    }
+
     /// Number of load balancers feeding this node.
     pub fn num_lbs(&self) -> usize {
         self.num_lbs
@@ -311,6 +608,9 @@ impl SubOramNode {
     /// Feeds one batch in; executes the epoch once all `L` batches arrived.
     pub fn handle_batch(&mut self, lb: usize, epoch: u64, batch: Vec<Request>) -> BatchOutcome {
         assert!(lb < self.num_lbs, "balancer index {lb} out of range");
+        if epoch < self.evicted_below {
+            return BatchOutcome::Evicted { lb, epoch };
+        }
         if let Some(cached) = self.completed.get(&epoch) {
             return BatchOutcome::Replayed { lb, batch: cached[lb].clone() };
         }
@@ -344,7 +644,11 @@ impl SubOramNode {
         while self.completed.len() > self.retain {
             let oldest = *self.completed.keys().next().unwrap();
             self.completed.remove(&oldest);
+            self.evicted_below = self.evicted_below.max(oldest + 1);
         }
+        // Half-assembled epochs older than anything still replayable belong
+        // to balancers that gave up (degraded); free them.
+        self.pending.retain(|e, _| *e >= self.evicted_below);
         BatchOutcome::Completed(out)
     }
 }
@@ -367,6 +671,20 @@ pub fn run_suboram<T: SubTransport>(
             SubEvent::Batch { lb, epoch, batch } => match node.handle_batch(lb, epoch, batch) {
                 BatchOutcome::Waiting => {}
                 BatchOutcome::Replayed { lb, batch } => transport.send_response(lb, epoch, &batch),
+                BatchOutcome::Evicted { lb, epoch } => {
+                    // Refused: the epoch executed long ago and its cached
+                    // responses are gone. Answering nothing lets the
+                    // balancer's deadline degrade the epoch; re-executing
+                    // would silently corrupt write semantics.
+                    let _ = lb;
+                    metrics::global()
+                        .counter(
+                            metrics::names::EVICTED_REPLAYS_TOTAL,
+                            "replayed batches refused because the epoch was evicted from the reply cache",
+                        )
+                        .inc(Public::wire_observable(()));
+                    let _ = epoch;
+                }
                 BatchOutcome::Completed(responses) => {
                     after_epoch(node, epoch);
                     for (lb_idx, resp) in responses.iter().enumerate() {
@@ -375,5 +693,64 @@ pub fn run_suboram<T: SubTransport>(
                 }
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unavailable_display_names_suborams() {
+        let u = Unavailable { epoch: 9, failed_suborams: vec![1, 3] };
+        let msg = u.to_string();
+        assert!(msg.contains("epoch 9"), "{msg}");
+        assert!(msg.contains("[1, 3]"), "{msg}");
+    }
+
+    #[test]
+    fn fault_policy_constructors() {
+        assert_eq!(EpochFaultPolicy::wait_forever().sub_deadline, None);
+        let p = EpochFaultPolicy::with_deadline(Duration::from_millis(250), 3);
+        assert_eq!(p.sub_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(p.max_replays, 3);
+    }
+
+    #[test]
+    fn no_faults_delivers() {
+        assert_eq!(NoFaults.on_batch(0, 0, 0), FaultAction::Deliver);
+        assert_eq!(NoFaults.on_response(1, 2, 3), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn evicted_epoch_replay_returns_typed_outcome_not_recompute() {
+        use snoopy_crypto::{Key256, Prg};
+        use snoopy_enclave::wire::StoredObject;
+        let mut prg = Prg::from_seed(1);
+        let objs: Vec<StoredObject> =
+            (0..8u64).map(|i| StoredObject::new(i, &i.to_le_bytes(), 8)).collect();
+        let oram = SubOram::new_in_enclave(objs, 8, Key256::random(&mut prg), 16);
+        let mut node = SubOramNode::new(oram, 1).with_retain(2);
+        for e in 0..4u64 {
+            assert!(
+                matches!(node.handle_batch(0, e, Vec::new()), BatchOutcome::Completed(_)),
+                "epoch {e} should complete"
+            );
+        }
+        // retain = 2 kept epochs {2, 3}; 0 and 1 were evicted.
+        assert_eq!(node.evicted_below(), 2);
+        // A retained epoch replays from cache.
+        assert!(matches!(node.handle_batch(0, 3, Vec::new()), BatchOutcome::Replayed { .. }));
+        // An evicted epoch is refused with the typed outcome — not re-executed.
+        assert!(matches!(
+            node.handle_batch(0, 1, Vec::new()),
+            BatchOutcome::Evicted { lb: 0, epoch: 1 }
+        ));
+        // The watermark survives a checkpoint-style restore.
+        let completed = node.completed().clone();
+        let evicted = node.evicted_below();
+        let SubOramNode { oram, .. } = node;
+        let restored = SubOramNode::restore(oram, 1, completed, evicted);
+        assert_eq!(restored.evicted_below(), 2);
     }
 }

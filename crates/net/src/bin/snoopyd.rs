@@ -6,6 +6,7 @@
 //!         --checkpoint /var/lib/snoopy/sub1.ckpt
 //! snoopyd stats    --addr 127.0.0.1:7000
 //! snoopyd metrics  --addr 127.0.0.1:7000
+//! snoopyd health   --addr 127.0.0.1:7000
 //! snoopyd shutdown --addr 127.0.0.1:7000
 //! ```
 //!
@@ -18,7 +19,7 @@
 
 use snoopy_net::manifest::Manifest;
 use snoopy_net::stats::StatsRegistry;
-use snoopy_net::{fetch_metrics, fetch_stats, shutdown_daemon};
+use snoopy_net::{fetch_health, fetch_metrics, fetch_stats, shutdown_daemon};
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -28,6 +29,7 @@ fn usage() -> ! {
          snoopyd --role loadbalancer|suboram --index N --manifest PATH [--checkpoint PATH]\n  \
          snoopyd stats --addr HOST:PORT\n  \
          snoopyd metrics --addr HOST:PORT\n  \
+         snoopyd health --addr HOST:PORT\n  \
          snoopyd shutdown --addr HOST:PORT"
     );
     exit(2);
@@ -56,6 +58,16 @@ fn main() {
                 Ok(text) => print!("{text}"),
                 Err(e) => {
                     eprintln!("snoopyd metrics: {e}");
+                    exit(1);
+                }
+            }
+        }
+        Some("health") => {
+            let addr = flag_value(&args, "--addr").unwrap_or_else(|| usage());
+            match fetch_health(&addr) {
+                Ok(header) => println!("{}", header.render()),
+                Err(e) => {
+                    eprintln!("snoopyd health: {e}");
                     exit(1);
                 }
             }

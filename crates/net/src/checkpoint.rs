@@ -26,7 +26,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"SNPCKPT1";
+const MAGIC: &[u8; 8] = b"SNPCKPT2";
 
 /// Derives the checkpoint sealing key for subORAM `index`.
 pub fn checkpoint_key(deploy: &Key256, index: usize) -> Key256 {
@@ -68,6 +68,7 @@ fn encode_state(node: &SubOramNode) -> Vec<u8> {
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&(value_len as u64).to_le_bytes());
     out.extend_from_slice(&(node.num_lbs() as u64).to_le_bytes());
+    out.extend_from_slice(&node.evicted_below().to_le_bytes());
     out.extend_from_slice(&(objects.len() as u64).to_le_bytes());
     for o in &objects {
         out.extend_from_slice(&o.id.to_le_bytes());
@@ -87,9 +88,9 @@ fn encode_state(node: &SubOramNode) -> Vec<u8> {
     out
 }
 
-/// Decoded checkpoint payload: `(value_len, num_lbs, objects, cached
-/// responses per epoch)`.
-type CheckpointState = (usize, usize, Vec<StoredObject>, BTreeMap<u64, Vec<Vec<Request>>>);
+/// Decoded checkpoint payload: `(value_len, num_lbs, evicted_below,
+/// objects, cached responses per epoch)`.
+type CheckpointState = (usize, usize, u64, Vec<StoredObject>, BTreeMap<u64, Vec<Vec<Request>>>);
 
 fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     let mut r = Reader(plain);
@@ -98,6 +99,7 @@ fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     }
     let value_len = r.u64()? as usize;
     let num_lbs = r.u64()? as usize;
+    let evicted_below = r.u64()?;
     let num_objects = r.u64()? as usize;
     let mut objects = Vec::with_capacity(num_objects);
     for _ in 0..num_objects {
@@ -124,7 +126,7 @@ fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     if !r.0.is_empty() {
         return Err(bad("trailing bytes"));
     }
-    Ok((value_len, num_lbs, objects, completed))
+    Ok((value_len, num_lbs, evicted_below, objects, completed))
 }
 
 /// Seals the node's state and atomically replaces `path`.
@@ -163,9 +165,14 @@ pub fn load(
     let plain = AeadKey::new(key.clone())
         .open(Nonce::from_parts(0x7F00_0000, seq), b"ckpt", &sealed)
         .map_err(|_| bad("seal verification failed"))?;
-    let (value_len, num_lbs, objects, completed) = decode_state(&plain)?;
+    let (value_len, num_lbs, evicted_below, objects, completed) = decode_state(&plain)?;
+    // A crash between write-to-temp and rename leaves a stale `.tmp` behind;
+    // it is garbage by construction (the rename never happened), so clean it
+    // up rather than letting the checkpoint directory grow one orphan per
+    // unlucky crash.
+    let _ = std::fs::remove_file(path.with_extension("tmp"));
     let oram = SubOram::new_in_enclave(objects, value_len, root_key, lambda);
-    Ok(Some(SubOramNode::restore(oram, num_lbs, completed)))
+    Ok(Some(SubOramNode::restore(oram, num_lbs, completed, evicted_below)))
 }
 
 #[cfg(test)]
@@ -205,6 +212,42 @@ mod tests {
             BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out[0]),
             _ => panic!("expected replay from cache"),
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn eviction_watermark_survives_restart_and_stale_tmp_is_cleaned() {
+        let dir = std::env::temp_dir().join(format!("snoopy-ckpt3-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sub2.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let key = checkpoint_key(&Key256([2u8; 32]), 2);
+
+        // Bound the reply cache to 2 epochs and run 4: epochs 0 and 1 evict.
+        let objects: Vec<StoredObject> =
+            (0..32).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+        let mut n =
+            SubOramNode::new(SubOram::new_in_enclave(objects, VLEN, Key256([9u8; 32]), 80), 1)
+                .with_retain(2);
+        for e in 0..4u64 {
+            let batch = vec![Request::read(e % 8, VLEN, 0, e)];
+            assert!(matches!(n.handle_batch(0, e, batch), BatchOutcome::Completed(_)));
+        }
+        assert_eq!(n.evicted_below(), 2);
+        save(&n, &key, &path).unwrap();
+
+        // Simulate a crash that left a half-written temp file behind.
+        std::fs::write(path.with_extension("tmp"), b"half-written garbage").unwrap();
+
+        let mut restored = load(&key, &path, Key256([9u8; 32]), 80).unwrap().unwrap();
+        assert!(!path.with_extension("tmp").exists(), "stale tmp should be cleaned on load");
+        assert_eq!(restored.evicted_below(), 2);
+        // A replayed-but-evicted epoch is refused after restart too.
+        let replay = vec![Request::read(0, VLEN, 0, 0)];
+        assert!(matches!(
+            restored.handle_batch(0, 0, replay),
+            BatchOutcome::Evicted { lb: 0, epoch: 0 }
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 

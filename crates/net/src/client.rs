@@ -2,14 +2,24 @@
 //!
 //! [`NetClient`] is the blocking client API: it dials a load balancer, runs
 //! the session hello, and then issues reads/writes over the sealed
-//! client ↔ balancer link. The admin helpers ([`fetch_stats`],
-//! [`shutdown_daemon`]) speak the plaintext control frames.
+//! client ↔ balancer link. Connection parameters (per-attempt read timeout,
+//! retry/backoff schedule) come from [`ConnectConfig`]; on a timeout or a
+//! dead connection the client re-dials (fresh session keys) and re-issues
+//! the request under its [`RetryPolicy`], deduplicating responses by the
+//! per-request `seq`. Reads are idempotent; a retried write is at-least-once
+//! (see DESIGN.md's failure model).
+//!
+//! The admin helpers ([`fetch_stats`], [`fetch_metrics`], [`fetch_health`],
+//! [`shutdown_daemon`]) speak the plaintext control frames; each has a
+//! `_with` variant taking an explicit [`RetryPolicy`].
 
 use crate::frame::{read_frame, write_frame};
 use crate::proto::{self, tag, Hello, Role};
 use snoopy_core::link::Link;
+use snoopy_core::{RetryPolicy, Unavailable};
 use snoopy_crypto::Key256;
 use snoopy_enclave::wire::{Request, Response};
+use snoopy_telemetry::{metrics, Public};
 use std::io;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -18,18 +28,94 @@ fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
+/// How an I/O error from a client connection should be handled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The attempt's deadline passed (`WouldBlock`/`TimedOut`): the
+    /// connection may still be healthy but this attempt is over.
+    Timeout,
+    /// The peer is gone (clean EOF mid-frame, reset, broken pipe): the
+    /// connection is dead and a retry must re-dial.
+    Disconnected,
+    /// Not a transport condition (bad frame, link failure, typed
+    /// `Unavailable`): retrying the same bytes will not help.
+    Fatal,
+}
+
+/// Classifies an I/O error for retry purposes. Timeouts (`WouldBlock` is
+/// what a socket read deadline surfaces as on Unix, `TimedOut` on other
+/// platforms) are distinct from a peer that hung up (`UnexpectedEof` — a
+/// clean close mid-frame — reset, or broken pipe); everything else is fatal.
+pub fn classify_io_error(e: &io::Error) -> ErrorClass {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ErrorClass::Timeout,
+        io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::NotConnected => ErrorClass::Disconnected,
+        _ => ErrorClass::Fatal,
+    }
+}
+
+/// Extracts the typed [`Unavailable`] from an error returned by
+/// [`NetClient::read`]/[`NetClient::write`], if the failure was a degraded
+/// epoch rather than a transport problem.
+pub fn unavailable_info(e: &io::Error) -> Option<&Unavailable> {
+    e.get_ref().and_then(|inner| inner.downcast_ref::<Unavailable>())
+}
+
+/// Connection parameters for a [`NetClient`].
+#[derive(Clone, Debug)]
+pub struct ConnectConfig {
+    /// Which load balancer (manifest index) the session keys bind to.
+    pub lb_index: usize,
+    /// Public object size.
+    pub value_len: usize,
+    /// Per-attempt socket read deadline (formerly a hardcoded 60 s).
+    pub read_timeout: Duration,
+    /// Retry schedule for dials and request roundtrips.
+    pub retry: RetryPolicy,
+}
+
+impl ConnectConfig {
+    /// Defaults: 10 s read timeout, [`RetryPolicy::client_default`].
+    pub fn new(lb_index: usize, value_len: usize) -> ConnectConfig {
+        ConnectConfig {
+            lb_index,
+            value_len,
+            read_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::client_default(),
+        }
+    }
+
+    /// Replaces the per-attempt read deadline.
+    pub fn read_timeout(mut self, timeout: Duration) -> ConnectConfig {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Replaces the retry policy.
+    pub fn retry(mut self, retry: RetryPolicy) -> ConnectConfig {
+        self.retry = retry;
+        self
+    }
+}
+
 /// A blocking client session with one load balancer.
 pub struct NetClient {
     stream: TcpStream,
     req_link: Link,
     resp_link: Link,
-    value_len: usize,
+    addr: String,
+    deploy: Key256,
+    config: ConnectConfig,
     seq: u64,
 }
 
 impl NetClient {
-    /// Dials the balancer at `addr` (index `lb_index` in the manifest) and
-    /// establishes a fresh session. `deploy` is the deployment key
+    /// Dials the balancer at `addr` (index `lb_index` in the manifest) with
+    /// default connection parameters. `deploy` is the deployment key
     /// ([`proto::deployment_key`] of the manifest seed).
     pub fn connect(
         addr: &str,
@@ -37,29 +123,52 @@ impl NetClient {
         deploy: &Key256,
         value_len: usize,
     ) -> io::Result<NetClient> {
-        let mut stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-        let hello = Hello::new(Role::Client, 0);
-        write_frame(&mut stream, tag::HELLO, &hello.encode())?;
-        let (req_link, resp_link) = proto::client_session_links(deploy, lb_index, hello.session);
-        Ok(NetClient { stream, req_link, resp_link, value_len, seq: 0 })
+        NetClient::connect_with(addr, deploy, ConnectConfig::new(lb_index, value_len))
+    }
+
+    /// Dials with explicit [`ConnectConfig`] (read timeout + retry policy).
+    /// The dial itself runs under the config's retry schedule.
+    pub fn connect_with(
+        addr: &str,
+        deploy: &Key256,
+        config: ConnectConfig,
+    ) -> io::Result<NetClient> {
+        let (stream, req_link, resp_link) = config.retry.run(|attempt| {
+            if attempt > 0 {
+                count_retry();
+            }
+            dial_session(addr, deploy, &config)
+        })?;
+        Ok(NetClient {
+            stream,
+            req_link,
+            resp_link,
+            addr: addr.to_string(),
+            deploy: deploy.clone(),
+            config,
+            seq: 0,
+        })
     }
 
     /// Reads object `id`, blocking until the epoch containing the request
-    /// commits.
+    /// commits. Transparently retries (reconnecting as needed) under the
+    /// connect config's [`RetryPolicy`]; a degraded epoch surfaces as an
+    /// error carrying [`Unavailable`] (see [`unavailable_info`]).
     pub fn read(&mut self, id: u64) -> io::Result<Vec<u8>> {
         let seq = self.next_seq();
-        let req = Request::read(id, self.value_len, 0, seq);
-        Ok(self.roundtrip(req, seq)?.value)
+        let req = Request::read(id, self.config.value_len, 0, seq);
+        Ok(self.roundtrip_with_retry(req, seq)?.value)
     }
 
     /// Writes object `id`; returns the pre-write value (Snoopy's write
-    /// semantics).
+    /// semantics). Retried writes are at-least-once: if the first attempt's
+    /// epoch committed but the response was lost, the retry re-executes the
+    /// write in a later epoch and the returned pre-write value reflects the
+    /// first write.
     pub fn write(&mut self, id: u64, payload: &[u8]) -> io::Result<Vec<u8>> {
         let seq = self.next_seq();
-        let req = Request::write(id, payload, self.value_len, 0, seq);
-        Ok(self.roundtrip(req, seq)?.value)
+        let req = Request::write(id, payload, self.config.value_len, 0, seq);
+        Ok(self.roundtrip_with_retry(req, seq)?.value)
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -67,46 +176,129 @@ impl NetClient {
         self.seq
     }
 
+    /// Re-dials and installs a fresh session (new session id → new link
+    /// keys; the old session's sequence numbers die with it).
+    fn reconnect(&mut self) -> io::Result<()> {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let (stream, req_link, resp_link) = dial_session(&self.addr, &self.deploy, &self.config)?;
+        self.stream = stream;
+        self.req_link = req_link;
+        self.resp_link = resp_link;
+        Ok(())
+    }
+
+    fn roundtrip_with_retry(&mut self, req: Request, seq: u64) -> io::Result<Response> {
+        let policy = self.config.retry.clone();
+        let mut attempt = 0u32;
+        loop {
+            let result = self.roundtrip(req.clone(), seq);
+            let err = match result {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            let next = attempt + 1;
+            let class = classify_io_error(&err);
+            if class == ErrorClass::Fatal || !policy.allows(next) {
+                return Err(err);
+            }
+            std::thread::sleep(policy.backoff(next));
+            attempt = next;
+            count_retry();
+            if let Err(redial) = self.reconnect() {
+                // Keep retrying through dial failures until attempts run out.
+                if !policy.allows(attempt + 1) {
+                    return Err(redial);
+                }
+            }
+        }
+    }
+
     fn roundtrip(&mut self, req: Request, seq: u64) -> io::Result<Response> {
         let sealed = self.req_link.seal(&[req]).map_err(|_| bad("request link failure"))?;
         write_frame(&mut self.stream, tag::CLIENT_REQ, &sealed.bytes)?;
         loop {
             let (t, body) = read_frame(&mut self.stream)?;
-            if t != tag::CLIENT_RESP {
-                return Err(bad("unexpected frame from balancer"));
-            }
-            let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
-            let batch = self
-                .resp_link
-                .open_responses(&sealed, self.value_len)
-                .map_err(|_| bad("response link failure"))?;
-            for resp in batch {
-                if resp.seq == seq {
-                    return Ok(resp);
+            match t {
+                tag::CLIENT_RESP => {
+                    let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
+                    let batch = self
+                        .resp_link
+                        .open_responses(&sealed, self.config.value_len)
+                        .map_err(|_| bad("response link failure"))?;
+                    for resp in batch {
+                        if resp.seq == seq {
+                            return Ok(resp);
+                        }
+                        // A stale response for an abandoned earlier request.
+                    }
                 }
-                // A stale response for an abandoned earlier request; skip.
+                tag::CLIENT_FAIL => {
+                    let (fail_seq, err) =
+                        proto::decode_unavailable(&body).ok_or_else(|| bad("bad failure frame"))?;
+                    if fail_seq == seq {
+                        return Err(io::Error::other(err));
+                    }
+                    // A stale failure for an abandoned earlier request.
+                }
+                _ => return Err(bad("unexpected frame from balancer")),
             }
         }
     }
 }
 
-fn admin_dial(addr: &str) -> io::Result<TcpStream> {
+fn dial_session(
+    addr: &str,
+    deploy: &Key256,
+    config: &ConnectConfig,
+) -> io::Result<(TcpStream, Link, Link)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    let hello = Hello::new(Role::Client, 0);
+    write_frame(&mut stream, tag::HELLO, &hello.encode())?;
+    let (req_link, resp_link) = proto::client_session_links(deploy, config.lb_index, hello.session);
+    Ok((stream, req_link, resp_link))
+}
+
+fn count_retry() {
+    metrics::global()
+        .counter(metrics::names::RETRIES_TOTAL, "operation retries under a RetryPolicy")
+        .inc(Public::wire_observable(()));
+}
+
+fn admin_dial(addr: &str, policy: &RetryPolicy) -> io::Result<TcpStream> {
+    let timeout = policy.attempt_timeout.unwrap_or(Duration::from_secs(30));
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
     write_frame(&mut stream, tag::HELLO, &Hello::new(Role::Admin, 0).encode())?;
     Ok(stream)
+}
+
+fn admin_rpc(addr: &str, policy: &RetryPolicy, req: u8, resp: u8) -> io::Result<Vec<u8>> {
+    policy.run(|attempt| {
+        if attempt > 0 {
+            count_retry();
+        }
+        let mut stream = admin_dial(addr, policy)?;
+        write_frame(&mut stream, req, b"")?;
+        let (t, body) = read_frame(&mut stream)?;
+        if t != resp {
+            return Err(bad("unexpected frame from daemon"));
+        }
+        Ok(body)
+    })
 }
 
 /// Fetches a daemon's per-link counters (the `stats` RPC) as its textual
 /// form; parse with [`crate::stats::parse_stats`].
 pub fn fetch_stats(addr: &str) -> io::Result<String> {
-    let mut stream = admin_dial(addr)?;
-    write_frame(&mut stream, tag::STATS_REQ, b"")?;
-    let (t, body) = read_frame(&mut stream)?;
-    if t != tag::STATS_RESP {
-        return Err(bad("unexpected frame from daemon"));
-    }
+    fetch_stats_with(addr, &RetryPolicy::admin_default())
+}
+
+/// [`fetch_stats`] under an explicit retry policy.
+pub fn fetch_stats_with(addr: &str, policy: &RetryPolicy) -> io::Result<String> {
+    let body = admin_rpc(addr, policy, tag::STATS_REQ, tag::STATS_RESP)?;
     String::from_utf8(body).map_err(|_| bad("stats not utf-8"))
 }
 
@@ -115,22 +307,133 @@ pub fn fetch_stats(addr: &str) -> io::Result<String> {
 /// counter as labeled series. All series pass through the
 /// [`snoopy_telemetry::Public`] leakage gate daemon-side.
 pub fn fetch_metrics(addr: &str) -> io::Result<String> {
-    let mut stream = admin_dial(addr)?;
-    write_frame(&mut stream, tag::METRICS_REQ, b"")?;
-    let (t, body) = read_frame(&mut stream)?;
-    if t != tag::METRICS_RESP {
-        return Err(bad("unexpected frame from daemon"));
-    }
+    fetch_metrics_with(addr, &RetryPolicy::admin_default())
+}
+
+/// [`fetch_metrics`] under an explicit retry policy.
+pub fn fetch_metrics_with(addr: &str, policy: &RetryPolicy) -> io::Result<String> {
+    let body = admin_rpc(addr, policy, tag::METRICS_REQ, tag::METRICS_RESP)?;
     String::from_utf8(body).map_err(|_| bad("metrics not utf-8"))
 }
 
+/// Probes a daemon's liveness (the `health` RPC): returns its parsed
+/// identity/uptime/epoch header. The balancer uses the same header shape for
+/// its own heartbeat checks; everything in it is public (configuration and
+/// coarse process age).
+pub fn fetch_health(addr: &str) -> io::Result<crate::stats::StatsHeader> {
+    fetch_health_with(addr, &RetryPolicy::admin_default())
+}
+
+/// [`fetch_health`] under an explicit retry policy.
+pub fn fetch_health_with(
+    addr: &str,
+    policy: &RetryPolicy,
+) -> io::Result<crate::stats::StatsHeader> {
+    let body = admin_rpc(addr, policy, tag::HEALTH_REQ, tag::HEALTH_RESP)?;
+    let text = String::from_utf8(body).map_err(|_| bad("health not utf-8"))?;
+    crate::stats::parse_stats_header(&text).ok_or_else(|| bad("health body missing header"))
+}
+
 /// Asks a daemon to shut down gracefully; returns once it acknowledges.
+/// Deliberately *not* retried beyond the dial: a shutdown that was delivered
+/// but whose ack was lost must not be re-sent into a freshly restarted
+/// daemon.
 pub fn shutdown_daemon(addr: &str) -> io::Result<()> {
-    let mut stream = admin_dial(addr)?;
+    let mut stream = admin_dial(addr, &RetryPolicy::admin_default())?;
     write_frame(&mut stream, tag::SHUTDOWN, b"")?;
     let (t, _) = read_frame(&mut stream)?;
     if t != tag::SHUTDOWN_ACK {
         return Err(bad("unexpected frame from daemon"));
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_classification_maps_kinds() {
+        // The regression this guards: a socket read deadline surfaces as
+        // WouldBlock on Unix and must NOT be treated as the peer hanging up.
+        let timeout = io::Error::new(io::ErrorKind::WouldBlock, "read timed out");
+        assert_eq!(classify_io_error(&timeout), ErrorClass::Timeout);
+        let timeout = io::Error::new(io::ErrorKind::TimedOut, "read timed out");
+        assert_eq!(classify_io_error(&timeout), ErrorClass::Timeout);
+        // A clean EOF mid-frame (read_exact with the peer closed) is a
+        // disconnect, not a timeout and not fatal.
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "failed to fill whole buffer");
+        assert_eq!(classify_io_error(&eof), ErrorClass::Disconnected);
+        let reset = io::Error::new(io::ErrorKind::ConnectionReset, "reset by peer");
+        assert_eq!(classify_io_error(&reset), ErrorClass::Disconnected);
+        // Protocol-level corruption must not be retried.
+        let corrupt = io::Error::new(io::ErrorKind::InvalidData, "bad frame length");
+        assert_eq!(classify_io_error(&corrupt), ErrorClass::Fatal);
+    }
+
+    #[test]
+    fn unavailable_roundtrips_through_io_error() {
+        let u = Unavailable { epoch: 4, failed_suborams: vec![2] };
+        let e = io::Error::other(u.clone());
+        assert_eq!(unavailable_info(&e), Some(&u));
+        let plain = io::Error::new(io::ErrorKind::TimedOut, "nope");
+        assert_eq!(unavailable_info(&plain), None);
+    }
+
+    /// A stub listener that accepts one connection, reads the hello, then
+    /// behaves per `mode`. Exercises the client's error mapping against real
+    /// sockets.
+    fn stub_listener(mode: &'static str) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let _ = read_frame(&mut stream); // hello
+            match mode {
+                // Close immediately: the client's next read sees clean EOF.
+                "eof" => drop(stream),
+                // Read the request then go silent past the client deadline.
+                "stall" => {
+                    let _ = read_frame(&mut stream);
+                    std::thread::sleep(Duration::from_millis(500));
+                }
+                _ => unreachable!(),
+            }
+        });
+        (addr, handle)
+    }
+
+    fn test_config() -> ConnectConfig {
+        ConnectConfig::new(0, 16).read_timeout(Duration::from_millis(50)).retry(RetryPolicy::once())
+    }
+
+    #[test]
+    fn peer_eof_maps_to_disconnected_not_timeout() {
+        let (addr, handle) = stub_listener("eof");
+        let deploy = proto::deployment_key(1);
+        let mut client =
+            NetClient::connect_with(&addr.to_string(), &deploy, test_config()).unwrap();
+        let err = client.read(0).unwrap_err();
+        assert_eq!(
+            classify_io_error(&err),
+            ErrorClass::Disconnected,
+            "peer close must classify as disconnect, got {err:?}"
+        );
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn silent_peer_maps_to_timeout_not_eof() {
+        let (addr, handle) = stub_listener("stall");
+        let deploy = proto::deployment_key(1);
+        let mut client =
+            NetClient::connect_with(&addr.to_string(), &deploy, test_config()).unwrap();
+        let err = client.read(0).unwrap_err();
+        assert_eq!(
+            classify_io_error(&err),
+            ErrorClass::Timeout,
+            "a stalled peer must classify as timeout, got {err:?}"
+        );
+        handle.join().unwrap();
+    }
 }

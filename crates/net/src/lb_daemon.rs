@@ -1,16 +1,25 @@
 //! The load-balancer daemon: a `snoopyd --role loadbalancer` process.
 //!
 //! The balancer *dials* every subORAM (the dialer owns reconnection): each
-//! subORAM gets a dedicated dialer thread that connects with capped
-//! exponential backoff, performs the session hello, then reads sealed
-//! response batches until the connection dies — at which point it loops back
-//! to redialing. Establishing a session emits
-//! [`LbEvent::SubLinkRestored`], which makes the epoch loop resend the
-//! in-flight epoch's batch, so a subORAM killed and restarted mid-epoch is
-//! healed end to end (its reply cache absorbs duplicate deliveries).
+//! subORAM gets a dedicated dialer thread that connects under
+//! [`RetryPolicy::dialer_default`] (capped exponential backoff, forever),
+//! performs the session hello, then reads sealed response batches until the
+//! connection dies — at which point it loops back to redialing. Establishing
+//! a session emits [`LbEvent::SubLinkRestored`], which makes the epoch loop
+//! resend the in-flight epoch's batch, so a subORAM killed and restarted
+//! mid-epoch is healed end to end (its reply cache absorbs duplicate
+//! deliveries).
 //!
-//! Clients and admins dial the balancer's own listen address. An epoch
-//! ticker closes an epoch every `epoch_ms` from the manifest.
+//! The epoch loop runs under the manifest's [`Manifest::fault_policy`]: a
+//! subORAM that misses the per-epoch deadline has its link killed and its
+//! sealed batch replayed over a fresh session; after `max_replays` waves the
+//! epoch completes *degraded* and every affected client gets a typed
+//! [`tag::CLIENT_FAIL`] frame instead of a hang.
+//!
+//! Clients and admins dial the balancer's own listen address. The epoch
+//! ticker derives epoch ids from wall-clock time (`unix_millis / epoch_ms`)
+//! and catches up on any ids it slept through, so ids stay monotone across a
+//! balancer restart and aligned across balancers.
 
 use crate::frame::{read_frame, write_frame};
 use crate::manifest::Manifest;
@@ -18,16 +27,19 @@ use crate::proto::{self, tag, Hello, Role};
 use crate::stats::{DaemonInfo, LinkStats, StatsRegistry};
 use crate::suboram_daemon::admin_session;
 use snoopy_core::link::Link;
-use snoopy_core::transport::{run_load_balancer, LbEvent, LbTransport, ReplySink};
+use snoopy_core::transport::{
+    run_load_balancer_with_policy, LbEvent, LbTransport, RecvOutcome, ReplySink, Unavailable,
+};
+use snoopy_core::RetryPolicy;
 use snoopy_crypto::{Key256, Prg};
 use snoopy_enclave::wire::{Request, Response};
 use snoopy_lb::LoadBalancer;
 use snoopy_telemetry::{metrics, trace, Public};
 use std::io;
 use std::net::{TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant, SystemTime};
 
 /// The write half of one subORAM session.
 struct SubConn {
@@ -46,6 +58,25 @@ struct TcpLbTransport {
 impl LbTransport for TcpLbTransport {
     fn recv(&mut self) -> Option<LbEvent> {
         self.events.recv().ok()
+    }
+
+    fn recv_deadline(&mut self, deadline: Instant) -> RecvOutcome {
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match self.events.recv_timeout(wait) {
+            Ok(ev) => RecvOutcome::Event(ev),
+            Err(RecvTimeoutError::Timeout) => RecvOutcome::TimedOut,
+            Err(RecvTimeoutError::Disconnected) => RecvOutcome::Closed,
+        }
+    }
+
+    fn fail_fast(&mut self, suboram: usize) {
+        // Kill the session so the dialer's read side errors immediately and
+        // starts redialing; the epoch loop replays the sealed batch over the
+        // fresh session.
+        let mut slot = self.subs[suboram].lock().unwrap();
+        if let Some(conn) = slot.take() {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        }
     }
 
     fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
@@ -84,6 +115,9 @@ struct ClientWriter {
 struct TcpReplySink {
     writer: Arc<Mutex<ClientWriter>>,
     stats: Arc<LinkStats>,
+    /// The client-chosen request seq, captured at enqueue time so a degraded
+    /// epoch can name which request the `CLIENT_FAIL` frame is for.
+    seq: u64,
 }
 
 impl ReplySink for TcpReplySink {
@@ -92,6 +126,17 @@ impl ReplySink for TcpReplySink {
         let Ok(sealed) = w.resp_link.seal_responses(&[resp]) else { return };
         match write_frame(&mut w.stream, tag::CLIENT_RESP, &sealed.bytes) {
             Ok(()) => self.stats.sent(sealed.bytes.len()),
+            Err(_) => {
+                let _ = w.stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+
+    fn fail(self: Box<Self>, err: Unavailable) {
+        let body = proto::encode_unavailable(self.seq, &err);
+        let mut w = self.writer.lock().unwrap();
+        match write_frame(&mut w.stream, tag::CLIENT_FAIL, &body) {
+            Ok(()) => self.stats.sent(body.len()),
             Err(_) => {
                 let _ = w.stream.shutdown(std::net::Shutdown::Both);
             }
@@ -152,25 +197,44 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
         });
     }
 
-    // Epoch ticker.
+    // Epoch ticker. Epoch ids are derived from wall-clock time so that
+    // (a) they stay monotone across a balancer crash/restart — the subORAM
+    // reply caches key on (lb, epoch), and a restarted balancer must not
+    // reuse old ids for new batches — and (b) multiple balancers agree on
+    // the current epoch without coordination. Any ids slept through (clock
+    // hiccup, scheduler stall) are caught up in order: subORAMs wait for
+    // *every* balancer's batch per epoch, so skipping one would deadlock.
     {
         let events_tx = events_tx.clone();
-        let interval = Duration::from_millis(manifest.epoch_ms.max(1));
+        let epoch_ms = manifest.epoch_ms.max(1);
+        let interval = Duration::from_millis(epoch_ms);
         std::thread::spawn(move || {
-            let mut epoch = 0u64;
+            let mut last = wall_epoch(epoch_ms);
             loop {
                 std::thread::sleep(interval);
-                if events_tx.send(LbEvent::Tick(epoch)).is_err() {
-                    break;
+                let now = wall_epoch(epoch_ms);
+                for epoch in (last + 1)..=now {
+                    if events_tx.send(LbEvent::Tick(epoch)).is_err() {
+                        return;
+                    }
                 }
-                epoch += 1;
+                last = last.max(now);
             }
         });
     }
 
     let mut transport = TcpLbTransport { events: events_rx, subs, sub_stats };
-    run_load_balancer(&mut transport, balancer, num_suborams);
+    run_load_balancer_with_policy(&mut transport, balancer, num_suborams, manifest.fault_policy());
     Ok(())
+}
+
+/// The wall-clock epoch id: `unix_millis / epoch_ms`.
+fn wall_epoch(epoch_ms: u64) -> u64 {
+    let millis = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    millis / epoch_ms
 }
 
 /// Everything one dialer thread needs to own its subORAM connection.
@@ -193,20 +257,20 @@ fn dialer(ctx: DialerCtx) {
         ctx;
     let mut established_before = false;
     loop {
-        // Capped exponential backoff: 10ms doubling to 1s. The dial span
-        // covers connect-through-hello: connection establishment against a
-        // public address is wire-observable timing.
+        // Dial under the dialer policy: capped exponential backoff with
+        // deterministic jitter, retrying forever (the balancer cannot make
+        // progress without this link). The dial span covers
+        // connect-through-hello: connection establishment against a public
+        // address is wire-observable timing.
         let dial_span = trace::span("dial");
-        let mut backoff = Duration::from_millis(10);
-        let mut stream = loop {
-            match TcpStream::connect(&addr) {
-                Ok(s) => break s,
-                Err(_) => {
-                    stats.retried();
-                    std::thread::sleep(backoff);
-                    backoff = (backoff * 2).min(Duration::from_secs(1));
-                }
+        let policy = RetryPolicy::dialer_default().jitter_seed(sub as u64);
+        let Ok(mut stream) = policy.run(|attempt| {
+            if attempt > 0 {
+                stats.retried();
             }
+            TcpStream::connect(&addr)
+        }) else {
+            continue;
         };
         let _ = stream.set_nodelay(true);
         let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
@@ -303,7 +367,7 @@ fn client_session_reader(
         let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
         let Ok(batch) = req_link.open(&sealed, value_len) else { break };
         for req in batch {
-            let sink = TcpReplySink { writer: writer.clone(), stats: stats.clone() };
+            let sink = TcpReplySink { writer: writer.clone(), stats: stats.clone(), seq: req.seq };
             if events_tx.send(LbEvent::Client(req, Box::new(sink))).is_err() {
                 return;
             }

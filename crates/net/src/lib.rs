@@ -41,6 +41,10 @@ pub mod proto;
 pub mod stats;
 pub mod suboram_daemon;
 
-pub use client::{fetch_metrics, fetch_stats, shutdown_daemon, NetClient};
+pub use client::{
+    classify_io_error, fetch_health, fetch_health_with, fetch_metrics, fetch_metrics_with,
+    fetch_stats, fetch_stats_with, shutdown_daemon, unavailable_info, ConnectConfig, ErrorClass,
+    NetClient,
+};
 pub use manifest::Manifest;
 pub use stats::{parse_stats, parse_stats_header, StatsRegistry};

@@ -12,6 +12,10 @@
 //! seed        = 1
 //! num_objects = 256
 //! epoch_ms    = 10
+//! # fault tolerance (all optional)
+//! sub_deadline_ms = 10000
+//! max_replays     = 3
+//! retain_epochs   = 8
 //! loadbalancer = 127.0.0.1:7000
 //! suboram      = 127.0.0.1:7100
 //! suboram      = 127.0.0.1:7101
@@ -40,6 +44,16 @@ pub struct Manifest {
     pub num_objects: u64,
     /// Epoch length driven by each load balancer's ticker.
     pub epoch_ms: u64,
+    /// How long a balancer waits for a subORAM's epoch response before
+    /// killing the link and replaying the batch (milliseconds). `0` waits
+    /// forever (disables deadline-driven recovery).
+    pub sub_deadline_ms: u64,
+    /// Replay waves allowed per epoch before the balancer completes it in
+    /// degraded mode (typed `Unavailable` to every affected client).
+    pub max_replays: u32,
+    /// How many executed epochs each subORAM keeps in its reply cache (and
+    /// checkpoint) for idempotent replay; older epochs are refused.
+    pub retain_epochs: u32,
     /// Load-balancer listen addresses, in index order.
     pub load_balancers: Vec<String>,
     /// SubORAM listen addresses, in index order.
@@ -79,8 +93,11 @@ impl Manifest {
         let mut seed = None;
         let mut num_objects = None;
         let mut epoch_ms = None;
-        let mut load_balancers = Vec::new();
-        let mut suborams = Vec::new();
+        let mut sub_deadline_ms = None;
+        let mut max_replays = None;
+        let mut retain_epochs = None;
+        let mut load_balancers: Vec<(String, usize)> = Vec::new();
+        let mut suborams: Vec<(String, usize)> = Vec::new();
 
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
@@ -115,9 +132,27 @@ impl Manifest {
                 "seed" => set_once(&mut seed, value)?,
                 "num_objects" => set_once(&mut num_objects, value)?,
                 "epoch_ms" => set_once(&mut epoch_ms, value)?,
-                "loadbalancer" => load_balancers.push(check_addr(value, lineno)?),
-                "suboram" => suborams.push(check_addr(value, lineno)?),
+                "sub_deadline_ms" => set_once(&mut sub_deadline_ms, value)?,
+                "max_replays" => set_once(&mut max_replays, value)?,
+                "retain_epochs" => set_once(&mut retain_epochs, value)?,
+                "loadbalancer" => load_balancers.push((check_addr(value, lineno)?, lineno)),
+                "suboram" => suborams.push((check_addr(value, lineno)?, lineno)),
                 other => return Err(err(lineno, format!("unknown key `{other}`"))),
+            }
+        }
+
+        // Two daemons sharing an address cannot both bind it; catch the
+        // typo at parse time with the offending line, not at deploy time
+        // with an opaque EADDRINUSE on one machine.
+        {
+            let mut seen: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+            for (addr, lineno) in load_balancers.iter().chain(suborams.iter()) {
+                if let Some(first) = seen.insert(addr.as_str(), *lineno) {
+                    return Err(err(
+                        *lineno,
+                        format!("duplicate address `{addr}` (first used on line {first})"),
+                    ));
+                }
             }
         }
 
@@ -128,8 +163,11 @@ impl Manifest {
             seed: seed.ok_or_else(|| err(0, "missing `seed`"))?,
             num_objects: num_objects.ok_or_else(|| err(0, "missing `num_objects`"))?,
             epoch_ms: epoch_ms.unwrap_or(10),
-            load_balancers,
-            suborams,
+            sub_deadline_ms: sub_deadline_ms.unwrap_or(10_000),
+            max_replays: max_replays.unwrap_or(3) as u32,
+            retain_epochs: retain_epochs.unwrap_or(8).max(1) as u32,
+            load_balancers: load_balancers.into_iter().map(|(a, _)| a).collect(),
+            suborams: suborams.into_iter().map(|(a, _)| a).collect(),
         };
         if manifest.load_balancers.is_empty() {
             return Err(err(0, "no `loadbalancer` entries"));
@@ -159,6 +197,9 @@ impl Manifest {
         out.push_str(&format!("seed = {}\n", self.seed));
         out.push_str(&format!("num_objects = {}\n", self.num_objects));
         out.push_str(&format!("epoch_ms = {}\n", self.epoch_ms));
+        out.push_str(&format!("sub_deadline_ms = {}\n", self.sub_deadline_ms));
+        out.push_str(&format!("max_replays = {}\n", self.max_replays));
+        out.push_str(&format!("retain_epochs = {}\n", self.retain_epochs));
         for lb in &self.load_balancers {
             out.push_str(&format!("loadbalancer = {lb}\n"));
         }
@@ -166,6 +207,18 @@ impl Manifest {
             out.push_str(&format!("suboram = {sub}\n"));
         }
         out
+    }
+
+    /// The balancer's epoch fault policy from the manifest knobs.
+    pub fn fault_policy(&self) -> snoopy_core::EpochFaultPolicy {
+        if self.sub_deadline_ms == 0 {
+            snoopy_core::EpochFaultPolicy::wait_forever()
+        } else {
+            snoopy_core::EpochFaultPolicy::with_deadline(
+                std::time::Duration::from_millis(self.sub_deadline_ms),
+                self.max_replays,
+            )
+        }
     }
 
     /// The deterministic initial object store every daemon regenerates:
@@ -210,6 +263,27 @@ suboram = 127.0.0.1:7101\n";
         assert_eq!(m.load_balancers, vec!["127.0.0.1:7000"]);
         assert_eq!(m.suborams.len(), 2);
         assert_eq!(m.initial_objects().len(), 256);
+        // Fault-tolerance knobs default sensibly.
+        assert_eq!(m.sub_deadline_ms, 10_000);
+        assert_eq!(m.max_replays, 3);
+        assert_eq!(m.retain_epochs, 8);
+        let policy = m.fault_policy();
+        assert_eq!(policy.sub_deadline, Some(std::time::Duration::from_secs(10)));
+        assert_eq!(policy.max_replays, 3);
+    }
+
+    #[test]
+    fn fault_knobs_are_configurable_and_zero_deadline_waits_forever() {
+        let text = format!("{GOOD}sub_deadline_ms = 250\nmax_replays = 1\nretain_epochs = 4\n");
+        let m = Manifest::parse(&text).unwrap();
+        assert_eq!(m.sub_deadline_ms, 250);
+        assert_eq!(m.max_replays, 1);
+        assert_eq!(m.retain_epochs, 4);
+        let off = Manifest::parse(&format!("{GOOD}sub_deadline_ms = 0\n")).unwrap();
+        assert_eq!(off.fault_policy(), snoopy_core::EpochFaultPolicy::wait_forever());
+        // retain_epochs = 0 would disable the reply cache entirely; clamp.
+        let clamped = Manifest::parse(&format!("{GOOD}retain_epochs = 0\n")).unwrap();
+        assert_eq!(clamped.retain_epochs, 1);
     }
 
     #[test]
@@ -232,5 +306,40 @@ suboram = 127.0.0.1:7101\n";
         assert!(e.message.contains("suboram"), "{e}");
         // Bad address.
         assert!(Manifest::parse(&GOOD.replace("127.0.0.1:7100", "127.0.0.1")).is_err());
+    }
+
+    #[test]
+    fn duplicate_addresses_are_descriptive_errors() {
+        // Two subORAMs on the same port.
+        let text = GOOD.replace("127.0.0.1:7101", "127.0.0.1:7100");
+        let e = Manifest::parse(&text).unwrap_err();
+        assert!(e.message.contains("duplicate address `127.0.0.1:7100`"), "{e}");
+        assert!(e.message.contains("first used on line"), "{e}");
+        assert!(e.line > 0, "duplicate addresses should name the offending line");
+        // A balancer colliding with a subORAM is just as fatal.
+        let text = GOOD.replace("127.0.0.1:7000", "127.0.0.1:7101");
+        let e = Manifest::parse(&text).unwrap_err();
+        assert!(e.message.contains("duplicate address"), "{e}");
+        assert!(e.to_string().contains("manifest line"), "{e}");
+    }
+
+    #[test]
+    fn truncated_lines_are_descriptive_errors_not_panics() {
+        // A key with `=` but nothing after it.
+        let e = Manifest::parse("value_len =\n").unwrap_err();
+        assert!(e.message.contains("has no value"), "{e}");
+        assert_eq!(e.line, 1);
+        // A bare key with no `=` at all (a line cut mid-edit).
+        let e = Manifest::parse("value_len = 8\nlambda\n").unwrap_err();
+        assert!(e.message.contains("expected `key = value`"), "{e}");
+        assert_eq!(e.line, 2);
+        // An address cut short of its port.
+        let e = Manifest::parse(&format!("{GOOD}suboram = 127.0.0.1:\n")).unwrap_err();
+        assert!(e.message.contains("bad port"), "{e}");
+        // A file truncated before the address lists: whole-file error.
+        let e =
+            Manifest::parse("value_len = 8\nlambda = 80\nseed = 0\nnum_objects = 4\n").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("loadbalancer"), "{e}");
     }
 }

@@ -36,6 +36,18 @@ pub mod tag {
     pub const METRICS_REQ: u8 = 10;
     /// Daemon → admin: Prometheus text exposition (plaintext UTF-8).
     pub const METRICS_RESP: u8 = 11;
+    /// Admin → daemon: liveness/heartbeat probe (plaintext).
+    pub const HEALTH_REQ: u8 = 12;
+    /// Daemon → admin: health snapshot (plaintext `role=... index=...
+    /// uptime_secs=... epochs=...` — a [`crate::stats::StatsHeader`]).
+    pub const HEALTH_RESP: u8 = 13;
+    /// Load balancer → client: this request's epoch degraded; typed
+    /// `Unavailable` body ([`super::encode_unavailable`]). Plaintext by
+    /// design: it is a liveness signal with the same trust level as a TCP
+    /// RST — an adversary who can forge it can already sever the connection,
+    /// and it carries only wire-observable facts (epoch id, which subORAMs
+    /// went silent).
+    pub const CLIENT_FAIL: u8 = 14;
 }
 
 /// Who is dialing.
@@ -127,6 +139,36 @@ pub fn decode_epoch_sealed(body: &[u8]) -> Option<(u64, snoopy_crypto::aead::Sea
     Some((epoch, snoopy_crypto::aead::SealedBox { bytes: body[8..].to_vec() }))
 }
 
+/// Encodes a [`tag::CLIENT_FAIL`] body: the failing request's client `seq`,
+/// the degraded epoch, and the subORAM indices that went silent.
+pub fn encode_unavailable(seq: u64, err: &snoopy_core::Unavailable) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + 8 * err.failed_suborams.len());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&err.epoch.to_le_bytes());
+    out.extend_from_slice(&(err.failed_suborams.len() as u64).to_le_bytes());
+    for sub in &err.failed_suborams {
+        out.extend_from_slice(&(*sub as u64).to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_unavailable`]: `(seq, Unavailable)`.
+pub fn decode_unavailable(body: &[u8]) -> Option<(u64, snoopy_core::Unavailable)> {
+    if body.len() < 24 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(body[..8].try_into().ok()?);
+    let epoch = u64::from_le_bytes(body[8..16].try_into().ok()?);
+    let count = u64::from_le_bytes(body[16..24].try_into().ok()?) as usize;
+    let rest = &body[24..];
+    if rest.len() != count * 8 {
+        return None;
+    }
+    let failed_suborams =
+        rest.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap()) as usize).collect();
+    Some((seq, snoopy_core::Unavailable { epoch, failed_suborams }))
+}
+
 /// Derives the deployment key every daemon shares. It seeds all per-session
 /// link keys and the checkpoint keys; in a real deployment it would be
 /// established by remote attestation, here it is derived from the manifest
@@ -199,6 +241,15 @@ mod tests {
         let (mut b, _) = suboram_session_links(&deploy, 0, 1, 2, 43);
         let sealed = a.seal(&[snoopy_enclave::wire::Request::read(5, 8, 0, 0)]).unwrap();
         assert!(b.open(&sealed, 8).is_err());
+    }
+
+    #[test]
+    fn unavailable_roundtrip() {
+        let err = snoopy_core::Unavailable { epoch: 77, failed_suborams: vec![0, 3] };
+        let body = encode_unavailable(9, &err);
+        assert_eq!(decode_unavailable(&body), Some((9, err)));
+        assert_eq!(decode_unavailable(&body[..body.len() - 1]), None);
+        assert_eq!(decode_unavailable(&[0; 8]), None);
     }
 
     #[test]

@@ -121,7 +121,10 @@ pub fn run(
             )
         }
     };
-    let mut node = node.with_index(index);
+    // Bound the reply cache (and with it the checkpoint size): epochs older
+    // than `retain_epochs` evict, and a replay of an evicted epoch gets a
+    // typed refusal instead of a corrupting re-execution.
+    let mut node = node.with_index(index).with_retain(manifest.retain_epochs as usize);
 
     let listener = TcpListener::bind(&manifest.suborams[index])?;
     let (events_tx, events_rx) = channel();
@@ -281,6 +284,13 @@ pub(crate) fn admin_session(
                 body.push('\n');
                 body.push_str(&registry.render());
                 write_frame(&mut stream, tag::STATS_RESP, body.as_bytes()).is_ok()
+            }
+            tag::HEALTH_REQ => {
+                // Liveness probe: just the identity/uptime/epoch header —
+                // cheap enough for tight heartbeat loops, and everything in
+                // it is public configuration or coarse process age.
+                let body = info.header().render();
+                write_frame(&mut stream, tag::HEALTH_RESP, body.as_bytes()).is_ok()
             }
             tag::METRICS_REQ => {
                 let reg = metrics::global();

@@ -136,6 +136,9 @@ fn multi_process_cluster_matches_reference_and_survives_kill() {
         seed: SEED,
         num_objects: NUM_OBJECTS,
         epoch_ms: 5,
+        sub_deadline_ms: 10_000,
+        max_replays: 3,
+        retain_epochs: 8,
         load_balancers: vec![addrs[0].clone()],
         suborams: vec![addrs[1].clone(), addrs[2].clone()],
     };

@@ -45,6 +45,45 @@ pub struct ClusterParams {
     pub sub_kind: SubKind,
 }
 
+/// A simulated subORAM outage: the machine is unreachable for a window of
+/// simulated time (crash-until-restart, or a network partition).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SubOutage {
+    /// Which subORAM is down.
+    pub suboram: usize,
+    /// Outage start (simulated ns).
+    pub from_ns: u64,
+    /// Outage end (simulated ns, exclusive).
+    pub until_ns: u64,
+}
+
+impl SubOutage {
+    fn covers(&self, sub: usize, t: u64) -> bool {
+        sub == self.suboram && t >= self.from_ns && t < self.until_ns
+    }
+}
+
+/// Fault model for a simulated run, mirroring the real planes'
+/// `EpochFaultPolicy`: a batch arriving at a down subORAM is lost; the
+/// balancer replays it one deadline later, up to `max_replays` waves; if
+/// every wave lands inside the outage the epoch completes degraded and its
+/// requests fail instead of completing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimFaults {
+    /// Outage windows.
+    pub outages: Vec<SubOutage>,
+    /// Replay deadline (simulated ns).
+    pub sub_deadline_ns: u64,
+    /// Replay waves before the balancer gives up on the epoch.
+    pub max_replays: u32,
+}
+
+impl SimFaults {
+    fn down(&self, sub: usize, t: u64) -> bool {
+        self.outages.iter().any(|o| o.covers(sub, t))
+    }
+}
+
 /// Simulation output.
 #[derive(Clone, Debug, Default)]
 pub struct SimReport {
@@ -60,6 +99,14 @@ pub struct SimReport {
     pub p99_latency_ms: f64,
     /// Maximum latency (ms).
     pub max_latency_ms: f64,
+    /// Epochs that gave up on a subORAM and failed their requests
+    /// (counted after warmup).
+    pub degraded_epochs: u64,
+    /// Replay waves fired at down subORAMs.
+    pub replay_waves: u64,
+    /// Requests failed by degraded epochs (counted after warmup; excluded
+    /// from the latency statistics and from `completed`).
+    pub failed_requests: u64,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,13 +126,22 @@ pub struct ClusterSim {
     params: ClusterParams,
     model: CostModel,
     tracer: Option<Arc<Tracer>>,
+    faults: Option<SimFaults>,
 }
 
 impl ClusterSim {
     /// Creates a simulator.
     pub fn new(params: ClusterParams, model: CostModel) -> ClusterSim {
         assert!(params.num_lbs > 0 && params.num_suborams > 0);
-        ClusterSim { params, model, tracer: None }
+        ClusterSim { params, model, tracer: None, faults: None }
+    }
+
+    /// Attaches a fault model. Applies to the count-based path
+    /// ([`ClusterSim::run_poisson`] / [`ClusterSim::run_counts`]); the exact
+    /// bucket path ignores it.
+    pub fn with_faults(mut self, faults: SimFaults) -> ClusterSim {
+        self.faults = Some(faults);
+        self
     }
 
     /// Attaches a tracer; count-based runs then emit stage spans on the
@@ -161,6 +217,10 @@ impl ClusterSim {
         let mut lb_free = vec![0u64; p.num_lbs];
         let mut sub_free = vec![0u64; s];
         let mut resp_count = vec![vec![0usize; num_epochs]; p.num_lbs];
+        let mut degraded = vec![vec![false; num_epochs]; p.num_lbs];
+        let mut degraded_epochs = 0u64;
+        let mut failed_requests = 0u64;
+        let mut replay_waves = 0u64;
         // Weighted latency points: (latency ms, weight).
         let mut points: Vec<(f64, u64)> = Vec::new();
         let mut completed_total = 0u64;
@@ -191,6 +251,43 @@ impl ClusterSim {
                     }
                 }
                 Ev::SubArrive { sub, lb, epoch, b } => {
+                    if let Some(f) = &self.faults {
+                        if f.down(sub, now) {
+                            // The batch is lost. The balancer replays one
+                            // deadline later per wave; the first wave landing
+                            // past the outage gets served, and if every wave
+                            // lands inside it the balancer gives up one more
+                            // deadline after the last replay.
+                            let deadline = f.sub_deadline_ns.max(1);
+                            let healed = (1..=f.max_replays as u64)
+                                .find(|w| !f.down(sub, now + w * deadline));
+                            match healed {
+                                Some(w) => {
+                                    replay_waves += w;
+                                    push(
+                                        &mut heap,
+                                        &mut events,
+                                        &mut seq,
+                                        now + w * deadline,
+                                        Ev::SubArrive { sub, lb, epoch, b },
+                                    );
+                                }
+                                None => {
+                                    replay_waves += f.max_replays as u64;
+                                    degraded[lb][epoch] = true;
+                                    let give_up = now + (f.max_replays as u64 + 1) * deadline;
+                                    push(
+                                        &mut heap,
+                                        &mut events,
+                                        &mut seq,
+                                        give_up,
+                                        Ev::RespArrive { lb, epoch },
+                                    );
+                                }
+                            }
+                            continue;
+                        }
+                    }
                     let svc = match p.sub_kind {
                         SubKind::SnoopyScan => self.model.suboram_batch_ns(b, partition),
                         SubKind::OblixSequential => self.model.oblix_suboram_batch_ns(b, partition),
@@ -220,6 +317,16 @@ impl ClusterSim {
                     resp_count[lb][epoch] += 1;
                     if resp_count[lb][epoch] == s {
                         let r = counts[epoch][lb];
+                        if degraded[lb][epoch] {
+                            // The epoch completes degraded: its requests fail
+                            // typed instead of completing, and the balancer
+                            // skips the match stage.
+                            if now >= p.warmup_ns {
+                                degraded_epochs += 1;
+                                failed_requests += r;
+                            }
+                            continue;
+                        }
                         let start = now.max(lb_free[lb]);
                         let end = start + self.model.lb_match_ns(r, s as u64) as u64;
                         lb_free[lb] = end;
@@ -271,6 +378,9 @@ impl ClusterSim {
             p50_latency_ms: pct(0.5),
             p99_latency_ms: pct(0.99),
             max_latency_ms: points.last().map(|(l, _)| *l).unwrap_or(0.0),
+            degraded_epochs,
+            replay_waves,
+            failed_requests,
         }
     }
 
@@ -386,6 +496,9 @@ impl ClusterSim {
             p50_latency_ms: pct(0.5),
             p99_latency_ms: pct(0.99),
             max_latency_ms: latencies_ms.last().copied().unwrap_or(0.0),
+            degraded_epochs: 0,
+            replay_waves: 0,
+            failed_requests: 0,
         }
     }
 
@@ -576,6 +689,64 @@ mod tests {
         let a = sim.run_poisson(2000.0, 11);
         let b = sim.run_poisson(2000.0, 11);
         assert_eq!(a.completed, b.completed);
+        assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+    }
+
+    #[test]
+    fn outage_recovers_via_replay_without_degrading() {
+        // SubORAM 1 is down for the first 450 ms; replays land past the
+        // outage well within the wave budget, so nothing degrades.
+        let mut p = params(1, 2, 1 << 16, 100);
+        p.warmup_ns = 0;
+        p.duration_ns = 2_000_000_000;
+        let faults = SimFaults {
+            outages: vec![SubOutage { suboram: 1, from_ns: 0, until_ns: 450_000_000 }],
+            sub_deadline_ns: 200_000_000,
+            max_replays: 4,
+        };
+        let sim = ClusterSim::new(p, CostModel::paper_calibrated()).with_faults(faults);
+        let rep = sim.run_poisson(200.0, 7);
+        assert!(rep.replay_waves > 0, "{rep:?}");
+        assert_eq!(rep.degraded_epochs, 0, "{rep:?}");
+        assert_eq!(rep.failed_requests, 0, "{rep:?}");
+        assert!(rep.completed > 0, "{rep:?}");
+    }
+
+    #[test]
+    fn permanent_outage_degrades_every_epoch() {
+        let mut p = params(1, 2, 1 << 16, 100);
+        p.warmup_ns = 0;
+        p.duration_ns = 1_000_000_000;
+        let faults = SimFaults {
+            outages: vec![SubOutage { suboram: 0, from_ns: 0, until_ns: u64::MAX }],
+            sub_deadline_ns: 50_000_000,
+            max_replays: 2,
+        };
+        let sim = ClusterSim::new(p, CostModel::paper_calibrated()).with_faults(faults);
+        let rep = sim.run_poisson(200.0, 7);
+        assert_eq!(rep.completed, 0, "{rep:?}");
+        assert!(rep.degraded_epochs > 0, "{rep:?}");
+        assert!(rep.failed_requests > 0, "{rep:?}");
+        // Every degraded epoch burned the full wave budget.
+        assert_eq!(rep.replay_waves, rep.degraded_epochs * 2, "{rep:?}");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let faults = SimFaults {
+            outages: vec![SubOutage { suboram: 1, from_ns: 200_000_000, until_ns: 700_000_000 }],
+            sub_deadline_ns: 100_000_000,
+            max_replays: 3,
+        };
+        let mut p = params(2, 3, 1 << 18, 100);
+        p.warmup_ns = 0;
+        let sim = ClusterSim::new(p, CostModel::paper_calibrated()).with_faults(faults);
+        let a = sim.run_poisson(2000.0, 13);
+        let b = sim.run_poisson(2000.0, 13);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.replay_waves, b.replay_waves);
+        assert_eq!(a.degraded_epochs, b.degraded_epochs);
+        assert_eq!(a.failed_requests, b.failed_requests);
         assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
     }
 

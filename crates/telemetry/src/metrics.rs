@@ -358,6 +358,23 @@ pub mod names {
     /// Per-stage latency histogram; label `stage` ∈ `lb_make`,
     /// `suboram_scan`, `lb_match`, `checkpoint_seal`, `dial`, `rpc`.
     pub const STAGE_SECONDS: &str = "snoopy_stage_seconds";
+    /// Epoch batches re-sent to subORAMs (deadline-miss waves + replays
+    /// after reconnects). Wire-observable: each re-send is a frame.
+    pub const REPLAYS_TOTAL: &str = "snoopy_replays_total";
+    /// Epochs the balancer completed in degraded mode (replay budget spent).
+    pub const DEGRADED_EPOCHS_TOTAL: &str = "snoopy_degraded_epochs_total";
+    /// Client requests failed with a typed `Unavailable` in degraded epochs.
+    pub const UNAVAILABLE_TOTAL: &str = "snoopy_unavailable_total";
+    /// Operation retries under a `RetryPolicy` (client roundtrips, dials,
+    /// admin RPCs). Each retry re-opens or re-uses a connection — observable.
+    pub const RETRIES_TOTAL: &str = "snoopy_retries_total";
+    /// Faults injected by a chaos `FaultPlan`; label `kind` ∈ `drop`,
+    /// `duplicate`, `delay`, `close`. The plan acts only on public inputs.
+    pub const FAULTS_INJECTED_TOTAL: &str = "snoopy_faults_injected_total";
+    /// Replayed batches refused because the epoch left the bounded reply
+    /// cache (the balancer replaying is observable; the refusal is implicit
+    /// wire silence).
+    pub const EVICTED_REPLAYS_TOTAL: &str = "snoopy_evicted_replays_total";
 }
 
 /// The global per-stage histogram for `stage` (cached handles are cheap —

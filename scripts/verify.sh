@@ -20,4 +20,11 @@ cargo test -q --offline --workspace
 echo "== multi-process loopback cluster =="
 cargo test --offline -p snoopy-net --test cluster -- --nocapture
 
+# Deterministic chaos suite. Every chaos test prints its CHAOS_SEED on
+# stderr; to replay a failure, re-run with that seed pinned:
+#   CHAOS_SEED=<seed> scripts/verify.sh
+echo "== chaos harness (seeded fault injection; CHAOS_SEED=${CHAOS_SEED:-default}) =="
+cargo test -q --offline -p snoopy-chaos
+cargo test --offline -p snoopy-net --test chaos_net -- --nocapture
+
 echo "verify: OK"

@@ -150,7 +150,9 @@ fn in_process_cluster_scrape_exposes_epoch_and_stage_series() {
     for round in 0..4 {
         let rx = client.read_async(round * 5 % 64);
         cluster.tick();
-        rx.recv_timeout(Duration::from_secs(30)).expect("cluster response");
+        rx.recv_timeout(Duration::from_secs(30))
+            .expect("cluster response")
+            .expect("epoch degraded");
     }
 
     let text = cluster.metrics().render_prometheus();
