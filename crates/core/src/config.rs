@@ -16,18 +16,41 @@ pub struct SnoopyConfig {
     /// deployment, §7) instead of in modeled enclave memory. Slower but
     /// exercises the integrity path.
     pub external_storage: bool,
+    /// Enclave threads per load balancer for the oblivious sort/compaction
+    /// (§8.4, Fig. 13a). Thread count is configuration — public — and the
+    /// access trace is identical for every value.
+    pub lb_threads: usize,
+    /// Enclave threads per subORAM for the parallel linear scan (Fig. 13b).
+    pub sub_threads: usize,
 }
 
 impl Default for SnoopyConfig {
+    /// Defaults match the paper's evaluation. Thread counts default to the
+    /// `SNOOPY_THREADS` environment variable if set (so integration suites
+    /// can re-run an entire deployment at a different parallelism level), or
+    /// 1 otherwise.
     fn default() -> Self {
+        let threads = env_threads();
         SnoopyConfig {
             num_load_balancers: 1,
             num_suborams: 1,
             value_len: 160,
             lambda: 128,
             external_storage: false,
+            lb_threads: threads,
+            sub_threads: threads,
         }
     }
+}
+
+/// Reads `SNOOPY_THREADS` (>= 1) or falls back to 1. Unparseable values fall
+/// back to 1 rather than erroring — the knob is best-effort tooling surface.
+fn env_threads() -> usize {
+    std::env::var("SNOOPY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 impl SnoopyConfig {
@@ -54,6 +77,14 @@ impl SnoopyConfig {
         self
     }
 
+    /// Sets both enclave thread knobs (balancer sort/compact and subORAM
+    /// scan) at once.
+    pub fn threads(mut self, lb_threads: usize, sub_threads: usize) -> SnoopyConfig {
+        self.lb_threads = lb_threads.max(1);
+        self.sub_threads = sub_threads.max(1);
+        self
+    }
+
     /// Total machine count as the paper counts it (L + S).
     pub fn machines(&self) -> usize {
         self.num_load_balancers + self.num_suborams
@@ -70,6 +101,8 @@ mod tests {
         assert_eq!(c.value_len, 160);
         assert_eq!(c.lambda, 128);
         assert_eq!(c.machines(), 2);
+        assert!(c.lb_threads >= 1);
+        assert!(c.sub_threads >= 1);
     }
 
     #[test]
@@ -81,5 +114,12 @@ mod tests {
         assert_eq!(c.lambda, 80);
         assert!(c.external_storage);
         assert_eq!(c.machines(), 8);
+    }
+
+    #[test]
+    fn threads_builder_floors_at_one() {
+        let c = SnoopyConfig::default().threads(4, 0);
+        assert_eq!(c.lb_threads, 4);
+        assert_eq!(c.sub_threads, 1);
     }
 }

@@ -48,6 +48,10 @@ enum LbMsg {
     Tick(u64),
     /// A sealed response batch from a subORAM.
     Resp { suboram: usize, epoch: u64, sealed: SealedBox },
+    /// A subORAM refused this balancer's batch with a typed error. Carries
+    /// wire-observable facts only (sender identity + epoch), so it needs no
+    /// sealing — mirroring the TCP plane's plaintext NACK frame.
+    SubFail { suboram: usize, epoch: u64 },
     /// Terminate.
     Shutdown,
 }
@@ -86,6 +90,7 @@ impl ChannelLbTransport {
                     .expect("response link failure");
                 LbEvent::SubResponse { suboram, epoch, batch }
             }
+            LbMsg::SubFail { suboram, epoch } => LbEvent::SubFailed { suboram, epoch },
         }
     }
 
@@ -175,6 +180,28 @@ impl SubTransport for ChannelSubTransport {
             FaultAction::Delay(d) => {
                 std::thread::sleep(d);
                 self.seal_and_send(lb, epoch, batch);
+            }
+        }
+    }
+
+    fn send_error(&mut self, lb: usize, epoch: u64) {
+        // The NACK crosses the same lossy network as responses, so the
+        // injector gets a say; a dropped NACK just means the balancer's
+        // deadline degrades the epoch later. Duplicates are harmless: the
+        // second notice arrives after the epoch resolved and is ignored.
+        let send = |me: &Self| {
+            let _ = me.lb_txs[lb].send(LbMsg::SubFail { suboram: me.sub_idx, epoch });
+        };
+        match self.injector.on_response(lb, self.sub_idx, epoch) {
+            FaultAction::Deliver => send(self),
+            FaultAction::Drop | FaultAction::Close => {}
+            FaultAction::Duplicate => {
+                send(self);
+                send(self);
+            }
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                send(self);
             }
         }
     }
@@ -321,6 +348,7 @@ impl InProcessCluster {
             let value_len = config.value_len;
             let lambda = config.lambda;
             let external = config.external_storage;
+            let sub_threads = config.sub_threads;
             let injector = injector.clone();
             threads.push(std::thread::spawn(move || {
                 let oram = if external {
@@ -328,7 +356,8 @@ impl InProcessCluster {
                 } else {
                     SubOram::new_in_enclave(part, value_len, key, lambda)
                 };
-                let mut node = SubOramNode::new(oram, l).with_index(sub_idx);
+                let mut node =
+                    SubOramNode::new(oram, l).with_index(sub_idx).with_threads(sub_threads);
                 let mut transport = ChannelSubTransport {
                     rx,
                     lb_txs,
@@ -349,10 +378,12 @@ impl InProcessCluster {
             let shared_key = shared_key.clone();
             let value_len = config.value_len;
             let lambda = config.lambda;
+            let lb_threads = config.lb_threads;
             let policy = policy.clone();
             let injector = injector.clone();
             threads.push(std::thread::spawn(move || {
-                let balancer = LoadBalancer::new(&shared_key, s, value_len, lambda);
+                let balancer =
+                    LoadBalancer::new(&shared_key, s, value_len, lambda).with_threads(lb_threads);
                 let mut transport = ChannelLbTransport {
                     rx,
                     sub_txs,

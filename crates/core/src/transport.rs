@@ -109,6 +109,18 @@ pub enum LbEvent {
         /// The reconnected subORAM index.
         suboram: usize,
     },
+    /// A subORAM *refused* this balancer's batch with a typed error (e.g. a
+    /// duplicate-id batch that fails oblivious hash construction). Refusal is
+    /// deterministic — replaying the same batch would fail the same way — so
+    /// the loop degrades the epoch immediately instead of burning replays.
+    /// Carries wire-observable facts only: which machine refused, and which
+    /// epoch (both already visible to a network adversary as a NACK frame).
+    SubFailed {
+        /// The refusing subORAM index.
+        suboram: usize,
+        /// The epoch whose batch was refused.
+        epoch: u64,
+    },
     /// Terminate gracefully.
     Shutdown,
 }
@@ -129,16 +141,14 @@ pub trait LbTransport {
     /// loop should exit.
     fn recv(&mut self) -> Option<LbEvent>;
 
-    /// Blocks for the next event until `deadline`. The default ignores the
-    /// deadline and delegates to [`LbTransport::recv`] — transports that
-    /// support [`EpochFaultPolicy`] deadlines must override this.
-    fn recv_deadline(&mut self, deadline: Instant) -> RecvOutcome {
-        let _ = deadline;
-        match self.recv() {
-            Some(ev) => RecvOutcome::Event(ev),
-            None => RecvOutcome::Closed,
-        }
-    }
+    /// Blocks for the next event until `deadline`, returning
+    /// [`RecvOutcome::TimedOut`] once the deadline passes with no event.
+    ///
+    /// Required (no default): an earlier default body delegated to the
+    /// blocking [`LbTransport::recv`], which silently turned every
+    /// [`EpochFaultPolicy`] deadline into an infinite hang on any transport
+    /// that forgot to override it.
+    fn recv_deadline(&mut self, deadline: Instant) -> RecvOutcome;
 
     /// Seals and sends this balancer's `epoch` batch to subORAM `suboram`.
     /// Delivery failures surface later as [`LbEvent::SubLinkRestored`] (TCP)
@@ -178,6 +188,12 @@ pub trait SubTransport {
     /// Seals and sends a response batch for `(lb, epoch)` back to that
     /// balancer.
     fn send_response(&mut self, lb: usize, epoch: u64, batch: &[Request]);
+
+    /// Tells balancer `lb` that its `epoch` batch was refused with a typed
+    /// error (surfaced there as [`LbEvent::SubFailed`]). The notice carries
+    /// wire-observable facts only — the refusing node's identity and the
+    /// epoch id — never why the batch failed.
+    fn send_error(&mut self, lb: usize, epoch: u64);
 }
 
 /// What a fault injector decided to do with one in-flight message. Injection
@@ -300,9 +316,11 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                 req.client = pending.len() as u64;
                 pending.push((req, sink));
             }
-            // Stale between epochs: a resent response for an epoch that
-            // already committed, or a reconnect while idle.
-            LbEvent::SubResponse { .. } | LbEvent::SubLinkRestored { .. } => {}
+            // Stale between epochs: a resent response or failure notice for
+            // an epoch that already resolved, or a reconnect while idle.
+            LbEvent::SubResponse { .. }
+            | LbEvent::SubLinkRestored { .. }
+            | LbEvent::SubFailed { .. } => {}
             LbEvent::Tick(epoch) => {
                 let epoch_span = trace::span("epoch");
                 let epoch_reqs = std::mem::take(&mut pending);
@@ -322,6 +340,7 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                 let mut replays_used = 0u32;
                 let mut deadline = policy.sub_deadline.map(|d| Instant::now() + d);
                 let mut degraded = false;
+                let mut refused: Vec<usize> = Vec::new();
                 while outstanding > 0 {
                     let outcome = match deadline {
                         Some(at) => transport.recv_deadline(at),
@@ -347,6 +366,22 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                         }
                         // Duplicate delivery of an older epoch's responses.
                         RecvOutcome::Event(LbEvent::SubResponse { .. }) => {}
+                        RecvOutcome::Event(LbEvent::SubFailed { suboram, epoch: e })
+                            if e == epoch =>
+                        {
+                            // The subORAM refused our batch with a typed
+                            // error. Refusal is deterministic (the same batch
+                            // would fail the same way) and the link itself is
+                            // healthy, so neither replays nor fail_fast help:
+                            // degrade the epoch immediately.
+                            if !refused.contains(&suboram) {
+                                refused.push(suboram);
+                            }
+                            degraded = true;
+                            break;
+                        }
+                        // A failure notice for an epoch that already resolved.
+                        RecvOutcome::Event(LbEvent::SubFailed { .. }) => {}
                         RecvOutcome::Event(LbEvent::SubLinkRestored { suboram }) => {
                             if responses[suboram].is_none() {
                                 // The subORAM (re)connected while still owing
@@ -389,11 +424,18 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                 }
                 let sub_wait_time = wait_span.finish();
                 if degraded {
-                    let failed: Vec<usize> = responses
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, r)| r.is_none().then_some(i))
-                        .collect();
+                    // An explicit refusal names the failed subORAM precisely;
+                    // otherwise every subORAM still owing a response when the
+                    // replay budget ran out is reported.
+                    let failed: Vec<usize> = if refused.is_empty() {
+                        responses
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, r)| r.is_none().then_some(i))
+                            .collect()
+                    } else {
+                        refused
+                    };
                     let affected = epoch_reqs.len();
                     for (_, sink) in epoch_reqs {
                         sink.fail(Unavailable { epoch, failed_suborams: failed.clone() });
@@ -483,17 +525,20 @@ fn record_degraded_epoch_metrics(affected_requests: usize) {
 pub enum BatchOutcome {
     /// Still waiting for other balancers' batches for this epoch.
     Waiting,
-    /// The epoch just executed; one response batch per balancer, in balancer
-    /// order. The node's state (and any checkpoint) already reflects it.
-    Completed(Vec<Vec<Request>>),
+    /// The epoch just executed; one entry per balancer, in balancer order.
+    /// `Some` is a response batch; `None` means that balancer's batch was
+    /// refused with a typed error (it gets a failure notice instead of a
+    /// response). The node's state (and any checkpoint) already reflects it.
+    Completed(Vec<Option<Vec<Request>>>),
     /// The batch was a re-delivery of an already-executed epoch (a resend
-    /// after a reconnect or restart); the cached response for the sending
-    /// balancer is replayed without touching the ORAM.
+    /// after a reconnect or restart); the cached outcome for the sending
+    /// balancer is replayed without touching the ORAM. `None` replays the
+    /// failure notice — refusal is deterministic, so the replay must be too.
     Replayed {
         /// Balancer to re-answer.
         lb: usize,
-        /// The cached response batch.
-        batch: Vec<Request>,
+        /// The cached response batch, or `None` if the batch was refused.
+        batch: Option<Vec<Request>>,
     },
     /// The batch belongs to an epoch whose cached responses were already
     /// evicted from the bounded reply cache. Re-executing it would corrupt
@@ -528,12 +573,15 @@ pub struct SubOramNode {
     index: Option<usize>,
     /// Batches per epoch, indexed by balancer, until all `L` arrive.
     pending: HashMap<u64, Vec<Option<Vec<Request>>>>,
-    /// Executed epochs kept for replay, newest `retain` only.
-    completed: BTreeMap<u64, Vec<Vec<Request>>>,
+    /// Executed epochs kept for replay, newest `retain` only. `None` entries
+    /// are batches that were refused with a typed error.
+    completed: BTreeMap<u64, Vec<Option<Vec<Request>>>>,
     retain: usize,
     /// Epochs below this executed once and were evicted; replaying them is
     /// refused. Persisted in checkpoints so restarts cannot re-execute.
     evicted_below: u64,
+    /// Enclave threads for the parallel linear scan (§8.4, Fig. 13b).
+    threads: usize,
 }
 
 impl SubOramNode {
@@ -547,6 +595,7 @@ impl SubOramNode {
             completed: BTreeMap::new(),
             retain: 8,
             evicted_below: 0,
+            threads: 1,
         }
     }
 
@@ -555,7 +604,7 @@ impl SubOramNode {
     pub fn restore(
         oram: SubOram,
         num_lbs: usize,
-        completed: BTreeMap<u64, Vec<Vec<Request>>>,
+        completed: BTreeMap<u64, Vec<Option<Vec<Request>>>>,
         evicted_below: u64,
     ) -> SubOramNode {
         SubOramNode {
@@ -566,6 +615,7 @@ impl SubOramNode {
             completed,
             retain: 8,
             evicted_below,
+            threads: 1,
         }
     }
 
@@ -574,6 +624,18 @@ impl SubOramNode {
     pub fn with_index(mut self, index: usize) -> SubOramNode {
         self.index = Some(index);
         self
+    }
+
+    /// Sets the number of enclave threads the linear scan may use
+    /// (§8.4, Fig. 13b). The scan's access trace is identical either way.
+    pub fn with_threads(mut self, threads: usize) -> SubOramNode {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured enclave thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Bounds the reply cache to the newest `retain` executed epochs
@@ -589,8 +651,9 @@ impl SubOramNode {
         &self.oram
     }
 
-    /// The reply cache (for checkpointing).
-    pub fn completed(&self) -> &BTreeMap<u64, Vec<Vec<Request>>> {
+    /// The reply cache (for checkpointing). `None` entries are batches that
+    /// were refused with a typed error.
+    pub fn completed(&self) -> &BTreeMap<u64, Vec<Option<Vec<Request>>>> {
         &self.completed
     }
 
@@ -628,13 +691,30 @@ impl SubOramNode {
             None => trace::span("epoch/suboram_scan"),
         };
         // Fixed balancer order (§4.3).
-        let mut out = Vec::with_capacity(self.num_lbs);
+        let mut out: Vec<Option<Vec<Request>>> = Vec::with_capacity(self.num_lbs);
         for batch in batches {
             let batch = batch.unwrap();
             let resp = if batch.is_empty() {
-                Vec::new()
+                Some(Vec::new())
             } else {
-                self.oram.batch_access(batch).expect("subORAM batch failed")
+                // A malformed batch (duplicate ids, from a buggy or malicious
+                // balancer) fails oblivious hash construction *before* any
+                // partition state mutates, so refusing just this balancer's
+                // batch is safe: the other balancers' batches execute
+                // normally and the node stays serviceable. The refusal is
+                // recorded and NACKed; it must never panic the node.
+                match self.oram.batch_access_parallel(batch, self.threads) {
+                    Ok(resp) => Some(resp),
+                    Err(_) => {
+                        metrics::global()
+                            .counter(
+                                metrics::names::SUB_BATCH_FAILURES_TOTAL,
+                                "subORAM batches refused with a typed error",
+                            )
+                            .inc(Public::wire_observable(()));
+                        None
+                    }
+                }
             };
             out.push(resp);
         }
@@ -670,7 +750,10 @@ pub fn run_suboram<T: SubTransport>(
             SubEvent::Shutdown => break,
             SubEvent::Batch { lb, epoch, batch } => match node.handle_batch(lb, epoch, batch) {
                 BatchOutcome::Waiting => {}
-                BatchOutcome::Replayed { lb, batch } => transport.send_response(lb, epoch, &batch),
+                BatchOutcome::Replayed { lb, batch } => match batch {
+                    Some(batch) => transport.send_response(lb, epoch, &batch),
+                    None => transport.send_error(lb, epoch),
+                },
                 BatchOutcome::Evicted { lb, epoch } => {
                     // Refused: the epoch executed long ago and its cached
                     // responses are gone. Answering nothing lets the
@@ -688,7 +771,10 @@ pub fn run_suboram<T: SubTransport>(
                 BatchOutcome::Completed(responses) => {
                     after_epoch(node, epoch);
                     for (lb_idx, resp) in responses.iter().enumerate() {
-                        transport.send_response(lb_idx, epoch, resp);
+                        match resp {
+                            Some(resp) => transport.send_response(lb_idx, epoch, resp),
+                            None => transport.send_error(lb_idx, epoch),
+                        }
                     }
                 }
             },
@@ -720,6 +806,121 @@ mod tests {
     fn no_faults_delivers() {
         assert_eq!(NoFaults.on_batch(0, 0, 0), FaultAction::Deliver);
         assert_eq!(NoFaults.on_response(1, 2, 3), FaultAction::Deliver);
+    }
+
+    fn test_oram(value_len: usize) -> SubOram {
+        use snoopy_crypto::{Key256, Prg};
+        use snoopy_enclave::wire::StoredObject;
+        let mut prg = Prg::from_seed(7);
+        let objs: Vec<StoredObject> =
+            (0..8u64).map(|i| StoredObject::new(i, &i.to_le_bytes(), value_len)).collect();
+        SubOram::new_in_enclave(objs, value_len, Key256::random(&mut prg), 16)
+    }
+
+    #[test]
+    fn duplicate_id_batch_refused_without_panic() {
+        let mut node = SubOramNode::new(test_oram(8), 2);
+        let dup = vec![Request::read(1, 8, 0, 0), Request::read(1, 8, 0, 1)];
+        let good = vec![Request::read(2, 8, 0, 0)];
+        assert!(matches!(node.handle_batch(0, 0, dup), BatchOutcome::Waiting));
+        let out = match node.handle_batch(1, 0, good.clone()) {
+            BatchOutcome::Completed(out) => out,
+            _ => panic!("epoch 0 should execute once both batches arrived"),
+        };
+        assert!(out[0].is_none(), "the duplicate-id batch must be refused");
+        assert!(out[1].is_some(), "the well-formed batch still executes");
+        // A replay of the refused batch replays the refusal deterministically.
+        assert!(matches!(
+            node.handle_batch(0, 0, vec![Request::read(1, 8, 0, 0)]),
+            BatchOutcome::Replayed { lb: 0, batch: None }
+        ));
+        // The node stays serviceable: the next epoch commits for everyone.
+        assert!(matches!(node.handle_batch(0, 1, good.clone()), BatchOutcome::Waiting));
+        let out = match node.handle_batch(1, 1, good) {
+            BatchOutcome::Completed(out) => out,
+            _ => panic!("epoch 1 should complete"),
+        };
+        assert!(out.iter().all(|r| r.is_some()));
+    }
+
+    /// A transport that never delivers a subORAM response: events come only
+    /// from the scripted queue, and waiting past the deadline times out.
+    struct NeverDelivering {
+        queue: VecDeque<LbEvent>,
+        batches_sent: usize,
+    }
+
+    impl LbTransport for NeverDelivering {
+        fn recv(&mut self) -> Option<LbEvent> {
+            self.queue.pop_front()
+        }
+
+        fn recv_deadline(&mut self, deadline: Instant) -> RecvOutcome {
+            match self.queue.pop_front() {
+                Some(ev) => RecvOutcome::Event(ev),
+                None => {
+                    let now = Instant::now();
+                    if deadline > now {
+                        std::thread::sleep(deadline - now);
+                    }
+                    RecvOutcome::TimedOut
+                }
+            }
+        }
+
+        fn send_batch(&mut self, _suboram: usize, _epoch: u64, _batch: &[Request]) {
+            self.batches_sent += 1;
+        }
+    }
+
+    #[test]
+    fn deadline_degrades_instead_of_hanging_on_silent_transport() {
+        use snoopy_crypto::Key256;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut transport = NeverDelivering {
+            queue: VecDeque::from([
+                LbEvent::Client(Request::read(1, 8, 0, 0), Box::new(tx)),
+                LbEvent::Tick(7),
+            ]),
+            batches_sent: 0,
+        };
+        let balancer = LoadBalancer::new(&Key256([1u8; 32]), 1, 8, 128);
+        run_load_balancer_with_policy(
+            &mut transport,
+            balancer,
+            1,
+            EpochFaultPolicy::with_deadline(Duration::from_millis(5), 1),
+        );
+        let reply = rx.try_recv().expect("the epoch must resolve, not hang");
+        assert_eq!(reply, Err(Unavailable { epoch: 7, failed_suborams: vec![0] }));
+        // One initial send plus one replay wave before degrading.
+        assert_eq!(transport.batches_sent, 2);
+    }
+
+    #[test]
+    fn sub_failed_notice_degrades_epoch_immediately() {
+        use snoopy_crypto::Key256;
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut transport = NeverDelivering {
+            queue: VecDeque::from([
+                LbEvent::Client(Request::read(1, 8, 0, 0), Box::new(tx)),
+                LbEvent::Tick(3),
+                LbEvent::SubFailed { suboram: 1, epoch: 3 },
+            ]),
+            batches_sent: 0,
+        };
+        let balancer = LoadBalancer::new(&Key256([1u8; 32]), 2, 8, 128);
+        run_load_balancer_with_policy(
+            &mut transport,
+            balancer,
+            2,
+            EpochFaultPolicy::wait_forever(),
+        );
+        let reply = rx.try_recv().expect("the epoch must resolve");
+        // The refusing subORAM is named precisely — not every sub still owed.
+        assert_eq!(reply, Err(Unavailable { epoch: 3, failed_suborams: vec![1] }));
+        // No replay waves: refusal is deterministic.
+        assert_eq!(transport.batches_sent, 2, "one batch per subORAM, no replays");
     }
 
     #[test]

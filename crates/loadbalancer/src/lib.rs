@@ -28,10 +28,10 @@
 use snoopy_binning::batch_size;
 use snoopy_crypto::{Key256, SipHash24};
 use snoopy_enclave::wire::{Request, Response, StoredObject, LB_DUMMY_BASE, REAL_ID_LIMIT};
-use snoopy_obliv::compact::ocompact;
+use snoopy_obliv::compact::ocompact_adaptive;
 use snoopy_obliv::ct::{ct_eq_u64, ct_lt_u64, Choice, Cmov};
 use snoopy_obliv::impl_cmov_struct;
-use snoopy_obliv::sort::osort_by;
+use snoopy_obliv::sort::osort_adaptive;
 use snoopy_obliv::trace::{self, TraceEvent};
 // The obliviousness trace above records *memory touches* for the access-
 // pattern tests; `telem` spans record *wall-clock* of data-independent
@@ -128,11 +128,13 @@ pub struct LoadBalancer {
     num_suborams: usize,
     value_len: usize,
     lambda: u32,
+    threads: usize,
 }
 
 impl LoadBalancer {
     /// Creates a load balancer. `shared_key` is the deployment-wide partition
     /// key — every load balancer and the initializer must use the same one.
+    /// Runs single-threaded; see [`LoadBalancer::with_threads`].
     pub fn new(
         shared_key: &Key256,
         num_suborams: usize,
@@ -145,7 +147,21 @@ impl LoadBalancer {
             num_suborams,
             value_len,
             lambda,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of enclave threads the oblivious sort and compaction
+    /// may use (§8.4, Fig. 13a). Inputs below the parallel grain size still
+    /// run serially; the access trace is identical either way.
+    pub fn with_threads(mut self, threads: usize) -> LoadBalancer {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured enclave thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of subORAMs this balancer routes to.
@@ -208,7 +224,7 @@ impl LoadBalancer {
         // ➌ Oblivious sort groups batches: (subORAM, dummies-last, id, arrival).
         {
             let _span = telem::span("epoch/lb_make/osort");
-            osort_by(&mut work, &work_gt);
+            osort_adaptive(&mut work, &work_gt, self.threads);
         }
 
         // ➍ One scan: last-write-wins aggregation per id group, keep the
@@ -279,7 +295,7 @@ impl LoadBalancer {
         // ➎ Compact to exactly S·B entries, still grouped by subORAM.
         {
             let _span = telem::span("epoch/lb_make/ocompact");
-            ocompact(&mut work, &mut keep);
+            ocompact_adaptive(&mut work, &mut keep, self.threads);
         }
         work.truncate(s * b);
         let mut batches: Vec<Vec<Request>> = Vec::with_capacity(s);
@@ -320,7 +336,7 @@ impl LoadBalancer {
         // ➋ Sort by (id, responses-first).
         {
             let _span = telem::span("epoch/lb_match/osort");
-            osort_by(&mut slots, &match_gt);
+            osort_adaptive(&mut slots, &match_gt, self.threads);
         }
 
         // ➌ Propagate response values forward onto the requests behind them.
@@ -338,7 +354,7 @@ impl LoadBalancer {
         let mut keep: Vec<Choice> = slots.iter().map(|s| ct_eq_u64(s.is_request, 1)).collect();
         {
             let _span = telem::span("epoch/lb_match/ocompact");
-            ocompact(&mut slots, &mut keep);
+            ocompact_adaptive(&mut slots, &mut keep, self.threads);
         }
         slots.truncate(r);
         // Access control (Appendix D): a client without permission for its
@@ -551,6 +567,29 @@ mod tests {
             tr
         };
         assert_eq!(run(0).fingerprint(), run(777).fingerprint());
+    }
+
+    #[test]
+    fn epoch_trace_identical_across_thread_counts() {
+        // Large enough that the work vector (R + S·B entries) crosses the
+        // parallel grain, so threads > 1 actually runs the parallel kernels.
+        let r = 6000u64;
+        let run = |threads: usize, base: u64| {
+            let balancer =
+                LoadBalancer::new(&Key256([9u8; 32]), 2, VLEN, 128).with_threads(threads);
+            let requests = reads(&(base..base + r).collect::<Vec<_>>());
+            let (out, tr) = trace::capture(|| {
+                let batches = balancer.make_batches(&requests).unwrap();
+                balancer.match_responses(&requests, batches)
+            });
+            assert_eq!(out.len(), r as usize);
+            tr.fingerprint()
+        };
+        let serial = run(1, 0);
+        for threads in [2usize, 4] {
+            // Different secret ids too: the trace must depend on neither.
+            assert_eq!(serial, run(threads, 500_000), "threads={threads}");
+        }
     }
 
     #[test]

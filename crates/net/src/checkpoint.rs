@@ -26,7 +26,14 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"SNPCKPT2";
+// Format v3: a cached reply can be `None` (the epoch was *refused* with a
+// typed error, not executed); encoded as count `u64::MAX`. Refusals must be
+// durable like successes — replaying a refused batch after a restart has to
+// re-refuse, not re-execute against mutated state.
+const MAGIC: &[u8; 8] = b"SNPCKPT3";
+
+/// Sentinel batch count marking a refused (None) cached reply.
+const REFUSED: u64 = u64::MAX;
 
 /// Derives the checkpoint sealing key for subORAM `index`.
 pub fn checkpoint_key(deploy: &Key256, index: usize) -> Key256 {
@@ -79,9 +86,14 @@ fn encode_state(node: &SubOramNode) -> Vec<u8> {
     for (epoch, per_lb) in completed {
         out.extend_from_slice(&epoch.to_le_bytes());
         for batch in per_lb {
-            out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
-            for r in batch {
-                out.extend_from_slice(&encode_request(r));
+            match batch {
+                Some(batch) => {
+                    out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+                    for r in batch {
+                        out.extend_from_slice(&encode_request(r));
+                    }
+                }
+                None => out.extend_from_slice(&REFUSED.to_le_bytes()),
             }
         }
     }
@@ -90,7 +102,8 @@ fn encode_state(node: &SubOramNode) -> Vec<u8> {
 
 /// Decoded checkpoint payload: `(value_len, num_lbs, evicted_below,
 /// objects, cached responses per epoch)`.
-type CheckpointState = (usize, usize, u64, Vec<StoredObject>, BTreeMap<u64, Vec<Vec<Request>>>);
+type CheckpointState =
+    (usize, usize, u64, Vec<StoredObject>, BTreeMap<u64, Vec<Option<Vec<Request>>>>);
 
 fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     let mut r = Reader(plain);
@@ -113,13 +126,18 @@ fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
         let epoch = r.u64()?;
         let mut per_lb = Vec::with_capacity(num_lbs);
         for _ in 0..num_lbs {
-            let count = r.u64()? as usize;
+            let count = r.u64()?;
+            if count == REFUSED {
+                per_lb.push(None);
+                continue;
+            }
+            let count = count as usize;
             let mut batch = Vec::with_capacity(count);
             for _ in 0..count {
                 let frame = r.bytes(40 + value_len)?;
                 batch.push(decode_request(frame, value_len).ok_or_else(|| bad("bad request"))?);
             }
-            per_lb.push(batch);
+            per_lb.push(Some(batch));
         }
         completed.insert(epoch, per_lb);
     }
@@ -211,6 +229,32 @@ mod tests {
         match restored.handle_batch(0, 0, batch) {
             BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out[0]),
             _ => panic!("expected replay from cache"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn refused_epoch_survives_restart_as_a_refusal() {
+        let dir = std::env::temp_dir().join(format!("snoopy-ckpt4-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sub3.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let key = checkpoint_key(&Key256([3u8; 32]), 3);
+
+        let mut n = node();
+        // A duplicate-id batch is refused with a typed error, and the refusal
+        // is cached (None) so a replay gets the same answer.
+        let dup = vec![Request::read(4, VLEN, 0, 0), Request::read(4, VLEN, 0, 1)];
+        match n.handle_batch(0, 0, dup.clone()) {
+            BatchOutcome::Completed(out) => assert_eq!(out, vec![None]),
+            _ => panic!("expected completed-with-refusal"),
+        }
+        save(&n, &key, &path).unwrap();
+
+        let mut restored = load(&key, &path, Key256([9u8; 32]), 80).unwrap().unwrap();
+        match restored.handle_batch(0, 0, dup) {
+            BatchOutcome::Replayed { lb: 0, batch: None } => {}
+            _ => panic!("expected replayed refusal"),
         }
         std::fs::remove_file(&path).unwrap();
     }

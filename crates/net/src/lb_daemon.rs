@@ -160,7 +160,8 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
     let shared_key = Key256::random(&mut prg);
     let deploy = proto::deployment_key(manifest.seed);
     let balancer =
-        LoadBalancer::new(&shared_key, num_suborams, manifest.value_len, manifest.lambda);
+        LoadBalancer::new(&shared_key, num_suborams, manifest.value_len, manifest.lambda)
+            .with_threads(manifest.lb_threads as usize);
 
     let listener = TcpListener::bind(&manifest.load_balancers[index])?;
     let (events_tx, events_rx) = channel();
@@ -293,6 +294,17 @@ fn dialer(ctx: DialerCtx) {
 
         while let Ok((t, body)) = read_frame(&mut stream) {
             stats.received(body.len());
+            if t == tag::RESP_ERR {
+                // Typed refusal: plaintext epoch id. Forward it so the epoch
+                // loop can degrade immediately instead of replaying a batch
+                // the subORAM will deterministically refuse again.
+                let Ok(bytes) = <[u8; 8]>::try_from(&body[..]) else { break };
+                let epoch = u64::from_le_bytes(bytes);
+                if events_tx.send(LbEvent::SubFailed { suboram: sub, epoch }).is_err() {
+                    return;
+                }
+                continue;
+            }
             if t != tag::RESP_BATCH {
                 break;
             }

@@ -54,6 +54,12 @@ pub struct Manifest {
     /// How many executed epochs each subORAM keeps in its reply cache (and
     /// checkpoint) for idempotent replay; older epochs are refused.
     pub retain_epochs: u32,
+    /// Enclave threads per load balancer for the oblivious sort/compaction
+    /// (§8.4, Fig. 13a). Thread count is public configuration; the oblivious
+    /// access trace is byte-identical at every setting.
+    pub lb_threads: u32,
+    /// Enclave threads per subORAM for the parallel linear scan (Fig. 13b).
+    pub sub_threads: u32,
     /// Load-balancer listen addresses, in index order.
     pub load_balancers: Vec<String>,
     /// SubORAM listen addresses, in index order.
@@ -96,6 +102,8 @@ impl Manifest {
         let mut sub_deadline_ms = None;
         let mut max_replays = None;
         let mut retain_epochs = None;
+        let mut lb_threads = None;
+        let mut sub_threads = None;
         let mut load_balancers: Vec<(String, usize)> = Vec::new();
         let mut suborams: Vec<(String, usize)> = Vec::new();
 
@@ -135,6 +143,8 @@ impl Manifest {
                 "sub_deadline_ms" => set_once(&mut sub_deadline_ms, value)?,
                 "max_replays" => set_once(&mut max_replays, value)?,
                 "retain_epochs" => set_once(&mut retain_epochs, value)?,
+                "lb_threads" => set_once(&mut lb_threads, value)?,
+                "sub_threads" => set_once(&mut sub_threads, value)?,
                 "loadbalancer" => load_balancers.push((check_addr(value, lineno)?, lineno)),
                 "suboram" => suborams.push((check_addr(value, lineno)?, lineno)),
                 other => return Err(err(lineno, format!("unknown key `{other}`"))),
@@ -166,6 +176,9 @@ impl Manifest {
             sub_deadline_ms: sub_deadline_ms.unwrap_or(10_000),
             max_replays: max_replays.unwrap_or(3) as u32,
             retain_epochs: retain_epochs.unwrap_or(8).max(1) as u32,
+            // 0 threads cannot run anything; clamp like retain_epochs.
+            lb_threads: lb_threads.unwrap_or(1).max(1) as u32,
+            sub_threads: sub_threads.unwrap_or(1).max(1) as u32,
             load_balancers: load_balancers.into_iter().map(|(a, _)| a).collect(),
             suborams: suborams.into_iter().map(|(a, _)| a).collect(),
         };
@@ -200,6 +213,8 @@ impl Manifest {
         out.push_str(&format!("sub_deadline_ms = {}\n", self.sub_deadline_ms));
         out.push_str(&format!("max_replays = {}\n", self.max_replays));
         out.push_str(&format!("retain_epochs = {}\n", self.retain_epochs));
+        out.push_str(&format!("lb_threads = {}\n", self.lb_threads));
+        out.push_str(&format!("sub_threads = {}\n", self.sub_threads));
         for lb in &self.load_balancers {
             out.push_str(&format!("loadbalancer = {lb}\n"));
         }
@@ -267,6 +282,9 @@ suboram = 127.0.0.1:7101\n";
         assert_eq!(m.sub_deadline_ms, 10_000);
         assert_eq!(m.max_replays, 3);
         assert_eq!(m.retain_epochs, 8);
+        // Parallelism knobs default to serial.
+        assert_eq!(m.lb_threads, 1);
+        assert_eq!(m.sub_threads, 1);
         let policy = m.fault_policy();
         assert_eq!(policy.sub_deadline, Some(std::time::Duration::from_secs(10)));
         assert_eq!(policy.max_replays, 3);
@@ -287,9 +305,31 @@ suboram = 127.0.0.1:7101\n";
     }
 
     #[test]
+    fn thread_knobs_parse_clamp_and_reject_garbage() {
+        let m = Manifest::parse(&format!("{GOOD}lb_threads = 4\nsub_threads = 8\n")).unwrap();
+        assert_eq!(m.lb_threads, 4);
+        assert_eq!(m.sub_threads, 8);
+        // 0 threads cannot run an epoch; clamp to serial.
+        let clamped = Manifest::parse(&format!("{GOOD}lb_threads = 0\nsub_threads = 0\n")).unwrap();
+        assert_eq!(clamped.lb_threads, 1);
+        assert_eq!(clamped.sub_threads, 1);
+        // Non-numeric and duplicate values are line-numbered errors.
+        let e = Manifest::parse(&format!("{GOOD}lb_threads = many\n")).unwrap_err();
+        assert!(e.message.contains("not a number"), "{e}");
+        assert!(e.line > 0, "{e}");
+        let e = Manifest::parse(&format!("{GOOD}sub_threads = 2\nsub_threads = 4\n")).unwrap_err();
+        assert!(e.message.contains("duplicate `sub_threads`"), "{e}");
+        let e = Manifest::parse(&format!("{GOOD}sub_threads =\n")).unwrap_err();
+        assert!(e.message.contains("has no value"), "{e}");
+    }
+
+    #[test]
     fn render_parse_roundtrip() {
         let m = Manifest::parse(GOOD).unwrap();
         assert_eq!(Manifest::parse(&m.render()).unwrap(), m);
+        let threaded =
+            Manifest::parse(&format!("{GOOD}lb_threads = 4\nsub_threads = 2\n")).unwrap();
+        assert_eq!(Manifest::parse(&threaded.render()).unwrap(), threaded);
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub mod tag {
     /// and it carries only wire-observable facts (epoch id, which subORAMs
     /// went silent).
     pub const CLIENT_FAIL: u8 = 14;
+    /// SubORAM → load balancer: this epoch's batch was refused with a typed
+    /// error (body: `epoch u64 LE`). Plaintext for the same reason as
+    /// [`CLIENT_FAIL`]: a liveness signal carrying only wire-observable
+    /// facts — the balancer learns *which subORAM* refused *which epoch*,
+    /// both of which the network already sees, and nothing about why.
+    pub const RESP_ERR: u8 = 15;
 }
 
 /// Who is dialing.

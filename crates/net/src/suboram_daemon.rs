@@ -75,6 +75,23 @@ impl SubTransport for TcpSubTransport {
             }
         }
     }
+
+    fn send_error(&mut self, lb: usize, epoch: u64) {
+        // Typed refusal: a plaintext RESP_ERR frame naming only the epoch
+        // (the subORAM index is implicit in the connection). Refusals are
+        // deterministic, so a disconnected balancer rediscovers the same
+        // refusal when it replays after reconnecting.
+        let mut conns = self.conns.lock().unwrap();
+        let Some(conn) = conns[lb].as_mut() else { return };
+        let body = epoch.to_le_bytes();
+        match write_frame(&mut conn.stream, tag::RESP_ERR, &body) {
+            Ok(()) => conn.stats.sent(body.len()),
+            Err(_) => {
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                conns[lb] = None;
+            }
+        }
+    }
 }
 
 /// Runs the subORAM daemon until an admin shutdown. `checkpoint_path`
@@ -124,7 +141,10 @@ pub fn run(
     // Bound the reply cache (and with it the checkpoint size): epochs older
     // than `retain_epochs` evict, and a replay of an evicted epoch gets a
     // typed refusal instead of a corrupting re-execution.
-    let mut node = node.with_index(index).with_retain(manifest.retain_epochs as usize);
+    let mut node = node
+        .with_index(index)
+        .with_retain(manifest.retain_epochs as usize)
+        .with_threads(manifest.sub_threads as usize);
 
     let listener = TcpListener::bind(&manifest.suborams[index])?;
     let (events_tx, events_rx) = channel();

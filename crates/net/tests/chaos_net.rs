@@ -85,6 +85,14 @@ impl Drop for Daemon {
     }
 }
 
+fn env_threads() -> u32 {
+    std::env::var("SNOOPY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
 fn free_addrs(n: usize) -> Vec<String> {
     let listeners: Vec<TcpListener> =
         (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
@@ -139,6 +147,10 @@ fn proxied_cluster_survives_faults_and_double_kill() {
         sub_deadline_ms: 250,
         max_replays: 60,
         retain_epochs: 64,
+        // Honor SNOOPY_THREADS so the verify script's `parallel` suite runs
+        // this chaos scenario with the parallel kernels engaged.
+        lb_threads: env_threads(),
+        sub_threads: env_threads(),
         load_balancers: vec![addrs[0].clone()],
         suborams: vec![addrs[1].clone(), addrs[2].clone()],
     };

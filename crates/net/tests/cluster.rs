@@ -82,6 +82,14 @@ impl Drop for Daemon {
     }
 }
 
+fn env_threads() -> u32 {
+    std::env::var("SNOOPY_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
+}
+
 fn free_addrs(n: usize) -> Vec<String> {
     // Bind ephemeral ports, record them, then release all at once so no two
     // picks collide.
@@ -139,6 +147,11 @@ fn multi_process_cluster_matches_reference_and_survives_kill() {
         sub_deadline_ms: 10_000,
         max_replays: 3,
         retain_epochs: 8,
+        // Honor SNOOPY_THREADS so the verify script's `parallel` suite can
+        // re-run this whole cluster with the parallel kernels engaged; the
+        // responses must stay byte-identical to the serial reference.
+        lb_threads: env_threads(),
+        sub_threads: env_threads(),
         load_balancers: vec![addrs[0].clone()],
         suborams: vec![addrs[1].clone(), addrs[2].clone()],
     };

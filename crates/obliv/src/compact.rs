@@ -118,6 +118,215 @@ fn or_off_compact<T: Cmov>(items: &mut [T], keep: &mut [Choice], z: u64) {
     }
 }
 
+/// Minimum slice length that justifies spawning a thread for a half (same
+/// rationale as the sort's grain: spawn/join overhead vs. split win).
+const PAR_GRAIN: usize = 1 << 13;
+
+/// Parallel order-preserving compaction across up to `threads` OS threads.
+///
+/// Uses the same disjoint-split technique as the parallel sort: the routing
+/// network's two recursive halves touch disjoint subslices, and the combine
+/// loop pairs element `i` of the left part with element `i` of the right
+/// part, so both parallelize with `split_at_mut` — no locks, no unsafe.
+///
+/// Trace-compatible with [`ocompact`]: workers capture their events and the
+/// coordinator splices them back in serial network order, so the recorded
+/// trace is byte-identical for every thread count.
+pub fn ocompact_parallel<T: Cmov + Send>(items: &mut [T], keep: &mut [Choice], threads: usize) {
+    ocompact_parallel_with_grain(items, keep, threads, PAR_GRAIN)
+}
+
+/// [`ocompact_parallel`] with an explicit spawn threshold, so tests can force
+/// the multi-threaded code paths on small inputs.
+pub fn ocompact_parallel_with_grain<T: Cmov + Send>(
+    items: &mut [T],
+    keep: &mut [Choice],
+    threads: usize,
+    grain: usize,
+) {
+    assert_eq!(items.len(), keep.len(), "items and keep bits must align");
+    trace::record(TraceEvent::Phase(0x434f));
+    par_or_compact(items, keep, threads.max(1), grain.max(2));
+}
+
+/// Compacts with a thread count chosen by input size: small inputs run the
+/// serial network (coordination costs dominate), large inputs use all
+/// `max_threads`.
+pub fn ocompact_adaptive<T: Cmov + Send>(items: &mut [T], keep: &mut [Choice], max_threads: usize) {
+    if items.len() < PAR_GRAIN || max_threads <= 1 {
+        ocompact(items, keep);
+    } else {
+        ocompact_parallel(items, keep, max_threads);
+    }
+}
+
+fn par_or_compact<T: Cmov + Send>(
+    items: &mut [T],
+    keep: &mut [Choice],
+    threads: usize,
+    grain: usize,
+) {
+    let n = items.len();
+    if n < 2 {
+        return;
+    }
+    if threads <= 1 || n < grain {
+        or_compact(items, keep);
+        return;
+    }
+    let n2 = 1usize << (usize::BITS - 1 - (n - 1).leading_zeros());
+    let n1 = n - n2;
+    let m = ocount(&keep[..n1]);
+    let z = ((n2 - n1) as u64).wrapping_add(m) & (n2 as u64 - 1);
+    {
+        let (li, ri) = items.split_at_mut(n1);
+        let (lk, rk) = keep.split_at_mut(n1);
+        // The halves are unequal (n1 <= n2); split threads proportionally.
+        let lt = ((threads * n1) / n).clamp(1, threads - 1);
+        let rt = threads - lt;
+        if trace::is_recording() {
+            let (left_trace, right_trace) = std::thread::scope(|s| {
+                let h = s.spawn(move || trace::capture(|| par_or_compact(li, lk, lt, grain)).1);
+                let ((), rt_trace) = trace::fork(|| par_or_off_compact(ri, rk, z, rt, grain));
+                (h.join().expect("parallel compaction worker panicked"), rt_trace)
+            });
+            trace::splice(left_trace);
+            trace::splice(right_trace);
+        } else {
+            std::thread::scope(|s| {
+                s.spawn(move || par_or_compact(li, lk, lt, grain));
+                par_or_off_compact(ri, rk, z, rt, grain);
+            });
+        }
+    }
+    let (head, tail) = items.split_at_mut(n2);
+    let (khead, ktail) = keep.split_at_mut(n2);
+    par_pair_loop(
+        &mut head[..n1],
+        tail,
+        &mut khead[..n1],
+        ktail,
+        &|i| ct_le_u64(m, i as u64),
+        threads,
+    );
+}
+
+fn par_or_off_compact<T: Cmov + Send>(
+    items: &mut [T],
+    keep: &mut [Choice],
+    z: u64,
+    threads: usize,
+    grain: usize,
+) {
+    let n = items.len();
+    if threads <= 1 || n < grain || n <= 2 {
+        or_off_compact(items, keep, z);
+        return;
+    }
+    let h = n / 2;
+    let hm = h as u64 - 1;
+    let m = ocount(&keep[..h]);
+    let zl = z & hm;
+    let zr = z.wrapping_add(m) & hm;
+    {
+        let (li, ri) = items.split_at_mut(h);
+        let (lk, rk) = keep.split_at_mut(h);
+        let lt = threads / 2;
+        let rt = threads - lt;
+        if trace::is_recording() {
+            let (left_trace, right_trace) = std::thread::scope(|s| {
+                let handle =
+                    s.spawn(move || trace::capture(|| par_or_off_compact(li, lk, zl, rt, grain)).1);
+                let ((), rt_trace) =
+                    trace::fork(|| par_or_off_compact(ri, rk, zr, lt.max(1), grain));
+                (handle.join().expect("parallel compaction worker panicked"), rt_trace)
+            });
+            trace::splice(left_trace);
+            trace::splice(right_trace);
+        } else {
+            std::thread::scope(|s| {
+                s.spawn(move || par_or_off_compact(li, lk, zl, rt, grain));
+                par_or_off_compact(ri, rk, zr, lt.max(1), grain);
+            });
+        }
+    }
+    let s_left_wraps = ct_le_u64(h as u64, zl.wrapping_add(m));
+    let s_z_right = ct_le_u64(h as u64, z);
+    let s = s_left_wraps.xor(s_z_right);
+    let (head, tail) = items.split_at_mut(h);
+    let (khead, ktail) = keep.split_at_mut(h);
+    par_pair_loop(head, tail, khead, ktail, &|i| s.xor(ct_le_u64(zr, i as u64)), threads);
+}
+
+/// The parallel form of a combine loop `for i in 0..count { swap pair i }`:
+/// chunks all four slices identically across threads. Each worker records the
+/// same relative `Touch` indices the serial loop does; when recording, chunk
+/// traces are spliced back in ascending index order.
+fn par_pair_loop<T: Cmov + Send>(
+    a: &mut [T],
+    b: &mut [T],
+    ka: &mut [Choice],
+    kb: &mut [Choice],
+    cond: &(impl Fn(usize) -> Choice + Sync),
+    threads: usize,
+) {
+    let count = a.len();
+    debug_assert!(b.len() == count && ka.len() == count && kb.len() == count);
+    if count == 0 {
+        return;
+    }
+    let chunk = count.div_ceil(threads).max(1);
+    if trace::is_recording() {
+        let traces: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = a
+                .chunks_mut(chunk)
+                .zip(b.chunks_mut(chunk))
+                .zip(ka.chunks_mut(chunk).zip(kb.chunks_mut(chunk)))
+                .enumerate()
+                .map(|(ci, ((ac, bc), (kac, kbc)))| {
+                    let off = ci * chunk;
+                    s.spawn(move || trace::capture(|| pair_chunk(ac, bc, kac, kbc, off, cond)).1)
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel compaction worker panicked"))
+                .collect()
+        });
+        for t in traces {
+            trace::splice(t);
+        }
+    } else {
+        std::thread::scope(|s| {
+            for (ci, ((ac, bc), (kac, kbc))) in a
+                .chunks_mut(chunk)
+                .zip(b.chunks_mut(chunk))
+                .zip(ka.chunks_mut(chunk).zip(kb.chunks_mut(chunk)))
+                .enumerate()
+            {
+                let off = ci * chunk;
+                s.spawn(move || pair_chunk(ac, bc, kac, kbc, off, cond));
+            }
+        });
+    }
+}
+
+fn pair_chunk<T: Cmov>(
+    a: &mut [T],
+    b: &mut [T],
+    ka: &mut [Choice],
+    kb: &mut [Choice],
+    off: usize,
+    cond: &impl Fn(usize) -> Choice,
+) {
+    for k in 0..a.len() {
+        trace::record(TraceEvent::Touch { region: 0x43, index: off + k });
+        let c = cond(off + k);
+        a[k].cswap(&mut b[k], c);
+        ka[k].cswap(&mut kb[k], c);
+    }
+}
+
 /// `O(n log² n)` oblivious compaction via a stable bitonic sort on
 /// `(1 - keep, arrival index)`. Order-preserving by construction. Used as a
 /// reference implementation and an ablation baseline ("what if Snoopy had
@@ -276,6 +485,58 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_serial_output() {
+        for n in [0usize, 1, 2, 3, 7, 37, 100, 129] {
+            for threads in [1usize, 2, 3, 4, 7] {
+                let vals: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+                let keepb: Vec<bool> = (0..n).map(|i| i % 3 != 1).collect();
+                let mut items = vals.clone();
+                let mut keep: Vec<Choice> = keepb.iter().map(|&b| Choice::from_bool(b)).collect();
+                ocompact_parallel_with_grain(&mut items, &mut keep, threads, 4);
+                let count = keepb.iter().filter(|&&b| b).count();
+                items.truncate(count);
+                assert_eq!(items, reference_compact(&vals, &keepb), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_trace_identical_to_serial_for_all_thread_counts() {
+        use crate::trace;
+        for n in [1usize, 2, 3, 7, 37, 100, 129] {
+            let (_, serial) = trace::capture(|| {
+                let mut items: Vec<u64> = (0..n as u64).collect();
+                let mut keep: Vec<Choice> = (0..n).map(|i| Choice::from_bool(i % 2 == 0)).collect();
+                ocompact(&mut items, &mut keep);
+            });
+            for threads in [1usize, 2, 3, 4, 7] {
+                let (_, par) = trace::capture(|| {
+                    // Different keep bits from the serial run: the trace must
+                    // depend on neither secrets nor thread count.
+                    let mut items: Vec<u64> = (0..n as u64).collect();
+                    let mut keep: Vec<Choice> =
+                        (0..n).map(|i| Choice::from_bool(i % 5 == 3)).collect();
+                    ocompact_parallel_with_grain(&mut items, &mut keep, threads, 4);
+                });
+                assert_eq!(serial, par, "trace diverged for n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_compacts_correctly() {
+        let n = 10_000usize;
+        let vals: Vec<u64> = (0..n as u64).map(|i| i ^ 0x5A5A).collect();
+        let keepb: Vec<bool> = (0..n).map(|i| i % 7 < 3).collect();
+        let mut items = vals.clone();
+        let mut keep: Vec<Choice> = keepb.iter().map(|&b| Choice::from_bool(b)).collect();
+        ocompact_adaptive(&mut items, &mut keep, 4);
+        let count = keepb.iter().filter(|&&b| b).count();
+        items.truncate(count);
+        assert_eq!(items, reference_compact(&vals, &keepb));
+    }
+
+    #[test]
     fn ocount_counts() {
         let keep = [Choice::TRUE, Choice::FALSE, Choice::TRUE, Choice::TRUE];
         assert_eq!(ocount(&keep), 3);
@@ -292,6 +553,25 @@ mod tests {
             let keepb: Vec<bool> = (0..n).map(|i| (seed >> (i % 64)) & 1 == 1 || (i * 7 + seed as usize).is_multiple_of(3)).collect();
             let got = run_ocompact(&vals, &keepb);
             prop_assert_eq!(got, reference_compact(&vals, &keepb));
+        }
+
+        #[test]
+        fn parallel_output_and_trace_match_serial(
+            vals in proptest::collection::vec(any::<u64>(), 0..200),
+            seed in any::<u64>(),
+            threads in 1usize..8,
+        ) {
+            use crate::trace;
+            let n = vals.len();
+            let keepb: Vec<bool> = (0..n).map(|i| (seed.rotate_left(i as u32)) & 1 == 1).collect();
+            let mut a = vals.clone();
+            let mut ka: Vec<Choice> = keepb.iter().map(|&b| Choice::from_bool(b)).collect();
+            let mut b = vals.clone();
+            let mut kb: Vec<Choice> = keepb.iter().map(|&b| Choice::from_bool(b)).collect();
+            let (_, st) = trace::capture(|| ocompact(&mut a, &mut ka));
+            let (_, pt) = trace::capture(|| ocompact_parallel_with_grain(&mut b, &mut kb, threads, 4));
+            prop_assert_eq!(a, b);
+            prop_assert_eq!(st, pt);
         }
 
         #[test]

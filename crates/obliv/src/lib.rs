@@ -48,9 +48,11 @@ pub mod shuffle;
 pub mod sort;
 pub mod trace;
 
-pub use compact::{ocompact, ocompact_by_sort};
+pub use compact::{
+    ocompact, ocompact_adaptive, ocompact_by_sort, ocompact_parallel, ocompact_parallel_with_grain,
+};
 pub use ct::{ocmp_set, ocmp_swap, Choice, Cmov};
 pub use expand::oexpand;
 pub use shuffle::{oshuffle, osort_odd_even};
-pub use sort::{osort, osort_parallel};
+pub use sort::{osort, osort_adaptive, osort_parallel, osort_parallel_with_grain};
 pub use trace::{Trace, TraceEvent};

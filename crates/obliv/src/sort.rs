@@ -6,6 +6,12 @@
 //! required) is the classical recursive formulation; the parallel variant
 //! splits the recursion and the merge loops across scoped threads, reproducing
 //! the paper's Fig. 13a experiment.
+//!
+//! The parallel variant emits the *same* trace as the serial one: every
+//! compare-swap records the global indices it touches, workers capture their
+//! events on their own recorder, and the coordinator splices the sub-traces
+//! back in the serial network order. Since the network shape depends only on
+//! `n`, so does the spliced trace — thread count is not a leakage channel.
 
 use crate::ct::{Choice, Cmov};
 use crate::trace::{self, TraceEvent};
@@ -26,7 +32,7 @@ pub fn osort<T: Cmov + ObliviousOrd>(items: &mut [T]) {
 pub fn osort_by<T: Cmov>(items: &mut [T], gt: &impl Fn(&T, &T) -> Choice) {
     let n = items.len();
     trace::record(TraceEvent::Phase(0x5047)); // "SORT" phase marker
-    sort_rec(items, 0, n, true, gt);
+    sort_rec(items, 0, n, true, gt, 0);
 }
 
 fn sort_rec<T: Cmov>(
@@ -35,12 +41,13 @@ fn sort_rec<T: Cmov>(
     n: usize,
     ascending: bool,
     gt: &impl Fn(&T, &T) -> Choice,
+    base: usize,
 ) {
     if n > 1 {
         let m = n / 2;
-        sort_rec(items, lo, m, !ascending, gt);
-        sort_rec(items, lo + m, n - m, ascending, gt);
-        merge_rec(items, lo, n, ascending, gt);
+        sort_rec(items, lo, m, !ascending, gt, base);
+        sort_rec(items, lo + m, n - m, ascending, gt, base);
+        merge_rec(items, lo, n, ascending, gt, base);
     }
 }
 
@@ -50,14 +57,15 @@ fn merge_rec<T: Cmov>(
     n: usize,
     ascending: bool,
     gt: &impl Fn(&T, &T) -> Choice,
+    base: usize,
 ) {
     if n > 1 {
         let m = greatest_pow2_below(n);
         for i in lo..lo + n - m {
-            compare_swap(items, i, i + m, ascending, gt);
+            compare_swap(items, i, i + m, ascending, gt, base);
         }
-        merge_rec(items, lo, m, ascending, gt);
-        merge_rec(items, lo + m, n - m, ascending, gt);
+        merge_rec(items, lo, m, ascending, gt, base);
+        merge_rec(items, lo + m, n - m, ascending, gt, base);
     }
 }
 
@@ -68,9 +76,10 @@ fn compare_swap<T: Cmov>(
     j: usize,
     ascending: bool,
     gt: &impl Fn(&T, &T) -> Choice,
+    base: usize,
 ) {
-    trace::record(TraceEvent::Touch { region: 0x50, index: i });
-    trace::record(TraceEvent::Touch { region: 0x50, index: j });
+    trace::record(TraceEvent::Touch { region: 0x50, index: base + i });
+    trace::record(TraceEvent::Touch { region: 0x50, index: base + j });
     let (head, tail) = items.split_at_mut(j);
     let a = &mut head[i];
     let b = &mut tail[0];
@@ -80,9 +89,13 @@ fn compare_swap<T: Cmov>(
     a.cswap(b, cond);
 }
 
-/// Largest power of two strictly less than `n` (requires `n >= 2`).
+/// Largest power of two strictly less than `n`.
+///
+/// The guard is unconditional: in release builds the shift expression below
+/// would otherwise silently compute garbage for `n < 2` (for `n = 1` the
+/// shift amount is 64).
 fn greatest_pow2_below(n: usize) -> usize {
-    debug_assert!(n >= 2);
+    assert!(n >= 2, "greatest_pow2_below requires n >= 2, got {n}");
     1usize << (usize::BITS - 1 - (n - 1).leading_zeros())
 }
 
@@ -94,13 +107,29 @@ fn greatest_pow2_below(n: usize) -> usize {
 /// Matches the paper's observation (Fig. 13a) that parallel sort only pays off
 /// above a few thousand elements; callers wanting the adaptive behaviour use
 /// [`osort_adaptive`].
+///
+/// Trace-compatible with [`osort_by`]: when recording is on, worker threads
+/// capture their events and the coordinator splices them back in serial
+/// network order, so the trace is byte-identical for every thread count.
 pub fn osort_parallel<T: Cmov + Send>(
     items: &mut [T],
     gt: &(impl Fn(&T, &T) -> Choice + Sync),
     threads: usize,
 ) {
+    osort_parallel_with_grain(items, gt, threads, PAR_GRAIN)
+}
+
+/// [`osort_parallel`] with an explicit spawn threshold, so tests can force the
+/// multi-threaded code paths on small inputs.
+pub fn osort_parallel_with_grain<T: Cmov + Send>(
+    items: &mut [T],
+    gt: &(impl Fn(&T, &T) -> Choice + Sync),
+    threads: usize,
+    grain: usize,
+) {
     let n = items.len();
-    par_sort_rec(items, n, true, gt, threads.max(1));
+    trace::record(TraceEvent::Phase(0x5047));
+    par_sort_rec(items, 0, n, true, gt, threads.max(1), grain.max(2));
 }
 
 /// Minimum slice length that justifies spawning a thread for a half. Below
@@ -109,66 +138,144 @@ const PAR_GRAIN: usize = 1 << 13;
 
 fn par_sort_rec<T: Cmov + Send>(
     items: &mut [T],
+    base: usize,
     n: usize,
     ascending: bool,
     gt: &(impl Fn(&T, &T) -> Choice + Sync),
     threads: usize,
+    grain: usize,
 ) {
     if n <= 1 {
         return;
     }
     let m = n / 2;
-    if threads > 1 && n >= PAR_GRAIN {
+    if threads > 1 && n >= grain {
         let (left, right) = items.split_at_mut(m);
-        std::thread::scope(|s| {
-            let lt = threads / 2;
-            s.spawn(move || par_sort_rec(left, m, !ascending, gt, threads - lt));
-            par_sort_rec(right, n - m, ascending, gt, lt.max(1));
-        });
+        let lt = threads / 2;
+        if trace::is_recording() {
+            let (left_trace, right_trace) = std::thread::scope(|s| {
+                let h = s.spawn(move || {
+                    trace::capture(|| {
+                        par_sort_rec(left, base, m, !ascending, gt, threads - lt, grain)
+                    })
+                    .1
+                });
+                let ((), rt) = trace::fork(|| {
+                    par_sort_rec(right, base + m, n - m, ascending, gt, lt.max(1), grain)
+                });
+                (h.join().expect("parallel sort worker panicked"), rt)
+            });
+            trace::splice(left_trace);
+            trace::splice(right_trace);
+        } else {
+            std::thread::scope(|s| {
+                s.spawn(move || par_sort_rec(left, base, m, !ascending, gt, threads - lt, grain));
+                par_sort_rec(right, base + m, n - m, ascending, gt, lt.max(1), grain);
+            });
+        }
     } else {
-        sort_rec(items, 0, m, !ascending, gt);
-        sort_rec(items, m, n - m, ascending, gt);
+        sort_rec(items, 0, m, !ascending, gt, base);
+        sort_rec(items, m, n - m, ascending, gt, base);
     }
-    par_merge_rec(items, n, ascending, gt, threads);
+    par_merge_rec(items, base, n, ascending, gt, threads, grain);
 }
 
 fn par_merge_rec<T: Cmov + Send>(
     items: &mut [T],
+    base: usize,
     n: usize,
     ascending: bool,
     gt: &(impl Fn(&T, &T) -> Choice + Sync),
     threads: usize,
+    grain: usize,
 ) {
     if n <= 1 {
         return;
     }
     let m = greatest_pow2_below(n);
     let overlap = n - m;
-    if threads > 1 && n >= PAR_GRAIN {
+    if threads > 1 && n >= grain {
         // Pairs (i, i+m) for i in 0..overlap: left part [0, overlap),
         // right part [m, n). Chunk both identically across threads.
         let (head, tail) = items.split_at_mut(m);
         let left = &mut head[..overlap];
         let chunk = overlap.div_ceil(threads).max(1);
-        std::thread::scope(|s| {
-            for (lc, rc) in left.chunks_mut(chunk).zip(tail.chunks_mut(chunk)) {
-                s.spawn(move || {
-                    for (a, b) in lc.iter_mut().zip(rc.iter_mut()) {
-                        let out_of_order = gt(a, b);
-                        let cond = if ascending { out_of_order } else { out_of_order.not() };
-                        a.cswap(b, cond);
-                    }
-                });
+        if trace::is_recording() {
+            let traces: Vec<_> = std::thread::scope(|s| {
+                let handles: Vec<_> = left
+                    .chunks_mut(chunk)
+                    .zip(tail.chunks_mut(chunk))
+                    .enumerate()
+                    .map(|(ci, (lc, rc))| {
+                        let start = base + ci * chunk;
+                        s.spawn(move || {
+                            trace::capture(|| pair_swap_chunk(lc, rc, start, m, ascending, gt)).1
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("parallel merge worker panicked"))
+                    .collect()
+            });
+            for t in traces {
+                trace::splice(t);
             }
-        });
+        } else {
+            std::thread::scope(|s| {
+                for (ci, (lc, rc)) in left.chunks_mut(chunk).zip(tail.chunks_mut(chunk)).enumerate()
+                {
+                    let start = base + ci * chunk;
+                    s.spawn(move || pair_swap_chunk(lc, rc, start, m, ascending, gt));
+                }
+            });
+        }
         let (left_half, right_half) = items.split_at_mut(m);
-        std::thread::scope(|s| {
-            let lt = threads / 2;
-            s.spawn(move || par_merge_rec(left_half, m, ascending, gt, threads - lt));
-            par_merge_rec(right_half, n - m, ascending, gt, lt.max(1));
-        });
+        let lt = threads / 2;
+        if trace::is_recording() {
+            let (left_trace, right_trace) = std::thread::scope(|s| {
+                let h = s.spawn(move || {
+                    trace::capture(|| {
+                        par_merge_rec(left_half, base, m, ascending, gt, threads - lt, grain)
+                    })
+                    .1
+                });
+                let ((), rt) = trace::fork(|| {
+                    par_merge_rec(right_half, base + m, n - m, ascending, gt, lt.max(1), grain)
+                });
+                (h.join().expect("parallel merge worker panicked"), rt)
+            });
+            trace::splice(left_trace);
+            trace::splice(right_trace);
+        } else {
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    par_merge_rec(left_half, base, m, ascending, gt, threads - lt, grain)
+                });
+                par_merge_rec(right_half, base + m, n - m, ascending, gt, lt.max(1), grain);
+            });
+        }
     } else {
-        merge_rec(items, 0, n, ascending, gt);
+        merge_rec(items, 0, n, ascending, gt, base);
+    }
+}
+
+/// One chunk of a merge's compare-swap loop: pairs `(start + k, start + gap + k)`
+/// in global index terms. Records the same `Touch` events the serial loop does.
+fn pair_swap_chunk<T: Cmov>(
+    lc: &mut [T],
+    rc: &mut [T],
+    start: usize,
+    gap: usize,
+    ascending: bool,
+    gt: &impl Fn(&T, &T) -> Choice,
+) {
+    for (k, (a, b)) in lc.iter_mut().zip(rc.iter_mut()).enumerate() {
+        trace::record(TraceEvent::Touch { region: 0x50, index: start + k });
+        trace::record(TraceEvent::Touch { region: 0x50, index: start + gap + k });
+        let out_of_order = gt(a, b);
+        let cond = if ascending { out_of_order } else { out_of_order.not() };
+        a.cswap(b, cond);
     }
 }
 
@@ -222,6 +329,26 @@ mod tests {
     }
 
     #[test]
+    fn greatest_pow2_below_small_values() {
+        assert_eq!(greatest_pow2_below(2), 1);
+        assert_eq!(greatest_pow2_below(3), 2);
+        assert_eq!(greatest_pow2_below(4), 2);
+        assert_eq!(greatest_pow2_below(5), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "greatest_pow2_below requires n >= 2")]
+    fn greatest_pow2_below_rejects_zero() {
+        greatest_pow2_below(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "greatest_pow2_below requires n >= 2")]
+    fn greatest_pow2_below_rejects_one() {
+        greatest_pow2_below(1);
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         for n in [0usize, 1, 2, 100, 1023, 1024, 1025, 5000] {
             let mut v: Vec<u64> =
@@ -230,6 +357,20 @@ mod tests {
             osort(&mut v);
             osort_parallel(&mut w, &u64::ogt, 3);
             assert_eq!(v, w, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_with_grain_matches_sequential() {
+        for n in [0usize, 1, 2, 3, 7, 37, 100, 129] {
+            for threads in [1usize, 2, 3, 4, 7] {
+                let mut v: Vec<u64> =
+                    (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+                let mut w = v.clone();
+                osort(&mut v);
+                osort_parallel_with_grain(&mut w, &u64::ogt, threads, 4);
+                assert_eq!(v, w, "n={n} threads={threads}");
+            }
         }
     }
 
@@ -261,6 +402,27 @@ mod tests {
         assert_ne!(t1, t3, "different n must change the (public) trace");
     }
 
+    #[test]
+    fn parallel_trace_identical_to_serial_for_all_thread_counts() {
+        use crate::trace;
+        for n in [1usize, 2, 3, 7, 37, 100, 129] {
+            let (_, serial) = trace::capture(|| {
+                let mut v: Vec<u64> = (0..n as u64).rev().collect();
+                osort(&mut v);
+            });
+            for threads in [1usize, 2, 3, 4, 7] {
+                let (_, par) = trace::capture(|| {
+                    // Different secret contents from the serial run: the trace
+                    // must depend on neither data nor thread count.
+                    let mut v: Vec<u64> =
+                        (0..n as u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+                    osort_parallel_with_grain(&mut v, &u64::ogt, threads, 4);
+                });
+                assert_eq!(serial, par, "trace diverged for n={n} threads={threads}");
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn matches_std_sort(mut v in proptest::collection::vec(any::<u64>(), 0..300)) {
@@ -276,6 +438,19 @@ mod tests {
             expected.sort_unstable();
             osort_parallel(&mut v, &u64::ogt, threads);
             prop_assert_eq!(v, expected);
+        }
+
+        #[test]
+        fn parallel_output_and_trace_match_serial(
+            mut v in proptest::collection::vec(any::<u64>(), 0..200),
+            threads in 1usize..8,
+        ) {
+            use crate::trace;
+            let mut w = v.clone();
+            let (_, st) = trace::capture(|| osort(&mut v));
+            let (_, pt) = trace::capture(|| osort_parallel_with_grain(&mut w, &u64::ogt, threads, 4));
+            prop_assert_eq!(&v, &w);
+            prop_assert_eq!(st, pt);
         }
     }
 }

@@ -141,6 +141,37 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Trace) {
     (out, stop())
 }
 
+/// Runs `f` under a *fresh* recorder, then restores whatever recorder was
+/// active before, returning `f`'s sub-trace. Unlike [`capture`], this does
+/// not discard an outer recording — it parks it.
+///
+/// This is how parallel oblivious kernels keep their traces byte-identical
+/// to the serial execution: the coordinating thread forks a recorder per
+/// structural region, workers capture their own events, and the coordinator
+/// [`splice`]s the sub-traces back in the serial order. The spliced event
+/// sequence depends only on public sizes, never on which thread ran what.
+pub fn fork<T>(f: impl FnOnce() -> T) -> (T, Trace) {
+    let saved = RECORDER.with(|r| r.borrow_mut().replace(Trace::default()));
+    let out = f();
+    let sub = RECORDER.with(|r| {
+        let mut slot = r.borrow_mut();
+        let sub = slot.take().unwrap_or_default();
+        *slot = saved;
+        sub
+    });
+    (out, sub)
+}
+
+/// Appends a previously captured sub-trace into this thread's active
+/// recorder (no-op if recording is off). See [`fork`].
+pub fn splice(sub: Trace) {
+    RECORDER.with(|r| {
+        if let Some(t) = r.borrow_mut().as_mut() {
+            t.events.extend(sub.events);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -231,6 +231,33 @@ mod tests {
     }
 
     #[test]
+    fn enclave_threads_never_need_more_machines() {
+        // §8.4 / Fig. 13: intra-enclave parallelism raises per-machine
+        // capacity, so a thread-aware plan is never larger or costlier than
+        // the serial one for the same requirements.
+        let serial = CostModel::paper_calibrated();
+        let threaded = CostModel::paper_calibrated().with_threads(4, 4);
+        let prices = Prices::default();
+        for r in [req(40_000.0, 500.0, 2_000_000), req(60_000.0, 1000.0, 1_000_000)] {
+            let p1 = plan(&r, &serial, &prices, 40).unwrap();
+            let p4 = plan(&r, &threaded, &prices, 40).unwrap();
+            assert!(
+                p4.machines() <= p1.machines(),
+                "threads should not increase machine count: {p1:?} vs {p4:?}"
+            );
+            assert!(p4.cost_per_month <= p1.cost_per_month, "{p1:?} vs {p4:?}");
+        }
+        // And anything feasible serially stays feasible with threads.
+        let r = req(50_000.0, 500.0, 2_000_000);
+        let t = (r.max_latency_ms * 1e6 * 2.0 / 5.0) as u64;
+        for (l, s) in [(2usize, 8usize), (3, 10), (4, 12)] {
+            if feasible(&r, &serial, l, s, t) {
+                assert!(feasible(&r, &threaded, l, s, t), "({l},{s}) regressed with threads");
+            }
+        }
+    }
+
+    #[test]
     fn feasibility_monotone_in_machines() {
         let m = CostModel::paper_calibrated();
         let r = req(50_000.0, 500.0, 2_000_000);

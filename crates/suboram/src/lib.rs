@@ -257,12 +257,18 @@ impl SubOram {
             Storage::InEnclave(objects) => objects,
             Storage::External { .. } => return self.batch_access(batch),
         };
+        trace::record(TraceEvent::Phase(0x534f)); // same batch marker as the serial path
         let batch_key = self.root_key.derive(&self.batch_counter.to_le_bytes());
         self.batch_counter += 1;
         let lambda = self.lambda;
 
         let table = OHashTable::construct(batch, &batch_key, lambda)?;
         let chunk = objects.len().div_ceil(threads).max(1);
+        // When the access trace is being recorded, each worker captures its
+        // scan events on its own recorder; splicing the captures in chunk
+        // order reproduces exactly the serial object order, so the trace is
+        // byte-identical to `batch_access` regardless of thread count.
+        let recording = trace::is_recording();
         let mut tables: Vec<OHashTable> = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -270,15 +276,28 @@ impl SubOram {
                 let mut local = table.clone();
                 handles.push(scope.spawn(move || {
                     let mut meter = CostMeter::default();
-                    for obj in part.iter_mut() {
-                        scan_step(obj, &mut local, &mut meter);
-                    }
-                    (local, meter)
+                    let sub_trace = if recording {
+                        let ((), t) = trace::capture(|| {
+                            for obj in part.iter_mut() {
+                                scan_step(obj, &mut local, &mut meter);
+                            }
+                        });
+                        Some(t)
+                    } else {
+                        for obj in part.iter_mut() {
+                            scan_step(obj, &mut local, &mut meter);
+                        }
+                        None
+                    };
+                    (local, meter, sub_trace)
                 }));
             }
             for h in handles {
-                let (local, meter) = h.join().expect("scan worker panicked");
+                let (local, meter, sub_trace) = h.join().expect("scan worker panicked");
                 self.meter.absorb(&meter);
+                if let Some(t) = sub_trace {
+                    trace::splice(t);
+                }
                 tables.push(local);
             }
         });
@@ -598,6 +617,27 @@ mod parallel_tests {
             for i in 0..1000u64 {
                 assert_eq!(serial.peek(i), parallel.peek(i), "object {i}, threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_trace_identical_to_serial_for_all_thread_counts() {
+        let (_, serial_trace) = snoopy_obliv::trace::capture(|| {
+            let mut s = SubOram::new_in_enclave(objects(500), VLEN, Key256([4u8; 32]), 128);
+            s.batch_access(mixed_batch()).unwrap();
+        });
+        assert!(!serial_trace.is_empty());
+        for threads in [1usize, 2, 3, 4, 7] {
+            let (_, par_trace) = snoopy_obliv::trace::capture(|| {
+                // Same public shape (object count, batch size), different
+                // secret contents: ids shifted, all writes.
+                let mut s = SubOram::new_in_enclave(objects(500), VLEN, Key256([4u8; 32]), 128);
+                let batch: Vec<Request> = (0..100u64)
+                    .map(|i| Request::write(i * 7 + 3, &[0x11; 4], VLEN, 1, i))
+                    .collect();
+                s.batch_access_parallel(batch, threads).unwrap();
+            });
+            assert_eq!(serial_trace, par_trace, "trace diverged at threads={threads}");
         }
     }
 

@@ -375,6 +375,9 @@ pub mod names {
     /// cache (the balancer replaying is observable; the refusal is implicit
     /// wire silence).
     pub const EVICTED_REPLAYS_TOTAL: &str = "snoopy_evicted_replays_total";
+    /// SubORAM batches refused with a typed error (e.g. duplicate ids from a
+    /// buggy balancer). Each refusal is an explicit NACK frame — observable.
+    pub const SUB_BATCH_FAILURES_TOTAL: &str = "snoopy_sub_batch_failures_total";
 }
 
 /// The global per-stage histogram for `stage` (cached handles are cheap —

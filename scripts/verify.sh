@@ -27,4 +27,16 @@ echo "== chaos harness (seeded fault injection; CHAOS_SEED=${CHAOS_SEED:-default
 cargo test -q --offline -p snoopy-chaos
 cargo test --offline -p snoopy-net --test chaos_net -- --nocapture
 
+# Parallel suite: the same deployed-cluster and chaos tests, re-run with the
+# enclave kernels at 4 threads (SNOOPY_THREADS feeds SnoopyConfig::default
+# and both TCP integration manifests). Every test byte-compares responses
+# against the serial reference engine, so a pass here IS the byte-identity
+# check — any trace or result divergence between the serial and parallel
+# kernels fails the comparison.
+echo "== parallel suite (SNOOPY_THREADS=4; byte-compared against serial) =="
+SNOOPY_THREADS=4 cargo test -q --offline -p snoopy-core
+SNOOPY_THREADS=4 cargo test -q --offline -p snoopy-chaos
+SNOOPY_THREADS=4 cargo test --offline -p snoopy-net --test cluster -- --nocapture
+SNOOPY_THREADS=4 cargo test --offline -p snoopy-net --test chaos_net -- --nocapture
+
 echo "verify: OK"
