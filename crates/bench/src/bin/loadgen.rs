@@ -1,0 +1,602 @@
+//! Open-loop load generator for the TCP net plane.
+//!
+//! Boots a real `snoopyd` cluster (one balancer, `--suborams` subORAMs) as
+//! child processes, opens `--clients` concurrent sealed client sessions
+//! against the balancer from this single process (nonblocking sockets, one
+//! sweep loop — no thread per session), and drives an open-loop arrival
+//! process: Zipf-distributed keys, bursty on/off rate modulation, arrivals
+//! issued on schedule regardless of completions. Reports sustained req/s
+//! and latency quantiles from the telemetry histogram, plus the balancer's
+//! own epoch/request counters scraped over the `metrics` RPC.
+//!
+//! The daemons run as separate OS processes so the generator and the
+//! balancer each get their own file-descriptor budget — tens of thousands
+//! of loopback sessions need both sides of every socket counted.
+//!
+//! `--min-rps` and `--max-p99-ms` turn the run into a pass/fail gate for
+//! CI (`scripts/verify.sh stress`); exit status 1 means a floor was missed.
+
+use snoopy_bench::{print_table, write_csv};
+use snoopy_core::link::Link;
+use snoopy_crypto::aead::SealedBox;
+use snoopy_enclave::wire::Request;
+use snoopy_net::error::NetError;
+use snoopy_net::manifest::Manifest;
+use snoopy_net::proto::{self, tag, Hello, Role};
+use snoopy_net::session::{FrameAssembler, OutBuf, ReadStep};
+use snoopy_net::{fetch_metrics, fetch_stats, shutdown_daemon};
+use snoopy_telemetry::{metrics, Public};
+use std::collections::VecDeque;
+use std::io::Write as _;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Histogram series the generator records request latencies into.
+const LATENCY_SERIES: &str = "snoopy_loadgen_latency_seconds";
+/// Read budget per session per sweep (bytes).
+const READ_BUDGET: usize = 64 << 10;
+/// Arrivals issued per sweep at most — bounds a single sweep's work; the
+/// arrival credit carries over, so the schedule stays open-loop.
+const MAX_ISSUE_PER_SWEEP: usize = 4096;
+
+struct Config {
+    clients: usize,
+    duration: Duration,
+    rate: f64,
+    suborams: usize,
+    objects: u64,
+    value_len: usize,
+    epoch_ms: u64,
+    zipf_theta: f64,
+    write_frac: f64,
+    burst_period_ms: u64,
+    burst_duty: f64,
+    burst_factor: f64,
+    seed: u64,
+    min_rps: f64,
+    max_p99_ms: f64,
+    csv: Option<String>,
+}
+
+impl Config {
+    fn parse() -> Config {
+        let mut cfg = Config {
+            clients: 10_000,
+            duration: Duration::from_secs(10),
+            rate: 2_000.0,
+            suborams: 2,
+            objects: 1024,
+            value_len: 32,
+            epoch_ms: 5,
+            zipf_theta: 0.99,
+            write_frac: 0.1,
+            burst_period_ms: 1000,
+            burst_duty: 0.5,
+            burst_factor: 1.8,
+            seed: 42,
+            min_rps: 0.0,
+            max_p99_ms: 0.0,
+            csv: Some("loadgen".to_string()),
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("missing value for {}", args[*i - 1])).clone()
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--clients" => cfg.clients = take(&mut i).parse().expect("--clients"),
+                "--duration-secs" => {
+                    cfg.duration = Duration::from_secs_f64(take(&mut i).parse().expect("secs"))
+                }
+                "--rate" => cfg.rate = take(&mut i).parse().expect("--rate"),
+                "--suborams" => cfg.suborams = take(&mut i).parse().expect("--suborams"),
+                "--objects" => cfg.objects = take(&mut i).parse().expect("--objects"),
+                "--value-len" => cfg.value_len = take(&mut i).parse().expect("--value-len"),
+                "--epoch-ms" => cfg.epoch_ms = take(&mut i).parse().expect("--epoch-ms"),
+                "--zipf-theta" => cfg.zipf_theta = take(&mut i).parse().expect("--zipf-theta"),
+                "--write-frac" => cfg.write_frac = take(&mut i).parse().expect("--write-frac"),
+                "--burst-period-ms" => {
+                    cfg.burst_period_ms = take(&mut i).parse().expect("--burst-period-ms")
+                }
+                "--burst-duty" => cfg.burst_duty = take(&mut i).parse().expect("--burst-duty"),
+                "--burst-factor" => {
+                    cfg.burst_factor = take(&mut i).parse().expect("--burst-factor")
+                }
+                "--seed" => cfg.seed = take(&mut i).parse().expect("--seed"),
+                "--min-rps" => cfg.min_rps = take(&mut i).parse().expect("--min-rps"),
+                "--max-p99-ms" => cfg.max_p99_ms = take(&mut i).parse().expect("--max-p99-ms"),
+                "--no-csv" => cfg.csv = None,
+                "--quick" => {
+                    cfg.clients = 200;
+                    cfg.duration = Duration::from_secs(2);
+                    cfg.rate = 500.0;
+                }
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        assert!(cfg.clients > 0 && cfg.suborams > 0 && cfg.rate > 0.0);
+        assert!((0.0..1.0).contains(&cfg.burst_duty) && cfg.burst_duty > 0.0);
+        assert!(cfg.burst_factor >= 1.0 && cfg.burst_factor * cfg.burst_duty < 1.0 + 1e-9);
+        cfg
+    }
+}
+
+/// xorshift64* — deterministic, dependency-free.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf(θ) over `[0, n)` via an inverse-CDF table: key popularity follows a
+/// power law, the canonical skewed key-value workload. θ=0 degenerates to
+/// uniform.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: u64, theta: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// One nonblocking client session: sealed links, frame assembler, bounded
+/// outbound buffer, and the seqs still awaiting a response.
+struct Session {
+    stream: TcpStream,
+    req_link: Link,
+    resp_link: Link,
+    assembler: FrameAssembler,
+    out: OutBuf,
+    pending: VecDeque<(u64, Instant)>,
+    seq: u64,
+    dead: bool,
+}
+
+/// Kills the child on drop so a failed run leaves no strays.
+struct Daemon {
+    child: Child,
+    name: String,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn snoopyd_path() -> PathBuf {
+    if let Ok(p) = std::env::var("SNOOPYD_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop();
+    p.push("snoopyd");
+    assert!(
+        p.exists(),
+        "snoopyd binary not found at {} — build it first (cargo build --release -p snoopy-net) \
+         or set SNOOPYD_BIN",
+        p.display()
+    );
+    p
+}
+
+fn spawn_daemon(bin: &Path, role: &str, index: usize, manifest: &Path) -> Daemon {
+    let child = Command::new(bin)
+        .arg("--role")
+        .arg(role)
+        .arg("--index")
+        .arg(index.to_string())
+        .arg("--manifest")
+        .arg(manifest)
+        .stdin(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn snoopyd {role}/{index}: {e}"));
+    Daemon { child, name: format!("{role}/{index}") }
+}
+
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    listeners.iter().map(|l| l.local_addr().unwrap().to_string()).collect()
+}
+
+fn wait_for_stats(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match fetch_stats(addr) {
+            Ok(_) => return,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("daemon at {addr} never came up: {e}"),
+        }
+    }
+}
+
+fn connect_sessions(addr: &str, n: usize, deploy: &snoopy_crypto::Key256) -> Vec<Session> {
+    let mut sessions = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                // Loopback SYN backlog overflow under a connect storm:
+                // back off briefly and retry.
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        };
+        stream.set_nodelay(true).expect("nodelay");
+        let hello = Hello::new(Role::Client, 0);
+        let mut frame = Vec::with_capacity(4 + 1 + 17);
+        let body = hello.encode();
+        frame.extend_from_slice(&(1 + body.len() as u32).to_le_bytes());
+        frame.push(tag::HELLO);
+        frame.extend_from_slice(&body);
+        stream.write_all(&frame).expect("hello write");
+        stream.set_nonblocking(true).expect("nonblocking");
+        let (req_link, resp_link) = proto::client_session_links(deploy, 0, hello.session);
+        sessions.push(Session {
+            stream,
+            req_link,
+            resp_link,
+            assembler: FrameAssembler::new(),
+            out: OutBuf::new(256 << 10, 64 << 20),
+            pending: VecDeque::new(),
+            seq: 0,
+            dead: false,
+        });
+        if (i + 1) % 2000 == 0 {
+            println!("[loadgen] {} / {n} sessions connected", i + 1);
+        }
+    }
+    sessions
+}
+
+/// The instantaneous arrival rate at `elapsed`: `rate * burst_factor` during
+/// the on-phase of each burst period, scaled down off-phase so the long-run
+/// mean stays `rate`.
+fn current_rate(cfg: &Config, elapsed: Duration) -> f64 {
+    let period = cfg.burst_period_ms as f64 / 1000.0;
+    let phase = (elapsed.as_secs_f64() / period).fract();
+    if phase < cfg.burst_duty {
+        cfg.rate * cfg.burst_factor
+    } else {
+        cfg.rate * (1.0 - cfg.burst_factor * cfg.burst_duty) / (1.0 - cfg.burst_duty)
+    }
+}
+
+struct Totals {
+    completed: u64,
+    unavailable: u64,
+    session_failures: u64,
+}
+
+fn main() {
+    let cfg = Config::parse();
+    let bin = snoopyd_path();
+    let dir = std::env::temp_dir().join(format!("snoopy-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let addrs = free_addrs(1 + cfg.suborams);
+    let manifest = Manifest {
+        value_len: cfg.value_len,
+        lambda: 128,
+        seed: cfg.seed,
+        num_objects: cfg.objects,
+        epoch_ms: cfg.epoch_ms,
+        sub_deadline_ms: 10_000,
+        max_replays: 3,
+        retain_epochs: 8,
+        lb_threads: 1,
+        sub_threads: 1,
+        load_balancers: vec![addrs[0].clone()],
+        suborams: addrs[1..].to_vec(),
+    };
+    let manifest_path = dir.join("loadgen.manifest");
+    std::fs::write(&manifest_path, manifest.render()).expect("write manifest");
+
+    println!(
+        "[loadgen] booting 1 balancer + {} subORAM(s); {} clients, {:.0} req/s mean \
+         (burst ×{:.1}, duty {:.0}%), Zipf θ={}, {} objects × {} B, epoch {} ms",
+        cfg.suborams,
+        cfg.clients,
+        cfg.rate,
+        cfg.burst_factor,
+        cfg.burst_duty * 100.0,
+        cfg.zipf_theta,
+        cfg.objects,
+        cfg.value_len,
+        cfg.epoch_ms,
+    );
+    let mut daemons: Vec<Daemon> = Vec::new();
+    for (i, _) in addrs[1..].iter().enumerate() {
+        daemons.push(spawn_daemon(&bin, "suboram", i, &manifest_path));
+    }
+    daemons.push(spawn_daemon(&bin, "loadbalancer", 0, &manifest_path));
+    for addr in &addrs {
+        wait_for_stats(addr);
+    }
+
+    let deploy = proto::deployment_key(cfg.seed);
+    let connect_start = Instant::now();
+    let mut sessions = connect_sessions(&addrs[0], cfg.clients, &deploy);
+    println!(
+        "[loadgen] {} sessions connected in {:.1}s",
+        sessions.len(),
+        connect_start.elapsed().as_secs_f64()
+    );
+
+    let hist = metrics::global()
+        .histogram(LATENCY_SERIES, "client-observed request latency (open-loop generator)");
+    let mut rng = Rng(cfg.seed | 1);
+    let zipf = Zipf::new(cfg.objects, cfg.zipf_theta);
+    let mut totals = Totals { completed: 0, unavailable: 0, session_failures: 0 };
+    let mut payload = vec![0u8; cfg.value_len];
+
+    let start = Instant::now();
+    let mut last = start;
+    let mut credit = 0.0f64;
+    let mut next_session = 0usize;
+    let mut issued: u64 = 0;
+    let drain_grace = Duration::from_secs(15);
+    loop {
+        let now = Instant::now();
+        let elapsed = now - start;
+        let issuing = elapsed < cfg.duration;
+
+        // Arrival schedule: integrate the (bursty) rate since the last
+        // sweep; issue every due arrival now, round-robin across sessions.
+        if issuing {
+            credit += current_rate(&cfg, elapsed) * (now - last).as_secs_f64();
+            let due = (credit as usize).min(MAX_ISSUE_PER_SWEEP);
+            for _ in 0..due {
+                // Find the next live session.
+                let mut tries = 0;
+                while sessions[next_session % sessions.len()].dead && tries < sessions.len() {
+                    next_session += 1;
+                    tries += 1;
+                }
+                if tries >= sessions.len() {
+                    break; // every session died; reported below
+                }
+                let idx = next_session % sessions.len();
+                let s = &mut sessions[idx];
+                next_session += 1;
+                let id = zipf.sample(&mut rng);
+                s.seq += 1;
+                let req = if rng.next_f64() < cfg.write_frac {
+                    payload[..8].copy_from_slice(&s.seq.to_le_bytes());
+                    Request::write(id, &payload, cfg.value_len, 0, s.seq)
+                } else {
+                    Request::read(id, cfg.value_len, 0, s.seq)
+                };
+                let sealed = s.req_link.seal(&[req]).expect("request seal");
+                if s.out.push_frame(tag::CLIENT_REQ, &sealed.bytes).is_err() {
+                    s.dead = true;
+                    totals.session_failures += 1;
+                    continue;
+                }
+                s.pending.push_back((s.seq, now));
+                credit -= 1.0;
+                issued += 1;
+            }
+        }
+        last = now;
+
+        // I/O sweep: write-drain sessions with queued bytes, read sessions
+        // with outstanding requests.
+        let mut progressed = false;
+        let mut outstanding = 0usize;
+        for s in sessions.iter_mut() {
+            if s.dead {
+                continue;
+            }
+            if !s.out.is_empty() {
+                match s.out.drain_into(&mut s.stream) {
+                    Ok(n) if n > 0 => progressed = true,
+                    Ok(_) => {}
+                    Err(_) => {
+                        s.dead = true;
+                        totals.session_failures += 1;
+                        continue;
+                    }
+                }
+            }
+            if s.pending.is_empty() {
+                continue;
+            }
+            outstanding += s.pending.len();
+            let frames = match s.assembler.read_from(&mut s.stream, READ_BUDGET) {
+                Ok(ReadStep::Frames(f)) => f,
+                Ok(ReadStep::Eof(f)) => {
+                    s.dead = true;
+                    totals.session_failures += 1;
+                    f
+                }
+                Err(_) => {
+                    s.dead = true;
+                    totals.session_failures += 1;
+                    continue;
+                }
+            };
+            for (t, body) in frames {
+                progressed = true;
+                match t {
+                    tag::CLIENT_RESP => {
+                        let sealed = SealedBox { bytes: body };
+                        let Ok(batch) = s.resp_link.open_responses(&sealed, cfg.value_len) else {
+                            s.dead = true;
+                            totals.session_failures += 1;
+                            break;
+                        };
+                        for resp in batch {
+                            if let Some(pos) =
+                                s.pending.iter().position(|&(seq, _)| seq == resp.seq)
+                            {
+                                let (_, issued_at) = s.pending.remove(pos).expect("pos valid");
+                                hist.observe(Public::wire_observable(now - issued_at));
+                                totals.completed += 1;
+                            }
+                        }
+                    }
+                    tag::CLIENT_FAIL => {
+                        // The typed error surface, from the one central
+                        // wire mapping.
+                        if let Ok((seq, NetError::Unavailable(_))) =
+                            NetError::from_client_fail(&body)
+                        {
+                            if let Some(pos) = s.pending.iter().position(|&(q, _)| q == seq) {
+                                s.pending.remove(pos);
+                                totals.unavailable += 1;
+                            }
+                        }
+                    }
+                    _ => {
+                        s.dead = true;
+                        totals.session_failures += 1;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if !issuing {
+            let draining = sessions.iter().any(|s| !s.dead && !s.pending.is_empty());
+            if !draining || elapsed > cfg.duration + drain_grace {
+                if draining {
+                    println!("[loadgen] drain grace expired with {outstanding} outstanding");
+                }
+                break;
+            }
+        }
+        if !progressed {
+            std::thread::park_timeout(Duration::from_micros(500));
+        }
+    }
+
+    // The measurement window is the issue window: completions during the
+    // drain tail still count (they were issued inside the window).
+    let window = cfg.duration.as_secs_f64();
+    let snap = hist.snapshot();
+    let rps = totals.completed as f64 / window;
+    let p50_ms = snap.p50() as f64 / 1e6;
+    let p90_ms = snap.p90() as f64 / 1e6;
+    let p99_ms = snap.p99() as f64 / 1e6;
+    let max_ms = snap.max as f64 / 1e6;
+    let live = sessions.iter().filter(|s| !s.dead).count();
+
+    // The balancer's own view, over the metrics RPC.
+    let lb_metrics = fetch_metrics(&addrs[0]).unwrap_or_default();
+    let epochs = prom_value(&lb_metrics, "snoopy_epochs_total").unwrap_or(0.0);
+    let lb_requests = prom_value(&lb_metrics, "snoopy_requests_total").unwrap_or(0.0);
+
+    let header = vec![
+        "clients",
+        "live",
+        "issued",
+        "completed",
+        "unavail",
+        "rps",
+        "p50_ms",
+        "p90_ms",
+        "p99_ms",
+        "max_ms",
+        "lb_epochs",
+    ];
+    let row = vec![
+        cfg.clients.to_string(),
+        live.to_string(),
+        issued.to_string(),
+        totals.completed.to_string(),
+        totals.unavailable.to_string(),
+        format!("{rps:.0}"),
+        format!("{p50_ms:.2}"),
+        format!("{p90_ms:.2}"),
+        format!("{p99_ms:.2}"),
+        format!("{max_ms:.2}"),
+        format!("{epochs:.0}"),
+    ];
+    print_table("open-loop load generator", &header, std::slice::from_ref(&row));
+    println!(
+        "[loadgen] balancer counted {lb_requests:.0} requests across {epochs:.0} epochs; \
+         {} session failures",
+        totals.session_failures
+    );
+    if let Some(name) = &cfg.csv {
+        write_csv(name, &header, &[row]);
+    }
+
+    // Graceful teardown: sessions first (so the balancer drains), then the
+    // shutdown RPC to every daemon.
+    drop(sessions);
+    for addr in &addrs {
+        let _ = shutdown_daemon(addr);
+    }
+    for mut d in daemons {
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            match d.child.try_wait() {
+                Ok(Some(_)) => break,
+                _ if Instant::now() > deadline => break, // Drop kills it
+                _ => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        let _ = d.name;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // CI floors.
+    let mut failed = false;
+    if cfg.min_rps > 0.0 && rps < cfg.min_rps {
+        eprintln!("[loadgen] FLOOR MISSED: sustained {rps:.0} req/s < required {:.0}", cfg.min_rps);
+        failed = true;
+    }
+    if cfg.max_p99_ms > 0.0 && p99_ms > cfg.max_p99_ms {
+        eprintln!("[loadgen] FLOOR MISSED: p99 {p99_ms:.2} ms > allowed {:.2}", cfg.max_p99_ms);
+        failed = true;
+    }
+    if totals.session_failures > 0 {
+        eprintln!("[loadgen] {} sessions died during the run", totals.session_failures);
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Reads an unlabeled series' value out of a Prometheus exposition.
+fn prom_value(text: &str, name: &str) -> Option<f64> {
+    text.lines()
+        .find(|l| l.split_whitespace().next() == Some(name))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+}

@@ -10,7 +10,7 @@
 //! (reads return the stored value; writes return the pre-write value).
 
 use snoopy_net::manifest::Manifest;
-use snoopy_net::{proto, NetClient};
+use snoopy_net::{proto, SnoopyClient};
 use std::path::Path;
 
 fn main() {
@@ -31,9 +31,9 @@ fn main() {
     };
     let id: u64 = id.parse().expect("ID must be a number");
     let deploy = proto::deployment_key(manifest.seed);
-    let mut client =
-        NetClient::connect(&manifest.load_balancers[0], 0, &deploy, manifest.value_len)
-            .expect("connect to load balancer 0");
+    let mut client = SnoopyClient::builder(manifest.value_len)
+        .connect_tcp(&manifest.load_balancers[0], 0, &deploy)
+        .expect("connect to load balancer 0");
     let value = match op {
         "read" => client.read(id).expect("read"),
         "write" => {

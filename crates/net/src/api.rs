@@ -1,0 +1,427 @@
+//! The unified client API: [`SnoopyClient`] + builder.
+//!
+//! One facade serves both deployment planes. A client built with
+//! [`SnoopyClientBuilder::connect_tcp`] speaks the sealed framed-AEAD
+//! session protocol to a `snoopyd` balancer; one built with
+//! [`SnoopyClientBuilder::connect_cluster`] drives an
+//! [`InProcessCluster`](snoopy_core::InProcessCluster) through its
+//! [`ClientHandle`]. Both expose the same reads/writes, fail with the same
+//! typed [`NetError`], and share the facade-level retry loop (classified by
+//! [`NetError::class`]; only TCP transports can actually reconnect).
+//!
+//! The legacy [`crate::client::NetClient`] survives as a thin forwarding
+//! shim over this facade and maps [`NetError`] back onto its historical
+//! `io::Error` surface.
+
+use crate::error::{ErrorClass, NetError};
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{self, tag, Hello, Role};
+use snoopy_core::link::Link;
+use snoopy_core::{ClientHandle, RetryPolicy};
+use snoopy_crypto::Key256;
+use snoopy_enclave::wire::{Request, Response};
+use snoopy_telemetry::{metrics, Public};
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One client operation, as seen by a [`SessionTransport`]. Borrowed so the
+/// facade's retry loop can re-issue the same operation without cloning the
+/// payload per attempt.
+#[derive(Clone, Copy, Debug)]
+pub enum Op<'a> {
+    /// Fetch the object with this id.
+    Read {
+        /// Object id.
+        id: u64,
+    },
+    /// Store `payload` under this id (returns the pre-write value).
+    Write {
+        /// Object id.
+        id: u64,
+        /// New value; must be exactly the deployment's `value_len`.
+        payload: &'a [u8],
+    },
+}
+
+/// Where a [`SnoopyClient`] sends its operations. Implementations own
+/// connection state; the facade owns sequencing and the retry loop.
+pub trait SessionTransport: Send {
+    /// Executes one operation, blocking until the epoch containing it
+    /// commits (or fails). `seq` is the facade-assigned request sequence
+    /// number; transports without wire-level matching may ignore it.
+    fn execute(&mut self, op: Op<'_>, seq: u64) -> Result<Response, NetError>;
+
+    /// Re-establishes the connection after a non-fatal failure. Transports
+    /// with nothing to re-establish (the channel plane) succeed trivially.
+    fn reconnect(&mut self) -> Result<(), NetError> {
+        Ok(())
+    }
+}
+
+/// Builder for a [`SnoopyClient`]; absorbs the old `ConnectConfig` knobs.
+#[derive(Clone, Debug)]
+pub struct SnoopyClientBuilder {
+    value_len: usize,
+    read_timeout: Duration,
+    retry: RetryPolicy,
+}
+
+impl SnoopyClientBuilder {
+    /// Replaces the per-attempt socket read deadline (TCP only; the channel
+    /// plane resolves every request in-process). Default 10 s.
+    pub fn read_timeout(mut self, timeout: Duration) -> SnoopyClientBuilder {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Replaces the retry schedule for dials and request roundtrips.
+    /// Default [`RetryPolicy::client_default`].
+    pub fn retry(mut self, retry: RetryPolicy) -> SnoopyClientBuilder {
+        self.retry = retry;
+        self
+    }
+
+    /// Dials the `snoopyd` balancer at `addr` (index `lb_index` in the
+    /// manifest); `deploy` is the deployment key
+    /// ([`proto::deployment_key`] of the manifest seed). The dial runs
+    /// under the builder's retry schedule.
+    pub fn connect_tcp(
+        self,
+        addr: &str,
+        lb_index: usize,
+        deploy: &Key256,
+    ) -> Result<SnoopyClient, NetError> {
+        let transport = TcpTransport::dial(addr, lb_index, deploy, &self)?;
+        Ok(self.assemble(Box::new(transport)))
+    }
+
+    /// Wraps an in-process cluster's [`ClientHandle`]: same API, no
+    /// sockets. Epoch failures surface as [`NetError::Unavailable`] exactly
+    /// like the TCP plane's failure frames.
+    pub fn connect_cluster(self, handle: ClientHandle) -> SnoopyClient {
+        self.assemble(Box::new(ClusterTransport { handle }))
+    }
+
+    /// Installs a custom transport (tests, future planes).
+    pub fn connect_transport(self, transport: Box<dyn SessionTransport>) -> SnoopyClient {
+        self.assemble(transport)
+    }
+
+    fn assemble(self, transport: Box<dyn SessionTransport>) -> SnoopyClient {
+        SnoopyClient { transport, retry: self.retry, value_len: self.value_len, seq: 0 }
+    }
+}
+
+/// A client session with a Snoopy deployment, over any transport.
+pub struct SnoopyClient {
+    transport: Box<dyn SessionTransport>,
+    retry: RetryPolicy,
+    value_len: usize,
+    seq: u64,
+}
+
+impl SnoopyClient {
+    /// Starts a builder. `value_len` is the deployment's public object
+    /// size.
+    pub fn builder(value_len: usize) -> SnoopyClientBuilder {
+        SnoopyClientBuilder {
+            value_len,
+            read_timeout: Duration::from_secs(10),
+            retry: RetryPolicy::client_default(),
+        }
+    }
+
+    /// The deployment's public object size.
+    pub fn value_len(&self) -> usize {
+        self.value_len
+    }
+
+    /// Reads object `id`, blocking until the epoch containing the request
+    /// commits. Non-fatal failures (timeout, disconnect) are retried under
+    /// the builder's [`RetryPolicy`], reconnecting as needed.
+    pub fn read(&mut self, id: u64) -> Result<Vec<u8>, NetError> {
+        self.call(Op::Read { id }).map(|resp| resp.value)
+    }
+
+    /// Writes object `id`; returns the pre-write value (Snoopy's write
+    /// semantics). Retried writes are at-least-once: if the first attempt's
+    /// epoch committed but the response was lost, the retry re-executes the
+    /// write in a later epoch and the returned pre-write value reflects the
+    /// first write.
+    pub fn write(&mut self, id: u64, payload: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.call(Op::Write { id, payload }).map(|resp| resp.value)
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// The facade-level retry loop: classify, back off, reconnect, re-issue.
+    /// Fatal errors (typed `Unavailable`, protocol violations) return
+    /// immediately — retrying the same bytes cannot help.
+    fn call(&mut self, op: Op<'_>) -> Result<Response, NetError> {
+        let seq = self.next_seq();
+        let policy = self.retry.clone();
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.transport.execute(op, seq) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => e,
+            };
+            let next = attempt + 1;
+            if err.class() == ErrorClass::Fatal || !policy.allows(next) {
+                return Err(err);
+            }
+            std::thread::sleep(policy.backoff(next));
+            attempt = next;
+            count_retry();
+            if let Err(redial) = self.transport.reconnect() {
+                // Keep retrying through dial failures until attempts run out.
+                if !policy.allows(attempt + 1) {
+                    return Err(redial);
+                }
+            }
+        }
+    }
+}
+
+/// The sealed framed-AEAD session transport to a `snoopyd` balancer.
+struct TcpTransport {
+    stream: TcpStream,
+    req_link: Link,
+    resp_link: Link,
+    addr: String,
+    deploy: Key256,
+    lb_index: usize,
+    value_len: usize,
+    read_timeout: Duration,
+}
+
+impl TcpTransport {
+    fn dial(
+        addr: &str,
+        lb_index: usize,
+        deploy: &Key256,
+        builder: &SnoopyClientBuilder,
+    ) -> Result<TcpTransport, NetError> {
+        let (stream, req_link, resp_link) = builder
+            .retry
+            .run(|attempt| {
+                if attempt > 0 {
+                    count_retry();
+                }
+                dial_session(addr, lb_index, deploy, builder.read_timeout)
+            })
+            .map_err(NetError::from_io)?;
+        Ok(TcpTransport {
+            stream,
+            req_link,
+            resp_link,
+            addr: addr.to_string(),
+            deploy: deploy.clone(),
+            lb_index,
+            value_len: builder.value_len,
+            read_timeout: builder.read_timeout,
+        })
+    }
+}
+
+impl SessionTransport for TcpTransport {
+    fn execute(&mut self, op: Op<'_>, seq: u64) -> Result<Response, NetError> {
+        let req = match op {
+            Op::Read { id } => Request::read(id, self.value_len, 0, seq),
+            Op::Write { id, payload } => Request::write(id, payload, self.value_len, 0, seq),
+        };
+        let sealed =
+            self.req_link.seal(&[req]).map_err(|_| NetError::protocol("request link failure"))?;
+        write_frame(&mut self.stream, tag::CLIENT_REQ, &sealed.bytes)?;
+        loop {
+            let (t, body) = read_frame(&mut self.stream)?;
+            match t {
+                tag::CLIENT_RESP => {
+                    let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
+                    let batch = self
+                        .resp_link
+                        .open_responses(&sealed, self.value_len)
+                        .map_err(|_| NetError::protocol("response link failure"))?;
+                    for resp in batch {
+                        if resp.seq == seq {
+                            return Ok(resp);
+                        }
+                        // A stale response for an abandoned earlier request.
+                    }
+                }
+                tag::CLIENT_FAIL => {
+                    let (fail_seq, err) = NetError::from_client_fail(&body)?;
+                    if fail_seq == seq {
+                        return Err(err);
+                    }
+                    // A stale failure for an abandoned earlier request.
+                }
+                _ => return Err(NetError::protocol("unexpected frame from balancer")),
+            }
+        }
+    }
+
+    /// Re-dials and installs a fresh session (new session id → new link
+    /// keys; the old session's sequence numbers die with it).
+    fn reconnect(&mut self) -> Result<(), NetError> {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let (stream, req_link, resp_link) =
+            dial_session(&self.addr, self.lb_index, &self.deploy, self.read_timeout)?;
+        self.stream = stream;
+        self.req_link = req_link;
+        self.resp_link = resp_link;
+        Ok(())
+    }
+}
+
+/// The in-process channel transport: delegates to [`ClientHandle`]. The
+/// channel plane matches requests internally, so `seq` is unused, and there
+/// is no connection to lose — every failure is a typed epoch failure.
+struct ClusterTransport {
+    handle: ClientHandle,
+}
+
+impl SessionTransport for ClusterTransport {
+    fn execute(&mut self, op: Op<'_>, _seq: u64) -> Result<Response, NetError> {
+        let result = match op {
+            Op::Read { id } => self.handle.try_read(id),
+            Op::Write { id, payload } => self.handle.try_write(id, payload),
+        };
+        result.map_err(NetError::Unavailable)
+    }
+}
+
+/// Dials `addr`, runs the client hello, and derives the session links.
+pub(crate) fn dial_session(
+    addr: &str,
+    lb_index: usize,
+    deploy: &Key256,
+    read_timeout: Duration,
+) -> io::Result<(TcpStream, Link, Link)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    let hello = Hello::new(Role::Client, 0);
+    write_frame(&mut stream, tag::HELLO, &hello.encode())?;
+    let (req_link, resp_link) = proto::client_session_links(deploy, lb_index, hello.session);
+    Ok((stream, req_link, resp_link))
+}
+
+pub(crate) fn count_retry() {
+    metrics::global()
+        .counter(metrics::names::RETRIES_TOTAL, "operation retries under a RetryPolicy")
+        .inc(Public::wire_observable(()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    /// A scripted transport: pops the next result per call, counting
+    /// executes and reconnects.
+    struct ScriptedTransport {
+        script: Vec<Result<Response, NetError>>,
+        executes: Arc<AtomicU32>,
+        reconnects: Arc<AtomicU32>,
+    }
+
+    impl SessionTransport for ScriptedTransport {
+        fn execute(&mut self, _op: Op<'_>, seq: u64) -> Result<Response, NetError> {
+            self.executes.fetch_add(1, Ordering::SeqCst);
+            match self.script.remove(0) {
+                Ok(mut resp) => {
+                    resp.seq = seq;
+                    Ok(resp)
+                }
+                Err(e) => Err(e),
+            }
+        }
+
+        fn reconnect(&mut self) -> Result<(), NetError> {
+            self.reconnects.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }
+    }
+
+    fn ok_response(value: &[u8]) -> Result<Response, NetError> {
+        Ok(Response { id: 1, value: value.to_vec(), client: 0, seq: 0 })
+    }
+
+    fn harness(
+        script: Vec<Result<Response, NetError>>,
+        retry: RetryPolicy,
+    ) -> (SnoopyClient, Arc<AtomicU32>, Arc<AtomicU32>) {
+        let executes = Arc::new(AtomicU32::new(0));
+        let reconnects = Arc::new(AtomicU32::new(0));
+        let transport = ScriptedTransport {
+            script,
+            executes: executes.clone(),
+            reconnects: reconnects.clone(),
+        };
+        let client = SnoopyClient::builder(4).retry(retry).connect_transport(Box::new(transport));
+        (client, executes, reconnects)
+    }
+
+    #[test]
+    fn facade_retries_timeouts_and_reconnects() {
+        let timeout = NetError::Timeout(io::ErrorKind::WouldBlock.into());
+        let (mut client, executes, reconnects) =
+            harness(vec![Err(timeout), ok_response(b"abcd")], RetryPolicy::client_default());
+        assert_eq!(client.read(1).unwrap(), b"abcd");
+        assert_eq!(executes.load(Ordering::SeqCst), 2);
+        assert_eq!(reconnects.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn facade_never_retries_fatal_errors() {
+        let u = snoopy_core::Unavailable { epoch: 2, failed_suborams: vec![0] };
+        let (mut client, executes, _) = harness(
+            vec![Err(NetError::Unavailable(u.clone())), ok_response(b"abcd")],
+            RetryPolicy::client_default(),
+        );
+        match client.write(1, b"abcd") {
+            Err(NetError::Unavailable(back)) => assert_eq!(back, u),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        assert_eq!(executes.load(Ordering::SeqCst), 1, "fatal errors must not be retried");
+    }
+
+    #[test]
+    fn facade_respects_the_retry_budget() {
+        let errs: Vec<_> =
+            (0..4).map(|_| Err(NetError::Timeout(io::ErrorKind::TimedOut.into()))).collect();
+        let (mut client, executes, _) = harness(errs, RetryPolicy::once());
+        assert!(matches!(client.read(1), Err(NetError::Timeout(_))));
+        assert_eq!(executes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn facade_assigns_increasing_seqs() {
+        let (mut client, _, _) =
+            harness(vec![ok_response(b"aaaa"), ok_response(b"bbbb")], RetryPolicy::once());
+        client.read(1).unwrap();
+        client.read(2).unwrap();
+        assert_eq!(client.seq, 2);
+    }
+
+    #[test]
+    fn cluster_transport_shares_the_facade() {
+        use snoopy_enclave::wire::StoredObject;
+        const VLEN: usize = 8;
+        let cfg = snoopy_core::SnoopyConfig::with_machines(1, 2).value_len(VLEN);
+        let objects = (0..16u64).map(|i| StoredObject::new(i, &[0u8; 1], VLEN)).collect();
+        let mut cluster = snoopy_core::InProcessCluster::start(cfg, objects, 11);
+        cluster.start_ticker(Duration::from_millis(5));
+        let mut client = SnoopyClient::builder(VLEN).connect_cluster(cluster.client());
+        let before = client.write(3, &[7u8; VLEN]).unwrap();
+        assert_eq!(before, vec![0u8; VLEN]);
+        assert_eq!(client.read(3).unwrap(), vec![7u8; VLEN]);
+        cluster.shutdown();
+    }
+}

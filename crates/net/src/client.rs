@@ -1,71 +1,37 @@
-//! Client and admin connections to a running cluster.
+//! The legacy blocking client surface, plus the admin RPCs.
 //!
-//! [`NetClient`] is the blocking client API: it dials a load balancer, runs
-//! the session hello, and then issues reads/writes over the sealed
-//! client ↔ balancer link. Connection parameters (per-attempt read timeout,
-//! retry/backoff schedule) come from [`ConnectConfig`]; on a timeout or a
-//! dead connection the client re-dials (fresh session keys) and re-issues
-//! the request under its [`RetryPolicy`], deduplicating responses by the
-//! per-request `seq`. Reads are idempotent; a retried write is at-least-once
-//! (see DESIGN.md's failure model).
+//! [`NetClient`] predates the unified [`crate::api::SnoopyClient`] facade
+//! and survives as a thin forwarding shim: every constructor builds a
+//! facade client over the TCP transport, and every operation maps the typed
+//! [`NetError`](crate::error::NetError) back onto the historical
+//! `io::Error` surface (timeout kinds preserved, degraded epochs still
+//! downcastable via [`unavailable_info`]). New code should use
+//! [`SnoopyClient`] directly; this module is kept so existing deployments
+//! compile unchanged.
 //!
 //! The admin helpers ([`fetch_stats`], [`fetch_metrics`], [`fetch_health`],
 //! [`shutdown_daemon`]) speak the plaintext control frames; each has a
 //! `_with` variant taking an explicit [`RetryPolicy`].
 
+use crate::api::SnoopyClient;
 use crate::frame::{read_frame, write_frame};
-use crate::proto::{self, tag, Hello, Role};
-use snoopy_core::link::Link;
-use snoopy_core::{RetryPolicy, Unavailable};
+use crate::proto::{tag, Hello, Role};
+use snoopy_core::RetryPolicy;
 use snoopy_crypto::Key256;
-use snoopy_enclave::wire::{Request, Response};
-use snoopy_telemetry::{metrics, Public};
 use std::io;
 use std::net::TcpStream;
 use std::time::Duration;
+
+pub use crate::error::{classify_io_error, unavailable_info, ErrorClass};
 
 fn bad(msg: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
-/// How an I/O error from a client connection should be handled.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ErrorClass {
-    /// The attempt's deadline passed (`WouldBlock`/`TimedOut`): the
-    /// connection may still be healthy but this attempt is over.
-    Timeout,
-    /// The peer is gone (clean EOF mid-frame, reset, broken pipe): the
-    /// connection is dead and a retry must re-dial.
-    Disconnected,
-    /// Not a transport condition (bad frame, link failure, typed
-    /// `Unavailable`): retrying the same bytes will not help.
-    Fatal,
-}
-
-/// Classifies an I/O error for retry purposes. Timeouts (`WouldBlock` is
-/// what a socket read deadline surfaces as on Unix, `TimedOut` on other
-/// platforms) are distinct from a peer that hung up (`UnexpectedEof` — a
-/// clean close mid-frame — reset, or broken pipe); everything else is fatal.
-pub fn classify_io_error(e: &io::Error) -> ErrorClass {
-    match e.kind() {
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ErrorClass::Timeout,
-        io::ErrorKind::UnexpectedEof
-        | io::ErrorKind::ConnectionReset
-        | io::ErrorKind::ConnectionAborted
-        | io::ErrorKind::BrokenPipe
-        | io::ErrorKind::NotConnected => ErrorClass::Disconnected,
-        _ => ErrorClass::Fatal,
-    }
-}
-
-/// Extracts the typed [`Unavailable`] from an error returned by
-/// [`NetClient::read`]/[`NetClient::write`], if the failure was a degraded
-/// epoch rather than a transport problem.
-pub fn unavailable_info(e: &io::Error) -> Option<&Unavailable> {
-    e.get_ref().and_then(|inner| inner.downcast_ref::<Unavailable>())
-}
-
 /// Connection parameters for a [`NetClient`].
+///
+/// Superseded by [`crate::api::SnoopyClientBuilder`], which absorbs these
+/// knobs; kept so existing call sites compile unchanged.
 #[derive(Clone, Debug)]
 pub struct ConnectConfig {
     /// Which load balancer (manifest index) the session keys bind to.
@@ -103,20 +69,17 @@ impl ConnectConfig {
 }
 
 /// A blocking client session with one load balancer.
+///
+/// Superseded by [`SnoopyClient`] (transport-agnostic, typed errors); this
+/// shim forwards to it and converts errors back to `io::Error`.
 pub struct NetClient {
-    stream: TcpStream,
-    req_link: Link,
-    resp_link: Link,
-    addr: String,
-    deploy: Key256,
-    config: ConnectConfig,
-    seq: u64,
+    inner: SnoopyClient,
 }
 
 impl NetClient {
     /// Dials the balancer at `addr` (index `lb_index` in the manifest) with
     /// default connection parameters. `deploy` is the deployment key
-    /// ([`proto::deployment_key`] of the manifest seed).
+    /// ([`crate::proto::deployment_key`] of the manifest seed).
     pub fn connect(
         addr: &str,
         lb_index: usize,
@@ -133,31 +96,21 @@ impl NetClient {
         deploy: &Key256,
         config: ConnectConfig,
     ) -> io::Result<NetClient> {
-        let (stream, req_link, resp_link) = config.retry.run(|attempt| {
-            if attempt > 0 {
-                count_retry();
-            }
-            dial_session(addr, deploy, &config)
-        })?;
-        Ok(NetClient {
-            stream,
-            req_link,
-            resp_link,
-            addr: addr.to_string(),
-            deploy: deploy.clone(),
-            config,
-            seq: 0,
-        })
+        let inner = SnoopyClient::builder(config.value_len)
+            .read_timeout(config.read_timeout)
+            .retry(config.retry)
+            .connect_tcp(addr, config.lb_index, deploy)
+            .map_err(io::Error::from)?;
+        Ok(NetClient { inner })
     }
 
     /// Reads object `id`, blocking until the epoch containing the request
     /// commits. Transparently retries (reconnecting as needed) under the
     /// connect config's [`RetryPolicy`]; a degraded epoch surfaces as an
-    /// error carrying [`Unavailable`] (see [`unavailable_info`]).
+    /// error carrying [`snoopy_core::Unavailable`] (see
+    /// [`unavailable_info`]).
     pub fn read(&mut self, id: u64) -> io::Result<Vec<u8>> {
-        let seq = self.next_seq();
-        let req = Request::read(id, self.config.value_len, 0, seq);
-        Ok(self.roundtrip_with_retry(req, seq)?.value)
+        self.inner.read(id).map_err(io::Error::from)
     }
 
     /// Writes object `id`; returns the pre-write value (Snoopy's write
@@ -166,104 +119,8 @@ impl NetClient {
     /// write in a later epoch and the returned pre-write value reflects the
     /// first write.
     pub fn write(&mut self, id: u64, payload: &[u8]) -> io::Result<Vec<u8>> {
-        let seq = self.next_seq();
-        let req = Request::write(id, payload, self.config.value_len, 0, seq);
-        Ok(self.roundtrip_with_retry(req, seq)?.value)
+        self.inner.write(id, payload).map_err(io::Error::from)
     }
-
-    fn next_seq(&mut self) -> u64 {
-        self.seq += 1;
-        self.seq
-    }
-
-    /// Re-dials and installs a fresh session (new session id → new link
-    /// keys; the old session's sequence numbers die with it).
-    fn reconnect(&mut self) -> io::Result<()> {
-        let _ = self.stream.shutdown(std::net::Shutdown::Both);
-        let (stream, req_link, resp_link) = dial_session(&self.addr, &self.deploy, &self.config)?;
-        self.stream = stream;
-        self.req_link = req_link;
-        self.resp_link = resp_link;
-        Ok(())
-    }
-
-    fn roundtrip_with_retry(&mut self, req: Request, seq: u64) -> io::Result<Response> {
-        let policy = self.config.retry.clone();
-        let mut attempt = 0u32;
-        loop {
-            let result = self.roundtrip(req.clone(), seq);
-            let err = match result {
-                Ok(resp) => return Ok(resp),
-                Err(e) => e,
-            };
-            let next = attempt + 1;
-            let class = classify_io_error(&err);
-            if class == ErrorClass::Fatal || !policy.allows(next) {
-                return Err(err);
-            }
-            std::thread::sleep(policy.backoff(next));
-            attempt = next;
-            count_retry();
-            if let Err(redial) = self.reconnect() {
-                // Keep retrying through dial failures until attempts run out.
-                if !policy.allows(attempt + 1) {
-                    return Err(redial);
-                }
-            }
-        }
-    }
-
-    fn roundtrip(&mut self, req: Request, seq: u64) -> io::Result<Response> {
-        let sealed = self.req_link.seal(&[req]).map_err(|_| bad("request link failure"))?;
-        write_frame(&mut self.stream, tag::CLIENT_REQ, &sealed.bytes)?;
-        loop {
-            let (t, body) = read_frame(&mut self.stream)?;
-            match t {
-                tag::CLIENT_RESP => {
-                    let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
-                    let batch = self
-                        .resp_link
-                        .open_responses(&sealed, self.config.value_len)
-                        .map_err(|_| bad("response link failure"))?;
-                    for resp in batch {
-                        if resp.seq == seq {
-                            return Ok(resp);
-                        }
-                        // A stale response for an abandoned earlier request.
-                    }
-                }
-                tag::CLIENT_FAIL => {
-                    let (fail_seq, err) =
-                        proto::decode_unavailable(&body).ok_or_else(|| bad("bad failure frame"))?;
-                    if fail_seq == seq {
-                        return Err(io::Error::other(err));
-                    }
-                    // A stale failure for an abandoned earlier request.
-                }
-                _ => return Err(bad("unexpected frame from balancer")),
-            }
-        }
-    }
-}
-
-fn dial_session(
-    addr: &str,
-    deploy: &Key256,
-    config: &ConnectConfig,
-) -> io::Result<(TcpStream, Link, Link)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(config.read_timeout))?;
-    let hello = Hello::new(Role::Client, 0);
-    write_frame(&mut stream, tag::HELLO, &hello.encode())?;
-    let (req_link, resp_link) = proto::client_session_links(deploy, config.lb_index, hello.session);
-    Ok((stream, req_link, resp_link))
-}
-
-fn count_retry() {
-    metrics::global()
-        .counter(metrics::names::RETRIES_TOTAL, "operation retries under a RetryPolicy")
-        .inc(Public::wire_observable(()));
 }
 
 fn admin_dial(addr: &str, policy: &RetryPolicy) -> io::Result<TcpStream> {
@@ -278,7 +135,7 @@ fn admin_dial(addr: &str, policy: &RetryPolicy) -> io::Result<TcpStream> {
 fn admin_rpc(addr: &str, policy: &RetryPolicy, req: u8, resp: u8) -> io::Result<Vec<u8>> {
     policy.run(|attempt| {
         if attempt > 0 {
-            count_retry();
+            crate::api::count_retry();
         }
         let mut stream = admin_dial(addr, policy)?;
         write_frame(&mut stream, req, b"")?;
@@ -351,6 +208,8 @@ pub fn shutdown_daemon(addr: &str) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto;
+    use snoopy_core::Unavailable;
 
     #[test]
     fn error_classification_maps_kinds() {

@@ -1,14 +1,14 @@
 //! The load-balancer daemon: a `snoopyd --role loadbalancer` process.
 //!
 //! The balancer *dials* every subORAM (the dialer owns reconnection): each
-//! subORAM gets a dedicated dialer thread that connects under
-//! [`RetryPolicy::dialer_default`] (capped exponential backoff, forever),
-//! performs the session hello, then reads sealed response batches until the
-//! connection dies — at which point it loops back to redialing. Establishing
-//! a session emits [`LbEvent::SubLinkRestored`], which makes the epoch loop
-//! resend the in-flight epoch's batch, so a subORAM killed and restarted
-//! mid-epoch is healed end to end (its reply cache absorbs duplicate
-//! deliveries).
+//! subORAM gets one dedicated dialer thread — per *peer*, not per session —
+//! that connects under [`RetryPolicy::dialer_default`] (capped exponential
+//! backoff, forever), performs the session hello, then hands the socket to
+//! the readiness reactor and parks until the session dies, at which point it
+//! redials. Establishing a session emits [`LbEvent::SubLinkRestored`], which
+//! makes the epoch loop resend the in-flight epoch's batch, so a subORAM
+//! killed and restarted mid-epoch is healed end to end (its reply cache
+//! absorbs duplicate deliveries).
 //!
 //! The epoch loop runs under the manifest's [`Manifest::fault_policy`]: a
 //! subORAM that misses the per-epoch deadline has its link killed and its
@@ -16,16 +16,19 @@
 //! epoch completes *degraded* and every affected client gets a typed
 //! [`tag::CLIENT_FAIL`] frame instead of a hang.
 //!
-//! Clients and admins dial the balancer's own listen address. The epoch
-//! ticker derives epoch ids from wall-clock time (`unix_millis / epoch_ms`)
-//! and catches up on any ids it slept through, so ids stay monotone across a
-//! balancer restart and aligned across balancers.
+//! Clients and admins dial the balancer's own listen address; every accepted
+//! session is multiplexed onto the reactor ([`crate::reactor`]) — tens of
+//! thousands of concurrent client sessions cost sockets, not threads. The
+//! epoch ticker derives epoch ids from wall-clock time
+//! (`unix_millis / epoch_ms`) and catches up on any ids it slept through, so
+//! ids stay monotone across a balancer restart and aligned across balancers.
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::write_frame;
 use crate::manifest::Manifest;
 use crate::proto::{self, tag, Hello, Role};
+use crate::reactor::{self, Control, ReactorConfig, ReactorHandle, SessionHandle, SessionHandler};
 use crate::stats::{DaemonInfo, LinkStats, StatsRegistry};
-use crate::suboram_daemon::admin_session;
+use crate::suboram_daemon::{net_workers, AdminHandler};
 use snoopy_core::link::Link;
 use snoopy_core::transport::{
     run_load_balancer_with_policy, LbEvent, LbTransport, RecvOutcome, ReplySink, Unavailable,
@@ -41,13 +44,14 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
-/// The write half of one subORAM session.
-struct SubConn {
-    stream: TcpStream,
+/// The write side of one subORAM session: the reactor handle plus this
+/// session's batch-direction link.
+struct SubSession {
+    handle: SessionHandle,
     batch_link: Link,
 }
 
-type SubSlots = Arc<Vec<Mutex<Option<SubConn>>>>;
+type SubSlots = Arc<Vec<Mutex<Option<SubSession>>>>;
 
 struct TcpLbTransport {
     events: Receiver<LbEvent>,
@@ -70,12 +74,12 @@ impl LbTransport for TcpLbTransport {
     }
 
     fn fail_fast(&mut self, suboram: usize) {
-        // Kill the session so the dialer's read side errors immediately and
-        // starts redialing; the epoch loop replays the sealed batch over the
-        // fresh session.
+        // Kill the session so its handler's close notification wakes the
+        // dialer, which starts redialing; the epoch loop replays the sealed
+        // batch over the fresh session.
         let mut slot = self.subs[suboram].lock().unwrap();
         if let Some(conn) = slot.take() {
-            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            conn.handle.close();
         }
     }
 
@@ -89,31 +93,27 @@ impl LbTransport for TcpLbTransport {
         let sealed = match conn.batch_link.seal(batch) {
             Ok(s) => s,
             Err(_) => {
+                conn.handle.close();
                 *slot = None;
                 return;
             }
         };
         let body = proto::encode_epoch_sealed(epoch, &sealed);
-        match write_frame(&mut conn.stream, tag::BATCH, &body) {
-            Ok(()) => self.sub_stats[suboram].sent(body.len()),
-            Err(_) => {
-                // Kill the socket so the dialer's read side fails fast and
-                // starts reconnecting.
-                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                *slot = None;
-            }
+        if conn.handle.send_frame(tag::BATCH, &body) {
+            self.sub_stats[suboram].sent(body.len());
+        } else {
+            // Overflow or dead session: the handle condemned it; the dialer
+            // redials and the epoch loop replays.
+            *slot = None;
         }
     }
 }
 
-/// A client connection's write half, shared by that connection's sinks.
-struct ClientWriter {
-    stream: TcpStream,
-    resp_link: Link,
-}
-
 struct TcpReplySink {
-    writer: Arc<Mutex<ClientWriter>>,
+    handle: SessionHandle,
+    /// This client session's response-direction link, shared by the
+    /// session's sinks so nonce order matches enqueue order.
+    resp_link: Arc<Mutex<Link>>,
     stats: Arc<LinkStats>,
     /// The client-chosen request seq, captured at enqueue time so a degraded
     /// epoch can name which request the `CLIENT_FAIL` frame is for.
@@ -122,24 +122,19 @@ struct TcpReplySink {
 
 impl ReplySink for TcpReplySink {
     fn deliver(self: Box<Self>, resp: Response) {
-        let mut w = self.writer.lock().unwrap();
-        let Ok(sealed) = w.resp_link.seal_responses(&[resp]) else { return };
-        match write_frame(&mut w.stream, tag::CLIENT_RESP, &sealed.bytes) {
-            Ok(()) => self.stats.sent(sealed.bytes.len()),
-            Err(_) => {
-                let _ = w.stream.shutdown(std::net::Shutdown::Both);
-            }
+        // Seal and enqueue under the link lock: nonce order must equal wire
+        // order.
+        let mut link = self.resp_link.lock().unwrap();
+        let Ok(sealed) = link.seal_responses(&[resp]) else { return };
+        if self.handle.send_frame(tag::CLIENT_RESP, &sealed.bytes) {
+            self.stats.sent(sealed.bytes.len());
         }
     }
 
     fn fail(self: Box<Self>, err: Unavailable) {
         let body = proto::encode_unavailable(self.seq, &err);
-        let mut w = self.writer.lock().unwrap();
-        match write_frame(&mut w.stream, tag::CLIENT_FAIL, &body) {
-            Ok(()) => self.stats.sent(body.len()),
-            Err(_) => {
-                let _ = w.stream.shutdown(std::net::Shutdown::Both);
-            }
+        if self.handle.send_frame(tag::CLIENT_FAIL, &body) {
+            self.stats.sent(body.len());
         }
     }
 }
@@ -165,10 +160,33 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
 
     let listener = TcpListener::bind(&manifest.load_balancers[index])?;
     let (events_tx, events_rx) = channel();
+
+    // Client/admin sessions ride the reactor; the acceptor wires each hello
+    // to its handler.
+    let acceptor = ClientAcceptor {
+        lb_index: index,
+        deploy: deploy.clone(),
+        value_len: manifest.value_len,
+        events_tx: events_tx.clone(),
+        registry: registry.clone(),
+        info: DaemonInfo::new("loadbalancer", index as u64),
+        client_counter: 0,
+    };
+    let cfg = ReactorConfig { workers: net_workers(), ..ReactorConfig::default() };
+    let reactor = reactor::spawn(
+        listener,
+        Box::new({
+            let mut acceptor = acceptor;
+            move |hello, handle| acceptor.accept(hello, handle)
+        }),
+        cfg,
+    );
+
     let subs: SubSlots = Arc::new((0..num_suborams).map(|_| Mutex::new(None)).collect());
     let mut sub_stats = Vec::with_capacity(num_suborams);
 
-    // Dialer threads: one per subORAM, owning connect/backoff/read.
+    // Dialer threads: one per subORAM *peer* (a fixed set, not per session),
+    // owning connect/backoff and parking while the reactor runs the session.
     for sub in 0..num_suborams {
         let stats = registry.link(&format!("suboram/{sub}"));
         sub_stats.push(stats.clone());
@@ -182,20 +200,9 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
             subs: subs.clone(),
             events_tx: events_tx.clone(),
             stats,
+            reactor: reactor.clone(),
         };
         std::thread::spawn(move || dialer(ctx));
-    }
-
-    // Client/admin listener.
-    {
-        let events_tx = events_tx.clone();
-        let registry = registry.clone();
-        let deploy = deploy.clone();
-        let value_len = manifest.value_len;
-        let info = DaemonInfo::new("loadbalancer", index as u64);
-        std::thread::spawn(move || {
-            client_accept_loop(listener, index, deploy, value_len, events_tx, registry, info)
-        });
     }
 
     // Epoch ticker. Epoch ids are derived from wall-clock time so that
@@ -238,6 +245,80 @@ fn wall_epoch(epoch_ms: u64) -> u64 {
     millis / epoch_ms
 }
 
+/// Turns accepted hellos (clients, admins) into session handlers.
+struct ClientAcceptor {
+    lb_index: usize,
+    deploy: Key256,
+    value_len: usize,
+    events_tx: Sender<LbEvent>,
+    registry: StatsRegistry,
+    info: DaemonInfo,
+    client_counter: u64,
+}
+
+impl ClientAcceptor {
+    fn accept(&mut self, hello: Hello, _handle: &SessionHandle) -> Option<Box<dyn SessionHandler>> {
+        match hello.role {
+            Role::Client => {
+                self.client_counter += 1;
+                let stats = self.registry.link(&format!("client/{}", self.client_counter));
+                let (req_link, resp_link) =
+                    proto::client_session_links(&self.deploy, self.lb_index, hello.session);
+                Some(Box::new(ClientSessionHandler {
+                    req_link,
+                    resp_link: Arc::new(Mutex::new(resp_link)),
+                    value_len: self.value_len,
+                    events_tx: self.events_tx.clone(),
+                    stats,
+                }))
+            }
+            Role::Admin => {
+                let events_tx = self.events_tx.clone();
+                Some(Box::new(AdminHandler::new(self.registry.clone(), self.info, move || {
+                    let _ = events_tx.send(LbEvent::Shutdown);
+                })))
+            }
+            // Balancers do not dial balancers.
+            Role::LoadBalancer => None,
+        }
+    }
+}
+
+/// One accepted client session: opens sealed request batches and fans each
+/// request into the epoch loop with a reply sink bound to this session.
+struct ClientSessionHandler {
+    req_link: Link,
+    resp_link: Arc<Mutex<Link>>,
+    value_len: usize,
+    events_tx: Sender<LbEvent>,
+    stats: Arc<LinkStats>,
+}
+
+impl SessionHandler for ClientSessionHandler {
+    fn on_frame(&mut self, t: u8, body: Vec<u8>, handle: &SessionHandle) -> Control {
+        self.stats.received(body.len());
+        if t != tag::CLIENT_REQ {
+            return Control::Close;
+        }
+        let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
+        let Ok(batch) = self.req_link.open(&sealed, self.value_len) else {
+            return Control::Close;
+        };
+        for req in batch {
+            let sink = TcpReplySink {
+                handle: handle.clone(),
+                resp_link: self.resp_link.clone(),
+                stats: self.stats.clone(),
+                seq: req.seq,
+            };
+            if self.events_tx.send(LbEvent::Client(req, Box::new(sink))).is_err() {
+                return Control::Close;
+            }
+        }
+        Control::Continue
+    }
+}
+
 /// Everything one dialer thread needs to own its subORAM connection.
 struct DialerCtx {
     addr: String,
@@ -249,13 +330,25 @@ struct DialerCtx {
     subs: SubSlots,
     events_tx: Sender<LbEvent>,
     stats: Arc<LinkStats>,
+    reactor: ReactorHandle,
 }
 
 /// Connects to one subORAM forever: dial with capped exponential backoff,
-/// hello, install the session, then read responses until the link dies.
+/// hello, register the session with the reactor, then park until the
+/// session dies.
 fn dialer(ctx: DialerCtx) {
-    let DialerCtx { addr, lb_index, sub, num_suborams, deploy, value_len, subs, events_tx, stats } =
-        ctx;
+    let DialerCtx {
+        addr,
+        lb_index,
+        sub,
+        num_suborams,
+        deploy,
+        value_len,
+        subs,
+        events_tx,
+        stats,
+        reactor,
+    } = ctx;
     let mut established_before = false;
     loop {
         // Dial under the dialer policy: capped exponential backoff with
@@ -274,16 +367,31 @@ fn dialer(ctx: DialerCtx) {
             continue;
         };
         let _ = stream.set_nodelay(true);
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
         let hello = Hello::new(Role::LoadBalancer, lb_index as u64);
+        // The hello goes out while the stream is still blocking; the reactor
+        // flips it nonblocking at registration.
         if write_frame(&mut stream, tag::HELLO, &hello.encode()).is_err() {
             continue;
         }
         metrics::stage_histogram("dial").observe(Public::timing(dial_span.finish()));
-        let (batch_link, mut resp_link) =
+        let (batch_link, resp_link) =
             proto::suboram_session_links(&deploy, lb_index, sub, num_suborams, hello.session);
-        let Ok(write_half) = stream.try_clone() else { continue };
-        *subs[sub].lock().unwrap() = Some(SubConn { stream: write_half, batch_link });
+
+        let (closed_tx, closed_rx) = channel();
+        let handler = SubDialHandler {
+            sub,
+            resp_link,
+            value_len,
+            events_tx: events_tx.clone(),
+            stats: stats.clone(),
+            closed_tx,
+        };
+        let handle = reactor.register(stream, Box::new(handler));
+        if handle.is_closed() {
+            // Reactor gone: daemon is shutting down.
+            return;
+        }
+        *subs[sub].lock().unwrap() = Some(SubSession { handle, batch_link });
         if established_before {
             stats.reconnected();
         }
@@ -292,98 +400,56 @@ fn dialer(ctx: DialerCtx) {
             return; // balancer loop gone: daemon is shutting down
         }
 
-        while let Ok((t, body)) = read_frame(&mut stream) {
-            stats.received(body.len());
-            if t == tag::RESP_ERR {
-                // Typed refusal: plaintext epoch id. Forward it so the epoch
-                // loop can degrade immediately instead of replaying a batch
-                // the subORAM will deterministically refuse again.
-                let Ok(bytes) = <[u8; 8]>::try_from(&body[..]) else { break };
-                let epoch = u64::from_le_bytes(bytes);
-                if events_tx.send(LbEvent::SubFailed { suboram: sub, epoch }).is_err() {
-                    return;
-                }
-                continue;
-            }
-            if t != tag::RESP_BATCH {
-                break;
-            }
-            let Some((epoch, sealed)) = proto::decode_epoch_sealed(&body) else { break };
-            let Ok(batch) = resp_link.open(&sealed, value_len) else { break };
-            if events_tx.send(LbEvent::SubResponse { suboram: sub, epoch, batch }).is_err() {
-                return;
-            }
+        // Park until the reactor reports the session closed, then clear the
+        // slot (if a send path has not already) and redial.
+        if closed_rx.recv().is_err() {
+            return;
         }
-        let _ = stream.shutdown(std::net::Shutdown::Both);
         *subs[sub].lock().unwrap() = None;
     }
 }
 
-fn client_accept_loop(
-    listener: TcpListener,
-    lb_index: usize,
-    deploy: Key256,
+/// The dialer-established subORAM session, as the reactor drives it: opens
+/// sealed response batches and typed refusals, feeding the epoch loop.
+struct SubDialHandler {
+    sub: usize,
+    resp_link: Link,
     value_len: usize,
-    events_tx: Sender<LbEvent>,
-    registry: StatsRegistry,
-    info: DaemonInfo,
-) {
-    let mut client_counter = 0u64;
-    for stream in listener.incoming() {
-        let Ok(mut stream) = stream else { continue };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let Ok((tag::HELLO, body)) = read_frame(&mut stream) else { continue };
-        let Some(hello) = Hello::decode(&body) else { continue };
-        let _ = stream.set_read_timeout(None);
-        match hello.role {
-            Role::Client => {
-                client_counter += 1;
-                let stats = registry.link(&format!("client/{client_counter}"));
-                let (req_link, resp_link) =
-                    proto::client_session_links(&deploy, lb_index, hello.session);
-                let Ok(write_half) = stream.try_clone() else { continue };
-                let writer = Arc::new(Mutex::new(ClientWriter { stream: write_half, resp_link }));
-                let events_tx = events_tx.clone();
-                std::thread::spawn(move || {
-                    client_session_reader(stream, req_link, value_len, writer, events_tx, stats)
-                });
-            }
-            Role::Admin => {
-                let events_tx = events_tx.clone();
-                let registry = registry.clone();
-                std::thread::spawn(move || {
-                    admin_session(stream, registry, info, move || {
-                        let _ = events_tx.send(LbEvent::Shutdown);
-                    })
-                });
-            }
-            // Balancers do not dial balancers.
-            Role::LoadBalancer => {}
-        }
-    }
-}
-
-fn client_session_reader(
-    mut stream: TcpStream,
-    mut req_link: Link,
-    value_len: usize,
-    writer: Arc<Mutex<ClientWriter>>,
     events_tx: Sender<LbEvent>,
     stats: Arc<LinkStats>,
-) {
-    while let Ok((t, body)) = read_frame(&mut stream) {
-        stats.received(body.len());
-        if t != tag::CLIENT_REQ {
-            break;
-        }
-        let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
-        let Ok(batch) = req_link.open(&sealed, value_len) else { break };
-        for req in batch {
-            let sink = TcpReplySink { writer: writer.clone(), stats: stats.clone(), seq: req.seq };
-            if events_tx.send(LbEvent::Client(req, Box::new(sink))).is_err() {
-                return;
+    closed_tx: Sender<()>,
+}
+
+impl SessionHandler for SubDialHandler {
+    fn on_frame(&mut self, t: u8, body: Vec<u8>, _handle: &SessionHandle) -> Control {
+        self.stats.received(body.len());
+        if t == tag::RESP_ERR {
+            // Typed refusal: plaintext epoch id. Forward it so the epoch
+            // loop can degrade immediately instead of replaying a batch the
+            // subORAM will deterministically refuse again.
+            let Ok(bytes) = <[u8; 8]>::try_from(&body[..]) else { return Control::Close };
+            let epoch = u64::from_le_bytes(bytes);
+            if self.events_tx.send(LbEvent::SubFailed { suboram: self.sub, epoch }).is_err() {
+                return Control::Close;
             }
+            return Control::Continue;
         }
+        if t != tag::RESP_BATCH {
+            return Control::Close;
+        }
+        let Some((epoch, sealed)) = proto::decode_epoch_sealed(&body) else {
+            return Control::Close;
+        };
+        let Ok(batch) = self.resp_link.open(&sealed, self.value_len) else {
+            return Control::Close;
+        };
+        if self.events_tx.send(LbEvent::SubResponse { suboram: self.sub, epoch, batch }).is_err() {
+            return Control::Close;
+        }
+        Control::Continue
     }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+
+    fn on_close(&mut self) {
+        let _ = self.closed_tx.send(());
+    }
 }

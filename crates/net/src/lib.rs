@@ -16,7 +16,14 @@
 //!   RPC, plus the bridge into the Prometheus `metrics` RPC;
 //! * [`lb_daemon`] / [`suboram_daemon`] — the two `snoopyd` roles;
 //! * [`checkpoint`] — sealed subORAM state for kill/restart survival;
-//! * [`client`] — the blocking [`client::NetClient`] plus admin RPCs.
+//! * [`session`] / [`reactor`] — the nonblocking session state machine and
+//!   the readiness reactor both daemons run their connections on;
+//! * [`api`] — the unified [`api::SnoopyClient`] facade (TCP and
+//!   channel-cluster transports behind one API);
+//! * [`error`] — the typed [`error::NetError`] surface and its wire/`io`
+//!   mappings;
+//! * [`client`] — the legacy blocking [`client::NetClient`] shim plus the
+//!   admin RPCs.
 //!
 //! Daemons record spans (`dial`, `rpc`, `checkpoint_seal`, and the epoch
 //! stages from `snoopy_core`) and metrics into the process-wide
@@ -32,19 +39,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod checkpoint;
 pub mod client;
+pub mod error;
 pub mod frame;
 pub mod lb_daemon;
 pub mod manifest;
 pub mod proto;
+pub mod reactor;
+pub mod session;
 pub mod stats;
 pub mod suboram_daemon;
 
+pub use api::{Op, SessionTransport, SnoopyClient, SnoopyClientBuilder};
 pub use client::{
-    classify_io_error, fetch_health, fetch_health_with, fetch_metrics, fetch_metrics_with,
-    fetch_stats, fetch_stats_with, shutdown_daemon, unavailable_info, ConnectConfig, ErrorClass,
-    NetClient,
+    fetch_health, fetch_health_with, fetch_metrics, fetch_metrics_with, fetch_stats,
+    fetch_stats_with, shutdown_daemon, ConnectConfig, NetClient,
 };
+pub use error::{classify_io_error, unavailable_info, ErrorClass, NetError};
 pub use manifest::Manifest;
 pub use stats::{parse_stats, parse_stats_header, StatsRegistry};

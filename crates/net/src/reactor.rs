@@ -1,0 +1,498 @@
+//! The readiness reactor: one poll thread sweeping every session's
+//! nonblocking socket, plus a small pinned worker pool for frame
+//! processing. This replaces the thread-per-connection plane — a daemon's
+//! thread count is now fixed (reactor + workers + the epoch loop and its
+//! per-peer dialers/ticker) no matter how many thousands of sessions are
+//! open.
+//!
+//! Built on `std::net` only: with no `epoll`/`kqueue` binding available, the
+//! reactor discovers readiness by attempting nonblocking I/O on every
+//! session each sweep (`WouldBlock` = not ready) and parks briefly when a
+//! sweep makes no progress. That is O(sessions) syscalls per sweep, which is
+//! exactly the regime the paper's epoch batching amortizes: work arrives in
+//! epoch-sized bursts, so most sweeps either move many frames or sleep.
+//!
+//! A session's lifecycle:
+//!
+//! ```text
+//! accept ──► Handshake ──HELLO──► Open ──► Draining ──► Closed
+//!            (first frame)        ▲  │ (flush, then close)
+//! register ───────────────────────┘  └──► Closed (error / EOF / kill)
+//! ```
+//!
+//! * Accepted sockets start in `Handshake`: the first frame must be a
+//!   plaintext [`Hello`], which the daemon's [`Acceptor`] turns into a
+//!   [`SessionHandler`] (or rejects).
+//! * Dialer-established sockets (balancer → subORAM) are registered already
+//!   `Open`, handler attached, via [`ReactorHandle::register`].
+//! * Frames are dispatched to the worker pinned by session id, so every
+//!   session's frames are processed in arrival order — the AEAD links
+//!   require strict nonce order — while distinct sessions proceed in
+//!   parallel.
+//! * Writes from any thread ([`SessionHandle::send_frame`]) enqueue into the
+//!   session's bounded [`OutBuf`]; only the reactor thread touches the
+//!   socket, so frames can never interleave or reorder.
+//! * `Draining` flushes the outbound buffer, then runs
+//!   [`SessionHandler::on_drained`] before closing — this is how a
+//!   `SHUTDOWN_ACK` is guaranteed onto the wire before the daemon exits.
+
+use crate::proto::{tag, Hello};
+use crate::session::{FrameAssembler, OutBuf, Overflow, ReadStep};
+use snoopy_telemetry::{metrics, Public};
+use std::io;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Read budget per session per sweep: a firehose peer yields the reactor to
+/// its neighbours after this many bytes.
+const READ_BUDGET: usize = 64 << 10;
+/// How long a handshake may sit without producing a valid hello.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+/// Idle park between sweeps that made no progress.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// What a handler tells the reactor after processing one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep the session open.
+    Continue,
+    /// Kill the session now; pending outbound bytes are discarded.
+    Close,
+    /// Stop reading, flush everything outbound, run
+    /// [`SessionHandler::on_drained`], then close.
+    CloseAfterFlush,
+}
+
+/// Per-session protocol logic, driven by a pinned worker (or inline by the
+/// reactor when the pool is empty). One handler instance per session; calls
+/// are serialized in frame-arrival order.
+pub trait SessionHandler: Send {
+    /// Processes one complete inbound frame.
+    fn on_frame(&mut self, tag: u8, body: Vec<u8>, handle: &SessionHandle) -> Control;
+    /// Runs after a [`Control::CloseAfterFlush`] drain reaches the wire,
+    /// just before the socket closes. The place for "ack flushed, now act"
+    /// effects (e.g. triggering daemon shutdown).
+    fn on_drained(&mut self) {}
+    /// Runs exactly once when the session closes, however it closed.
+    fn on_close(&mut self) {}
+}
+
+const STATE_OPEN: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_CLOSED: u8 = 2;
+
+/// State shared between the reactor thread, the workers, and any thread
+/// holding a [`SessionHandle`].
+struct SessionShared {
+    out: Mutex<OutBuf>,
+    state: AtomicU8,
+    /// Frames parsed but not yet processed by the pinned worker.
+    inflight: AtomicUsize,
+    inflight_cap: usize,
+}
+
+impl SessionShared {
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    fn request_close(&self) {
+        self.state.store(STATE_CLOSED, Ordering::Release);
+    }
+
+    fn request_drain(&self) {
+        let _ = self.state.compare_exchange(
+            STATE_OPEN,
+            STATE_DRAINING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+}
+
+/// A clonable, thread-safe handle to one session: enqueue outbound frames,
+/// request close. Held by reply sinks, transports, and handlers.
+#[derive(Clone)]
+pub struct SessionHandle {
+    shared: Arc<SessionShared>,
+}
+
+impl SessionHandle {
+    /// Enqueues one frame for in-order delivery. Returns `false` — and
+    /// kills the session — if the peer has let the bounded outbound buffer
+    /// hit its hard cap (the nonblocking plane's analogue of a write
+    /// timeout), or if the session is already closing. A `false` means the
+    /// frame was *not* accepted; nothing is ever partially enqueued.
+    pub fn send_frame(&self, tag: u8, body: &[u8]) -> bool {
+        if self.shared.state() != STATE_OPEN {
+            return false;
+        }
+        match self.shared.out.lock().unwrap().push_frame(tag, body) {
+            Ok(()) => true,
+            Err(Overflow) => {
+                self.shared.request_close();
+                false
+            }
+        }
+    }
+
+    /// Kills the session; the reactor tears it down on its next sweep
+    /// (pending outbound bytes are discarded).
+    pub fn close(&self) {
+        self.shared.request_close();
+    }
+
+    /// True once the session is closed or condemned.
+    pub fn is_closed(&self) -> bool {
+        self.shared.state() == STATE_CLOSED
+    }
+}
+
+/// Turns an accepted connection's hello into that session's handler, or
+/// rejects it with `None`. Runs on the reactor thread — keep it cheap (key
+/// derivation is fine; blocking I/O is not).
+pub type Acceptor = Box<dyn FnMut(Hello, &SessionHandle) -> Option<Box<dyn SessionHandler>> + Send>;
+
+/// Backpressure and pool sizing for one reactor.
+#[derive(Clone, Copy, Debug)]
+pub struct ReactorConfig {
+    /// Worker threads for frame processing; `0` processes frames inline on
+    /// the reactor thread (lowest latency on small machines).
+    pub workers: usize,
+    /// Per-session outbound watermark: reads pause above it.
+    pub watermark: usize,
+    /// Per-session outbound hard cap: sessions die at it.
+    pub hard_cap: usize,
+    /// Per-session bound on frames awaiting a worker: reads pause at it.
+    pub inflight_cap: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig {
+            workers: 0,
+            watermark: crate::session::DEFAULT_WATERMARK,
+            hard_cap: crate::session::DEFAULT_HARD_CAP,
+            inflight_cap: crate::session::DEFAULT_INFLIGHT_CAP,
+        }
+    }
+}
+
+struct Registration {
+    stream: TcpStream,
+    handler: Box<dyn SessionHandler>,
+    shared: Arc<SessionShared>,
+}
+
+/// Registers dialer-established connections with a running reactor.
+#[derive(Clone)]
+pub struct ReactorHandle {
+    reg_tx: Sender<Registration>,
+    cfg: ReactorConfig,
+}
+
+impl ReactorHandle {
+    /// Hands an established (post-hello) connection to the reactor, already
+    /// `Open` with `handler` attached. Returns the session's handle; if the
+    /// reactor is gone the handle is born closed and `on_close` has run.
+    pub fn register(&self, stream: TcpStream, handler: Box<dyn SessionHandler>) -> SessionHandle {
+        let shared = Arc::new(new_shared(&self.cfg));
+        let handle = SessionHandle { shared: shared.clone() };
+        if let Err(std::sync::mpsc::SendError(reg)) =
+            self.reg_tx.send(Registration { stream, handler, shared })
+        {
+            let mut handler = reg.handler;
+            handle.close();
+            handler.on_close();
+        }
+        handle
+    }
+}
+
+fn new_shared(cfg: &ReactorConfig) -> SessionShared {
+    SessionShared {
+        out: Mutex::new(OutBuf::new(cfg.watermark, cfg.hard_cap)),
+        state: AtomicU8::new(STATE_OPEN),
+        inflight: AtomicUsize::new(0),
+        inflight_cap: cfg.inflight_cap.max(1),
+    }
+}
+
+enum Phase {
+    /// Waiting for the hello frame; dies at `deadline` without one.
+    Handshake { deadline: Instant },
+    /// Handler attached; frames dispatch to the pinned worker.
+    Open,
+}
+
+struct Slot {
+    stream: TcpStream,
+    assembler: FrameAssembler,
+    phase: Phase,
+    handler: Option<Arc<Mutex<Box<dyn SessionHandler>>>>,
+    shared: Arc<SessionShared>,
+    handle: SessionHandle,
+    /// Worker pinning: `session_id % workers`.
+    session_id: u64,
+}
+
+struct WorkItem {
+    shared: Arc<SessionShared>,
+    handler: Arc<Mutex<Box<dyn SessionHandler>>>,
+    handle: SessionHandle,
+    tag: u8,
+    body: Vec<u8>,
+}
+
+/// Spawns the reactor (and its worker pool) over `listener`. The returned
+/// handle registers dialer-established sessions. Threads are detached; they
+/// live until the process exits, like the listener threads they replace.
+pub fn spawn(listener: TcpListener, acceptor: Acceptor, cfg: ReactorConfig) -> ReactorHandle {
+    let (reg_tx, reg_rx) = channel();
+    let handle = ReactorHandle { reg_tx, cfg };
+    let workers: Vec<Sender<WorkItem>> = (0..cfg.workers)
+        .map(|_| {
+            let (tx, rx) = channel::<WorkItem>();
+            std::thread::spawn(move || worker_loop(rx));
+            tx
+        })
+        .collect();
+    std::thread::spawn(move || reactor_loop(listener, acceptor, cfg, reg_rx, workers));
+    handle
+}
+
+fn worker_loop(rx: Receiver<WorkItem>) {
+    while let Ok(item) = rx.recv() {
+        process_item(item);
+    }
+}
+
+fn process_item(item: WorkItem) {
+    // A condemned session's queued frames are skipped — the handler may
+    // already have seen `on_close`.
+    if item.shared.state() != STATE_CLOSED {
+        let control = item.handler.lock().unwrap().on_frame(item.tag, item.body, &item.handle);
+        match control {
+            Control::Continue => {}
+            Control::Close => item.shared.request_close(),
+            Control::CloseAfterFlush => item.shared.request_drain(),
+        }
+    }
+    item.shared.inflight.fetch_sub(1, Ordering::AcqRel);
+}
+
+fn reactor_loop(
+    listener: TcpListener,
+    mut acceptor: Acceptor,
+    cfg: ReactorConfig,
+    reg_rx: Receiver<Registration>,
+    workers: Vec<Sender<WorkItem>>,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let sessions_gauge = metrics::global()
+        .gauge("snoopy_net_open_sessions", "sessions currently registered with the reactor");
+    let mut sessions: Vec<Slot> = Vec::new();
+    let mut next_id = 0u64;
+    let mut registrations_open = true;
+    loop {
+        let mut progress = false;
+
+        // Accept until the backlog is dry.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    progress = true;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let shared = Arc::new(new_shared(&cfg));
+                    let handle = SessionHandle { shared: shared.clone() };
+                    sessions.push(Slot {
+                        stream,
+                        assembler: FrameAssembler::new(),
+                        phase: Phase::Handshake { deadline: Instant::now() + HELLO_TIMEOUT },
+                        handler: None,
+                        shared,
+                        handle,
+                        session_id: next_id,
+                    });
+                    next_id += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (EMFILE under load): back off a
+                // sweep rather than spinning.
+                Err(_) => break,
+            }
+        }
+
+        // Pick up dialer-established sessions.
+        while registrations_open {
+            match reg_rx.try_recv() {
+                Ok(reg) => {
+                    progress = true;
+                    if reg.stream.set_nonblocking(true).is_err() {
+                        reg.shared.request_close();
+                        let mut h = reg.handler;
+                        h.on_close();
+                        continue;
+                    }
+                    let _ = reg.stream.set_nodelay(true);
+                    let handle = SessionHandle { shared: reg.shared.clone() };
+                    sessions.push(Slot {
+                        stream: reg.stream,
+                        assembler: FrameAssembler::new(),
+                        phase: Phase::Open,
+                        handler: Some(Arc::new(Mutex::new(reg.handler))),
+                        shared: reg.shared,
+                        handle,
+                        session_id: next_id,
+                    });
+                    next_id += 1;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    registrations_open = false;
+                }
+            }
+        }
+
+        // Sweep every session.
+        let now = Instant::now();
+        sessions.retain_mut(|slot| match sweep(slot, now, &mut acceptor, &workers) {
+            Sweep::Alive { moved } => {
+                progress |= moved;
+                true
+            }
+            Sweep::Dead => {
+                slot.shared.request_close();
+                let _ = slot.stream.shutdown(Shutdown::Both);
+                if let Some(handler) = &slot.handler {
+                    handler.lock().unwrap().on_close();
+                }
+                progress = true;
+                false
+            }
+        });
+        sessions_gauge.set(Public::wire_observable(sessions.len() as f64));
+
+        if !progress {
+            std::thread::sleep(IDLE_PARK);
+        }
+    }
+}
+
+enum Sweep {
+    Alive { moved: bool },
+    Dead,
+}
+
+fn sweep(
+    slot: &mut Slot,
+    now: Instant,
+    acceptor: &mut Acceptor,
+    workers: &[Sender<WorkItem>],
+) -> Sweep {
+    if slot.shared.state() == STATE_CLOSED {
+        return Sweep::Dead;
+    }
+
+    // Write sweep: only the reactor touches the socket, so partial writes
+    // resume exactly where they stopped.
+    let wrote = {
+        let mut out = slot.shared.out.lock().unwrap();
+        match out.drain_into(&mut slot.stream) {
+            Ok(n) => n,
+            Err(_) => return Sweep::Dead,
+        }
+    };
+
+    let state = slot.shared.state();
+    if state == STATE_CLOSED {
+        return Sweep::Dead;
+    }
+    if state == STATE_DRAINING {
+        let drained = slot.shared.out.lock().unwrap().is_empty()
+            && slot.shared.inflight.load(Ordering::Acquire) == 0;
+        if drained {
+            if let Some(handler) = &slot.handler {
+                handler.lock().unwrap().on_drained();
+            }
+            return Sweep::Dead;
+        }
+        return Sweep::Alive { moved: wrote > 0 };
+    }
+
+    // Read sweep, unless backpressure has us paused.
+    let paused = slot.shared.inflight.load(Ordering::Acquire) >= slot.shared.inflight_cap
+        || slot.shared.out.lock().unwrap().over_watermark();
+    if paused {
+        return Sweep::Alive { moved: wrote > 0 };
+    }
+
+    let (frames, eof) = match slot.assembler.read_from(&mut slot.stream, READ_BUDGET) {
+        Ok(ReadStep::Frames(f)) => (f, false),
+        Ok(ReadStep::Eof(f)) => (f, true),
+        Err(_) => return Sweep::Dead,
+    };
+    let moved = wrote > 0 || !frames.is_empty();
+
+    let mut frames = frames.into_iter();
+    if let Phase::Handshake { deadline } = slot.phase {
+        match frames.next() {
+            Some((t, body)) => {
+                if t != tag::HELLO {
+                    return Sweep::Dead;
+                }
+                let Some(hello) = Hello::decode(&body) else { return Sweep::Dead };
+                let Some(handler) = acceptor(hello, &slot.handle) else { return Sweep::Dead };
+                slot.handler = Some(Arc::new(Mutex::new(handler)));
+                slot.phase = Phase::Open;
+            }
+            None if now >= deadline => return Sweep::Dead,
+            None => {
+                if eof {
+                    return Sweep::Dead;
+                }
+                return Sweep::Alive { moved };
+            }
+        }
+    }
+
+    // Dispatch the remaining frames to the pinned worker (or inline).
+    let handler = slot.handler.as_ref().expect("open sessions have handlers");
+    for (t, body) in frames {
+        slot.shared.inflight.fetch_add(1, Ordering::AcqRel);
+        let item = WorkItem {
+            shared: slot.shared.clone(),
+            handler: handler.clone(),
+            handle: slot.handle.clone(),
+            tag: t,
+            body,
+        };
+        if workers.is_empty() {
+            process_item(item);
+        } else {
+            let w = (slot.session_id as usize) % workers.len();
+            if workers[w].send(item).is_err() {
+                return Sweep::Dead;
+            }
+        }
+    }
+
+    if slot.shared.state() == STATE_CLOSED {
+        return Sweep::Dead;
+    }
+    if eof {
+        // Half-close: the peer is done sending. Flush what we owe, then
+        // close (via the draining path so `on_drained` still runs).
+        slot.shared.request_drain();
+    }
+    Sweep::Alive { moved }
+}

@@ -1,0 +1,510 @@
+//! The per-session state machine of the readiness reactor: incremental
+//! frame parsing, bounded outbound buffering, and the read/write sweep
+//! steps — everything a session does *except* touch a real socket.
+//!
+//! The reactor (`crate::reactor`) drives one [`SessionIo`] per connection
+//! over a nonblocking `TcpStream`; the unit tests here drive the same code
+//! over in-memory fakes, which is what makes partial reads, split frames,
+//! slow-drain writers, and half-close testable without sockets.
+//!
+//! Backpressure is explicit and never drops data. Inbound: when a session's
+//! outbound buffer sits above its watermark, or too many of its frames are
+//! still queued for a worker, the reactor simply stops reading that socket —
+//! the kernel's receive window fills and TCP pushes back on the peer.
+//! Outbound: [`OutBuf`] is bounded by a hard cap; a peer that cannot drain
+//! its responses within the cap gets its session killed (the wire-level
+//! equivalent of the old blocking plane's write timeout), and the epoch
+//! protocol's replay machinery heals the loss. Within a live session, frames
+//! are delivered in exactly the order they were enqueued: there is one
+//! queue, appended under a lock, drained by one reactor thread.
+//!
+//! None of this touches payloads: the state machine sees sealed frames as
+//! opaque `(tag, bytes)` pairs. What an observer of the reactor learns —
+//! which sockets became readable when, how large each frame was — is
+//! exactly what the network itself already reveals.
+
+use crate::frame::MAX_FRAME_LEN;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+
+/// Default read-pause watermark for a session's outbound buffer (bytes).
+pub const DEFAULT_WATERMARK: usize = 256 << 10;
+/// Default hard cap on a session's outbound buffer (bytes). One maximum
+/// frame always fits above the cap check, so a single oversized epoch batch
+/// cannot kill a healthy session.
+pub const DEFAULT_HARD_CAP: usize = 64 << 20;
+/// Default bound on frames parsed but not yet processed by a worker.
+pub const DEFAULT_INFLIGHT_CAP: usize = 64;
+
+/// Incremental frame parser: feed arbitrary byte chunks, pop complete
+/// `(tag, body)` frames. The streaming twin of [`crate::frame::read_frame`],
+/// which blocks for a whole frame and so cannot be used on a nonblocking
+/// socket.
+#[derive(Default)]
+pub struct FrameAssembler {
+    buf: VecDeque<u8>,
+}
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
+    }
+
+    /// Appends raw bytes from the wire.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend(bytes);
+    }
+
+    /// Bytes buffered but not yet popped as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read sweep: reads from `r` until it would block, hits EOF, or
+    /// `max_bytes` arrive this sweep (one peer cannot monopolize the
+    /// reactor), parsing every complete frame. Fatal errors (including a
+    /// malformed length) kill the session.
+    pub fn read_from(&mut self, r: &mut impl Read, max_bytes: usize) -> io::Result<ReadStep> {
+        let mut frames = Vec::new();
+        let mut buf = [0u8; 16 << 10];
+        let mut taken = 0;
+        loop {
+            match r.read(&mut buf) {
+                Ok(0) => {
+                    while let Some(f) = self.next_frame()? {
+                        frames.push(f);
+                    }
+                    return Ok(ReadStep::Eof(frames));
+                }
+                Ok(n) => {
+                    self.extend(&buf[..n]);
+                    while let Some(f) = self.next_frame()? {
+                        frames.push(f);
+                    }
+                    taken += n;
+                    if taken >= max_bytes {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(ReadStep::Frames(frames))
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are needed.
+    /// A zero or oversized length is a protocol error (hostile or corrupt
+    /// peer); the caller must kill the session.
+    pub fn next_frame(&mut self) -> io::Result<Option<(u8, Vec<u8>)>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        for (i, b) in self.buf.iter().take(4).enumerate() {
+            len_bytes[i] = *b;
+        }
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 || len > MAX_FRAME_LEN {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        let tag = self.buf.pop_front().expect("length checked");
+        let body: Vec<u8> = self.buf.drain(..len - 1).collect();
+        Ok(Some((tag, body)))
+    }
+}
+
+/// The outbound buffer is full: the peer has not drained `hard_cap` bytes of
+/// already-accepted frames. Callers kill the session (fail-fast) rather than
+/// drop or reorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overflow;
+
+/// Bounded outbound byte queue. Frames are encoded at enqueue time and
+/// drained strictly in order by the reactor's write sweep; partial writes
+/// leave a front offset, so a slow peer never sees bytes out of order.
+pub struct OutBuf {
+    chunks: VecDeque<Vec<u8>>,
+    front_off: usize,
+    pending: usize,
+    watermark: usize,
+    hard_cap: usize,
+}
+
+impl OutBuf {
+    /// Creates a buffer with the given read-pause watermark and hard cap.
+    pub fn new(watermark: usize, hard_cap: usize) -> OutBuf {
+        OutBuf { chunks: VecDeque::new(), front_off: 0, pending: 0, watermark, hard_cap }
+    }
+
+    /// Encodes and enqueues one frame. Errors (without enqueuing anything)
+    /// if `hard_cap` bytes are already pending — the frame is never
+    /// truncated or partially accepted.
+    pub fn push_frame(&mut self, tag: u8, body: &[u8]) -> Result<(), Overflow> {
+        if self.pending >= self.hard_cap {
+            return Err(Overflow);
+        }
+        let len = body.len() + 1;
+        let mut chunk = Vec::with_capacity(4 + len);
+        chunk.extend_from_slice(&(len as u32).to_le_bytes());
+        chunk.push(tag);
+        chunk.extend_from_slice(body);
+        self.pending += chunk.len();
+        self.chunks.push_back(chunk);
+        Ok(())
+    }
+
+    /// Bytes enqueued but not yet written to the socket.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// True when nothing is pending (a drain-to-close can complete).
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// True when the buffer is above its read-pause watermark.
+    pub fn over_watermark(&self) -> bool {
+        self.pending > self.watermark
+    }
+
+    /// The next contiguous byte range to write, if any.
+    pub fn next_slice(&self) -> Option<&[u8]> {
+        self.chunks.front().map(|c| &c[self.front_off..])
+    }
+
+    /// Advances past `n` written bytes (may end mid-chunk).
+    pub fn consume(&mut self, n: usize) {
+        debug_assert!(n <= self.chunks.front().map_or(0, |c| c.len() - self.front_off));
+        self.pending -= n;
+        self.front_off += n;
+        if self.chunks.front().is_some_and(|c| self.front_off == c.len()) {
+            self.chunks.pop_front();
+            self.front_off = 0;
+        }
+    }
+
+    /// Write sweep: drains outbound bytes into `w` until it would block,
+    /// errors, or the buffer empties. Returns bytes written this sweep;
+    /// `WouldBlock`/`Interrupted` are not errors, anything else is fatal to
+    /// the session.
+    pub fn drain_into(&mut self, w: &mut impl Write) -> io::Result<usize> {
+        let mut total = 0;
+        while let Some(slice) = self.next_slice() {
+            match w.write(slice) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.consume(n);
+                    total += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// What one read sweep over a session produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadStep {
+    /// Zero or more complete frames arrived (possibly none: a partial frame
+    /// is buffered). The connection is still open.
+    Frames(Vec<(u8, Vec<u8>)>),
+    /// The peer half-closed its write side (`read` returned 0). Any frames
+    /// parsed from the final bytes are included; the session should drain
+    /// its outbound buffer and then close.
+    Eof(Vec<(u8, Vec<u8>)>),
+}
+
+/// Per-session I/O state: the inbound assembler plus the outbound buffer.
+/// The reactor owns one per connection; tests drive it with in-memory
+/// readers/writers.
+pub struct SessionIo {
+    /// Inbound partial-frame assembly.
+    pub assembler: FrameAssembler,
+    /// Outbound bounded queue.
+    pub out: OutBuf,
+    /// Pause reads when this many parsed frames await a worker.
+    pub inflight_cap: usize,
+}
+
+impl Default for SessionIo {
+    fn default() -> SessionIo {
+        SessionIo::new(DEFAULT_WATERMARK, DEFAULT_HARD_CAP, DEFAULT_INFLIGHT_CAP)
+    }
+}
+
+impl SessionIo {
+    /// Creates session state with the given backpressure bounds.
+    pub fn new(watermark: usize, hard_cap: usize, inflight_cap: usize) -> SessionIo {
+        SessionIo {
+            assembler: FrameAssembler::new(),
+            out: OutBuf::new(watermark, hard_cap),
+            inflight_cap,
+        }
+    }
+
+    /// True when the reactor should *not* read this session: its outbound
+    /// buffer is over the watermark (peer slow to drain) or too many of its
+    /// frames are still queued for a worker. Paused reads are the
+    /// backpressure mechanism — bytes accumulate in the kernel and TCP flow
+    /// control pushes back on the peer; nothing is dropped.
+    pub fn paused(&self, inflight: usize) -> bool {
+        self.out.over_watermark() || inflight >= self.inflight_cap
+    }
+
+    /// Write sweep over the owned [`OutBuf`]; see [`OutBuf::drain_into`].
+    pub fn drain_into(&mut self, w: &mut impl Write) -> io::Result<usize> {
+        self.out.drain_into(w)
+    }
+
+    /// Read sweep over the owned [`FrameAssembler`]; see
+    /// [`FrameAssembler::read_from`].
+    pub fn read_from(&mut self, r: &mut impl Read, max_bytes: usize) -> io::Result<ReadStep> {
+        self.assembler.read_from(r, max_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::write_frame;
+
+    /// A scripted nonblocking reader: each entry is either bytes to return
+    /// (split however the script says), a `WouldBlock`, or EOF (empty vec
+    /// terminator).
+    struct ScriptedReader {
+        script: VecDeque<Option<Vec<u8>>>,
+        eof_after: bool,
+    }
+
+    impl ScriptedReader {
+        fn new(script: Vec<Option<Vec<u8>>>, eof_after: bool) -> ScriptedReader {
+            ScriptedReader { script: script.into(), eof_after }
+        }
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                Some(Some(bytes)) => {
+                    assert!(bytes.len() <= buf.len(), "script chunk exceeds read buffer");
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(None) => Err(io::ErrorKind::WouldBlock.into()),
+                None if self.eof_after => Ok(0),
+                None => Err(io::ErrorKind::WouldBlock.into()),
+            }
+        }
+    }
+
+    /// A writer that accepts at most `per_call` bytes per write and a
+    /// scripted number of `WouldBlock`s in between — a slow-draining peer.
+    struct SlowWriter {
+        accepted: Vec<u8>,
+        per_call: usize,
+        block_every: usize,
+        calls: usize,
+    }
+
+    impl SlowWriter {
+        fn new(per_call: usize, block_every: usize) -> SlowWriter {
+            SlowWriter { accepted: Vec::new(), per_call, block_every, calls: 0 }
+        }
+    }
+
+    impl Write for SlowWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.block_every != 0 && self.calls.is_multiple_of(self.block_every) {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.per_call);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn encode(tag: u8, body: &[u8]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, tag, body).unwrap();
+        wire
+    }
+
+    #[test]
+    fn assembler_handles_split_frames() {
+        // One frame delivered a byte at a time, then two frames in one read.
+        let wire = encode(7, b"hello");
+        let mut asm = FrameAssembler::new();
+        for (i, b) in wire.iter().enumerate() {
+            asm.extend(&[*b]);
+            let got = asm.next_frame().unwrap();
+            if i + 1 < wire.len() {
+                assert!(got.is_none(), "frame completed early at byte {i}");
+            } else {
+                assert_eq!(got, Some((7, b"hello".to_vec())));
+            }
+        }
+        let mut two = encode(1, b"a");
+        two.extend_from_slice(&encode(2, b"bb"));
+        asm.extend(&two);
+        assert_eq!(asm.next_frame().unwrap(), Some((1, b"a".to_vec())));
+        assert_eq!(asm.next_frame().unwrap(), Some((2, b"bb".to_vec())));
+        assert_eq!(asm.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn assembler_rejects_bad_lengths() {
+        let mut asm = FrameAssembler::new();
+        asm.extend(&[0, 0, 0, 0]); // zero length
+        assert!(asm.next_frame().is_err());
+        let mut asm = FrameAssembler::new();
+        asm.extend(&u32::MAX.to_le_bytes()); // oversized
+        assert!(asm.next_frame().is_err());
+    }
+
+    #[test]
+    fn read_step_partial_reads_across_wouldblocks() {
+        // A frame split across three readable windows separated by
+        // WouldBlocks: each sweep returns no frame until the last byte lands.
+        let wire = encode(9, b"partial");
+        let (a, rest) = wire.split_at(3);
+        let (b, c) = rest.split_at(4);
+        let mut r = ScriptedReader::new(
+            vec![Some(a.to_vec()), None, Some(b.to_vec()), None, Some(c.to_vec())],
+            false,
+        );
+        let mut io = SessionIo::default();
+        assert_eq!(io.read_from(&mut r, usize::MAX).unwrap(), ReadStep::Frames(vec![]));
+        assert_eq!(io.read_from(&mut r, usize::MAX).unwrap(), ReadStep::Frames(vec![]));
+        assert_eq!(
+            io.read_from(&mut r, usize::MAX).unwrap(),
+            ReadStep::Frames(vec![(9, b"partial".to_vec())])
+        );
+    }
+
+    #[test]
+    fn read_step_half_close_flushes_trailing_frames() {
+        // Peer sends two frames then half-closes: EOF must still surface the
+        // final parsed frames so none are lost.
+        let mut wire = encode(4, b"one");
+        wire.extend_from_slice(&encode(4, b"two"));
+        let mut r = ScriptedReader::new(vec![Some(wire)], true);
+        let mut io = SessionIo::default();
+        match io.read_from(&mut r, usize::MAX).unwrap() {
+            ReadStep::Frames(f) => {
+                assert_eq!(f.len(), 2);
+                // Next sweep sees the EOF.
+                match io.read_from(&mut r, usize::MAX).unwrap() {
+                    ReadStep::Eof(rest) => assert!(rest.is_empty()),
+                    other => panic!("expected EOF, got {other:?}"),
+                }
+            }
+            ReadStep::Eof(f) => assert_eq!(f.len(), 2),
+        }
+    }
+
+    #[test]
+    fn slow_drain_writer_preserves_byte_order() {
+        // Enqueue many frames, drain through a writer that takes 3 bytes at
+        // a time and blocks every 5th call: the accepted byte stream must be
+        // exactly the concatenation of the frames, in order.
+        let mut io = SessionIo::default();
+        let mut expect = Vec::new();
+        for i in 0..20u8 {
+            let body = vec![i; (i as usize % 7) + 1];
+            io.out.push_frame(i, &body).unwrap();
+            expect.extend_from_slice(&encode(i, &body));
+        }
+        let mut w = SlowWriter::new(3, 5);
+        while !io.out.is_empty() {
+            io.drain_into(&mut w).unwrap();
+        }
+        assert_eq!(w.accepted, expect);
+    }
+
+    #[test]
+    fn backpressure_pauses_reads_but_never_drops_or_reorders() {
+        // Regression: with a tiny watermark and a slow peer, the session
+        // pauses reads (backpressure) yet every enqueued frame is delivered
+        // exactly once, in order.
+        let mut io = SessionIo::new(64, 1 << 20, 4);
+        let mut expect = Vec::new();
+        for i in 0..50u8 {
+            io.out.push_frame(10, &[i; 16]).unwrap();
+            expect.extend_from_slice(&encode(10, &[i; 16]));
+        }
+        assert!(io.paused(0), "over-watermark session must pause reads");
+        // Inflight cap pauses too, independently of the outbuf.
+        let fresh = SessionIo::default();
+        assert!(fresh.paused(DEFAULT_INFLIGHT_CAP));
+        assert!(!fresh.paused(0));
+
+        let mut w = SlowWriter::new(7, 0);
+        let mut sweeps = 0;
+        while !io.out.is_empty() {
+            io.drain_into(&mut w).unwrap();
+            sweeps += 1;
+            assert!(sweeps < 10_000, "drain did not make progress");
+        }
+        assert!(!io.paused(0), "drained session must resume reads");
+        assert_eq!(w.accepted, expect, "frames dropped or reordered under backpressure");
+    }
+
+    #[test]
+    fn outbuf_hard_cap_refuses_without_corrupting() {
+        let mut out = OutBuf::new(8, 32);
+        out.push_frame(1, &[0; 40]).unwrap(); // first frame always fits
+        assert_eq!(out.push_frame(1, b"more"), Err(Overflow));
+        // The refused frame left no partial bytes behind.
+        assert_eq!(out.pending(), 4 + 1 + 40);
+        // Draining past the cap re-admits frames.
+        let mut w = SlowWriter::new(usize::MAX, 0);
+        let mut io = SessionIo { assembler: FrameAssembler::new(), out, inflight_cap: 1 };
+        io.drain_into(&mut w).unwrap();
+        assert!(io.out.push_frame(2, b"ok").is_ok());
+    }
+
+    #[test]
+    fn write_error_is_fatal() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::ErrorKind::BrokenPipe.into())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut io = SessionIo::default();
+        io.out.push_frame(1, b"x").unwrap();
+        assert_eq!(io.drain_into(&mut Broken).unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn read_budget_bounds_one_sweep() {
+        // A firehose peer: read_from must stop at max_bytes even though more
+        // is readable, so one session cannot monopolize the reactor.
+        let frame = encode(3, &[7; 100]);
+        let script: Vec<Option<Vec<u8>>> = (0..32).map(|_| Some(frame.clone())).collect();
+        let mut r = ScriptedReader::new(script, false);
+        let mut io = SessionIo::default();
+        match io.read_from(&mut r, 4 * frame.len()).unwrap() {
+            ReadStep::Frames(f) => assert_eq!(f.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,21 +1,26 @@
 //! The subORAM daemon: a `snoopyd --role suboram` process.
 //!
-//! Listens on its manifest address and serves three kinds of peers:
+//! Listens on its manifest address and serves two kinds of peers, all
+//! multiplexed onto the readiness reactor ([`crate::reactor`]) — no thread
+//! is ever spawned per connection:
 //!
 //! * **Load balancers** dial in with a session hello; each session gets its
-//!   own pair of AEAD links. A reader thread per session opens sealed epoch
+//!   own pair of AEAD links. The session's handler opens sealed epoch
 //!   batches and feeds the shared [`run_suboram`] loop; responses go back
-//!   over the same connection. A balancer that reconnects simply replaces
-//!   its session — the reply cache makes redelivered batches idempotent.
-//! * **Admins** issue the plaintext `stats` RPC or a graceful shutdown.
+//!   over the same connection via the session's bounded outbound buffer. A
+//!   balancer that reconnects simply replaces its session — the reply cache
+//!   makes redelivered batches idempotent.
+//! * **Admins** issue the plaintext `stats` RPC or a graceful shutdown; the
+//!   `SHUTDOWN_ACK` is flushed to the wire (the reactor's drain-then-close
+//!   path) before the shutdown event fires.
 //!
 //! The daemon checkpoints after every executed epoch, before responding
 //! (see [`crate::checkpoint`]), so `kill -9` at any instant is recoverable.
 
 use crate::checkpoint;
-use crate::frame::{read_frame, write_frame};
 use crate::manifest::Manifest;
 use crate::proto::{self, tag, Hello, Role};
+use crate::reactor::{self, Control, ReactorConfig, SessionHandle, SessionHandler};
 use crate::stats::{DaemonInfo, LinkStats, StatsRegistry};
 use snoopy_core::link::Link;
 use snoopy_core::transport::{run_suboram, SubEvent, SubOramNode, SubTransport};
@@ -24,17 +29,26 @@ use snoopy_lb::partition_objects;
 use snoopy_suboram::SubOram;
 use snoopy_telemetry::{metrics, trace, Public};
 use std::io;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
 
-/// One live balancer session (the write half; the read half lives on the
-/// session's reader thread).
+/// Worker-pool size for the daemons' reactors: `SNOOPY_NET_WORKERS` (0 =
+/// process frames inline on the reactor thread), defaulting to a small pool.
+pub(crate) fn net_workers() -> usize {
+    std::env::var("SNOOPY_NET_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(2)
+        .min(64)
+}
+
+/// One live balancer session (the write side; reads happen in the session's
+/// reactor handler).
 struct LbConn {
     session: u64,
-    stream: TcpStream,
+    handle: SessionHandle,
     resp_link: Link,
     stats: Arc<LinkStats>,
 }
@@ -53,6 +67,8 @@ impl SubTransport for TcpSubTransport {
     }
 
     fn send_response(&mut self, lb: usize, epoch: u64, batch: &[snoopy_enclave::wire::Request]) {
+        // Seal and enqueue under the table lock so the AEAD nonce order
+        // matches the enqueue order exactly.
         let mut conns = self.conns.lock().unwrap();
         let Some(conn) = conns[lb].as_mut() else {
             // Balancer currently disconnected: drop the response. It will
@@ -62,17 +78,18 @@ impl SubTransport for TcpSubTransport {
         let sealed = match conn.resp_link.seal(batch) {
             Ok(s) => s,
             Err(_) => {
+                conn.handle.close();
                 conns[lb] = None;
                 return;
             }
         };
         let body = proto::encode_epoch_sealed(epoch, &sealed);
-        match write_frame(&mut conn.stream, tag::RESP_BATCH, &body) {
-            Ok(()) => conn.stats.sent(body.len()),
-            Err(_) => {
-                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                conns[lb] = None;
-            }
+        if conn.handle.send_frame(tag::RESP_BATCH, &body) {
+            conn.stats.sent(body.len());
+        } else {
+            // Bounded-buffer overflow or a dead session: the handle killed
+            // the session; the balancer replays over a fresh one.
+            conns[lb] = None;
         }
     }
 
@@ -84,12 +101,10 @@ impl SubTransport for TcpSubTransport {
         let mut conns = self.conns.lock().unwrap();
         let Some(conn) = conns[lb].as_mut() else { return };
         let body = epoch.to_le_bytes();
-        match write_frame(&mut conn.stream, tag::RESP_ERR, &body) {
-            Ok(()) => conn.stats.sent(body.len()),
-            Err(_) => {
-                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
-                conns[lb] = None;
-            }
+        if conn.handle.send_frame(tag::RESP_ERR, &body) {
+            conn.stats.sent(body.len());
+        } else {
+            conns[lb] = None;
         }
     }
 }
@@ -159,7 +174,8 @@ pub fn run(
             registry: registry.clone(),
             info: DaemonInfo::new("suboram", index as u64),
         };
-        std::thread::spawn(move || accept_loop(listener, ctx));
+        let cfg = ReactorConfig { workers: net_workers(), ..ReactorConfig::default() };
+        reactor::spawn(listener, Box::new(move |hello, handle| ctx.accept(hello, handle)), cfg);
     }
 
     let mut transport = TcpSubTransport { events: events_rx, conns };
@@ -175,7 +191,7 @@ pub fn run(
     Ok(())
 }
 
-/// Everything the accept loop needs about the daemon it serves.
+/// Everything the reactor's acceptor needs about the daemon it serves.
 struct AcceptCtx {
     manifest: Manifest,
     index: usize,
@@ -186,157 +202,179 @@ struct AcceptCtx {
     info: DaemonInfo,
 }
 
-fn accept_loop(listener: TcpListener, ctx: AcceptCtx) {
-    for stream in listener.incoming() {
-        let Ok(mut stream) = stream else { continue };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        let Ok((tag::HELLO, body)) = read_frame(&mut stream) else { continue };
-        let Some(hello) = Hello::decode(&body) else { continue };
-        let _ = stream.set_read_timeout(None);
+impl AcceptCtx {
+    /// Turns an accepted hello into this session's handler (reactor thread;
+    /// key derivation only).
+    fn accept(&self, hello: Hello, handle: &SessionHandle) -> Option<Box<dyn SessionHandler>> {
         match hello.role {
             Role::LoadBalancer => {
                 let lb = hello.index as usize;
-                if lb >= ctx.manifest.load_balancers.len() {
-                    continue;
+                if lb >= self.manifest.load_balancers.len() {
+                    return None;
                 }
-                let stats = ctx.registry.link(&format!("lb/{lb}"));
+                let stats = self.registry.link(&format!("lb/{lb}"));
                 let (batch_link, resp_link) = proto::suboram_session_links(
-                    &ctx.deploy,
+                    &self.deploy,
                     lb,
-                    ctx.index,
-                    ctx.manifest.suborams.len(),
+                    self.index,
+                    self.manifest.suborams.len(),
                     hello.session,
                 );
-                let Ok(write_half) = stream.try_clone() else { continue };
                 {
-                    let mut table = ctx.conns.lock().unwrap();
+                    let mut table = self.conns.lock().unwrap();
                     if let Some(old) = table[lb].take() {
                         // A replacement session: kill the stale connection.
-                        let _ = old.stream.shutdown(std::net::Shutdown::Both);
+                        old.handle.close();
                         stats.reconnected();
                     }
                     table[lb] = Some(LbConn {
                         session: hello.session,
-                        stream: write_half,
+                        handle: handle.clone(),
                         resp_link,
                         stats: stats.clone(),
                     });
                 }
-                let session = LbSession {
+                Some(Box::new(LbSessionHandler {
                     lb,
                     session: hello.session,
                     batch_link,
-                    value_len: ctx.manifest.value_len,
+                    value_len: self.manifest.value_len,
                     stats,
-                };
-                let conns = ctx.conns.clone();
-                let events_tx = ctx.events_tx.clone();
-                std::thread::spawn(move || lb_session_reader(stream, session, conns, events_tx));
+                    conns: self.conns.clone(),
+                    events_tx: self.events_tx.clone(),
+                }))
             }
             Role::Admin => {
-                let events_tx = ctx.events_tx.clone();
-                let registry = ctx.registry.clone();
-                let info = ctx.info;
-                std::thread::spawn(move || {
-                    admin_session(stream, registry, info, move || {
-                        let _ = events_tx.send(SubEvent::Shutdown);
-                    })
-                });
+                let events_tx = self.events_tx.clone();
+                Some(Box::new(AdminHandler::new(self.registry.clone(), self.info, move || {
+                    let _ = events_tx.send(SubEvent::Shutdown);
+                })))
             }
             // Clients talk to balancers, not subORAMs.
-            Role::Client => {}
+            Role::Client => None,
         }
     }
 }
 
-/// One accepted balancer session, as its reader thread sees it.
-struct LbSession {
+/// One accepted balancer session, as the reactor drives it.
+struct LbSessionHandler {
     lb: usize,
     session: u64,
     batch_link: Link,
     value_len: usize,
     stats: Arc<LinkStats>,
-}
-
-fn lb_session_reader(
-    mut stream: TcpStream,
-    mut session: LbSession,
     conns: ConnTable,
     events_tx: Sender<SubEvent>,
-) {
-    let lb = session.lb;
-    while let Ok((t, body)) = read_frame(&mut stream) {
-        session.stats.received(body.len());
+}
+
+impl SessionHandler for LbSessionHandler {
+    fn on_frame(&mut self, t: u8, body: Vec<u8>, _handle: &SessionHandle) -> Control {
+        self.stats.received(body.len());
         if t != tag::BATCH {
-            break;
+            return Control::Close;
         }
-        let Some((epoch, sealed)) = proto::decode_epoch_sealed(&body) else { break };
+        let Some((epoch, sealed)) = proto::decode_epoch_sealed(&body) else {
+            return Control::Close;
+        };
         // A link failure (tamper/replay) kills the session; the balancer
         // redials with a fresh one.
-        let Ok(batch) = session.batch_link.open(&sealed, session.value_len) else { break };
-        if events_tx.send(SubEvent::Batch { lb, epoch, batch }).is_err() {
-            break;
+        let Ok(batch) = self.batch_link.open(&sealed, self.value_len) else {
+            return Control::Close;
+        };
+        if self.events_tx.send(SubEvent::Batch { lb: self.lb, epoch, batch }).is_err() {
+            return Control::Close;
         }
+        Control::Continue
     }
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-    let mut table = conns.lock().unwrap();
-    // Only clear the slot if it still belongs to this session (a newer
-    // session may already have replaced it).
-    if table[lb].as_ref().is_some_and(|c| c.session == session.session) {
-        table[lb] = None;
+
+    fn on_close(&mut self) {
+        let mut table = self.conns.lock().unwrap();
+        // Only clear the slot if it still belongs to this session (a newer
+        // session may already have replaced it).
+        if table[self.lb].as_ref().is_some_and(|c| c.session == self.session) {
+            table[self.lb] = None;
+        }
     }
 }
 
-/// Serves `stats`/`metrics`/`shutdown` on an admin connection. Shared by
-/// both daemon roles.
-pub(crate) fn admin_session(
-    mut stream: TcpStream,
+/// Serves `stats`/`health`/`metrics`/`shutdown` on an admin session. Shared
+/// by both daemon roles. The shutdown callback fires from `on_drained`,
+/// after the `SHUTDOWN_ACK` has been flushed to the wire — an admin that has
+/// read the ack knows the daemon is really going down.
+pub(crate) struct AdminHandler {
     registry: StatsRegistry,
     info: DaemonInfo,
-    shutdown: impl Fn() + Send + 'static,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    while let Ok((t, _body)) = read_frame(&mut stream) {
+    shutdown: Box<dyn Fn() + Send>,
+    shutting_down: bool,
+}
+
+impl AdminHandler {
+    pub(crate) fn new(
+        registry: StatsRegistry,
+        info: DaemonInfo,
+        shutdown: impl Fn() + Send + 'static,
+    ) -> AdminHandler {
+        AdminHandler { registry, info, shutdown: Box::new(shutdown), shutting_down: false }
+    }
+}
+
+impl SessionHandler for AdminHandler {
+    fn on_frame(&mut self, t: u8, _body: Vec<u8>, handle: &SessionHandle) -> Control {
         let rpc_span = trace::span("rpc");
-        let ok = match t {
+        let control = match t {
             tag::STATS_REQ => {
-                let mut body = info.header().render();
+                let mut body = self.info.header().render();
                 body.push('\n');
-                body.push_str(&registry.render());
-                write_frame(&mut stream, tag::STATS_RESP, body.as_bytes()).is_ok()
+                body.push_str(&self.registry.render());
+                if handle.send_frame(tag::STATS_RESP, body.as_bytes()) {
+                    Control::Continue
+                } else {
+                    Control::Close
+                }
             }
             tag::HEALTH_REQ => {
                 // Liveness probe: just the identity/uptime/epoch header —
                 // cheap enough for tight heartbeat loops, and everything in
                 // it is public configuration or coarse process age.
-                let body = info.header().render();
-                write_frame(&mut stream, tag::HEALTH_RESP, body.as_bytes()).is_ok()
+                let body = self.info.header().render();
+                if handle.send_frame(tag::HEALTH_RESP, body.as_bytes()) {
+                    Control::Continue
+                } else {
+                    Control::Close
+                }
             }
             tag::METRICS_REQ => {
                 let reg = metrics::global();
                 // Bridge link counters in at scrape time; everything else
                 // (epoch counters, stage histograms) is already live.
-                registry.publish_metrics(reg);
-                let daemon = format!("{}/{}", info.role, info.index);
+                self.registry.publish_metrics(reg);
+                let daemon = format!("{}/{}", self.info.role, self.info.index);
                 reg.gauge_labeled(
                     "snoopy_uptime_seconds",
                     "seconds since this daemon started serving",
                     Some(("daemon", &daemon)),
                 )
-                .set(Public::timing(info.started.elapsed().as_secs_f64()));
-                write_frame(&mut stream, tag::METRICS_RESP, reg.render_prometheus().as_bytes())
-                    .is_ok()
+                .set(Public::timing(self.info.started.elapsed().as_secs_f64()));
+                if handle.send_frame(tag::METRICS_RESP, reg.render_prometheus().as_bytes()) {
+                    Control::Continue
+                } else {
+                    Control::Close
+                }
             }
             tag::SHUTDOWN => {
-                let _ = write_frame(&mut stream, tag::SHUTDOWN_ACK, b"");
-                shutdown();
-                false
+                let _ = handle.send_frame(tag::SHUTDOWN_ACK, b"");
+                self.shutting_down = true;
+                Control::CloseAfterFlush
             }
-            _ => false,
+            _ => Control::Close,
         };
         metrics::stage_histogram("rpc").observe(Public::timing(rpc_span.finish()));
-        if !ok {
-            break;
+        control
+    }
+
+    fn on_drained(&mut self) {
+        if self.shutting_down {
+            (self.shutdown)();
         }
     }
 }

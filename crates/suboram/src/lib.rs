@@ -18,12 +18,13 @@
 //! The batch must contain **distinct** object ids (paper Definition 2); the
 //! hash table verifies this obliviously and returns an error otherwise.
 //!
-//! Two storage backends are provided: [`Storage::InEnclave`] keeps the
-//! partition in (modeled) enclave memory; [`Storage::External`] keeps it
+//! Storage lives behind the [`StorageBackend`] trait: [`MemoryBackend`] keeps
+//! the partition in (modeled) enclave memory; [`ExternalBackend`] keeps it
 //! AEAD-sealed outside the enclave with per-block digests inside, mirroring
 //! the paper's deployment where partitions exceed the EPC (§7) — every object
 //! is re-sealed on every scan regardless of whether it changed, so writes are
-//! invisible to the host.
+//! invisible to the host. A future disk tier slots in as another backend
+//! without touching the scan kernel.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,18 +75,145 @@ impl From<IntegrityError> for SubOramError {
     }
 }
 
-/// Where the partition lives.
-pub enum Storage {
-    /// Objects in (modeled) enclave memory — fastest, used when the partition
-    /// fits in the EPC.
-    InEnclave(Vec<StoredObject>),
-    /// Objects AEAD-sealed in untrusted memory with in-enclave digests.
-    External {
-        /// The sealed store.
-        store: ExternalStore,
-        /// Object count (one object per block).
-        count: usize,
-    },
+/// Where the partition lives: the storage tier behind the linear scan.
+///
+/// The subORAM's only access pattern is a full sequential scan with
+/// unconditional write-back (anything else would leak which objects a batch
+/// touched), so a backend needs to support exactly that — which is also the
+/// pattern a disk tier wants (Goodrich–Mitzenmacher's low-I/O oblivious
+/// storage). The ROADMAP's file-backed tier slots in by implementing this
+/// trait; today there are two in-memory implementations:
+/// [`MemoryBackend`] (plaintext objects in modeled enclave memory) and
+/// [`ExternalBackend`] (AEAD-sealed blocks in untrusted memory with
+/// in-enclave digests).
+pub trait StorageBackend: Send {
+    /// Number of stored objects.
+    fn len(&self) -> usize;
+
+    /// True when the partition holds no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every stored object in index order, writing each back
+    /// unconditionally after `visit` ran — a skipped write-back would reveal
+    /// which objects a batch wrote. Errors only on integrity failure
+    /// (host tampering with a sealed backend).
+    fn scan(&mut self, visit: &mut dyn FnMut(&mut StoredObject)) -> Result<(), SubOramError>;
+
+    /// Whether [`StorageBackend::as_memory_mut`] returns the partition as a
+    /// slice. Backends that stream (sealed or on-disk) return `false` and the
+    /// parallel scan falls back to the serial path.
+    fn is_memory(&self) -> bool {
+        false
+    }
+
+    /// Direct slice access for the chunked parallel scan; `None` for
+    /// streaming backends.
+    fn as_memory_mut(&mut self) -> Option<&mut [StoredObject]> {
+        None
+    }
+
+    /// Snapshots the partition (for checkpointing; the caller seals it
+    /// before it leaves the enclave).
+    fn snapshot(&self) -> Result<Vec<StoredObject>, SubOramError>;
+
+    /// Downcast hook so tests can reach backend-specific adversary knobs.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// Objects in (modeled) enclave memory — fastest, used when the partition
+/// fits in the EPC.
+pub struct MemoryBackend {
+    objects: Vec<StoredObject>,
+}
+
+impl MemoryBackend {
+    /// Wraps a partition held in enclave memory.
+    pub fn new(objects: Vec<StoredObject>) -> MemoryBackend {
+        MemoryBackend { objects }
+    }
+}
+
+impl StorageBackend for MemoryBackend {
+    fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    fn scan(&mut self, visit: &mut dyn FnMut(&mut StoredObject)) -> Result<(), SubOramError> {
+        for obj in self.objects.iter_mut() {
+            visit(obj);
+        }
+        Ok(())
+    }
+
+    fn is_memory(&self) -> bool {
+        true
+    }
+
+    fn as_memory_mut(&mut self) -> Option<&mut [StoredObject]> {
+        Some(&mut self.objects)
+    }
+
+    fn snapshot(&self) -> Result<Vec<StoredObject>, SubOramError> {
+        Ok(self.objects.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Objects AEAD-sealed in untrusted memory with in-enclave digests,
+/// mirroring the paper's deployment where partitions exceed the EPC (§7).
+/// Blocks stream through the enclave one at a time: decrypt, visit, re-seal
+/// unconditionally, so writes are invisible to the host.
+pub struct ExternalBackend {
+    store: ExternalStore,
+    count: usize,
+    value_len: usize,
+}
+
+impl ExternalBackend {
+    /// Seals `objects` into a fresh untrusted store.
+    pub fn new(objects: &[StoredObject], value_len: usize, key: &Key256) -> ExternalBackend {
+        let count = objects.len();
+        let block_len = 8 + value_len;
+        let mut store = ExternalStore::new(key, count, block_len);
+        for (i, o) in objects.iter().enumerate() {
+            store.put(i, &encode_object(o)).expect("in-range");
+        }
+        ExternalBackend { store, count, value_len }
+    }
+
+    /// The untrusted half — the adversary hook for integrity tests.
+    pub fn untrusted_store_mut(&mut self) -> &mut ExternalStore {
+        &mut self.store
+    }
+}
+
+impl StorageBackend for ExternalBackend {
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn scan(&mut self, visit: &mut dyn FnMut(&mut StoredObject)) -> Result<(), SubOramError> {
+        for i in 0..self.count {
+            let plain = self.store.get(i)?;
+            let mut obj = decode_object(&plain, self.value_len);
+            visit(&mut obj);
+            self.store.put(i, &encode_object(&obj))?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Result<Vec<StoredObject>, SubOramError> {
+        (0..self.count).map(|i| Ok(decode_object(&self.store.get(i)?, self.value_len))).collect()
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 /// A subORAM instance.
@@ -106,7 +234,7 @@ pub enum Storage {
 /// assert_eq!(sub.peek(9).unwrap()[0], 0xFF);
 /// ```
 pub struct SubOram {
-    storage: Storage,
+    storage: Box<dyn StorageBackend>,
     value_len: usize,
     root_key: Key256,
     batch_counter: u64,
@@ -130,8 +258,20 @@ impl SubOram {
             assert!(o.id < REAL_ID_LIMIT, "object id {} in reserved namespace", o.id);
             assert_eq!(o.value.len(), value_len, "object sizes are public and fixed");
         }
+        SubOram::with_backend(Box::new(MemoryBackend::new(objects)), value_len, root_key, lambda)
+    }
+
+    /// Creates a subORAM over an arbitrary [`StorageBackend`]. The backend
+    /// is trusted to hold the partition; the scan drives it identically
+    /// whatever the tier.
+    pub fn with_backend(
+        storage: Box<dyn StorageBackend>,
+        value_len: usize,
+        root_key: Key256,
+        lambda: u32,
+    ) -> SubOram {
         SubOram {
-            storage: Storage::InEnclave(objects),
+            storage,
             value_len,
             root_key,
             batch_counter: 0,
@@ -148,31 +288,18 @@ impl SubOram {
         root_key: Key256,
         lambda: u32,
     ) -> SubOram {
-        let count = objects.len();
-        let block_len = 8 + value_len;
-        let mut store = ExternalStore::new(&root_key.derive(b"suboram-external"), count, block_len);
-        for (i, o) in objects.iter().enumerate() {
+        for o in &objects {
             assert!(o.id < REAL_ID_LIMIT);
             assert_eq!(o.value.len(), value_len);
-            store.put(i, &encode_object(o)).expect("in-range");
         }
-        SubOram {
-            storage: Storage::External { store, count },
-            value_len,
-            root_key,
-            batch_counter: 0,
-            lambda,
-            epc: EpcModel::default(),
-            meter: CostMeter::default(),
-        }
+        let backend =
+            ExternalBackend::new(&objects, value_len, &root_key.derive(b"suboram-external"));
+        SubOram::with_backend(Box::new(backend), value_len, root_key, lambda)
     }
 
     /// Number of stored objects.
     pub fn len(&self) -> usize {
-        match &self.storage {
-            Storage::InEnclave(v) => v.len(),
-            Storage::External { count, .. } => *count,
-        }
+        self.storage.len()
     }
 
     /// Whether the partition is empty.
@@ -204,30 +331,12 @@ impl SubOram {
         let mut table = OHashTable::construct(batch, &batch_key, self.lambda)?;
         drop(build_span);
 
-        // Linear scan of the partition.
+        // Linear scan of the partition: the backend streams every object
+        // through `scan_step` and writes it back unconditionally.
         let _scan_span = telem::span("epoch/suboram_scan/linear_scan");
-        match &mut self.storage {
-            Storage::InEnclave(objects) => {
-                for obj in objects.iter_mut() {
-                    scan_step(obj, &mut table, &mut self.meter);
-                }
-                self.meter.record_scan(&self.epc, (objects.len() * (8 + self.value_len)) as u64, 0);
-            }
-            Storage::External { store, count } => {
-                let value_len = self.value_len;
-                let meter = &mut self.meter;
-                // Stream blocks through the enclave: decrypt, process,
-                // re-seal unconditionally (a skipped write-back would reveal
-                // which objects were written).
-                for i in 0..*count {
-                    let plain = store.get(i)?;
-                    let mut obj = decode_object(&plain, value_len);
-                    scan_step(&mut obj, &mut table, meter);
-                    store.put(i, &encode_object(&obj))?;
-                }
-                meter.record_scan(&self.epc, (*count * (8 + value_len)) as u64, 0);
-            }
-        }
+        let meter = &mut self.meter;
+        self.storage.scan(&mut |obj| scan_step(obj, &mut table, meter))?;
+        meter.record_scan(&self.epc, (self.storage.len() * (8 + self.value_len)) as u64, 0);
 
         Ok(table.into_batch_requests())
     }
@@ -253,10 +362,11 @@ impl SubOram {
         if batch.is_empty() {
             return Err(SubOramError::EmptyBatch);
         }
-        let objects = match &mut self.storage {
-            Storage::InEnclave(objects) => objects,
-            Storage::External { .. } => return self.batch_access(batch),
-        };
+        if !self.storage.is_memory() {
+            // Streaming backends scan serially by design.
+            return self.batch_access(batch);
+        }
+        let objects = self.storage.as_memory_mut().expect("memory backend");
         trace::record(TraceEvent::Phase(0x534f)); // same batch marker as the serial path
         let batch_key = self.root_key.derive(&self.batch_counter.to_le_bytes());
         self.batch_counter += 1;
@@ -315,44 +425,22 @@ impl SubOram {
     /// Test/bench helper: reads an object's current value non-obliviously.
     /// Not part of the oblivious interface.
     pub fn peek(&self, id: u64) -> Option<Vec<u8>> {
-        match &self.storage {
-            Storage::InEnclave(objects) => {
-                objects.iter().find(|o| o.id == id).map(|o| o.value.clone())
-            }
-            Storage::External { store, count } => {
-                for i in 0..*count {
-                    let plain = store.get(i).ok()?;
-                    let obj = decode_object(&plain, self.value_len);
-                    if obj.id == id {
-                        return Some(obj.value);
-                    }
-                }
-                None
-            }
-        }
+        self.storage.snapshot().ok()?.into_iter().find(|o| o.id == id).map(|o| o.value)
     }
 
     /// Snapshots the partition's current objects (for checkpointing a
     /// subORAM node; the snapshot must be sealed before leaving the enclave).
-    /// Panics if external storage fails its integrity check.
+    /// Panics if the backend fails its integrity check.
     pub fn export_objects(&self) -> Vec<StoredObject> {
-        match &self.storage {
-            Storage::InEnclave(objects) => objects.clone(),
-            Storage::External { store, count } => (0..*count)
-                .map(|i| {
-                    let plain = store.get(i).expect("external store integrity failure");
-                    decode_object(&plain, self.value_len)
-                })
-                .collect(),
-        }
+        self.storage.snapshot().expect("storage backend integrity failure")
     }
 
-    /// Adversary hook for integrity tests (external mode only).
+    /// Adversary hook for integrity tests (external-backend mode only).
     pub fn untrusted_store_mut(&mut self) -> Option<&mut ExternalStore> {
-        match &mut self.storage {
-            Storage::External { store, .. } => Some(store),
-            Storage::InEnclave(_) => None,
-        }
+        self.storage
+            .as_any_mut()
+            .downcast_mut::<ExternalBackend>()
+            .map(ExternalBackend::untrusted_store_mut)
     }
 }
 

@@ -39,4 +39,13 @@ SNOOPY_THREADS=4 cargo test -q --offline -p snoopy-chaos
 SNOOPY_THREADS=4 cargo test --offline -p snoopy-net --test cluster -- --nocapture
 SNOOPY_THREADS=4 cargo test --offline -p snoopy-net --test chaos_net -- --nocapture
 
+# Stress suite: the open-loop load generator against a real snoopyd cluster
+# on the reactor net plane, at a CI-sized client count. The floors are
+# deliberately conservative (half the offered rate, a generous p99) so this
+# gates regressions — a wedged reactor, dropped frames, session leaks — not
+# machine speed. Full-scale runs (10k+ sessions): target/release/loadgen.
+echo "== stress (open-loop load generator, 1000 sessions) =="
+./target/release/loadgen --clients 1000 --duration-secs 5 --rate 800 \
+  --min-rps 400 --max-p99-ms 2000 --no-csv
+
 echo "verify: OK"
