@@ -318,6 +318,10 @@ fn main() {
         retain_epochs: 8,
         lb_threads: 1,
         sub_threads: 1,
+        storage: snoopy_store::StorageKind::from_env(),
+        store_dir: Some(dir.join("store").to_string_lossy().into_owned()),
+        block_bytes: 4096,
+        buffer_blocks: 64,
         load_balancers: vec![addrs[0].clone()],
         suborams: addrs[1..].to_vec(),
     };

@@ -1,5 +1,7 @@
 //! Deployment configuration.
 
+pub use snoopy_store::StorageKind;
+
 /// Parameters of a Snoopy deployment. All fields are public information in
 //  the paper's security model (§2.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -12,10 +14,12 @@ pub struct SnoopyConfig {
     pub value_len: usize,
     /// Security parameter λ for every balls-into-bins bound (default 128).
     pub lambda: u32,
-    /// Keep subORAM partitions AEAD-sealed in untrusted memory (the paper's
-    /// deployment, §7) instead of in modeled enclave memory. Slower but
-    /// exercises the integrity path.
-    pub external_storage: bool,
+    /// Where subORAM partitions live: modeled enclave memory, AEAD-sealed
+    /// untrusted memory (the paper's deployment, §7), or an AEAD-sealed
+    /// on-disk segment file streamed through a bounded buffer. The choice is
+    /// deployment configuration — public — and must not change the enclave
+    /// access trace.
+    pub storage: StorageKind,
     /// Enclave threads per load balancer for the oblivious sort/compaction
     /// (§8.4, Fig. 13a). Thread count is configuration — public — and the
     /// access trace is identical for every value.
@@ -28,7 +32,8 @@ impl Default for SnoopyConfig {
     /// Defaults match the paper's evaluation. Thread counts default to the
     /// `SNOOPY_THREADS` environment variable if set (so integration suites
     /// can re-run an entire deployment at a different parallelism level), or
-    /// 1 otherwise.
+    /// 1 otherwise; the storage tier likewise defaults from `SNOOPY_STORAGE`
+    /// (`memory` | `external` | `disk`).
     fn default() -> Self {
         let threads = env_threads();
         SnoopyConfig {
@@ -36,7 +41,7 @@ impl Default for SnoopyConfig {
             num_suborams: 1,
             value_len: 160,
             lambda: 128,
-            external_storage: false,
+            storage: StorageKind::from_env(),
             lb_threads: threads,
             sub_threads: threads,
         }
@@ -72,8 +77,16 @@ impl SnoopyConfig {
     }
 
     /// Enables external (sealed, integrity-checked) partition storage.
+    /// Compatibility shim over [`SnoopyConfig::storage`]; `false` resets to
+    /// in-enclave memory.
     pub fn external_storage(mut self, on: bool) -> SnoopyConfig {
-        self.external_storage = on;
+        self.storage = if on { StorageKind::External } else { StorageKind::Memory };
+        self
+    }
+
+    /// Selects the partition storage tier.
+    pub fn storage(mut self, kind: StorageKind) -> SnoopyConfig {
+        self.storage = kind;
         self
     }
 
@@ -112,8 +125,15 @@ mod tests {
         assert_eq!(c.num_suborams, 5);
         assert_eq!(c.value_len, 32);
         assert_eq!(c.lambda, 80);
-        assert!(c.external_storage);
+        assert_eq!(c.storage, StorageKind::External);
         assert_eq!(c.machines(), 8);
+    }
+
+    #[test]
+    fn storage_builder_selects_tier() {
+        let c = SnoopyConfig::default().storage(StorageKind::Disk);
+        assert_eq!(c.storage, StorageKind::Disk);
+        assert_eq!(c.external_storage(false).storage, StorageKind::Memory);
     }
 
     #[test]

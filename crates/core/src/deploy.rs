@@ -26,7 +26,6 @@ use snoopy_crypto::aead::SealedBox;
 use snoopy_crypto::{Key256, Prg};
 use snoopy_enclave::wire::{Request, Response, StoredObject};
 use snoopy_lb::{partition_objects, LoadBalancer};
-use snoopy_suboram::SubOram;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -347,15 +346,11 @@ impl InProcessCluster {
             let key = Key256::random(&mut prg);
             let value_len = config.value_len;
             let lambda = config.lambda;
-            let external = config.external_storage;
+            let storage = config.storage;
             let sub_threads = config.sub_threads;
             let injector = injector.clone();
             threads.push(std::thread::spawn(move || {
-                let oram = if external {
-                    SubOram::new_external(part, value_len, key, lambda)
-                } else {
-                    SubOram::new_in_enclave(part, value_len, key, lambda)
-                };
+                let oram = snoopy_store::build_suboram(storage, part, value_len, key, lambda);
                 let mut node =
                     SubOramNode::new(oram, l).with_index(sub_idx).with_threads(sub_threads);
                 let mut transport = ChannelSubTransport {
@@ -367,7 +362,13 @@ impl InProcessCluster {
                     value_len,
                     injector,
                 };
-                run_suboram(&mut transport, &mut node, |_, _| {});
+                // Commit dirty storage generations each epoch; a failed
+                // commit poisons the subORAM, which already surfaces on the
+                // wire as per-epoch refusals (channel clusters make no
+                // durability promise beyond that).
+                run_suboram(&mut transport, &mut node, |node, epoch| {
+                    let _ = node.oram_mut().commit_storage(epoch);
+                });
             }));
         }
 

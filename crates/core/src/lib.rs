@@ -42,7 +42,7 @@ pub mod stats;
 pub mod system;
 pub mod transport;
 
-pub use config::SnoopyConfig;
+pub use config::{SnoopyConfig, StorageKind};
 pub use deploy::{ClientHandle, InProcessCluster};
 pub use link::{Link, LinkError};
 pub use planned::PlannedDeployment;

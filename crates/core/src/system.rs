@@ -101,11 +101,13 @@ impl Snoopy {
             .into_iter()
             .map(|part| {
                 let key = Key256::random(&mut prg);
-                if config.external_storage {
-                    SubOram::new_external(part, config.value_len, key, config.lambda)
-                } else {
-                    SubOram::new_in_enclave(part, config.value_len, key, config.lambda)
-                }
+                snoopy_store::build_suboram(
+                    config.storage,
+                    part,
+                    config.value_len,
+                    key,
+                    config.lambda,
+                )
             })
             .collect();
         let balancers = (0..config.num_load_balancers)
@@ -351,11 +353,9 @@ mod tests {
     }
 
     #[test]
-    fn external_storage_matches_in_enclave() {
-        let cfg_a = SnoopyConfig::with_machines(1, 2).value_len(VLEN);
-        let cfg_b = cfg_a.external_storage(true);
-        let mut a = Snoopy::init(cfg_a, objects(200), 3);
-        let mut b = Snoopy::init(cfg_b, objects(200), 3);
+    fn all_storage_tiers_match_in_enclave() {
+        use crate::config::StorageKind;
+        let cfg_a = SnoopyConfig::with_machines(1, 2).value_len(VLEN).storage(StorageKind::Memory);
         let reqs = |seq: u64| {
             vec![Request::write(1, &[9; 4], VLEN, 0, seq), Request::read(100, VLEN, 1, seq)]
         };
@@ -363,11 +363,16 @@ mod tests {
             v.sort_by_key(|r| (r.client, r.seq));
             v
         };
-        assert_eq!(
-            norm(a.execute_epoch_single(reqs(0)).unwrap()),
-            norm(b.execute_epoch_single(reqs(0)).unwrap())
-        );
-        assert_eq!(a.peek(1), b.peek(1));
+        for kind in [StorageKind::External, StorageKind::Disk] {
+            let mut a = Snoopy::init(cfg_a, objects(200), 3);
+            let mut b = Snoopy::init(cfg_a.storage(kind), objects(200), 3);
+            assert_eq!(
+                norm(a.execute_epoch_single(reqs(0)).unwrap()),
+                norm(b.execute_epoch_single(reqs(0)).unwrap()),
+                "storage tier {kind} diverged from in-enclave memory"
+            );
+            assert_eq!(a.peek(1), b.peek(1));
+        }
     }
 
     #[test]

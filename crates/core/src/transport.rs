@@ -651,6 +651,12 @@ impl SubOramNode {
         &self.oram
     }
 
+    /// Mutable access to the wrapped subORAM, for epoch hooks that commit
+    /// storage generations before responses are released.
+    pub fn oram_mut(&mut self) -> &mut SubOram {
+        &mut self.oram
+    }
+
     /// The reply cache (for checkpointing). `None` entries are batches that
     /// were refused with a typed error.
     pub fn completed(&self) -> &BTreeMap<u64, Vec<Option<Vec<Request>>>> {
@@ -736,14 +742,15 @@ impl SubOramNode {
 /// Drives one subORAM until shutdown.
 ///
 /// `after_epoch` runs after an epoch executes but *before* its responses are
-/// sent — the durability point: a TCP node checkpoints there, so a crash at
-/// any instant either re-executes the epoch (no responses escaped) or
-/// replays cached responses (state already persisted). Channel deployments
-/// pass a no-op.
+/// sent — the durability point: a TCP node commits dirty storage generations
+/// and checkpoints there, so a crash at any instant either re-executes the
+/// epoch (no responses escaped) or replays cached responses (state already
+/// persisted). The hook gets mutable access so it can drive
+/// [`SubOram::commit_storage`].
 pub fn run_suboram<T: SubTransport>(
     transport: &mut T,
     node: &mut SubOramNode,
-    mut after_epoch: impl FnMut(&SubOramNode, u64),
+    mut after_epoch: impl FnMut(&mut SubOramNode, u64),
 ) {
     while let Some(ev) = transport.recv() {
         match ev {

@@ -21,19 +21,108 @@ use snoopy_crypto::aead::{AeadKey, Nonce};
 use snoopy_crypto::rng::Rng;
 use snoopy_crypto::{Key256, Prg};
 use snoopy_enclave::wire::{decode_request, encode_request, Request, StoredObject};
-use snoopy_suboram::SubOram;
+use snoopy_store::{DiskConfig, StorageKind};
+use snoopy_suboram::{SnapshotError, StorageGeneration, SubOram, SubOramError};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-// Format v3: a cached reply can be `None` (the epoch was *refused* with a
-// typed error, not executed); encoded as count `u64::MAX`. Refusals must be
-// durable like successes — replaying a refused batch after a restart has to
-// re-refuse, not re-execute against mutated state.
-const MAGIC: &[u8; 8] = b"SNPCKPT3";
+// Format v4: a mode byte distinguishes checkpoints that carry the partition
+// inline (memory/external tiers) from disk-tier checkpoints that carry only
+// the committed {generation, root digest} — the partition itself lives in
+// the sealed on-disk segment, so the checkpoint stays O(reply cache) rather
+// than O(partition). A cached reply can be `None` (the epoch was *refused*
+// with a typed error, not executed); encoded as count `u64::MAX`. Refusals
+// must be durable like successes — replaying a refused batch after a restart
+// has to re-refuse, not re-execute against mutated state.
+const MAGIC: &[u8; 8] = b"SNPCKPT4";
 
 /// Sentinel batch count marking a refused (None) cached reply.
 const REFUSED: u64 = u64::MAX;
+
+/// Mode byte: partition objects are inline in the checkpoint.
+const MODE_INLINE: u8 = 0;
+/// Mode byte: the partition lives in a disk generation; the checkpoint
+/// carries its {generation, root digest} for rollback-protected reopen.
+const MODE_DISK: u8 = 1;
+
+/// Where a daemon's partition lives — derived from the manifest; `load`
+/// rebuilds the matching backend and refuses a checkpoint written for a
+/// different tier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageSpec {
+    /// Modeled in-enclave memory.
+    Memory,
+    /// AEAD-sealed untrusted memory.
+    External,
+    /// AEAD-sealed segment files under `dir`, streamed through a bounded
+    /// buffer.
+    Disk {
+        /// Segment directory (the daemon's `<store_dir>/sub<index>`).
+        dir: PathBuf,
+        /// Disk-tier geometry (sealed block size, buffer capacity).
+        cfg: DiskConfig,
+    },
+}
+
+impl StorageSpec {
+    /// Builds the spec for subORAM `index` from manifest storage keys.
+    pub fn from_manifest(m: &crate::manifest::Manifest, index: usize) -> StorageSpec {
+        match m.storage {
+            StorageKind::Memory => StorageSpec::Memory,
+            StorageKind::External => StorageSpec::External,
+            StorageKind::Disk => {
+                StorageSpec::Disk { dir: m.store_path(index), cfg: m.disk_config() }
+            }
+        }
+    }
+
+    /// Builds a fresh (no checkpoint) subORAM over this tier.
+    pub fn fresh_suboram(
+        &self,
+        objects: Vec<StoredObject>,
+        value_len: usize,
+        root_key: Key256,
+        lambda: u32,
+    ) -> io::Result<SubOram> {
+        Ok(match self {
+            StorageSpec::Memory => SubOram::new_in_enclave(objects, value_len, root_key, lambda),
+            StorageSpec::External => SubOram::new_external(objects, value_len, root_key, lambda),
+            StorageSpec::Disk { dir, cfg } => {
+                snoopy_store::build_suboram_disk(dir, objects, value_len, *cfg, root_key, lambda)?
+            }
+        })
+    }
+}
+
+/// Why a checkpoint could not be written.
+#[derive(Debug)]
+pub enum SaveError {
+    /// The subORAM is poisoned (integrity or storage failure): its state
+    /// must not be persisted as if healthy. The node keeps serving typed
+    /// refusals; the stale checkpoint keeps describing the last good state.
+    Integrity(SubOramError),
+    /// The disk write itself failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for SaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaveError::Integrity(e) => write!(f, "checkpoint refused: {e}"),
+            SaveError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SaveError {}
+
+impl From<io::Error> for SaveError {
+    fn from(e: io::Error) -> Self {
+        SaveError::Io(e)
+    }
+}
 
 /// Derives the checkpoint sealing key for subORAM `index`.
 pub fn checkpoint_key(deploy: &Key256, index: usize) -> Key256 {
@@ -68,18 +157,40 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn encode_state(node: &SubOramNode) -> Vec<u8> {
+fn encode_state(node: &SubOramNode) -> Result<Vec<u8>, SaveError> {
+    if let Some(e) = node.oram().poisoned() {
+        // A poisoned partition's state is suspect by definition; persisting
+        // it would launder the failure into the next incarnation.
+        return Err(SaveError::Integrity(e));
+    }
     let value_len = node.oram().value_len();
-    let objects = node.oram().export_objects();
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&(value_len as u64).to_le_bytes());
     out.extend_from_slice(&(node.num_lbs() as u64).to_le_bytes());
     out.extend_from_slice(&node.evicted_below().to_le_bytes());
-    out.extend_from_slice(&(objects.len() as u64).to_le_bytes());
-    for o in &objects {
-        out.extend_from_slice(&o.id.to_le_bytes());
-        out.extend_from_slice(&o.value);
+    match node.oram().export_objects() {
+        Ok(objects) => {
+            out.push(MODE_INLINE);
+            out.extend_from_slice(&(objects.len() as u64).to_le_bytes());
+            for o in &objects {
+                out.extend_from_slice(&o.id.to_le_bytes());
+                out.extend_from_slice(&o.value);
+            }
+        }
+        Err(SnapshotError::Streaming { .. }) => {
+            // Disk tier: the partition is already durable in the sealed
+            // generation committed just before this checkpoint. Recording
+            // its {generation, root digest} here (inside the seal) is what
+            // makes the on-disk store rollback-protected across restarts.
+            let gen = node.oram().last_commit().ok_or_else(|| {
+                SaveError::Io(bad("streaming backend has no committed generation"))
+            })?;
+            out.push(MODE_DISK);
+            out.extend_from_slice(&gen.generation.to_le_bytes());
+            out.extend_from_slice(&gen.digest);
+        }
+        Err(SnapshotError::Failed(e)) => return Err(SaveError::Integrity(e)),
     }
     let completed = node.completed();
     out.extend_from_slice(&(completed.len() as u64).to_le_bytes());
@@ -97,13 +208,20 @@ fn encode_state(node: &SubOramNode) -> Vec<u8> {
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// Where a decoded checkpoint says the partition lives.
+enum Partition {
+    /// Objects carried inline (memory/external tiers).
+    Inline(Vec<StoredObject>),
+    /// Partition in a committed disk generation.
+    Disk(StorageGeneration),
 }
 
 /// Decoded checkpoint payload: `(value_len, num_lbs, evicted_below,
-/// objects, cached responses per epoch)`.
-type CheckpointState =
-    (usize, usize, u64, Vec<StoredObject>, BTreeMap<u64, Vec<Option<Vec<Request>>>>);
+/// partition, cached responses per epoch)`.
+type CheckpointState = (usize, usize, u64, Partition, BTreeMap<u64, Vec<Option<Vec<Request>>>>);
 
 fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     let mut r = Reader(plain);
@@ -113,13 +231,24 @@ fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     let value_len = r.u64()? as usize;
     let num_lbs = r.u64()? as usize;
     let evicted_below = r.u64()?;
-    let num_objects = r.u64()? as usize;
-    let mut objects = Vec::with_capacity(num_objects);
-    for _ in 0..num_objects {
-        let id = r.u64()?;
-        let value = r.bytes(value_len)?.to_vec();
-        objects.push(StoredObject { id, value });
-    }
+    let partition = match r.bytes(1)?[0] {
+        MODE_INLINE => {
+            let num_objects = r.u64()? as usize;
+            let mut objects = Vec::with_capacity(num_objects);
+            for _ in 0..num_objects {
+                let id = r.u64()?;
+                let value = r.bytes(value_len)?.to_vec();
+                objects.push(StoredObject { id, value });
+            }
+            Partition::Inline(objects)
+        }
+        MODE_DISK => {
+            let generation = r.u64()?;
+            let digest: [u8; 32] = r.bytes(32)?.try_into().unwrap();
+            Partition::Disk(StorageGeneration { generation, digest })
+        }
+        other => return Err(bad(&format!("unknown partition mode {other}"))),
+    };
     let num_epochs = r.u64()? as usize;
     let mut completed = BTreeMap::new();
     for _ in 0..num_epochs {
@@ -144,12 +273,13 @@ fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     if !r.0.is_empty() {
         return Err(bad("trailing bytes"));
     }
-    Ok((value_len, num_lbs, evicted_below, objects, completed))
+    Ok((value_len, num_lbs, evicted_below, partition, completed))
 }
 
-/// Seals the node's state and atomically replaces `path`.
-pub fn save(node: &SubOramNode, key: &Key256, path: &Path) -> io::Result<()> {
-    let plain = encode_state(node);
+/// Seals the node's state and atomically replaces `path`. Refuses (typed)
+/// to checkpoint a poisoned subORAM — see [`SaveError::Integrity`].
+pub fn save(node: &SubOramNode, key: &Key256, path: &Path) -> Result<(), SaveError> {
+    let plain = encode_state(node)?;
     let seq: u64 = Prg::from_entropy().gen();
     let sealed =
         AeadKey::new(key.clone()).seal(Nonce::from_parts(0x7F00_0000, seq), b"ckpt", &plain);
@@ -158,17 +288,24 @@ pub fn save(node: &SubOramNode, key: &Key256, path: &Path) -> io::Result<()> {
     file.extend_from_slice(&sealed.bytes);
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, &file)?;
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    Ok(())
 }
 
-/// Loads and unseals a checkpoint, rebuilding the node. Returns `Ok(None)`
-/// if no checkpoint exists (fresh start); tampering or truncation is an
-/// error — the daemon must not silently fall back to stale state.
+/// Loads and unseals a checkpoint, rebuilding the node over the storage
+/// tier named by `spec`. Returns `Ok(None)` if no checkpoint exists (fresh
+/// start); tampering, truncation, or a tier mismatch between checkpoint and
+/// manifest is an error — the daemon must not silently fall back to stale
+/// state. For the disk tier, the partition itself is reopened from the
+/// committed generation the checkpoint names, and the segment's root digest
+/// must match — detecting host tampering or rollback while the daemon was
+/// down.
 pub fn load(
     key: &Key256,
     path: &Path,
     root_key: Key256,
     lambda: u32,
+    spec: &StorageSpec,
 ) -> io::Result<Option<SubOramNode>> {
     let file = match std::fs::read(path) {
         Ok(f) => f,
@@ -183,13 +320,29 @@ pub fn load(
     let plain = AeadKey::new(key.clone())
         .open(Nonce::from_parts(0x7F00_0000, seq), b"ckpt", &sealed)
         .map_err(|_| bad("seal verification failed"))?;
-    let (value_len, num_lbs, evicted_below, objects, completed) = decode_state(&plain)?;
+    let (value_len, num_lbs, evicted_below, partition, completed) = decode_state(&plain)?;
     // A crash between write-to-temp and rename leaves a stale `.tmp` behind;
     // it is garbage by construction (the rename never happened), so clean it
     // up rather than letting the checkpoint directory grow one orphan per
     // unlucky crash.
     let _ = std::fs::remove_file(path.with_extension("tmp"));
-    let oram = SubOram::new_in_enclave(objects, value_len, root_key, lambda);
+    let oram = match (partition, spec) {
+        (Partition::Inline(objects), StorageSpec::Memory) => {
+            SubOram::new_in_enclave(objects, value_len, root_key, lambda)
+        }
+        (Partition::Inline(objects), StorageSpec::External) => {
+            SubOram::new_external(objects, value_len, root_key, lambda)
+        }
+        (Partition::Disk(expected), StorageSpec::Disk { dir, cfg }) => {
+            snoopy_store::open_suboram_disk(dir, value_len, *cfg, root_key, lambda, expected)?
+        }
+        (Partition::Inline(_), StorageSpec::Disk { .. }) => {
+            return Err(bad("checkpoint carries inline objects but manifest says `storage = disk`"))
+        }
+        (Partition::Disk(_), _) => {
+            return Err(bad("checkpoint names a disk generation but manifest storage is in-memory"))
+        }
+    };
     Ok(Some(SubOramNode::restore(oram, num_lbs, completed, evicted_below)))
 }
 
@@ -222,7 +375,8 @@ mod tests {
         };
         save(&n, &key, &path).unwrap();
 
-        let mut restored = load(&key, &path, Key256([9u8; 32]), 80).unwrap().unwrap();
+        let mut restored =
+            load(&key, &path, Key256([9u8; 32]), 80, &StorageSpec::Memory).unwrap().unwrap();
         // The write landed.
         assert_eq!(restored.oram().peek(3).unwrap()[..4], [0xEE; 4]);
         // A redelivered epoch replays the cached response, not a re-execution.
@@ -231,6 +385,55 @@ mod tests {
             _ => panic!("expected replay from cache"),
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn disk_tier_checkpoint_is_small_and_reopens_committed_generation() {
+        let root = std::env::temp_dir().join(format!("snoopy-ckpt-disk-{}", std::process::id()));
+        let store = root.join("sub0");
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let path = root.join("sub0.ckpt");
+        let key = checkpoint_key(&Key256([5u8; 32]), 0);
+        // Small geometry so a 64-object partition streams (not resident).
+        let cfg = DiskConfig { block_bytes: 128, buffer_blocks: 2 };
+        let spec = StorageSpec::Disk { dir: store.clone(), cfg };
+        let objects: Vec<StoredObject> =
+            (0..64).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+        let oram = spec.fresh_suboram(objects, VLEN, Key256([9u8; 32]), 80).unwrap();
+        let mut n = SubOramNode::new(oram, 1);
+
+        let batch = vec![Request::write(7, &[0xAB; 4], VLEN, 0, 0)];
+        let out = match n.handle_batch(0, 0, batch.clone()) {
+            BatchOutcome::Completed(out) => out,
+            _ => panic!("epoch should complete"),
+        };
+        // An uncommitted streaming node has no generation to checkpoint.
+        assert!(matches!(save(&n, &key, &path), Err(SaveError::Io(_))));
+        n.oram_mut().commit_storage(0).unwrap();
+        save(&n, &key, &path).unwrap();
+
+        // The checkpoint carries {generation, digest}, not the partition:
+        // far smaller than the 64-object store.
+        let ckpt_len = std::fs::metadata(&path).unwrap().len();
+        assert!(
+            ckpt_len < (64 * (8 + VLEN) as u64) / 2,
+            "disk checkpoint should be O(reply cache), got {ckpt_len} bytes"
+        );
+
+        let mut restored = load(&key, &path, Key256([9u8; 32]), 80, &spec).unwrap().unwrap();
+        assert_eq!(restored.oram().peek(7).unwrap()[..4], [0xAB; 4]);
+        match restored.handle_batch(0, 0, batch) {
+            BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out[0]),
+            _ => panic!("expected replay from cache"),
+        }
+        drop(restored);
+
+        // A tier mismatch between checkpoint and manifest is refused.
+        let e =
+            load(&key, &path, Key256([9u8; 32]), 80, &StorageSpec::Memory).map(|_| ()).unwrap_err();
+        assert!(e.to_string().contains("disk"), "{e}");
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
@@ -251,7 +454,8 @@ mod tests {
         }
         save(&n, &key, &path).unwrap();
 
-        let mut restored = load(&key, &path, Key256([9u8; 32]), 80).unwrap().unwrap();
+        let mut restored =
+            load(&key, &path, Key256([9u8; 32]), 80, &StorageSpec::Memory).unwrap().unwrap();
         match restored.handle_batch(0, 0, dup) {
             BatchOutcome::Replayed { lb: 0, batch: None } => {}
             _ => panic!("expected replayed refusal"),
@@ -283,7 +487,8 @@ mod tests {
         // Simulate a crash that left a half-written temp file behind.
         std::fs::write(path.with_extension("tmp"), b"half-written garbage").unwrap();
 
-        let mut restored = load(&key, &path, Key256([9u8; 32]), 80).unwrap().unwrap();
+        let mut restored =
+            load(&key, &path, Key256([9u8; 32]), 80, &StorageSpec::Memory).unwrap().unwrap();
         assert!(!path.with_extension("tmp").exists(), "stale tmp should be cleaned on load");
         assert_eq!(restored.evicted_below(), 2);
         // A replayed-but-evicted epoch is refused after restart too.
@@ -302,14 +507,14 @@ mod tests {
         let path = dir.join("sub1.ckpt");
         let _ = std::fs::remove_file(&path);
         let key = checkpoint_key(&Key256([1u8; 32]), 1);
-        assert!(load(&key, &path, Key256([9u8; 32]), 80).unwrap().is_none());
+        assert!(load(&key, &path, Key256([9u8; 32]), 80, &StorageSpec::Memory).unwrap().is_none());
 
         save(&node(), &key, &path).unwrap();
         let mut file = std::fs::read(&path).unwrap();
         let mid = file.len() / 2;
         file[mid] ^= 0x80;
         std::fs::write(&path, &file).unwrap();
-        assert!(load(&key, &path, Key256([9u8; 32]), 80).is_err());
+        assert!(load(&key, &path, Key256([9u8; 32]), 80, &StorageSpec::Memory).is_err());
         std::fs::remove_file(&path).unwrap();
     }
 }

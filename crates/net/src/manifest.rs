@@ -26,6 +26,7 @@
 //! the build (the workspace compiles with zero network access), hence the
 //! by-hand parser.
 
+use snoopy_store::StorageKind;
 use std::fmt;
 
 /// A parsed cluster manifest.
@@ -60,6 +61,20 @@ pub struct Manifest {
     pub lb_threads: u32,
     /// Enclave threads per subORAM for the parallel linear scan (Fig. 13b).
     pub sub_threads: u32,
+    /// Storage tier for subORAM partitions: `memory` (modeled enclave
+    /// memory), `external` (AEAD-sealed untrusted RAM), or `disk` (sealed
+    /// segment files streamed through a bounded buffer). Public
+    /// configuration; the enclave access trace is identical for all three.
+    pub storage: StorageKind,
+    /// Root directory for `disk` storage; each subORAM daemon uses
+    /// `<store_dir>/sub<index>`. Required iff `storage = disk`.
+    pub store_dir: Option<String>,
+    /// Sealed block size in bytes for `disk` storage (default 4096).
+    pub block_bytes: u64,
+    /// Bounded scan-buffer capacity in blocks for `disk` storage (default
+    /// 64): resident memory during a streaming scan stays O(buffer_blocks),
+    /// not O(partition).
+    pub buffer_blocks: u64,
     /// Load-balancer listen addresses, in index order.
     pub load_balancers: Vec<String>,
     /// SubORAM listen addresses, in index order.
@@ -104,6 +119,10 @@ impl Manifest {
         let mut retain_epochs = None;
         let mut lb_threads = None;
         let mut sub_threads = None;
+        let mut storage: Option<StorageKind> = None;
+        let mut store_dir: Option<String> = None;
+        let mut block_bytes = None;
+        let mut buffer_blocks = None;
         let mut load_balancers: Vec<(String, usize)> = Vec::new();
         let mut suborams: Vec<(String, usize)> = Vec::new();
 
@@ -145,6 +164,25 @@ impl Manifest {
                 "retain_epochs" => set_once(&mut retain_epochs, value)?,
                 "lb_threads" => set_once(&mut lb_threads, value)?,
                 "sub_threads" => set_once(&mut sub_threads, value)?,
+                "storage" => {
+                    if storage.is_some() {
+                        return Err(err(lineno, "duplicate `storage`"));
+                    }
+                    storage = Some(StorageKind::parse(value).ok_or_else(|| {
+                        err(
+                            lineno,
+                            format!("`storage`: expected memory|external|disk, got `{value}`"),
+                        )
+                    })?);
+                }
+                "store_dir" => {
+                    if store_dir.is_some() {
+                        return Err(err(lineno, "duplicate `store_dir`"));
+                    }
+                    store_dir = Some(value.to_string());
+                }
+                "block_bytes" => set_once(&mut block_bytes, value)?,
+                "buffer_blocks" => set_once(&mut buffer_blocks, value)?,
                 "loadbalancer" => load_balancers.push((check_addr(value, lineno)?, lineno)),
                 "suboram" => suborams.push((check_addr(value, lineno)?, lineno)),
                 other => return Err(err(lineno, format!("unknown key `{other}`"))),
@@ -179,6 +217,12 @@ impl Manifest {
             // 0 threads cannot run anything; clamp like retain_epochs.
             lb_threads: lb_threads.unwrap_or(1).max(1) as u32,
             sub_threads: sub_threads.unwrap_or(1).max(1) as u32,
+            storage: storage.unwrap_or(StorageKind::Memory),
+            store_dir,
+            // Blocks must hold at least one object and the buffer at least
+            // one block; clamp like the thread knobs.
+            block_bytes: block_bytes.unwrap_or(4096).max(1),
+            buffer_blocks: buffer_blocks.unwrap_or(64).max(1),
             load_balancers: load_balancers.into_iter().map(|(a, _)| a).collect(),
             suborams: suborams.into_iter().map(|(a, _)| a).collect(),
         };
@@ -190,6 +234,9 @@ impl Manifest {
         }
         if manifest.value_len == 0 {
             return Err(err(0, "`value_len` must be positive"));
+        }
+        if manifest.storage == StorageKind::Disk && manifest.store_dir.is_none() {
+            return Err(err(0, "`storage = disk` requires `store_dir`"));
         }
         Ok(manifest)
     }
@@ -215,6 +262,12 @@ impl Manifest {
         out.push_str(&format!("retain_epochs = {}\n", self.retain_epochs));
         out.push_str(&format!("lb_threads = {}\n", self.lb_threads));
         out.push_str(&format!("sub_threads = {}\n", self.sub_threads));
+        out.push_str(&format!("storage = {}\n", self.storage));
+        if let Some(dir) = &self.store_dir {
+            out.push_str(&format!("store_dir = {dir}\n"));
+        }
+        out.push_str(&format!("block_bytes = {}\n", self.block_bytes));
+        out.push_str(&format!("buffer_blocks = {}\n", self.buffer_blocks));
         for lb in &self.load_balancers {
             out.push_str(&format!("loadbalancer = {lb}\n"));
         }
@@ -234,6 +287,21 @@ impl Manifest {
                 self.max_replays,
             )
         }
+    }
+
+    /// The disk-tier geometry from the manifest knobs.
+    pub fn disk_config(&self) -> snoopy_store::DiskConfig {
+        snoopy_store::DiskConfig {
+            block_bytes: self.block_bytes as usize,
+            buffer_blocks: self.buffer_blocks as usize,
+        }
+    }
+
+    /// The segment directory for subORAM `index` under `store_dir`.
+    /// Callers must have validated `storage = disk` (so `store_dir` is set).
+    pub fn store_path(&self, index: usize) -> std::path::PathBuf {
+        let dir = self.store_dir.as_deref().expect("`storage = disk` requires `store_dir`");
+        std::path::Path::new(dir).join(format!("sub{index}"))
     }
 
     /// The deterministic initial object store every daemon regenerates:
@@ -330,6 +398,49 @@ suboram = 127.0.0.1:7101\n";
         let threaded =
             Manifest::parse(&format!("{GOOD}lb_threads = 4\nsub_threads = 2\n")).unwrap();
         assert_eq!(Manifest::parse(&threaded.render()).unwrap(), threaded);
+        let disk = Manifest::parse(&format!(
+            "{GOOD}storage = disk\nstore_dir = /tmp/snoopy-store\nblock_bytes = 1024\nbuffer_blocks = 8\n"
+        ))
+        .unwrap();
+        assert_eq!(Manifest::parse(&disk.render()).unwrap(), disk);
+    }
+
+    #[test]
+    fn storage_keys_parse_default_and_validate() {
+        // Default tier is in-enclave memory with the documented geometry.
+        let m = Manifest::parse(GOOD).unwrap();
+        assert_eq!(m.storage, StorageKind::Memory);
+        assert_eq!(m.store_dir, None);
+        assert_eq!(m.block_bytes, 4096);
+        assert_eq!(m.buffer_blocks, 64);
+        // All three tiers parse; disk carries its geometry through.
+        let ext = Manifest::parse(&format!("{GOOD}storage = external\n")).unwrap();
+        assert_eq!(ext.storage, StorageKind::External);
+        let disk = Manifest::parse(&format!(
+            "{GOOD}storage = disk\nstore_dir = /tmp/s\nblock_bytes = 512\nbuffer_blocks = 4\n"
+        ))
+        .unwrap();
+        assert_eq!(disk.storage, StorageKind::Disk);
+        assert_eq!(
+            disk.disk_config(),
+            snoopy_store::DiskConfig { block_bytes: 512, buffer_blocks: 4 }
+        );
+        assert_eq!(disk.store_path(2), std::path::Path::new("/tmp/s").join("sub2"));
+        // Disk without a directory is a whole-file error, not a deploy-time
+        // surprise.
+        let e = Manifest::parse(&format!("{GOOD}storage = disk\n")).unwrap_err();
+        assert!(e.message.contains("store_dir"), "{e}");
+        // Unknown tiers and duplicates are line-numbered errors.
+        let e = Manifest::parse(&format!("{GOOD}storage = floppy\n")).unwrap_err();
+        assert!(e.message.contains("memory|external|disk"), "{e}");
+        assert!(e.line > 0, "{e}");
+        let e = Manifest::parse(&format!("{GOOD}storage = memory\nstorage = disk\n")).unwrap_err();
+        assert!(e.message.contains("duplicate `storage`"), "{e}");
+        // Zero-sized geometry clamps rather than dividing by zero later.
+        let clamped =
+            Manifest::parse(&format!("{GOOD}block_bytes = 0\nbuffer_blocks = 0\n")).unwrap();
+        assert_eq!(clamped.block_bytes, 1);
+        assert_eq!(clamped.buffer_blocks, 1);
     }
 
     #[test]

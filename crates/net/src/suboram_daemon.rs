@@ -17,7 +17,7 @@
 //! The daemon checkpoints after every executed epoch, before responding
 //! (see [`crate::checkpoint`]), so `kill -9` at any instant is recoverable.
 
-use crate::checkpoint;
+use crate::checkpoint::{self, SaveError, StorageSpec};
 use crate::manifest::Manifest;
 use crate::proto::{self, tag, Hello, Role};
 use crate::reactor::{self, Control, ReactorConfig, SessionHandle, SessionHandler};
@@ -26,7 +26,6 @@ use snoopy_core::link::Link;
 use snoopy_core::transport::{run_suboram, SubEvent, SubOramNode, SubTransport};
 use snoopy_crypto::{Key256, Prg};
 use snoopy_lb::partition_objects;
-use snoopy_suboram::SubOram;
 use snoopy_telemetry::{metrics, trace, Public};
 use std::io;
 use std::net::TcpListener;
@@ -136,9 +135,13 @@ pub fn run(
     let ckpt_key = checkpoint::checkpoint_key(&deploy, index);
 
     // Recover from a checkpoint if one exists, else build the partition from
-    // the deterministic initial store.
+    // the deterministic initial store over the manifest's storage tier. For
+    // the disk tier, recovery reopens the committed generation the sealed
+    // checkpoint names (verifying its root digest); a fresh start seals
+    // generation 0 under `<store_dir>/sub<index>`.
+    let spec = StorageSpec::from_manifest(manifest, index);
     let recovered = match &checkpoint_path {
-        Some(path) => checkpoint::load(&ckpt_key, path, oram_key.clone(), manifest.lambda)?,
+        Some(path) => checkpoint::load(&ckpt_key, path, oram_key.clone(), manifest.lambda, &spec)?,
         None => None,
     };
     let node = match recovered {
@@ -147,10 +150,8 @@ pub fn run(
             let parts =
                 partition_objects(manifest.initial_objects(), &shared_key, manifest.suborams.len());
             let part = parts.into_iter().nth(index).unwrap();
-            SubOramNode::new(
-                SubOram::new_in_enclave(part, manifest.value_len, oram_key, manifest.lambda),
-                num_lbs,
-            )
+            let oram = spec.fresh_suboram(part, manifest.value_len, oram_key, manifest.lambda)?;
+            SubOramNode::new(oram, num_lbs)
         }
     };
     // Bound the reply cache (and with it the checkpoint size): epochs older
@@ -179,12 +180,31 @@ pub fn run(
     }
 
     let mut transport = TcpSubTransport { events: events_rx, conns };
-    run_suboram(&mut transport, &mut node, |node, _epoch| {
+    run_suboram(&mut transport, &mut node, |node, epoch| {
+        // Durability point: the storage generation and the checkpoint must
+        // both land before any response for this epoch escapes.
+        match node.oram_mut().commit_storage(epoch) {
+            Ok(_) => {}
+            Err(snoopy_suboram::SubOramError::Integrity(_)) => {
+                // Poisoned partition: the node keeps serving typed refusals;
+                // skip the save so the last healthy checkpoint survives.
+                return;
+            }
+            // A storage commit that fails for I/O reasons means durability
+            // is gone: fail stop before any response escapes, so the next
+            // incarnation recovers from the previous sealed generation.
+            Err(e) => panic!("storage commit failed: {e}"),
+        }
         if let Some(path) = &checkpoint_path {
-            // Durability point: the checkpoint must land before any response
-            // for this epoch escapes.
             let seal_span = trace::span("checkpoint_seal");
-            checkpoint::save(node, &ckpt_key, path).expect("checkpoint write failed");
+            match checkpoint::save(node, &ckpt_key, path) {
+                Ok(()) => {}
+                // Same split as the commit: a poisoned node skips the save
+                // (stale checkpoint describes the last good state), an I/O
+                // failure is fail-stop.
+                Err(SaveError::Integrity(_)) => return,
+                Err(SaveError::Io(e)) => panic!("checkpoint write failed: {e}"),
+            }
             metrics::stage_histogram("checkpoint_seal").observe(Public::timing(seal_span.finish()));
         }
     });

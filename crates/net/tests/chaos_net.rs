@@ -151,6 +151,12 @@ fn proxied_cluster_survives_faults_and_double_kill() {
         // this chaos scenario with the parallel kernels engaged.
         lb_threads: env_threads(),
         sub_threads: env_threads(),
+        // And SNOOPY_STORAGE: the storage suite re-runs this chaos scenario
+        // against real sealed segment files with a streaming-sized buffer.
+        storage: snoopy_core::StorageKind::from_env(),
+        store_dir: Some(dir.join("store").to_string_lossy().into_owned()),
+        block_bytes: 256,
+        buffer_blocks: 4,
         load_balancers: vec![addrs[0].clone()],
         suborams: vec![addrs[1].clone(), addrs[2].clone()],
     };
@@ -172,7 +178,10 @@ fn proxied_cluster_survives_faults_and_double_kill() {
     let mut sub1 = Some(Daemon::spawn("suboram", 1, &daemon_path, Some(&ckpt[1]), "suboram 1"));
     let mut lb = Some(Daemon::spawn("loadbalancer", 0, &lb_path, None, "loadbalancer 0"));
 
-    let cfg = SnoopyConfig::with_machines(1, 2).value_len(VLEN);
+    // Reference pinned to memory: under SNOOPY_STORAGE=disk the daemons
+    // serve from segment files and must still match it byte for byte.
+    let cfg =
+        SnoopyConfig::with_machines(1, 2).value_len(VLEN).storage(snoopy_core::StorageKind::Memory);
     let mut reference = Snoopy::init(cfg, daemon_manifest.initial_objects(), SEED);
 
     wait_for_health(&addrs[0], "loadbalancer");

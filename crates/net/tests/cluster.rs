@@ -90,6 +90,13 @@ fn env_threads() -> u32 {
         .unwrap_or(1)
 }
 
+/// Storage tier for the daemons under test, from `SNOOPY_STORAGE` — the
+/// verify script re-runs this whole cluster with `disk` so the streaming
+/// tier faces the same byte-compare against the memory-tier reference.
+fn env_storage() -> snoopy_core::StorageKind {
+    snoopy_core::StorageKind::from_env()
+}
+
 fn free_addrs(n: usize) -> Vec<String> {
     // Bind ephemeral ports, record them, then release all at once so no two
     // picks collide.
@@ -152,6 +159,13 @@ fn multi_process_cluster_matches_reference_and_survives_kill() {
         // responses must stay byte-identical to the serial reference.
         lb_threads: env_threads(),
         sub_threads: env_threads(),
+        // Same idea for SNOOPY_STORAGE: the storage suite re-runs this
+        // cluster with real disk I/O. Small blocks/buffer so even this
+        // test-sized partition streams rather than sitting resident.
+        storage: env_storage(),
+        store_dir: Some(dir.join("store").to_string_lossy().into_owned()),
+        block_bytes: 256,
+        buffer_blocks: 4,
         load_balancers: vec![addrs[0].clone()],
         suborams: vec![addrs[1].clone(), addrs[2].clone()],
     };
@@ -167,7 +181,11 @@ fn multi_process_cluster_matches_reference_and_survives_kill() {
 
     // The reference engine: same objects, same seed, one epoch per op (the
     // grouping of sequential ops into epochs cannot change their results).
-    let cfg = SnoopyConfig::with_machines(1, 2).value_len(VLEN);
+    // Pinned to the in-enclave memory tier: when SNOOPY_STORAGE=disk the
+    // daemons serve from sealed segment files while this reference serves
+    // from RAM, and every response must still match byte for byte.
+    let cfg =
+        SnoopyConfig::with_machines(1, 2).value_len(VLEN).storage(snoopy_core::StorageKind::Memory);
     let mut reference = Snoopy::init(cfg, manifest.initial_objects(), SEED);
 
     // Wait for the balancer to come up, then connect a client.

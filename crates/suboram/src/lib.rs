@@ -23,21 +23,30 @@
 //! AEAD-sealed outside the enclave with per-block digests inside, mirroring
 //! the paper's deployment where partitions exceed the EPC (§7) — every object
 //! is re-sealed on every scan regardless of whether it changed, so writes are
-//! invisible to the host. A future disk tier slots in as another backend
+//! invisible to the host. The file-backed tier (`snoopy-store`'s
+//! `DiskBackend`) implements the same trait for larger-than-RAM partitions
 //! without touching the scan kernel.
+//!
+//! Failure discipline: the first integrity or storage failure **poisons** the
+//! subORAM — every later batch returns the same typed error, so the node
+//! above turns them into wire-observable refusals instead of serving results
+//! off a partially-applied scan. Restarting the process recovers from the
+//! last sealed checkpoint/generation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use snoopy_crypto::Key256;
 use snoopy_enclave::epc::{CostMeter, EpcModel};
-use snoopy_enclave::external::{ExternalStore, IntegrityError};
+use snoopy_enclave::external::IntegrityError;
 use snoopy_enclave::wire::{Request, StoredObject, REAL_ID_LIMIT};
 use snoopy_obliv::ct::{ct_eq_u64, Cmov};
 use snoopy_obliv::trace::{self, TraceEvent};
 use snoopy_ohash::{OHashError, OHashTable};
 // Memory-touch trace vs. wall-clock spans: see the note in `snoopy-lb`.
 use snoopy_telemetry::trace as telem;
+
+pub use snoopy_enclave::external::ExternalStore;
 
 /// Errors from batch processing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +58,8 @@ pub enum SubOramError {
     Integrity(IntegrityError),
     /// The batch was empty (the load balancer always sends `B ≥ 1`).
     EmptyBatch,
+    /// A file-backed storage tier failed an I/O operation.
+    Storage(std::io::ErrorKind),
 }
 
 impl std::fmt::Display for SubOramError {
@@ -57,6 +68,7 @@ impl std::fmt::Display for SubOramError {
             SubOramError::Hash(e) => write!(f, "hash table: {e}"),
             SubOramError::Integrity(e) => write!(f, "integrity: {e}"),
             SubOramError::EmptyBatch => write!(f, "empty batch"),
+            SubOramError::Storage(kind) => write!(f, "storage i/o: {kind}"),
         }
     }
 }
@@ -75,17 +87,64 @@ impl From<IntegrityError> for SubOramError {
     }
 }
 
+impl From<std::io::Error> for SubOramError {
+    fn from(e: std::io::Error) -> Self {
+        SubOramError::Storage(e.kind())
+    }
+}
+
+/// Why a backend could not produce a full in-RAM snapshot of the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The backend streams from secondary storage and refuses to materialize
+    /// the partition; checkpoint the durable generation instead
+    /// ([`StorageBackend::commit`]). Carries the partition's public size so
+    /// callers can report what they would have had to materialize.
+    Streaming {
+        /// Number of stored objects.
+        objects: usize,
+        /// Total plaintext bytes a snapshot would occupy.
+        bytes: u64,
+    },
+    /// The backend failed while reading (integrity or I/O).
+    Failed(SubOramError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Streaming { objects, bytes } => {
+                write!(f, "streaming backend: snapshot would materialize {objects} objects ({bytes} bytes)")
+            }
+            SnapshotError::Failed(e) => write!(f, "snapshot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Identity of a durably committed storage generation: the generation number
+/// plus the in-enclave root digest authenticating the sealed segment. Stored
+/// inside the sealed checkpoint so recovery can verify the on-disk state it
+/// reopens (rollback protection for file-backed tiers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageGeneration {
+    /// Monotone commit counter.
+    pub generation: u64,
+    /// HMAC over the segment header and every per-block digest.
+    pub digest: [u8; 32],
+}
+
 /// Where the partition lives: the storage tier behind the linear scan.
 ///
 /// The subORAM's only access pattern is a full sequential scan with
 /// unconditional write-back (anything else would leak which objects a batch
 /// touched), so a backend needs to support exactly that — which is also the
 /// pattern a disk tier wants (Goodrich–Mitzenmacher's low-I/O oblivious
-/// storage). The ROADMAP's file-backed tier slots in by implementing this
-/// trait; today there are two in-memory implementations:
-/// [`MemoryBackend`] (plaintext objects in modeled enclave memory) and
-/// [`ExternalBackend`] (AEAD-sealed blocks in untrusted memory with
-/// in-enclave digests).
+/// storage). Implementations: [`MemoryBackend`] (plaintext objects in modeled
+/// enclave memory), [`ExternalBackend`] (AEAD-sealed blocks in untrusted
+/// memory with in-enclave digests), and `snoopy-store`'s `DiskBackend`
+/// (AEAD-sealed segment files with crash-safe generation commit).
 pub trait StorageBackend: Send {
     /// Number of stored objects.
     fn len(&self) -> usize;
@@ -97,9 +156,14 @@ pub trait StorageBackend: Send {
 
     /// Visits every stored object in index order, writing each back
     /// unconditionally after `visit` ran — a skipped write-back would reveal
-    /// which objects a batch wrote. Errors only on integrity failure
-    /// (host tampering with a sealed backend).
+    /// which objects a batch wrote. Errors on integrity failure (host
+    /// tampering with a sealed backend) or storage I/O failure.
     fn scan(&mut self, visit: &mut dyn FnMut(&mut StoredObject)) -> Result<(), SubOramError>;
+
+    /// Read-only visit of every stored object in index order, *without* the
+    /// write-back. Not part of the oblivious interface — used by `peek`,
+    /// tests, and benches; the oblivious path is [`StorageBackend::scan`].
+    fn for_each(&self, visit: &mut dyn FnMut(&StoredObject)) -> Result<(), SubOramError>;
 
     /// Whether [`StorageBackend::as_memory_mut`] returns the partition as a
     /// slice. Backends that stream (sealed or on-disk) return `false` and the
@@ -115,11 +179,44 @@ pub trait StorageBackend: Send {
     }
 
     /// Snapshots the partition (for checkpointing; the caller seals it
-    /// before it leaves the enclave).
-    fn snapshot(&self) -> Result<Vec<StoredObject>, SubOramError>;
+    /// before it leaves the enclave). Streaming backends return a typed,
+    /// size-aware [`SnapshotError::Streaming`] instead of materializing the
+    /// partition — checkpoint their [`StorageBackend::commit`] result
+    /// instead.
+    fn snapshot(&self) -> Result<Vec<StoredObject>, SnapshotError>;
 
-    /// Downcast hook so tests can reach backend-specific adversary knobs.
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+    /// Durably commits state mutated by scans since the last commit and
+    /// returns the committed generation, or `Ok(None)` for backends with no
+    /// durability of their own (memory tiers; the checkpoint carries their
+    /// objects inline). Called once per epoch, after the epoch's batches and
+    /// before the sealed checkpoint that references the generation.
+    fn commit(&mut self, epoch: u64) -> Result<Option<StorageGeneration>, SubOramError> {
+        let _ = epoch;
+        Ok(None)
+    }
+
+    /// Adversary hook: a copy of the backend's untrusted bytes (sealed
+    /// blocks / segment file), or `None` when there is no untrusted surface
+    /// (pure in-enclave memory). Tests use this with
+    /// [`StorageBackend::restore_untrusted_image`] to emulate rollback.
+    fn untrusted_image(&mut self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Adversary hook: overwrite the untrusted bytes with a previously
+    /// captured image. Returns `false` when unsupported or the image does
+    /// not fit the backend's geometry.
+    fn restore_untrusted_image(&mut self, image: &[u8]) -> bool {
+        let _ = image;
+        false
+    }
+
+    /// Adversary hook: flip a byte of untrusted block `index`. Returns
+    /// `false` when unsupported or out of range.
+    fn corrupt_block(&mut self, index: usize) -> bool {
+        let _ = index;
+        false
+    }
 }
 
 /// Objects in (modeled) enclave memory — fastest, used when the partition
@@ -147,6 +244,13 @@ impl StorageBackend for MemoryBackend {
         Ok(())
     }
 
+    fn for_each(&self, visit: &mut dyn FnMut(&StoredObject)) -> Result<(), SubOramError> {
+        for obj in &self.objects {
+            visit(obj);
+        }
+        Ok(())
+    }
+
     fn is_memory(&self) -> bool {
         true
     }
@@ -155,12 +259,8 @@ impl StorageBackend for MemoryBackend {
         Some(&mut self.objects)
     }
 
-    fn snapshot(&self) -> Result<Vec<StoredObject>, SubOramError> {
+    fn snapshot(&self) -> Result<Vec<StoredObject>, SnapshotError> {
         Ok(self.objects.clone())
-    }
-
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
     }
 }
 
@@ -207,12 +307,56 @@ impl StorageBackend for ExternalBackend {
         Ok(())
     }
 
-    fn snapshot(&self) -> Result<Vec<StoredObject>, SubOramError> {
-        (0..self.count).map(|i| Ok(decode_object(&self.store.get(i)?, self.value_len))).collect()
+    fn for_each(&self, visit: &mut dyn FnMut(&StoredObject)) -> Result<(), SubOramError> {
+        for i in 0..self.count {
+            let plain = self.store.get(i)?;
+            visit(&decode_object(&plain, self.value_len));
+        }
+        Ok(())
     }
 
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-        self
+    fn snapshot(&self) -> Result<Vec<StoredObject>, SnapshotError> {
+        (0..self.count)
+            .map(|i| {
+                self.store
+                    .get(i)
+                    .map(|p| decode_object(&p, self.value_len))
+                    .map_err(|e| SnapshotError::Failed(e.into()))
+            })
+            .collect()
+    }
+
+    fn untrusted_image(&mut self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        for b in self.store.untrusted_blocks_mut().iter() {
+            out.extend_from_slice(&b.bytes);
+        }
+        Some(out)
+    }
+
+    fn restore_untrusted_image(&mut self, image: &[u8]) -> bool {
+        let blocks = self.store.untrusted_blocks_mut();
+        if blocks.is_empty() {
+            return image.is_empty();
+        }
+        let sealed_len = blocks[0].bytes.len();
+        if image.len() != sealed_len * blocks.len() {
+            return false;
+        }
+        for (i, b) in blocks.iter_mut().enumerate() {
+            b.bytes.copy_from_slice(&image[i * sealed_len..(i + 1) * sealed_len]);
+        }
+        true
+    }
+
+    fn corrupt_block(&mut self, index: usize) -> bool {
+        match self.store.untrusted_blocks_mut().get_mut(index) {
+            Some(b) if !b.bytes.is_empty() => {
+                b.bytes[0] ^= 1;
+                true
+            }
+            _ => false,
+        }
     }
 }
 
@@ -239,6 +383,8 @@ pub struct SubOram {
     root_key: Key256,
     batch_counter: u64,
     lambda: u32,
+    poisoned: Option<SubOramError>,
+    last_commit: Option<StorageGeneration>,
     /// EPC model used for cost accounting.
     pub epc: EpcModel,
     /// Accumulated modeled costs.
@@ -254,10 +400,7 @@ impl SubOram {
         root_key: Key256,
         lambda: u32,
     ) -> SubOram {
-        for o in &objects {
-            assert!(o.id < REAL_ID_LIMIT, "object id {} in reserved namespace", o.id);
-            assert_eq!(o.value.len(), value_len, "object sizes are public and fixed");
-        }
+        validate_objects(&objects, value_len);
         SubOram::with_backend(Box::new(MemoryBackend::new(objects)), value_len, root_key, lambda)
     }
 
@@ -276,6 +419,8 @@ impl SubOram {
             root_key,
             batch_counter: 0,
             lambda,
+            poisoned: None,
+            last_commit: None,
             epc: EpcModel::default(),
             meter: CostMeter::default(),
         }
@@ -288,10 +433,7 @@ impl SubOram {
         root_key: Key256,
         lambda: u32,
     ) -> SubOram {
-        for o in &objects {
-            assert!(o.id < REAL_ID_LIMIT);
-            assert_eq!(o.value.len(), value_len);
-        }
+        validate_objects(&objects, value_len);
         let backend =
             ExternalBackend::new(&objects, value_len, &root_key.derive(b"suboram-external"));
         SubOram::with_backend(Box::new(backend), value_len, root_key, lambda)
@@ -318,7 +460,15 @@ impl SubOram {
     /// Reads receive the object's current value; writes apply their payload
     /// and receive the *pre-write* value; requests for absent ids (including
     /// dummies) receive zeros.
+    ///
+    /// After a storage integrity or I/O failure the subORAM is **poisoned**:
+    /// this and every later call return that first error, so no response
+    /// computed over a partially-applied scan can escape. Recovery is by
+    /// restart from the last sealed checkpoint/generation.
     pub fn batch_access(&mut self, batch: Vec<Request>) -> Result<Vec<Request>, SubOramError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
         if batch.is_empty() {
             return Err(SubOramError::EmptyBatch);
         }
@@ -335,7 +485,10 @@ impl SubOram {
         // through `scan_step` and writes it back unconditionally.
         let _scan_span = telem::span("epoch/suboram_scan/linear_scan");
         let meter = &mut self.meter;
-        self.storage.scan(&mut |obj| scan_step(obj, &mut table, meter))?;
+        if let Err(e) = self.storage.scan(&mut |obj| scan_step(obj, &mut table, meter)) {
+            self.poisoned = Some(e);
+            return Err(e);
+        }
         meter.record_scan(&self.epc, (self.storage.len() * (8 + self.value_len)) as u64, 0);
 
         Ok(table.into_batch_requests())
@@ -349,7 +502,7 @@ impl SubOram {
     /// chunk against a private copy of the hash table (objects are distinct,
     /// so each request matches in at most one chunk), and the copies are
     /// merged with oblivious compare-and-sets afterwards. Only supported for
-    /// in-enclave storage (the external store streams serially by design).
+    /// in-enclave storage (streaming backends scan serially by design).
     pub fn batch_access_parallel(
         &mut self,
         batch: Vec<Request>,
@@ -358,6 +511,9 @@ impl SubOram {
         let threads = threads.max(1);
         if threads == 1 {
             return self.batch_access(batch);
+        }
+        if let Some(e) = self.poisoned {
+            return Err(e);
         }
         if batch.is_empty() {
             return Err(SubOramError::EmptyBatch);
@@ -422,25 +578,88 @@ impl SubOram {
         Ok(merged.into_batch_requests())
     }
 
+    /// Durably commits storage state mutated since the last commit (file-
+    /// backed tiers fsync + atomically publish a new sealed generation;
+    /// memory tiers are a no-op returning `Ok(None)`). Called once per epoch
+    /// *before* the sealed checkpoint, which records the returned generation.
+    pub fn commit_storage(
+        &mut self,
+        epoch: u64,
+    ) -> Result<Option<StorageGeneration>, SubOramError> {
+        if let Some(e) = self.poisoned {
+            return Err(e);
+        }
+        match self.storage.commit(epoch) {
+            Ok(gen) => {
+                if gen.is_some() {
+                    self.last_commit = gen;
+                }
+                Ok(gen)
+            }
+            Err(e) => {
+                self.poisoned = Some(e);
+                Err(e)
+            }
+        }
+    }
+
+    /// The most recently committed storage generation, if the backend has
+    /// one. Checkpoints of streaming backends record this instead of the
+    /// objects.
+    pub fn last_commit(&self) -> Option<StorageGeneration> {
+        self.last_commit
+    }
+
+    /// Whether a storage failure has poisoned this subORAM (every batch is
+    /// refused with the recorded error until restart).
+    pub fn poisoned(&self) -> Option<SubOramError> {
+        self.poisoned
+    }
+
     /// Test/bench helper: reads an object's current value non-obliviously.
     /// Not part of the oblivious interface.
     pub fn peek(&self, id: u64) -> Option<Vec<u8>> {
-        self.storage.snapshot().ok()?.into_iter().find(|o| o.id == id).map(|o| o.value)
+        let mut found = None;
+        self.storage
+            .for_each(&mut |o| {
+                if o.id == id {
+                    found = Some(o.value.clone());
+                }
+            })
+            .ok()?;
+        found
     }
 
     /// Snapshots the partition's current objects (for checkpointing a
-    /// subORAM node; the snapshot must be sealed before leaving the enclave).
-    /// Panics if the backend fails its integrity check.
-    pub fn export_objects(&self) -> Vec<StoredObject> {
-        self.storage.snapshot().expect("storage backend integrity failure")
+    /// subORAM node; the snapshot must be sealed before leaving the
+    /// enclave). Streaming backends return a typed, size-aware
+    /// [`SnapshotError::Streaming`] — checkpoint [`SubOram::last_commit`]
+    /// instead of materializing the partition.
+    pub fn export_objects(&self) -> Result<Vec<StoredObject>, SnapshotError> {
+        self.storage.snapshot()
     }
 
-    /// Adversary hook for integrity tests (external-backend mode only).
-    pub fn untrusted_store_mut(&mut self) -> Option<&mut ExternalStore> {
-        self.storage
-            .as_any_mut()
-            .downcast_mut::<ExternalBackend>()
-            .map(ExternalBackend::untrusted_store_mut)
+    /// Adversary hook: copy of the backend's untrusted bytes (sealed
+    /// blocks / segment file); `None` for pure in-enclave storage.
+    pub fn untrusted_image(&mut self) -> Option<Vec<u8>> {
+        self.storage.untrusted_image()
+    }
+
+    /// Adversary hook: roll the untrusted bytes back to a captured image.
+    pub fn restore_untrusted_image(&mut self, image: &[u8]) -> bool {
+        self.storage.restore_untrusted_image(image)
+    }
+
+    /// Adversary hook: flip a byte in untrusted block `index`.
+    pub fn corrupt_block(&mut self, index: usize) -> bool {
+        self.storage.corrupt_block(index)
+    }
+}
+
+fn validate_objects(objects: &[StoredObject], value_len: usize) {
+    for o in objects {
+        assert!(o.id < REAL_ID_LIMIT, "object id {} in reserved namespace", o.id);
+        assert_eq!(o.value.len(), value_len, "object sizes are public and fixed");
     }
 }
 
@@ -463,14 +682,17 @@ fn scan_step(obj: &mut StoredObject, table: &mut OHashTable, meter: &mut CostMet
     }
 }
 
-fn encode_object(o: &StoredObject) -> Vec<u8> {
+/// Fixed-layout object encoding shared by the sealed storage tiers:
+/// 8-byte little-endian id followed by the (fixed public length) value.
+pub fn encode_object(o: &StoredObject) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + o.value.len());
     out.extend_from_slice(&o.id.to_le_bytes());
     out.extend_from_slice(&o.value);
     out
 }
 
-fn decode_object(bytes: &[u8], value_len: usize) -> StoredObject {
+/// Inverse of [`encode_object`].
+pub fn decode_object(bytes: &[u8], value_len: usize) -> StoredObject {
     assert_eq!(bytes.len(), 8 + value_len);
     StoredObject {
         id: u64::from_le_bytes(bytes[..8].try_into().unwrap()),
@@ -614,8 +836,50 @@ mod tests {
     #[test]
     fn external_mode_detects_tampering() {
         let mut s = SubOram::new_external(objects(50), VLEN, Key256([5u8; 32]), 128);
-        s.untrusted_store_mut().unwrap().untrusted_blocks_mut()[10].bytes[3] ^= 1;
+        assert!(s.corrupt_block(10));
         let err = s.batch_access(vec![Request::read(1, VLEN, 0, 0)]).unwrap_err();
+        assert!(matches!(err, SubOramError::Integrity(_)));
+    }
+
+    #[test]
+    fn integrity_failure_poisons_all_later_batches() {
+        // Fail-stop: after the first integrity failure every later batch is
+        // refused with the same typed error — a half-applied scan must never
+        // serve responses.
+        let mut s = SubOram::new_external(objects(50), VLEN, Key256([5u8; 32]), 128);
+        assert!(s.corrupt_block(10));
+        let err = s.batch_access(vec![Request::read(1, VLEN, 0, 0)]).unwrap_err();
+        assert!(matches!(err, SubOramError::Integrity(_)));
+        assert_eq!(s.poisoned(), Some(err));
+        // Even an otherwise-fine batch is refused now.
+        let err2 = s.batch_access(vec![Request::read(2, VLEN, 0, 0)]).unwrap_err();
+        assert_eq!(err2, err);
+        // And so is a commit.
+        assert_eq!(s.commit_storage(1).unwrap_err(), err);
+    }
+
+    #[test]
+    fn snapshot_of_memory_tiers_succeeds() {
+        let s = suboram(20);
+        assert_eq!(s.export_objects().unwrap().len(), 20);
+        let ext = SubOram::new_external(objects(20), VLEN, Key256([5u8; 32]), 128);
+        assert_eq!(ext.export_objects().unwrap().len(), 20);
+    }
+
+    #[test]
+    fn memory_commit_is_a_noop() {
+        let mut s = suboram(10);
+        assert_eq!(s.commit_storage(7).unwrap(), None);
+        assert_eq!(s.last_commit(), None);
+    }
+
+    #[test]
+    fn rollback_of_untrusted_image_detected() {
+        let mut s = SubOram::new_external(objects(40), VLEN, Key256([5u8; 32]), 128);
+        let before = s.untrusted_image().unwrap();
+        s.batch_access(vec![Request::write(3, &[9; 4], VLEN, 1, 0)]).unwrap();
+        assert!(s.restore_untrusted_image(&before));
+        let err = s.batch_access(vec![Request::read(3, VLEN, 1, 1)]).unwrap_err();
         assert!(matches!(err, SubOramError::Integrity(_)));
     }
 

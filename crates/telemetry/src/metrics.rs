@@ -378,6 +378,18 @@ pub mod names {
     /// SubORAM batches refused with a typed error (e.g. duplicate ids from a
     /// buggy balancer). Each refusal is an explicit NACK frame — observable.
     pub const SUB_BATCH_FAILURES_TOTAL: &str = "snoopy_sub_batch_failures_total";
+    /// Bytes the disk storage tier read from segment files. Block I/O is a
+    /// function of public geometry (every scan reads every block in order).
+    pub const STORE_BYTES_READ_TOTAL: &str = "snoopy_store_bytes_read_total";
+    /// Bytes the disk storage tier wrote to segment files (unconditional
+    /// re-seal of every block — public geometry, like the read side).
+    pub const STORE_BYTES_WRITTEN_TOTAL: &str = "snoopy_store_bytes_written_total";
+    /// fsyncs issued by the disk tier (pending segments + directory entries
+    /// at commit). One commit per epoch — observable cadence.
+    pub const STORE_FSYNCS_TOTAL: &str = "snoopy_store_fsyncs_total";
+    /// Scans where the write-behind buffer filled and forced a flush before
+    /// the next read-ahead. Depends only on buffer/partition geometry.
+    pub const STORE_BUFFER_STALLS_TOTAL: &str = "snoopy_store_buffer_stalls_total";
 }
 
 /// The global per-stage histogram for `stage` (cached handles are cheap —

@@ -39,6 +39,24 @@ SNOOPY_THREADS=4 cargo test -q --offline -p snoopy-chaos
 SNOOPY_THREADS=4 cargo test --offline -p snoopy-net --test cluster -- --nocapture
 SNOOPY_THREADS=4 cargo test --offline -p snoopy-net --test chaos_net -- --nocapture
 
+# Storage suite: the disk tier end to end. The conformance suite (every
+# tier, same responses / same enclave trace / same typed tamper refusals,
+# proptested position-deterministic block I/O) runs in the workspace pass
+# above; here the core, chaos, and TCP-cluster tests re-run with every
+# subORAM partition on AEAD-sealed segment files (SNOOPY_STORAGE feeds
+# SnoopyConfig::default and both TCP integration manifests), still
+# byte-compared against the memory-pinned reference engine — plus the
+# always-on disk_store test: a disk-backed cluster surviving kill -9
+# mid-epoch by reopening the committed on-disk generation named by its
+# sealed checkpoint. Tests create their stores under $TMPDIR and remove
+# them on exit.
+echo "== storage suite (SNOOPY_STORAGE=disk; byte-compared against memory) =="
+SNOOPY_STORAGE=disk cargo test -q --offline -p snoopy-core
+SNOOPY_STORAGE=disk cargo test -q --offline -p snoopy-chaos
+SNOOPY_STORAGE=disk cargo test --offline -p snoopy-net --test cluster -- --nocapture
+SNOOPY_STORAGE=disk cargo test --offline -p snoopy-net --test chaos_net -- --nocapture
+cargo test --offline -p snoopy-net --test disk_store -- --nocapture
+
 # Stress suite: the open-loop load generator against a real snoopyd cluster
 # on the reactor net plane, at a CI-sized client count. The floors are
 # deliberately conservative (half the offered rate, a generous p99) so this

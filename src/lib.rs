@@ -23,6 +23,8 @@ pub use snoopy_pathoram;
 pub use snoopy_plaintext;
 pub use snoopy_planner;
 pub use snoopy_ringoram;
+pub use snoopy_store;
+pub use snoopy_store as store;
 pub use snoopy_suboram;
 pub use snoopy_telemetry;
 pub use snoopy_telemetry as telemetry;

@@ -82,6 +82,15 @@ fn external_sealed_storage() {
 }
 
 #[test]
+fn disk_sealed_storage() {
+    use snoopy_repro::core::StorageKind;
+    // 150 objects across 3 subORAMs on the test disk geometry (1 KiB
+    // blocks, 8-block buffer) keeps every partition streaming through real
+    // file I/O rather than sitting resident.
+    drive(SnoopyConfig::with_machines(2, 3).value_len(VLEN).storage(StorageKind::Disk), 150, 4, 3);
+}
+
+#[test]
 fn skewed_all_same_object() {
     let config = SnoopyConfig::with_machines(2, 4).value_len(VLEN);
     let mut sys = Snoopy::init(config, objects(500), 9);

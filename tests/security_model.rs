@@ -19,21 +19,22 @@ fn objects(n: u64) -> Vec<StoredObject> {
 fn external_memory_tampering_detected_mid_scan() {
     let mut sub = SubOram::new_external(objects(64), VLEN, Key256([1u8; 32]), 128);
     // Flip one bit in the untrusted sealed store.
-    sub.untrusted_store_mut().unwrap().untrusted_blocks_mut()[30].bytes[7] ^= 0x80;
+    assert!(sub.corrupt_block(30), "external backend exposes the tamper hook");
     let err = sub.batch_access(vec![Request::read(1, VLEN, 0, 0)]).unwrap_err();
     assert!(matches!(err, SubOramError::Integrity(_)), "{err:?}");
+    // The failure is sticky (fail-stop): every later batch is refused with
+    // the same typed error, so no response over half-scanned state escapes.
+    let err2 = sub.batch_access(vec![Request::read(2, VLEN, 0, 1)]).unwrap_err();
+    assert_eq!(err, err2);
 }
 
 #[test]
 fn external_memory_rollback_detected() {
     let mut sub = SubOram::new_external(objects(64), VLEN, Key256([2u8; 32]), 128);
-    // Capture the sealed state, apply a write, then roll the block back.
-    let before = sub.untrusted_store_mut().unwrap().untrusted_blocks_mut().to_vec();
+    // Capture the sealed state, apply a write, then roll the store back.
+    let before = sub.untrusted_image().expect("external backend has untrusted bytes");
     sub.batch_access(vec![Request::write(10, &[9u8; 4], VLEN, 0, 0)]).unwrap();
-    let store = sub.untrusted_store_mut().unwrap();
-    for (i, old) in before.into_iter().enumerate() {
-        store.untrusted_blocks_mut()[i] = old;
-    }
+    assert!(sub.restore_untrusted_image(&before));
     let err = sub.batch_access(vec![Request::read(10, VLEN, 0, 1)]).unwrap_err();
     assert!(matches!(err, SubOramError::Integrity(_)), "{err:?}");
 }
