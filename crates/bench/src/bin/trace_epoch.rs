@@ -14,7 +14,7 @@
 use snoopy_bench::{quick_mode, results_dir};
 use snoopy_core::{Snoopy, SnoopyConfig};
 use snoopy_enclave::wire::{Request, StoredObject};
-use snoopy_telemetry::{chrome, metrics, trace};
+use snoopy_telemetry::{chrome, events, merge, metrics, trace};
 
 fn main() {
     let (num_objects, epochs, reqs_per_epoch) =
@@ -41,19 +41,25 @@ fn main() {
         snoopy_core::system::record_epoch_metrics(sys.last_epoch_stats());
     }
 
-    let (spans, dropped) = tracer.drain();
-    let json = trace::chrome_trace_json(&spans);
+    // Capture through the cluster-merge path (wall-clock-anchored process
+    // dump, then merge) so this tool exercises exactly the machinery
+    // `snoopy-mon trace` uses against a live cluster — with one process.
+    let dump = merge::capture_dump("engine/0", tracer);
+    let spans = dump.spans.len();
+    let dropped = dump.spans_dropped;
+    let json = merge::merged_chrome_trace(&[dump]);
     // Self-check before writing: the dump must be valid Chrome trace JSON.
-    let events = chrome::parse_chrome_trace(&json).expect("trace dump failed validation");
-    assert_eq!(events.len(), spans.len());
+    let parsed = chrome::parse_chrome_trace(&json).expect("trace dump failed validation");
+    assert_eq!(parsed.len(), spans);
 
     let path = results_dir().join("trace_epoch.json");
     std::fs::write(&path, &json).expect("write trace");
+    println!("wrote {} ({spans} spans, {dropped} dropped by ring buffer)", path.display());
+    let recorded = events::recorder().snapshot();
     println!(
-        "wrote {} ({} spans, {} dropped by ring buffer)",
-        path.display(),
-        spans.len(),
-        dropped
+        "flight recorder: {} events buffered ({} dropped)",
+        recorded.len(),
+        events::recorder().dropped()
     );
 
     // Per-stage percentiles from the same run, through the metrics plane.

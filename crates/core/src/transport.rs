@@ -32,6 +32,7 @@
 use snoopy_enclave::wire::{Request, Response};
 use snoopy_lb::LoadBalancer;
 use snoopy_suboram::SubOram;
+use snoopy_telemetry::events::{self, Event, EventKind};
 use snoopy_telemetry::{metrics, trace, Public};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -325,6 +326,11 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                 let epoch_span = trace::span("epoch");
                 let epoch_reqs = std::mem::take(&mut pending);
                 let requests: Vec<Request> = epoch_reqs.iter().map(|(r, _)| r.clone()).collect();
+                events::record(
+                    Event::new(EventKind::EpochStart)
+                        .with("epoch", Public::wire_observable(epoch))
+                        .with("requests", Public::request_volume(requests.len() as u64)),
+                );
                 let make_span = trace::span("epoch/lb_make");
                 let batches = balancer.make_batches(&requests).expect("batch overflow");
                 for (sub, batch) in batches.iter().enumerate() {
@@ -332,6 +338,12 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                 }
                 let lb_make_time = make_span.finish();
                 let entries_sent: usize = batches.iter().map(|b| b.len()).sum();
+                events::record(
+                    Event::new(EventKind::BatchSealed)
+                        .with("epoch", Public::wire_observable(epoch))
+                        .with("entries", Public::wire_observable(entries_sent as u64))
+                        .with("suborams", Public::config(num_suborams as u64)),
+                );
                 // Collect all S response batches for this epoch before
                 // committing it — or degrade once the replay budget is spent.
                 let wait_span = trace::span("epoch/sub_wait");
@@ -362,6 +374,11 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                             if responses[suboram].is_none() {
                                 responses[suboram] = Some(batch);
                                 outstanding -= 1;
+                                events::record(
+                                    Event::new(EventKind::SubReply)
+                                        .with("epoch", Public::wire_observable(epoch))
+                                        .with("suboram", Public::wire_observable(suboram as u64)),
+                                );
                             }
                         }
                         // Duplicate delivery of an older epoch's responses.
@@ -388,7 +405,7 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                                 // this epoch: resend our batch for it. The
                                 // reply cache on the far side makes this
                                 // idempotent.
-                                record_replay();
+                                record_replay(epoch, suboram);
                                 transport.send_batch(suboram, epoch, &batches[suboram]);
                             }
                         }
@@ -414,7 +431,7 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                                     // seal) once it heals — or immediately,
                                     // on connectionless transports.
                                     transport.fail_fast(sub);
-                                    record_replay();
+                                    record_replay(epoch, sub);
                                     transport.send_batch(sub, epoch, &batches[sub]);
                                 }
                             }
@@ -441,7 +458,7 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                         sink.fail(Unavailable { epoch, failed_suborams: failed.clone() });
                     }
                     drop(epoch_span);
-                    record_degraded_epoch_metrics(affected);
+                    record_degraded_epoch_metrics(affected, epoch, &failed);
                     continue;
                 }
                 let match_span = trace::span("epoch/lb_match");
@@ -498,27 +515,47 @@ fn record_lb_epoch_metrics(
     metrics::stage_histogram("lb_match").observe(Public::timing(lb_match));
 }
 
-/// Counts one batch re-send (deadline-miss wave or post-reconnect replay).
-/// Re-sends are wire-observable by definition — the adversary sees the frame.
-fn record_replay() {
+/// Counts one batch re-send (deadline-miss wave or post-reconnect replay)
+/// and flight-records the wave. Re-sends are wire-observable by definition —
+/// the adversary sees the frame, and sees which subORAM's link it crossed.
+fn record_replay(epoch: u64, suboram: usize) {
     metrics::global()
         .counter(
             metrics::names::REPLAYS_TOTAL,
             "epoch batches re-sent after deadline misses or reconnects",
         )
         .inc(Public::wire_observable(()));
+    events::record(
+        Event::new(EventKind::ReplayWave)
+            .with("epoch", Public::wire_observable(epoch))
+            .with("suboram", Public::wire_observable(suboram as u64)),
+    );
 }
 
-/// Publishes a degraded epoch: the epoch-failure counter plus how many client
-/// requests received `Unavailable`. Degradation is triggered purely by
-/// wire-observable deadline misses; the affected-request count is the epoch's
-/// request volume, public by assumption.
-fn record_degraded_epoch_metrics(affected_requests: usize) {
+/// Publishes a degraded epoch: the epoch-failure counter, how many client
+/// requests received `Unavailable`, and a flight-recorder event naming the
+/// failed subORAMs (as a bitmask — bit *i* set means subORAM *i* still owed
+/// a response or refused). Degradation is triggered purely by
+/// wire-observable deadline misses or NACK frames; the affected-request
+/// count is the epoch's request volume, public by assumption.
+fn record_degraded_epoch_metrics(affected_requests: usize, epoch: u64, failed: &[usize]) {
     let reg = metrics::global();
+    // A degraded epoch still *executed* (its clients got typed failures), so
+    // it counts toward the epoch total — keeping the SLO plane's
+    // degraded-epoch ratio in [0, 1] even when every epoch degrades.
+    reg.counter(metrics::names::EPOCHS_TOTAL, "epochs executed").inc(Public::wire_observable(()));
     reg.counter(metrics::names::DEGRADED_EPOCHS_TOTAL, "epochs completed in degraded mode")
         .inc(Public::wire_observable(()));
     reg.counter(metrics::names::UNAVAILABLE_TOTAL, "client requests failed with Unavailable")
         .add(Public::request_volume(affected_requests as u64));
+    let mask = failed.iter().filter(|&&s| s < 64).fold(0u64, |m, &s| m | (1 << s));
+    events::record(
+        Event::new(EventKind::EpochDegraded)
+            .with("epoch", Public::wire_observable(epoch))
+            .with("requests", Public::request_volume(affected_requests as u64))
+            .with("failed", Public::wire_observable(failed.len() as u64))
+            .with("subs_mask", Public::wire_observable(mask)),
+    );
 }
 
 /// What [`SubOramNode::handle_batch`] decided about an incoming batch.
@@ -766,14 +803,17 @@ pub fn run_suboram<T: SubTransport>(
                     // responses are gone. Answering nothing lets the
                     // balancer's deadline degrade the epoch; re-executing
                     // would silently corrupt write semantics.
-                    let _ = lb;
                     metrics::global()
                         .counter(
                             metrics::names::EVICTED_REPLAYS_TOTAL,
                             "replayed batches refused because the epoch was evicted from the reply cache",
                         )
                         .inc(Public::wire_observable(()));
-                    let _ = epoch;
+                    events::record(
+                        Event::new(EventKind::ReplayEvicted)
+                            .with("epoch", Public::wire_observable(epoch))
+                            .with("lb", Public::wire_observable(lb as u64)),
+                    );
                 }
                 BatchOutcome::Completed(responses) => {
                     after_epoch(node, epoch);

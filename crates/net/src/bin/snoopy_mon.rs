@@ -1,0 +1,320 @@
+//! `snoopy-mon` — cluster-wide scrape, trace and SLO gate.
+//!
+//! ```text
+//! snoopy-mon --manifest cluster.toml                    # one scrape + gate
+//! snoopy-mon --manifest cluster.toml --watch \
+//!            --interval-ms 500 --count 20 \
+//!            --series burn.jsonl --csv burn.csv         # time series + gate
+//! snoopy-mon trace  --manifest cluster.toml --out trace.json
+//! snoopy-mon events --manifest cluster.toml --out dumps/
+//! ```
+//!
+//! The default mode polls every daemon's `metrics` RPC (balancers and
+//! subORAMs alike, from the manifest), folds each exposition into an SLO
+//! burn sample ([`snoopy_telemetry::SloBurn`]), aggregates across the
+//! cluster, and — after the last sample — evaluates the SLO policy
+//! ([`snoopy_telemetry::SloPolicy`]), exiting nonzero if any threshold is
+//! breached. Unreachable daemons are reported and skipped (a monitor must
+//! outlive the daemons it watches); a scrape reaching *zero* daemons is
+//! itself a gate failure.
+//!
+//! `trace` drains every daemon's span rings over the `trace` RPC, estimates
+//! each peer's clock offset from the RPC round trip, and merges everything
+//! into one Chrome `trace_event` JSON timeline
+//! ([`snoopy_telemetry::merged_chrome_trace`]) — the cluster-wide critical
+//! path per epoch, loadable in Perfetto. `events` snapshots every daemon's
+//! flight recorder as JSONL.
+//!
+//! Everything printed here was exported through the daemon-side
+//! [`snoopy_telemetry::Public`] leakage gate; the monitor adds no surface.
+
+use snoopy_net::manifest::Manifest;
+use snoopy_net::{fetch_events, fetch_metrics, fetch_trace};
+use snoopy_telemetry::events::{to_jsonl, unix_now_ns};
+use snoopy_telemetry::slo::{parse_prometheus, SloBurn, SloPolicy};
+use snoopy_telemetry::{chrome, merged_chrome_trace, ProcessDump};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  \
+         snoopy-mon --manifest PATH [--watch] [--interval-ms N] [--count N]\n             \
+         [--series PATH.jsonl] [--csv PATH.csv] [--p99-stage STAGE]\n             \
+         [--max-p99-ms N] [--max-degraded-ratio F] [--max-replays-per-epoch F]\n             \
+         [--max-evicted N] [--max-stalls N]\n  \
+         snoopy-mon trace --manifest PATH [--out PATH]\n  \
+         snoopy-mon events --manifest PATH [--out DIR]"
+    );
+    exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    flag_value(args, flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("snoopy-mon: bad value for {flag}: {v}");
+            exit(2)
+        })
+    })
+}
+
+/// Every daemon in the manifest as `(process_name, addr)`.
+fn daemons(manifest: &Manifest) -> Vec<(String, String)> {
+    let lbs = manifest
+        .load_balancers
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (format!("loadbalancer/{i}"), a.clone()));
+    let subs =
+        manifest.suborams.iter().enumerate().map(|(i, a)| (format!("suboram/{i}"), a.clone()));
+    lbs.chain(subs).collect()
+}
+
+fn load_manifest(args: &[String]) -> Manifest {
+    let path = PathBuf::from(flag_value(args, "--manifest").unwrap_or_else(|| usage()));
+    match Manifest::load(&path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("snoopy-mon: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("trace") => run_trace(&args),
+        Some("events") => run_events(&args),
+        Some(_) | None => run_monitor(&args),
+    }
+}
+
+fn run_trace(args: &[String]) {
+    let manifest = load_manifest(args);
+    let mut dumps: Vec<ProcessDump> = Vec::new();
+    for (process, addr) in daemons(&manifest) {
+        match fetch_trace(&addr) {
+            Ok(mut dump) => {
+                // Trust the manifest identity over the self-reported one so
+                // lanes are labeled consistently even across restarts.
+                dump.process = process.clone();
+                eprintln!(
+                    "snoopy-mon trace: {process} ({addr}): {} spans, {} dropped, offset {:+} ns",
+                    dump.spans.len(),
+                    dump.spans_dropped,
+                    dump.clock_offset_ns
+                );
+                dumps.push(dump);
+            }
+            Err(e) => eprintln!("snoopy-mon trace: {process} ({addr}) unreachable: {e}"),
+        }
+    }
+    if dumps.is_empty() {
+        eprintln!("snoopy-mon trace: no daemon reachable");
+        exit(1);
+    }
+    let json = merged_chrome_trace(&dumps);
+    // Self-check with the in-tree validator before anyone loads it.
+    let events = match chrome::parse_chrome_trace(&json) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("snoopy-mon trace: merged trace failed validation: {e}");
+            exit(1);
+        }
+    };
+    eprintln!("snoopy-mon trace: merged {} spans from {} processes", events.len(), dumps.len());
+    write_out(flag_value(args, "--out"), &json);
+}
+
+fn run_events(args: &[String]) {
+    let manifest = load_manifest(args);
+    let out_dir = flag_value(args, "--out").map(PathBuf::from);
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("snoopy-mon events: cannot create {}: {e}", dir.display());
+            exit(1);
+        }
+    }
+    let mut reached = 0usize;
+    for (process, addr) in daemons(&manifest) {
+        match fetch_events(&addr) {
+            Ok(records) => {
+                reached += 1;
+                let jsonl = to_jsonl(&records);
+                match &out_dir {
+                    Some(dir) => {
+                        let path = dir.join(format!("{}.events.jsonl", process.replace('/', "-")));
+                        if let Err(e) = std::fs::write(&path, jsonl) {
+                            eprintln!("snoopy-mon events: write {}: {e}", path.display());
+                            exit(1);
+                        }
+                        eprintln!(
+                            "snoopy-mon events: {process}: {} events -> {}",
+                            records.len(),
+                            path.display()
+                        );
+                    }
+                    None => {
+                        println!("# {process}");
+                        print!("{jsonl}");
+                    }
+                }
+            }
+            Err(e) => eprintln!("snoopy-mon events: {process} ({addr}) unreachable: {e}"),
+        }
+    }
+    if reached == 0 {
+        eprintln!("snoopy-mon events: no daemon reachable");
+        exit(1);
+    }
+}
+
+fn run_monitor(args: &[String]) {
+    let manifest = load_manifest(args);
+    let watch = args.iter().any(|a| a == "--watch");
+    let interval = Duration::from_millis(flag_parse(args, "--interval-ms").unwrap_or(1000));
+    let count: usize = flag_parse(args, "--count").unwrap_or(if watch { 10 } else { 1 });
+    let mut policy = SloPolicy::conservative();
+    if let Some(stage) = flag_value(args, "--p99-stage") {
+        policy.p99_stage = stage;
+    }
+    if let Some(ms) = flag_parse::<f64>(args, "--max-p99-ms") {
+        policy.max_p99_seconds = ms / 1e3;
+    }
+    if let Some(r) = flag_parse(args, "--max-degraded-ratio") {
+        policy.max_degraded_ratio = r;
+    }
+    if let Some(r) = flag_parse(args, "--max-replays-per-epoch") {
+        policy.max_replays_per_epoch = r;
+    }
+    if let Some(n) = flag_parse(args, "--max-evicted") {
+        policy.max_evicted_replays = n;
+    }
+    if let Some(n) = flag_parse(args, "--max-stalls") {
+        policy.max_storage_stalls = n;
+    }
+
+    let mut series = open_append(flag_value(args, "--series"));
+    let mut csv = open_append(flag_value(args, "--csv"));
+    if let Some(f) = csv.as_mut() {
+        let _ = writeln!(
+            f,
+            "t_unix_ns,daemons_up,daemons_total,epochs,p99_seconds,degraded_epochs,\
+             replay_waves,evicted_replays,storage_stalls"
+        );
+    }
+
+    let targets = daemons(&manifest);
+    let mut last: Option<SloBurn> = None;
+    for sample in 0..count.max(1) {
+        if sample > 0 {
+            std::thread::sleep(interval);
+        }
+        let mut burns = Vec::new();
+        for (process, addr) in &targets {
+            match fetch_metrics(addr) {
+                Ok(text) => match parse_prometheus(&text) {
+                    Ok(scrape) => burns.push(SloBurn::from_scrape(&scrape, &policy.p99_stage)),
+                    Err(e) => eprintln!("snoopy-mon: {process} ({addr}) bad exposition: {e}"),
+                },
+                Err(e) => eprintln!("snoopy-mon: {process} ({addr}) unreachable: {e}"),
+            }
+        }
+        let up = burns.len();
+        let burn = SloBurn::aggregate(&burns);
+        let t = unix_now_ns();
+        let line = format!(
+            "{{\"t_unix_ns\":{t},\"daemons_up\":{up},\"daemons_total\":{},\"epochs\":{},\
+             \"p99_seconds\":{:.6},\"degraded_epochs\":{},\"replay_waves\":{},\
+             \"evicted_replays\":{},\"storage_stalls\":{}}}",
+            targets.len(),
+            burn.epochs,
+            burn.p99_seconds,
+            burn.degraded_epochs,
+            burn.replay_waves,
+            burn.evicted_replays,
+            burn.storage_stalls
+        );
+        match series.as_mut() {
+            Some(f) => {
+                let _ = writeln!(f, "{line}");
+            }
+            None => println!("{line}"),
+        }
+        if let Some(f) = csv.as_mut() {
+            let _ = writeln!(
+                f,
+                "{t},{up},{},{},{:.6},{},{},{},{}",
+                targets.len(),
+                burn.epochs,
+                burn.p99_seconds,
+                burn.degraded_epochs,
+                burn.replay_waves,
+                burn.evicted_replays,
+                burn.storage_stalls
+            );
+        }
+        if up == 0 {
+            eprintln!("snoopy-mon: scrape {sample}: no daemon reachable");
+            last = None;
+        } else {
+            last = Some(burn);
+        }
+    }
+
+    let Some(burn) = last else {
+        eprintln!("snoopy-mon: SLO gate FAIL: final scrape reached no daemons");
+        exit(1);
+    };
+    let report = policy.evaluate(&burn);
+    eprintln!(
+        "snoopy-mon: {} epochs, p99 {:.3} ms, degraded ratio {:.4}, {:.2} replays/epoch, \
+         {} evicted, {} stalls",
+        burn.epochs,
+        burn.p99_seconds * 1e3,
+        burn.degraded_ratio(),
+        burn.replays_per_epoch(),
+        burn.evicted_replays,
+        burn.storage_stalls
+    );
+    if report.pass() {
+        eprintln!("snoopy-mon: SLO gate PASS");
+    } else {
+        for v in &report.violations {
+            eprintln!("snoopy-mon: SLO violation: {v}");
+        }
+        eprintln!("snoopy-mon: SLO gate FAIL");
+        exit(1);
+    }
+}
+
+fn open_append(path: Option<String>) -> Option<std::fs::File> {
+    let path = path?;
+    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(f) => Some(f),
+        Err(e) => {
+            eprintln!("snoopy-mon: cannot open {path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn write_out(path: Option<String>, contents: &str) {
+    match path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("snoopy-mon: cannot write {path}: {e}");
+                exit(1);
+            }
+            eprintln!("snoopy-mon: wrote {path}");
+        }
+        None => println!("{contents}"),
+    }
+}

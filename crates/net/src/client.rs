@@ -191,6 +191,49 @@ pub fn fetch_health_with(
     crate::stats::parse_stats_header(&text).ok_or_else(|| bad("health body missing header"))
 }
 
+/// Drains a daemon's tracer over the `trace` RPC, returning its
+/// [`ProcessDump`](snoopy_telemetry::ProcessDump) with `clock_offset_ns`
+/// already set from this round trip (Cristian's midpoint estimate —
+/// [`snoopy_telemetry::merge::estimate_offset_ns`]), so the dumps from a
+/// whole cluster merge onto the collector's timeline via
+/// [`snoopy_telemetry::merged_chrome_trace`]. The drain is destructive:
+/// each span is returned by exactly one trace RPC.
+pub fn fetch_trace(addr: &str) -> io::Result<snoopy_telemetry::ProcessDump> {
+    fetch_trace_with(addr, &RetryPolicy::admin_default())
+}
+
+/// [`fetch_trace`] under an explicit retry policy.
+pub fn fetch_trace_with(
+    addr: &str,
+    policy: &RetryPolicy,
+) -> io::Result<snoopy_telemetry::ProcessDump> {
+    let t0 = snoopy_telemetry::events::unix_now_ns();
+    let body = admin_rpc(addr, policy, tag::TRACE_REQ, tag::TRACE_RESP)?;
+    let t1 = snoopy_telemetry::events::unix_now_ns();
+    let text = String::from_utf8(body).map_err(|_| bad("trace not utf-8"))?;
+    let mut dump = snoopy_telemetry::ProcessDump::parse(&text)
+        .map_err(|e| bad(&format!("bad trace dump: {e}")))?;
+    dump.clock_offset_ns = snoopy_telemetry::merge::estimate_offset_ns(t0, dump.now_unix_ns, t1);
+    Ok(dump)
+}
+
+/// Fetches a daemon's flight-recorder snapshot (the `events` RPC): the
+/// bounded ring of structured lifecycle events, newest last. Non-destructive
+/// — the daemon keeps its ring. See [`snoopy_telemetry::events`].
+pub fn fetch_events(addr: &str) -> io::Result<Vec<snoopy_telemetry::EventRecord>> {
+    fetch_events_with(addr, &RetryPolicy::admin_default())
+}
+
+/// [`fetch_events`] under an explicit retry policy.
+pub fn fetch_events_with(
+    addr: &str,
+    policy: &RetryPolicy,
+) -> io::Result<Vec<snoopy_telemetry::EventRecord>> {
+    let body = admin_rpc(addr, policy, tag::EVENTS_REQ, tag::EVENTS_RESP)?;
+    let text = String::from_utf8(body).map_err(|_| bad("events not utf-8"))?;
+    snoopy_telemetry::events::parse_jsonl(&text).map_err(|e| bad(&format!("bad events dump: {e}")))
+}
+
 /// Asks a daemon to shut down gracefully; returns once it acknowledges.
 /// Deliberately *not* retried beyond the dial: a shutdown that was delivered
 /// but whose ack was lost must not be re-sent into a freshly restarted

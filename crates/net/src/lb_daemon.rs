@@ -28,7 +28,7 @@ use crate::manifest::Manifest;
 use crate::proto::{self, tag, Hello, Role};
 use crate::reactor::{self, Control, ReactorConfig, ReactorHandle, SessionHandle, SessionHandler};
 use crate::stats::{DaemonInfo, LinkStats, StatsRegistry};
-use crate::suboram_daemon::{net_workers, AdminHandler};
+use crate::suboram_daemon::{net_workers, record_peer_clock_offset, AdminHandler};
 use snoopy_core::link::Link;
 use snoopy_core::transport::{
     run_load_balancer_with_policy, LbEvent, LbTransport, RecvOutcome, ReplySink, Unavailable,
@@ -37,6 +37,7 @@ use snoopy_core::RetryPolicy;
 use snoopy_crypto::{Key256, Prg};
 use snoopy_enclave::wire::{Request, Response};
 use snoopy_lb::LoadBalancer;
+use snoopy_telemetry::events::{self, Event, EventKind};
 use snoopy_telemetry::{metrics, trace, Public};
 use std::io;
 use std::net::{TcpListener, TcpStream};
@@ -57,6 +58,11 @@ struct TcpLbTransport {
     events: Receiver<LbEvent>,
     subs: SubSlots,
     sub_stats: Vec<Arc<LinkStats>>,
+    lb_index: u64,
+    /// Per-subORAM send sequencing for the frame trace context: `(epoch,
+    /// next_seq)`. Seq 0 is the first send of an epoch's batch; higher seqs
+    /// are replay waves — all wire-observable (the adversary counts frames).
+    send_seq: Vec<(u64, u64)>,
 }
 
 impl LbTransport for TcpLbTransport {
@@ -98,7 +104,17 @@ impl LbTransport for TcpLbTransport {
                 return;
             }
         };
-        let body = proto::encode_epoch_sealed(epoch, &sealed);
+        let seq = {
+            let entry = &mut self.send_seq[suboram];
+            if entry.0 != epoch {
+                *entry = (epoch, 0);
+            }
+            let s = entry.1;
+            entry.1 += 1;
+            s
+        };
+        let ctx = proto::TraceCtx { epoch, lb: self.lb_index, seq };
+        let body = proto::encode_batch_ctx(ctx, &sealed);
         if conn.handle.send_frame(tag::BATCH, &body) {
             self.sub_stats[suboram].sent(body.len());
         } else {
@@ -158,6 +174,7 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
         LoadBalancer::new(&shared_key, num_suborams, manifest.value_len, manifest.lambda)
             .with_threads(manifest.lb_threads as usize);
 
+    events::recorder().set_identity("loadbalancer", index as u64);
     let listener = TcpListener::bind(&manifest.load_balancers[index])?;
     let (events_tx, events_rx) = channel();
 
@@ -231,8 +248,16 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
         });
     }
 
-    let mut transport = TcpLbTransport { events: events_rx, subs, sub_stats };
+    let mut transport = TcpLbTransport {
+        events: events_rx,
+        subs,
+        sub_stats,
+        lb_index: index as u64,
+        send_seq: vec![(u64::MAX, 0); num_suborams],
+    };
     run_load_balancer_with_policy(&mut transport, balancer, num_suborams, manifest.fault_policy());
+    events::record(Event::new(EventKind::Shutdown));
+    events::recorder().dump("shutdown");
     Ok(())
 }
 
@@ -273,6 +298,7 @@ impl ClientAcceptor {
                 }))
             }
             Role::Admin => {
+                record_peer_clock_offset("admin", hello.wall_ns);
                 let events_tx = self.events_tx.clone();
                 Some(Box::new(AdminHandler::new(self.registry.clone(), self.info, move || {
                     let _ = events_tx.send(LbEvent::Shutdown);

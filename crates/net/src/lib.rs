@@ -54,8 +54,9 @@ pub mod suboram_daemon;
 
 pub use api::{Op, SessionTransport, SnoopyClient, SnoopyClientBuilder};
 pub use client::{
-    fetch_health, fetch_health_with, fetch_metrics, fetch_metrics_with, fetch_stats,
-    fetch_stats_with, shutdown_daemon, ConnectConfig, NetClient,
+    fetch_events, fetch_events_with, fetch_health, fetch_health_with, fetch_metrics,
+    fetch_metrics_with, fetch_stats, fetch_stats_with, fetch_trace, fetch_trace_with,
+    shutdown_daemon, ConnectConfig, NetClient,
 };
 pub use error::{classify_io_error, unavailable_info, ErrorClass, NetError};
 pub use manifest::Manifest;

@@ -54,6 +54,18 @@ pub mod tag {
     /// facts — the balancer learns *which subORAM* refused *which epoch*,
     /// both of which the network already sees, and nothing about why.
     pub const RESP_ERR: u8 = 15;
+    /// Admin → daemon: tracer span-dump request (plaintext).
+    pub const TRACE_REQ: u8 = 16;
+    /// Daemon → admin: drained spans as a [`crate::merge`]-compatible
+    /// `ProcessDump` JSON document (plaintext UTF-8). Spans cover only
+    /// data-independent stages with public names — the same surface the
+    /// metrics exposition already exports.
+    pub const TRACE_RESP: u8 = 17;
+    /// Admin → daemon: flight-recorder snapshot request (plaintext).
+    pub const EVENTS_REQ: u8 = 18;
+    /// Daemon → admin: flight-recorder events as JSONL (plaintext UTF-8).
+    /// Every event field passed the `Public` gate at record time.
+    pub const EVENTS_RESP: u8 = 19;
 }
 
 /// Who is dialing.
@@ -96,35 +108,97 @@ pub struct Hello {
     pub index: u64,
     /// Fresh random session id; scopes this connection's link keys.
     pub session: u64,
+    /// The dialer's wall clock at handshake time, nanoseconds since the
+    /// Unix epoch (0 = unknown, e.g. a pre-extension dialer). The acceptor
+    /// subtracts its own clock to estimate the per-peer offset that aligns
+    /// merged cluster traces. Leakage: the send time of the hello frame is
+    /// observable on the wire already; stamping it inside the frame adds
+    /// nothing the network adversary lacks.
+    pub wall_ns: u64,
 }
 
 impl Hello {
-    /// Builds a hello with a fresh random session id.
+    /// Builds a hello with a fresh random session id, stamped with the
+    /// current wall clock.
     pub fn new(role: Role, index: u64) -> Hello {
         let mut prg = Prg::from_entropy();
-        Hello { role, index, session: snoopy_crypto::rng::Rng::gen(&mut prg) }
+        Hello {
+            role,
+            index,
+            session: snoopy_crypto::rng::Rng::gen(&mut prg),
+            wall_ns: snoopy_telemetry::events::unix_now_ns(),
+        }
     }
 
     /// Serializes the hello body (goes under [`tag::HELLO`]).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(17);
+        let mut out = Vec::with_capacity(25);
         out.push(self.role.encode());
         out.extend_from_slice(&self.index.to_le_bytes());
         out.extend_from_slice(&self.session.to_le_bytes());
+        out.extend_from_slice(&self.wall_ns.to_le_bytes());
         out
     }
 
-    /// Parses a hello body.
+    /// Parses a hello body. Accepts the 17-byte pre-clock-stamp form
+    /// (`wall_ns` reads as 0 = unknown) and the current 25-byte form.
     pub fn decode(body: &[u8]) -> Option<Hello> {
-        if body.len() != 17 {
+        if body.len() != 17 && body.len() != 25 {
             return None;
         }
         Some(Hello {
             role: Role::decode(body[0])?,
             index: u64::from_le_bytes(body[1..9].try_into().ok()?),
             session: u64::from_le_bytes(body[9..17].try_into().ok()?),
+            wall_ns: if body.len() == 25 {
+                u64::from_le_bytes(body[17..25].try_into().ok()?)
+            } else {
+                0
+            },
         })
     }
+}
+
+/// The public trace context carried on every [`tag::BATCH`] frame: which
+/// epoch, from which balancer, and the per-epoch send wave (0 = first send,
+/// 1+ = replay waves). All three are wire-observable already — the network
+/// adversary sees which link carried the frame and counts re-sends — so
+/// carrying them in the clear leaks nothing new, and they let every
+/// subORAM's spans and events name the balancer-side epoch they served.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// The balancer epoch this batch belongs to.
+    pub epoch: u64,
+    /// The sending balancer's index.
+    pub lb: u64,
+    /// Send wave within the epoch: 0 on first send, incremented per replay.
+    pub seq: u64,
+}
+
+/// Encodes a [`tag::BATCH`] body: `epoch | lb | seq` (u64 LE each) followed
+/// by the sealed batch. The epoch stays first so epoch-keyed frame
+/// inspection (e.g. the chaos proxy's fault decisions) reads both this and
+/// the [`encode_epoch_sealed`] layout.
+pub fn encode_batch_ctx(ctx: TraceCtx, sealed: &snoopy_crypto::aead::SealedBox) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24 + sealed.bytes.len());
+    out.extend_from_slice(&ctx.epoch.to_le_bytes());
+    out.extend_from_slice(&ctx.lb.to_le_bytes());
+    out.extend_from_slice(&ctx.seq.to_le_bytes());
+    out.extend_from_slice(&sealed.bytes);
+    out
+}
+
+/// Inverse of [`encode_batch_ctx`].
+pub fn decode_batch_ctx(body: &[u8]) -> Option<(TraceCtx, snoopy_crypto::aead::SealedBox)> {
+    if body.len() < 24 {
+        return None;
+    }
+    let ctx = TraceCtx {
+        epoch: u64::from_le_bytes(body[..8].try_into().ok()?),
+        lb: u64::from_le_bytes(body[8..16].try_into().ok()?),
+        seq: u64::from_le_bytes(body[16..24].try_into().ok()?),
+    };
+    Some((ctx, snoopy_crypto::aead::SealedBox { bytes: body[24..].to_vec() }))
 }
 
 /// An epoch-tagged sealed payload: the body of [`tag::BATCH`] and
@@ -224,10 +298,32 @@ mod tests {
 
     #[test]
     fn hello_roundtrip() {
-        let h = Hello { role: Role::LoadBalancer, index: 3, session: 0xDEAD_BEEF };
+        let h =
+            Hello { role: Role::LoadBalancer, index: 3, session: 0xDEAD_BEEF, wall_ns: 123_456 };
         assert_eq!(Hello::decode(&h.encode()), Some(h));
         assert_eq!(Hello::decode(&[]), None);
         assert_eq!(Hello::decode(&[9; 17]), None); // bad role
+        assert_eq!(Hello::decode(&[0; 20]), None); // bad length
+                                                   // The pre-clock-stamp 17-byte form still decodes (wall_ns = 0).
+        let legacy = Hello::decode(&h.encode()[..17]).unwrap();
+        assert_eq!(legacy.session, h.session);
+        assert_eq!(legacy.wall_ns, 0);
+        // Hello::new stamps a live wall clock.
+        assert!(Hello::new(Role::Admin, 0).wall_ns > 0);
+    }
+
+    #[test]
+    fn batch_ctx_roundtrip() {
+        let sealed = snoopy_crypto::aead::SealedBox { bytes: vec![4, 5, 6] };
+        let ctx = TraceCtx { epoch: 11, lb: 2, seq: 1 };
+        let body = encode_batch_ctx(ctx, &sealed);
+        let (back, back_sealed) = decode_batch_ctx(&body).unwrap();
+        assert_eq!(back, ctx);
+        assert_eq!(back_sealed.bytes, sealed.bytes);
+        // Epoch-first layout: epoch-keyed inspectors read the same prefix
+        // as the plain epoch+sealed framing.
+        assert_eq!(u64::from_le_bytes(body[..8].try_into().unwrap()), 11);
+        assert!(decode_batch_ctx(&body[..23]).is_none());
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 use crate::proto::{tag, Hello};
 use crate::session::{FrameAssembler, OutBuf, Overflow, ReadStep};
+use snoopy_telemetry::events::{self, Event, EventKind};
 use snoopy_telemetry::{metrics, Public};
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -237,6 +238,9 @@ struct Slot {
     handle: SessionHandle,
     /// Worker pinning: `session_id % workers`.
     session_id: u64,
+    /// Edge detector for the backpressure flight-recorder event: set while
+    /// reads are paused so only the pause *transition* is recorded.
+    was_paused: bool,
 }
 
 struct WorkItem {
@@ -321,7 +325,12 @@ fn reactor_loop(
                         shared,
                         handle,
                         session_id: next_id,
+                        was_paused: false,
                     });
+                    events::record(
+                        Event::new(EventKind::NetAccept)
+                            .with("session", Public::wire_observable(next_id)),
+                    );
                     next_id += 1;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -353,6 +362,7 @@ fn reactor_loop(
                         shared: reg.shared,
                         handle,
                         session_id: next_id,
+                        was_paused: false,
                     });
                     next_id += 1;
                 }
@@ -376,6 +386,10 @@ fn reactor_loop(
                 if let Some(handler) = &slot.handler {
                     handler.lock().unwrap().on_close();
                 }
+                events::record(
+                    Event::new(EventKind::NetClose)
+                        .with("session", Public::wire_observable(slot.session_id)),
+                );
                 progress = true;
                 false
             }
@@ -433,8 +447,16 @@ fn sweep(
     let paused = slot.shared.inflight.load(Ordering::Acquire) >= slot.shared.inflight_cap
         || slot.shared.out.lock().unwrap().over_watermark();
     if paused {
+        if !slot.was_paused {
+            slot.was_paused = true;
+            events::record(
+                Event::new(EventKind::NetBackpressure)
+                    .with("session", Public::wire_observable(slot.session_id)),
+            );
+        }
         return Sweep::Alive { moved: wrote > 0 };
     }
+    slot.was_paused = false;
 
     let (frames, eof) = match slot.assembler.read_from(&mut slot.stream, READ_BUDGET) {
         Ok(ReadStep::Frames(f)) => (f, false),

@@ -26,7 +26,8 @@ use snoopy_core::link::Link;
 use snoopy_core::transport::{run_suboram, SubEvent, SubOramNode, SubTransport};
 use snoopy_crypto::{Key256, Prg};
 use snoopy_lb::partition_objects;
-use snoopy_telemetry::{metrics, trace, Public};
+use snoopy_telemetry::events::{self, Event, EventKind};
+use snoopy_telemetry::{merge, metrics, trace, Public};
 use std::io;
 use std::net::TcpListener;
 use std::path::PathBuf;
@@ -162,6 +163,7 @@ pub fn run(
         .with_retain(manifest.retain_epochs as usize)
         .with_threads(manifest.sub_threads as usize);
 
+    events::recorder().set_identity("suboram", index as u64);
     let listener = TcpListener::bind(&manifest.suborams[index])?;
     let (events_tx, events_rx) = channel();
     let conns: ConnTable = Arc::new(Mutex::new((0..num_lbs).map(|_| None).collect()));
@@ -206,9 +208,34 @@ pub fn run(
                 Err(SaveError::Io(e)) => panic!("checkpoint write failed: {e}"),
             }
             metrics::stage_histogram("checkpoint_seal").observe(Public::timing(seal_span.finish()));
+            events::record(
+                Event::new(EventKind::CheckpointCommit)
+                    .with("epoch", Public::wire_observable(epoch)),
+            );
         }
     });
+    events::record(Event::new(EventKind::Shutdown));
+    events::recorder().dump("shutdown");
     Ok(())
+}
+
+/// Publishes the session-handshake clock-offset estimate for a peer: the
+/// hello carries the dialer's wall clock (`wall_ns`), so `theirs − ours` at
+/// accept time bounds the skew to within the (one-way) connect latency.
+/// Legacy 17-byte hellos carry no stamp (`wall_ns == 0`) and are skipped.
+/// Both the stamp and accept timing are wire-observable.
+pub(crate) fn record_peer_clock_offset(peer: &str, wall_ns: u64) {
+    if wall_ns == 0 {
+        return;
+    }
+    let offset_s = (wall_ns as i64 - events::unix_now_ns() as i64) as f64 / 1e9;
+    metrics::global()
+        .gauge_labeled(
+            "snoopy_peer_clock_offset_seconds",
+            "estimated peer wall-clock offset (theirs minus ours) at session handshake",
+            Some(("peer", peer)),
+        )
+        .set(Public::wire_observable(offset_s));
 }
 
 /// Everything the reactor's acceptor needs about the daemon it serves.
@@ -233,6 +260,7 @@ impl AcceptCtx {
                     return None;
                 }
                 let stats = self.registry.link(&format!("lb/{lb}"));
+                record_peer_clock_offset(&format!("lb/{lb}"), hello.wall_ns);
                 let (batch_link, resp_link) = proto::suboram_session_links(
                     &self.deploy,
                     lb,
@@ -265,6 +293,7 @@ impl AcceptCtx {
                 }))
             }
             Role::Admin => {
+                record_peer_clock_offset("admin", hello.wall_ns);
                 let events_tx = self.events_tx.clone();
                 Some(Box::new(AdminHandler::new(self.registry.clone(), self.info, move || {
                     let _ = events_tx.send(SubEvent::Shutdown);
@@ -293,9 +322,14 @@ impl SessionHandler for LbSessionHandler {
         if t != tag::BATCH {
             return Control::Close;
         }
-        let Some((epoch, sealed)) = proto::decode_epoch_sealed(&body) else {
+        let Some((ctx, sealed)) = proto::decode_batch_ctx(&body) else {
             return Control::Close;
         };
+        // The frame's trace context is plaintext routing metadata — epoch,
+        // balancer index and per-(sub, epoch) send sequence, all
+        // wire-observable already. The sequence distinguishes a first send
+        // (seq 0) from replay waves in traces and flight-recorder dumps.
+        let epoch = ctx.epoch;
         // A link failure (tamper/replay) kills the session; the balancer
         // redials with a fresh one.
         let Ok(batch) = self.batch_link.open(&sealed, self.value_len) else {
@@ -368,6 +402,7 @@ impl SessionHandler for AdminHandler {
                 // Bridge link counters in at scrape time; everything else
                 // (epoch counters, stage histograms) is already live.
                 self.registry.publish_metrics(reg);
+                trace::tracer().publish_metrics(reg);
                 let daemon = format!("{}/{}", self.info.role, self.info.index);
                 reg.gauge_labeled(
                     "snoopy_uptime_seconds",
@@ -376,6 +411,27 @@ impl SessionHandler for AdminHandler {
                 )
                 .set(Public::timing(self.info.started.elapsed().as_secs_f64()));
                 if handle.send_frame(tag::METRICS_RESP, reg.render_prometheus().as_bytes()) {
+                    Control::Continue
+                } else {
+                    Control::Close
+                }
+            }
+            tag::TRACE_REQ => {
+                // Destructive drain: spans collected since the last trace
+                // RPC, anchored to this process's wall clock so the
+                // collector can rebase them (see `telemetry::merge`).
+                let process = format!("{}/{}", self.info.role, self.info.index);
+                let dump = merge::capture_dump(&process, trace::tracer());
+                if handle.send_frame(tag::TRACE_RESP, dump.render_json().as_bytes()) {
+                    Control::Continue
+                } else {
+                    Control::Close
+                }
+            }
+            tag::EVENTS_REQ => {
+                // Non-destructive snapshot of the flight recorder, as JSONL.
+                let body = events::to_jsonl(&events::recorder().snapshot());
+                if handle.send_frame(tag::EVENTS_RESP, body.as_bytes()) {
                     Control::Continue
                 } else {
                     Control::Close

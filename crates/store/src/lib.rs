@@ -47,6 +47,7 @@ use snoopy_suboram::{
     decode_object, encode_object, SnapshotError, StorageBackend, StorageGeneration, SubOram,
     SubOramError,
 };
+use snoopy_telemetry::events::{self, Event, EventKind};
 use snoopy_telemetry::metrics::{self, names};
 use snoopy_telemetry::Public;
 
@@ -724,6 +725,11 @@ impl StorageBackend for DiskBackend {
             .counter(names::STORE_FSYNCS_TOTAL, "segment/directory fsyncs")
             .add(Public::wire_observable(fsyncs));
         metrics::stage_histogram("store_commit").observe(Public::timing(started.elapsed()));
+        events::record(
+            Event::new(EventKind::StorageCommit)
+                .with("generation", Public::wire_observable(self.generation))
+                .with("fsyncs", Public::wire_observable(fsyncs)),
+        );
         Ok(Some(StorageGeneration { generation: self.generation, digest: self.root_digest() }))
     }
 

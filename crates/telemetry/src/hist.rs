@@ -163,11 +163,15 @@ pub struct HistogramSnapshot {
 impl HistogramSnapshot {
     /// The value at quantile `q` in `[0, 1]`: the inclusive top of the
     /// bucket containing the `ceil(q·count)`-th sample (0 if empty).
+    ///
+    /// Out-of-range `q` clamps to `[0, 1]`; a NaN `q` reads as 1.0 (the
+    /// conservative upper end) rather than propagating garbage ranks.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = if q.is_nan() { 1.0 } else { q.clamp(0.0, 1.0) };
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -235,6 +239,48 @@ mod tests {
         for v in 0..SUBBUCKETS as u64 {
             assert_eq!(bucket_top(bucket_of(v)), v);
         }
+    }
+
+    #[test]
+    fn quantile_empty_snapshot_is_zero() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        for q in [0.0, 0.5, 0.99, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(s.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p99(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_single_sample_boundaries() {
+        let h = LogHistogram::new();
+        h.record(5_000);
+        let s = h.snapshot();
+        // Every quantile of a one-sample distribution is that sample (the
+        // bucket top is capped at the recorded max, so it's exact).
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 5_000, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_extreme_q_boundaries() {
+        let h = LogHistogram::new();
+        for v in [10u64, 1_000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // q=0.0 still ranks the first sample (minimum's bucket), q=1.0 the
+        // last; out-of-range q clamps, NaN reads as the upper end.
+        assert_eq!(s.quantile(0.0), 10);
+        assert_eq!(s.quantile(1.0), 100_000);
+        assert_eq!(s.quantile(-3.0), s.quantile(0.0));
+        assert_eq!(s.quantile(7.0), s.quantile(1.0));
+        assert_eq!(s.quantile(f64::NAN), s.quantile(1.0));
+        // q=1.0 never exceeds the true max even though the bucket top may.
+        assert!(s.quantile(1.0) <= s.max);
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //!   deployment plane records into.
 //! * [`chrome`] — a dependency-free JSON parser and Chrome-trace validator
 //!   used by the acceptance tests.
+//! * [`events`] — the flight recorder: a bounded ring of `Public`-gated
+//!   lifecycle events (epoch starts, replay waves, degraded epochs,
+//!   commits, reactor churn) with JSONL dumps for post-mortems.
+//! * [`merge`] — combines per-process tracer dumps into one cluster-wide
+//!   Chrome trace, aligning clocks via round-trip offset estimation.
+//! * [`slo`] — Prometheus-exposition parsing and SLO burn gating for
+//!   `snoopy-mon` and the CI observability suite.
 //!
 //! Zero dependencies, `std` only: the workspace builds with no network
 //! access and the telemetry plane must not change that.
@@ -31,12 +38,18 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod events;
 pub mod hist;
+pub mod merge;
 pub mod metrics;
 pub mod public;
+pub mod slo;
 pub mod trace;
 
+pub use events::{Event, EventKind, EventRecord, FlightRecorder};
 pub use hist::{HistogramSnapshot, LogHistogram};
+pub use merge::{merged_chrome_trace, ProcessDump};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use public::{Provenance, Public, Secret};
+pub use slo::{SloBurn, SloPolicy, SloReport};
 pub use trace::{chrome_trace_json, span, tracer, SpanRecord, Tracer};

@@ -1,0 +1,274 @@
+//! Merging per-process span dumps into one cluster-wide Chrome trace.
+//!
+//! Each process's [`crate::trace::Tracer`] timestamps spans against its own
+//! monotonic origin, so dumps from a balancer and its subORAMs live on
+//! unrelated timelines. A [`ProcessDump`] anchors a drain to the wall
+//! clock: `origin_unix_ns` is the tracer origin expressed as Unix time, and
+//! `now_unix_ns` is the wall clock at dump time so the collector can
+//! estimate the peer's clock offset from the RPC round trip
+//! ([`estimate_offset_ns`], Cristian's algorithm — the same midpoint
+//! estimate the session handshake uses for its per-peer offset gauge).
+//!
+//! [`merged_chrome_trace`] rebases every dump onto the collector's
+//! timeline (`origin_unix_ns + start_ns − offset`, shifted so the earliest
+//! span sits at ts 0), assigns each process a distinct Chrome `pid`, and
+//! prefixes span names with the process name — the result loads in
+//! `chrome://tracing`/Perfetto as one timeline with a lane per process,
+//! and round-trips through the in-tree validator
+//! ([`crate::chrome::parse_chrome_trace`]).
+//!
+//! **Leakage**: a dump contains span names/timings (already exportable —
+//! [`crate::trace`]'s PublicTiming contract), the process's public
+//! role/index, and wall-clock stamps of dump serving (timing of a
+//! data-independent admin RPC). No new surface.
+
+use crate::chrome::Json;
+use crate::trace::{escape_json, SpanRecord};
+use std::borrow::Cow;
+
+/// One process's span drain, anchored to the wall clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessDump {
+    /// Public process name, e.g. `loadbalancer/0` or `suboram/2`.
+    pub process: String,
+    /// The tracer's origin instant as Unix nanoseconds (on the process's
+    /// own clock).
+    pub origin_unix_ns: u64,
+    /// Wall clock when the dump was served (process's own clock); the
+    /// collector's offset estimate keys off this.
+    pub now_unix_ns: u64,
+    /// Spans lost to ring overwrites (lifetime) — nonzero means truncated.
+    pub spans_dropped: u64,
+    /// The drained spans.
+    pub spans: Vec<SpanRecord>,
+    /// Estimated offset of this process's clock relative to the
+    /// collector's, in nanoseconds (`theirs − ours`). Not serialized; set
+    /// by the collector before merging. 0 for the collector itself.
+    pub clock_offset_ns: i64,
+}
+
+impl ProcessDump {
+    /// Serializes the dump as one JSON document (offset excluded — it is
+    /// collector-side state).
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.spans.len() * 96);
+        out.push_str("{\"process\":\"");
+        escape_json(&self.process, &mut out);
+        out.push_str(&format!(
+            "\",\"origin_unix_ns\":{},\"now_unix_ns\":{},\"spans_dropped\":{},\"spans\":[",
+            self.origin_unix_ns, self.now_unix_ns, self.spans_dropped
+        ));
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            escape_json(&s.name, &mut out);
+            out.push_str(&format!(
+                "\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                s.tid, s.start_ns, s.dur_ns
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a serialized dump (offset initialized to 0).
+    pub fn parse(text: &str) -> Result<ProcessDump, String> {
+        let doc = Json::parse(text)?;
+        let process =
+            doc.get("process").and_then(Json::as_str).ok_or("missing process")?.to_string();
+        let origin_unix_ns =
+            doc.get("origin_unix_ns").and_then(Json::as_f64).ok_or("missing origin_unix_ns")?
+                as u64;
+        let now_unix_ns =
+            doc.get("now_unix_ns").and_then(Json::as_f64).ok_or("missing now_unix_ns")? as u64;
+        let spans_dropped = doc.get("spans_dropped").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let mut spans = Vec::new();
+        for (i, s) in
+            doc.get("spans").and_then(Json::as_arr).ok_or("missing spans")?.iter().enumerate()
+        {
+            let name =
+                s.get("name").and_then(Json::as_str).ok_or(format!("span {i}: missing name"))?;
+            let tid =
+                s.get("tid").and_then(Json::as_f64).ok_or(format!("span {i}: missing tid"))?;
+            let start_ns = s
+                .get("start_ns")
+                .and_then(Json::as_f64)
+                .ok_or(format!("span {i}: missing start_ns"))?;
+            let dur_ns = s
+                .get("dur_ns")
+                .and_then(Json::as_f64)
+                .ok_or(format!("span {i}: missing dur_ns"))?;
+            spans.push(SpanRecord {
+                name: Cow::Owned(name.to_string()),
+                tid: tid as u64,
+                start_ns: start_ns as u64,
+                dur_ns: dur_ns as u64,
+            });
+        }
+        Ok(ProcessDump {
+            process,
+            origin_unix_ns,
+            now_unix_ns,
+            spans_dropped,
+            spans,
+            clock_offset_ns: 0,
+        })
+    }
+}
+
+/// Captures a dump of `tracer` for this process: drains it and anchors the
+/// origin to the wall clock.
+pub fn capture_dump(process: &str, tracer: &crate::trace::Tracer) -> ProcessDump {
+    let now_unix = crate::events::unix_now_ns();
+    let now_rel = tracer.now_ns();
+    let (spans, _) = tracer.drain();
+    ProcessDump {
+        process: process.to_string(),
+        origin_unix_ns: now_unix.saturating_sub(now_rel),
+        now_unix_ns: now_unix,
+        spans_dropped: tracer.dropped_total(),
+        spans,
+        clock_offset_ns: 0,
+    }
+}
+
+/// Cristian's midpoint clock-offset estimate from one request/response
+/// round trip: the collector records its clock before (`t0`) and after
+/// (`t1`) the RPC; the peer reports its clock (`t_remote`) while serving.
+/// Returns the estimated offset `theirs − ours` in nanoseconds (accurate
+/// to within half the round-trip time — microseconds on loopback).
+pub fn estimate_offset_ns(t0_local_ns: u64, t_remote_ns: u64, t1_local_ns: u64) -> i64 {
+    let midpoint = (t0_local_ns / 2).wrapping_add(t1_local_ns / 2) as i64;
+    t_remote_ns as i64 - midpoint
+}
+
+/// Merges per-process dumps into one Chrome `trace_event` JSON document:
+/// process *i* becomes `pid` *i + 1*, span names gain a
+/// `<process>::` prefix, and every timestamp is rebased onto a shared
+/// timeline (`origin + start − offset`, shifted so the earliest span is at
+/// ts 0 — the validator rejects negative timestamps).
+pub fn merged_chrome_trace(dumps: &[ProcessDump]) -> String {
+    // Absolute (collector-clock) start of every span.
+    let abs = |d: &ProcessDump, s: &SpanRecord| -> i64 {
+        (d.origin_unix_ns as i64).wrapping_add(s.start_ns as i64) - d.clock_offset_ns
+    };
+    let min_abs =
+        dumps.iter().flat_map(|d| d.spans.iter().map(move |s| abs(d, s))).min().unwrap_or(0);
+    let total: usize = dumps.iter().map(|d| d.spans.len()).sum();
+    let mut out = String::with_capacity(128 + total * 112);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (pi, d) in dumps.iter().enumerate() {
+        for s in &d.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"");
+            escape_json(&d.process, &mut out);
+            out.push_str("::");
+            escape_json(&s.name, &mut out);
+            out.push_str(&format!(
+                "\",\"cat\":\"snoopy\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+                pi + 1,
+                s.tid,
+                (abs(d, s) - min_abs).max(0) as f64 / 1e3,
+                s.dur_ns as f64 / 1e3
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::parse_chrome_trace;
+
+    fn span(name: &str, tid: u64, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord { name: Cow::Owned(name.to_string()), tid, start_ns, dur_ns }
+    }
+
+    fn dump(process: &str, origin: u64, spans: Vec<SpanRecord>) -> ProcessDump {
+        ProcessDump {
+            process: process.to_string(),
+            origin_unix_ns: origin,
+            now_unix_ns: origin + 1_000_000,
+            spans_dropped: 0,
+            spans,
+            clock_offset_ns: 0,
+        }
+    }
+
+    #[test]
+    fn dump_json_roundtrip() {
+        let d = dump("suboram/1", 1_000_000, vec![span("epoch/suboram_scan/1", 2, 500, 250)]);
+        let back = ProcessDump::parse(&d.render_json()).unwrap();
+        assert_eq!(back, d);
+        assert!(ProcessDump::parse("{}").is_err());
+    }
+
+    #[test]
+    fn merged_trace_validates_and_aligns() {
+        // Balancer origin at t=1ms; subORAM clock runs 5µs fast (offset
+        // +5000ns) with origin at t=1.002ms on its own clock.
+        let lb = dump("loadbalancer/0", 1_000_000, vec![span("epoch", 1, 0, 10_000)]);
+        let mut sub = dump("suboram/0", 1_007_000, vec![span("epoch/suboram_scan/0", 1, 0, 4_000)]);
+        sub.clock_offset_ns = 5_000;
+        let json = merged_chrome_trace(&[lb, sub]);
+        let events = parse_chrome_trace(&json).unwrap();
+        assert_eq!(events.len(), 2);
+        // Earliest span sits at ts 0; the subORAM span lands inside the
+        // balancer's epoch span once the offset is subtracted
+        // (1_007_000 − 5_000 − 1_000_000 = 2_000ns = 2µs).
+        assert_eq!(events[0].ts, 0.0);
+        assert_eq!(events[0].name, "loadbalancer/0::epoch");
+        assert_eq!(events[1].name, "suboram/0::epoch/suboram_scan/0");
+        assert!((events[1].ts - 2.0).abs() < 1e-9, "ts {}", events[1].ts);
+        assert!(events[1].ts >= events[0].ts);
+        assert!(events[1].ts + events[1].dur <= events[0].ts + events[0].dur);
+        // Distinct processes got distinct pids.
+        let doc = Json::parse(&json).unwrap();
+        let pids: Vec<f64> = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|e| e.get("pid").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(pids, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_merge_validates() {
+        let json = merged_chrome_trace(&[]);
+        assert!(parse_chrome_trace(&json).unwrap().is_empty());
+    }
+
+    #[test]
+    fn offset_estimation_midpoint() {
+        // Peer clock 1000ns ahead; RPC takes 400ns each way.
+        let t0 = 10_000u64;
+        let t_remote = 10_400 + 1_000;
+        let t1 = 10_800u64;
+        assert_eq!(estimate_offset_ns(t0, t_remote, t1), 1_000);
+        // Symmetric case: no offset.
+        assert_eq!(estimate_offset_ns(100, 150, 200), 0);
+    }
+
+    #[test]
+    fn capture_dump_anchors_origin() {
+        let t = crate::trace::Tracer::new();
+        drop(t.span("work"));
+        let d = capture_dump("loadbalancer/0", &t);
+        assert_eq!(d.spans.len(), 1);
+        assert!(d.origin_unix_ns > 0);
+        assert!(d.now_unix_ns >= d.origin_unix_ns);
+        // Origin + relative span start is a plausible wall-clock time.
+        assert!(d.origin_unix_ns + d.spans[0].start_ns <= d.now_unix_ns + 1_000_000);
+    }
+}

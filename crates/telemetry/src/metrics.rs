@@ -332,6 +332,30 @@ fn escape_label(v: &str) -> String {
     v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
+/// Whether `name` is a valid Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. External scrapers silently drop series with
+/// invalid names, so the registry's tests hold every exported name to this
+/// grammar.
+pub fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Whether `name` is a valid Prometheus label name: `[a-zA-Z_][a-zA-Z0-9_]*`
+/// (colons are reserved for metric names).
+pub fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
 fn fmt_f64(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e15 {
         format!("{v}")
@@ -458,6 +482,49 @@ mod tests {
             audit[0].provenances,
             vec![Provenance::RequestVolume, Provenance::WireObservable]
         );
+    }
+
+    #[test]
+    fn exported_names_match_prometheus_grammar() {
+        // Every well-known constant and every name a populated registry
+        // renders must satisfy the scraper's name grammar — an invalid name
+        // would be dropped silently by a real Prometheus.
+        let r = MetricsRegistry::new();
+        r.counter(names::EPOCHS_TOTAL, "e").add(Public::wire_observable(1));
+        r.gauge_labeled("snoopy_info", "i", Some(("role", "loadbalancer")))
+            .set(Public::config(1.0));
+        r.histogram_labeled(names::STAGE_SECONDS, "s", Some(("stage", "lb_make")))
+            .observe(Public::timing(std::time::Duration::from_millis(1)));
+        for entry in r.audit() {
+            assert!(is_valid_metric_name(&entry.name), "bad metric name {:?}", entry.name);
+            if let Some((k, _)) = &entry.label {
+                assert!(is_valid_label_name(k), "bad label name {k:?}");
+            }
+        }
+        for line in r.render_prometheus().lines() {
+            let name = if let Some(rest) =
+                line.strip_prefix("# HELP ").or_else(|| line.strip_prefix("# TYPE "))
+            {
+                rest.split_whitespace().next().unwrap()
+            } else {
+                line.split(['{', ' ']).next().unwrap()
+            };
+            assert!(is_valid_metric_name(name), "rendered bad name {name:?} in line {line:?}");
+        }
+    }
+
+    #[test]
+    fn name_grammar_rejects_invalid() {
+        assert!(is_valid_metric_name("snoopy_epochs_total"));
+        assert!(is_valid_metric_name(":subsystem:ok"));
+        assert!(is_valid_metric_name("_hidden"));
+        assert!(!is_valid_metric_name(""));
+        assert!(!is_valid_metric_name("9starts_with_digit"));
+        assert!(!is_valid_metric_name("has-dash"));
+        assert!(!is_valid_metric_name("has space"));
+        assert!(is_valid_label_name("stage"));
+        assert!(!is_valid_label_name("sta:ge"));
+        assert!(!is_valid_label_name("1stage"));
     }
 
     #[test]

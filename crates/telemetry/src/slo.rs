@@ -1,0 +1,438 @@
+//! SLO burn computation over scraped Prometheus expositions.
+//!
+//! `snoopy-mon` scrapes every daemon's metrics RPC and needs to turn the
+//! text expositions into a verdict: is the cluster inside its service-level
+//! objectives? [`parse_prometheus`] reads the exposition format the
+//! in-tree registry renders (and any Prometheus-compatible exporter
+//! produces), [`SloBurn`] condenses one scrape into the burn signals the
+//! paper's operational story cares about (stage p99, degraded-epoch rate,
+//! replay waves, reply-cache evictions, storage buffer stalls), and
+//! [`SloPolicy::evaluate`] gates them — the CI hook behind
+//! `scripts/verify.sh`'s observability suite.
+//!
+//! **Leakage**: SLO inputs are aggregates of already-exported public
+//! metrics, and the typed constructor only accepts [`Public`] witnesses —
+//! a [`crate::public::Secret`] cannot become an SLO input:
+//!
+//! ```compile_fail
+//! use snoopy_telemetry::slo::SloBurn;
+//! use snoopy_telemetry::public::{Public, Secret};
+//!
+//! let secret_rate: Secret<f64> = Secret::new(0.9);
+//! // Every SloBurn input is a Public<f64>; a Secret is not accepted.
+//! let burn = SloBurn::new(
+//!     Public::wire_observable(10.0),
+//!     Public::timing(0.010),
+//!     secret_rate,
+//!     Public::wire_observable(0.0),
+//!     Public::wire_observable(0.0),
+//!     Public::wire_observable(0.0),
+//! );
+//! ```
+
+use crate::public::Public;
+use std::collections::BTreeMap;
+
+/// One parsed sample: label set (sorted) and value.
+pub type Sample = (Vec<(String, String)>, f64);
+
+/// A parsed Prometheus text exposition: series name → samples.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Scrape {
+    /// Samples grouped by metric name.
+    pub series: BTreeMap<String, Vec<Sample>>,
+}
+
+impl Scrape {
+    /// Sum of every sample of `name` (0 if absent) — the usual reading for
+    /// counters that may appear under several labels.
+    pub fn sum(&self, name: &str) -> f64 {
+        self.series.get(name).map(|v| v.iter().map(|(_, x)| x).sum()).unwrap_or(0.0)
+    }
+
+    /// The value of the sample of `name` whose labels include
+    /// `key="value"`.
+    pub fn value_labeled(&self, name: &str, key: &str, value: &str) -> Option<f64> {
+        self.series.get(name)?.iter().find_map(|(labels, x)| {
+            labels.iter().any(|(k, v)| k == key && v == value).then_some(*x)
+        })
+    }
+
+    /// Estimates quantile `q` of the histogram `name` restricted to samples
+    /// carrying `key="value"`, from its cumulative `_bucket` series (`le`
+    /// upper bounds in seconds, the registry's rendering). Returns the `le`
+    /// bound of the bucket holding the `ceil(q·count)`-th sample.
+    pub fn histogram_quantile(&self, name: &str, key: &str, value: &str, q: f64) -> Option<f64> {
+        let buckets = self.series.get(&format!("{name}_bucket"))?;
+        let mut points: Vec<(f64, f64)> = Vec::new();
+        let mut total = 0.0f64;
+        for (labels, x) in buckets {
+            if !labels.iter().any(|(k, v)| k == key && v == value) {
+                continue;
+            }
+            let le = labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v.as_str())?;
+            if le == "+Inf" {
+                total = *x;
+            } else {
+                points.push((le.parse::<f64>().ok()?, *x));
+            }
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let rank = (q.clamp(0.0, 1.0) * total).ceil().max(1.0);
+        for (le, cum) in &points {
+            if *cum >= rank {
+                return Some(*le);
+            }
+        }
+        // Rank falls in the +Inf bucket: report the largest finite bound.
+        points.last().map(|(le, _)| *le)
+    }
+}
+
+/// Parses a Prometheus text exposition (`# HELP`/`# TYPE` comments are
+/// skipped; samples are `name{k="v",...} value`).
+pub fn parse_prometheus(text: &str) -> Result<Scrape, String> {
+    let mut out = Scrape::default();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, rest) = match line.find('{') {
+            Some(i) => {
+                let close = line.rfind('}').ok_or(format!("line {ln}: unclosed labels"))?;
+                (&line[..i], (&line[i + 1..close], &line[close + 1..]))
+            }
+            None => {
+                let mut it = line.splitn(2, char::is_whitespace);
+                let name = it.next().unwrap();
+                (name, ("", it.next().unwrap_or("")))
+            }
+        };
+        let (labels_part, value_part) = rest;
+        let value: f64 = value_part
+            .split_whitespace()
+            .next()
+            .ok_or(format!("line {ln}: missing value"))?
+            .parse()
+            .map_err(|_| format!("line {ln}: bad value"))?;
+        let mut labels = Vec::new();
+        let mut src = labels_part;
+        while !src.is_empty() {
+            let eq = src.find('=').ok_or(format!("line {ln}: bad label pair"))?;
+            let key = src[..eq].trim().to_string();
+            let after = &src[eq + 1..];
+            let after = after.strip_prefix('"').ok_or(format!("line {ln}: unquoted label"))?;
+            // Labels the in-tree registry emits never contain escaped
+            // quotes mid-value except via escape_label; honor backslash
+            // escapes while scanning for the closing quote.
+            let mut val = String::new();
+            let mut chars = after.char_indices();
+            let mut end = None;
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '\\' => {
+                        if let Some((_, n)) = chars.next() {
+                            val.push(match n {
+                                'n' => '\n',
+                                c => c,
+                            });
+                        }
+                    }
+                    '"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    c => val.push(c),
+                }
+            }
+            let end = end.ok_or(format!("line {ln}: unterminated label value"))?;
+            labels.push((key, val));
+            src = after[end + 1..].trim_start_matches(',').trim_start();
+        }
+        out.series.entry(name_part.to_string()).or_default().push((labels, value));
+    }
+    Ok(out)
+}
+
+/// The burn signals one scrape condenses to. Raw counts are kept so
+/// aggregation across daemons stays exact; ratios are computed at
+/// evaluation time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SloBurn {
+    /// Epochs executed.
+    pub epochs: f64,
+    /// Worst observed stage p99, seconds (the policy names the stage).
+    pub p99_seconds: f64,
+    /// Degraded epochs.
+    pub degraded_epochs: f64,
+    /// Replay waves.
+    pub replay_waves: f64,
+    /// Reply-cache evicted replays.
+    pub evicted_replays: f64,
+    /// Storage write-behind buffer stalls.
+    pub storage_stalls: f64,
+}
+
+impl SloBurn {
+    /// Builds a burn record from public inputs — the only constructor, so
+    /// the SLO plane inherits the metrics plane's leakage gate (see the
+    /// module doc's `compile_fail` proof).
+    pub fn new(
+        epochs: Public<f64>,
+        p99_seconds: Public<f64>,
+        degraded_epochs: Public<f64>,
+        replay_waves: Public<f64>,
+        evicted_replays: Public<f64>,
+        storage_stalls: Public<f64>,
+    ) -> SloBurn {
+        SloBurn {
+            epochs: epochs.into_value(),
+            p99_seconds: p99_seconds.into_value(),
+            degraded_epochs: degraded_epochs.into_value(),
+            replay_waves: replay_waves.into_value(),
+            evicted_replays: evicted_replays.into_value(),
+            storage_stalls: storage_stalls.into_value(),
+        }
+    }
+
+    /// Condenses one scrape. `p99_stage` names the
+    /// `snoopy_stage_seconds{stage=...}` histogram to take p99 from (0 when
+    /// the stage never ran). Every input is read off an exported
+    /// exposition — wire-observable by construction.
+    pub fn from_scrape(scrape: &Scrape, p99_stage: &str) -> SloBurn {
+        let p99 = scrape
+            .histogram_quantile("snoopy_stage_seconds", "stage", p99_stage, 0.99)
+            .unwrap_or(0.0);
+        SloBurn::new(
+            Public::wire_observable(scrape.sum("snoopy_epochs_total")),
+            Public::wire_observable(p99),
+            Public::wire_observable(scrape.sum("snoopy_degraded_epochs_total")),
+            Public::wire_observable(scrape.sum("snoopy_replays_total")),
+            Public::wire_observable(scrape.sum("snoopy_evicted_replays_total")),
+            Public::wire_observable(scrape.sum("snoopy_store_buffer_stalls_total")),
+        )
+    }
+
+    /// Aggregates burns from several daemons: counts add, p99 takes the
+    /// worst daemon.
+    pub fn aggregate(burns: &[SloBurn]) -> SloBurn {
+        let mut out = SloBurn::default();
+        for b in burns {
+            out.epochs += b.epochs;
+            out.p99_seconds = out.p99_seconds.max(b.p99_seconds);
+            out.degraded_epochs += b.degraded_epochs;
+            out.replay_waves += b.replay_waves;
+            out.evicted_replays += b.evicted_replays;
+            out.storage_stalls += b.storage_stalls;
+        }
+        out
+    }
+
+    /// Degraded epochs per epoch (0 when no epochs ran).
+    pub fn degraded_ratio(&self) -> f64 {
+        if self.epochs > 0.0 {
+            self.degraded_epochs / self.epochs
+        } else {
+            0.0
+        }
+    }
+
+    /// Replay waves per epoch (0 when no epochs ran).
+    pub fn replays_per_epoch(&self) -> f64 {
+        if self.epochs > 0.0 {
+            self.replay_waves / self.epochs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// SLO thresholds. A burn passes iff every signal is at or under its
+/// ceiling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloPolicy {
+    /// Stage whose p99 is gated (a `snoopy_stage_seconds` label).
+    pub p99_stage: String,
+    /// Ceiling for that stage's p99, seconds.
+    pub max_p99_seconds: f64,
+    /// Ceiling for degraded epochs per epoch.
+    pub max_degraded_ratio: f64,
+    /// Ceiling for replay waves per epoch.
+    pub max_replays_per_epoch: f64,
+    /// Ceiling for reply-cache evicted replays (absolute).
+    pub max_evicted_replays: f64,
+    /// Ceiling for storage buffer stalls (absolute).
+    pub max_storage_stalls: f64,
+}
+
+impl SloPolicy {
+    /// Deliberately loose CI floors: gate wedges and systematic failure,
+    /// not machine speed (the same philosophy as the stress suite).
+    pub fn conservative() -> SloPolicy {
+        SloPolicy {
+            p99_stage: "suboram_scan".to_string(),
+            max_p99_seconds: 5.0,
+            max_degraded_ratio: 0.9,
+            max_replays_per_epoch: 16.0,
+            max_evicted_replays: 1e9,
+            max_storage_stalls: 1e9,
+        }
+    }
+
+    /// Evaluates a burn; the report lists one violation line per breached
+    /// ceiling.
+    pub fn evaluate(&self, burn: &SloBurn) -> SloReport {
+        let mut violations = Vec::new();
+        if burn.p99_seconds > self.max_p99_seconds {
+            violations.push(format!(
+                "stage {} p99 {:.6}s exceeds ceiling {:.6}s",
+                self.p99_stage, burn.p99_seconds, self.max_p99_seconds
+            ));
+        }
+        if burn.degraded_ratio() > self.max_degraded_ratio {
+            violations.push(format!(
+                "degraded-epoch ratio {:.4} exceeds ceiling {:.4} ({} of {} epochs)",
+                burn.degraded_ratio(),
+                self.max_degraded_ratio,
+                burn.degraded_epochs,
+                burn.epochs
+            ));
+        }
+        if burn.replays_per_epoch() > self.max_replays_per_epoch {
+            violations.push(format!(
+                "replay waves/epoch {:.4} exceeds ceiling {:.4}",
+                burn.replays_per_epoch(),
+                self.max_replays_per_epoch
+            ));
+        }
+        if burn.evicted_replays > self.max_evicted_replays {
+            violations.push(format!(
+                "evicted replays {} exceed ceiling {}",
+                burn.evicted_replays, self.max_evicted_replays
+            ));
+        }
+        if burn.storage_stalls > self.max_storage_stalls {
+            violations.push(format!(
+                "storage buffer stalls {} exceed ceiling {}",
+                burn.storage_stalls, self.max_storage_stalls
+            ));
+        }
+        SloReport { burn: *burn, violations }
+    }
+}
+
+/// The outcome of gating one burn against a policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloReport {
+    /// The evaluated burn.
+    pub burn: SloBurn,
+    /// One line per breached ceiling; empty means the gate passes.
+    pub violations: Vec<String>,
+}
+
+impl SloReport {
+    /// Whether the gate passes.
+    pub fn pass(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn parses_registry_rendering() {
+        let r = MetricsRegistry::new();
+        r.counter("snoopy_epochs_total", "epochs").add(Public::wire_observable(10));
+        r.counter("snoopy_degraded_epochs_total", "degraded").add(Public::wire_observable(2));
+        r.gauge_labeled("snoopy_info", "info", Some(("role", "loadbalancer")))
+            .set(Public::config(1.0));
+        let h =
+            r.histogram_labeled("snoopy_stage_seconds", "stages", Some(("stage", "suboram_scan")));
+        for ms in [1u64, 2, 3, 200] {
+            h.observe(Public::timing(std::time::Duration::from_millis(ms)));
+        }
+        let scrape = parse_prometheus(&r.render_prometheus()).unwrap();
+        assert_eq!(scrape.sum("snoopy_epochs_total"), 10.0);
+        assert_eq!(scrape.sum("snoopy_degraded_epochs_total"), 2.0);
+        assert_eq!(scrape.value_labeled("snoopy_info", "role", "loadbalancer"), Some(1.0));
+        let p99 = scrape
+            .histogram_quantile("snoopy_stage_seconds", "stage", "suboram_scan", 0.99)
+            .unwrap();
+        assert!((0.18..=0.25).contains(&p99), "p99 {p99}");
+        let p50 = scrape
+            .histogram_quantile("snoopy_stage_seconds", "stage", "suboram_scan", 0.50)
+            .unwrap();
+        assert!((0.0015..=0.0035).contains(&p50), "p50 {p50}");
+        // Absent stage: no quantile.
+        assert_eq!(
+            scrape.histogram_quantile("snoopy_stage_seconds", "stage", "lb_match", 0.99),
+            None
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_prometheus("snoopy_x{stage=\"a\" 3").is_err());
+        assert!(parse_prometheus("snoopy_x not_a_number").is_err());
+        assert!(parse_prometheus("").unwrap().series.is_empty());
+    }
+
+    #[test]
+    fn burn_from_scrape_and_gate() {
+        let text = "\
+snoopy_epochs_total 100\n\
+snoopy_degraded_epochs_total 5\n\
+snoopy_replays_total 7\n\
+snoopy_evicted_replays_total 0\n\
+snoopy_store_buffer_stalls_total 3\n";
+        let burn = SloBurn::from_scrape(&parse_prometheus(text).unwrap(), "suboram_scan");
+        assert_eq!(burn.epochs, 100.0);
+        assert_eq!(burn.degraded_ratio(), 0.05);
+        assert_eq!(burn.replays_per_epoch(), 0.07);
+        assert_eq!(burn.p99_seconds, 0.0);
+        let pass = SloPolicy::conservative().evaluate(&burn);
+        assert!(pass.pass(), "violations: {:?}", pass.violations);
+        let mut strict = SloPolicy::conservative();
+        strict.max_degraded_ratio = 0.01;
+        strict.max_replays_per_epoch = 0.01;
+        let fail = strict.evaluate(&burn);
+        assert_eq!(fail.violations.len(), 2, "{:?}", fail.violations);
+        assert!(!fail.pass());
+    }
+
+    #[test]
+    fn aggregate_sums_counts_takes_worst_p99() {
+        let a = SloBurn {
+            epochs: 10.0,
+            p99_seconds: 0.010,
+            degraded_epochs: 1.0,
+            replay_waves: 2.0,
+            evicted_replays: 0.0,
+            storage_stalls: 0.0,
+        };
+        let b = SloBurn {
+            epochs: 20.0,
+            p99_seconds: 0.050,
+            degraded_epochs: 0.0,
+            replay_waves: 0.0,
+            evicted_replays: 1.0,
+            storage_stalls: 4.0,
+        };
+        let agg = SloBurn::aggregate(&[a, b]);
+        assert_eq!(agg.epochs, 30.0);
+        assert_eq!(agg.p99_seconds, 0.050);
+        assert_eq!(agg.degraded_epochs, 1.0);
+        assert_eq!(agg.evicted_replays, 1.0);
+        assert_eq!(agg.storage_stalls, 4.0);
+        // Empty-epoch burn: ratios are defined (0), not NaN.
+        assert_eq!(SloBurn::default().degraded_ratio(), 0.0);
+        assert_eq!(SloBurn::default().replays_per_epoch(), 0.0);
+    }
+}

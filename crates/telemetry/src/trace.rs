@@ -59,6 +59,10 @@ pub struct Tracer {
     rings: Mutex<Vec<Arc<Mutex<Ring>>>>,
     next_tid: AtomicU64,
     enabled: AtomicBool,
+    /// Lifetime count of spans lost to ring overwrites — unlike the
+    /// per-drain count returned by [`Tracer::drain`], this never resets, so
+    /// it can back a monotone counter.
+    dropped_total: AtomicU64,
 }
 
 static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
@@ -72,6 +76,7 @@ impl Tracer {
             rings: Mutex::new(Vec::new()),
             next_tid: AtomicU64::new(1),
             enabled: AtomicBool::new(true),
+            dropped_total: AtomicU64::new(0),
         }
     }
 
@@ -114,6 +119,7 @@ impl Tracer {
             if ring.spans.len() >= RING_CAPACITY {
                 ring.spans.pop_front();
                 ring.dropped += 1;
+                self.dropped_total.fetch_add(1, Ordering::Relaxed);
             }
             ring.spans.push_back(rec);
         });
@@ -155,6 +161,38 @@ impl Tracer {
         }
         out.sort_by_key(|s| s.start_ns);
         (out, dropped)
+    }
+
+    /// Lifetime count of spans overwritten by the bounded rings (never
+    /// resets, unlike the per-drain count from [`Tracer::drain`]).
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_total.load(Ordering::Relaxed)
+    }
+
+    /// Spans currently buffered across all thread rings (occupancy).
+    pub fn buffered(&self) -> usize {
+        let rings = self.rings.lock().unwrap();
+        rings.iter().map(|r| r.lock().unwrap().spans.len()).sum()
+    }
+
+    /// Publishes the tracer's own health as metrics: the cumulative
+    /// overwrite count (`snoopy_trace_spans_dropped_total`, so truncated
+    /// trace dumps are detectable rather than silently misleading) and the
+    /// current buffer occupancy gauge. Both are functions of how many
+    /// instrumented stages ran — wire-observable volume, never request
+    /// contents.
+    pub fn publish_metrics(&self, reg: &crate::metrics::MetricsRegistry) {
+        let counter = reg.counter(
+            "snoopy_trace_spans_dropped_total",
+            "spans overwritten by the bounded trace ring buffers",
+        );
+        let total = self.dropped_total();
+        let seen = counter.value();
+        if total > seen {
+            counter.add(crate::public::Public::wire_observable(total - seen));
+        }
+        reg.gauge("snoopy_trace_buffer_spans", "spans currently buffered in the trace rings")
+            .set(crate::public::Public::wire_observable(self.buffered() as f64));
     }
 }
 
@@ -224,7 +262,7 @@ impl Drop for SpanGuard<'_> {
     }
 }
 
-fn escape_json(s: &str, out: &mut String) {
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -66,4 +66,15 @@ echo "== stress (open-loop load generator, 1000 sessions) =="
 ./target/release/loadgen --clients 1000 --duration-secs 5 --rate 800 \
   --min-rps 400 --max-p99-ms 2000 --no-csv
 
+# Observability suite: the cluster-wide telemetry plane end to end. Boots a
+# real 4-process TCP cluster, merges every daemon's span rings into one
+# validated Chrome trace via `snoopy-mon trace`, SIGKILLs a subORAM, and
+# checks the SLO gate (`snoopy-mon --watch`: burn time series + pass/fail
+# exit code) plus flight-recorder attribution — the balancer's event ring
+# and its degraded-epoch auto-dumps must name exactly the killed subORAM.
+# The chaos half re-runs the attribution + provenance audit in-process.
+echo "== observability (merged trace, snoopy-mon SLO gate, flight recorder) =="
+cargo test --offline -p snoopy-net --test observability -- --nocapture
+cargo test --offline -p snoopy-chaos --test flight_recorder -- --nocapture
+
 echo "verify: OK"
