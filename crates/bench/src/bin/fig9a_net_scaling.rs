@@ -1,0 +1,267 @@
+//! Figure 9a (real plane): throughput across a k×m grid of real `snoopyd`
+//! processes — k balancers × m subORAMs over loopback TCP.
+//!
+//! The simulated `fig9a_throughput_scaling` reproduces the paper's 18-machine
+//! shape from the calibrated cost model; this bench measures the *real* net
+//! plane at test-bench scale: for each grid point it boots the cluster,
+//! drives closed-loop clients round-robined across the full balancer set
+//! through [`SnoopyClient`] (multi-endpoint failover enabled, so a slow
+//! balancer degrades throughput instead of failing the run), and reports
+//! sustained req/s per point as a CSV. The paper's claim at this scale is
+//! directional, not absolute: adding balancers and subORAMs must not
+//! *shrink* throughput (the composite epoch-id namespace has no
+//! cross-balancer barrier to serialize on).
+//!
+//! ```text
+//! fig9a_net_scaling [--grid 1x2,2x2,2x3] [--clients 8] [--duration-secs 3]
+//!                   [--objects 1024] [--value-len 32] [--epoch-ms 5] [--quick]
+//! ```
+
+use snoopy_bench::{fmt, print_table, write_csv};
+use snoopy_net::manifest::Manifest;
+use snoopy_net::{fetch_stats, proto, shutdown_daemon, SnoopyClient};
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+struct Config {
+    grid: Vec<(usize, usize)>,
+    clients: usize,
+    duration: Duration,
+    objects: u64,
+    value_len: usize,
+    epoch_ms: u64,
+    seed: u64,
+}
+
+impl Config {
+    fn parse() -> Config {
+        let mut cfg = Config {
+            grid: vec![(1, 2), (2, 2), (2, 3)],
+            clients: 8,
+            duration: Duration::from_secs(3),
+            objects: 1024,
+            value_len: 32,
+            epoch_ms: 5,
+            seed: 42,
+        };
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("missing value for {}", args[*i - 1])).clone()
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--grid" => {
+                    cfg.grid = take(&mut i)
+                        .split(',')
+                        .map(|p| {
+                            let (k, m) = p.split_once('x').expect("--grid wants kxm,kxm,…");
+                            (k.parse().expect("k"), m.parse().expect("m"))
+                        })
+                        .collect();
+                }
+                "--clients" => cfg.clients = take(&mut i).parse().expect("--clients"),
+                "--duration-secs" => {
+                    cfg.duration = Duration::from_secs_f64(take(&mut i).parse().expect("secs"))
+                }
+                "--objects" => cfg.objects = take(&mut i).parse().expect("--objects"),
+                "--value-len" => cfg.value_len = take(&mut i).parse().expect("--value-len"),
+                "--epoch-ms" => cfg.epoch_ms = take(&mut i).parse().expect("--epoch-ms"),
+                "--seed" => cfg.seed = take(&mut i).parse().expect("--seed"),
+                "--quick" => {
+                    cfg.grid = vec![(1, 2), (2, 2)];
+                    cfg.clients = 4;
+                    cfg.duration = Duration::from_secs(1);
+                }
+                other => panic!("unknown argument {other}"),
+            }
+            i += 1;
+        }
+        assert!(cfg.clients > 0 && !cfg.grid.is_empty());
+        cfg
+    }
+}
+
+/// Kills the child on drop so a failed run leaves no strays.
+struct Daemon(Child);
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn snoopyd_path() -> PathBuf {
+    if let Ok(p) = std::env::var("SNOOPYD_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop();
+    p.push("snoopyd");
+    assert!(
+        p.exists(),
+        "snoopyd binary not found at {} — build it first (cargo build --release -p snoopy-net) \
+         or set SNOOPYD_BIN",
+        p.display()
+    );
+    p
+}
+
+fn spawn_daemon(bin: &Path, role: &str, index: usize, manifest: &Path) -> Daemon {
+    let child = Command::new(bin)
+        .arg("--role")
+        .arg(role)
+        .arg("--index")
+        .arg(index.to_string())
+        .arg("--manifest")
+        .arg(manifest)
+        .stdin(Stdio::null())
+        .spawn()
+        .unwrap_or_else(|e| panic!("spawn snoopyd {role}/{index}: {e}"));
+    Daemon(child)
+}
+
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> =
+        (0..n).map(|_| TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+    listeners.iter().map(|l| l.local_addr().unwrap().to_string()).collect()
+}
+
+fn wait_for_stats(addr: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match fetch_stats(addr) {
+            Ok(_) => return,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("daemon at {addr} never came up: {e}"),
+        }
+    }
+}
+
+/// One grid point: boot k×m, run closed-loop clients, tear down.
+/// Returns (completed ops, errors).
+fn run_point(cfg: &Config, bin: &Path, k: usize, m: usize, dir: &Path) -> (u64, u64) {
+    let addrs = free_addrs(k + m);
+    let manifest = Manifest {
+        value_len: cfg.value_len,
+        lambda: 128,
+        seed: cfg.seed,
+        num_objects: cfg.objects,
+        epoch_ms: cfg.epoch_ms,
+        sub_deadline_ms: 10_000,
+        max_replays: 3,
+        retain_epochs: 8,
+        lb_threads: 1,
+        sub_threads: 1,
+        storage: snoopy_store::StorageKind::from_env(),
+        store_dir: Some(dir.join(format!("store-{k}x{m}")).to_string_lossy().into_owned()),
+        block_bytes: 4096,
+        buffer_blocks: 64,
+        load_balancers: addrs[..k].to_vec(),
+        suborams: addrs[k..].to_vec(),
+    };
+    let manifest_path = dir.join(format!("{k}x{m}.manifest"));
+    std::fs::write(&manifest_path, manifest.render()).expect("write manifest");
+    let mut daemons = Vec::new();
+    for i in 0..m {
+        daemons.push(spawn_daemon(bin, "suboram", i, &manifest_path));
+    }
+    for i in 0..k {
+        daemons.push(spawn_daemon(bin, "loadbalancer", i, &manifest_path));
+    }
+    for addr in &addrs {
+        wait_for_stats(addr);
+    }
+
+    let deploy = proto::deployment_key(cfg.seed);
+    let completed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for c in 0..cfg.clients {
+            let lbs = manifest.load_balancers.clone();
+            let deploy = deploy.clone();
+            let (completed, errors, stop) = (&completed, &errors, &stop);
+            let cfg = &*cfg;
+            scope.spawn(move || {
+                // Client c prefers balancer c % k (round-robin spread) but
+                // keeps the full manifest-ordered set for failover.
+                let mut client = match SnoopyClient::builder(cfg.value_len)
+                    .read_timeout(Duration::from_secs(10))
+                    .connect_tcp_multi_preferring(&lbs, c % lbs.len(), &deploy)
+                {
+                    Ok(cl) => cl,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut payload = vec![0u8; cfg.value_len];
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = (n * 7 + c as u64) % cfg.objects;
+                    let result = if n.is_multiple_of(10) {
+                        payload[..8].copy_from_slice(&n.to_le_bytes());
+                        client.write(id, &payload).map(|_| ())
+                    } else {
+                        client.read(id).map(|_| ())
+                    };
+                    match result {
+                        Ok(()) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    n += 1;
+                }
+            });
+        }
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    for addr in &addrs {
+        let _ = shutdown_daemon(addr);
+    }
+    drop(daemons);
+    (completed.load(Ordering::Relaxed), errors.load(Ordering::Relaxed))
+}
+
+fn main() {
+    let cfg = Config::parse();
+    let bin = snoopyd_path();
+    let dir = std::env::temp_dir().join(format!("snoopy-fig9a-net-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    let mut rows = Vec::new();
+    for &(k, m) in &cfg.grid {
+        println!(
+            "[fig9a-net] {k}x{m}: booting {k} balancer(s) + {m} subORAM(s), \
+             {} closed-loop clients for {:.1}s",
+            cfg.clients,
+            cfg.duration.as_secs_f64()
+        );
+        let (completed, errors) = run_point(&cfg, &bin, k, m, &dir);
+        let rps = completed as f64 / cfg.duration.as_secs_f64();
+        rows.push(vec![
+            k.to_string(),
+            m.to_string(),
+            cfg.clients.to_string(),
+            completed.to_string(),
+            errors.to_string(),
+            format!("{rps:.0}"),
+        ]);
+        println!("[fig9a-net] {k}x{m}: {} reqs/s ({errors} errors)", fmt(rps));
+    }
+    let header = ["balancers", "suborams", "clients", "completed", "errors", "rps"];
+    print_table("Figure 9a (real plane): throughput across the kxm grid", &header, &rows);
+    write_csv("fig9a_net_scaling", &header, &rows);
+    let _ = std::fs::remove_dir_all(&dir);
+}

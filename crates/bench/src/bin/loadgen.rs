@@ -1,12 +1,13 @@
 //! Open-loop load generator for the TCP net plane.
 //!
-//! Boots a real `snoopyd` cluster (one balancer, `--suborams` subORAMs) as
-//! child processes, opens `--clients` concurrent sealed client sessions
-//! against the balancer from this single process (nonblocking sockets, one
-//! sweep loop — no thread per session), and drives an open-loop arrival
-//! process: Zipf-distributed keys, bursty on/off rate modulation, arrivals
-//! issued on schedule regardless of completions. Reports sustained req/s
-//! and latency quantiles from the telemetry histogram, plus the balancer's
+//! Boots a real `snoopyd` cluster (`--balancers` balancers, `--suborams`
+//! subORAMs) as child processes, opens `--clients` concurrent sealed client
+//! sessions round-robined across the full balancer set from this single
+//! process (nonblocking sockets, one sweep loop — no thread per session),
+//! and drives an open-loop arrival process: Zipf-distributed keys, bursty
+//! on/off rate modulation, arrivals issued on schedule regardless of
+//! completions. Reports sustained req/s and latency quantiles from the
+//! telemetry histogram (aggregate and per balancer), plus each balancer's
 //! own epoch/request counters scraped over the `metrics` RPC.
 //!
 //! The daemons run as separate OS processes so the generator and the
@@ -18,7 +19,6 @@
 
 use snoopy_bench::{print_table, write_csv};
 use snoopy_core::link::Link;
-use snoopy_crypto::aead::SealedBox;
 use snoopy_enclave::wire::Request;
 use snoopy_net::error::NetError;
 use snoopy_net::manifest::Manifest;
@@ -45,6 +45,7 @@ struct Config {
     clients: usize,
     duration: Duration,
     rate: f64,
+    balancers: usize,
     suborams: usize,
     objects: u64,
     value_len: usize,
@@ -66,6 +67,7 @@ impl Config {
             clients: 10_000,
             duration: Duration::from_secs(10),
             rate: 2_000.0,
+            balancers: 1,
             suborams: 2,
             objects: 1024,
             value_len: 32,
@@ -93,6 +95,7 @@ impl Config {
                     cfg.duration = Duration::from_secs_f64(take(&mut i).parse().expect("secs"))
                 }
                 "--rate" => cfg.rate = take(&mut i).parse().expect("--rate"),
+                "--balancers" => cfg.balancers = take(&mut i).parse().expect("--balancers"),
                 "--suborams" => cfg.suborams = take(&mut i).parse().expect("--suborams"),
                 "--objects" => cfg.objects = take(&mut i).parse().expect("--objects"),
                 "--value-len" => cfg.value_len = take(&mut i).parse().expect("--value-len"),
@@ -119,7 +122,7 @@ impl Config {
             }
             i += 1;
         }
-        assert!(cfg.clients > 0 && cfg.suborams > 0 && cfg.rate > 0.0);
+        assert!(cfg.clients > 0 && cfg.balancers > 0 && cfg.suborams > 0 && cfg.rate > 0.0);
         assert!((0.0..1.0).contains(&cfg.burst_duty) && cfg.burst_duty > 0.0);
         assert!(cfg.burst_factor >= 1.0 && cfg.burst_factor * cfg.burst_duty < 1.0 + 1e-9);
         cfg
@@ -172,7 +175,9 @@ impl Zipf {
 }
 
 /// One nonblocking client session: sealed links, frame assembler, bounded
-/// outbound buffer, and the seqs still awaiting a response.
+/// outbound buffer, and the seqs still awaiting a response. `lb` is the
+/// balancer index the session is pinned to (round-robin assignment at
+/// connect time; sessions are sticky for reply-cache locality).
 struct Session {
     stream: TcpStream,
     req_link: Link,
@@ -181,6 +186,7 @@ struct Session {
     out: OutBuf,
     pending: VecDeque<(u64, Instant)>,
     seq: u64,
+    lb: usize,
     dead: bool,
 }
 
@@ -244,11 +250,15 @@ fn wait_for_stats(addr: &str) {
     }
 }
 
-fn connect_sessions(addr: &str, n: usize, deploy: &snoopy_crypto::Key256) -> Vec<Session> {
+/// Opens `n` sessions round-robined across `lb_addrs` (session `i` pins to
+/// balancer `i % k`). Session links are derived per balancer index, so the
+/// assignment is part of the key schedule, not just routing.
+fn connect_sessions(lb_addrs: &[String], n: usize, deploy: &snoopy_crypto::Key256) -> Vec<Session> {
     let mut sessions = Vec::with_capacity(n);
     for i in 0..n {
+        let lb = i % lb_addrs.len();
         let mut stream = loop {
-            match TcpStream::connect(addr) {
+            match TcpStream::connect(&lb_addrs[lb]) {
                 Ok(s) => break s,
                 // Loopback SYN backlog overflow under a connect storm:
                 // back off briefly and retry.
@@ -264,7 +274,7 @@ fn connect_sessions(addr: &str, n: usize, deploy: &snoopy_crypto::Key256) -> Vec
         frame.extend_from_slice(&body);
         stream.write_all(&frame).expect("hello write");
         stream.set_nonblocking(true).expect("nonblocking");
-        let (req_link, resp_link) = proto::client_session_links(deploy, 0, hello.session);
+        let (req_link, resp_link) = proto::client_session_links(deploy, lb, hello.session);
         sessions.push(Session {
             stream,
             req_link,
@@ -273,6 +283,7 @@ fn connect_sessions(addr: &str, n: usize, deploy: &snoopy_crypto::Key256) -> Vec
             out: OutBuf::new(256 << 10, 64 << 20),
             pending: VecDeque::new(),
             seq: 0,
+            lb,
             dead: false,
         });
         if (i + 1) % 2000 == 0 {
@@ -306,7 +317,7 @@ fn main() {
     let bin = snoopyd_path();
     let dir = std::env::temp_dir().join(format!("snoopy-loadgen-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("tmp dir");
-    let addrs = free_addrs(1 + cfg.suborams);
+    let addrs = free_addrs(cfg.balancers + cfg.suborams);
     let manifest = Manifest {
         value_len: cfg.value_len,
         lambda: 128,
@@ -322,15 +333,16 @@ fn main() {
         store_dir: Some(dir.join("store").to_string_lossy().into_owned()),
         block_bytes: 4096,
         buffer_blocks: 64,
-        load_balancers: vec![addrs[0].clone()],
-        suborams: addrs[1..].to_vec(),
+        load_balancers: addrs[..cfg.balancers].to_vec(),
+        suborams: addrs[cfg.balancers..].to_vec(),
     };
     let manifest_path = dir.join("loadgen.manifest");
     std::fs::write(&manifest_path, manifest.render()).expect("write manifest");
 
     println!(
-        "[loadgen] booting 1 balancer + {} subORAM(s); {} clients, {:.0} req/s mean \
+        "[loadgen] booting {} balancer(s) + {} subORAM(s); {} clients, {:.0} req/s mean \
          (burst ×{:.1}, duty {:.0}%), Zipf θ={}, {} objects × {} B, epoch {} ms",
+        cfg.balancers,
         cfg.suborams,
         cfg.clients,
         cfg.rate,
@@ -342,17 +354,19 @@ fn main() {
         cfg.epoch_ms,
     );
     let mut daemons: Vec<Daemon> = Vec::new();
-    for (i, _) in addrs[1..].iter().enumerate() {
+    for (i, _) in addrs[cfg.balancers..].iter().enumerate() {
         daemons.push(spawn_daemon(&bin, "suboram", i, &manifest_path));
     }
-    daemons.push(spawn_daemon(&bin, "loadbalancer", 0, &manifest_path));
+    for i in 0..cfg.balancers {
+        daemons.push(spawn_daemon(&bin, "loadbalancer", i, &manifest_path));
+    }
     for addr in &addrs {
         wait_for_stats(addr);
     }
 
     let deploy = proto::deployment_key(cfg.seed);
     let connect_start = Instant::now();
-    let mut sessions = connect_sessions(&addrs[0], cfg.clients, &deploy);
+    let mut sessions = connect_sessions(&addrs[..cfg.balancers], cfg.clients, &deploy);
     println!(
         "[loadgen] {} sessions connected in {:.1}s",
         sessions.len(),
@@ -364,6 +378,7 @@ fn main() {
     let mut rng = Rng(cfg.seed | 1);
     let zipf = Zipf::new(cfg.objects, cfg.zipf_theta);
     let mut totals = Totals { completed: 0, unavailable: 0, session_failures: 0 };
+    let mut per_lb_completed = vec![0u64; cfg.balancers];
     let mut payload = vec![0u8; cfg.value_len];
 
     let start = Instant::now();
@@ -456,7 +471,13 @@ fn main() {
                 progressed = true;
                 match t {
                     tag::CLIENT_RESP => {
-                        let sealed = SealedBox { bytes: body };
+                        // The body is the composite epoch id (LE u64) then
+                        // the sealed response batch.
+                        let Some((_epoch, sealed)) = proto::decode_epoch_sealed(&body) else {
+                            s.dead = true;
+                            totals.session_failures += 1;
+                            break;
+                        };
                         let Ok(batch) = s.resp_link.open_responses(&sealed, cfg.value_len) else {
                             s.dead = true;
                             totals.session_failures += 1;
@@ -469,6 +490,7 @@ fn main() {
                                 let (_, issued_at) = s.pending.remove(pos).expect("pos valid");
                                 hist.observe(Public::wire_observable(now - issued_at));
                                 totals.completed += 1;
+                                per_lb_completed[s.lb] += 1;
                             }
                         }
                     }
@@ -518,12 +540,19 @@ fn main() {
     let max_ms = snap.max as f64 / 1e6;
     let live = sessions.iter().filter(|s| !s.dead).count();
 
-    // The balancer's own view, over the metrics RPC.
-    let lb_metrics = fetch_metrics(&addrs[0]).unwrap_or_default();
-    let epochs = prom_value(&lb_metrics, "snoopy_epochs_total").unwrap_or(0.0);
-    let lb_requests = prom_value(&lb_metrics, "snoopy_requests_total").unwrap_or(0.0);
+    // Each balancer's own view, over the metrics RPC.
+    let mut epochs = 0.0;
+    let mut lb_requests = 0.0;
+    let mut per_lb_epochs = vec![0.0; cfg.balancers];
+    for (i, addr) in addrs[..cfg.balancers].iter().enumerate() {
+        let lb_metrics = fetch_metrics(addr).unwrap_or_default();
+        per_lb_epochs[i] = prom_value(&lb_metrics, "snoopy_epochs_total").unwrap_or(0.0);
+        epochs += per_lb_epochs[i];
+        lb_requests += prom_value(&lb_metrics, "snoopy_requests_total").unwrap_or(0.0);
+    }
 
     let header = vec![
+        "balancer",
         "clients",
         "live",
         "issued",
@@ -536,7 +565,8 @@ fn main() {
         "max_ms",
         "lb_epochs",
     ];
-    let row = vec![
+    let mut rows = vec![vec![
+        "all".to_string(),
         cfg.clients.to_string(),
         live.to_string(),
         issued.to_string(),
@@ -548,15 +578,36 @@ fn main() {
         format!("{p99_ms:.2}"),
         format!("{max_ms:.2}"),
         format!("{epochs:.0}"),
-    ];
-    print_table("open-loop load generator", &header, std::slice::from_ref(&row));
+    ]];
+    if cfg.balancers > 1 {
+        for (i, &done) in per_lb_completed.iter().enumerate() {
+            let lb_clients =
+                cfg.clients / cfg.balancers + usize::from(i < cfg.clients % cfg.balancers);
+            let lb_live = sessions.iter().filter(|s| s.lb == i && !s.dead).count();
+            rows.push(vec![
+                format!("lb/{i}"),
+                lb_clients.to_string(),
+                lb_live.to_string(),
+                "-".to_string(),
+                done.to_string(),
+                "-".to_string(),
+                format!("{:.0}", done as f64 / window),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                format!("{:.0}", per_lb_epochs[i]),
+            ]);
+        }
+    }
+    print_table("open-loop load generator", &header, &rows);
     println!(
-        "[loadgen] balancer counted {lb_requests:.0} requests across {epochs:.0} epochs; \
-         {} session failures",
-        totals.session_failures
+        "[loadgen] {} balancer(s) counted {lb_requests:.0} requests across {epochs:.0} \
+         composite epochs; {} session failures",
+        cfg.balancers, totals.session_failures
     );
     if let Some(name) = &cfg.csv {
-        write_csv(name, &header, &[row]);
+        write_csv(name, &header, &rows);
     }
 
     // Graceful teardown: sessions first (so the balancer drains), then the

@@ -140,6 +140,23 @@ impl FaultPlanConfig {
             until_epoch: at_epoch.saturating_add(down_epochs),
         })
     }
+
+    /// Kills balancer `lb` for an epoch-id window: cuts it off from *every*
+    /// subORAM, which is how a crashed (or fully partitioned) balancer looks
+    /// to the data plane. Epoch coordinates are the ids stamped on batches —
+    /// composite `wall * k + index` ids in a `k`-balancer deployment — so
+    /// balancer `lb` only ever occupies the ids congruent to `lb` mod `k`,
+    /// and a window meant to cover its next `n` batches must span `n * k`
+    /// ids. (True process death on the TCP plane is SIGKILL in the harness;
+    /// this sugar is the in-process/proxy approximation.)
+    pub fn kill_balancer(self, lb: usize, at_epoch: u64, down_epochs: u64) -> FaultPlanConfig {
+        self.partition(Partition {
+            lb: Some(lb),
+            suboram: None,
+            from_epoch: at_epoch,
+            until_epoch: at_epoch.saturating_add(down_epochs),
+        })
+    }
 }
 
 /// Counts of what a plan actually did, for run-to-run comparison.
@@ -389,6 +406,25 @@ mod tests {
         let s = plan.summary();
         assert_eq!(s.partition_drops, 3);
         assert_eq!(s.drops, 0, "partition drops are counted separately");
+    }
+
+    #[test]
+    fn kill_balancer_cuts_one_balancer_from_every_suboram() {
+        // Composite ids in a 2-balancer world: lb 1 owns the odd ids. Cut
+        // its batches for ids [3, 9); lb 0's even ids are untouched.
+        let plan = FaultPlan::new(FaultPlanConfig::new(2).kill_balancer(1, 3, 6));
+        for epoch in 0..12u64 {
+            for sub in 0..2 {
+                let lb = (epoch % 2) as usize;
+                let want = if lb == 1 && (3..9).contains(&epoch) {
+                    FaultAction::Drop
+                } else {
+                    FaultAction::Deliver
+                };
+                assert_eq!(plan.on_batch(lb, sub, epoch), want, "epoch {epoch} sub {sub}");
+            }
+        }
+        assert_eq!(plan.summary().partition_drops, 3 * 2, "ids 3,5,7 × 2 subORAMs");
     }
 
     #[test]

@@ -102,12 +102,14 @@ fn killed_suboram_degrades_typed_then_heals() {
 fn severed_partition_wildcards_cut_every_balancer() {
     let seed = chaos_seed(0xC4A5_0003);
     eprintln!("CHAOS_SEED={seed}");
-    // Wildcard balancer side: both balancers lose subORAM 0 in epoch 0.
+    // Wildcard balancer side: both balancers lose subORAM 0 in their first
+    // epoch. Epoch ids are composite (`wall * k + lb`), so the first tick of
+    // a 2-balancer cluster stamps ids 0 and 1 — the window spans both.
     let plan = Arc::new(FaultPlan::new(FaultPlanConfig::new(seed).partition(Partition {
         lb: None,
         suboram: Some(0),
         from_epoch: 0,
-        until_epoch: 1,
+        until_epoch: 2,
     })));
     let cfg = SnoopyConfig::with_machines(2, 2).value_len(VLEN);
     let policy = EpochFaultPolicy::with_deadline(Duration::from_millis(40), 1);
@@ -121,10 +123,10 @@ fn severed_partition_wildcards_cut_every_balancer() {
         let err = rx
             .recv_timeout(Duration::from_secs(30))
             .expect("cluster hung")
-            .expect_err("epoch 0 must degrade on both balancers");
+            .expect_err("the first epoch must degrade on both balancers");
         assert_eq!(err.failed_suborams, vec![0]);
     }
-    // Epoch 1 is healthy everywhere.
+    // The second wall epoch (ids 2 and 3) is healthy everywhere.
     let rx = client.read_async(3);
     cluster.tick();
     assert!(rx.recv_timeout(Duration::from_secs(30)).unwrap().is_ok());

@@ -11,9 +11,10 @@
 //! supplies the channel-backed [`LbTransport`]/[`SubTransport`]
 //! implementations, so the exact same loops drive the TCP deployment plane
 //! (`snoopy-net`). The concurrent execution must be *observably identical* to
-//! the synchronous reference engine ([`crate::system::Snoopy`]): subORAMs
-//! process each epoch's batches in load-balancer order, and responses only
-//! depend on epoch boundaries — integration tests check exactly this.
+//! the synchronous reference engine ([`crate::system::Snoopy`]): each epoch
+//! id belongs to one balancer (the ticker hands balancer `i` ids from its
+//! residue class `i mod L`), subORAMs execute each batch on arrival, and
+//! responses only depend on epoch boundaries — integration tests check this.
 //!
 //! For chaos testing, [`InProcessCluster::start_with_faults`] boots the same
 //! topology with a [`FaultInjector`] wired into every link and an
@@ -429,12 +430,16 @@ impl InProcessCluster {
         snoopy_telemetry::metrics::global()
     }
 
-    /// Manually closes the current epoch: all balancers batch what they have.
+    /// Manually closes the current epoch: all balancers batch what they
+    /// have. Balancer `i` gets the composite epoch id `wall * L + i` — its
+    /// own residue class, so ids are globally unique and `id % L` names the
+    /// owner (see `transport`'s module docs).
     pub fn tick(&mut self) {
-        let epoch = self.epoch;
+        let wall = self.epoch;
         self.epoch += 1;
-        for tx in &self.lb_senders {
-            let _ = tx.send(LbMsg::Tick(epoch));
+        let l = self.lb_senders.len() as u64;
+        for (i, tx) in self.lb_senders.iter().enumerate() {
+            let _ = tx.send(LbMsg::Tick(wall * l + i as u64));
         }
     }
 
@@ -442,7 +447,7 @@ impl InProcessCluster {
     pub fn start_ticker(&mut self, interval: Duration) {
         let (stop_tx, stop_rx) = channel::<()>();
         let lb_senders = self.lb_senders.clone();
-        let mut epoch = self.epoch;
+        let mut wall = self.epoch;
         // Reserve a large epoch range for the ticker so manual ticks (not
         // recommended while a ticker runs) don't collide.
         self.epoch += 1 << 32;
@@ -451,10 +456,11 @@ impl InProcessCluster {
             match stop_rx.recv_timeout(interval) {
                 Ok(()) | Err(RecvTimeoutError::Disconnected) => break,
                 Err(RecvTimeoutError::Timeout) => {
-                    for tx in &lb_senders {
-                        let _ = tx.send(LbMsg::Tick(epoch));
+                    let l = lb_senders.len() as u64;
+                    for (i, tx) in lb_senders.iter().enumerate() {
+                        let _ = tx.send(LbMsg::Tick(wall * l + i as u64));
                     }
-                    epoch += 1;
+                    wall += 1;
                 }
             }
         }));

@@ -7,6 +7,17 @@
 //! given the operations of a run (with the epoch/balancer/arrival coordinates
 //! the deployment assigns) it replays them against a sequential hashmap and
 //! verifies every read returned the latest written value.
+//!
+//! Two checkers are provided. [`check_linearizable`] replays the paper's
+//! coordinate order directly — sound when that order is known to refine the
+//! history's real-time order (e.g. sequential clients, or ops stamped by one
+//! balancer, whose composite epoch ids are monotone). For histories with
+//! *concurrent* operations through distinct balancers the coordinate order
+//! of two overlapping ops may disagree with the subORAM's actual execution
+//! order, so [`check_linearizable_realtime`] instead searches for *any*
+//! witness order consistent with real time (Wing–Gong style per-key
+//! backtracking, justified by Herlihy–Wing locality: a history is
+//! linearizable iff each per-key subhistory is).
 
 use std::collections::HashMap;
 
@@ -92,12 +103,114 @@ pub fn check_linearizable(
     Ok(())
 }
 
+/// One completed operation with its real-time interval: `invoked` is a
+/// logical timestamp taken just before the operation was submitted and
+/// `completed` one taken after its acknowledgment arrived (any shared
+/// monotone counter works — the checker only compares them). Two ops are
+/// real-time ordered iff one's `completed` is strictly below the other's
+/// `invoked`; otherwise they overlap and may linearize in either order.
+#[derive(Clone, Debug)]
+pub struct TimedOp {
+    /// Logical timestamp before submission.
+    pub invoked: u64,
+    /// Logical timestamp after the acknowledgment.
+    pub completed: u64,
+    /// Object id.
+    pub id: u64,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+/// Checks a history of real-time-stamped operations for linearizability:
+/// is there *any* total order that (a) respects real time (an op that
+/// completed before another was invoked comes first) and (b) replays
+/// correctly against hashmap semantics from `initial`?
+///
+/// Works per key (Herlihy–Wing locality) with Wing–Gong backtracking —
+/// worst-case exponential in the number of *overlapping* ops on one key, so
+/// intended for test-sized histories (the cross-balancer chaos tests), not
+/// production traces. Complements [`check_linearizable`], which trusts the
+/// paper's coordinate order and therefore cannot certify histories whose
+/// concurrent ops were stamped by different balancers.
+pub fn check_linearizable_realtime(
+    ops: &[TimedOp],
+    initial: &HashMap<u64, Vec<u8>>,
+    value_len: usize,
+) -> Result<(), Violation> {
+    let zeros = vec![0u8; value_len];
+    let mut by_key: HashMap<u64, Vec<&TimedOp>> = HashMap::new();
+    for op in ops {
+        by_key.entry(op.id).or_default().push(op);
+    }
+    for (id, key_ops) in by_key {
+        let initial_value = initial.get(&id).unwrap_or(&zeros).clone();
+        let mut used = vec![false; key_ops.len()];
+        let mut state = initial_value;
+        if !linearize_key(&key_ops, &mut used, &mut state, 0) {
+            return Err(Violation {
+                message: format!(
+                    "no linearization of the {} operations on id {id} respects \
+                     both real time and read/write semantics",
+                    key_ops.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Backtracking search for a witness order of one key's operations.
+/// A candidate may go next iff no other *unchosen* op completed strictly
+/// before its invocation (taking it would invert real time), and, for a
+/// read, its returned value matches the replay state.
+fn linearize_key(ops: &[&TimedOp], used: &mut [bool], state: &mut Vec<u8>, chosen: usize) -> bool {
+    if chosen == ops.len() {
+        return true;
+    }
+    for i in 0..ops.len() {
+        if used[i] {
+            continue;
+        }
+        let blocked =
+            ops.iter().enumerate().any(|(j, p)| j != i && !used[j] && p.completed < ops[i].invoked);
+        if blocked {
+            continue;
+        }
+        match &ops[i].kind {
+            OpKind::Read { returned } => {
+                if returned != state {
+                    continue;
+                }
+                used[i] = true;
+                if linearize_key(ops, used, state, chosen + 1) {
+                    return true;
+                }
+                used[i] = false;
+            }
+            OpKind::Write { value } => {
+                used[i] = true;
+                let saved = std::mem::replace(state, value.clone());
+                if linearize_key(ops, used, state, chosen + 1) {
+                    return true;
+                }
+                *state = saved;
+                used[i] = false;
+            }
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn rec(epoch: u64, lb: u64, arrival: u64, id: u64, kind: OpKind) -> OpRecord {
         OpRecord { epoch, lb, arrival, id, kind }
+    }
+
+    fn timed(invoked: u64, completed: u64, id: u64, kind: OpKind) -> TimedOp {
+        TimedOp { invoked, completed, id, kind }
     }
 
     #[test]
@@ -161,5 +274,60 @@ mod tests {
         let initial: HashMap<u64, Vec<u8>> = [(3u64, vec![5u8; 4])].into_iter().collect();
         let ops = vec![rec(0, 0, 0, 3, OpKind::Read { returned: vec![5; 4] })];
         assert!(check_linearizable(&ops, &initial, 4).is_ok());
+    }
+
+    #[test]
+    fn realtime_accepts_sequential_history() {
+        let ops = vec![
+            timed(0, 1, 7, OpKind::Read { returned: vec![0; 4] }),
+            timed(2, 3, 7, OpKind::Write { value: vec![1; 4] }),
+            timed(4, 5, 7, OpKind::Read { returned: vec![1; 4] }),
+        ];
+        assert!(check_linearizable_realtime(&ops, &HashMap::new(), 4).is_ok());
+    }
+
+    #[test]
+    fn realtime_allows_either_order_for_overlapping_writes() {
+        // Two concurrent writes; a later read may see either one, but not a
+        // value nobody wrote.
+        let base = vec![
+            timed(0, 10, 9, OpKind::Write { value: vec![1; 4] }),
+            timed(1, 9, 9, OpKind::Write { value: vec![2; 4] }),
+        ];
+        for winner in [1u8, 2u8] {
+            let mut ops = base.clone();
+            ops.push(timed(20, 21, 9, OpKind::Read { returned: vec![winner; 4] }));
+            assert!(
+                check_linearizable_realtime(&ops, &HashMap::new(), 4).is_ok(),
+                "winner {winner} is a valid linearization"
+            );
+        }
+        let mut ops = base;
+        ops.push(timed(20, 21, 9, OpKind::Read { returned: vec![3; 4] }));
+        assert!(check_linearizable_realtime(&ops, &HashMap::new(), 4).is_err());
+    }
+
+    #[test]
+    fn realtime_rejects_lost_acknowledged_write() {
+        // The write completed before the read was invoked, so the read must
+        // see it (or a later write — there is none).
+        let ops = vec![
+            timed(0, 1, 4, OpKind::Write { value: vec![8; 4] }),
+            timed(2, 3, 4, OpKind::Read { returned: vec![0; 4] }),
+        ];
+        let err = check_linearizable_realtime(&ops, &HashMap::new(), 4).unwrap_err();
+        assert!(err.message.contains("id 4"), "{}", err.message);
+    }
+
+    #[test]
+    fn realtime_respects_initial_state_and_keys_are_independent() {
+        let initial: HashMap<u64, Vec<u8>> = [(1u64, vec![5u8; 4])].into_iter().collect();
+        let ops = vec![
+            timed(0, 1, 1, OpKind::Read { returned: vec![5; 4] }),
+            // A concurrent read+write on another key can't absorb key 1's ops.
+            timed(0, 10, 2, OpKind::Write { value: vec![6; 4] }),
+            timed(2, 3, 2, OpKind::Read { returned: vec![0; 4] }),
+        ];
+        assert!(check_linearizable_realtime(&ops, &initial, 4).is_ok());
     }
 }

@@ -11,9 +11,23 @@
 //! encrypted, replay-protected links.
 //!
 //! The loops preserve the observable behavior of the synchronous reference
-//! engine ([`crate::system::Snoopy`]): subORAMs execute each epoch's batches
-//! in load-balancer order (§4.3), and a balancer's epoch commits only after
+//! engine ([`crate::system::Snoopy`]): a balancer's epoch commits only after
 //! all `S` response batches for that epoch arrived.
+//!
+//! # Epoch-id namespace (multi-balancer clusters)
+//!
+//! With `L` balancers, epoch ids form a *composite namespace*: every id `e`
+//! is owned by exactly one balancer, `e % L`, and each balancer's tick
+//! source hands it ids from its own residue class (`wall * L + index`).
+//! SubORAMs execute each balancer's batch the moment it arrives — there is
+//! no cross-balancer barrier, so a dead balancer cannot stall the others —
+//! and refuse batches whose id names a different owner. Integer division
+//! recovers the paper's linearization coordinates from an id: `e / L` is
+//! the wall epoch and `e % L` the balancer, giving the total order of
+//! Appendix C (epoch, then balancer, then reads-before-writes, then
+//! arrival). Both coordinates are wire-observable already (epoch ids ride
+//! plaintext in batch trace context), so the composite encoding leaks
+//! nothing new.
 //!
 //! # Failure handling
 //!
@@ -34,7 +48,7 @@ use snoopy_lb::LoadBalancer;
 use snoopy_suboram::SubOram;
 use snoopy_telemetry::events::{self, Event, EventKind};
 use snoopy_telemetry::{metrics, trace, Public};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
 /// Typed failure for an epoch the balancer completed in degraded mode: the
@@ -68,9 +82,14 @@ pub type ClientReply = Result<Response, Unavailable>;
 
 /// Where a client's matched response gets delivered.
 pub trait ReplySink: Send {
-    /// Consumes the sink, delivering the response. Delivery failures (client
-    /// gave up, connection gone) are swallowed: the epoch still commits.
-    fn deliver(self: Box<Self>, resp: Response);
+    /// Consumes the sink, delivering the response. `epoch` is the id of the
+    /// epoch the request committed in — wire-observable already (it rides
+    /// plaintext in batch trace context), and in a multi-balancer cluster it
+    /// encodes the linearization coordinates (`epoch / L`, `epoch % L`)
+    /// clients use to order their own committed operations. Delivery
+    /// failures (client gave up, connection gone) are swallowed: the epoch
+    /// still commits.
+    fn deliver(self: Box<Self>, resp: Response, epoch: u64);
 
     /// Consumes the sink, delivering a typed failure instead of a response
     /// (the request's epoch completed degraded).
@@ -78,7 +97,7 @@ pub trait ReplySink: Send {
 }
 
 impl ReplySink for std::sync::mpsc::Sender<ClientReply> {
-    fn deliver(self: Box<Self>, resp: Response) {
+    fn deliver(self: Box<Self>, resp: Response, _epoch: u64) {
         let _ = self.send(Ok(resp));
     }
 
@@ -470,7 +489,7 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                         epoch_reqs.into_iter().map(|(_, s)| Some(s)).collect();
                     for resp in matched {
                         if let Some(sink) = sinks[resp.client as usize].take() {
-                            sink.deliver(resp);
+                            sink.deliver(resp, epoch);
                         }
                     }
                 }
@@ -560,13 +579,11 @@ fn record_degraded_epoch_metrics(affected_requests: usize, epoch: u64, failed: &
 
 /// What [`SubOramNode::handle_batch`] decided about an incoming batch.
 pub enum BatchOutcome {
-    /// Still waiting for other balancers' batches for this epoch.
-    Waiting,
-    /// The epoch just executed; one entry per balancer, in balancer order.
-    /// `Some` is a response batch; `None` means that balancer's batch was
-    /// refused with a typed error (it gets a failure notice instead of a
-    /// response). The node's state (and any checkpoint) already reflects it.
-    Completed(Vec<Option<Vec<Request>>>),
+    /// The batch's epoch just executed. `Some` is the response batch for the
+    /// owning balancer; `None` means the batch was refused with a typed
+    /// error (it gets a failure notice instead of a response). The node's
+    /// state (and any checkpoint) already reflects it.
+    Completed(Option<Vec<Request>>),
     /// The batch was a re-delivery of an already-executed epoch (a resend
     /// after a reconnect or restart); the cached outcome for the sending
     /// balancer is replayed without touching the ORAM. `None` replays the
@@ -588,10 +605,27 @@ pub enum BatchOutcome {
         /// The too-old epoch.
         epoch: u64,
     },
+    /// The batch's epoch id names a different balancer as its owner
+    /// (`epoch % num_lbs != lb`). Caching it under the sender would collide
+    /// with the owner's reply-cache slot, so the node refuses with a typed
+    /// NACK and touches no state. Only a buggy or malicious balancer — or a
+    /// misconfigured cluster where two daemons disagree on `L` — hits this.
+    Rejected {
+        /// The balancer whose batch was refused.
+        lb: usize,
+        /// The epoch id with the foreign owner.
+        epoch: u64,
+    },
 }
 
-/// A subORAM's deployment-plane state machine: epoch assembly, in-order
-/// execution, and an at-most-once reply cache.
+/// A subORAM's deployment-plane state machine: per-balancer epoch streams,
+/// immediate execution, and an at-most-once reply cache.
+///
+/// Every epoch id is owned by one balancer (`epoch % num_lbs` — see the
+/// module docs) and carries exactly one batch, so the node executes each
+/// batch the moment it arrives. Batches from distinct balancers interleave
+/// in arrival order; there is no cross-balancer barrier, so a dead balancer
+/// cannot stall the epochs of the survivors.
 ///
 /// The reply cache makes batch delivery idempotent: a balancer that lost the
 /// connection mid-epoch can blindly resend its batch after reconnecting, and
@@ -608,11 +642,9 @@ pub struct SubOramNode {
     num_lbs: usize,
     /// This subORAM's index in the deployment (telemetry labels only).
     index: Option<usize>,
-    /// Batches per epoch, indexed by balancer, until all `L` arrive.
-    pending: HashMap<u64, Vec<Option<Vec<Request>>>>,
     /// Executed epochs kept for replay, newest `retain` only. `None` entries
     /// are batches that were refused with a typed error.
-    completed: BTreeMap<u64, Vec<Option<Vec<Request>>>>,
+    completed: BTreeMap<u64, Option<Vec<Request>>>,
     retain: usize,
     /// Epochs below this executed once and were evicted; replaying them is
     /// refused. Persisted in checkpoints so restarts cannot re-execute.
@@ -628,7 +660,6 @@ impl SubOramNode {
             oram,
             num_lbs,
             index: None,
-            pending: HashMap::new(),
             completed: BTreeMap::new(),
             retain: 8,
             evicted_below: 0,
@@ -641,19 +672,10 @@ impl SubOramNode {
     pub fn restore(
         oram: SubOram,
         num_lbs: usize,
-        completed: BTreeMap<u64, Vec<Option<Vec<Request>>>>,
+        completed: BTreeMap<u64, Option<Vec<Request>>>,
         evicted_below: u64,
     ) -> SubOramNode {
-        SubOramNode {
-            oram,
-            num_lbs,
-            index: None,
-            pending: HashMap::new(),
-            completed,
-            retain: 8,
-            evicted_below,
-            threads: 1,
-        }
+        SubOramNode { oram, num_lbs, index: None, completed, retain: 8, evicted_below, threads: 1 }
     }
 
     /// Labels this node with its deployment index so its scan spans read
@@ -694,9 +716,10 @@ impl SubOramNode {
         &mut self.oram
     }
 
-    /// The reply cache (for checkpointing). `None` entries are batches that
-    /// were refused with a typed error.
-    pub fn completed(&self) -> &BTreeMap<u64, Vec<Option<Vec<Request>>>> {
+    /// The reply cache (for checkpointing), keyed by composite epoch id
+    /// (the owning balancer is `epoch % num_lbs`). `None` entries are
+    /// batches that were refused with a typed error.
+    pub fn completed(&self) -> &BTreeMap<u64, Option<Vec<Request>>> {
         &self.completed
     }
 
@@ -711,21 +734,20 @@ impl SubOramNode {
         self.num_lbs
     }
 
-    /// Feeds one batch in; executes the epoch once all `L` batches arrived.
+    /// Feeds one batch in; executes it immediately (each epoch id carries
+    /// exactly one balancer's batch — see the module docs on the composite
+    /// epoch-id namespace).
     pub fn handle_batch(&mut self, lb: usize, epoch: u64, batch: Vec<Request>) -> BatchOutcome {
         assert!(lb < self.num_lbs, "balancer index {lb} out of range");
+        if epoch % self.num_lbs as u64 != lb as u64 {
+            return BatchOutcome::Rejected { lb, epoch };
+        }
         if epoch < self.evicted_below {
             return BatchOutcome::Evicted { lb, epoch };
         }
         if let Some(cached) = self.completed.get(&epoch) {
-            return BatchOutcome::Replayed { lb, batch: cached[lb].clone() };
+            return BatchOutcome::Replayed { lb, batch: cached.clone() };
         }
-        let slot = self.pending.entry(epoch).or_insert_with(|| vec![None; self.num_lbs]);
-        slot[lb] = Some(batch);
-        if !slot.iter().all(|b| b.is_some()) {
-            return BatchOutcome::Waiting;
-        }
-        let batches = self.pending.remove(&epoch).unwrap();
         // The scan span name carries only configuration (the subORAM index)
         // and its duration is the timing of a data-oblivious linear scan —
         // both public per §2.1.
@@ -733,34 +755,28 @@ impl SubOramNode {
             Some(i) => trace::span(format!("epoch/suboram_scan/{i}")),
             None => trace::span("epoch/suboram_scan"),
         };
-        // Fixed balancer order (§4.3).
-        let mut out: Vec<Option<Vec<Request>>> = Vec::with_capacity(self.num_lbs);
-        for batch in batches {
-            let batch = batch.unwrap();
-            let resp = if batch.is_empty() {
-                Some(Vec::new())
-            } else {
-                // A malformed batch (duplicate ids, from a buggy or malicious
-                // balancer) fails oblivious hash construction *before* any
-                // partition state mutates, so refusing just this balancer's
-                // batch is safe: the other balancers' batches execute
-                // normally and the node stays serviceable. The refusal is
-                // recorded and NACKed; it must never panic the node.
-                match self.oram.batch_access_parallel(batch, self.threads) {
-                    Ok(resp) => Some(resp),
-                    Err(_) => {
-                        metrics::global()
-                            .counter(
-                                metrics::names::SUB_BATCH_FAILURES_TOTAL,
-                                "subORAM batches refused with a typed error",
-                            )
-                            .inc(Public::wire_observable(()));
-                        None
-                    }
+        let out = if batch.is_empty() {
+            Some(Vec::new())
+        } else {
+            // A malformed batch (duplicate ids, from a buggy or malicious
+            // balancer) fails oblivious hash construction *before* any
+            // partition state mutates, so refusing just this balancer's
+            // batch is safe: other balancers' epochs execute normally and
+            // the node stays serviceable. The refusal is recorded and
+            // NACKed; it must never panic the node.
+            match self.oram.batch_access_parallel(batch, self.threads) {
+                Ok(resp) => Some(resp),
+                Err(_) => {
+                    metrics::global()
+                        .counter(
+                            metrics::names::SUB_BATCH_FAILURES_TOTAL,
+                            "subORAM batches refused with a typed error",
+                        )
+                        .inc(Public::wire_observable(()));
+                    None
                 }
-            };
-            out.push(resp);
-        }
+            }
+        };
         let scan_time = scan_span.finish();
         metrics::stage_histogram("suboram_scan").observe(Public::timing(scan_time));
         self.completed.insert(epoch, out.clone());
@@ -769,9 +785,6 @@ impl SubOramNode {
             self.completed.remove(&oldest);
             self.evicted_below = self.evicted_below.max(oldest + 1);
         }
-        // Half-assembled epochs older than anything still replayable belong
-        // to balancers that gave up (degraded); free them.
-        self.pending.retain(|e, _| *e >= self.evicted_below);
         BatchOutcome::Completed(out)
     }
 }
@@ -793,7 +806,6 @@ pub fn run_suboram<T: SubTransport>(
         match ev {
             SubEvent::Shutdown => break,
             SubEvent::Batch { lb, epoch, batch } => match node.handle_batch(lb, epoch, batch) {
-                BatchOutcome::Waiting => {}
                 BatchOutcome::Replayed { lb, batch } => match batch {
                     Some(batch) => transport.send_response(lb, epoch, &batch),
                     None => transport.send_error(lb, epoch),
@@ -815,13 +827,25 @@ pub fn run_suboram<T: SubTransport>(
                             .with("lb", Public::wire_observable(lb as u64)),
                     );
                 }
-                BatchOutcome::Completed(responses) => {
+                BatchOutcome::Rejected { lb, epoch } => {
+                    // The epoch id names another balancer as owner: a typed
+                    // NACK so the sender's epoch degrades immediately. Both
+                    // fields are wire-observable (they arrived plaintext in
+                    // the batch trace context).
+                    metrics::global()
+                        .counter(
+                            metrics::names::SUB_BATCH_FAILURES_TOTAL,
+                            "subORAM batches refused with a typed error",
+                        )
+                        .inc(Public::wire_observable(()));
+                    transport.send_error(lb, epoch);
+                }
+                BatchOutcome::Completed(resp) => {
                     after_epoch(node, epoch);
-                    for (lb_idx, resp) in responses.iter().enumerate() {
-                        match resp {
-                            Some(resp) => transport.send_response(lb_idx, epoch, resp),
-                            None => transport.send_error(lb_idx, epoch),
-                        }
+                    let owner = (epoch % node.num_lbs() as u64) as usize;
+                    match resp {
+                        Some(resp) => transport.send_response(owner, epoch, &resp),
+                        None => transport.send_error(owner, epoch),
                     }
                 }
             },
@@ -866,28 +890,69 @@ mod tests {
 
     #[test]
     fn duplicate_id_batch_refused_without_panic() {
+        // 2 balancers: lb 0 owns even epoch ids, lb 1 owns odd ones.
         let mut node = SubOramNode::new(test_oram(8), 2);
         let dup = vec![Request::read(1, 8, 0, 0), Request::read(1, 8, 0, 1)];
         let good = vec![Request::read(2, 8, 0, 0)];
-        assert!(matches!(node.handle_batch(0, 0, dup), BatchOutcome::Waiting));
-        let out = match node.handle_batch(1, 0, good.clone()) {
+        let out = match node.handle_batch(0, 0, dup) {
             BatchOutcome::Completed(out) => out,
-            _ => panic!("epoch 0 should execute once both batches arrived"),
+            _ => panic!("each batch executes the moment it arrives"),
         };
-        assert!(out[0].is_none(), "the duplicate-id batch must be refused");
-        assert!(out[1].is_some(), "the well-formed batch still executes");
+        assert!(out.is_none(), "the duplicate-id batch must be refused");
+        // The other balancer's epoch is unaffected by the refusal.
+        let out = match node.handle_batch(1, 1, good.clone()) {
+            BatchOutcome::Completed(out) => out,
+            _ => panic!("epoch 1 should execute on arrival"),
+        };
+        assert!(out.is_some(), "the well-formed batch still executes");
         // A replay of the refused batch replays the refusal deterministically.
         assert!(matches!(
             node.handle_batch(0, 0, vec![Request::read(1, 8, 0, 0)]),
             BatchOutcome::Replayed { lb: 0, batch: None }
         ));
-        // The node stays serviceable: the next epoch commits for everyone.
-        assert!(matches!(node.handle_batch(0, 1, good.clone()), BatchOutcome::Waiting));
-        let out = match node.handle_batch(1, 1, good) {
-            BatchOutcome::Completed(out) => out,
-            _ => panic!("epoch 1 should complete"),
-        };
-        assert!(out.iter().all(|r| r.is_some()));
+        // The node stays serviceable: the next epochs commit for everyone.
+        assert!(matches!(node.handle_batch(0, 2, good.clone()), BatchOutcome::Completed(Some(_))));
+        assert!(matches!(node.handle_batch(1, 3, good), BatchOutcome::Completed(Some(_))));
+    }
+
+    #[test]
+    fn foreign_owner_epoch_ids_are_rejected_without_touching_state() {
+        // lb 1 claims epoch 0, which lb 0 owns (0 % 2 == 0).
+        let mut node = SubOramNode::new(test_oram(8), 2);
+        let good = vec![Request::read(2, 8, 0, 0)];
+        assert!(matches!(
+            node.handle_batch(1, 0, good.clone()),
+            BatchOutcome::Rejected { lb: 1, epoch: 0 }
+        ));
+        // No state was cached under the foreign id: the true owner's batch
+        // still executes (a replay would return the rejected sender's batch).
+        assert!(matches!(node.handle_batch(0, 0, good), BatchOutcome::Completed(Some(_))));
+    }
+
+    #[test]
+    fn balancer_streams_interleave_without_a_barrier() {
+        // One balancer far ahead of the other: every batch still executes
+        // on arrival, and replays hit the cache regardless of arrival order.
+        let mut node = SubOramNode::new(test_oram(8), 2).with_retain(16);
+        let good = vec![Request::read(3, 8, 0, 0)];
+        for wall in 0..4u64 {
+            let epoch = wall * 2; // lb 0's residue class
+            assert!(matches!(
+                node.handle_batch(0, epoch, good.clone()),
+                BatchOutcome::Completed(Some(_))
+            ));
+        }
+        // lb 1 is still on wall epoch 0 — no barrier, executes immediately.
+        assert!(matches!(node.handle_batch(1, 1, good.clone()), BatchOutcome::Completed(Some(_))));
+        // Replays of both streams come from the cache, keyed by composite id.
+        assert!(matches!(
+            node.handle_batch(0, 4, good.clone()),
+            BatchOutcome::Replayed { lb: 0, batch: Some(_) }
+        ));
+        assert!(matches!(
+            node.handle_batch(1, 1, good),
+            BatchOutcome::Replayed { lb: 1, batch: Some(_) }
+        ));
     }
 
     /// A transport that never delivers a subORAM response: events come only

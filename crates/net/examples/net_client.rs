@@ -5,9 +5,11 @@
 //! cargo run -p snoopy-net --example net_client -- cluster.manifest write 7 hello
 //! ```
 //!
-//! Reads the manifest for the deployment parameters, connects to load
-//! balancer 0, performs the one operation, and prints the returned value
-//! (reads return the stored value; writes return the pre-write value).
+//! Reads the manifest for the deployment parameters, connects to the
+//! cluster's full balancer set (failing over to a live balancer if the
+//! preferred one is down), performs the one operation, and prints the
+//! returned value (reads return the stored value; writes return the
+//! pre-write value).
 
 use snoopy_net::manifest::Manifest;
 use snoopy_net::{proto, SnoopyClient};
@@ -32,8 +34,8 @@ fn main() {
     let id: u64 = id.parse().expect("ID must be a number");
     let deploy = proto::deployment_key(manifest.seed);
     let mut client = SnoopyClient::builder(manifest.value_len)
-        .connect_tcp(&manifest.load_balancers[0], 0, &deploy)
-        .expect("connect to load balancer 0");
+        .connect_tcp_multi(&manifest.load_balancers, &deploy)
+        .expect("connect to a load balancer");
     let value = match op {
         "read" => client.read(id).expect("read"),
         "write" => {

@@ -2,8 +2,10 @@
 //!
 //! One facade serves both deployment planes. A client built with
 //! [`SnoopyClientBuilder::connect_tcp`] speaks the sealed framed-AEAD
-//! session protocol to a `snoopyd` balancer; one built with
-//! [`SnoopyClientBuilder::connect_cluster`] drives an
+//! session protocol to a `snoopyd` balancer
+//! ([`SnoopyClientBuilder::connect_tcp_multi`] does the same across a
+//! cluster's full balancer set, with health-probed sticky failover); one
+//! built with [`SnoopyClientBuilder::connect_cluster`] drives an
 //! [`InProcessCluster`](snoopy_core::InProcessCluster) through its
 //! [`ClientHandle`]. Both expose the same reads/writes, fail with the same
 //! typed [`NetError`], and share the facade-level retry loop (classified by
@@ -54,8 +56,29 @@ pub trait SessionTransport: Send {
 
     /// Re-establishes the connection after a non-fatal failure. Transports
     /// with nothing to re-establish (the channel plane) succeed trivially.
+    /// Multi-endpoint transports may come back connected to a *different*
+    /// balancer (that is their failover path for timeouts and dead
+    /// connections).
     fn reconnect(&mut self) -> Result<(), NetError> {
         Ok(())
+    }
+
+    /// Tries to reposition to a *different* endpoint after a typed
+    /// [`NetError::Unavailable`]: one balancer's degraded epoch (it cannot
+    /// reach some subORAMs) does not mean another balancer's epochs degrade
+    /// too. Returns `true` only if the transport actually moved, so the
+    /// facade retries exactly when the retry would hit different fault
+    /// domains — a single-endpoint transport keeps `Unavailable` fatal.
+    fn fail_over(&mut self) -> bool {
+        false
+    }
+
+    /// The composite epoch id the most recent successful [`Self::execute`]
+    /// committed in, if the transport learns it (the TCP plane reads it off
+    /// the response frame). `epoch / L` is the wall epoch and `epoch % L`
+    /// the serving balancer — the paper's linearization coordinates.
+    fn last_commit(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -93,6 +116,42 @@ impl SnoopyClientBuilder {
         deploy: &Key256,
     ) -> Result<SnoopyClient, NetError> {
         let transport = TcpTransport::dial(addr, lb_index, deploy, &self)?;
+        Ok(self.assemble(Box::new(transport)))
+    }
+
+    /// Dials a multi-balancer cluster: `addrs` are the `loadbalancer`
+    /// manifest entries **in manifest order** (position = balancer index,
+    /// which keys the per-balancer session link derivation). The client
+    /// health-probes the endpoints in order, sticks to the first that
+    /// accepts a session (stickiness keeps retried requests hitting the
+    /// balancer whose reply cache has seen them), and fails over to the
+    /// next live balancer when the current one times out, drops the
+    /// connection, or reports its epoch `Unavailable`.
+    ///
+    /// Endpoint choice is public: which balancer a client talks to is
+    /// visible on the wire anyway, so failover leaks nothing about request
+    /// contents or the request→subORAM mapping.
+    pub fn connect_tcp_multi(
+        self,
+        addrs: &[String],
+        deploy: &Key256,
+    ) -> Result<SnoopyClient, NetError> {
+        self.connect_tcp_multi_preferring(addrs, 0, deploy)
+    }
+
+    /// [`Self::connect_tcp_multi`] with a preferred starting balancer: the
+    /// health probe begins at index `preferred` (wrapping through the rest),
+    /// so a fleet of clients can spread sticky sessions across the balancer
+    /// set (`client_id % k`) while keeping failover to every other entry.
+    /// `addrs` must still be the full manifest-ordered list — positions key
+    /// the link derivation and epoch-id residue classes.
+    pub fn connect_tcp_multi_preferring(
+        self,
+        addrs: &[String],
+        preferred: usize,
+        deploy: &Key256,
+    ) -> Result<SnoopyClient, NetError> {
+        let transport = MultiTcpTransport::dial(addrs, preferred, deploy, &self)?;
         Ok(self.assemble(Box::new(transport)))
     }
 
@@ -153,6 +212,25 @@ impl SnoopyClient {
         self.call(Op::Write { id, payload }).map(|resp| resp.value)
     }
 
+    /// [`Self::read`], also returning the composite epoch id the read
+    /// committed in when the transport exposes it (TCP sessions do; the
+    /// channel plane returns `None`). The id is already wire-observable —
+    /// balancers stamp it on every batch — so exposing it leaks nothing new.
+    pub fn read_stamped(&mut self, id: u64) -> Result<(Vec<u8>, Option<u64>), NetError> {
+        let value = self.call(Op::Read { id })?.value;
+        Ok((value, self.transport.last_commit()))
+    }
+
+    /// [`Self::write`] with the commit epoch id, like [`Self::read_stamped`].
+    pub fn write_stamped(
+        &mut self,
+        id: u64,
+        payload: &[u8],
+    ) -> Result<(Vec<u8>, Option<u64>), NetError> {
+        let value = self.call(Op::Write { id, payload })?.value;
+        Ok((value, self.transport.last_commit()))
+    }
+
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
@@ -160,7 +238,11 @@ impl SnoopyClient {
 
     /// The facade-level retry loop: classify, back off, reconnect, re-issue.
     /// Fatal errors (typed `Unavailable`, protocol violations) return
-    /// immediately — retrying the same bytes cannot help.
+    /// immediately — with one carve-out: an `Unavailable` is retried when the
+    /// transport [`SessionTransport::fail_over`]s to a *different* balancer,
+    /// because another balancer's epochs run through independent fault
+    /// domains. Single-endpoint transports never fail over, so their fatal
+    /// semantics are unchanged.
     fn call(&mut self, op: Op<'_>) -> Result<Response, NetError> {
         let seq = self.next_seq();
         let policy = self.retry.clone();
@@ -171,7 +253,18 @@ impl SnoopyClient {
                 Err(e) => e,
             };
             let next = attempt + 1;
-            if err.class() == ErrorClass::Fatal || !policy.allows(next) {
+            if err.class() == ErrorClass::Fatal {
+                let repositioned = matches!(err, NetError::Unavailable(_))
+                    && policy.allows(next)
+                    && self.transport.fail_over();
+                if !repositioned {
+                    return Err(err);
+                }
+                attempt = next;
+                count_retry();
+                continue;
+            }
+            if !policy.allows(next) {
                 return Err(err);
             }
             std::thread::sleep(policy.backoff(next));
@@ -197,6 +290,7 @@ struct TcpTransport {
     lb_index: usize,
     value_len: usize,
     read_timeout: Duration,
+    last_epoch: Option<u64>,
 }
 
 impl TcpTransport {
@@ -224,6 +318,7 @@ impl TcpTransport {
             lb_index,
             value_len: builder.value_len,
             read_timeout: builder.read_timeout,
+            last_epoch: None,
         })
     }
 }
@@ -241,13 +336,15 @@ impl SessionTransport for TcpTransport {
             let (t, body) = read_frame(&mut self.stream)?;
             match t {
                 tag::CLIENT_RESP => {
-                    let sealed = snoopy_crypto::aead::SealedBox { bytes: body };
+                    let (epoch, sealed) = proto::decode_epoch_sealed(&body)
+                        .ok_or_else(|| NetError::protocol("short CLIENT_RESP frame"))?;
                     let batch = self
                         .resp_link
                         .open_responses(&sealed, self.value_len)
                         .map_err(|_| NetError::protocol("response link failure"))?;
                     for resp in batch {
                         if resp.seq == seq {
+                            self.last_epoch = Some(epoch);
                             return Ok(resp);
                         }
                         // A stale response for an abandoned earlier request.
@@ -276,6 +373,182 @@ impl SessionTransport for TcpTransport {
         self.resp_link = resp_link;
         Ok(())
     }
+
+    fn last_commit(&self) -> Option<u64> {
+        self.last_epoch
+    }
+}
+
+/// How long a balancer endpoint sits out after a failed dial before the
+/// client probes it again. Short enough that a restarted balancer rejoins
+/// the rotation within a few requests; long enough that a dead one is not
+/// re-dialed on every operation.
+const ENDPOINT_COOLDOWN: Duration = Duration::from_millis(500);
+
+/// A sticky multi-endpoint session transport over `k` balancers.
+///
+/// Holds one live [`TcpTransport`] at a time (the *current* endpoint) plus
+/// the full endpoint list. Reconnects prefer the current endpoint (reply
+/// cache locality); if it cannot be re-dialed it is put on cooldown and the
+/// probe rotates to the next balancer. [`SessionTransport::fail_over`]
+/// deliberately skips the current endpoint first, because it is called when
+/// the current balancer is up but its epochs are failing.
+struct MultiTcpTransport {
+    inner: TcpTransport,
+    addrs: Vec<String>,
+    cooldown_until: Vec<Option<std::time::Instant>>,
+    current: usize,
+}
+
+impl MultiTcpTransport {
+    fn dial(
+        addrs: &[String],
+        preferred: usize,
+        deploy: &Key256,
+        builder: &SnoopyClientBuilder,
+    ) -> Result<MultiTcpTransport, NetError> {
+        if addrs.is_empty() {
+            return Err(NetError::protocol("empty balancer endpoint set"));
+        }
+        let start = preferred % addrs.len();
+        let (index, stream, req_link, resp_link) = builder
+            .retry
+            .run(|attempt| {
+                if attempt > 0 {
+                    count_retry();
+                }
+                probe_endpoints(
+                    addrs,
+                    &mut vec![None; addrs.len()],
+                    start,
+                    deploy,
+                    builder.read_timeout,
+                )
+            })
+            .map_err(NetError::from_io)?;
+        let inner = TcpTransport {
+            stream,
+            req_link,
+            resp_link,
+            addr: addrs[index].clone(),
+            deploy: deploy.clone(),
+            lb_index: index,
+            value_len: builder.value_len,
+            read_timeout: builder.read_timeout,
+            last_epoch: None,
+        };
+        Ok(MultiTcpTransport {
+            inner,
+            addrs: addrs.to_vec(),
+            cooldown_until: vec![None; addrs.len()],
+            current: index,
+        })
+    }
+
+    /// Installs `index` as the current endpoint with a fresh session.
+    fn install(&mut self, index: usize, stream: TcpStream, req_link: Link, resp_link: Link) {
+        let _ = self.inner.stream.shutdown(std::net::Shutdown::Both);
+        self.inner.stream = stream;
+        self.inner.req_link = req_link;
+        self.inner.resp_link = resp_link;
+        self.inner.addr = self.addrs[index].clone();
+        self.inner.lb_index = index;
+        self.current = index;
+        self.cooldown_until[index] = None;
+    }
+}
+
+impl SessionTransport for MultiTcpTransport {
+    fn execute(&mut self, op: Op<'_>, seq: u64) -> Result<Response, NetError> {
+        self.inner.execute(op, seq)
+    }
+
+    /// Re-dials starting from the *current* endpoint (stickiness), rotating
+    /// through the remaining balancers if it is down. This is the failover
+    /// path for timeouts and dead connections: a SIGKILLed balancer refuses
+    /// the re-dial, goes on cooldown, and the session lands on a survivor.
+    fn reconnect(&mut self) -> Result<(), NetError> {
+        let start = self.current;
+        let (index, stream, req_link, resp_link) = probe_endpoints(
+            &self.addrs,
+            &mut self.cooldown_until,
+            start,
+            &self.inner.deploy,
+            self.inner.read_timeout,
+        )?;
+        self.install(index, stream, req_link, resp_link);
+        Ok(())
+    }
+
+    /// Repositions to a different balancer after an `Unavailable`: the
+    /// current balancer answered (it is alive) but its epoch degraded, so
+    /// the probe starts at the *next* endpoint. Returns `false` — keeping
+    /// the error fatal — when no other balancer accepts a session.
+    fn fail_over(&mut self) -> bool {
+        if self.addrs.len() < 2 {
+            return false;
+        }
+        let prev = self.current;
+        self.cooldown_until[prev] = Some(std::time::Instant::now() + ENDPOINT_COOLDOWN);
+        let start = (prev + 1) % self.addrs.len();
+        match probe_endpoints(
+            &self.addrs,
+            &mut self.cooldown_until,
+            start,
+            &self.inner.deploy,
+            self.inner.read_timeout,
+        ) {
+            Ok((index, stream, req_link, resp_link)) if index != prev => {
+                self.install(index, stream, req_link, resp_link);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn last_commit(&self) -> Option<u64> {
+        self.inner.last_epoch
+    }
+}
+
+/// Probes `addrs[start], addrs[start+1], …` (wrapping) for a balancer that
+/// accepts a client session. Endpoints on cooldown are skipped on the first
+/// pass and retried on a second pass only if every endpoint was cooling.
+/// A failed dial puts the endpoint on cooldown; a success clears it.
+fn probe_endpoints(
+    addrs: &[String],
+    cooldown_until: &mut [Option<std::time::Instant>],
+    start: usize,
+    deploy: &Key256,
+    read_timeout: Duration,
+) -> io::Result<(usize, TcpStream, Link, Link)> {
+    let now = std::time::Instant::now();
+    let mut last_err: Option<io::Error> = None;
+    for skip_cooling in [true, false] {
+        for offset in 0..addrs.len() {
+            let index = (start + offset) % addrs.len();
+            if skip_cooling && cooldown_until[index].is_some_and(|until| until > now) {
+                continue;
+            }
+            match dial_session(&addrs[index], index, deploy, read_timeout) {
+                Ok((stream, req_link, resp_link)) => {
+                    cooldown_until[index] = None;
+                    return Ok((index, stream, req_link, resp_link));
+                }
+                Err(e) => {
+                    cooldown_until[index] = Some(now + ENDPOINT_COOLDOWN);
+                    last_err = Some(e);
+                }
+            }
+        }
+        if last_err.is_some() {
+            // Every non-cooling endpoint failed; the second pass would
+            // re-dial the same dead set, so stop here.
+            break;
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no balancer reachable")))
 }
 
 /// The in-process channel transport: delegates to [`ClientHandle`]. The
@@ -324,11 +597,13 @@ mod tests {
     use std::sync::Arc;
 
     /// A scripted transport: pops the next result per call, counting
-    /// executes and reconnects.
+    /// executes and reconnects. `failovers_left` scripts how many times
+    /// [`SessionTransport::fail_over`] succeeds (repositions).
     struct ScriptedTransport {
         script: Vec<Result<Response, NetError>>,
         executes: Arc<AtomicU32>,
         reconnects: Arc<AtomicU32>,
+        failovers_left: u32,
     }
 
     impl SessionTransport for ScriptedTransport {
@@ -347,6 +622,14 @@ mod tests {
             self.reconnects.fetch_add(1, Ordering::SeqCst);
             Ok(())
         }
+
+        fn fail_over(&mut self) -> bool {
+            if self.failovers_left == 0 {
+                return false;
+            }
+            self.failovers_left -= 1;
+            true
+        }
     }
 
     fn ok_response(value: &[u8]) -> Result<Response, NetError> {
@@ -363,6 +646,7 @@ mod tests {
             script,
             executes: executes.clone(),
             reconnects: reconnects.clone(),
+            failovers_left: 0,
         };
         let client = SnoopyClient::builder(4).retry(retry).connect_transport(Box::new(transport));
         (client, executes, reconnects)
@@ -399,6 +683,53 @@ mod tests {
         let (mut client, executes, _) = harness(errs, RetryPolicy::once());
         assert!(matches!(client.read(1), Err(NetError::Timeout(_))));
         assert_eq!(executes.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn facade_retries_unavailable_only_across_a_failover() {
+        let u = snoopy_core::Unavailable { epoch: 4, failed_suborams: vec![1] };
+        let executes = Arc::new(AtomicU32::new(0));
+        let reconnects = Arc::new(AtomicU32::new(0));
+        let transport = ScriptedTransport {
+            script: vec![Err(NetError::Unavailable(u)), ok_response(b"abcd")],
+            executes: executes.clone(),
+            reconnects: reconnects.clone(),
+            failovers_left: 1,
+        };
+        let mut client = SnoopyClient::builder(4)
+            .retry(RetryPolicy::client_default())
+            .connect_transport(Box::new(transport));
+        assert_eq!(client.write(1, b"abcd").unwrap(), b"abcd");
+        assert_eq!(executes.load(Ordering::SeqCst), 2, "retried once on the other balancer");
+        assert_eq!(reconnects.load(Ordering::SeqCst), 0, "failover repositions without reconnect");
+    }
+
+    #[test]
+    fn facade_gives_up_on_unavailable_when_failover_is_exhausted() {
+        let u = snoopy_core::Unavailable { epoch: 4, failed_suborams: vec![1] };
+        let executes = Arc::new(AtomicU32::new(0));
+        let transport = ScriptedTransport {
+            script: vec![
+                Err(NetError::Unavailable(u.clone())),
+                Err(NetError::Unavailable(u.clone())),
+                ok_response(b"abcd"),
+            ],
+            executes: executes.clone(),
+            reconnects: Arc::new(AtomicU32::new(0)),
+            failovers_left: 1,
+        };
+        let mut client = SnoopyClient::builder(4)
+            .retry(RetryPolicy::client_default())
+            .connect_transport(Box::new(transport));
+        match client.read(1) {
+            Err(NetError::Unavailable(back)) => assert_eq!(back, u),
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        assert_eq!(
+            executes.load(Ordering::SeqCst),
+            2,
+            "second Unavailable is fatal once no other balancer remains"
+        );
     }
 
     #[test]

@@ -213,15 +213,26 @@ fn run_monitor(args: &[String]) {
 
     let targets = daemons(&manifest);
     let mut last: Option<SloBurn> = None;
+    let mut last_lbs: Vec<(String, SloBurn)> = Vec::new();
     for sample in 0..count.max(1) {
         if sample > 0 {
             std::thread::sleep(interval);
         }
         let mut burns = Vec::new();
+        let mut lb_burns: Vec<(String, SloBurn)> = Vec::new();
         for (process, addr) in &targets {
             match fetch_metrics(addr) {
                 Ok(text) => match parse_prometheus(&text) {
-                    Ok(scrape) => burns.push(SloBurn::from_scrape(&scrape, &policy.p99_stage)),
+                    Ok(scrape) => {
+                        let b = SloBurn::from_scrape(&scrape, &policy.p99_stage);
+                        // Each balancer is its own fault domain: keep its
+                        // burn row so a k-balancer cluster shows *which*
+                        // balancer is degrading, not just that one is.
+                        if process.starts_with("loadbalancer/") {
+                            lb_burns.push((process.clone(), b));
+                        }
+                        burns.push(b);
+                    }
                     Err(e) => eprintln!("snoopy-mon: {process} ({addr}) bad exposition: {e}"),
                 },
                 Err(e) => eprintln!("snoopy-mon: {process} ({addr}) unreachable: {e}"),
@@ -229,6 +240,7 @@ fn run_monitor(args: &[String]) {
         }
         let up = burns.len();
         let burn = SloBurn::aggregate(&burns);
+        last_lbs = lb_burns;
         let t = unix_now_ns();
         let line = format!(
             "{{\"t_unix_ns\":{t},\"daemons_up\":{up},\"daemons_total\":{},\"epochs\":{},\
@@ -274,9 +286,21 @@ fn run_monitor(args: &[String]) {
         exit(1);
     };
     let report = policy.evaluate(&burn);
+    for (process, b) in &last_lbs {
+        eprintln!(
+            "snoopy-mon: {process}: {} epochs, p99 {:.3} ms, degraded ratio {:.4}, \
+             {:.2} replays/epoch, {} evicted, {} stalls",
+            b.epochs,
+            b.p99_seconds * 1e3,
+            b.degraded_ratio(),
+            b.replays_per_epoch(),
+            b.evicted_replays,
+            b.storage_stalls
+        );
+    }
     eprintln!(
-        "snoopy-mon: {} epochs, p99 {:.3} ms, degraded ratio {:.4}, {:.2} replays/epoch, \
-         {} evicted, {} stalls",
+        "snoopy-mon: cluster: {} epochs, p99 {:.3} ms, degraded ratio {:.4}, \
+         {:.2} replays/epoch, {} evicted, {} stalls",
         burn.epochs,
         burn.p99_seconds * 1e3,
         burn.degraded_ratio(),

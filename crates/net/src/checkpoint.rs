@@ -28,15 +28,18 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-// Format v4: a mode byte distinguishes checkpoints that carry the partition
+// Format v5: a mode byte distinguishes checkpoints that carry the partition
 // inline (memory/external tiers) from disk-tier checkpoints that carry only
 // the committed {generation, root digest} — the partition itself lives in
 // the sealed on-disk segment, so the checkpoint stays O(reply cache) rather
-// than O(partition). A cached reply can be `None` (the epoch was *refused*
-// with a typed error, not executed); encoded as count `u64::MAX`. Refusals
-// must be durable like successes — replaying a refused batch after a restart
-// has to re-refuse, not re-execute against mutated state.
-const MAGIC: &[u8; 8] = b"SNPCKPT4";
+// than O(partition). Epoch ids are composite (`epoch % num_lbs` names the
+// owning balancer — see snoopy_core::transport), so each reply-cache epoch
+// carries exactly one slot, not one per balancer as v4 did. A cached reply
+// can be `None` (the epoch was *refused* with a typed error, not executed);
+// encoded as count `u64::MAX`. Refusals must be durable like successes —
+// replaying a refused batch after a restart has to re-refuse, not re-execute
+// against mutated state.
+const MAGIC: &[u8; 8] = b"SNPCKPT5";
 
 /// Sentinel batch count marking a refused (None) cached reply.
 const REFUSED: u64 = u64::MAX;
@@ -194,18 +197,16 @@ fn encode_state(node: &SubOramNode) -> Result<Vec<u8>, SaveError> {
     }
     let completed = node.completed();
     out.extend_from_slice(&(completed.len() as u64).to_le_bytes());
-    for (epoch, per_lb) in completed {
+    for (epoch, batch) in completed {
         out.extend_from_slice(&epoch.to_le_bytes());
-        for batch in per_lb {
-            match batch {
-                Some(batch) => {
-                    out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
-                    for r in batch {
-                        out.extend_from_slice(&encode_request(r));
-                    }
+        match batch {
+            Some(batch) => {
+                out.extend_from_slice(&(batch.len() as u64).to_le_bytes());
+                for r in batch {
+                    out.extend_from_slice(&encode_request(r));
                 }
-                None => out.extend_from_slice(&REFUSED.to_le_bytes()),
             }
+            None => out.extend_from_slice(&REFUSED.to_le_bytes()),
         }
     }
     Ok(out)
@@ -220,8 +221,8 @@ enum Partition {
 }
 
 /// Decoded checkpoint payload: `(value_len, num_lbs, evicted_below,
-/// partition, cached responses per epoch)`.
-type CheckpointState = (usize, usize, u64, Partition, BTreeMap<u64, Vec<Option<Vec<Request>>>>);
+/// partition, cached response per composite epoch)`.
+type CheckpointState = (usize, usize, u64, Partition, BTreeMap<u64, Option<Vec<Request>>>);
 
 fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     let mut r = Reader(plain);
@@ -253,22 +254,19 @@ fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     let mut completed = BTreeMap::new();
     for _ in 0..num_epochs {
         let epoch = r.u64()?;
-        let mut per_lb = Vec::with_capacity(num_lbs);
-        for _ in 0..num_lbs {
-            let count = r.u64()?;
-            if count == REFUSED {
-                per_lb.push(None);
-                continue;
-            }
+        let count = r.u64()?;
+        let slot = if count == REFUSED {
+            None
+        } else {
             let count = count as usize;
             let mut batch = Vec::with_capacity(count);
             for _ in 0..count {
                 let frame = r.bytes(40 + value_len)?;
                 batch.push(decode_request(frame, value_len).ok_or_else(|| bad("bad request"))?);
             }
-            per_lb.push(Some(batch));
-        }
-        completed.insert(epoch, per_lb);
+            Some(batch)
+        };
+        completed.insert(epoch, slot);
     }
     if !r.0.is_empty() {
         return Err(bad("trailing bytes"));
@@ -381,9 +379,62 @@ mod tests {
         assert_eq!(restored.oram().peek(3).unwrap()[..4], [0xEE; 4]);
         // A redelivered epoch replays the cached response, not a re-execution.
         match restored.handle_batch(0, 0, batch) {
-            BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out[0]),
+            BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out),
             _ => panic!("expected replay from cache"),
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interleaved_multi_balancer_epochs_roundtrip_per_composite_id() {
+        // Two balancers' epoch streams interleave at one subORAM; the reply
+        // cache keys on the composite id, so a restart replays each
+        // balancer's own batches — never the other's.
+        let dir = std::env::temp_dir().join(format!("snoopy-ckpt5-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sub4.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let key = checkpoint_key(&Key256([4u8; 32]), 4);
+
+        let objects: Vec<StoredObject> =
+            (0..32).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+        let mut n =
+            SubOramNode::new(SubOram::new_in_enclave(objects, VLEN, Key256([9u8; 32]), 80), 2);
+        // lb 0 owns even ids, lb 1 odd ids; arrival order interleaves and
+        // lb 1 runs ahead of lb 0 (no barrier).
+        let b0e0 = vec![Request::write(1, &[0x11; 4], VLEN, 0, 0)];
+        let b1e1 = vec![Request::read(1, VLEN, 0, 0)];
+        let b1e3 = vec![Request::write(2, &[0x22; 4], VLEN, 0, 0)];
+        let b0e2 = vec![Request::read(2, VLEN, 0, 0)];
+        let out_b0e0 = match n.handle_batch(0, 0, b0e0.clone()) {
+            BatchOutcome::Completed(out) => out,
+            _ => panic!("epoch 0 executes on arrival"),
+        };
+        let out_b1e1 = match n.handle_batch(1, 1, b1e1.clone()) {
+            BatchOutcome::Completed(out) => out,
+            _ => panic!("epoch 1 executes on arrival"),
+        };
+        assert!(matches!(n.handle_batch(1, 3, b1e3.clone()), BatchOutcome::Completed(Some(_))));
+        assert!(matches!(n.handle_batch(0, 2, b0e2), BatchOutcome::Completed(Some(_))));
+        save(&n, &key, &path).unwrap();
+
+        let mut restored =
+            load(&key, &path, Key256([9u8; 32]), 80, &StorageSpec::Memory).unwrap().unwrap();
+        assert_eq!(restored.num_lbs(), 2);
+        // Each balancer's replay hits its own composite-id slot.
+        match restored.handle_batch(0, 0, b0e0) {
+            BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out_b0e0),
+            _ => panic!("lb 0 epoch 0 should replay from cache"),
+        }
+        match restored.handle_batch(1, 1, b1e1) {
+            BatchOutcome::Replayed { lb: 1, batch: replay } => assert_eq!(replay, out_b1e1),
+            _ => panic!("lb 1 epoch 1 should replay from cache"),
+        }
+        // Owner confusion after restore is still refused.
+        assert!(matches!(
+            restored.handle_batch(0, 3, b1e3),
+            BatchOutcome::Rejected { lb: 0, epoch: 3 }
+        ));
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -424,7 +475,7 @@ mod tests {
         let mut restored = load(&key, &path, Key256([9u8; 32]), 80, &spec).unwrap().unwrap();
         assert_eq!(restored.oram().peek(7).unwrap()[..4], [0xAB; 4]);
         match restored.handle_batch(0, 0, batch) {
-            BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out[0]),
+            BatchOutcome::Replayed { lb: 0, batch: replay } => assert_eq!(replay, out),
             _ => panic!("expected replay from cache"),
         }
         drop(restored);
@@ -449,7 +500,7 @@ mod tests {
         // is cached (None) so a replay gets the same answer.
         let dup = vec![Request::read(4, VLEN, 0, 0), Request::read(4, VLEN, 0, 1)];
         match n.handle_batch(0, 0, dup.clone()) {
-            BatchOutcome::Completed(out) => assert_eq!(out, vec![None]),
+            BatchOutcome::Completed(out) => assert!(out.is_none()),
             _ => panic!("expected completed-with-refusal"),
         }
         save(&n, &key, &path).unwrap();

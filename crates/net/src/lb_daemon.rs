@@ -19,9 +19,12 @@
 //! Clients and admins dial the balancer's own listen address; every accepted
 //! session is multiplexed onto the reactor ([`crate::reactor`]) — tens of
 //! thousands of concurrent client sessions cost sockets, not threads. The
-//! epoch ticker derives epoch ids from wall-clock time
-//! (`unix_millis / epoch_ms`) and catches up on any ids it slept through, so
-//! ids stay monotone across a balancer restart and aligned across balancers.
+//! epoch ticker ([`EpochTicker`]) derives *composite* epoch ids from
+//! wall-clock time: balancer `i` of `L` ticks `(unix_millis / epoch_ms) * L + i`,
+//! its own residue class, so ids are globally unique across balancers
+//! (`id % L` names the owner), stay monotone across a balancer
+//! crash/restart, and never decrease under a backwards wall-clock step (the
+//! ticker clamps instead of reusing an id).
 
 use crate::frame::write_frame;
 use crate::manifest::Manifest;
@@ -137,13 +140,17 @@ struct TcpReplySink {
 }
 
 impl ReplySink for TcpReplySink {
-    fn deliver(self: Box<Self>, resp: Response) {
+    fn deliver(self: Box<Self>, resp: Response, epoch: u64) {
         // Seal and enqueue under the link lock: nonce order must equal wire
-        // order.
+        // order. The commit epoch rides plaintext ahead of the sealed
+        // response — it is already wire-observable on the BATCH frames'
+        // trace context, and clients use it as the linearization coordinate
+        // of their own committed ops (`epoch / L`, `epoch % L`).
         let mut link = self.resp_link.lock().unwrap();
         let Ok(sealed) = link.seal_responses(&[resp]) else { return };
-        if self.handle.send_frame(tag::CLIENT_RESP, &sealed.bytes) {
-            self.stats.sent(sealed.bytes.len());
+        let body = proto::encode_epoch_sealed(epoch, &sealed);
+        if self.handle.send_frame(tag::CLIENT_RESP, &body) {
+            self.stats.sent(body.len());
         }
     }
 
@@ -224,26 +231,29 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
 
     // Epoch ticker. Epoch ids are derived from wall-clock time so that
     // (a) they stay monotone across a balancer crash/restart — the subORAM
-    // reply caches key on (lb, epoch), and a restarted balancer must not
-    // reuse old ids for new batches — and (b) multiple balancers agree on
-    // the current epoch without coordination. Any ids slept through (clock
-    // hiccup, scheduler stall) are caught up in order: subORAMs wait for
-    // *every* balancer's batch per epoch, so skipping one would deadlock.
+    // reply caches key on the epoch id, and a restarted balancer must not
+    // reuse old ids for new batches — and (b) each balancer ticks ids from
+    // its own residue class (`wall * L + index`) without coordination, so
+    // ids never collide across balancers. The ticker coalesces: after a
+    // stall only the newest id fires. Ids a balancer never ticked are simply
+    // absent from its stream — safe, because subORAMs execute each
+    // balancer's batch on arrival rather than waiting for every balancer per
+    // wall epoch. A backwards clock step produces no tick at all (monotonic
+    // clamp) rather than a reused id.
     {
         let events_tx = events_tx.clone();
         let epoch_ms = manifest.epoch_ms.max(1);
         let interval = Duration::from_millis(epoch_ms);
+        let num_lbs = manifest.load_balancers.len();
         std::thread::spawn(move || {
-            let mut last = wall_epoch(epoch_ms);
+            let mut ticker = EpochTicker::new(epoch_ms, num_lbs, index, unix_millis());
             loop {
                 std::thread::sleep(interval);
-                let now = wall_epoch(epoch_ms);
-                for epoch in (last + 1)..=now {
+                if let Some(epoch) = ticker.next(unix_millis()) {
                     if events_tx.send(LbEvent::Tick(epoch)).is_err() {
                         return;
                     }
                 }
-                last = last.max(now);
             }
         });
     }
@@ -261,13 +271,59 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
     Ok(())
 }
 
-/// The wall-clock epoch id: `unix_millis / epoch_ms`.
-fn wall_epoch(epoch_ms: u64) -> u64 {
-    let millis = SystemTime::now()
+/// Milliseconds since the Unix epoch (0 if the clock reads before it).
+fn unix_millis() -> u64 {
+    SystemTime::now()
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_millis() as u64)
-        .unwrap_or(0);
-    millis / epoch_ms
+        .unwrap_or(0)
+}
+
+/// This balancer's epoch-id source, separated from the clock so the
+/// monotonic guard is testable with injected timestamps.
+///
+/// Balancer `index` of `num_lbs` owns the residue class `index mod num_lbs`
+/// of the composite epoch-id namespace: from a wall clock reading `now_ms`
+/// it derives the id `(now_ms / epoch_ms) * num_lbs + index`. Ids are
+/// clamped monotone — if the wall clock steps backwards (NTP correction, VM
+/// migration) the ticker goes silent until the clock passes its previous
+/// high-water mark, rather than ever re-issuing an id the subORAM reply
+/// caches may already hold. Catch-up is coalesced: a stall yields one tick
+/// with the newest id, not a burst of stale ones (ids never ticked are
+/// simply absent from this balancer's stream, which no subORAM waits for).
+pub struct EpochTicker {
+    epoch_ms: u64,
+    num_lbs: u64,
+    index: u64,
+    /// The last wall epoch this ticker issued an id for (high-water mark).
+    last_wall: u64,
+}
+
+impl EpochTicker {
+    /// A ticker for balancer `index` of `num_lbs`, anchored at `now_ms` so
+    /// the first tick fires for the *next* wall epoch (a restarted balancer
+    /// never re-ticks the wall epoch it died in).
+    pub fn new(epoch_ms: u64, num_lbs: usize, index: usize, now_ms: u64) -> EpochTicker {
+        let epoch_ms = epoch_ms.max(1);
+        EpochTicker {
+            epoch_ms,
+            num_lbs: num_lbs.max(1) as u64,
+            index: index as u64,
+            last_wall: now_ms / epoch_ms,
+        }
+    }
+
+    /// The composite epoch id to tick for a clock reading of `now_ms`, or
+    /// `None` if the clock has not advanced past the last issued wall epoch
+    /// (including any backwards step — ids never decrease).
+    pub fn next(&mut self, now_ms: u64) -> Option<u64> {
+        let wall = now_ms / self.epoch_ms;
+        if wall <= self.last_wall {
+            return None;
+        }
+        self.last_wall = wall;
+        Some(wall * self.num_lbs + self.index)
+    }
 }
 
 /// Turns accepted hellos (clients, admins) into session handlers.
@@ -477,5 +533,53 @@ impl SessionHandler for SubDialHandler {
 
     fn on_close(&mut self) {
         let _ = self.closed_tx.send(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticker_ids_come_from_this_balancers_residue_class() {
+        // Balancer 1 of 3, epoch_ms = 10, anchored at t = 0.
+        let mut t = EpochTicker::new(10, 3, 1, 0);
+        #[allow(clippy::identity_op)]
+        let first = 1 * 3 + 1; // wall_epoch 1, times k=3 balancers, plus index 1
+        assert_eq!(t.next(10), Some(first));
+        assert_eq!(t.next(20), Some(2 * 3 + 1));
+        assert_eq!(t.next(30), Some(3 * 3 + 1));
+    }
+
+    #[test]
+    fn backwards_clock_step_never_decreases_epoch_ids() {
+        let mut t = EpochTicker::new(10, 2, 0, 100);
+        let before = t.next(110).expect("clock advanced");
+        // The wall clock steps back 40ms (NTP correction): no tick at all —
+        // re-issuing an id would collide with reply-cache entries.
+        assert_eq!(t.next(70), None);
+        assert_eq!(t.next(90), None);
+        // Replaying the exact pre-step reading is also refused.
+        assert_eq!(t.next(110), None);
+        // Once the clock passes the high-water mark, ids resume above it.
+        let after = t.next(120).expect("clock passed the high-water mark");
+        assert!(after > before, "ids must be strictly increasing, got {before} then {after}");
+    }
+
+    #[test]
+    fn stalls_coalesce_to_the_newest_id() {
+        let mut t = EpochTicker::new(10, 2, 1, 0);
+        assert_eq!(t.next(10), Some(3));
+        // A 50ms scheduler stall: one tick with the newest id, not a burst.
+        assert_eq!(t.next(60), Some(6 * 2 + 1));
+        assert_eq!(t.next(60), None, "same reading ticks at most once");
+    }
+
+    #[test]
+    fn anchor_skips_the_wall_epoch_the_ticker_started_in() {
+        // A balancer restarting at t = 57 (wall epoch 5) must not re-tick 5.
+        let mut t = EpochTicker::new(10, 1, 0, 57);
+        assert_eq!(t.next(59), None);
+        assert_eq!(t.next(61), Some(6));
     }
 }

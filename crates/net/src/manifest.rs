@@ -474,6 +474,55 @@ suboram = 127.0.0.1:7101\n";
         assert!(e.to_string().contains("manifest line"), "{e}");
     }
 
+    /// `GOOD` grown to a 3×2 cluster: repeated `loadbalancer` keys, in
+    /// index order.
+    const MULTI_LB: &str = "\
+value_len = 32\n\
+lambda = 128\n\
+seed = 1\n\
+num_objects = 256\n\
+epoch_ms = 5\n\
+loadbalancer = 127.0.0.1:7000\n\
+loadbalancer = 127.0.0.1:7001\n\
+loadbalancer = 127.0.0.1:7002\n\
+suboram = 127.0.0.1:7100\n\
+suboram = 127.0.0.1:7101\n";
+
+    #[test]
+    fn multi_balancer_manifests_parse_in_index_order() {
+        let m = Manifest::parse(MULTI_LB).unwrap();
+        // Line order is index order: the i-th `loadbalancer` key is balancer
+        // i, which keys session-link derivation and the epoch-id residue
+        // class — reordering the list is a different deployment.
+        assert_eq!(m.load_balancers, vec!["127.0.0.1:7000", "127.0.0.1:7001", "127.0.0.1:7002"]);
+        assert_eq!(m.suborams, vec!["127.0.0.1:7100", "127.0.0.1:7101"]);
+        // Indexed lookup: each balancer's address sits at its index.
+        for (i, addr) in m.load_balancers.iter().enumerate() {
+            assert_eq!(addr, &format!("127.0.0.1:700{i}"));
+        }
+    }
+
+    #[test]
+    fn multi_balancer_manifests_render_roundtrip() {
+        let m = Manifest::parse(MULTI_LB).unwrap();
+        let back = Manifest::parse(&m.render()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.load_balancers, m.load_balancers, "render must preserve index order");
+    }
+
+    #[test]
+    fn duplicate_balancer_addresses_are_rejected() {
+        // Two balancers on one address.
+        let text = MULTI_LB.replace("127.0.0.1:7002", "127.0.0.1:7000");
+        let e = Manifest::parse(&text).unwrap_err();
+        assert!(e.message.contains("duplicate address `127.0.0.1:7000`"), "{e}");
+        assert!(e.message.contains("first used on line"), "{e}");
+        // A balancer colliding with a subORAM in the k≥2 shape.
+        let text = MULTI_LB.replace("127.0.0.1:7001", "127.0.0.1:7101");
+        let e = Manifest::parse(&text).unwrap_err();
+        assert!(e.message.contains("duplicate address `127.0.0.1:7101`"), "{e}");
+    }
+
     #[test]
     fn truncated_lines_are_descriptive_errors_not_panics() {
         // A key with `=` but nothing after it.

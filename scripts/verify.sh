@@ -57,14 +57,24 @@ SNOOPY_STORAGE=disk cargo test --offline -p snoopy-net --test cluster -- --nocap
 SNOOPY_STORAGE=disk cargo test --offline -p snoopy-net --test chaos_net -- --nocapture
 cargo test --offline -p snoopy-net --test disk_store -- --nocapture
 
+# Multi-balancer suite: k balancers × m subORAMs as real processes. Boots a
+# 2×3 TCP cluster, SIGKILLs one balancer mid-epoch (never restarted) and
+# requires the SnoopyClient multi-endpoint transport to fail over with zero
+# lost acknowledged writes while the survivor keeps sealing composite
+# epochs; then races conflicting writes through two balancers at once and
+# checks the combined wire history with the real-time (Wing–Gong)
+# linearizability checker.
+echo "== multi-balancer cluster (balancer kill + cross-balancer linearizability) =="
+cargo test --offline -p snoopy-net --test multi_lb -- --nocapture
+
 # Stress suite: the open-loop load generator against a real snoopyd cluster
 # on the reactor net plane, at a CI-sized client count. The floors are
 # deliberately conservative (half the offered rate, a generous p99) so this
 # gates regressions — a wedged reactor, dropped frames, session leaks — not
 # machine speed. Full-scale runs (10k+ sessions): target/release/loadgen.
-echo "== stress (open-loop load generator, 1000 sessions) =="
+echo "== stress (open-loop load generator, 1000 sessions, 2 balancers) =="
 ./target/release/loadgen --clients 1000 --duration-secs 5 --rate 800 \
-  --min-rps 400 --max-p99-ms 2000 --no-csv
+  --balancers 2 --min-rps 400 --max-p99-ms 2000 --no-csv
 
 # Observability suite: the cluster-wide telemetry plane end to end. Boots a
 # real 4-process TCP cluster, merges every daemon's span rings into one
