@@ -1,25 +1,26 @@
-//! Figure 9a (real plane): throughput across a k×m grid of real `snoopyd`
-//! processes — k balancers × m subORAMs over loopback TCP.
+//! Figure 14 (real plane): throughput before / during / after a live
+//! elastic reshard of a real `snoopyd` cluster.
 //!
-//! The simulated `fig9a_throughput_scaling` reproduces the paper's 18-machine
-//! shape from the calibrated cost model; this bench measures the *real* net
-//! plane at test-bench scale: for each grid point it boots the cluster,
-//! drives closed-loop clients round-robined across the full balancer set
-//! through [`SnoopyClient`] (multi-endpoint failover enabled, so a slow
-//! balancer degrades throughput instead of failing the run), and reports
-//! sustained req/s per point as a CSV. The paper's claim at this scale is
-//! directional, not absolute: adding balancers and subORAMs must not
-//! *shrink* throughput (the composite epoch-id namespace has no
-//! cross-balancer barrier to serialize on).
+//! The paper's Fig. 14 shows Snoopy absorbing a load change by changing the
+//! machine count between epochs. This bench measures the real TCP plane's
+//! version of that event: boot k balancers × 8 *provisioned* subORAMs with
+//! only 4 active, drive closed-loop clients, then grow the fleet 4→8 with the
+//! live reshard protocol ([`snoopy_net::reshard_cluster`]) while the clients
+//! keep running. Reported per phase: sustained req/s before the reshard,
+//! during the migration window (clients ride through the held tick), and
+//! after the flip. The claim at test-bench scale is directional: the cluster
+//! must keep completing requests in every phase — the migration pause costs
+//! one latency bump, not an outage — and the post-flip cluster must not be
+//! slower than the pre-flip one.
 //!
 //! ```text
-//! fig9a_net_scaling [--grid 1x2,2x2,2x3] [--clients 8] [--duration-secs 3]
-//!                   [--objects 1024] [--value-len 32] [--epoch-ms 5] [--quick]
+//! fig14_live_reshard [--balancers 2] [--clients 8] [--phase-secs 3]
+//!                    [--objects 1024] [--value-len 32] [--epoch-ms 5] [--quick]
 //! ```
 
 use snoopy_bench::{fmt, print_table, write_csv};
 use snoopy_net::manifest::Manifest;
-use snoopy_net::{fetch_stats, proto, shutdown_daemon, SnoopyClient};
+use snoopy_net::{fetch_stats, proto, shutdown_daemon, ReshardOptions, SnoopyClient};
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -27,9 +28,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 struct Config {
-    grid: Vec<(usize, usize)>,
+    balancers: usize,
     clients: usize,
-    duration: Duration,
+    phase: Duration,
     objects: u64,
     value_len: usize,
     epoch_ms: u64,
@@ -39,9 +40,9 @@ struct Config {
 impl Config {
     fn parse() -> Config {
         let mut cfg = Config {
-            grid: vec![(1, 2), (2, 2), (2, 3)],
+            balancers: 2,
             clients: 8,
-            duration: Duration::from_secs(3),
+            phase: Duration::from_secs(3),
             objects: 1024,
             value_len: 32,
             epoch_ms: 5,
@@ -55,33 +56,26 @@ impl Config {
         };
         while i < args.len() {
             match args[i].as_str() {
-                "--grid" => {
-                    cfg.grid = take(&mut i)
-                        .split(',')
-                        .map(|p| {
-                            let (k, m) = p.split_once('x').expect("--grid wants kxm,kxm,…");
-                            (k.parse().expect("k"), m.parse().expect("m"))
-                        })
-                        .collect();
-                }
+                "--balancers" => cfg.balancers = take(&mut i).parse().expect("--balancers"),
                 "--clients" => cfg.clients = take(&mut i).parse().expect("--clients"),
-                "--duration-secs" => {
-                    cfg.duration = Duration::from_secs_f64(take(&mut i).parse().expect("secs"))
+                "--phase-secs" => {
+                    cfg.phase = Duration::from_secs_f64(take(&mut i).parse().expect("secs"))
                 }
                 "--objects" => cfg.objects = take(&mut i).parse().expect("--objects"),
                 "--value-len" => cfg.value_len = take(&mut i).parse().expect("--value-len"),
                 "--epoch-ms" => cfg.epoch_ms = take(&mut i).parse().expect("--epoch-ms"),
                 "--seed" => cfg.seed = take(&mut i).parse().expect("--seed"),
                 "--quick" => {
-                    cfg.grid = vec![(1, 2), (2, 2)];
+                    cfg.balancers = 1;
                     cfg.clients = 4;
-                    cfg.duration = Duration::from_secs(1);
+                    cfg.phase = Duration::from_secs(1);
+                    cfg.objects = 256;
                 }
                 other => panic!("unknown argument {other}"),
             }
             i += 1;
         }
-        assert!(cfg.clients > 0 && !cfg.grid.is_empty());
+        assert!(cfg.balancers > 0 && cfg.clients > 0);
         cfg
     }
 }
@@ -143,10 +137,17 @@ fn wait_for_stats(addr: &str) {
     }
 }
 
-/// One grid point: boot k×m, run closed-loop clients, tear down.
-/// Returns (completed ops, errors).
-fn run_point(cfg: &Config, bin: &Path, k: usize, m: usize, dir: &Path) -> (u64, u64) {
-    let addrs = free_addrs(k + m);
+const OLD_S: usize = 4;
+const NEW_S: usize = 8;
+
+fn main() {
+    let cfg = Config::parse();
+    let bin = snoopyd_path();
+    let dir = std::env::temp_dir().join(format!("snoopy-fig14-live-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+
+    let k = cfg.balancers;
+    let addrs = free_addrs(k + NEW_S);
     let manifest = Manifest {
         value_len: cfg.value_len,
         lambda: 128,
@@ -156,24 +157,31 @@ fn run_point(cfg: &Config, bin: &Path, k: usize, m: usize, dir: &Path) -> (u64, 
         sub_deadline_ms: 10_000,
         max_replays: 3,
         retain_epochs: 8,
-        active_suborams: 0,
+        active_suborams: OLD_S,
         lb_threads: 1,
         sub_threads: 1,
         storage: snoopy_store::StorageKind::from_env(),
-        store_dir: Some(dir.join(format!("store-{k}x{m}")).to_string_lossy().into_owned()),
+        store_dir: Some(dir.join("store").to_string_lossy().into_owned()),
         block_bytes: 4096,
         buffer_blocks: 64,
         load_balancers: addrs[..k].to_vec(),
         suborams: addrs[k..].to_vec(),
     };
-    let manifest_path = dir.join(format!("{k}x{m}.manifest"));
+    let manifest_path = dir.join("cluster.manifest");
     std::fs::write(&manifest_path, manifest.render()).expect("write manifest");
+
+    println!(
+        "[fig14-live] booting {k} balancer(s) + {NEW_S} provisioned subORAMs ({OLD_S} active), \
+         {} closed-loop clients, {:.1}s per phase",
+        cfg.clients,
+        cfg.phase.as_secs_f64()
+    );
     let mut daemons = Vec::new();
-    for i in 0..m {
-        daemons.push(spawn_daemon(bin, "suboram", i, &manifest_path));
+    for i in 0..NEW_S {
+        daemons.push(spawn_daemon(&bin, "suboram", i, &manifest_path));
     }
     for i in 0..k {
-        daemons.push(spawn_daemon(bin, "loadbalancer", i, &manifest_path));
+        daemons.push(spawn_daemon(&bin, "loadbalancer", i, &manifest_path));
     }
     for addr in &addrs {
         wait_for_stats(addr);
@@ -183,17 +191,18 @@ fn run_point(cfg: &Config, bin: &Path, k: usize, m: usize, dir: &Path) -> (u64, 
     let completed = AtomicU64::new(0);
     let errors = AtomicU64::new(0);
     let stop = AtomicBool::new(false);
+    // (phase name, wall seconds, ops completed in the phase, errors so far)
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut report = None;
     std::thread::scope(|scope| {
         for c in 0..cfg.clients {
             let lbs = manifest.load_balancers.clone();
             let deploy = deploy.clone();
             let (completed, errors, stop) = (&completed, &errors, &stop);
-            let cfg = &*cfg;
+            let cfg = &cfg;
             scope.spawn(move || {
-                // Client c prefers balancer c % k (round-robin spread) but
-                // keeps the full manifest-ordered set for failover.
                 let mut client = match SnoopyClient::builder(cfg.value_len)
-                    .read_timeout(Duration::from_secs(10))
+                    .read_timeout(Duration::from_secs(60))
                     .connect_tcp_multi_preferring(&lbs, c % lbs.len(), &deploy)
                 {
                     Ok(cl) => cl,
@@ -224,7 +233,53 @@ fn run_point(cfg: &Config, bin: &Path, k: usize, m: usize, dir: &Path) -> (u64, 
                 }
             });
         }
-        std::thread::sleep(cfg.duration);
+
+        let mut phase = |name: &str, ops: u64, secs: f64| {
+            let rps = ops as f64 / secs.max(1e-9);
+            println!("[fig14-live] {name}: {} reqs/s over {secs:.2}s", fmt(rps));
+            rows.push(vec![
+                name.to_string(),
+                format!("{secs:.3}"),
+                ops.to_string(),
+                errors.load(Ordering::Relaxed).to_string(),
+                format!("{rps:.0}"),
+            ]);
+        };
+
+        // Phase 1: steady state on the old fleet.
+        let mark = completed.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.phase);
+        let before_ops = completed.load(Ordering::Relaxed) - mark;
+        phase("before", before_ops, t0.elapsed().as_secs_f64());
+
+        // Phase 2: the live reshard, clients still running.
+        let mark = completed.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        match snoopy_net::reshard_cluster(&manifest, NEW_S, ReshardOptions::default()) {
+            Ok(r) => {
+                let during_ops = completed.load(Ordering::Relaxed) - mark;
+                phase("during", during_ops, t0.elapsed().as_secs_f64());
+                println!(
+                    "[fig14-live] reshard generation {}: {OLD_S} -> {NEW_S} subORAMs, \
+                     {} objects moved, {} sealed batches per node per direction",
+                    r.generation, r.objects_moved, r.batches_per_node
+                );
+                report = Some(r);
+            }
+            Err(e) => {
+                stop.store(true, Ordering::Relaxed);
+                panic!("[fig14-live] reshard failed: {e}");
+            }
+        }
+
+        // Phase 3: steady state on the grown fleet.
+        let mark = completed.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        std::thread::sleep(cfg.phase);
+        let after_ops = completed.load(Ordering::Relaxed) - mark;
+        phase("after", after_ops, t0.elapsed().as_secs_f64());
+
         stop.store(true, Ordering::Relaxed);
     });
 
@@ -232,37 +287,25 @@ fn run_point(cfg: &Config, bin: &Path, k: usize, m: usize, dir: &Path) -> (u64, 
         let _ = shutdown_daemon(addr);
     }
     drop(daemons);
-    (completed.load(Ordering::Relaxed), errors.load(Ordering::Relaxed))
-}
 
-fn main() {
-    let cfg = Config::parse();
-    let bin = snoopyd_path();
-    let dir = std::env::temp_dir().join(format!("snoopy-fig9a-net-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let header = ["phase", "seconds", "completed", "errors_cum", "rps"];
+    print_table("Figure 14 (real plane): throughput across a live 4->8 reshard", &header, &rows);
+    write_csv("fig14_live_reshard", &header, &rows);
 
-    let mut rows = Vec::new();
-    for &(k, m) in &cfg.grid {
-        println!(
-            "[fig9a-net] {k}x{m}: booting {k} balancer(s) + {m} subORAM(s), \
-             {} closed-loop clients for {:.1}s",
-            cfg.clients,
-            cfg.duration.as_secs_f64()
-        );
-        let (completed, errors) = run_point(&cfg, &bin, k, m, &dir);
-        let rps = completed as f64 / cfg.duration.as_secs_f64();
-        rows.push(vec![
-            k.to_string(),
-            m.to_string(),
-            cfg.clients.to_string(),
-            completed.to_string(),
-            errors.to_string(),
-            format!("{rps:.0}"),
-        ]);
-        println!("[fig9a-net] {k}x{m}: {} reqs/s ({errors} errors)", fmt(rps));
+    let report = report.expect("reshard report");
+    assert_eq!(report.new_s, NEW_S);
+    let before_rps: f64 = rows[0][4].parse().unwrap();
+    let after_rps: f64 = rows[2][4].parse().unwrap();
+    // Directional claims: the cluster completes work in every phase, and the
+    // grown fleet is no slower than the old one (generously margined — this
+    // is loopback TCP on one machine, not 18 Azure hosts).
+    for row in &rows {
+        assert!(row[2].parse::<u64>().unwrap() > 0, "phase {} completed nothing", row[0]);
     }
-    let header = ["balancers", "suborams", "clients", "completed", "errors", "rps"];
-    print_table("Figure 9a (real plane): throughput across the kxm grid", &header, &rows);
-    write_csv("fig9a_net_scaling", &header, &rows);
+    assert!(
+        after_rps >= before_rps * 0.5,
+        "post-reshard throughput collapsed: before {before_rps} vs after {after_rps}"
+    );
+    println!("[fig14-live] OK: served every phase; after/before = {:.2}", after_rps / before_rps);
     let _ = std::fs::remove_dir_all(&dir);
 }

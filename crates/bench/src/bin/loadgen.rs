@@ -327,6 +327,7 @@ fn main() {
         sub_deadline_ms: 10_000,
         max_replays: 3,
         retain_epochs: 8,
+        active_suborams: 0,
         lb_threads: 1,
         sub_threads: 1,
         storage: snoopy_store::StorageKind::from_env(),

@@ -40,6 +40,9 @@ fn allowed_provenances(kind: EventKind) -> &'static [Provenance] {
         | EventKind::NetAccept
         | EventKind::NetClose
         | EventKind::NetBackpressure => &[Provenance::WireObservable],
+        // A reshard is a public reconfiguration event: generation and fleet
+        // size are operator-chosen configuration, never request-derived.
+        EventKind::ReshardCommit | EventKind::ReshardAbort => &[Provenance::Config],
         EventKind::Shutdown => &[],
     }
 }

@@ -26,6 +26,12 @@ pub struct SnoopyConfig {
     pub lb_threads: usize,
     /// Enclave threads per subORAM for the parallel linear scan (Fig. 13b).
     pub sub_threads: usize,
+    /// How many of the `num_suborams` provisioned subORAMs hold data at
+    /// boot (`0` = all of them). The rest boot as empty *spares* the elastic
+    /// reshard protocol can grow into at an epoch boundary without changing
+    /// the link topology. Like every other field, this is public
+    /// configuration.
+    pub active_suborams: usize,
 }
 
 impl Default for SnoopyConfig {
@@ -44,6 +50,7 @@ impl Default for SnoopyConfig {
             storage: StorageKind::from_env(),
             lb_threads: threads,
             sub_threads: threads,
+            active_suborams: 0,
         }
     }
 }
@@ -98,6 +105,24 @@ impl SnoopyConfig {
         self
     }
 
+    /// Boots only the first `active` subORAMs with data; the rest are empty
+    /// spares for the reshard protocol to grow into. Clamped to
+    /// `1..=num_suborams`.
+    pub fn active_suborams(mut self, active: usize) -> SnoopyConfig {
+        self.active_suborams = active.clamp(1, self.num_suborams);
+        self
+    }
+
+    /// The subORAM count client data is partitioned over at boot:
+    /// [`SnoopyConfig::active_suborams`] when set, the full fleet otherwise.
+    pub fn initial_active(&self) -> usize {
+        if self.active_suborams == 0 {
+            self.num_suborams
+        } else {
+            self.active_suborams.min(self.num_suborams)
+        }
+    }
+
     /// Total machine count as the paper counts it (L + S).
     pub fn machines(&self) -> usize {
         self.num_load_balancers + self.num_suborams
@@ -141,5 +166,14 @@ mod tests {
         let c = SnoopyConfig::default().threads(4, 0);
         assert_eq!(c.lb_threads, 4);
         assert_eq!(c.sub_threads, 1);
+    }
+
+    #[test]
+    fn active_suborams_clamps_and_defaults_to_full_fleet() {
+        let c = SnoopyConfig::with_machines(1, 8);
+        assert_eq!(c.initial_active(), 8, "0 means the whole fleet is active");
+        assert_eq!(c.active_suborams(4).initial_active(), 4);
+        assert_eq!(SnoopyConfig::with_machines(1, 8).active_suborams(99).initial_active(), 8);
+        assert_eq!(SnoopyConfig::with_machines(1, 8).active_suborams(0).initial_active(), 1);
     }
 }

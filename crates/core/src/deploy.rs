@@ -35,9 +35,10 @@ use std::time::{Duration, Instant};
 use crate::config::SnoopyConfig;
 use crate::link::Link;
 use crate::transport::{
-    run_load_balancer_with_policy, run_suboram, ClientReply, EpochFaultPolicy, FaultAction,
-    FaultInjector, LbEvent, LbTransport, NoFaults, RecvOutcome, SubEvent, SubOramNode,
-    SubTransport, Unavailable,
+    run_load_balancer_with_reshard, run_suboram_with_admin, ClientReply, EpochFaultPolicy,
+    FaultAction, FaultInjector, LbEvent, LbTransport, NoFaults, RecvOutcome, ReshardCmd,
+    ReshardControl, ReshardPhase, ReshardPlan, ReshardStatus, SubEvent, SubOramNode, SubReshardCmd,
+    SubReshardReply, SubTransport, Unavailable,
 };
 
 /// Messages into a load-balancer thread (its single mailbox).
@@ -52,6 +53,8 @@ enum LbMsg {
     /// wire-observable facts only (sender identity + epoch), so it needs no
     /// sealing — mirroring the TCP plane's plaintext NACK frame.
     SubFail { suboram: usize, epoch: u64 },
+    /// A reshard control command from [`InProcessCluster::reshard`].
+    Reshard { cmd: ReshardCmd, reply: Sender<ReshardStatus> },
     /// Terminate.
     Shutdown,
 }
@@ -63,6 +66,13 @@ enum SubMsg {
         lb: usize,
         epoch: u64,
         sealed: SealedBox,
+    },
+    /// A reshard control command from [`InProcessCluster::reshard`].
+    /// Migration payloads ride plaintext here — the channel plane's links
+    /// never leave the process; the TCP plane seals them.
+    Reshard {
+        cmd: SubReshardCmd,
+        reply: Sender<SubReshardReply>,
     },
     Shutdown,
 }
@@ -91,6 +101,7 @@ impl ChannelLbTransport {
                 LbEvent::SubResponse { suboram, epoch, batch }
             }
             LbMsg::SubFail { suboram, epoch } => LbEvent::SubFailed { suboram, epoch },
+            LbMsg::Reshard { cmd, reply } => LbEvent::Reshard { cmd, reply },
         }
     }
 
@@ -166,6 +177,7 @@ impl SubTransport for ChannelSubTransport {
                     self.links[lb].open(&sealed, self.value_len).expect("batch link failure");
                 SubEvent::Batch { lb, epoch, batch }
             }
+            SubMsg::Reshard { cmd, reply } => SubEvent::Reshard { cmd, reply },
         })
     }
 
@@ -279,6 +291,13 @@ pub struct InProcessCluster {
     ticker: Option<JoinHandle<()>>,
     epoch: u64,
     value_len: usize,
+    /// The deployment-wide partition key, kept so the reshard driver can
+    /// re-partition exported objects at a new subORAM count.
+    shared_key: Key256,
+    /// SubORAMs currently holding data (≤ the provisioned fleet size).
+    active_suborams: usize,
+    /// Layout generation (0 until a reshard ever commits).
+    generation: u64,
 }
 
 impl InProcessCluster {
@@ -307,9 +326,15 @@ impl InProcessCluster {
     ) -> InProcessCluster {
         let l = config.num_load_balancers;
         let s = config.num_suborams;
+        // Data is partitioned over the *active* prefix of the fleet; the
+        // rest boot as empty spares the reshard protocol can grow into
+        // without changing the link topology (all l×s links exist from
+        // boot, so growing is a routing flip, not a re-keying).
+        let active_s = config.initial_active();
         let mut prg = Prg::from_seed(seed);
         let shared_key = Key256::random(&mut prg);
-        let parts = partition_objects(objects, &shared_key, s);
+        let mut parts = partition_objects(objects, &shared_key, active_s);
+        parts.resize_with(s, Vec::new);
 
         // Channels: one mailbox per machine.
         let (lb_txs, lb_rxs): (Vec<_>, Vec<_>) = (0..l).map(|_| channel::<LbMsg>()).unzip();
@@ -351,9 +376,11 @@ impl InProcessCluster {
             let sub_threads = config.sub_threads;
             let injector = injector.clone();
             threads.push(std::thread::spawn(move || {
-                let oram = snoopy_store::build_suboram(storage, part, value_len, key, lambda);
+                let oram =
+                    snoopy_store::build_suboram(storage, part, value_len, key.clone(), lambda);
                 let mut node =
                     SubOramNode::new(oram, l).with_index(sub_idx).with_threads(sub_threads);
+                node.set_layout(0, active_s);
                 let mut transport = ChannelSubTransport {
                     rx,
                     lb_txs,
@@ -363,13 +390,88 @@ impl InProcessCluster {
                     value_len,
                     injector,
                 };
+                // Reshard staging state: a partition built for the next
+                // generation, held beside the live one until the driver's
+                // verdict. Staged under a generation-derived key so sealed
+                // storage never reuses a nonce stream across generations.
+                let mut staged: Option<(u64, usize, snoopy_suboram::SubOram)> = None;
                 // Commit dirty storage generations each epoch; a failed
                 // commit poisons the subORAM, which already surfaces on the
                 // wire as per-epoch refusals (channel clusters make no
                 // durability promise beyond that).
-                run_suboram(&mut transport, &mut node, |node, epoch| {
-                    let _ = node.oram_mut().commit_storage(epoch);
-                });
+                run_suboram_with_admin(
+                    &mut transport,
+                    &mut node,
+                    |node, epoch| {
+                        let _ = node.oram_mut().commit_storage(epoch);
+                    },
+                    |node, cmd| match cmd {
+                        SubReshardCmd::Status => SubReshardReply::Status(ReshardStatus {
+                            generation: node.generation(),
+                            active_s: node.active_s(),
+                            phase: if staged.is_some() {
+                                ReshardPhase::Armed
+                            } else {
+                                ReshardPhase::Idle
+                            },
+                        }),
+                        SubReshardCmd::Export => {
+                            let mut objs = Vec::new();
+                            match node.oram().stream_objects(&mut |o| objs.push(o.clone())) {
+                                Ok(()) => SubReshardReply::Objects(objs),
+                                Err(e) => SubReshardReply::Failed(e.to_string()),
+                            }
+                        }
+                        SubReshardCmd::Install { generation, new_s, objects } => {
+                            let stage_key =
+                                key.derive(b"reshard-stage").derive(&generation.to_le_bytes());
+                            let oram = snoopy_store::build_suboram(
+                                storage, objects, value_len, stage_key, lambda,
+                            );
+                            staged = Some((generation, new_s, oram));
+                            SubReshardReply::Status(ReshardStatus {
+                                generation: node.generation(),
+                                active_s: node.active_s(),
+                                phase: ReshardPhase::Armed,
+                            })
+                        }
+                        SubReshardCmd::Commit { generation } => match staged.take() {
+                            Some((g, new_s, oram)) if g == generation => {
+                                // The commit point: the staged partition
+                                // becomes live; the old one is dropped (the
+                                // channel plane makes no durability promise,
+                                // so there is no checkpoint to rewrite).
+                                let _old = node.swap_oram(oram);
+                                node.set_layout(g, new_s);
+                                SubReshardReply::Status(ReshardStatus {
+                                    generation: g,
+                                    active_s: new_s,
+                                    phase: ReshardPhase::Idle,
+                                })
+                            }
+                            other => {
+                                staged = other;
+                                SubReshardReply::Failed(format!(
+                                    "no staged partition for generation {generation}"
+                                ))
+                            }
+                        },
+                        SubReshardCmd::Abort { generation } => {
+                            if staged.as_ref().is_some_and(|(g, ..)| *g == generation) {
+                                staged = None;
+                            }
+                            SubReshardReply::Status(ReshardStatus {
+                                generation: node.generation(),
+                                active_s: node.active_s(),
+                                phase: if staged.is_some() {
+                                    ReshardPhase::Armed
+                                } else {
+                                    ReshardPhase::Idle
+                                },
+                            })
+                        }
+                    },
+                );
             }));
         }
 
@@ -384,8 +486,8 @@ impl InProcessCluster {
             let policy = policy.clone();
             let injector = injector.clone();
             threads.push(std::thread::spawn(move || {
-                let balancer =
-                    LoadBalancer::new(&shared_key, s, value_len, lambda).with_threads(lb_threads);
+                let balancer = LoadBalancer::new(&shared_key, active_s, value_len, lambda)
+                    .with_threads(lb_threads);
                 let mut transport = ChannelLbTransport {
                     rx,
                     sub_txs,
@@ -395,7 +497,23 @@ impl InProcessCluster {
                     value_len,
                     injector,
                 };
-                run_load_balancer_with_policy(&mut transport, balancer, s, policy);
+                // Balancers are stateless (§4.3): a reshard commit rebuilds
+                // the routing table from the same shared key at the new S.
+                let rebuild_key = shared_key.clone();
+                let control = ReshardControl {
+                    rebuild: Box::new(move |new_s| {
+                        LoadBalancer::new(&rebuild_key, new_s, value_len, lambda)
+                            .with_threads(lb_threads)
+                    }),
+                    initial_generation: 0,
+                };
+                run_load_balancer_with_reshard(
+                    &mut transport,
+                    balancer,
+                    active_s,
+                    policy,
+                    Some(control),
+                );
             }));
         }
 
@@ -407,6 +525,9 @@ impl InProcessCluster {
             ticker: None,
             epoch: 0,
             value_len: config.value_len,
+            shared_key,
+            active_suborams: active_s,
+            generation: 0,
         }
     }
 
@@ -428,6 +549,147 @@ impl InProcessCluster {
     /// one process therefore aggregate; counters are monotone across them.
     pub fn metrics(&self) -> &'static snoopy_telemetry::MetricsRegistry {
         snoopy_telemetry::metrics::global()
+    }
+
+    /// SubORAMs currently holding data (≤ the provisioned fleet size).
+    pub fn active_suborams(&self) -> usize {
+        self.active_suborams
+    }
+
+    /// The layout generation (0 until a reshard ever commits).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Reshards the fleet to `new_s` active subORAMs at the next epoch
+    /// boundary — the channel-plane reference implementation of the elastic
+    /// reshard protocol (the TCP plane's driver in `snoopy-net` follows the
+    /// same phases):
+    ///
+    /// 1. **Plan**: every balancer arms `Reshard { new_s, generation }` and
+    ///    pauses at its next owned tick, buffering clients.
+    /// 2. **Migrate**: once all balancers are paused (no batches in flight
+    ///    anywhere), every subORAM exports its partition, the driver
+    ///    re-partitions the union with the shared keyed hash at `new_s`, and
+    ///    each subORAM stages its new partition beside the live one.
+    /// 3. **Commit**: subORAMs swap staged → live, then balancers flip their
+    ///    routing tables and release the held tick, so buffered requests
+    ///    execute entirely at the new layout.
+    ///
+    /// Any failure before the first subORAM commit aborts everywhere: staged
+    /// state is dropped, balancers resume the old layout, and the buffered
+    /// epoch executes as if the reshard were never attempted — acknowledged
+    /// writes are never lost either way.
+    pub fn reshard(&mut self, new_s: usize) -> Result<(), String> {
+        let fleet = self.sub_senders.len();
+        if new_s == 0 || new_s > fleet {
+            return Err(format!("new_s {new_s} outside provisioned fleet 1..={fleet}"));
+        }
+        let timeout = Duration::from_secs(30);
+        let generation = self.generation + 1;
+        // Phase 1: arm every balancer. Boundary 0 = the next owned tick.
+        let plan =
+            ReshardPlan { generation, new_s, boundary_epoch: 0, ttl: Duration::from_secs(30) };
+        for (i, tx) in self.lb_senders.iter().enumerate() {
+            let st = lb_rpc(tx, ReshardCmd::Plan(plan.clone()), timeout)?;
+            if st.phase != ReshardPhase::Armed {
+                self.abort_all(generation);
+                return Err(format!("balancer {i} refused the plan: {st:?}"));
+            }
+        }
+        // Drive the boundary tick ourselves unless a ticker already does.
+        if self.ticker.is_none() {
+            self.tick();
+        }
+        // Wait until every balancer reports Paused: after that, no batches
+        // are in flight anywhere (ticks resolve synchronously), so the
+        // subORAM partitions are quiescent.
+        let deadline = Instant::now() + timeout;
+        for (i, tx) in self.lb_senders.iter().enumerate() {
+            loop {
+                let st = match lb_rpc(tx, ReshardCmd::Status, timeout) {
+                    Ok(st) => st,
+                    Err(e) => {
+                        self.abort_all(generation);
+                        return Err(format!("balancer {i} unreachable at the boundary: {e}"));
+                    }
+                };
+                if st.phase == ReshardPhase::Paused {
+                    break;
+                }
+                if Instant::now() > deadline {
+                    self.abort_all(generation);
+                    return Err(format!("balancer {i} never paused: {st:?}"));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Phase 2: export every partition and re-partition at new_s.
+        let mut union: Vec<StoredObject> = Vec::new();
+        for (i, tx) in self.sub_senders.iter().enumerate() {
+            match sub_rpc(tx, SubReshardCmd::Export, timeout) {
+                Ok(SubReshardReply::Objects(objs)) => union.extend(objs),
+                other => {
+                    self.abort_all(generation);
+                    return Err(format!("subORAM {i} export failed: {}", describe(other)));
+                }
+            }
+        }
+        let mut parts = partition_objects(union, &self.shared_key, new_s);
+        parts.resize_with(fleet, Vec::new);
+        for (i, (tx, part)) in self.sub_senders.iter().zip(parts).enumerate() {
+            let cmd = SubReshardCmd::Install { generation, new_s, objects: part };
+            match sub_rpc(tx, cmd, timeout) {
+                Ok(SubReshardReply::Status(st)) if st.phase == ReshardPhase::Armed => {}
+                other => {
+                    self.abort_all(generation);
+                    return Err(format!("subORAM {i} install failed: {}", describe(other)));
+                }
+            }
+        }
+        // Phase 3: commit subORAMs first (they hold the data), then flip
+        // the balancers. A failure after the first subORAM commit cannot be
+        // rolled back here — forward recovery is re-running the driver —
+        // so refuse to proceed only before that point.
+        for (i, tx) in self.sub_senders.iter().enumerate() {
+            match sub_rpc(tx, SubReshardCmd::Commit { generation }, timeout) {
+                Ok(SubReshardReply::Status(st)) if st.generation == generation => {}
+                other => {
+                    if i == 0 {
+                        // Nothing committed yet: clean abort.
+                        self.abort_all(generation);
+                        return Err(format!("subORAM {i} commit refused: {}", describe(other)));
+                    }
+                    return Err(format!(
+                        "subORAM {i} commit refused after {i} commits — re-run reshard({new_s}) \
+                         to roll forward: {}",
+                        describe(other)
+                    ));
+                }
+            }
+        }
+        for (i, tx) in self.lb_senders.iter().enumerate() {
+            let st = lb_rpc(tx, ReshardCmd::Commit { generation }, timeout)?;
+            if st.generation != generation {
+                return Err(format!("balancer {i} missed the flip: {st:?}"));
+            }
+        }
+        self.active_suborams = new_s;
+        self.generation = generation;
+        Ok(())
+    }
+
+    /// Best-effort abort fan-out: drop staged subORAM state and release any
+    /// paused balancer back to the old layout. Errors are ignored — abort
+    /// must make progress even with half the cluster gone.
+    fn abort_all(&self, generation: u64) {
+        let timeout = Duration::from_secs(5);
+        for tx in &self.sub_senders {
+            let _ = sub_rpc(tx, SubReshardCmd::Abort { generation }, timeout);
+        }
+        for tx in &self.lb_senders {
+            let _ = lb_rpc(tx, ReshardCmd::Abort { generation }, timeout);
+        }
     }
 
     /// Manually closes the current epoch: all balancers batch what they
@@ -493,6 +755,34 @@ impl InProcessCluster {
 impl Drop for InProcessCluster {
     fn drop(&mut self) {
         self.shutdown_inner();
+    }
+}
+
+/// One blocking reshard RPC to a balancer thread.
+fn lb_rpc(tx: &Sender<LbMsg>, cmd: ReshardCmd, timeout: Duration) -> Result<ReshardStatus, String> {
+    let (rtx, rrx) = channel();
+    tx.send(LbMsg::Reshard { cmd, reply: rtx }).map_err(|_| "balancer gone".to_string())?;
+    rrx.recv_timeout(timeout).map_err(|e| format!("balancer reshard rpc: {e}"))
+}
+
+/// One blocking reshard RPC to a subORAM thread.
+fn sub_rpc(
+    tx: &Sender<SubMsg>,
+    cmd: SubReshardCmd,
+    timeout: Duration,
+) -> Result<SubReshardReply, String> {
+    let (rtx, rrx) = channel();
+    tx.send(SubMsg::Reshard { cmd, reply: rtx }).map_err(|_| "subORAM gone".to_string())?;
+    rrx.recv_timeout(timeout).map_err(|e| format!("subORAM reshard rpc: {e}"))
+}
+
+/// Renders an unexpected subORAM RPC outcome for error messages.
+fn describe(outcome: Result<SubReshardReply, String>) -> String {
+    match outcome {
+        Ok(SubReshardReply::Status(st)) => format!("unexpected status {st:?}"),
+        Ok(SubReshardReply::Objects(objs)) => format!("unexpected {}-object reply", objs.len()),
+        Ok(SubReshardReply::Failed(msg)) => msg,
+        Err(e) => e,
     }
 }
 
@@ -594,6 +884,54 @@ mod tests {
         fn on_response(&self, _lb: usize, _suboram: usize, _epoch: u64) -> FaultAction {
             FaultAction::Deliver
         }
+    }
+
+    #[test]
+    fn reshard_grow_and_shrink_preserves_all_data() {
+        // Provision 4 subORAMs but boot with data on only 2: the other two
+        // are spares the grow flips into service.
+        let cfg = SnoopyConfig::with_machines(2, 4).active_suborams(2).value_len(VLEN);
+        let mut cluster = InProcessCluster::start(cfg, objects(60), 6);
+        assert_eq!(cluster.active_suborams(), 2);
+        let client = cluster.client();
+        // Acknowledge a write at the old layout.
+        let w = client.write_async(7, &[0xCD; 4]);
+        cluster.tick();
+        w.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+        // Buffer a request across the reshard boundary: it must commit at
+        // the new layout, not get lost or fail.
+        let inflight = client.read_async(7);
+        cluster.reshard(4).expect("grow 2->4");
+        assert_eq!(cluster.active_suborams(), 4);
+        assert_eq!(cluster.generation(), 1);
+        let resp = inflight.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+        assert_eq!(resp.value, payload(&[0xCD; 4]), "acked write visible across the grow");
+        // Every object is still readable after the grow.
+        let rxs: Vec<_> = (0..60u64).step_by(7).map(|i| (i, client.read_async(i))).collect();
+        cluster.tick();
+        cluster.tick();
+        for (i, rx) in rxs {
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+            let want = if i == 7 { payload(&[0xCD; 4]) } else { payload(&i.to_le_bytes()) };
+            assert_eq!(resp.value, want, "id {i} after grow");
+        }
+        // Shrink all the way down to one subORAM and read again.
+        cluster.reshard(1).expect("shrink 4->1");
+        assert_eq!(cluster.active_suborams(), 1);
+        assert_eq!(cluster.generation(), 2);
+        let rxs: Vec<_> = (0..60u64).step_by(11).map(|i| (i, client.read_async(i))).collect();
+        cluster.tick();
+        cluster.tick();
+        for (i, rx) in rxs {
+            let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap().unwrap();
+            let want = if i == 7 { payload(&[0xCD; 4]) } else { payload(&i.to_le_bytes()) };
+            assert_eq!(resp.value, want, "id {i} after shrink");
+        }
+        // Out-of-range targets are refused without touching the cluster.
+        assert!(cluster.reshard(0).is_err());
+        assert!(cluster.reshard(5).is_err());
+        assert_eq!(cluster.active_suborams(), 1);
+        cluster.shutdown();
     }
 
     #[test]

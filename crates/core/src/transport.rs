@@ -43,7 +43,7 @@
 //! "epoch e failed after subORAM k missed its deadline" is wire-observable
 //! to the adversary already.
 
-use snoopy_enclave::wire::{Request, Response};
+use snoopy_enclave::wire::{Request, Response, StoredObject};
 use snoopy_lb::LoadBalancer;
 use snoopy_suboram::SubOram;
 use snoopy_telemetry::events::{self, Event, EventKind};
@@ -141,6 +141,14 @@ pub enum LbEvent {
         /// The epoch whose batch was refused.
         epoch: u64,
     },
+    /// A reshard control command from the admin plane. The loop answers on
+    /// `reply` whether or not it acts on the command (see [`ReshardCmd`]).
+    Reshard {
+        /// The command.
+        cmd: ReshardCmd,
+        /// Where to send the node's resulting status.
+        reply: std::sync::mpsc::Sender<ReshardStatus>,
+    },
     /// Terminate gracefully.
     Shutdown,
 }
@@ -195,6 +203,15 @@ pub enum SubEvent {
         epoch: u64,
         /// The opened request batch.
         batch: Vec<Request>,
+    },
+    /// A reshard control command from the admin plane, answered on `reply`
+    /// (see [`SubReshardCmd`]; the staging state machine lives in the
+    /// daemon's handler, not in the epoch loop).
+    Reshard {
+        /// The command.
+        cmd: SubReshardCmd,
+        /// Where to send the handler's reply.
+        reply: std::sync::mpsc::Sender<SubReshardReply>,
     },
     /// Terminate gracefully.
     Shutdown,
@@ -285,6 +302,175 @@ impl EpochFaultPolicy {
     }
 }
 
+/// A reshard plan as one balancer sees it: at its first owned tick with
+/// id `>= boundary_epoch`, pause — defer the tick, keep buffering clients —
+/// until the reshard driver commits (flip to `new_s` subORAMs) or aborts
+/// (resume at the old layout). Every field is public configuration: the
+/// reconfiguration event itself is wire-observable by design, and the Cloak
+/// argument for the migration (see `snoopy-net`'s reshard module) only needs
+/// the *transfer shape* to be data-independent, not the event hidden.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReshardPlan {
+    /// Generation the cluster moves to if the plan commits. Must exceed the
+    /// balancer's current generation (stale duplicates are refused).
+    pub generation: u64,
+    /// The subORAM count after the flip.
+    pub new_s: usize,
+    /// First composite epoch id (this balancer's residue class) at which the
+    /// balancer pauses. The driver translates a wall epoch to each
+    /// balancer's class, so all balancers pause at the same wall boundary.
+    pub boundary_epoch: u64,
+    /// How long to stay paused with no commit/abort before self-aborting
+    /// back to the old layout (the driver died mid-migration).
+    pub ttl: Duration,
+}
+
+/// Where a balancer is in the reshard protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReshardPhase {
+    /// No plan armed; serving at the current layout.
+    Idle,
+    /// A plan is armed; the balancer pauses at its boundary tick.
+    Armed,
+    /// Paused at the boundary, awaiting commit or abort.
+    Paused,
+}
+
+/// A node's answer to any reshard control command: its current generation,
+/// the subORAM count it routes to (balancers) or serves within (subORAMs),
+/// and its protocol phase. All three are public configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReshardStatus {
+    /// Current layout generation (0 until a reshard ever committed).
+    pub generation: u64,
+    /// The active subORAM count under that generation.
+    pub active_s: usize,
+    /// Where the node is in the reshard protocol.
+    pub phase: ReshardPhase,
+}
+
+/// Control commands the reshard driver sends a *balancer* (via its admin
+/// connection, surfaced as [`LbEvent::Reshard`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReshardCmd {
+    /// Arm a plan. Replied with phase [`ReshardPhase::Armed`] on acceptance,
+    /// or the current status if refused (stale generation, resharding not
+    /// enabled, `new_s == 0`).
+    Plan(ReshardPlan),
+    /// Flip to the armed plan's layout. Only honored while paused at the
+    /// boundary with a matching generation.
+    Commit {
+        /// Generation of the plan being committed.
+        generation: u64,
+    },
+    /// Drop the armed plan (or end the pause) and resume the old layout.
+    Abort {
+        /// Generation of the plan being aborted.
+        generation: u64,
+    },
+    /// Report status without changing anything.
+    Status,
+}
+
+/// Hands a balancer loop the ability to rebuild its routing state at a new
+/// subORAM count when a reshard commits. Without it (the
+/// [`run_load_balancer_with_policy`] path) every [`ReshardCmd::Plan`] is
+/// refused and the loop behaves exactly as before.
+pub struct ReshardControl {
+    /// Builds a fresh [`LoadBalancer`] routing to `new_s` subORAMs. The
+    /// balancer is stateless (§4.3), so a rebuild is cheap: same shared key,
+    /// new partition count.
+    pub rebuild: Box<dyn Fn(usize) -> LoadBalancer + Send>,
+    /// Generation of the layout the balancer *boots* with. A balancer is
+    /// stateless, so a restarted one learns the live layout from the durable
+    /// side of the cluster (the subORAM checkpoints) and reports it here —
+    /// otherwise a reshard driver would see generation 0 and misread a
+    /// recovered cluster as never resharded.
+    pub initial_generation: u64,
+}
+
+/// Control commands the reshard driver sends a *subORAM* (surfaced as
+/// [`SubEvent::Reshard`]). The staged state machine lives in the daemon's
+/// handler (see [`run_suboram_with_admin`]), not in the epoch loop: `Install`
+/// stages a new partition next to the live one, `Commit` swaps it in and
+/// re-checkpoints, `Abort` drops it. A crash between a subORAM's commit and
+/// the balancers' flip recovers by re-running the driver — the checkpoint's
+/// generation stamp says which side of the boundary the node is on.
+pub enum SubReshardCmd {
+    /// Report status without changing anything.
+    Status,
+    /// Export the node's full object set for re-partitioning.
+    Export,
+    /// Stage the node's partition under the next generation's layout.
+    Install {
+        /// Generation being staged.
+        generation: u64,
+        /// SubORAM count of the staged layout.
+        new_s: usize,
+        /// This node's objects under the staged layout.
+        objects: Vec<StoredObject>,
+    },
+    /// Swap the staged partition in and persist the new generation.
+    Commit {
+        /// Generation of the staged layout being committed.
+        generation: u64,
+    },
+    /// Drop the staged partition; the live layout stays authoritative.
+    Abort {
+        /// Generation of the staged layout being dropped.
+        generation: u64,
+    },
+}
+
+/// A subORAM's reply to a [`SubReshardCmd`].
+pub enum SubReshardReply {
+    /// Command applied (or `Status` asked): the node's current status.
+    Status(ReshardStatus),
+    /// The `Export`ed object set.
+    Objects(Vec<StoredObject>),
+    /// The command could not be applied; the live layout is untouched.
+    Failed(String),
+}
+
+/// Phase a balancer reports when it is not paused: armed if a plan is
+/// pending, idle otherwise.
+fn phase_of(plan: &Option<ReshardPlan>) -> ReshardPhase {
+    if plan.is_some() {
+        ReshardPhase::Armed
+    } else {
+        ReshardPhase::Idle
+    }
+}
+
+/// Handles a reshard command in any non-paused context: `Plan` arms (when a
+/// [`ReshardControl`] exists and the generation advances), `Abort` disarms,
+/// everything else — including a `Commit` outside the pause window, which
+/// the driver must treat as a failed flip — just reports status.
+fn arm_or_report(
+    cmd: ReshardCmd,
+    reply: &std::sync::mpsc::Sender<ReshardStatus>,
+    plan: &mut Option<ReshardPlan>,
+    generation: u64,
+    active_s: usize,
+    reshardable: bool,
+) {
+    match cmd {
+        ReshardCmd::Plan(p) if reshardable && p.generation > generation && p.new_s > 0 => {
+            *plan = Some(p);
+            let _ = reply.send(ReshardStatus { generation, active_s, phase: ReshardPhase::Armed });
+        }
+        ReshardCmd::Abort { generation: g } => {
+            if plan.as_ref().is_some_and(|p| p.generation == g) {
+                *plan = None;
+            }
+            let _ = reply.send(ReshardStatus { generation, active_s, phase: phase_of(plan) });
+        }
+        _ => {
+            let _ = reply.send(ReshardStatus { generation, active_s, phase: phase_of(plan) });
+        }
+    }
+}
+
 /// Drives one load balancer until shutdown, waiting indefinitely for
 /// subORAM responses (the seed behavior — see
 /// [`run_load_balancer_with_policy`] for deadline-driven recovery).
@@ -318,8 +504,39 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
     num_suborams: usize,
     policy: EpochFaultPolicy,
 ) {
+    run_load_balancer_with_reshard(transport, balancer, num_suborams, policy, None)
+}
+
+/// Drives one load balancer until shutdown, with epoch-boundary resharding
+/// enabled when `control` is `Some`.
+///
+/// The reshard protocol, from this loop's side: a [`ReshardCmd::Plan`] arms
+/// a [`ReshardPlan`]; at the first owned tick with id `>= boundary_epoch`
+/// the loop *pauses* — the tick is held, clients keep buffering into the
+/// next epoch, and no batches are in flight (ticks resolve synchronously,
+/// so between ticks the balancer owes the subORAMs nothing). While paused
+/// it answers status probes with [`ReshardPhase::Paused`] and waits for the
+/// driver's verdict: [`ReshardCmd::Commit`] rebuilds the routing table at
+/// `new_s` via `control.rebuild` and adopts the plan's generation;
+/// [`ReshardCmd::Abort`] — or the plan's `ttl` expiring, the driver having
+/// died mid-migration — resumes the old layout. Either way the held tick
+/// then executes, so buffered clients commit in exactly one of the two
+/// layouts and an acknowledged write is never lost to the flip.
+pub fn run_load_balancer_with_reshard<T: LbTransport>(
+    transport: &mut T,
+    balancer: LoadBalancer,
+    num_suborams: usize,
+    policy: EpochFaultPolicy,
+    control: Option<ReshardControl>,
+) {
+    let mut balancer = balancer;
+    let mut num_suborams = num_suborams;
     let mut pending: Vec<(Request, Box<dyn ReplySink>)> = Vec::new();
     let mut deferred_ticks: VecDeque<u64> = VecDeque::new();
+    // Reshard protocol state: the armed plan (if any) and the generation of
+    // the layout currently being served (0 until a reshard ever commits).
+    let mut plan: Option<ReshardPlan> = None;
+    let mut generation: u64 = control.as_ref().map_or(0, |c| c.initial_generation);
     'outer: loop {
         let ev = match deferred_ticks.pop_front() {
             Some(epoch) => LbEvent::Tick(epoch),
@@ -341,7 +558,79 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
             LbEvent::SubResponse { .. }
             | LbEvent::SubLinkRestored { .. }
             | LbEvent::SubFailed { .. } => {}
+            LbEvent::Reshard { cmd, reply } => {
+                arm_or_report(cmd, &reply, &mut plan, generation, num_suborams, control.is_some());
+            }
             LbEvent::Tick(epoch) => {
+                let mut epoch = epoch;
+                let at_boundary = plan.as_ref().is_some_and(|p| epoch >= p.boundary_epoch);
+                if let Some(ctl) = control.as_ref().filter(|_| at_boundary) {
+                    // Paused at the reshard boundary: hold the tick, keep
+                    // buffering clients, and wait for the driver's verdict.
+                    let ttl = plan.as_ref().map(|p| p.ttl).expect("plan checked above");
+                    let deadline = Instant::now() + ttl;
+                    let mut resolved = false;
+                    while !resolved {
+                        match transport.recv_deadline(deadline) {
+                            RecvOutcome::Closed => break 'outer,
+                            RecvOutcome::TimedOut => {
+                                // The driver died mid-migration: self-abort
+                                // back to the old layout rather than holding
+                                // buffered clients hostage forever.
+                                plan = None;
+                                resolved = true;
+                            }
+                            RecvOutcome::Event(LbEvent::Shutdown) => break 'outer,
+                            RecvOutcome::Event(LbEvent::Client(mut req, sink)) => {
+                                req.client = pending.len() as u64;
+                                pending.push((req, sink));
+                            }
+                            // Later boundary ticks supersede the held one:
+                            // the post-verdict epoch executes under the
+                            // newest id so composite ordering stays monotone.
+                            RecvOutcome::Event(LbEvent::Tick(e)) => epoch = e,
+                            RecvOutcome::Event(LbEvent::SubResponse { .. })
+                            | RecvOutcome::Event(LbEvent::SubLinkRestored { .. })
+                            | RecvOutcome::Event(LbEvent::SubFailed { .. }) => {}
+                            RecvOutcome::Event(LbEvent::Reshard { cmd, reply }) => match cmd {
+                                ReshardCmd::Commit { generation: g }
+                                    if plan.as_ref().is_some_and(|p| p.generation == g) =>
+                                {
+                                    let p = plan.take().expect("plan checked above");
+                                    balancer = (ctl.rebuild)(p.new_s);
+                                    num_suborams = p.new_s;
+                                    generation = p.generation;
+                                    let _ = reply.send(ReshardStatus {
+                                        generation,
+                                        active_s: num_suborams,
+                                        phase: ReshardPhase::Idle,
+                                    });
+                                    resolved = true;
+                                }
+                                ReshardCmd::Abort { generation: g }
+                                    if plan.as_ref().is_some_and(|p| p.generation == g) =>
+                                {
+                                    plan = None;
+                                    let _ = reply.send(ReshardStatus {
+                                        generation,
+                                        active_s: num_suborams,
+                                        phase: ReshardPhase::Idle,
+                                    });
+                                    resolved = true;
+                                }
+                                _ => {
+                                    let _ = reply.send(ReshardStatus {
+                                        generation,
+                                        active_s: num_suborams,
+                                        phase: ReshardPhase::Paused,
+                                    });
+                                }
+                            },
+                        }
+                    }
+                    // Fall through: the held tick executes at whichever
+                    // layout won, so buffered clients never stall.
+                }
                 let epoch_span = trace::span("epoch");
                 let epoch_reqs = std::mem::take(&mut pending);
                 let requests: Vec<Request> = epoch_reqs.iter().map(|(r, _)| r.clone()).collect();
@@ -387,10 +676,22 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                             pending.push((req, sink));
                         }
                         RecvOutcome::Event(LbEvent::Tick(e)) => deferred_ticks.push_back(e),
+                        RecvOutcome::Event(LbEvent::Reshard { cmd, reply }) => {
+                            // Mid-epoch commands can only arm or report: the
+                            // boundary check happens at the next tick.
+                            arm_or_report(
+                                cmd,
+                                &reply,
+                                &mut plan,
+                                generation,
+                                num_suborams,
+                                control.is_some(),
+                            );
+                        }
                         RecvOutcome::Event(LbEvent::SubResponse { suboram, epoch: e, batch })
                             if e == epoch =>
                         {
-                            if responses[suboram].is_none() {
+                            if suboram < responses.len() && responses[suboram].is_none() {
                                 responses[suboram] = Some(batch);
                                 outstanding -= 1;
                                 events::record(
@@ -419,7 +720,9 @@ pub fn run_load_balancer_with_policy<T: LbTransport>(
                         // A failure notice for an epoch that already resolved.
                         RecvOutcome::Event(LbEvent::SubFailed { .. }) => {}
                         RecvOutcome::Event(LbEvent::SubLinkRestored { suboram }) => {
-                            if responses[suboram].is_none() {
+                            // Links to warm spares (provisioned beyond the
+                            // active fleet) also heal; they owe nothing.
+                            if suboram < responses.len() && responses[suboram].is_none() {
                                 // The subORAM (re)connected while still owing
                                 // this epoch: resend our batch for it. The
                                 // reply cache on the far side makes this
@@ -633,22 +936,37 @@ pub enum BatchOutcome {
 /// epochs it already executed without re-running them — which would corrupt
 /// write semantics, since writes return the pre-write value.
 ///
-/// The cache is bounded: only the newest [`SubOramNode::retain`] executed
-/// epochs are kept, and the eviction watermark persists across restarts (via
-/// the checkpoint) so a replay of an evicted epoch is *refused* with
-/// [`BatchOutcome::Evicted`] rather than silently re-executed.
+/// The cache is bounded *per balancer*: composite epoch ids stride by
+/// `num_lbs` (balancer `i` only ever sends ids `≡ i mod L`), so a single
+/// global bound of `retain` entries would shrink each balancer's effective
+/// retention window to `retain / L` — and one fast balancer could evict a
+/// lagging balancer's epochs out from under it. Instead the node keeps the
+/// newest [`SubOramNode::retain`] executed epochs of *each residue class*,
+/// with one eviction watermark per class. The watermarks persist across
+/// restarts (via the checkpoint) so a replay of an evicted epoch is
+/// *refused* with [`BatchOutcome::Evicted`] rather than silently
+/// re-executed.
 pub struct SubOramNode {
     oram: SubOram,
     num_lbs: usize,
     /// This subORAM's index in the deployment (telemetry labels only).
     index: Option<usize>,
-    /// Executed epochs kept for replay, newest `retain` only. `None` entries
-    /// are batches that were refused with a typed error.
+    /// Executed epochs kept for replay, newest `retain` per residue class.
+    /// `None` entries are batches that were refused with a typed error.
     completed: BTreeMap<u64, Option<Vec<Request>>>,
     retain: usize,
-    /// Epochs below this executed once and were evicted; replaying them is
-    /// refused. Persisted in checkpoints so restarts cannot re-execute.
-    evicted_below: u64,
+    /// Per-residue-class eviction watermarks (`watermarks[c]` bounds epochs
+    /// `≡ c mod num_lbs`): epochs below their class watermark executed once
+    /// and were evicted; replaying them is refused. Persisted in
+    /// checkpoints so restarts cannot re-execute.
+    watermarks: Vec<u64>,
+    /// Layout generation this node serves (0 until a reshard ever commits).
+    /// Persisted in checkpoints so a restart recovers into exactly one of
+    /// {old, new} layouts, never a mix.
+    generation: u64,
+    /// The active subORAM count of that layout (0 = not recorded; single
+    /// planes that never reshard don't track it).
+    active_s: usize,
     /// Enclave threads for the parallel linear scan (§8.4, Fig. 13b).
     threads: usize,
 }
@@ -662,20 +980,47 @@ impl SubOramNode {
             index: None,
             completed: BTreeMap::new(),
             retain: 8,
-            evicted_below: 0,
+            watermarks: vec![0; num_lbs.max(1)],
+            generation: 0,
+            active_s: 0,
             threads: 1,
         }
     }
 
     /// Rebuilds a node from checkpointed state: the recovered ORAM, the
-    /// reply cache of already-executed epochs, and the eviction watermark.
+    /// reply cache of already-executed epochs, and a single eviction
+    /// watermark broadcast to every residue class (the pre-v6 checkpoint
+    /// format stored only the global minimum; see
+    /// [`SubOramNode::restore_with_watermarks`] for the exact form).
     pub fn restore(
         oram: SubOram,
         num_lbs: usize,
         completed: BTreeMap<u64, Option<Vec<Request>>>,
         evicted_below: u64,
     ) -> SubOramNode {
-        SubOramNode { oram, num_lbs, index: None, completed, retain: 8, evicted_below, threads: 1 }
+        Self::restore_with_watermarks(oram, num_lbs, completed, vec![evicted_below; num_lbs.max(1)])
+    }
+
+    /// Rebuilds a node from checkpointed state with the full per-residue
+    /// eviction watermark vector (one entry per balancer).
+    pub fn restore_with_watermarks(
+        oram: SubOram,
+        num_lbs: usize,
+        completed: BTreeMap<u64, Option<Vec<Request>>>,
+        watermarks: Vec<u64>,
+    ) -> SubOramNode {
+        assert_eq!(watermarks.len(), num_lbs.max(1), "one watermark per balancer");
+        SubOramNode {
+            oram,
+            num_lbs,
+            index: None,
+            completed,
+            retain: 8,
+            watermarks,
+            generation: 0,
+            active_s: 0,
+            threads: 1,
+        }
     }
 
     /// Labels this node with its deployment index so its scan spans read
@@ -723,10 +1068,44 @@ impl SubOramNode {
         &self.completed
     }
 
-    /// Epochs below this bound were executed and evicted: replaying them
-    /// returns [`BatchOutcome::Evicted`]. Persisted in checkpoints.
+    /// The lowest eviction watermark across residue classes — the largest
+    /// bound below which *every* epoch is guaranteed refused. With one
+    /// balancer this is the exact watermark; kept for pre-v6 checkpoint
+    /// compatibility (see [`SubOramNode::watermarks`] for the full vector).
     pub fn evicted_below(&self) -> u64 {
-        self.evicted_below
+        self.watermarks.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Per-residue-class eviction watermarks: epochs `e` with
+    /// `e < watermarks[e % num_lbs]` were executed and evicted; replaying
+    /// them returns [`BatchOutcome::Evicted`]. Persisted in checkpoints.
+    pub fn watermarks(&self) -> &[u64] {
+        &self.watermarks
+    }
+
+    /// Layout generation this node serves (0 until a reshard commits).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The active subORAM count recorded with the layout (0 = not recorded).
+    pub fn active_s(&self) -> usize {
+        self.active_s
+    }
+
+    /// Stamps the layout this node serves: the reshard generation and the
+    /// subORAM count active under it. Called on reshard commit (and on
+    /// restore from a v6 checkpoint) so the stamp persists with the state.
+    pub fn set_layout(&mut self, generation: u64, active_s: usize) {
+        self.generation = generation;
+        self.active_s = active_s;
+    }
+
+    /// Replaces the wrapped subORAM — the reshard commit point, swapping the
+    /// staged partition in. Returns the old ORAM so the caller can keep it
+    /// for abort-rollback until the cluster-wide flip completes.
+    pub fn swap_oram(&mut self, oram: SubOram) -> SubOram {
+        std::mem::replace(&mut self.oram, oram)
     }
 
     /// Number of load balancers feeding this node.
@@ -742,7 +1121,7 @@ impl SubOramNode {
         if epoch % self.num_lbs as u64 != lb as u64 {
             return BatchOutcome::Rejected { lb, epoch };
         }
-        if epoch < self.evicted_below {
+        if epoch < self.watermarks[lb] {
             return BatchOutcome::Evicted { lb, epoch };
         }
         if let Some(cached) = self.completed.get(&epoch) {
@@ -780,10 +1159,17 @@ impl SubOramNode {
         let scan_time = scan_span.finish();
         metrics::stage_histogram("suboram_scan").observe(Public::timing(scan_time));
         self.completed.insert(epoch, out.clone());
-        while self.completed.len() > self.retain {
-            let oldest = *self.completed.keys().next().unwrap();
-            self.completed.remove(&oldest);
-            self.evicted_below = self.evicted_below.max(oldest + 1);
+        // Evict within this epoch's residue class only: composite ids stride
+        // by num_lbs, so a global bound would cut each balancer's retention
+        // window to retain / L and let a fast balancer starve a slow one.
+        let class = epoch % self.num_lbs as u64;
+        let in_class: Vec<u64> =
+            self.completed.keys().copied().filter(|e| e % self.num_lbs as u64 == class).collect();
+        if in_class.len() > self.retain {
+            for &oldest in &in_class[..in_class.len() - self.retain] {
+                self.completed.remove(&oldest);
+                self.watermarks[class as usize] = self.watermarks[class as usize].max(oldest + 1);
+            }
         }
         BatchOutcome::Completed(out)
     }
@@ -800,11 +1186,39 @@ impl SubOramNode {
 pub fn run_suboram<T: SubTransport>(
     transport: &mut T,
     node: &mut SubOramNode,
+    after_epoch: impl FnMut(&mut SubOramNode, u64),
+) {
+    // Without a reshard handler, `Status` still answers truthfully (it is
+    // read-only) and every state-changing command is refused — a plane that
+    // never staged anything must never commit anything.
+    run_suboram_with_admin(transport, node, after_epoch, |node, cmd| match cmd {
+        SubReshardCmd::Status => SubReshardReply::Status(ReshardStatus {
+            generation: node.generation(),
+            active_s: node.active_s(),
+            phase: ReshardPhase::Idle,
+        }),
+        _ => SubReshardReply::Failed("resharding not enabled on this node".into()),
+    })
+}
+
+/// Drives one subORAM until shutdown, routing reshard control commands to
+/// `on_reshard` — the daemon-supplied staging state machine (stage a
+/// partition on `Install`, swap + re-checkpoint on `Commit`, drop staged
+/// state on `Abort`). Keeping that machine *outside* the epoch loop means
+/// the loop itself never holds half-migrated state: between two calls the
+/// node is always fully in one layout.
+pub fn run_suboram_with_admin<T: SubTransport>(
+    transport: &mut T,
+    node: &mut SubOramNode,
     mut after_epoch: impl FnMut(&mut SubOramNode, u64),
+    mut on_reshard: impl FnMut(&mut SubOramNode, SubReshardCmd) -> SubReshardReply,
 ) {
     while let Some(ev) = transport.recv() {
         match ev {
             SubEvent::Shutdown => break,
+            SubEvent::Reshard { cmd, reply } => {
+                let _ = reply.send(on_reshard(node, cmd));
+            }
             SubEvent::Batch { lb, epoch, batch } => match node.handle_batch(lb, epoch, batch) {
                 BatchOutcome::Replayed { lb, batch } => match batch {
                     Some(batch) => transport.send_response(lb, epoch, &batch),
@@ -1033,6 +1447,141 @@ mod tests {
         assert_eq!(reply, Err(Unavailable { epoch: 3, failed_suborams: vec![1] }));
         // No replay waves: refusal is deterministic.
         assert_eq!(transport.batches_sent, 2, "one batch per subORAM, no replays");
+    }
+
+    /// Regression: the reply-cache bound is per residue class. Composite
+    /// epoch ids stride by L, so the old *global* `retain` bound cut each
+    /// balancer's effective retention to `retain / L` — and a balancer
+    /// racing ahead evicted a lagging balancer's epochs (here, lb 0's four
+    /// epochs would have pushed lb 1's only epoch out of a retain=2 cache,
+    /// turning lb 1's legitimate replay into a refusal).
+    #[test]
+    fn reply_cache_retention_is_per_balancer_residue_class() {
+        let mut node = SubOramNode::new(test_oram(8), 2).with_retain(2);
+        // lb 0 races ahead: epochs 0,2,4,6 (its residue class).
+        for e in [0u64, 2, 4, 6] {
+            assert!(matches!(node.handle_batch(0, e, Vec::new()), BatchOutcome::Completed(_)));
+        }
+        // lb 1 executed only epoch 1; per-class retention must keep it
+        // replayable no matter how far ahead lb 0 got.
+        assert!(matches!(node.handle_batch(1, 1, Vec::new()), BatchOutcome::Completed(_)));
+        assert!(matches!(
+            node.handle_batch(1, 1, Vec::new()),
+            BatchOutcome::Replayed { lb: 1, .. }
+        ));
+        // lb 0's class evicted epochs 0 and 2, keeping {4, 6}.
+        assert!(matches!(
+            node.handle_batch(0, 0, Vec::new()),
+            BatchOutcome::Evicted { lb: 0, epoch: 0 }
+        ));
+        assert!(matches!(
+            node.handle_batch(0, 4, Vec::new()),
+            BatchOutcome::Replayed { lb: 0, .. }
+        ));
+        assert_eq!(node.watermarks(), &[3, 0]);
+        // evicted_below() stays the conservative global minimum (the pre-v6
+        // checkpoint field): nothing below it is replayable in any class.
+        assert_eq!(node.evicted_below(), 0);
+        // Restoring with the full vector preserves the per-class bounds.
+        let completed = node.completed().clone();
+        let marks = node.watermarks().to_vec();
+        let SubOramNode { oram, .. } = node;
+        let mut restored = SubOramNode::restore_with_watermarks(oram, 2, completed, marks);
+        assert!(matches!(restored.handle_batch(0, 0, Vec::new()), BatchOutcome::Evicted { .. }));
+        assert!(matches!(restored.handle_batch(1, 1, Vec::new()), BatchOutcome::Replayed { .. }));
+    }
+
+    #[test]
+    fn reshard_commit_at_boundary_flips_routing_to_new_s() {
+        use snoopy_crypto::Key256;
+        let key = Key256([1u8; 32]);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (plan_tx, plan_rx) = std::sync::mpsc::channel();
+        let (commit_tx, commit_rx) = std::sync::mpsc::channel();
+        let mut transport = NeverDelivering {
+            queue: VecDeque::from([
+                LbEvent::Client(Request::read(1, 8, 0, 0), Box::new(tx)),
+                LbEvent::Reshard {
+                    cmd: ReshardCmd::Plan(ReshardPlan {
+                        generation: 1,
+                        new_s: 2,
+                        boundary_epoch: 0,
+                        ttl: Duration::from_secs(5),
+                    }),
+                    reply: plan_tx,
+                },
+                LbEvent::Tick(0),
+                LbEvent::Reshard { cmd: ReshardCmd::Commit { generation: 1 }, reply: commit_tx },
+            ]),
+            batches_sent: 0,
+        };
+        let balancer = LoadBalancer::new(&key, 1, 8, 128);
+        run_load_balancer_with_reshard(
+            &mut transport,
+            balancer,
+            1,
+            EpochFaultPolicy::with_deadline(Duration::from_millis(5), 0),
+            Some(ReshardControl {
+                rebuild: Box::new(move |s| LoadBalancer::new(&key, s, 8, 128)),
+                initial_generation: 0,
+            }),
+        );
+        assert_eq!(
+            plan_rx.try_recv().expect("plan must be acknowledged"),
+            ReshardStatus { generation: 0, active_s: 1, phase: ReshardPhase::Armed }
+        );
+        assert_eq!(
+            commit_rx.try_recv().expect("commit must be acknowledged"),
+            ReshardStatus { generation: 1, active_s: 2, phase: ReshardPhase::Idle }
+        );
+        // The held tick executed at the NEW layout: one batch per new
+        // subORAM went out, and with no subORAM answering, the buffered
+        // client got a typed failure naming both new subORAMs — not lost.
+        assert_eq!(transport.batches_sent, 2, "post-commit epoch routes to new_s subORAMs");
+        let reply = rx.try_recv().expect("the held epoch must resolve");
+        assert_eq!(reply, Err(Unavailable { epoch: 0, failed_suborams: vec![0, 1] }));
+    }
+
+    #[test]
+    fn reshard_pause_self_aborts_when_driver_dies() {
+        use snoopy_crypto::Key256;
+        let key = Key256([1u8; 32]);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (plan_tx, _plan_rx) = std::sync::mpsc::channel();
+        let mut transport = NeverDelivering {
+            queue: VecDeque::from([
+                LbEvent::Client(Request::read(1, 8, 0, 0), Box::new(tx)),
+                LbEvent::Reshard {
+                    cmd: ReshardCmd::Plan(ReshardPlan {
+                        generation: 1,
+                        new_s: 2,
+                        boundary_epoch: 0,
+                        ttl: Duration::from_millis(5),
+                    }),
+                    reply: plan_tx,
+                },
+                LbEvent::Tick(0),
+                // Nothing else arrives: the driver died after arming.
+            ]),
+            batches_sent: 0,
+        };
+        let balancer = LoadBalancer::new(&key, 1, 8, 128);
+        run_load_balancer_with_reshard(
+            &mut transport,
+            balancer,
+            1,
+            EpochFaultPolicy::with_deadline(Duration::from_millis(5), 0),
+            Some(ReshardControl {
+                rebuild: Box::new(move |s| LoadBalancer::new(&key, s, 8, 128)),
+                initial_generation: 0,
+            }),
+        );
+        // The TTL expired, the plan self-aborted, and the held tick executed
+        // at the OLD layout (one subORAM): buffered clients resolve rather
+        // than hang on a dead driver.
+        assert_eq!(transport.batches_sent, 1, "self-abort resumes the old layout");
+        let reply = rx.try_recv().expect("the held epoch must resolve");
+        assert_eq!(reply, Err(Unavailable { epoch: 0, failed_suborams: vec![0] }));
     }
 
     #[test]

@@ -82,8 +82,16 @@ impl SipHash24 {
     ///
     /// Uses the widening-multiply range reduction, which is unbiased enough for
     /// the balls-into-bins analysis (bias ≤ bins/2^64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`. `[0, 0)` is empty, so there is no correct
+    /// answer; the widening multiply would otherwise return bin 0 in release
+    /// builds, silently routing every object to a subORAM that does not
+    /// exist (the partition count is live configuration now that the fleet
+    /// reshards, so this is reachable from config handling, not just tests).
     pub fn bin_u64(&self, x: u64, bins: usize) -> usize {
-        debug_assert!(bins > 0);
+        assert!(bins > 0, "bin_u64 requires at least one bin");
         (((self.hash_u64(x) as u128) * (bins as u128)) >> 64) as usize
     }
 }
@@ -158,6 +166,23 @@ mod tests {
             seen[b] = true;
         }
         assert!(seen.iter().all(|&s| s), "all bins should be hit");
+    }
+
+    /// bins = 0 must be a hard error in every build profile: the old
+    /// `debug_assert!` let release builds return garbage bin 0.
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn bin_u64_zero_bins_panics() {
+        let h = SipHash24::new(&[42u8; 16]);
+        let _ = h.bin_u64(7, 0);
+    }
+
+    #[test]
+    fn bin_u64_single_bin_is_always_zero() {
+        let h = SipHash24::new(&[42u8; 16]);
+        for x in 0..1000u64 {
+            assert_eq!(h.bin_u64(x, 1), 0);
+        }
     }
 
     #[test]

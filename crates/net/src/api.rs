@@ -513,7 +513,10 @@ impl SessionTransport for MultiTcpTransport {
 
 /// Probes `addrs[start], addrs[start+1], …` (wrapping) for a balancer that
 /// accepts a client session. Endpoints on cooldown are skipped on the first
-/// pass and retried on a second pass only if every endpoint was cooling.
+/// pass; if *every* endpoint was cooling, a fallback pass dials them anyway
+/// in least-recently-cooled order (ascending cooldown expiry), so the
+/// all-cooling window neither busy-spins nor hard-fails without a dial
+/// attempt, and the endpoint most likely to have recovered is tried first.
 /// A failed dial puts the endpoint on cooldown; a success clears it.
 fn probe_endpoints(
     addrs: &[String],
@@ -524,12 +527,30 @@ fn probe_endpoints(
 ) -> io::Result<(usize, TcpStream, Link, Link)> {
     let now = std::time::Instant::now();
     let mut last_err: Option<io::Error> = None;
-    for skip_cooling in [true, false] {
-        for offset in 0..addrs.len() {
-            let index = (start + offset) % addrs.len();
-            if skip_cooling && cooldown_until[index].is_some_and(|until| until > now) {
-                continue;
+    let mut attempted = false;
+    for offset in 0..addrs.len() {
+        let index = (start + offset) % addrs.len();
+        if cooldown_until[index].is_some_and(|until| until > now) {
+            continue;
+        }
+        attempted = true;
+        match dial_session(&addrs[index], index, deploy, read_timeout) {
+            Ok((stream, req_link, resp_link)) => {
+                cooldown_until[index] = None;
+                return Ok((index, stream, req_link, resp_link));
             }
+            Err(e) => {
+                cooldown_until[index] = Some(now + ENDPOINT_COOLDOWN);
+                last_err = Some(e);
+            }
+        }
+    }
+    if !attempted {
+        // Every endpoint is on cooldown. Dialing nothing would strand the
+        // client until a cooldown lapses, so fall back to dialing the
+        // least-recently-cooled endpoint first (the one whose cooldown
+        // expires soonest) rather than blind rotation order.
+        for index in cooling_order(cooldown_until, start) {
             match dial_session(&addrs[index], index, deploy, read_timeout) {
                 Ok((stream, req_link, resp_link)) => {
                     cooldown_until[index] = None;
@@ -541,14 +562,19 @@ fn probe_endpoints(
                 }
             }
         }
-        if last_err.is_some() {
-            // Every non-cooling endpoint failed; the second pass would
-            // re-dial the same dead set, so stop here.
-            break;
-        }
     }
     Err(last_err
         .unwrap_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "no balancer reachable")))
+}
+
+/// Endpoint indices ordered by ascending cooldown expiry (least recently
+/// cooled first); rotation order from `start` breaks ties, so the fallback
+/// stays deterministic when several endpoints were cooled together.
+fn cooling_order(cooldown_until: &[Option<std::time::Instant>], start: usize) -> Vec<usize> {
+    let n = cooldown_until.len();
+    let mut order: Vec<usize> = (0..n).map(|offset| (start + offset) % n).collect();
+    order.sort_by_key(|&i| cooldown_until[i]);
+    order
 }
 
 /// The in-process channel transport: delegates to [`ClientHandle`]. The
@@ -739,6 +765,77 @@ mod tests {
         client.read(1).unwrap();
         client.read(2).unwrap();
         assert_eq!(client.seq, 2);
+    }
+
+    #[test]
+    fn cooling_order_sorts_by_expiry_then_rotation() {
+        let now = std::time::Instant::now();
+        let cools = vec![
+            Some(now + Duration::from_millis(400)),
+            Some(now + Duration::from_millis(100)),
+            Some(now + Duration::from_millis(250)),
+        ];
+        assert_eq!(cooling_order(&cools, 0), vec![1, 2, 0]);
+        // Ties fall back to rotation order from `start`.
+        let tied = vec![Some(now), Some(now), Some(now)];
+        assert_eq!(cooling_order(&tied, 2), vec![2, 0, 1]);
+        // Cleared endpoints (None) sort before any live cooldown.
+        let mixed = vec![Some(now + Duration::from_millis(100)), None];
+        assert_eq!(cooling_order(&mixed, 0), vec![1, 0]);
+    }
+
+    /// The all-cooling window: every endpoint is on its 500 ms cooldown, but
+    /// the probe must still dial (no instant hard-fail, no busy wait) and
+    /// must start with the least-recently-cooled endpoint, not rotation
+    /// order. Endpoint 0 comes first in rotation but was cooled most
+    /// recently; endpoint 1's cooldown expires soonest, so the probe must
+    /// land there even though both listeners would accept.
+    #[test]
+    fn all_cooling_probe_prefers_least_recently_cooled_endpoint() {
+        let listeners: Vec<std::net::TcpListener> =
+            (0..2).map(|_| std::net::TcpListener::bind("127.0.0.1:0").unwrap()).collect();
+        let addrs: Vec<String> =
+            listeners.iter().map(|l| l.local_addr().unwrap().to_string()).collect();
+        let now = std::time::Instant::now();
+        let mut cools =
+            vec![Some(now + Duration::from_millis(400)), Some(now + Duration::from_millis(100))];
+        let deploy = proto::deployment_key(3);
+        let (index, _stream, _rl, _wl) =
+            probe_endpoints(&addrs, &mut cools, 0, &deploy, Duration::from_millis(200))
+                .expect("all-cooling fallback must still dial");
+        assert_eq!(index, 1, "must dial the endpoint whose cooldown expires soonest");
+        assert_eq!(cools[1], None, "a successful dial clears the endpoint's cooldown");
+    }
+
+    /// All endpoints cooling *and* dead: the probe returns the dial error
+    /// (after really attempting each endpoint once) instead of the generic
+    /// "no balancer reachable" non-attempt, and refreshes the cooldowns.
+    #[test]
+    fn all_cooling_probe_fails_with_dial_error_when_all_dead() {
+        // Bind-then-drop yields addresses that refuse connections.
+        let addrs: Vec<String> = (0..2)
+            .map(|_| {
+                let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+                l.local_addr().unwrap().to_string()
+            })
+            .collect();
+        let now = std::time::Instant::now();
+        let mut cools = vec![Some(now + Duration::from_millis(50)); 2];
+        let deploy = proto::deployment_key(3);
+        let err = match probe_endpoints(&addrs, &mut cools, 0, &deploy, Duration::from_millis(200))
+        {
+            Err(err) => err,
+            Ok(_) => panic!("dead endpoints must fail"),
+        };
+        assert_ne!(
+            err.kind(),
+            io::ErrorKind::NotConnected,
+            "the error must come from a real dial attempt, got {err:?}"
+        );
+        assert!(
+            cools.iter().all(|c| c.is_some_and(|until| until > now)),
+            "failed fallback dials must refresh the cooldowns"
+        );
     }
 
     #[test]

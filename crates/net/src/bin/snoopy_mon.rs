@@ -214,6 +214,10 @@ fn run_monitor(args: &[String]) {
     let targets = daemons(&manifest);
     let mut last: Option<SloBurn> = None;
     let mut last_lbs: Vec<(String, SloBurn)> = Vec::new();
+    // (generation, active subORAMs) from the reshard gauges, when any daemon
+    // has lived through a reshard. Both values are public (the fleet size is
+    // wire-observable; the reconfiguration event is part of the threat model).
+    let mut layout: Option<(f64, f64)> = None;
     for sample in 0..count.max(1) {
         if sample > 0 {
             std::thread::sleep(interval);
@@ -224,6 +228,13 @@ fn run_monitor(args: &[String]) {
             match fetch_metrics(addr) {
                 Ok(text) => match parse_prometheus(&text) {
                     Ok(scrape) => {
+                        // Reshard layout: adopt the highest generation any
+                        // daemon reports (the committed one wins a race).
+                        let gen = scrape.sum("snoopy_reshard_generation");
+                        let active = scrape.sum("snoopy_active_suborams");
+                        if gen > 0.0 && layout.is_none_or(|(g, _)| gen > g) {
+                            layout = Some((gen, active));
+                        }
                         let b = SloBurn::from_scrape(&scrape, &policy.p99_stage);
                         // Each balancer is its own fault domain: keep its
                         // burn row so a k-balancer cluster shows *which*
@@ -296,6 +307,12 @@ fn run_monitor(args: &[String]) {
             b.replays_per_epoch(),
             b.evicted_replays,
             b.storage_stalls
+        );
+    }
+    if let Some((gen, active)) = layout {
+        eprintln!(
+            "snoopy-mon: cluster: reshard generation {}, {} active subORAMs",
+            gen as u64, active as u64
         );
     }
     eprintln!(

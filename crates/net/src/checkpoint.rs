@@ -28,7 +28,7 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-// Format v5: a mode byte distinguishes checkpoints that carry the partition
+// Format v6: a mode byte distinguishes checkpoints that carry the partition
 // inline (memory/external tiers) from disk-tier checkpoints that carry only
 // the committed {generation, root digest} — the partition itself lives in
 // the sealed on-disk segment, so the checkpoint stays O(reply cache) rather
@@ -39,7 +39,18 @@ use std::path::{Path, PathBuf};
 // encoded as count `u64::MAX`. Refusals must be durable like successes —
 // replaying a refused batch after a restart has to re-refuse, not re-execute
 // against mutated state.
-const MAGIC: &[u8; 8] = b"SNPCKPT5";
+//
+// v6 changes over v5 (still readable — see `decode_state`):
+// * the single `evicted_below` watermark became one watermark **per
+//   balancer residue class**: balancer i's epoch ids stride by L, so a
+//   global watermark taken as the max across classes would wrongly evict a
+//   slow balancer's still-replayable epochs after a restart;
+// * a reshard `generation` and `active_s` stamp the fleet layout the
+//   partition was written under, so a daemon killed mid-reshard recovers
+//   into exactly one of {old, new} layouts — on the disk tier the
+//   generation also names which segment directory holds the partition.
+const MAGIC: &[u8; 8] = b"SNPCKPT6";
+const MAGIC_V5: &[u8; 8] = b"SNPCKPT5";
 
 /// Sentinel batch count marking a refused (None) cached reply.
 const REFUSED: u64 = u64::MAX;
@@ -171,7 +182,11 @@ fn encode_state(node: &SubOramNode) -> Result<Vec<u8>, SaveError> {
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&(value_len as u64).to_le_bytes());
     out.extend_from_slice(&(node.num_lbs() as u64).to_le_bytes());
-    out.extend_from_slice(&node.evicted_below().to_le_bytes());
+    for w in node.watermarks() {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out.extend_from_slice(&node.generation().to_le_bytes());
+    out.extend_from_slice(&(node.active_s() as u64).to_le_bytes());
     match node.oram().export_objects() {
         Ok(objects) => {
             out.push(MODE_INLINE);
@@ -220,18 +235,46 @@ enum Partition {
     Disk(StorageGeneration),
 }
 
-/// Decoded checkpoint payload: `(value_len, num_lbs, evicted_below,
-/// partition, cached response per composite epoch)`.
-type CheckpointState = (usize, usize, u64, Partition, BTreeMap<u64, Option<Vec<Request>>>);
+/// Decoded checkpoint payload.
+struct CheckpointState {
+    value_len: usize,
+    num_lbs: usize,
+    /// Per-balancer-residue-class eviction watermarks.
+    watermarks: Vec<u64>,
+    /// Reshard generation the partition was committed under (0 = boot).
+    generation: u64,
+    /// Fleet size the partition was committed under (0 = boot layout).
+    active_s: usize,
+    partition: Partition,
+    /// Cached response per composite epoch id.
+    completed: BTreeMap<u64, Option<Vec<Request>>>,
+}
 
 fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     let mut r = Reader(plain);
-    if r.bytes(8)? != MAGIC {
+    let magic = r.bytes(8)?;
+    let v5 = magic == MAGIC_V5;
+    if !v5 && magic != MAGIC {
         return Err(bad("bad magic"));
     }
     let value_len = r.u64()? as usize;
     let num_lbs = r.u64()? as usize;
-    let evicted_below = r.u64()?;
+    if num_lbs == 0 || num_lbs > 4096 {
+        return Err(bad("implausible balancer count"));
+    }
+    let (watermarks, generation, active_s) = if v5 {
+        // v5 carried one global watermark; the conservative upgrade is to
+        // apply it to every residue class (it was computed as a max, so no
+        // class can have anything replayable below it). Pre-reshard files
+        // are by definition generation 0 at the boot layout.
+        (vec![r.u64()?; num_lbs], 0, 0)
+    } else {
+        let mut ws = Vec::with_capacity(num_lbs);
+        for _ in 0..num_lbs {
+            ws.push(r.u64()?);
+        }
+        (ws, r.u64()?, r.u64()? as usize)
+    };
     let partition = match r.bytes(1)?[0] {
         MODE_INLINE => {
             let num_objects = r.u64()? as usize;
@@ -271,7 +314,15 @@ fn decode_state(plain: &[u8]) -> io::Result<CheckpointState> {
     if !r.0.is_empty() {
         return Err(bad("trailing bytes"));
     }
-    Ok((value_len, num_lbs, evicted_below, partition, completed))
+    Ok(CheckpointState {
+        value_len,
+        num_lbs,
+        watermarks,
+        generation,
+        active_s,
+        partition,
+        completed,
+    })
 }
 
 /// Seals the node's state and atomically replaces `path`. Refuses (typed)
@@ -318,13 +369,20 @@ pub fn load(
     let plain = AeadKey::new(key.clone())
         .open(Nonce::from_parts(0x7F00_0000, seq), b"ckpt", &sealed)
         .map_err(|_| bad("seal verification failed"))?;
-    let (value_len, num_lbs, evicted_below, partition, completed) = decode_state(&plain)?;
+    let st = decode_state(&plain)?;
     // A crash between write-to-temp and rename leaves a stale `.tmp` behind;
     // it is garbage by construction (the rename never happened), so clean it
     // up rather than letting the checkpoint directory grow one orphan per
     // unlucky crash.
     let _ = std::fs::remove_file(path.with_extension("tmp"));
-    let oram = match (partition, spec) {
+    let value_len = st.value_len;
+    // A resharded partition was sealed under the reshard generation's forked
+    // key (and, on the disk tier, written into the generation's own segment
+    // directory): each generation restarts its storage commit counter at
+    // zero, so reusing the boot key across generations would repeat
+    // (key, nonce) pairs. See `snoopy_store::generation_key`.
+    let root_key = snoopy_store::generation_key(&root_key, st.generation);
+    let oram = match (st.partition, spec) {
         (Partition::Inline(objects), StorageSpec::Memory) => {
             SubOram::new_in_enclave(objects, value_len, root_key, lambda)
         }
@@ -332,7 +390,8 @@ pub fn load(
             SubOram::new_external(objects, value_len, root_key, lambda)
         }
         (Partition::Disk(expected), StorageSpec::Disk { dir, cfg }) => {
-            snoopy_store::open_suboram_disk(dir, value_len, *cfg, root_key, lambda, expected)?
+            let dir = snoopy_store::generation_dir(dir, st.generation);
+            snoopy_store::open_suboram_disk(&dir, value_len, *cfg, root_key, lambda, expected)?
         }
         (Partition::Inline(_), StorageSpec::Disk { .. }) => {
             return Err(bad("checkpoint carries inline objects but manifest says `storage = disk`"))
@@ -341,7 +400,10 @@ pub fn load(
             return Err(bad("checkpoint names a disk generation but manifest storage is in-memory"))
         }
     };
-    Ok(Some(SubOramNode::restore(oram, num_lbs, completed, evicted_below)))
+    let mut node =
+        SubOramNode::restore_with_watermarks(oram, st.num_lbs, st.completed, st.watermarks);
+    node.set_layout(st.generation, st.active_s);
+    Ok(Some(node))
 }
 
 #[cfg(test)]
@@ -548,6 +610,55 @@ mod tests {
             restored.handle_batch(0, 0, replay),
             BatchOutcome::Evicted { lb: 0, epoch: 0 }
         ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn per_class_watermarks_survive_restart_independently_with_two_balancers() {
+        // Regression for the v5 global-watermark bug: with L=2 balancers,
+        // balancer 0's epoch ids are even and balancer 1's odd. If balancer 0
+        // runs far ahead (evicting its old epochs) while balancer 1 lags, a
+        // single max-based watermark would wrongly evict balancer 1's
+        // still-replayable epochs after a restart. The per-residue-class
+        // vector keeps them independent across save/load.
+        let dir = std::env::temp_dir().join(format!("snoopy-ckpt6-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sub5.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let key = checkpoint_key(&Key256([6u8; 32]), 5);
+
+        let objects: Vec<StoredObject> =
+            (0..32).map(|i| StoredObject::new(i, &i.to_le_bytes(), VLEN)).collect();
+        let mut n =
+            SubOramNode::new(SubOram::new_in_enclave(objects, VLEN, Key256([9u8; 32]), 80), 2)
+                .with_retain(2);
+        // Balancer 1 executes exactly one epoch (id 1), then balancer 0
+        // races ahead through epochs 0, 2, 4, 6 — its class retains {4, 6}
+        // and evicts below 4, while class 1 must still replay epoch 1.
+        let b1 = vec![Request::read(3, VLEN, 0, 0)];
+        let out_b1 = match n.handle_batch(1, 1, b1.clone()) {
+            BatchOutcome::Completed(out) => out,
+            _ => panic!("balancer 1 epoch should complete"),
+        };
+        for e in [0u64, 2, 4, 6] {
+            let batch = vec![Request::read(e % 8, VLEN, 0, e)];
+            assert!(matches!(n.handle_batch(0, e, batch), BatchOutcome::Completed(_)));
+        }
+        save(&n, &key, &path).unwrap();
+
+        let mut restored =
+            load(&key, &path, Key256([9u8; 32]), 80, &StorageSpec::Memory).unwrap().unwrap();
+        // Balancer 0's evicted epoch stays evicted...
+        assert!(matches!(
+            restored.handle_batch(0, 0, vec![Request::read(0, VLEN, 0, 0)]),
+            BatchOutcome::Evicted { lb: 0, epoch: 0 }
+        ));
+        // ...while balancer 1's lone epoch replays from the cache — it was
+        // never evicted, so the restart must not have dropped it.
+        match restored.handle_batch(1, 1, b1) {
+            BatchOutcome::Replayed { lb: 1, batch: replay } => assert_eq!(replay, out_b1),
+            _ => panic!("balancer 1 epoch 1 must replay from its own class"),
+        }
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -30,11 +30,13 @@ use crate::frame::write_frame;
 use crate::manifest::Manifest;
 use crate::proto::{self, tag, Hello, Role};
 use crate::reactor::{self, Control, ReactorConfig, ReactorHandle, SessionHandle, SessionHandler};
+use crate::reshard;
 use crate::stats::{DaemonInfo, LinkStats, StatsRegistry};
 use crate::suboram_daemon::{net_workers, record_peer_clock_offset, AdminHandler};
 use snoopy_core::link::Link;
 use snoopy_core::transport::{
-    run_load_balancer_with_policy, LbEvent, LbTransport, RecvOutcome, ReplySink, Unavailable,
+    run_load_balancer_with_reshard, LbEvent, LbTransport, RecvOutcome, ReplySink, ReshardControl,
+    Unavailable,
 };
 use snoopy_core::RetryPolicy;
 use snoopy_crypto::{Key256, Prg};
@@ -173,10 +175,21 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
             ),
         ));
     }
-    let num_suborams = manifest.suborams.len();
+    let s_total = manifest.suborams.len();
     let mut prg = Prg::from_seed(manifest.seed);
     let shared_key = Key256::random(&mut prg);
     let deploy = proto::deployment_key(manifest.seed);
+    // A balancer is stateless, so a (re)started one learns the live layout
+    // from the durable side of the cluster: if any subORAM's checkpoint
+    // names a committed reshard generation, adopt it; otherwise boot at the
+    // manifest's initial active fleet. The probe is best-effort — on a fresh
+    // cluster the subORAMs may not be up yet, and then nothing has ever
+    // resharded, so the manifest answer is the right one.
+    let (initial_generation, num_suborams) =
+        match reshard::probe_layout(manifest, Duration::from_secs(2)) {
+            Some((generation, active_s)) => (generation, active_s),
+            None => (0, manifest.initial_active()),
+        };
     let balancer =
         LoadBalancer::new(&shared_key, num_suborams, manifest.value_len, manifest.lambda)
             .with_threads(manifest.lb_threads as usize);
@@ -206,19 +219,24 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
         cfg,
     );
 
-    let subs: SubSlots = Arc::new((0..num_suborams).map(|_| Mutex::new(None)).collect());
-    let mut sub_stats = Vec::with_capacity(num_suborams);
+    // Slots and dialers cover the whole *provisioned* fleet, not just the
+    // active one: a reshard can grow into a warm spare at any epoch
+    // boundary, and the connection must already be there when it does. The
+    // session-link derivation is keyed on the provisioned count, which both
+    // ends read from the same manifest.
+    let subs: SubSlots = Arc::new((0..s_total).map(|_| Mutex::new(None)).collect());
+    let mut sub_stats = Vec::with_capacity(s_total);
 
     // Dialer threads: one per subORAM *peer* (a fixed set, not per session),
     // owning connect/backoff and parking while the reactor runs the session.
-    for sub in 0..num_suborams {
+    for sub in 0..s_total {
         let stats = registry.link(&format!("suboram/{sub}"));
         sub_stats.push(stats.clone());
         let ctx = DialerCtx {
             addr: manifest.suborams[sub].clone(),
             lb_index: index,
             sub,
-            num_suborams,
+            num_suborams: s_total,
             deploy: deploy.clone(),
             value_len: manifest.value_len,
             subs: subs.clone(),
@@ -263,9 +281,27 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
         subs,
         sub_stats,
         lb_index: index as u64,
-        send_seq: vec![(u64::MAX, 0); num_suborams],
+        send_seq: vec![(u64::MAX, 0); s_total],
     };
-    run_load_balancer_with_policy(&mut transport, balancer, num_suborams, manifest.fault_policy());
+    let control = ReshardControl {
+        rebuild: {
+            let shared_key = shared_key.clone();
+            let value_len = manifest.value_len;
+            let lambda = manifest.lambda;
+            let lb_threads = manifest.lb_threads as usize;
+            Box::new(move |new_s| {
+                LoadBalancer::new(&shared_key, new_s, value_len, lambda).with_threads(lb_threads)
+            })
+        },
+        initial_generation,
+    };
+    run_load_balancer_with_reshard(
+        &mut transport,
+        balancer,
+        num_suborams,
+        manifest.fault_policy(),
+        Some(control),
+    );
     events::record(Event::new(EventKind::Shutdown));
     events::recorder().dump("shutdown");
     Ok(())
@@ -356,9 +392,11 @@ impl ClientAcceptor {
             Role::Admin => {
                 record_peer_clock_offset("admin", hello.wall_ns);
                 let events_tx = self.events_tx.clone();
-                Some(Box::new(AdminHandler::new(self.registry.clone(), self.info, move || {
+                let handler = AdminHandler::new(self.registry.clone(), self.info, move || {
                     let _ = events_tx.send(LbEvent::Shutdown);
-                })))
+                })
+                .with_reshard(reshard::lb_rpc_handler(self.events_tx.clone()));
+                Some(Box::new(handler))
             }
             // Balancers do not dial balancers.
             Role::LoadBalancer => None,

@@ -18,6 +18,8 @@
 //! * [`checkpoint`] — sealed subORAM state for kill/restart survival;
 //! * [`session`] / [`reactor`] — the nonblocking session state machine and
 //!   the readiness reactor both daemons run their connections on;
+//! * [`reshard`] — elastic fleet reconfiguration: the reshard wire
+//!   protocol, the public migration schedule, and the cluster driver;
 //! * [`api`] — the unified [`api::SnoopyClient`] facade (TCP and
 //!   channel-cluster transports behind one API);
 //! * [`error`] — the typed [`error::NetError`] surface and its wire/`io`
@@ -48,6 +50,7 @@ pub mod lb_daemon;
 pub mod manifest;
 pub mod proto;
 pub mod reactor;
+pub mod reshard;
 pub mod session;
 pub mod stats;
 pub mod suboram_daemon;
@@ -60,4 +63,5 @@ pub use client::{
 };
 pub use error::{classify_io_error, unavailable_info, ErrorClass, NetError};
 pub use manifest::Manifest;
+pub use reshard::{probe_layout, reshard_cluster, ReshardOptions, ReshardReport};
 pub use stats::{parse_stats, parse_stats_header, StatsRegistry};

@@ -75,6 +75,11 @@ pub struct Manifest {
     /// 64): resident memory during a streaming scan stays O(buffer_blocks),
     /// not O(partition).
     pub buffer_blocks: u64,
+    /// How many of the provisioned `suboram` entries serve the initial
+    /// layout (`0` = all of them). Extra entries are warm spares a later
+    /// `snoopyd reshard` can grow into without re-provisioning machines.
+    /// Public configuration: the fleet size is wire-observable.
+    pub active_suborams: usize,
     /// Load-balancer listen addresses, in index order.
     pub load_balancers: Vec<String>,
     /// SubORAM listen addresses, in index order.
@@ -123,6 +128,7 @@ impl Manifest {
         let mut store_dir: Option<String> = None;
         let mut block_bytes = None;
         let mut buffer_blocks = None;
+        let mut active_suborams = None;
         let mut load_balancers: Vec<(String, usize)> = Vec::new();
         let mut suborams: Vec<(String, usize)> = Vec::new();
 
@@ -183,6 +189,7 @@ impl Manifest {
                 }
                 "block_bytes" => set_once(&mut block_bytes, value)?,
                 "buffer_blocks" => set_once(&mut buffer_blocks, value)?,
+                "active_suborams" => set_once(&mut active_suborams, value)?,
                 "loadbalancer" => load_balancers.push((check_addr(value, lineno)?, lineno)),
                 "suboram" => suborams.push((check_addr(value, lineno)?, lineno)),
                 other => return Err(err(lineno, format!("unknown key `{other}`"))),
@@ -223,6 +230,7 @@ impl Manifest {
             // one block; clamp like the thread knobs.
             block_bytes: block_bytes.unwrap_or(4096).max(1),
             buffer_blocks: buffer_blocks.unwrap_or(64).max(1),
+            active_suborams: active_suborams.unwrap_or(0) as usize,
             load_balancers: load_balancers.into_iter().map(|(a, _)| a).collect(),
             suborams: suborams.into_iter().map(|(a, _)| a).collect(),
         };
@@ -237,6 +245,16 @@ impl Manifest {
         }
         if manifest.storage == StorageKind::Disk && manifest.store_dir.is_none() {
             return Err(err(0, "`storage = disk` requires `store_dir`"));
+        }
+        if manifest.active_suborams > manifest.suborams.len() {
+            return Err(err(
+                0,
+                format!(
+                    "`active_suborams = {}` exceeds the {} provisioned `suboram` entries",
+                    manifest.active_suborams,
+                    manifest.suborams.len()
+                ),
+            ));
         }
         Ok(manifest)
     }
@@ -268,6 +286,7 @@ impl Manifest {
         }
         out.push_str(&format!("block_bytes = {}\n", self.block_bytes));
         out.push_str(&format!("buffer_blocks = {}\n", self.buffer_blocks));
+        out.push_str(&format!("active_suborams = {}\n", self.active_suborams));
         for lb in &self.load_balancers {
             out.push_str(&format!("loadbalancer = {lb}\n"));
         }
@@ -302,6 +321,17 @@ impl Manifest {
     pub fn store_path(&self, index: usize) -> std::path::PathBuf {
         let dir = self.store_dir.as_deref().expect("`storage = disk` requires `store_dir`");
         std::path::Path::new(dir).join(format!("sub{index}"))
+    }
+
+    /// The subORAM count the initial layout routes over: `active_suborams`
+    /// when set, otherwise every provisioned entry. Always ≥ 1 (the parser
+    /// rejects manifests with no `suboram` lines).
+    pub fn initial_active(&self) -> usize {
+        if self.active_suborams == 0 {
+            self.suborams.len()
+        } else {
+            self.active_suborams
+        }
     }
 
     /// The deterministic initial object store every daemon regenerates:
@@ -441,6 +471,21 @@ suboram = 127.0.0.1:7101\n";
             Manifest::parse(&format!("{GOOD}block_bytes = 0\nbuffer_blocks = 0\n")).unwrap();
         assert_eq!(clamped.block_bytes, 1);
         assert_eq!(clamped.buffer_blocks, 1);
+    }
+
+    #[test]
+    fn active_suborams_parses_defaults_and_validates() {
+        // Default: every provisioned subORAM serves the initial layout.
+        let m = Manifest::parse(GOOD).unwrap();
+        assert_eq!(m.active_suborams, 0);
+        assert_eq!(m.initial_active(), 2);
+        // Warm spares: 1 active of 2 provisioned.
+        let m = Manifest::parse(&format!("{GOOD}active_suborams = 1\n")).unwrap();
+        assert_eq!(m.initial_active(), 1);
+        assert_eq!(Manifest::parse(&m.render()).unwrap(), m, "render must carry the knob");
+        // More active than provisioned is a whole-file error.
+        let e = Manifest::parse(&format!("{GOOD}active_suborams = 3\n")).unwrap_err();
+        assert!(e.message.contains("exceeds"), "{e}");
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub mod tag {
     /// Daemon → admin: flight-recorder events as JSONL (plaintext UTF-8).
     /// Every event field passed the `Public` gate at record time.
     pub const EVENTS_RESP: u8 = 19;
+    /// Admin → daemon: reshard command (plaintext header, sealed payload
+    /// for migration batches — see [`crate::reshard`]). The header carries
+    /// only public facts: generation, fleet sizes, batch schedule indices.
+    pub const RESHARD_REQ: u8 = 20;
+    /// Daemon → admin: reshard reply (status snapshot or a sealed export
+    /// batch on the public migration schedule).
+    pub const RESHARD_RESP: u8 = 21;
 }
 
 /// Who is dialing.

@@ -21,11 +21,16 @@ use crate::checkpoint::{self, SaveError, StorageSpec};
 use crate::manifest::Manifest;
 use crate::proto::{self, tag, Hello, Role};
 use crate::reactor::{self, Control, ReactorConfig, SessionHandle, SessionHandler};
+use crate::reshard::{self, SubReshardCtx};
 use crate::stats::{DaemonInfo, LinkStats, StatsRegistry};
 use snoopy_core::link::Link;
-use snoopy_core::transport::{run_suboram, SubEvent, SubOramNode, SubTransport};
+use snoopy_core::transport::{
+    run_suboram_with_admin, ReshardPhase, ReshardStatus, SubEvent, SubOramNode, SubReshardCmd,
+    SubReshardReply, SubTransport,
+};
 use snoopy_crypto::{Key256, Prg};
 use snoopy_lb::partition_objects;
+use snoopy_suboram::SubOram;
 use snoopy_telemetry::events::{self, Event, EventKind};
 use snoopy_telemetry::{merge, metrics, trace, Public};
 use std::io;
@@ -148,11 +153,18 @@ pub fn run(
     let node = match recovered {
         Some(node) => node,
         None => {
-            let parts =
-                partition_objects(manifest.initial_objects(), &shared_key, manifest.suborams.len());
+            // Boot layout: the manifest's *active* fleet size, which may be
+            // smaller than the provisioned address list (warm spares hold an
+            // empty partition until a reshard grows into them).
+            let active = manifest.initial_active();
+            let mut parts = partition_objects(manifest.initial_objects(), &shared_key, active);
+            parts.resize_with(manifest.suborams.len(), Vec::new);
             let part = parts.into_iter().nth(index).unwrap();
-            let oram = spec.fresh_suboram(part, manifest.value_len, oram_key, manifest.lambda)?;
-            SubOramNode::new(oram, num_lbs)
+            let oram =
+                spec.fresh_suboram(part, manifest.value_len, oram_key.clone(), manifest.lambda)?;
+            let mut node = SubOramNode::new(oram, num_lbs);
+            node.set_layout(0, active);
+            node
         }
     };
     // Bound the reply cache (and with it the checkpoint size): epochs older
@@ -182,7 +194,10 @@ pub fn run(
     }
 
     let mut transport = TcpSubTransport { events: events_rx, conns };
-    run_suboram(&mut transport, &mut node, |node, epoch| {
+    // The staged partition of an in-flight reshard, if any: built beside the
+    // live one and swapped in only on commit (see `on_reshard` below).
+    let mut staged: Option<(u64, usize, SubOram)> = None;
+    let after_epoch = |node: &mut SubOramNode, epoch: u64| {
         // Durability point: the storage generation and the checkpoint must
         // both land before any response for this epoch escapes.
         match node.oram_mut().commit_storage(epoch) {
@@ -213,7 +228,138 @@ pub fn run(
                     .with("epoch", Public::wire_observable(epoch)),
             );
         }
-    });
+    };
+    let on_reshard = |node: &mut SubOramNode, cmd: SubReshardCmd| -> SubReshardReply {
+        let status_of = |node: &SubOramNode| {
+            SubReshardReply::Status(ReshardStatus {
+                generation: node.generation(),
+                active_s: node.active_s(),
+                phase: ReshardPhase::Idle,
+            })
+        };
+        // Best-effort removal of a generation's disk segments (no-op for the
+        // in-memory tiers, and for generation 0: the boot directory may be
+        // the operator's to keep).
+        let scrub = |generation: u64| {
+            if generation == 0 {
+                return;
+            }
+            if let StorageSpec::Disk { dir, .. } = &spec {
+                let _ = std::fs::remove_dir_all(snoopy_store::generation_dir(dir, generation));
+            }
+        };
+        match cmd {
+            SubReshardCmd::Status => status_of(node),
+            SubReshardCmd::Export => {
+                let mut objects = Vec::new();
+                match node.oram().stream_objects(&mut |o| objects.push(o.clone())) {
+                    Ok(()) => SubReshardReply::Objects(objects),
+                    Err(e) => SubReshardReply::Failed(format!("export failed: {e}")),
+                }
+            }
+            SubReshardCmd::Install { generation, new_s, objects } => {
+                if generation <= node.generation() {
+                    return SubReshardReply::Failed(format!(
+                        "stale install generation {generation} (serving {})",
+                        node.generation()
+                    ));
+                }
+                if let Some((g, _, _)) = staged.take() {
+                    // A newer schedule replaces whatever was staged.
+                    scrub(g);
+                }
+                // Each generation gets its own derived key (and, on the disk
+                // tier, its own segment directory): a fresh store restarts
+                // its commit counter, so reusing the live key would repeat
+                // (key, nonce) pairs.
+                let key = snoopy_store::generation_key(&oram_key, generation);
+                let built = match &spec {
+                    StorageSpec::Disk { dir, cfg } => {
+                        let gdir = snoopy_store::generation_dir(dir, generation);
+                        let _ = std::fs::remove_dir_all(&gdir);
+                        snoopy_store::build_suboram_disk(
+                            &gdir,
+                            objects,
+                            manifest.value_len,
+                            *cfg,
+                            key,
+                            manifest.lambda,
+                        )
+                    }
+                    _ => spec.fresh_suboram(objects, manifest.value_len, key, manifest.lambda),
+                };
+                match built {
+                    Ok(oram) => {
+                        staged = Some((generation, new_s, oram));
+                        status_of(node)
+                    }
+                    Err(e) => SubReshardReply::Failed(format!("staging failed: {e}")),
+                }
+            }
+            SubReshardCmd::Commit { generation } => {
+                match staged.take() {
+                    Some((g, new_s, oram)) if g == generation => {
+                        let (old_gen, old_active) = (node.generation(), node.active_s());
+                        let old = node.swap_oram(oram);
+                        node.set_layout(generation, new_s);
+                        // The new generation must be durable *before* the ack
+                        // escapes: commit its storage, then re-checkpoint.
+                        // Either failing rolls the swap back — the driver
+                        // sees Failed and aborts, and the live layout (plus
+                        // its still-valid checkpoint) is untouched.
+                        let persist = node
+                            .oram_mut()
+                            .commit_storage(0)
+                            .map_err(|e| format!("storage commit failed: {e}"))
+                            .and_then(|_| match &checkpoint_path {
+                                Some(path) => checkpoint::save(node, &ckpt_key, path)
+                                    .map_err(|e| format!("checkpoint failed: {e}")),
+                                None => Ok(()),
+                            });
+                        match persist {
+                            Ok(()) => {
+                                drop(old);
+                                scrub(old_gen);
+                                events::record(
+                                    Event::new(EventKind::ReshardCommit)
+                                        .with("generation", Public::config(generation))
+                                        .with("suborams", Public::config(new_s as u64)),
+                                );
+                                status_of(node)
+                            }
+                            Err(e) => {
+                                let failed = node.swap_oram(old);
+                                node.set_layout(old_gen, old_active);
+                                drop(failed);
+                                scrub(generation);
+                                SubReshardReply::Failed(e)
+                            }
+                        }
+                    }
+                    Some(other) => {
+                        staged = Some(other);
+                        SubReshardReply::Failed(format!("no staged generation {generation}"))
+                    }
+                    None => SubReshardReply::Failed("nothing staged".into()),
+                }
+            }
+            SubReshardCmd::Abort { generation } => {
+                match staged.take() {
+                    Some((g, _, oram)) if g == generation => {
+                        drop(oram);
+                        scrub(g);
+                        events::record(
+                            Event::new(EventKind::ReshardAbort)
+                                .with("generation", Public::config(generation)),
+                        );
+                    }
+                    other => staged = other,
+                }
+                status_of(node)
+            }
+        }
+    };
+    run_suboram_with_admin(&mut transport, &mut node, after_epoch, on_reshard);
     events::record(Event::new(EventKind::Shutdown));
     events::recorder().dump("shutdown");
     Ok(())
@@ -295,9 +441,17 @@ impl AcceptCtx {
             Role::Admin => {
                 record_peer_clock_offset("admin", hello.wall_ns);
                 let events_tx = self.events_tx.clone();
-                Some(Box::new(AdminHandler::new(self.registry.clone(), self.info, move || {
+                let handler = AdminHandler::new(self.registry.clone(), self.info, move || {
                     let _ = events_tx.send(SubEvent::Shutdown);
-                })))
+                })
+                .with_reshard(reshard::sub_rpc_handler(SubReshardCtx {
+                    events_tx: self.events_tx.clone(),
+                    deploy: self.deploy.clone(),
+                    value_len: self.manifest.value_len,
+                    num_objects: self.manifest.num_objects,
+                    index: self.index,
+                }));
+                Some(Box::new(handler))
             }
             // Clients talk to balancers, not subORAMs.
             Role::Client => None,
@@ -360,6 +514,9 @@ pub(crate) struct AdminHandler {
     info: DaemonInfo,
     shutdown: Box<dyn Fn() + Send>,
     shutting_down: bool,
+    /// Reshard RPC handler, when this daemon's role supports resharding.
+    /// Sessions without one refuse `RESHARD_REQ` frames.
+    reshard: Option<reshard::RpcHandler>,
 }
 
 impl AdminHandler {
@@ -368,14 +525,43 @@ impl AdminHandler {
         info: DaemonInfo,
         shutdown: impl Fn() + Send + 'static,
     ) -> AdminHandler {
-        AdminHandler { registry, info, shutdown: Box::new(shutdown), shutting_down: false }
+        AdminHandler {
+            registry,
+            info,
+            shutdown: Box::new(shutdown),
+            shutting_down: false,
+            reshard: None,
+        }
+    }
+
+    /// Installs the role's reshard frame handler on this session.
+    pub(crate) fn with_reshard(mut self, handler: reshard::RpcHandler) -> AdminHandler {
+        self.reshard = Some(handler);
+        self
     }
 }
 
 impl SessionHandler for AdminHandler {
-    fn on_frame(&mut self, t: u8, _body: Vec<u8>, handle: &SessionHandle) -> Control {
+    fn on_frame(&mut self, t: u8, body: Vec<u8>, handle: &SessionHandle) -> Control {
         let rpc_span = trace::span("rpc");
         let control = match t {
+            tag::RESHARD_REQ => match (self.reshard.as_mut(), reshard::ReshardReq::decode(&body)) {
+                (Some(handler), Some(req)) => {
+                    let mut ok = true;
+                    for r in handler(req) {
+                        if !handle.send_frame(tag::RESHARD_RESP, &r.encode()) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        Control::Continue
+                    } else {
+                        Control::Close
+                    }
+                }
+                _ => Control::Close,
+            },
             tag::STATS_REQ => {
                 let mut body = self.info.header().render();
                 body.push('\n');

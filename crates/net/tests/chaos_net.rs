@@ -147,6 +147,7 @@ fn proxied_cluster_survives_faults_and_double_kill() {
         sub_deadline_ms: 250,
         max_replays: 60,
         retain_epochs: 64,
+        active_suborams: 0,
         // Honor SNOOPY_THREADS so the verify script's `parallel` suite runs
         // this chaos scenario with the parallel kernels engaged.
         lb_threads: env_threads(),

@@ -154,6 +154,7 @@ fn multi_process_cluster_matches_reference_and_survives_kill() {
         sub_deadline_ms: 10_000,
         max_replays: 3,
         retain_epochs: 8,
+        active_suborams: 0,
         // Honor SNOOPY_THREADS so the verify script's `parallel` suite can
         // re-run this whole cluster with the parallel kernels engaged; the
         // responses must stay byte-identical to the serial reference.

@@ -109,6 +109,7 @@ fn disk_cluster_matches_memory_reference_and_recovers_from_kill9() {
         sub_deadline_ms: 10_000,
         max_replays: 3,
         retain_epochs: 8,
+        active_suborams: 0,
         lb_threads: 1,
         sub_threads: 1,
         // Pinned disk tier with a streaming-sized geometry: 256-byte blocks

@@ -119,6 +119,7 @@ fn boot_cluster(
         sub_deadline_ms: 250,
         max_replays: 60,
         retain_epochs: 64,
+        active_suborams: 0,
         lb_threads: 1,
         sub_threads: 1,
         storage: snoopy_core::StorageKind::from_env(),

@@ -156,6 +156,7 @@ fn cluster_observability_plane_end_to_end() {
         sub_deadline_ms: 80,
         max_replays: 1,
         retain_epochs: 8,
+        active_suborams: 0,
         lb_threads: 1,
         sub_threads: 1,
         // The observability plane is tier-independent; pin the memory tier

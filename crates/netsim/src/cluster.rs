@@ -84,6 +84,22 @@ impl SimFaults {
     }
 }
 
+/// A simulated live reshard, mirroring the real planes' epoch-boundary
+/// reconfiguration protocol: at `at_ns` the cluster pauses (the held tick —
+/// arriving requests buffer, no epoch closes) while the oblivious migration
+/// runs for `pause_ns`, then the routing flip lands and every later epoch is
+/// served by `new_s` subORAMs with `num_objects / new_s` objects each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimReshard {
+    /// When the migration pause begins (simulated ns).
+    pub at_ns: u64,
+    /// Active subORAM count after the flip (grow or shrink).
+    pub new_s: usize,
+    /// Migration duration: epochs closing inside `[at_ns, at_ns + pause_ns)`
+    /// are deferred to the flip and served by the new fleet.
+    pub pause_ns: u64,
+}
+
 /// Simulation output.
 #[derive(Clone, Debug, Default)]
 pub struct SimReport {
@@ -127,13 +143,23 @@ pub struct ClusterSim {
     model: CostModel,
     tracer: Option<Arc<Tracer>>,
     faults: Option<SimFaults>,
+    reshard: Option<SimReshard>,
 }
 
 impl ClusterSim {
     /// Creates a simulator.
     pub fn new(params: ClusterParams, model: CostModel) -> ClusterSim {
         assert!(params.num_lbs > 0 && params.num_suborams > 0);
-        ClusterSim { params, model, tracer: None, faults: None }
+        ClusterSim { params, model, tracer: None, faults: None, reshard: None }
+    }
+
+    /// Attaches a live reshard. Applies to the count-based path
+    /// ([`ClusterSim::run_poisson`] / [`ClusterSim::run_counts`]); the exact
+    /// bucket path ignores it.
+    pub fn with_reshard(mut self, reshard: SimReshard) -> ClusterSim {
+        assert!(reshard.new_s > 0);
+        self.reshard = Some(reshard);
+        self
     }
 
     /// Attaches a fault model. Applies to the count-based path
@@ -195,8 +221,18 @@ impl ClusterSim {
     pub fn run_counts(&self, counts: Vec<Vec<u64>>) -> SimReport {
         let p = &self.params;
         let s = p.num_suborams;
-        let partition = p.num_objects / s as u64;
         let num_epochs = counts.len();
+        // Fleet size as a function of simulated time. Flip semantics: epochs
+        // closing during the migration pause defer to the flip instant, so
+        // `active_at` only has to distinguish before/after `at_ns`.
+        let s_max = s.max(self.reshard.map_or(0, |r| r.new_s));
+        let active_at =
+            |t: u64| -> usize { self.reshard.filter(|r| t >= r.at_ns).map_or(s, |r| r.new_s) };
+        let pause_until = |t: u64| -> Option<u64> {
+            self.reshard
+                .filter(|r| t >= r.at_ns && t < r.at_ns.saturating_add(r.pause_ns))
+                .map(|r| r.at_ns + r.pause_ns)
+        };
 
         let mut heap: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
         let mut events: Vec<Ev> = Vec::new();
@@ -215,8 +251,12 @@ impl ClusterSim {
         }
 
         let mut lb_free = vec![0u64; p.num_lbs];
-        let mut sub_free = vec![0u64; s];
+        let mut sub_free = vec![0u64; s_max];
         let mut resp_count = vec![vec![0usize; num_epochs]; p.num_lbs];
+        // Per (lb, epoch): the fleet size the batch was fanned out to — fixed
+        // at close time so in-flight pre-flip epochs complete on the old
+        // layout while post-flip epochs use the new one.
+        let mut fan = vec![vec![s; num_epochs]; p.num_lbs];
         let mut degraded = vec![vec![false; num_epochs]; p.num_lbs];
         let mut degraded_epochs = 0u64;
         let mut failed_requests = 0u64;
@@ -230,17 +270,25 @@ impl ClusterSim {
         while let Some(Reverse((now, _, idx))) = heap.pop() {
             match events[idx].clone() {
                 Ev::Close { lb, epoch } => {
+                    if let Some(resume) = pause_until(now) {
+                        // Migration pause: the held tick. Requests buffer at
+                        // the balancer and the epoch closes at the flip.
+                        push(&mut heap, &mut events, &mut seq, resume, Ev::Close { lb, epoch });
+                        continue;
+                    }
                     let r = counts[epoch][lb];
                     if r == 0 {
                         continue;
                     }
-                    let b = self.model.batch_size(r, s as u64);
+                    let s_now = active_at(now);
+                    fan[lb][epoch] = s_now;
+                    let b = self.model.batch_size(r, s_now as u64);
                     let start = now.max(lb_free[lb]);
-                    let end = start + self.model.lb_make_batch_ns(r, s as u64) as u64;
+                    let end = start + self.model.lb_make_batch_ns(r, s_now as u64) as u64;
                     lb_free[lb] = end;
                     self.trace_span("epoch/lb_make".to_string(), 1 + lb as u64, start, end);
                     let xfer = self.model.batch_transfer_ns(b) as u64;
-                    for sub in 0..s {
+                    for sub in 0..s_now {
                         push(
                             &mut heap,
                             &mut events,
@@ -288,6 +336,7 @@ impl ClusterSim {
                             continue;
                         }
                     }
+                    let partition = p.num_objects / fan[lb][epoch] as u64;
                     let svc = match p.sub_kind {
                         SubKind::SnoopyScan => self.model.suboram_batch_ns(b, partition),
                         SubKind::OblixSequential => self.model.oblix_suboram_batch_ns(b, partition),
@@ -315,7 +364,7 @@ impl ClusterSim {
                 }
                 Ev::RespArrive { lb, epoch } => {
                     resp_count[lb][epoch] += 1;
-                    if resp_count[lb][epoch] == s {
+                    if resp_count[lb][epoch] == fan[lb][epoch] {
                         let r = counts[epoch][lb];
                         if degraded[lb][epoch] {
                             // The epoch completes degraded: its requests fail
@@ -328,7 +377,7 @@ impl ClusterSim {
                             continue;
                         }
                         let start = now.max(lb_free[lb]);
-                        let end = start + self.model.lb_match_ns(r, s as u64) as u64;
+                        let end = start + self.model.lb_match_ns(r, fan[lb][epoch] as u64) as u64;
                         lb_free[lb] = end;
                         self.trace_span("epoch/lb_match".to_string(), 1 + lb as u64, start, end);
                         if end >= p.warmup_ns {
@@ -748,6 +797,53 @@ mod tests {
         assert_eq!(a.degraded_epochs, b.degraded_epochs);
         assert_eq!(a.failed_requests, b.failed_requests);
         assert_eq!(a.mean_latency_ms, b.mean_latency_ms);
+    }
+
+    #[test]
+    fn live_grow_completes_every_request_and_lands_between_the_static_fleets() {
+        // A 4→8 grow halfway through a scan-bound run (the fig. 14 shape):
+        // nothing is lost, the pause shows up as a latency spike, and the
+        // mean lands between the static-4 and static-8 clusters because the
+        // second half runs on half-size partitions.
+        let m = CostModel::paper_calibrated();
+        let mut p = params(1, 4, 1 << 20, 200);
+        p.warmup_ns = 0;
+        p.duration_ns = 20_000_000_000;
+        let static4 = ClusterSim::new(p.clone(), m.clone()).run_poisson(200.0, 9);
+        let mut p8 = p.clone();
+        p8.num_suborams = 8;
+        let static8 = ClusterSim::new(p8, m.clone()).run_poisson(200.0, 9);
+        let grow = ClusterSim::new(p, m)
+            .with_reshard(SimReshard { at_ns: 10_000_000_000, new_s: 8, pause_ns: 400_000_000 })
+            .run_poisson(200.0, 9);
+        // Same seed → same arrivals; a reshard must not lose any of them.
+        assert_eq!(grow.completed, static4.completed, "{grow:?} vs {static4:?}");
+        assert_eq!(grow.completed, static8.completed, "{grow:?} vs {static8:?}");
+        // Epochs buffered through the migration pause pay for it.
+        assert!(grow.max_latency_ms > static4.max_latency_ms, "{grow:?} vs {static4:?}");
+        // Scan-bound: halving partitions cuts service time, so the mixed run
+        // sits strictly between the two static fleets.
+        assert!(static8.mean_latency_ms < static4.mean_latency_ms, "{static8:?} vs {static4:?}");
+        assert!(
+            grow.mean_latency_ms < static4.mean_latency_ms
+                && grow.mean_latency_ms > static8.mean_latency_ms,
+            "grow {grow:?} not between {static8:?} and {static4:?}"
+        );
+    }
+
+    #[test]
+    fn live_shrink_serves_the_tail_on_the_smaller_fleet() {
+        let m = CostModel::paper_calibrated();
+        let mut p = params(1, 8, 1 << 21, 200);
+        p.warmup_ns = 0;
+        p.duration_ns = 8_000_000_000;
+        let shrink = ClusterSim::new(p.clone(), m.clone())
+            .with_reshard(SimReshard { at_ns: 4_000_000_000, new_s: 4, pause_ns: 200_000_000 })
+            .run_poisson(200.0, 10)
+            .mean_latency_ms;
+        let static8 = ClusterSim::new(p, m).run_poisson(200.0, 10).mean_latency_ms;
+        // The post-shrink half runs double-size partitions: strictly slower.
+        assert!(shrink > static8, "shrink {shrink} vs static8 {static8}");
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod cluster;
 pub mod costmodel;
 pub mod workload;
 
-pub use cluster::{ClusterParams, ClusterSim, SimFaults, SimReport, SubOutage};
+pub use cluster::{ClusterParams, ClusterSim, SimFaults, SimReport, SimReshard, SubOutage};
 pub use costmodel::CostModel;
 pub use workload::PoissonArrivals;

@@ -121,6 +121,26 @@ pub fn feasible(
     t >= lb_time.max(sub_time)
 }
 
+/// The smallest subORAM fleet that sustains the requirements with the
+/// deployment's balancer count and epoch length fixed — the elastic-reshard
+/// question: machines are already provisioned, the epoch protocol pins `B`
+/// and `T`, and the only free axis is how many subORAMs are active. Returns
+/// `None` if even `max_suborams` cannot carry the load (the operator must
+/// provision more, not reshard).
+///
+/// Feasibility is monotone in `S` for a fixed `(B, T)` in the paper's model
+/// (Equation (1): both the balancer's `f(R, S)` batch work and the per-node
+/// partition shrink as `S` grows), so the first feasible `S` is the answer.
+pub fn recommend_suborams(
+    req: &Requirements,
+    model: &CostModel,
+    num_lbs: usize,
+    max_suborams: usize,
+    epoch_ns: u64,
+) -> Option<usize> {
+    (1..=max_suborams).find(|&s| feasible(req, model, num_lbs, s, epoch_ns))
+}
+
 /// Searches for the cheapest feasible configuration (Equation (3) objective).
 /// Returns `None` if nothing within `max_machines` works.
 pub fn plan(
@@ -255,6 +275,23 @@ mod tests {
                 assert!(feasible(&r, &threaded, l, s, t), "({l},{s}) regressed with threads");
             }
         }
+    }
+
+    #[test]
+    fn recommend_suborams_scales_with_load_and_refuses_the_impossible() {
+        let m = CostModel::paper_calibrated();
+        let t = (1000.0 * 1e6 * 2.0 / 5.0) as u64;
+        let light = recommend_suborams(&req(1_000.0, 1000.0, 1_000_000), &m, 2, 16, t).unwrap();
+        let heavy = recommend_suborams(&req(60_000.0, 1000.0, 1_000_000), &m, 2, 16, t).unwrap();
+        assert!(heavy >= light, "more load cannot need fewer subORAMs: {light} vs {heavy}");
+        // The recommendation is the *smallest* feasible fleet: one node
+        // fewer must not sustain the load.
+        assert!(feasible(&req(60_000.0, 1000.0, 1_000_000), &m, 2, heavy, t));
+        if heavy > 1 {
+            assert!(!feasible(&req(60_000.0, 1000.0, 1_000_000), &m, 2, heavy - 1, t));
+        }
+        // A 1 µs latency budget is impossible at any fleet size.
+        assert!(recommend_suborams(&req(1_000.0, 0.001, 1_000_000), &m, 2, 16, 400).is_none());
     }
 
     #[test]

@@ -844,6 +844,33 @@ pub fn open_suboram_disk(
     Ok(SubOram::with_backend(Box::new(backend), value_len, root_key, lambda))
 }
 
+/// The segment directory for reshard generation `generation` of a partition
+/// whose boot-layout directory is `base`: the boot generation keeps `base`
+/// itself (so pre-reshard deployments are untouched), later generations get
+/// the sibling `<base>-gen<g>`. A reshard stages the next generation beside
+/// the live one and only the committed checkpoint says which is
+/// authoritative.
+pub fn generation_dir(base: &Path, generation: u64) -> PathBuf {
+    if generation == 0 {
+        return base.to_path_buf();
+    }
+    let name = base.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    base.with_file_name(format!("{name}-gen{generation}"))
+}
+
+/// The partition sealing key for reshard generation `generation`: the boot
+/// generation keeps `root` (back-compat with pre-reshard stores), later
+/// generations derive a fresh key. Each generation's segment directory
+/// restarts its storage-commit counter at zero, so reusing one key across
+/// generations would repeat `(key, nonce)` pairs over different plaintexts;
+/// a per-generation key makes every nonce sequence fresh.
+pub fn generation_key(root: &Key256, generation: u64) -> Key256 {
+    if generation == 0 {
+        return root.clone();
+    }
+    root.derive(b"reshard-generation").derive(&generation.to_le_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -867,6 +894,22 @@ mod tests {
         let mut out = Vec::new();
         b.for_each(&mut |o| out.push(o.clone())).unwrap();
         out
+    }
+
+    #[test]
+    fn generation_dir_and_key_keep_boot_layout_and_fork_later_generations() {
+        let base = Path::new("/var/lib/snoopy/sub3");
+        // Generation 0 is the pre-reshard layout: same directory, same key.
+        assert_eq!(generation_dir(base, 0), base);
+        assert_eq!(generation_key(&key(), 0), key());
+        // Later generations are siblings with fresh keys, distinct per
+        // generation (each directory restarts its nonce counters).
+        assert_eq!(generation_dir(base, 2), Path::new("/var/lib/snoopy/sub3-gen2"));
+        let g1 = generation_key(&key(), 1);
+        let g2 = generation_key(&key(), 2);
+        assert_ne!(g1, key());
+        assert_ne!(g1, g2);
+        assert_ne!(generation_dir(base, 1), generation_dir(base, 2));
     }
 
     #[test]

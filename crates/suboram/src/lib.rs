@@ -639,6 +639,17 @@ impl SubOram {
         self.storage.snapshot()
     }
 
+    /// Visits every stored object in index order, read-only and without the
+    /// oblivious write-back — the reshard migration's export path, which
+    /// must also work on streaming (disk-tier) backends where
+    /// [`SubOram::export_objects`] refuses to materialize the partition.
+    /// Index order is data-independent, and the caller re-partitions, seals,
+    /// and pads the collected set to a public bound before anything derived
+    /// from it leaves the enclave.
+    pub fn stream_objects(&self, visit: &mut dyn FnMut(&StoredObject)) -> Result<(), SubOramError> {
+        self.storage.for_each(visit)
+    }
+
     /// Adversary hook: copy of the backend's untrusted bytes (sealed
     /// blocks / segment file); `None` for pure in-enclave storage.
     pub fn untrusted_image(&mut self) -> Option<Vec<u8>> {

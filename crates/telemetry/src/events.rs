@@ -67,6 +67,13 @@ pub enum EventKind {
     NetBackpressure,
     /// The daemon is shutting down.
     Shutdown,
+    /// A reshard committed: the node flipped to a new fleet layout. The
+    /// reconfiguration event is public by design (the migration's *shape*
+    /// is what stays data-independent).
+    ReshardCommit,
+    /// A reshard was aborted (driver verdict or pause-TTL expiry); the node
+    /// resumed its old layout.
+    ReshardAbort,
 }
 
 impl EventKind {
@@ -85,6 +92,8 @@ impl EventKind {
             EventKind::NetClose => "net_close",
             EventKind::NetBackpressure => "net_backpressure",
             EventKind::Shutdown => "shutdown",
+            EventKind::ReshardCommit => "reshard_commit",
+            EventKind::ReshardAbort => "reshard_abort",
         }
     }
 
@@ -94,7 +103,7 @@ impl EventKind {
     }
 
     /// Every kind (for exhaustive audits).
-    pub fn all() -> [EventKind; 12] {
+    pub fn all() -> [EventKind; 14] {
         [
             EventKind::EpochStart,
             EventKind::BatchSealed,
@@ -108,6 +117,8 @@ impl EventKind {
             EventKind::NetClose,
             EventKind::NetBackpressure,
             EventKind::Shutdown,
+            EventKind::ReshardCommit,
+            EventKind::ReshardAbort,
         ]
     }
 

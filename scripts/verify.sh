@@ -76,6 +76,19 @@ echo "== stress (open-loop load generator, 1000 sessions, 2 balancers) =="
 ./target/release/loadgen --clients 1000 --duration-secs 5 --rate 800 \
   --balancers 2 --min-rps 400 --max-p99-ms 2000 --no-csv
 
+# Reshard suite: live elastic reconfiguration on real TCP clusters with the
+# disk tier under every partition. Grows 4→8 through the `snoopyd reshard`
+# CLI (post-reshard responses byte-compared against a fresh cluster built at
+# S=8, then the whole cluster is SIGKILLed and rebooted from
+# generation-stamped checkpoints), shrinks 8→4, SIGKILLs a subORAM
+# mid-migration and requires a clean rollback to the old layout with zero
+# lost acknowledged writes, and SIGKILLs a balancer at the flip to exercise
+# probe-driven roll-forward. The chaos half reruns a grow and a shrink on
+# the channel plane under a lossy (drop/duplicate/delay) fault plan.
+echo "== reshard suite (SNOOPY_STORAGE=disk; live grow/shrink + mid-migration kills) =="
+SNOOPY_STORAGE=disk cargo test --offline -p snoopy-net --test reshard -- --nocapture
+SNOOPY_STORAGE=disk cargo test --offline -p snoopy-chaos --test reshard_chaos -- --nocapture
+
 # Observability suite: the cluster-wide telemetry plane end to end. Boots a
 # real 4-process TCP cluster, merges every daemon's span rings into one
 # validated Chrome trace via `snoopy-mon trace`, SIGKILLs a subORAM, and
