@@ -43,6 +43,9 @@ fn allowed_provenances(kind: EventKind) -> &'static [Provenance] {
         // A reshard is a public reconfiguration event: generation and fleet
         // size are operator-chosen configuration, never request-derived.
         EventKind::ReshardCommit | EventKind::ReshardAbort => &[Provenance::Config],
+        // A stale-layout refusal names the wire-visible batch (epoch, lb)
+        // plus the configured generation it was stamped with.
+        EventKind::StaleLayoutBatch => &[Provenance::Config, Provenance::WireObservable],
         EventKind::Shutdown => &[],
     }
 }

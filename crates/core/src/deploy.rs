@@ -61,10 +61,12 @@ enum LbMsg {
 
 /// Messages into a subORAM thread.
 enum SubMsg {
-    /// A sealed batch from balancer `lb` for epoch `epoch`.
+    /// A sealed batch from balancer `lb` for epoch `epoch`, stamped with the
+    /// layout `generation` the balancer routed it under.
     Batch {
         lb: usize,
         epoch: u64,
+        generation: u64,
         sealed: SealedBox,
     },
     /// A reshard control command from [`InProcessCluster::reshard`].
@@ -105,10 +107,10 @@ impl ChannelLbTransport {
         }
     }
 
-    fn seal_and_send(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
+    fn seal_and_send(&mut self, suboram: usize, epoch: u64, generation: u64, batch: &[Request]) {
         let sealed = self.links[suboram].seal(batch).expect("batch link failure");
         self.sub_txs[suboram]
-            .send(SubMsg::Batch { lb: self.lb_idx, epoch, sealed })
+            .send(SubMsg::Batch { lb: self.lb_idx, epoch, generation, sealed })
             .expect("subORAM gone");
     }
 }
@@ -128,21 +130,21 @@ impl LbTransport for ChannelLbTransport {
         }
     }
 
-    fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
+    fn send_batch(&mut self, suboram: usize, epoch: u64, generation: u64, batch: &[Request]) {
         // Faults are decided before sealing (see module docs): a Drop leaves
         // the link sequence untouched, so the epoch loop's replay is a
         // byte-identical re-seal. Delay blocks inline, preserving the link's
         // strict ordering. Channels have no connection to Close — it drops.
         match self.injector.on_batch(self.lb_idx, suboram, epoch) {
-            FaultAction::Deliver => self.seal_and_send(suboram, epoch, batch),
+            FaultAction::Deliver => self.seal_and_send(suboram, epoch, generation, batch),
             FaultAction::Drop | FaultAction::Close => {}
             FaultAction::Duplicate => {
-                self.seal_and_send(suboram, epoch, batch);
-                self.seal_and_send(suboram, epoch, batch);
+                self.seal_and_send(suboram, epoch, generation, batch);
+                self.seal_and_send(suboram, epoch, generation, batch);
             }
             FaultAction::Delay(d) => {
                 std::thread::sleep(d);
-                self.seal_and_send(suboram, epoch, batch);
+                self.seal_and_send(suboram, epoch, generation, batch);
             }
         }
     }
@@ -172,10 +174,10 @@ impl SubTransport for ChannelSubTransport {
     fn recv(&mut self) -> Option<SubEvent> {
         Some(match self.rx.recv().ok()? {
             SubMsg::Shutdown => SubEvent::Shutdown,
-            SubMsg::Batch { lb, epoch, sealed } => {
+            SubMsg::Batch { lb, epoch, generation, sealed } => {
                 let batch =
                     self.links[lb].open(&sealed, self.value_len).expect("batch link failure");
-                SubEvent::Batch { lb, epoch, batch }
+                SubEvent::Batch { lb, epoch, generation, batch }
             }
             SubMsg::Reshard { cmd, reply } => SubEvent::Reshard { cmd, reply },
         })

@@ -178,10 +178,15 @@ pub trait LbTransport {
     /// that forgot to override it.
     fn recv_deadline(&mut self, deadline: Instant) -> RecvOutcome;
 
-    /// Seals and sends this balancer's `epoch` batch to subORAM `suboram`.
+    /// Seals and sends this balancer's `epoch` batch to subORAM `suboram`,
+    /// stamped with the layout `generation` the balancer routed it under
+    /// (plaintext — fleet layouts are public configuration). The stamp lets
+    /// a subORAM *refuse* a batch routed under a layout other than the one
+    /// it serves — the mixed-layout window around a crashed reshard becomes
+    /// typed failures instead of silent wrong reads.
     /// Delivery failures surface later as [`LbEvent::SubLinkRestored`] (TCP)
     /// or termination (channels); the loop itself never retries eagerly.
-    fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]);
+    fn send_batch(&mut self, suboram: usize, epoch: u64, generation: u64, batch: &[Request]);
 
     /// Tears down the link to `suboram` so it can heal with fresh session
     /// state. Called when the subORAM misses an epoch deadline: the AEAD
@@ -201,6 +206,10 @@ pub enum SubEvent {
         lb: usize,
         /// Epoch the batch belongs to.
         epoch: u64,
+        /// Layout generation the balancer routed the batch under (see
+        /// [`LbTransport::send_batch`]). A mismatch with the node's own
+        /// generation is refused with [`BatchOutcome::StaleLayout`].
+        generation: u64,
         /// The opened request batch.
         batch: Vec<Request>,
     },
@@ -642,7 +651,7 @@ pub fn run_load_balancer_with_reshard<T: LbTransport>(
                 let make_span = trace::span("epoch/lb_make");
                 let batches = balancer.make_batches(&requests).expect("batch overflow");
                 for (sub, batch) in batches.iter().enumerate() {
-                    transport.send_batch(sub, epoch, batch);
+                    transport.send_batch(sub, epoch, generation, batch);
                 }
                 let lb_make_time = make_span.finish();
                 let entries_sent: usize = batches.iter().map(|b| b.len()).sum();
@@ -728,7 +737,7 @@ pub fn run_load_balancer_with_reshard<T: LbTransport>(
                                 // reply cache on the far side makes this
                                 // idempotent.
                                 record_replay(epoch, suboram);
-                                transport.send_batch(suboram, epoch, &batches[suboram]);
+                                transport.send_batch(suboram, epoch, generation, &batches[suboram]);
                             }
                         }
                         RecvOutcome::TimedOut => {
@@ -754,7 +763,7 @@ pub fn run_load_balancer_with_reshard<T: LbTransport>(
                                     // on connectionless transports.
                                     transport.fail_fast(sub);
                                     record_replay(epoch, sub);
-                                    transport.send_batch(sub, epoch, &batches[sub]);
+                                    transport.send_batch(sub, epoch, generation, &batches[sub]);
                                 }
                             }
                             deadline = Some(Instant::now() + wait);
@@ -918,6 +927,21 @@ pub enum BatchOutcome {
         lb: usize,
         /// The epoch id with the foreign owner.
         epoch: u64,
+    },
+    /// The batch was stamped with a layout generation other than the one
+    /// this node serves, so executing it would route keys with the wrong
+    /// partition map (reads of absent keys, silently wrong answers). The
+    /// node refuses with a typed NACK and touches no state. This closes the
+    /// mixed-layout window around a crashed reshard: e.g. a balancer whose
+    /// pause TTL expired and self-aborted to the old layout *after* the
+    /// subORAMs durably committed the new generation.
+    StaleLayout {
+        /// The balancer whose batch was refused.
+        lb: usize,
+        /// The refused epoch.
+        epoch: u64,
+        /// The generation the batch was stamped with.
+        batch_generation: u64,
     },
 }
 
@@ -1113,10 +1137,29 @@ impl SubOramNode {
         self.num_lbs
     }
 
+    /// Feeds one batch in from a plane that carries no layout-generation
+    /// stamp: the batch is trusted to belong to this node's own layout.
+    /// Stamped planes (everything reshardable) use
+    /// [`SubOramNode::handle_stamped_batch`].
+    pub fn handle_batch(&mut self, lb: usize, epoch: u64, batch: Vec<Request>) -> BatchOutcome {
+        self.handle_stamped_batch(lb, epoch, self.generation, batch)
+    }
+
     /// Feeds one batch in; executes it immediately (each epoch id carries
     /// exactly one balancer's batch — see the module docs on the composite
-    /// epoch-id namespace).
-    pub fn handle_batch(&mut self, lb: usize, epoch: u64, batch: Vec<Request>) -> BatchOutcome {
+    /// epoch-id namespace). `generation` is the layout stamp the balancer
+    /// sent the batch under: a mismatch with this node's layout is refused
+    /// with [`BatchOutcome::StaleLayout`] *before* any state mutates.
+    /// Cached replays are exempt — their epochs executed (and their writes
+    /// migrated) under whatever layout was live at the time, so re-answering
+    /// from the cache is correct at any generation.
+    pub fn handle_stamped_batch(
+        &mut self,
+        lb: usize,
+        epoch: u64,
+        generation: u64,
+        batch: Vec<Request>,
+    ) -> BatchOutcome {
         assert!(lb < self.num_lbs, "balancer index {lb} out of range");
         if epoch % self.num_lbs as u64 != lb as u64 {
             return BatchOutcome::Rejected { lb, epoch };
@@ -1126,6 +1169,9 @@ impl SubOramNode {
         }
         if let Some(cached) = self.completed.get(&epoch) {
             return BatchOutcome::Replayed { lb, batch: cached.clone() };
+        }
+        if generation != self.generation {
+            return BatchOutcome::StaleLayout { lb, epoch, batch_generation: generation };
         }
         // The scan span name carries only configuration (the subORAM index)
         // and its duration is the timing of a data-oblivious linear scan —
@@ -1219,7 +1265,9 @@ pub fn run_suboram_with_admin<T: SubTransport>(
             SubEvent::Reshard { cmd, reply } => {
                 let _ = reply.send(on_reshard(node, cmd));
             }
-            SubEvent::Batch { lb, epoch, batch } => match node.handle_batch(lb, epoch, batch) {
+            SubEvent::Batch { lb, epoch, generation, batch } => match node
+                .handle_stamped_batch(lb, epoch, generation, batch)
+            {
                 BatchOutcome::Replayed { lb, batch } => match batch {
                     Some(batch) => transport.send_response(lb, epoch, &batch),
                     None => transport.send_error(lb, epoch),
@@ -1252,6 +1300,27 @@ pub fn run_suboram_with_admin<T: SubTransport>(
                             "subORAM batches refused with a typed error",
                         )
                         .inc(Public::wire_observable(()));
+                    transport.send_error(lb, epoch);
+                }
+                BatchOutcome::StaleLayout { lb, epoch, batch_generation } => {
+                    // The balancer routed this batch under a layout other
+                    // than the one this node serves (a mixed-layout window
+                    // around a crashed reshard). Executing it would return
+                    // silently wrong answers; a typed NACK degrades the
+                    // balancer's epoch visibly instead, and the operator
+                    // repairs by re-running the reshard driver.
+                    metrics::global()
+                        .counter(
+                            metrics::names::STALE_LAYOUT_BATCHES_TOTAL,
+                            "batches refused because their layout generation stamp mismatched",
+                        )
+                        .inc(Public::wire_observable(()));
+                    events::record(
+                        Event::new(EventKind::StaleLayoutBatch)
+                            .with("epoch", Public::wire_observable(epoch))
+                            .with("lb", Public::wire_observable(lb as u64))
+                            .with("generation", Public::config(batch_generation)),
+                    );
                     transport.send_error(lb, epoch);
                 }
                 BatchOutcome::Completed(resp) => {
@@ -1344,6 +1413,44 @@ mod tests {
     }
 
     #[test]
+    fn stale_generation_batch_refused_without_touching_state() {
+        // The node has committed generation 1; a balancer that self-aborted
+        // to the old layout still stamps generation 0.
+        let mut node = SubOramNode::new(test_oram(8), 1).with_retain(16);
+        let good = vec![Request::read(2, 8, 0, 0)];
+        assert!(matches!(
+            node.handle_stamped_batch(0, 0, 0, good.clone()),
+            BatchOutcome::Completed(Some(_))
+        ));
+        node.set_layout(1, 2);
+        // A stale-stamped batch for a NEW epoch is refused before executing
+        // (nothing is cached under its id — no wrong answer can be replayed).
+        assert!(matches!(
+            node.handle_stamped_batch(0, 1, 0, good.clone()),
+            BatchOutcome::StaleLayout { lb: 0, epoch: 1, batch_generation: 0 }
+        ));
+        // A future-stamped batch (balancer flipped first) is refused the
+        // same way — only an exact generation match executes.
+        assert!(matches!(
+            node.handle_stamped_batch(0, 1, 2, good.clone()),
+            BatchOutcome::StaleLayout { lb: 0, epoch: 1, batch_generation: 2 }
+        ));
+        // The refused epoch never entered the cache: the correctly stamped
+        // batch still executes fresh.
+        assert!(matches!(
+            node.handle_stamped_batch(0, 1, 1, good.clone()),
+            BatchOutcome::Completed(Some(_))
+        ));
+        // Cached replays are exempt from the fence: epoch 0 executed (and
+        // its writes migrated) under the old layout, so re-answering from
+        // the cache is correct at any stamp.
+        assert!(matches!(
+            node.handle_stamped_batch(0, 0, 0, good),
+            BatchOutcome::Replayed { lb: 0, batch: Some(_) }
+        ));
+    }
+
+    #[test]
     fn balancer_streams_interleave_without_a_barrier() {
         // One balancer far ahead of the other: every batch still executes
         // on arrival, and replays hit the cache regardless of arrival order.
@@ -1394,7 +1501,7 @@ mod tests {
             }
         }
 
-        fn send_batch(&mut self, _suboram: usize, _epoch: u64, _batch: &[Request]) {
+        fn send_batch(&mut self, _suboram: usize, _epoch: u64, _generation: u64, _batch: &[Request]) {
             self.batches_sent += 1;
         }
     }

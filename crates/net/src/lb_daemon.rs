@@ -94,7 +94,7 @@ impl LbTransport for TcpLbTransport {
         }
     }
 
-    fn send_batch(&mut self, suboram: usize, epoch: u64, batch: &[Request]) {
+    fn send_batch(&mut self, suboram: usize, epoch: u64, generation: u64, batch: &[Request]) {
         let mut slot = self.subs[suboram].lock().unwrap();
         let Some(conn) = slot.as_mut() else {
             // Disconnected: drop the batch. SubLinkRestored will trigger a
@@ -118,7 +118,7 @@ impl LbTransport for TcpLbTransport {
             entry.1 += 1;
             s
         };
-        let ctx = proto::TraceCtx { epoch, lb: self.lb_index, seq };
+        let ctx = proto::TraceCtx { epoch, lb: self.lb_index, seq, generation };
         let body = proto::encode_batch_ctx(ctx, &sealed);
         if conn.handle.send_frame(tag::BATCH, &body) {
             self.sub_stats[suboram].sent(body.len());
@@ -182,14 +182,38 @@ pub fn run(manifest: &Manifest, index: usize, registry: &StatsRegistry) -> io::R
     // A balancer is stateless, so a (re)started one learns the live layout
     // from the durable side of the cluster: if any subORAM's checkpoint
     // names a committed reshard generation, adopt it; otherwise boot at the
-    // manifest's initial active fleet. The probe is best-effort — on a fresh
-    // cluster the subORAMs may not be up yet, and then nothing has ever
-    // resharded, so the manifest answer is the right one.
-    let (initial_generation, num_suborams) =
-        match reshard::probe_layout(manifest, Duration::from_secs(2)) {
-            Some((generation, active_s)) => (generation, active_s),
-            None => (0, manifest.initial_active()),
-        };
+    // manifest's initial active fleet. The manifest fallback is only
+    // trustworthy once at least one subORAM has *answered* — after a
+    // whole-cluster restart a disk-tier fleet can take far longer than one
+    // probe sweep to recover its checkpoints, and silently booting the
+    // manifest layout against committed generation-G partitions would stamp
+    // every batch with generation 0 (all refused as stale). So the probe
+    // retries with backoff until a node answers or the budget runs out; the
+    // budget keeps a balancer bootable (and its admin plane reachable —
+    // the listener binds after this) even with the fleet down, and the
+    // batch plane's generation fence turns a wrong fallback into typed
+    // refusals rather than wrong reads.
+    let probe_budget = Instant::now() + Duration::from_secs(60);
+    let mut probe_pause = Duration::from_millis(250);
+    let (initial_generation, num_suborams) = loop {
+        let (answered, best) = reshard::probe_layout_once(manifest, Duration::from_secs(2));
+        match best {
+            Some((generation, active_s)) => break (generation, active_s),
+            // A node answered and no node has ever committed a reshard:
+            // the manifest's boot layout is authoritative.
+            None if answered > 0 => break (0, manifest.initial_active()),
+            None => {}
+        }
+        if Instant::now() >= probe_budget {
+            eprintln!(
+                "loadbalancer {index}: no subORAM answered the boot layout probe; \
+                 falling back to the manifest layout"
+            );
+            break (0, manifest.initial_active());
+        }
+        std::thread::sleep(probe_pause);
+        probe_pause = (probe_pause * 2).min(Duration::from_secs(5));
+    };
     let balancer =
         LoadBalancer::new(&shared_key, num_suborams, manifest.value_len, manifest.lambda)
             .with_threads(manifest.lb_threads as usize);

@@ -256,6 +256,20 @@ impl Manifest {
                 ),
             ));
         }
+        // The reshard migration nonce carries the node index in 16 bits
+        // (see `reshard::MAX_MIGRATION_NODES`): a larger fleet would alias
+        // AEAD nonce sequences across subORAMs, so refuse it at the door.
+        if manifest.suborams.len() as u64 > crate::reshard::MAX_MIGRATION_NODES {
+            return Err(err(
+                0,
+                format!(
+                    "{} `suboram` entries exceed the {} the migration nonce \
+                     namespace can address",
+                    manifest.suborams.len(),
+                    crate::reshard::MAX_MIGRATION_NODES
+                ),
+            ));
+        }
         Ok(manifest)
     }
 
@@ -386,6 +400,25 @@ suboram = 127.0.0.1:7101\n";
         let policy = m.fault_policy();
         assert_eq!(policy.sub_deadline, Some(std::time::Duration::from_secs(10)));
         assert_eq!(policy.max_replays, 3);
+    }
+
+    #[test]
+    fn fleets_past_the_migration_nonce_namespace_are_rejected() {
+        // 65537 unique subORAM addresses: one more than the 16-bit node
+        // field in the reshard migration nonce can address.
+        let n = crate::reshard::MAX_MIGRATION_NODES + 1;
+        let mut text = String::from(
+            "value_len = 32\nlambda = 128\nseed = 1\nnum_objects = 256\nepoch_ms = 5\n\
+             loadbalancer = 127.0.0.1:7000\n",
+        );
+        for i in 0..n {
+            text.push_str(&format!("suboram = 10.{}.{}.{}:7100\n", i >> 16, (i >> 8) & 0xFF, i & 0xFF));
+        }
+        let e = Manifest::parse(&text).unwrap_err();
+        assert!(e.message.contains("migration nonce"), "{e}");
+        // Exactly at the bound is fine.
+        let at_bound = text.lines().take(6 + 65536).collect::<Vec<_>>().join("\n");
+        assert!(Manifest::parse(&at_bound).is_ok());
     }
 
     #[test]

@@ -178,34 +178,42 @@ pub struct TraceCtx {
     pub epoch: u64,
     /// The sending balancer's index.
     pub lb: u64,
+    /// The layout generation the balancer routed the batch under. Public by
+    /// design — reshard commits are wire-visible reconfiguration events —
+    /// and checked by the subORAM so mixed-layout batches around a crashed
+    /// reshard are refused instead of silently misrouted.
+    pub generation: u64,
     /// Send wave within the epoch: 0 on first send, incremented per replay.
     pub seq: u64,
 }
 
-/// Encodes a [`tag::BATCH`] body: `epoch | lb | seq` (u64 LE each) followed
+/// Encodes a [`tag::BATCH`] body: `epoch | lb | seq | generation` (u64 LE
+/// each) followed
 /// by the sealed batch. The epoch stays first so epoch-keyed frame
 /// inspection (e.g. the chaos proxy's fault decisions) reads both this and
 /// the [`encode_epoch_sealed`] layout.
 pub fn encode_batch_ctx(ctx: TraceCtx, sealed: &snoopy_crypto::aead::SealedBox) -> Vec<u8> {
-    let mut out = Vec::with_capacity(24 + sealed.bytes.len());
+    let mut out = Vec::with_capacity(32 + sealed.bytes.len());
     out.extend_from_slice(&ctx.epoch.to_le_bytes());
     out.extend_from_slice(&ctx.lb.to_le_bytes());
     out.extend_from_slice(&ctx.seq.to_le_bytes());
+    out.extend_from_slice(&ctx.generation.to_le_bytes());
     out.extend_from_slice(&sealed.bytes);
     out
 }
 
 /// Inverse of [`encode_batch_ctx`].
 pub fn decode_batch_ctx(body: &[u8]) -> Option<(TraceCtx, snoopy_crypto::aead::SealedBox)> {
-    if body.len() < 24 {
+    if body.len() < 32 {
         return None;
     }
     let ctx = TraceCtx {
         epoch: u64::from_le_bytes(body[..8].try_into().ok()?),
         lb: u64::from_le_bytes(body[8..16].try_into().ok()?),
         seq: u64::from_le_bytes(body[16..24].try_into().ok()?),
+        generation: u64::from_le_bytes(body[24..32].try_into().ok()?),
     };
-    Some((ctx, snoopy_crypto::aead::SealedBox { bytes: body[24..].to_vec() }))
+    Some((ctx, snoopy_crypto::aead::SealedBox { bytes: body[32..].to_vec() }))
 }
 
 /// An epoch-tagged sealed payload: the body of [`tag::BATCH`] and
@@ -322,7 +330,7 @@ mod tests {
     #[test]
     fn batch_ctx_roundtrip() {
         let sealed = snoopy_crypto::aead::SealedBox { bytes: vec![4, 5, 6] };
-        let ctx = TraceCtx { epoch: 11, lb: 2, seq: 1 };
+        let ctx = TraceCtx { epoch: 11, lb: 2, seq: 1, generation: 3 };
         let body = encode_batch_ctx(ctx, &sealed);
         let (back, back_sealed) = decode_batch_ctx(&body).unwrap();
         assert_eq!(back, ctx);
@@ -330,7 +338,7 @@ mod tests {
         // Epoch-first layout: epoch-keyed inspectors read the same prefix
         // as the plain epoch+sealed framing.
         assert_eq!(u64::from_le_bytes(body[..8].try_into().unwrap()), 11);
-        assert!(decode_batch_ctx(&body[..23]).is_none());
+        assert!(decode_batch_ctx(&body[..31]).is_none());
     }
 
     #[test]

@@ -105,8 +105,27 @@ pub fn migration_key(deploy: &Key256, generation: u64, run: u64) -> Key256 {
     deploy.derive(b"reshard-migration").derive(&generation.to_le_bytes()).derive(&run.to_le_bytes())
 }
 
+/// Distinct node indices the migration nonce layout can address: the nonce
+/// prefix holds the index in 16 bits, so a fleet past this bound would make
+/// two subORAMs share AEAD nonce sequences under the same per-run key.
+/// Enforced at manifest validation and (belt and braces) by
+/// [`seal_migration`]/[`open_migration`].
+pub const MAX_MIGRATION_NODES: u64 = 1 << 16;
+
 fn mig_nonce(dir: u8, node: u64, idx: u64) -> Nonce {
+    debug_assert!(node < MAX_MIGRATION_NODES);
     Nonce::from_parts(0x5E00_0000 | ((dir as u32) << 16) | (node as u32 & 0xFFFF), idx)
+}
+
+/// Rejects a node index the 16-bit nonce field would truncate (and alias).
+fn check_mig_node(node: u64) -> io::Result<()> {
+    if node >= MAX_MIGRATION_NODES {
+        return Err(bad(format!(
+            "node index {node} overflows the {MAX_MIGRATION_NODES}-node migration \
+             nonce namespace"
+        )));
+    }
+    Ok(())
 }
 
 fn mig_aad(generation: u64, new_s: u64) -> Vec<u8> {
@@ -152,6 +171,7 @@ pub fn seal_migration(
     num_objects: u64,
 ) -> io::Result<Vec<SealedBox>> {
     let &MigrationCtx { key, dir, node, generation, new_s, value_len } = ctx;
+    check_mig_node(node)?;
     let n_batches = migration_batches(num_objects);
     let capacity = n_batches as usize * MIGRATION_BATCH_OBJECTS;
     if objects.len() > capacity {
@@ -194,6 +214,7 @@ pub fn open_migration(
     sealed: &SealedBox,
 ) -> io::Result<Vec<StoredObject>> {
     let &MigrationCtx { key, dir, node, generation, new_s, value_len } = ctx;
+    check_mig_node(node)?;
     let plain = AeadKey::new(key.clone())
         .open(mig_nonce(dir, node, idx), &mig_aad(generation, new_s), sealed)
         .map_err(|_| bad("migration batch failed authentication"))?;
@@ -384,6 +405,13 @@ pub(crate) type RpcHandler = Box<dyn FnMut(ReshardReq) -> Vec<ReshardResp> + Sen
 /// control command before giving up (the loop may be finishing an epoch).
 const LOOP_REPLY_TIMEOUT: Duration = Duration::from_secs(60);
 
+/// Reason prefix on FAILED replies that are *not* authoritative refusals:
+/// the admin handler stopped waiting on the epoch loop, but the command is
+/// still queued and may yet apply (e.g. a commit whose checkpoint persist
+/// outlives the wait). Drivers must treat such a reply like a lost ack —
+/// probe the node's status — never like a refusal that justifies aborting.
+pub(crate) const REASON_INDETERMINATE: &str = "indeterminate: ";
+
 /// Records a committed layout flip: both reshard gauges plus the flight-
 /// recorder event. Generation and fleet size are public configuration.
 fn record_flip(generation: u64, active_s: usize) {
@@ -435,7 +463,7 @@ pub(crate) fn lb_rpc_handler(events_tx: Sender<LbEvent>) -> RpcHandler {
                 }
                 vec![status_resp(&st)]
             }
-            Err(_) => vec![failed_resp("balancer loop did not answer")],
+            Err(_) => vec![failed_resp(format!("{REASON_INDETERMINATE}balancer loop did not answer"))],
         }
     })
 }
@@ -477,7 +505,7 @@ pub(crate) fn sub_rpc_handler(ctx: SubReshardCtx) -> RpcHandler {
                 return Err(failed_resp("suboram loop is gone"));
             }
             rx.recv_timeout(LOOP_REPLY_TIMEOUT)
-                .map_err(|_| failed_resp("suboram loop did not answer"))
+                .map_err(|_| failed_resp(format!("{REASON_INDETERMINATE}suboram loop did not answer")))
         };
         let reply_of = |r: Result<SubReshardReply, ReshardResp>| match r {
             Ok(SubReshardReply::Status(st)) => status_resp(&st),
@@ -663,15 +691,27 @@ fn status_of(addr: &str, timeout: Duration) -> io::Result<ReshardStatus> {
 /// restart the durable side of the cluster — the subORAM checkpoints — is
 /// the authority on which layout is live.
 pub fn probe_layout(m: &Manifest, timeout: Duration) -> Option<(u64, usize)> {
+    probe_layout_once(m, timeout).1
+}
+
+/// One probe sweep over the subORAM fleet: how many nodes answered at all,
+/// plus the highest committed layout any answering node reported. The count
+/// lets a caller distinguish "a node answered and nothing ever resharded"
+/// (the manifest layout is authoritative) from "nobody answered" (the fleet
+/// may be mid-recovery and the caller should retry before trusting the
+/// manifest).
+pub fn probe_layout_once(m: &Manifest, timeout: Duration) -> (usize, Option<(u64, usize)>) {
+    let mut answered = 0usize;
     let mut best: Option<(u64, usize)> = None;
     for addr in &m.suborams {
         if let Ok(st) = status_of(addr, timeout) {
+            answered += 1;
             if st.generation > 0 && st.active_s > 0 && best.is_none_or(|(g, _)| st.generation > g) {
                 best = Some((st.generation, st.active_s));
             }
         }
     }
-    best
+    (answered, best)
 }
 
 /// A [`ReshardOptions::phase_hook`] callback.
@@ -725,6 +765,43 @@ fn fire(opts: &mut ReshardOptions, phase: &str) {
     }
 }
 
+/// The driver's reading of one COMMIT RPC. Only [`CommitVerdict::Refused`]
+/// — an authoritative in-band answer from the node — may ever trigger an
+/// abort; a lost or indeterminate ack yields [`CommitVerdict::Unknown`],
+/// which rolls forward (see the commit loop in [`reshard_cluster`]).
+enum CommitVerdict {
+    /// The node reports the new generation: the flip is durable.
+    Flipped,
+    /// The node answered in-band that it did not commit.
+    Refused(String),
+    /// The ack was lost and a follow-up probe could not confirm the flip.
+    Unknown(String),
+}
+
+/// Classifies the in-band half of a COMMIT reply: `Some(verdict)` when the
+/// reply is authoritative, `None` when the ack is indeterminate (a
+/// [`REASON_INDETERMINATE`] FAILED) and the node must be probed instead.
+fn classify_commit_reply(
+    r: &ReshardResp,
+    generation: u64,
+    want_active: Option<usize>,
+) -> Option<CommitVerdict> {
+    if let Some(st) = r.status() {
+        if st.generation == generation && want_active.is_none_or(|s| st.active_s == s) {
+            return Some(CommitVerdict::Flipped);
+        }
+        // The node executed the command and answered with the old layout:
+        // an authoritative in-band refusal.
+        return Some(CommitVerdict::Refused(format!("still at generation {}", st.generation)));
+    }
+    let reason = r.reason();
+    if reason.starts_with(REASON_INDETERMINATE) {
+        // The command is still queued on the node and may yet apply.
+        return None;
+    }
+    Some(CommitVerdict::Refused(reason))
+}
+
 /// Reshards a live cluster to `new_s` subORAMs. See the module docs for the
 /// protocol; on any failure before the first subORAM commit the driver
 /// aborts everywhere and the old layout resumes. A failure after it returns
@@ -743,6 +820,9 @@ pub fn reshard_cluster(
             format!("new_s = {new_s} out of range (1..={s_total} provisioned subORAMs)"),
         ));
     }
+    // Manifest validation enforces this already; re-check here so a
+    // hand-built manifest can never alias migration nonces across nodes.
+    check_mig_node(s_total.saturating_sub(1) as u64)?;
     let deploy = proto::deployment_key(m.seed);
     let mut prg = Prg::from_seed(m.seed);
     let shared_key = Key256::random(&mut prg);
@@ -975,39 +1055,83 @@ pub fn reshard_cluster(
         run,
         payload: Vec::new(),
     };
+    // Distinguishing a refusal from a lost ack is what keeps the abort path
+    // safe: a node can durably commit generation G and then lose the reply
+    // (its persist outlasting the RPC read timeout), and aborting on that
+    // would scrub a node already serving G while every peer drops its
+    // staged partition — objects remapped off the node would exist nowhere.
+    let commit_verdict = |addr: &str, want_active: Option<usize>| -> CommitVerdict {
+        if let Ok(r) = single_rpc(addr, commit(generation), t) {
+            if let Some(verdict) = classify_commit_reply(&r, generation, want_active) {
+                return verdict;
+            }
+            // Indeterminate FAILED: the commit is still queued on the node
+            // and may yet apply — fall through to the probe.
+        }
+        // (A transport error also lands here: the ack may be lost.)
+        // The status RPC round-trips through the same epoch loop as the
+        // commit, so it answers only after any still-queued commit was
+        // processed. A probe showing the old generation after a *lost ack*
+        // is still not proof of refusal (the daemon may have restarted
+        // mid-persist), so it can never justify an abort — only Flipped or
+        // Unknown come out of this path.
+        match status_of(addr, t) {
+            Ok(st)
+                if st.generation == generation
+                    && want_active.is_none_or(|s| st.active_s == s) =>
+            {
+                CommitVerdict::Flipped
+            }
+            Ok(st) => CommitVerdict::Unknown(format!(
+                "ack lost; probe reports generation {}",
+                st.generation
+            )),
+            Err(e) => CommitVerdict::Unknown(format!("ack lost; probe failed: {e}")),
+        }
+    };
+
     let mut committed = 0usize;
     for (sub, addr) in m.suborams.iter().enumerate().take(install_hi) {
-        let flipped = single_rpc(addr, commit(generation), t)
-            .ok()
-            .and_then(|r| r.status())
-            .is_some_and(|st| st.generation == generation);
-        if flipped {
-            committed += 1;
-        } else if committed == 0 {
-            abort_all(t);
-            return Err(bad(format!("suboram {sub} refused to commit; aborted cleanly")));
-        } else {
-            return Err(bad(format!(
-                "suboram {sub} failed to commit after {committed} nodes flipped; \
-                 re-run `snoopyd reshard --new-s {new_s}` to roll the cluster forward"
-            )));
+        match commit_verdict(addr, None) {
+            CommitVerdict::Flipped => committed += 1,
+            CommitVerdict::Refused(reason) if committed == 0 => {
+                abort_all(t);
+                return Err(bad(format!(
+                    "suboram {sub} refused to commit ({reason}); aborted cleanly"
+                )));
+            }
+            CommitVerdict::Refused(reason) => {
+                return Err(bad(format!(
+                    "suboram {sub} refused to commit ({reason}) after {committed} nodes flipped; \
+                     re-run `snoopyd reshard --new-s {new_s}` to roll the cluster forward"
+                )));
+            }
+            CommitVerdict::Unknown(reason) => {
+                // The commit may have durably applied with its ack lost:
+                // never abort — roll forward instead (the repair run's
+                // union export converges from any mixed state).
+                return Err(bad(format!(
+                    "suboram {sub} commit outcome unknown ({reason}); not aborting — \
+                     re-run `snoopyd reshard --new-s {new_s}` to roll the cluster forward"
+                )));
+            }
         }
     }
     fire(&mut opts, "committed-suborams");
 
     // Flip every balancer's routing table; the held ticks then execute at
-    // the new layout.
+    // the new layout. Same verdict discipline: a lost ack is re-probed
+    // before the run is declared incomplete.
     for (i, addr) in m.load_balancers.iter().enumerate() {
-        let flipped = single_rpc(addr, commit(generation), t)
-            .ok()
-            .and_then(|r| r.status())
-            .is_some_and(|st| st.generation == generation && st.active_s == new_s);
-        if !flipped {
-            return Err(bad(format!(
-                "balancer {i} did not flip (its pause TTL restores the old routing table, \
-                 but the subORAMs already committed generation {generation}); \
-                 re-run `snoopyd reshard --new-s {new_s}` to roll the cluster forward"
-            )));
+        match commit_verdict(addr, Some(new_s)) {
+            CommitVerdict::Flipped => {}
+            CommitVerdict::Refused(reason) | CommitVerdict::Unknown(reason) => {
+                return Err(bad(format!(
+                    "balancer {i} did not flip ({reason}; its pause TTL restores the old \
+                     routing table, but the subORAMs already committed generation {generation}); \
+                     re-run `snoopyd reshard --new-s {new_s}` to roll the cluster forward"
+                )));
+            }
         }
     }
     fire(&mut opts, "committed");
@@ -1046,6 +1170,45 @@ mod tests {
         assert_eq!(status_resp(&st).status(), Some(st));
         assert_eq!(failed_resp("nope").reason(), "nope");
         assert_eq!(failed_resp("nope").status(), None);
+    }
+
+    #[test]
+    fn commit_reply_classification_separates_refusals_from_lost_acks() {
+        let st = |generation, active_s| ReshardStatus {
+            generation,
+            active_s,
+            phase: ReshardPhase::Idle,
+        };
+        // The node reports the new generation: flipped (with and without an
+        // active_s requirement).
+        assert!(matches!(
+            classify_commit_reply(&status_resp(&st(3, 8)), 3, None),
+            Some(CommitVerdict::Flipped)
+        ));
+        assert!(matches!(
+            classify_commit_reply(&status_resp(&st(3, 8)), 3, Some(8)),
+            Some(CommitVerdict::Flipped)
+        ));
+        // Old generation, or the right generation at the wrong fleet size:
+        // the node executed the command and refused — authoritative.
+        assert!(matches!(
+            classify_commit_reply(&status_resp(&st(2, 4)), 3, None),
+            Some(CommitVerdict::Refused(_))
+        ));
+        assert!(matches!(
+            classify_commit_reply(&status_resp(&st(3, 4)), 3, Some(8)),
+            Some(CommitVerdict::Refused(_))
+        ));
+        // A plain FAILED is an in-band refusal...
+        assert!(matches!(
+            classify_commit_reply(&failed_resp("no staged partition"), 3, None),
+            Some(CommitVerdict::Refused(_))
+        ));
+        // ...but an indeterminate FAILED (admin handler gave up waiting on
+        // the epoch loop; the commit may still apply) must NOT be read as a
+        // refusal — the driver probes instead of aborting.
+        let indeterminate = failed_resp(format!("{REASON_INDETERMINATE}suboram loop did not answer"));
+        assert!(classify_commit_reply(&indeterminate, 3, None).is_none());
     }
 
     #[test]
@@ -1115,6 +1278,24 @@ mod tests {
         let too_many: Vec<StoredObject> =
             (0..200u64).map(|i| StoredObject::new(i, &[1], value_len)).collect();
         assert!(seal_migration(&ctx(DIR_EXPORT, 0, 2), &too_many, 128).is_err());
+    }
+
+    #[test]
+    fn node_indices_past_the_nonce_namespace_are_refused() {
+        let key = Key256([5u8; 32]);
+        let ctx = |node| MigrationCtx {
+            key: &key,
+            dir: DIR_EXPORT,
+            node,
+            generation: 1,
+            new_s: 4,
+            value_len: 8,
+        };
+        // The last addressable index seals fine; one past it would alias
+        // node 0's nonce sequence and is refused by both directions.
+        let sealed = seal_migration(&ctx(MAX_MIGRATION_NODES - 1), &[], 64).unwrap();
+        assert!(seal_migration(&ctx(MAX_MIGRATION_NODES), &[], 64).is_err());
+        assert!(open_migration(&ctx(MAX_MIGRATION_NODES), 0, &sealed[0]).is_err());
     }
 
     #[test]

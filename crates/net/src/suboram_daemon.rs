@@ -489,7 +489,11 @@ impl SessionHandler for LbSessionHandler {
         let Ok(batch) = self.batch_link.open(&sealed, self.value_len) else {
             return Control::Close;
         };
-        if self.events_tx.send(SubEvent::Batch { lb: self.lb, epoch, batch }).is_err() {
+        if self
+            .events_tx
+            .send(SubEvent::Batch { lb: self.lb, epoch, generation: ctx.generation, batch })
+            .is_err()
+        {
             return Control::Close;
         }
         Control::Continue

@@ -74,6 +74,9 @@ pub enum EventKind {
     /// A reshard was aborted (driver verdict or pause-TTL expiry); the node
     /// resumed its old layout.
     ReshardAbort,
+    /// A subORAM refused a batch whose layout-generation stamp did not match
+    /// its committed generation (mixed-layout fence).
+    StaleLayoutBatch,
 }
 
 impl EventKind {
@@ -94,6 +97,7 @@ impl EventKind {
             EventKind::Shutdown => "shutdown",
             EventKind::ReshardCommit => "reshard_commit",
             EventKind::ReshardAbort => "reshard_abort",
+            EventKind::StaleLayoutBatch => "stale_layout_batch",
         }
     }
 
@@ -103,7 +107,7 @@ impl EventKind {
     }
 
     /// Every kind (for exhaustive audits).
-    pub fn all() -> [EventKind; 14] {
+    pub fn all() -> [EventKind; 15] {
         [
             EventKind::EpochStart,
             EventKind::BatchSealed,
@@ -119,6 +123,7 @@ impl EventKind {
             EventKind::Shutdown,
             EventKind::ReshardCommit,
             EventKind::ReshardAbort,
+            EventKind::StaleLayoutBatch,
         ]
     }
 

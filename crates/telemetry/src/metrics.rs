@@ -402,6 +402,10 @@ pub mod names {
     /// SubORAM batches refused with a typed error (e.g. duplicate ids from a
     /// buggy balancer). Each refusal is an explicit NACK frame — observable.
     pub const SUB_BATCH_FAILURES_TOTAL: &str = "snoopy_sub_batch_failures_total";
+    /// SubORAM batches refused because their layout-generation stamp did not
+    /// match the node's committed generation (mixed-layout fence). The refusal
+    /// is an explicit NACK frame — observable.
+    pub const STALE_LAYOUT_BATCHES_TOTAL: &str = "snoopy_stale_layout_batches_total";
     /// Bytes the disk storage tier read from segment files. Block I/O is a
     /// function of public geometry (every scan reads every block in order).
     pub const STORE_BYTES_READ_TOTAL: &str = "snoopy_store_bytes_read_total";
